@@ -1,0 +1,79 @@
+// Shared support for the figure-reproduction binaries.
+//
+// Every bench binary prints:
+//   1. a banner naming the paper figure(s) it regenerates,
+//   2. the figure's data series as aligned tables (the same rows the paper
+//      plots),
+//   3. a shape-check block asserting the paper's qualitative findings.
+// Exit status is non-zero when a shape check fails, so a plain
+// `for b in build/bench/*; do $b; done` doubles as a reproduction report.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/cdf.hpp"
+#include "util/table.hpp"
+
+namespace cdnsim::bench {
+
+/// Minimal --flag value parser: `Flags f(argc, argv); f.get("days", 15)`.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; i += 2) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) == 0) key = key.substr(2);
+      values_.emplace_back(key, argv[i + 1]);
+    }
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--small") small_ = true;
+    }
+  }
+
+  /// True when invoked with --small (used by CI-style quick runs).
+  bool small() const { return small_; }
+
+  double get(const std::string& key, double fallback) const {
+    for (const auto& [k, v] : values_) {
+      if (k == key) return std::stod(v);
+    }
+    return fallback;
+  }
+
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
+    for (const auto& [k, v] : values_) {
+      if (k == key) return std::stoll(v);
+    }
+    return fallback;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> values_;
+  bool small_ = false;
+};
+
+inline void banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+/// Prints a CDF as (x, CDF) rows at the given x positions.
+inline void print_cdf(const std::string& name, const util::Cdf& cdf,
+                      const std::vector<double>& xs) {
+  util::TextTable table({name, "CDF"});
+  for (const auto& p : cdf.points_at(xs)) {
+    table.add_row(std::vector<double>{p.x, p.cdf}, 3);
+  }
+  table.print(std::cout);
+}
+
+/// Prints the check block and returns the process exit code.
+inline int finish(const util::ShapeCheck& check) {
+  std::cout << '\n';
+  check.print(std::cout);
+  return check.all_passed() ? 0 : 1;
+}
+
+}  // namespace cdnsim::bench

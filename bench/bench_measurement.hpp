@@ -1,0 +1,28 @@
+// Shared measurement-study configuration for the Section 3 figure benches
+// (Figs. 3-12). Sized so each binary completes in seconds; pass
+// --servers / --days to scale up toward the paper's 3000-server crawl, or
+// --small for a quick smoke run.
+#pragma once
+
+#include "bench_common.hpp"
+#include "core/measurement_study.hpp"
+
+namespace cdnsim::bench {
+
+inline core::MeasurementConfig measurement_config(const Flags& flags,
+                                                  std::size_t default_servers = 400,
+                                                  std::size_t default_days = 10) {
+  core::MeasurementConfig cfg;
+  cfg.scenario.server_count = static_cast<std::size_t>(
+      flags.get_int("servers", static_cast<std::int64_t>(default_servers)));
+  cfg.days = static_cast<std::size_t>(
+      flags.get_int("days", static_cast<std::int64_t>(default_days)));
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  if (flags.small()) {
+    cfg.scenario.server_count = 120;
+    cfg.days = 2;
+  }
+  return cfg;
+}
+
+}  // namespace cdnsim::bench

@@ -1,0 +1,76 @@
+// Extension experiment: the Section 6 future-work method, evaluated.
+//
+// The paper closes by proposing "a more generic hybrid and self-adaptive
+// consistency maintenance method that can change the update method ... by
+// considering more factors, such as varying visit frequencies". We built it
+// (UpdateMethod::kRateAdaptive) and evaluate it here against the paper's
+// methods across audience sizes, on the live-game trace:
+//
+//  * busy audiences — RateAdaptive behaves like TTL (aggregation wins);
+//  * sparse audiences — it behaves like Invalidation (on-demand wins),
+//    transferring far less content than TTL for the same staleness budget;
+//  * across the sweep it should track the lower envelope of the two.
+#include "bench_evaluation.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdnsim;
+  using consistency::InfrastructureKind;
+  using consistency::UpdateMethod;
+  const bench::Flags flags(argc, argv);
+  bench::banner("Extension: rate-adaptive method vs audience size (Sec 6)");
+
+  auto eval = bench::evaluation_setup(flags);
+
+  const UpdateMethod methods[4] = {UpdateMethod::kTtl, UpdateMethod::kInvalidation,
+                                   UpdateMethod::kSelfAdaptive,
+                                   UpdateMethod::kRateAdaptive};
+  const char* names[4] = {"TTL", "Invalidation", "SelfAdaptive", "RateAdaptive"};
+
+  std::vector<double> visit_periods{2.0, 10.0, 60.0, 240.0};
+  if (flags.small()) visit_periods = {2.0, 240.0};
+
+  // content_km[method][sweep], staleness seen by users.
+  std::vector<std::vector<double>> content_km(4);
+  std::vector<std::vector<double>> user_staleness(4);
+
+  for (double period : visit_periods) {
+    std::cout << "\n--- one viewer per server, visiting every " << period
+              << " s ---\n";
+    util::TextTable table(
+        {"method", "content_load_km", "light_load_km", "user_staleness_s"});
+    for (int m = 0; m < 4; ++m) {
+      auto ec = bench::section4_config(methods[m], InfrastructureKind::kUnicast);
+      ec.method.server_ttl_s = 30.0;
+      ec.method.rate_window_s = 120.0;
+      ec.users_per_server = 1;
+      ec.user_poll_period_s = period;
+      ec.user_start_window_s = period;
+      const auto r = core::run_simulation(*eval.scenario.nodes, eval.game, ec);
+      content_km[m].push_back(r.traffic.load_km_update);
+      user_staleness[m].push_back(r.avg_user_inconsistency_s);
+      table.add_row(std::vector<std::string>{
+          names[m], util::format_double(r.traffic.load_km_update, 0),
+          util::format_double(r.traffic.load_km_light, 0),
+          util::format_double(r.avg_user_inconsistency_s, 2)});
+    }
+    table.print(std::cout);
+  }
+
+  // Indices: 0 TTL, 1 Invalidation, 2 SelfAdaptive, 3 RateAdaptive.
+  const std::size_t busy = 0;
+  const std::size_t sparse = visit_periods.size() - 1;
+  util::ShapeCheck check("ext-rate-adaptive");
+  check.expect_less(content_km[3][sparse], 0.7 * content_km[0][sparse],
+                    "sparse audience: RateAdaptive transfers far less than TTL");
+  check.expect_less(content_km[3][sparse], 0.8 * content_km[2][sparse],
+                    "sparse audience: beats SelfAdaptive too (it still polls "
+                    "while play is on)");
+  check.expect_near(content_km[3][busy], content_km[0][busy], 0.35,
+                    "busy audience: RateAdaptive tracks TTL");
+  check.expect_less(user_staleness[3][busy], 2.0 * user_staleness[0][busy] + 5.0,
+                    "busy audience: staleness comparable to TTL");
+  check.expect_less(content_km[1][sparse], content_km[1][busy],
+                    "Invalidation's load falls with audience (sanity)");
+  return bench::finish(check);
+}

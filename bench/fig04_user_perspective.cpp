@@ -1,0 +1,82 @@
+// Figure 4: user-perspective consistency.
+//  (a) CDF of users vs fraction of visits redirected to another server
+//  (b) average fraction of inconsistent servers per day
+//  (c) CDF of continuous consistency time
+//  (d) CDF of continuous inconsistency time
+//  (e) 5th/median/95th continuous inconsistency vs visit frequency 10-60 s
+#include "bench_common.hpp"
+#include "bench_measurement.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdnsim;
+  const bench::Flags flags(argc, argv);
+  bench::banner("Figure 4: user-perspective consistency");
+
+  auto base = bench::measurement_config(flags, 300, 6);
+
+  core::UserPerspectiveConfig up;
+  up.base = base;
+  up.base.days = 1;
+  up.user_count =
+      static_cast<std::size_t>(flags.get_int("users", flags.small() ? 40 : 200));
+  const auto r = core::run_user_perspective_study(up);
+
+  std::cout << "\n--- (a) CDF of users vs % of requests redirected ---\n";
+  util::Cdf redirect_cdf(r.redirection_fractions);
+  bench::print_cdf("redirect_fraction", redirect_cdf,
+                   {0.05, 0.09, 0.12, 0.15, 0.18, 0.22, 0.27});
+
+  std::cout << "\n--- (b) avg % of inconsistent servers per day ---\n";
+  const auto study = core::run_measurement_study(base);
+  util::TextTable day_table({"day", "inconsistent_fraction"});
+  for (std::size_t d = 0; d < study.daily_inconsistent_server_fraction.size(); ++d) {
+    day_table.add_row(
+        {static_cast<double>(d + 1), study.daily_inconsistent_server_fraction[d]},
+        3);
+  }
+  day_table.print(std::cout);
+
+  std::cout << "\n--- (c) CDF of continuous consistency time ---\n";
+  util::Cdf cons_cdf(r.continuous_consistency);
+  bench::print_cdf("consistency_s", cons_cdf, {50, 100, 160, 250, 400, 800, 1600});
+
+  std::cout << "\n--- (d) CDF of continuous inconsistency time ---\n";
+  util::Cdf incons_cdf(r.continuous_inconsistency);
+  bench::print_cdf("inconsistency_s", incons_cdf, {10, 20, 30, 40, 60, 90});
+
+  std::cout << "\n--- (e) continuous inconsistency vs visit frequency ---\n";
+  util::TextTable sweep({"visit_period_s", "p5", "median", "p95"});
+  std::vector<double> medians;
+  std::vector<double> p95s;
+  for (double period : {10.0, 20.0, 30.0, 40.0, 50.0, 60.0}) {
+    core::UserPerspectiveConfig cfg = up;
+    cfg.user_poll_period_s = period;
+    cfg.base.seed = up.base.seed + static_cast<std::uint64_t>(period);
+    const auto sweep_r = core::run_user_perspective_study(cfg);
+    if (sweep_r.continuous_inconsistency.empty()) continue;
+    const double p5 = util::percentile(sweep_r.continuous_inconsistency, 0.05);
+    const double med = util::percentile(sweep_r.continuous_inconsistency, 0.50);
+    const double p95 = util::percentile(sweep_r.continuous_inconsistency, 0.95);
+    sweep.add_row({period, p5, med, p95}, 2);
+    medians.push_back(med);
+    p95s.push_back(p95);
+  }
+  sweep.print(std::cout);
+
+  util::ShapeCheck check("fig4");
+  const double mean_redirect = util::mean(r.redirection_fractions);
+  check.expect_in_range(mean_redirect, 0.08, 0.25,
+                        "(a) typical users see ~13-17% of visits redirected");
+  const double mean_frac = util::mean(study.daily_inconsistent_server_fraction);
+  check.expect_in_range(mean_frac, 0.02, 0.80,
+                        "(b) a steady fraction of servers is inconsistent");
+  check.expect_greater(util::mean(r.continuous_consistency),
+                       util::mean(r.continuous_inconsistency),
+                       "(c,d) consistency runs far longer than inconsistency runs");
+  if (!medians.empty()) {
+    check.expect_greater(p95s.back(), p95s.front(),
+                         "(e) 95th-pct inconsistency grows with visit period");
+  }
+  return bench::finish(check);
+}

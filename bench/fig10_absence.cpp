@@ -1,0 +1,76 @@
+// Figure 10: provider bandwidth and server failure/overload effects.
+//  (a) CDF of provider response times ([0.5, 2.1] s, 90% under 1.5 s)
+//  (b) CDF of server absence lengths ([1, 500] s, ~30% < 10 s, ~93% < 50 s)
+//  (c) average inconsistency vs absence length (rises 38.1 -> 43.9 s)
+//  (d) inconsistency near vs far from the absence window
+#include <algorithm>
+#include <map>
+
+#include "bench_common.hpp"
+#include "bench_measurement.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdnsim;
+  const bench::Flags flags(argc, argv);
+  bench::banner("Figure 10: provider bandwidth & server absence effects");
+
+  const auto cfg = bench::measurement_config(flags);
+  const auto results = core::run_measurement_study(cfg);
+
+  std::cout << "\n--- (a) CDF of provider response time ---\n";
+  util::Cdf rt_cdf(results.provider_response_times);
+  bench::print_cdf("response_time_s", rt_cdf, {0.5, 0.8, 1.0, 1.5, 2.0, 3.0});
+
+  std::cout << "\n--- (b) CDF of absence lengths ---\n";
+  std::vector<double> absence_lengths;
+  for (const auto& ev : results.absence_events) {
+    absence_lengths.push_back(ev.absence_length);
+  }
+  util::Cdf ab_cdf(absence_lengths);
+  bench::print_cdf("absence_s", ab_cdf, {5, 10, 20, 50, 100, 200, 500});
+
+  std::cout << "\n--- (c) avg inconsistency after return vs absence length ---\n";
+  // Group absence lengths into 50 s buckets, as the paper does.
+  std::map<int, std::vector<double>> buckets;
+  for (const auto& ev : results.absence_events) {
+    if (ev.inconsistency_after_return < 0 || ev.absence_length > 400) continue;
+    buckets[static_cast<int>(ev.absence_length / 50.0)].push_back(
+        ev.inconsistency_after_return);
+  }
+  util::TextTable inc_table({"absence_bucket_s", "avg_inconsistency_s", "events"});
+  std::vector<double> bucket_x, bucket_y;
+  for (const auto& [bucket, vals] : buckets) {
+    if (vals.size() < 5) continue;
+    const double avg = util::mean(vals);
+    inc_table.add_row({bucket * 50.0, avg, static_cast<double>(vals.size())}, 2);
+    bucket_x.push_back(bucket * 50.0);
+    bucket_y.push_back(avg);
+  }
+  inc_table.print(std::cout);
+
+  // Baseline: average inconsistency with no absence involved.
+  const double overall = results.overall_avg_request_inconsistency;
+  std::cout << "\noverall avg inconsistency (all requests) = " << overall << " s\n";
+
+  util::ShapeCheck check("fig10");
+  check.expect_in_range(rt_cdf.min(), 0.3, 0.8, "(a) fastest responses ~0.5 s");
+  check.expect_less(rt_cdf.max(), 3.0, "(a) slowest responses ~2 s");
+  check.expect_greater(rt_cdf.fraction_at_or_below(1.5), 0.7,
+                       "(a) most requests resolve within 1.5 s");
+  check.expect_in_range(ab_cdf.fraction_at_or_below(10.0), 0.15, 0.45,
+                        "(b) ~30% of absences under 10 s");
+  check.expect_greater(ab_cdf.fraction_at_or_below(50.0), 0.80,
+                       "(b) ~93% of absences under 50 s");
+  check.expect_less(ab_cdf.max(), 501.0, "(b) absences bounded by 500 s");
+  if (bucket_y.size() >= 3) {
+    check.expect_greater(bucket_y.back(), bucket_y.front(),
+                         "(c) longer absences -> higher post-return inconsistency");
+    check.expect_greater(util::pearson(bucket_x, bucket_y), 0.0,
+                         "(c) positive absence-inconsistency trend");
+  }
+  check.expect_greater(
+      bucket_y.empty() ? 0.0 : *std::max_element(bucket_y.begin(), bucket_y.end()),
+      overall, "(d) inconsistency near absences exceeds the overall average");
+  return bench::finish(check);
+}

@@ -1,0 +1,114 @@
+// Figures 11 & 12: multicast-tree (non-)existence tests.
+//  11(a,b) — per-cluster average inconsistency varies greatly day to day
+//            (no static inter-cluster tree);
+//  11(c,d) — per-server ranks inside a cluster churn across days
+//            (no static intra-cluster tree);
+//  12(a,b) — most servers' per-day maximum inconsistency is below one TTL
+//            (contradicts a multicast tree, whose deeper layers would
+//            exceed it).
+#include "bench_common.hpp"
+#include "bench_measurement.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdnsim;
+  const bench::Flags flags(argc, argv);
+  bench::banner("Figures 11-12: is there a multicast update tree?");
+
+  const auto cfg = bench::measurement_config(flags);
+  const auto results = core::run_measurement_study(cfg);
+  const std::size_t days = results.daily_cluster_avg.size();
+
+  std::cout << "\n--- Fig 11(a): per-cluster min/max of daily averages ---\n";
+  const std::size_t n_clusters = results.geo_clusters.cluster_count();
+  util::TextTable minmax({"cluster", "min_avg_s", "max_avg_s", "spread"});
+  std::size_t printed = 0;
+  std::vector<double> spreads;
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    if (results.geo_clusters.members[c].size() < 3) continue;
+    double lo = 1e18, hi = -1e18;
+    for (std::size_t d = 0; d < days; ++d) {
+      lo = std::min(lo, results.daily_cluster_avg[d][c]);
+      hi = std::max(hi, results.daily_cluster_avg[d][c]);
+    }
+    spreads.push_back(hi - lo);
+    if (printed < 20) {
+      minmax.add_row({static_cast<double>(c), lo, hi, hi - lo}, 2);
+      ++printed;
+    }
+  }
+  minmax.print(std::cout);
+
+  std::cout << "\n--- Fig 11(b): cluster rank instability across days ---\n";
+  // Restrict the matrix to populated clusters.
+  std::vector<std::vector<double>> cluster_matrix(days);
+  for (std::size_t d = 0; d < days; ++d) {
+    for (std::size_t c = 0; c < n_clusters; ++c) {
+      if (results.geo_clusters.members[c].size() < 3) continue;
+      cluster_matrix[d].push_back(results.daily_cluster_avg[d][c]);
+    }
+  }
+  const double cluster_instability = analysis::rank_instability(cluster_matrix);
+  std::cout << "normalized day-to-day rank change (clusters): "
+            << cluster_instability << "   (static tree would be ~0)\n";
+
+  std::cout << "\n--- Fig 11(c,d): per-server rank churn within clusters ---\n";
+  // Pick the two largest clusters (the paper's clusters A and B).
+  std::size_t cluster_a = 0, cluster_b = 0;
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    const auto size = results.geo_clusters.members[c].size();
+    if (size > results.geo_clusters.members[cluster_a].size()) {
+      cluster_b = cluster_a;
+      cluster_a = c;
+    } else if (c != cluster_a &&
+               size > results.geo_clusters.members[cluster_b].size()) {
+      cluster_b = c;
+    }
+  }
+  double server_instability_sum = 0;
+  int measured_clusters = 0;
+  for (std::size_t cluster : {cluster_a, cluster_b}) {
+    const auto& members = results.geo_clusters.members[cluster];
+    if (members.size() < 4) continue;
+    std::vector<std::vector<double>> per_day(days);
+    for (std::size_t d = 0; d < days; ++d) {
+      for (auto s : members) {
+        per_day[d].push_back(
+            results.daily_server_avg[d][static_cast<std::size_t>(s)]);
+      }
+    }
+    const double inst = analysis::rank_instability(per_day);
+    std::cout << "cluster " << cluster << " (" << members.size()
+              << " servers): rank instability " << inst << "\n";
+    server_instability_sum += inst;
+    ++measured_clusters;
+  }
+
+  std::cout << "\n--- Fig 12: CDF of per-server max inconsistency (two days) ---\n";
+  util::TextTable fig12({"day", "fraction_below_ttl(60s)"});
+  std::vector<double> fractions;
+  for (std::size_t d = 0; d < std::min<std::size_t>(days, 2); ++d) {
+    const double f = analysis::fraction_below_ttl(results.daily_server_max[d], 60.0);
+    fig12.add_row({static_cast<double>(d + 1), f}, 3);
+    fractions.push_back(f);
+  }
+  fig12.print(std::cout);
+
+  util::ShapeCheck check("fig11-12");
+  check.expect_greater(util::mean(spreads), 3.0,
+                       "11(a) cluster averages vary a lot across days");
+  check.expect_greater(cluster_instability, 0.08,
+                       "11(b) no stable inter-cluster hierarchy");
+  if (measured_clusters > 0) {
+    check.expect_greater(server_instability_sum / measured_clusters, 0.08,
+                         "11(c,d) per-server ranks churn inside clusters");
+  }
+  for (double f : fractions) {
+    check.expect_greater(f, 0.5,
+                         "12: majority of servers' max inconsistency < TTL");
+  }
+  check.expect(true,
+               "conclusion: servers poll the provider directly (unicast + TTL)",
+               "all tree signatures absent");
+  return bench::finish(check);
+}

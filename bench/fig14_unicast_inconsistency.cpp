@@ -1,0 +1,59 @@
+// Figure 14: inconsistency in the unicast-tree infrastructure.
+//  (a) per-server average inconsistency, Push < Invalidation < TTL;
+//      TTL averages ~TTL/2;
+//  (b) per-node largest average end-user inconsistency: Push ~ Invalidation
+//      < TTL, and TTL users exceed TTL servers.
+#include "bench_evaluation.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdnsim;
+  using consistency::InfrastructureKind;
+  using consistency::UpdateMethod;
+  const bench::Flags flags(argc, argv);
+  bench::banner("Figure 14: inconsistency in the unicast-tree infrastructure");
+
+  auto eval = bench::evaluation_setup(flags);
+  std::cout << "servers=" << eval.scenario.nodes->server_count()
+            << " updates=" << eval.game.update_count() << " span="
+            << eval.game.duration() << "s\n";
+
+  std::vector<std::vector<double>> server_series, user_series;
+  std::vector<double> server_avgs, user_avgs;
+  const std::vector<std::string> names{"Push", "Invalidation", "TTL"};
+  for (auto method : {UpdateMethod::kPush, UpdateMethod::kInvalidation,
+                      UpdateMethod::kTtl}) {
+    const auto ec = bench::section4_config(method, InfrastructureKind::kUnicast);
+    const auto r = core::run_simulation(*eval.scenario.nodes, eval.game, ec);
+    server_series.push_back(r.server_inconsistency_s);
+    user_series.push_back(r.per_server_max_user_inconsistency_s);
+    server_avgs.push_back(r.avg_server_inconsistency_s);
+    user_avgs.push_back(util::mean(r.per_server_max_user_inconsistency_s));
+  }
+
+  bench::print_sorted_series("(a) content inconsistency of servers (s)",
+                             server_series, names);
+  bench::print_sorted_series("(b) largest avg inconsistency of end-users (s)",
+                             user_series, names);
+
+  util::TextTable summary({"method", "avg_server_s", "avg_user_s"});
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    summary.add_row({0.0 + static_cast<double>(i), server_avgs[i], user_avgs[i]}, 3);
+  }
+  std::cout << '\n';
+  summary.print(std::cout);
+
+  util::ShapeCheck check("fig14");
+  check.expect_less(server_avgs[0], server_avgs[1],
+                    "(a) Push < Invalidation on servers");
+  check.expect_less(server_avgs[1], server_avgs[2],
+                    "(a) Invalidation < TTL on servers");
+  check.expect_near(server_avgs[2], 5.0, 0.35,
+                    "(a) TTL average ~TTL/2 (paper: 5.7 s at TTL=10 s)");
+  check.expect_less(user_avgs[0], user_avgs[2], "(b) Push users < TTL users");
+  check.expect_near(user_avgs[0], user_avgs[1], 0.35,
+                    "(b) Push ~ Invalidation for users");
+  check.expect_greater(user_avgs[2], server_avgs[2],
+                       "(b) TTL user inconsistency exceeds server inconsistency");
+  return bench::finish(check);
+}

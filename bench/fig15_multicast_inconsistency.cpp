@@ -1,0 +1,62 @@
+// Figure 15: inconsistency in the (binary) multicast-tree infrastructure.
+//  (a) Push < Invalidation < TTL still holds, but TTL's inconsistency is
+//      amplified by tree depth (a node at layer m waits up to ~m TTLs);
+//  (b) end-user inconsistency under TTL grows correspondingly, while Push
+//      and Invalidation match their unicast numbers.
+#include "bench_evaluation.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdnsim;
+  using consistency::InfrastructureKind;
+  using consistency::UpdateMethod;
+  const bench::Flags flags(argc, argv);
+  bench::banner("Figure 15: inconsistency in the multicast-tree infrastructure");
+
+  auto eval = bench::evaluation_setup(flags);
+
+  std::vector<std::vector<double>> server_series, user_series;
+  std::vector<double> server_avgs, user_avgs;
+  const std::vector<std::string> names{"Push", "Invalidation", "TTL"};
+  for (auto method : {UpdateMethod::kPush, UpdateMethod::kInvalidation,
+                      UpdateMethod::kTtl}) {
+    const auto ec =
+        bench::section4_config(method, InfrastructureKind::kMulticastTree);
+    const auto r = core::run_simulation(*eval.scenario.nodes, eval.game, ec);
+    server_series.push_back(r.server_inconsistency_s);
+    user_series.push_back(r.per_server_max_user_inconsistency_s);
+    server_avgs.push_back(r.avg_server_inconsistency_s);
+    user_avgs.push_back(util::mean(r.per_server_max_user_inconsistency_s));
+  }
+
+  bench::print_sorted_series("(a) content inconsistency of servers (s)",
+                             server_series, names);
+  bench::print_sorted_series("(b) largest avg inconsistency of end-users (s)",
+                             user_series, names);
+
+  // Reference: unicast TTL for the amplification comparison.
+  const auto unicast_ttl = core::run_simulation(
+      *eval.scenario.nodes, eval.game,
+      bench::section4_config(UpdateMethod::kTtl, InfrastructureKind::kUnicast));
+
+  std::cout << "\nTTL avg: unicast=" << unicast_ttl.avg_server_inconsistency_s
+            << "s  multicast=" << server_avgs[2] << "s\n";
+
+  util::ShapeCheck check("fig15");
+  check.expect_less(server_avgs[0], server_avgs[1],
+                    "(a) Push < Invalidation on servers");
+  check.expect_less(server_avgs[1], server_avgs[2],
+                    "(a) Invalidation < TTL on servers");
+  check.expect_greater(server_avgs[2],
+                       2.0 * unicast_ttl.avg_server_inconsistency_s,
+                       "(a) tree depth amplifies TTL inconsistency");
+  check.expect_greater(user_avgs[2], user_avgs[0],
+                       "(b) TTL users worst in multicast too");
+  // Deepest nodes suffer most: the top decile far exceeds the bottom decile.
+  auto ttl_sorted = server_series[2];
+  std::sort(ttl_sorted.begin(), ttl_sorted.end());
+  check.expect_greater(ttl_sorted[ttl_sorted.size() * 9 / 10],
+                       2.0 * ttl_sorted[ttl_sorted.size() / 10],
+                       "(a) lower tree layers see multiples of layer-1 staleness");
+  return bench::finish(check);
+}

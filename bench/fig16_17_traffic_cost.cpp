@@ -1,0 +1,71 @@
+// Figures 16 & 17: consistency-maintenance traffic cost (km x KB).
+//  16 — total cost per method x infrastructure: multicast saves large
+//       amounts over unicast for every method; cost orders
+//       Push < Invalidation < TTL under the trace's frequent updates;
+//  17 — TTL method: cost decreases as the content-server TTL grows.
+#include "bench_evaluation.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdnsim;
+  using consistency::InfrastructureKind;
+  using consistency::UpdateMethod;
+  const bench::Flags flags(argc, argv);
+  bench::banner("Figures 16-17: consistency maintenance traffic cost (km*KB)");
+
+  auto eval = bench::evaluation_setup(flags);
+
+  std::cout << "\n--- Fig 16: total traffic cost ---\n";
+  util::TextTable cost_table({"method", "unicast_km_kb", "multicast_km_kb"});
+  double cost[3][2];
+  const char* names[3] = {"Push", "Invalidation", "TTL"};
+  const UpdateMethod methods[3] = {UpdateMethod::kPush, UpdateMethod::kInvalidation,
+                                   UpdateMethod::kTtl};
+  for (int m = 0; m < 3; ++m) {
+    int i = 0;
+    for (auto infra : {InfrastructureKind::kUnicast,
+                       InfrastructureKind::kMulticastTree}) {
+      const auto ec = bench::section4_config(methods[m], infra);
+      const auto r = core::run_simulation(*eval.scenario.nodes, eval.game, ec);
+      cost[m][i++] = r.traffic.cost_km_kb;
+    }
+    cost_table.add_row(std::vector<std::string>{
+        names[m], util::format_double(cost[m][0], 0),
+        util::format_double(cost[m][1], 0)});
+  }
+  cost_table.print(std::cout);
+
+  std::cout << "\n--- Fig 17: TTL method cost vs content-server TTL ---\n";
+  util::TextTable ttl_table({"ttl_s", "unicast_km_kb", "multicast_km_kb"});
+  std::vector<double> unicast_sweep, multicast_sweep;
+  for (double ttl : {10.0, 20.0, 30.0, 40.0, 50.0, 60.0}) {
+    double row[2];
+    int i = 0;
+    for (auto infra : {InfrastructureKind::kUnicast,
+                       InfrastructureKind::kMulticastTree}) {
+      auto ec = bench::section4_config(UpdateMethod::kTtl, infra);
+      ec.method.server_ttl_s = ttl;
+      const auto r = core::run_simulation(*eval.scenario.nodes, eval.game, ec);
+      row[i++] = r.traffic.cost_km_kb;
+    }
+    ttl_table.add_row({ttl, row[0], row[1]}, 0);
+    unicast_sweep.push_back(row[0]);
+    multicast_sweep.push_back(row[1]);
+  }
+  ttl_table.print(std::cout);
+
+  util::ShapeCheck check("fig16-17");
+  for (int m = 0; m < 3; ++m) {
+    check.expect_less(cost[m][1], cost[m][0],
+                      std::string("16: multicast cheaper for ") + names[m]);
+  }
+  check.expect_less(cost[0][0], cost[1][0],
+                    "16: Push < Invalidation in unicast cost");
+  check.expect_less(cost[1][0], cost[2][0],
+                    "16: Invalidation < TTL in unicast cost");
+  check.expect_less(unicast_sweep.back(), 0.5 * unicast_sweep.front(),
+                    "17: cost falls substantially as TTL grows (unicast)");
+  check.expect_less(multicast_sweep.back(), 0.5 * multicast_sweep.front(),
+                    "17: cost falls substantially as TTL grows (multicast)");
+  return bench::finish(check);
+}

@@ -1,0 +1,60 @@
+// Figure 18: Invalidation with varying end-user TTL (visit period).
+//  (a) server inconsistency (5th/median/95th) rises with the end-user TTL
+//      — fetches only happen at visits, so rarer visits mean longer
+//      staleness;
+//  (b) consistency-maintenance traffic cost falls — updates with no visit
+//      in between are never transferred.
+#include "bench_evaluation.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdnsim;
+  using consistency::InfrastructureKind;
+  using consistency::UpdateMethod;
+  const bench::Flags flags(argc, argv);
+  bench::banner("Figure 18: Invalidation vs end-user TTL");
+
+  auto eval = bench::evaluation_setup(flags);
+
+  util::TextTable table({"user_ttl_s", "infra", "p5_s", "median_s", "p95_s",
+                         "cost_km_kb"});
+  std::vector<double> uni_median, uni_cost, multi_median, multi_cost;
+  for (double user_ttl : {10.0, 30.0, 60.0, 90.0, 120.0}) {
+    for (auto infra : {InfrastructureKind::kUnicast,
+                       InfrastructureKind::kMulticastTree}) {
+      auto ec = bench::section4_config(UpdateMethod::kInvalidation, infra);
+      ec.user_poll_period_s = user_ttl;
+      ec.user_start_window_s = user_ttl;
+      const auto r = core::run_simulation(*eval.scenario.nodes, eval.game, ec);
+      const auto& inc = r.server_inconsistency_s;
+      const double p5 = util::percentile(inc, 0.05);
+      const double med = util::percentile(inc, 0.50);
+      const double p95 = util::percentile(inc, 0.95);
+      table.add_row(std::vector<std::string>{
+          util::format_double(user_ttl, 0),
+          infra == InfrastructureKind::kUnicast ? "unicast" : "multicast",
+          util::format_double(p5, 2), util::format_double(med, 2),
+          util::format_double(p95, 2),
+          util::format_double(r.traffic.cost_km_kb, 0)});
+      if (infra == InfrastructureKind::kUnicast) {
+        uni_median.push_back(med);
+        uni_cost.push_back(r.traffic.cost_km_kb);
+      } else {
+        multi_median.push_back(med);
+        multi_cost.push_back(r.traffic.cost_km_kb);
+      }
+    }
+  }
+  table.print(std::cout);
+
+  util::ShapeCheck check("fig18");
+  check.expect_greater(uni_median.back(), uni_median.front(),
+                       "(a) unicast inconsistency rises with end-user TTL");
+  check.expect_greater(multi_median.back(), multi_median.front(),
+                       "(a) multicast inconsistency rises with end-user TTL");
+  check.expect_less(uni_cost.back(), uni_cost.front(),
+                    "(b) unicast cost falls with end-user TTL");
+  check.expect_less(multi_cost.back(), multi_cost.front(),
+                    "(b) multicast cost falls with end-user TTL");
+  return bench::finish(check);
+}

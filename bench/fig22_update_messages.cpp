@@ -1,0 +1,91 @@
+// Figure 22: update-message savings of the hybrid/self-adaptive systems.
+//  (a) number of update messages (pushes, fetch/poll responses) vs the
+//      end-user TTL for all six systems:
+//      Push > Invalidation > Hybrid ~ TTL > HAT > Self;
+//  (b) number of update messages sent by the content provider vs the
+//      content-server TTL: Hybrid and HAT offload the provider by orders of
+//      magnitude (only the supernode-tree roots are served directly).
+// Pass --ablate-k 1 to also sweep the supernode fanout (DESIGN.md choice #1).
+#include "bench_evaluation.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdnsim;
+  const bench::Flags flags(argc, argv);
+  bench::banner("Figure 22: number of update messages (six systems)");
+
+  auto eval = bench::evaluation_setup(flags);
+  const auto systems = bench::section5_systems();
+
+  std::cout << "\n--- (a) update messages vs end-user TTL ---\n";
+  std::vector<std::string> header{"user_ttl_s"};
+  for (const auto& s : systems) header.push_back(s.name);
+  util::TextTable table_a(header);
+  std::vector<double> at10(systems.size());
+  std::vector<double> user_ttls{10, 20, 30, 40, 50, 60};
+  if (flags.small()) user_ttls = {10, 30, 60};
+  for (double user_ttl : user_ttls) {
+    std::vector<double> row{user_ttl};
+    for (std::size_t i = 0; i < systems.size(); ++i) {
+      auto ec = bench::section5_config(systems[i].method, systems[i].infra);
+      ec.user_poll_period_s = user_ttl;
+      ec.user_start_window_s = user_ttl;
+      const auto r = core::run_simulation(*eval.scenario.nodes, eval.game, ec);
+      row.push_back(static_cast<double>(r.traffic.update_messages));
+      if (user_ttl == 10) at10[i] = static_cast<double>(r.traffic.update_messages);
+    }
+    table_a.add_row(row, 0);
+  }
+  table_a.print(std::cout);
+
+  std::cout << "\n--- (b) update messages from the provider vs server TTL ---\n";
+  std::vector<double> server_ttls{10, 20, 30, 40, 50, 60};
+  if (flags.small()) server_ttls = {10, 60};
+  util::TextTable table_b(header);
+  std::vector<double> from_cp_at60(systems.size());
+  for (double server_ttl : server_ttls) {
+    std::vector<double> row{server_ttl};
+    for (std::size_t i = 0; i < systems.size(); ++i) {
+      auto ec = bench::section5_config(systems[i].method, systems[i].infra);
+      ec.method.server_ttl_s = server_ttl;
+      const auto r = core::run_simulation(*eval.scenario.nodes, eval.game, ec);
+      row.push_back(static_cast<double>(r.provider_traffic.update_messages));
+      if (server_ttl == 60) {
+        from_cp_at60[i] = static_cast<double>(r.provider_traffic.update_messages);
+      }
+    }
+    table_b.add_row(row, 0);
+  }
+  table_b.print(std::cout);
+
+  if (flags.get_int("ablate-k", 0) != 0) {
+    std::cout << "\n--- ablation: supernode fanout k (HAT) ---\n";
+    util::TextTable abl({"k", "update_msgs", "load_km", "avg_inconsistency_s"});
+    for (std::size_t k : {2u, 4u, 8u, 16u}) {
+      auto ec = bench::section5_config(consistency::UpdateMethod::kSelfAdaptive,
+                                       consistency::InfrastructureKind::
+                                           kHybridSupernode);
+      ec.infrastructure.supernode_fanout = k;
+      const auto r = core::run_simulation(*eval.scenario.nodes, eval.game, ec);
+      abl.add_row({static_cast<double>(k),
+                   static_cast<double>(r.traffic.update_messages),
+                   r.traffic.load_km_total(), r.avg_server_inconsistency_s},
+                  2);
+    }
+    abl.print(std::cout);
+  }
+
+  // Indices: 0 Push, 1 Invalidation, 2 TTL, 3 Self, 4 Hybrid, 5 HAT.
+  util::ShapeCheck check("fig22");
+  check.expect_greater(at10[0], at10[1], "(a) Push > Invalidation");
+  check.expect_greater(at10[1], at10[2], "(a) Invalidation > TTL");
+  check.expect_near(at10[4], at10[2], 0.45, "(a) Hybrid ~ TTL");
+  check.expect_greater(at10[2], at10[3], "(a) TTL > Self");
+  check.expect_greater(at10[5], at10[3], "(a) HAT > Self (supernode pushes)");
+  check.expect_less(at10[5], at10[2] * 1.15, "(a) HAT <= ~TTL");
+  check.expect_less(from_cp_at60[5], from_cp_at60[2] / 10.0,
+                    "(b) HAT's provider load is a small fraction of TTL's");
+  check.expect_less(from_cp_at60[4], from_cp_at60[2] / 10.0,
+                    "(b) Hybrid's provider load likewise");
+  return bench::finish(check);
+}

@@ -1,0 +1,46 @@
+// Figure 23: consistency-maintenance network load, in km of message travel,
+// split into update messages and light messages, for all six systems.
+//
+// Paper findings: Hybrid's locality makes its update load comparable to
+// Self's despite more messages; HAT is the lightest overall; the
+// polling-based systems carry roughly as many light messages (requests) as
+// update messages (responses).
+#include "bench_evaluation.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdnsim;
+  const bench::Flags flags(argc, argv);
+  bench::banner("Figure 23: consistency maintenance network load (km)");
+
+  auto eval = bench::evaluation_setup(flags);
+  const auto systems = bench::section5_systems();
+
+  util::TextTable table({"system", "update_km", "light_km", "total_km"});
+  std::vector<double> totals(systems.size());
+  std::vector<double> update_km(systems.size());
+  std::vector<double> light_km(systems.size());
+  for (std::size_t i = 0; i < systems.size(); ++i) {
+    const auto ec = bench::section5_config(systems[i].method, systems[i].infra);
+    const auto r = core::run_simulation(*eval.scenario.nodes, eval.game, ec);
+    update_km[i] = r.traffic.load_km_update;
+    light_km[i] = r.traffic.load_km_light;
+    totals[i] = r.traffic.load_km_total();
+    table.add_row(std::vector<std::string>{
+        systems[i].name, util::format_double(update_km[i], 0),
+        util::format_double(light_km[i], 0), util::format_double(totals[i], 0)});
+  }
+  table.print(std::cout);
+
+  // Indices: 0 Push, 1 Invalidation, 2 TTL, 3 Self, 4 Hybrid, 5 HAT.
+  util::ShapeCheck check("fig23");
+  check.expect_less(totals[5], totals[2], "HAT lighter than TTL");
+  check.expect_less(totals[5], totals[3], "HAT lighter than Self");
+  check.expect_less(totals[5], totals[0], "HAT lighter than Push");
+  check.expect_less(totals[5], totals[1], "HAT lighter than Invalidation");
+  check.expect_less(totals[4], totals[2],
+                    "Hybrid's locality beats unicast TTL despite more messages");
+  check.expect_near(light_km[2], update_km[2], 0.65,
+                    "TTL carries comparable request and response load");
+  return bench::finish(check);
+}

@@ -1,0 +1,91 @@
+// Micro-benchmarks (google-benchmark) for the hot substrate paths: the
+// event queue, the latency model, the Hilbert encoder, tree construction,
+// and a whole small engine run. These bound the cost of scaling the
+// simulator toward the paper's 3000-server crawl.
+#include <benchmark/benchmark.h>
+
+#include "consistency/engine.hpp"
+#include "core/scenario.hpp"
+#include "net/latency_model.hpp"
+#include "sim/simulator.hpp"
+#include "topology/hilbert.hpp"
+#include "topology/multicast_tree.hpp"
+#include "trace/game_generator.hpp"
+
+namespace {
+
+using namespace cdnsim;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      simulator.at(static_cast<double>((i * 7919) % n), [&sink] { ++sink; });
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_HaversineLatency(benchmark::State& state) {
+  const net::LatencyModel model(net::LatencyConfig{});
+  const net::GeoPoint a{33.75, -84.39};
+  const net::GeoPoint b{35.68, 139.69};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.propagation(a, b));
+  }
+}
+BENCHMARK(BM_HaversineLatency);
+
+void BM_HilbertNumber(benchmark::State& state) {
+  const net::GeoPoint p{48.86, 2.35};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology::hilbert_number(p, 16));
+  }
+}
+BENCHMARK(BM_HilbertNumber);
+
+void BM_TreeBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::ScenarioConfig sc;
+  sc.server_count = n;
+  const auto scenario = core::build_scenario(sc);
+  for (auto _ : state) {
+    topology::MulticastTree tree(*scenario.nodes, 4);
+    tree.build(scenario.nodes->server_ids());
+    benchmark::DoNotOptimize(tree.max_depth());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TreeBuild)->Arg(170)->Arg(850);
+
+void BM_EngineGameDay(benchmark::State& state) {
+  core::ScenarioConfig sc;
+  sc.server_count = static_cast<std::size_t>(state.range(0));
+  const auto scenario = core::build_scenario(sc);
+  trace::GameTraceConfig game_cfg;
+  game_cfg.period_s = 600;
+  game_cfg.break_s = 200;
+  util::Rng rng(3);
+  const auto game = trace::generate_game_trace(game_cfg, rng);
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    consistency::EngineConfig ec;
+    ec.method.method = consistency::UpdateMethod::kTtl;
+    consistency::UpdateEngine engine(simulator, *scenario.nodes, game, ec);
+    engine.run();
+    benchmark::DoNotOptimize(simulator.events_processed());
+    state.counters["events"] = static_cast<double>(simulator.events_processed());
+  }
+}
+BENCHMARK(BM_EngineGameDay)->Arg(50)->Arg(170)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// CDN consistency planner: interactive-style "what should I deploy?" tool.
+//
+// Feeds a portfolio of realistic content types through the workload advisor
+// (the paper's Section 4.6 guidance as code) and verifies each
+// recommendation by simulation: the recommended configuration must meet the
+// staleness target, and we report how much traffic it spends doing so
+// compared with the cheapest configuration.
+#include <iostream>
+#include <vector>
+
+#include "core/advisor.hpp"
+#include "core/scenario.hpp"
+#include "core/simulation.hpp"
+#include "trace/game_generator.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cdnsim;
+
+struct ContentType {
+  std::string name;
+  core::WorkloadProfile profile;
+  double mean_update_gap_s;  // for the synthetic trace
+};
+
+trace::UpdateTrace make_trace(double mean_gap, util::Rng& rng) {
+  std::vector<sim::SimTime> times;
+  sim::SimTime t = 0;
+  while (t < 3000.0) {
+    t += std::max(0.5, rng.exponential(mean_gap));
+    if (t < 3000.0) times.push_back(t);
+  }
+  return trace::UpdateTrace(std::move(times));
+}
+
+}  // namespace
+
+int main() {
+  using namespace cdnsim;
+
+  std::vector<ContentType> portfolio;
+  {
+    ContentType stock{"stock ticker", {}, 3.0};
+    stock.profile.updates_per_minute = 20;
+    stock.profile.visits_per_server_per_minute = 60;
+    stock.profile.tolerable_staleness_s = 1.0;
+    stock.profile.server_count = 170;
+    portfolio.push_back(stock);
+
+    ContentType game{"live game stats", {}, 25.0};
+    game.profile.updates_per_minute = 2.4;
+    game.profile.visits_per_server_per_minute = 30;
+    game.profile.tolerable_staleness_s = 15.0;
+    game.profile.bursty_updates = true;
+    game.profile.traffic_sensitive = true;
+    game.profile.server_count = 170;
+    portfolio.push_back(game);
+
+    ContentType news{"news front page", {}, 240.0};
+    news.profile.updates_per_minute = 0.25;
+    news.profile.visits_per_server_per_minute = 100;
+    news.profile.tolerable_staleness_s = 60.0;
+    news.profile.server_count = 170;
+    portfolio.push_back(news);
+
+    ContentType telemetry{"dashboard telemetry", {}, 4.0};
+    telemetry.profile.updates_per_minute = 15;
+    telemetry.profile.visits_per_server_per_minute = 2;  // rarely watched
+    telemetry.profile.tolerable_staleness_s = 30.0;
+    telemetry.profile.server_count = 170;
+    portfolio.push_back(telemetry);
+  }
+
+  core::ScenarioConfig scenario_cfg;
+  scenario_cfg.server_count = 170;
+  const auto scenario = core::build_scenario(scenario_cfg);
+  util::Rng rng(123);
+
+  util::TextTable table({"content", "recommendation", "avg_staleness_s",
+                         "target_s", "met", "traffic_km_kb"});
+  for (const auto& content : portfolio) {
+    const auto rec = core::recommend(content.profile);
+    util::Rng trace_rng = rng.fork(std::hash<std::string>{}(content.name));
+    const auto updates = make_trace(content.mean_update_gap_s, trace_rng);
+
+    consistency::EngineConfig ec;
+    ec.method.method = rec.method;
+    ec.infrastructure.kind = rec.infrastructure;
+    ec.infrastructure.cluster_count = 20;
+    // Bind the TTL to the tolerance, the paper's TTL guidance.
+    ec.method.server_ttl_s = std::max(2.0, content.profile.tolerable_staleness_s);
+    ec.user_poll_period_s =
+        60.0 / std::max(0.5, content.profile.visits_per_server_per_minute);
+    const auto r = core::run_simulation(*scenario.nodes, updates, ec);
+
+    const bool met =
+        r.avg_server_inconsistency_s <= content.profile.tolerable_staleness_s;
+    table.add_row(std::vector<std::string>{
+        content.name,
+        std::string(to_string(rec.method)) + "+" +
+            std::string(to_string(rec.infrastructure)),
+        util::format_double(r.avg_server_inconsistency_s, 2),
+        util::format_double(content.profile.tolerable_staleness_s, 0),
+        met ? "yes" : "NO", util::format_double(r.traffic.cost_km_kb, 0)});
+    std::cout << content.name << ": " << rec.rationale << "\n\n";
+  }
+  table.print(std::cout);
+  return 0;
+}

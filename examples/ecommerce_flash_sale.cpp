@@ -1,0 +1,116 @@
+// E-commerce flash sale: a second live-content workload the paper's intro
+// motivates (online auctions / e-commerce), with a different shape than the
+// sports game — inventory counts update in sharp, short bursts when a sale
+// wave opens, with quiet browsing periods in between, and the business
+// requirement is *strict* freshness (overselling is costly).
+//
+// The example uses the workload advisor to pick a configuration for the
+// strict requirement, then contrasts it against the cheap-but-stale TTL
+// configuration, quantifying the freshness/traffic trade-off.
+#include <iostream>
+#include <vector>
+
+#include "core/advisor.hpp"
+#include "core/scenario.hpp"
+#include "core/simulation.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cdnsim;
+
+// Inventory updates: five sale waves; each wave opens with a dense burst
+// (sell-through) and decays into sparse updates.
+trace::UpdateTrace flash_sale_trace(util::Rng& rng) {
+  std::vector<sim::SimTime> times;
+  sim::SimTime t = 30.0;
+  for (int wave = 0; wave < 5; ++wave) {
+    // Burst: ~40 updates a few seconds apart.
+    for (int i = 0; i < 40; ++i) {
+      t += rng.uniform(1.0, 6.0);
+      times.push_back(t);
+    }
+    // Decay: another ~10 updates with widening gaps.
+    double gap = 10.0;
+    for (int i = 0; i < 10; ++i) {
+      t += rng.uniform(gap, gap * 2);
+      gap *= 1.5;
+      times.push_back(t);
+    }
+    // Quiet browsing until the next wave.
+    t += rng.uniform(400.0, 700.0);
+  }
+  return trace::UpdateTrace(std::move(times));
+}
+
+}  // namespace
+
+int main() {
+  using namespace cdnsim;
+
+  core::ScenarioConfig scenario_cfg;
+  scenario_cfg.server_count = 120;
+  const auto scenario = core::build_scenario(scenario_cfg);
+
+  util::Rng rng(77);
+  const auto sale = flash_sale_trace(rng);
+  std::cout << "Flash sale: " << sale.update_count()
+            << " inventory updates over " << sale.duration() / 60.0
+            << " minutes\n\n";
+
+  // Ask the advisor what the paper's evaluation recommends for this profile.
+  core::WorkloadProfile profile;
+  profile.updates_per_minute = 60.0 * static_cast<double>(sale.update_count()) /
+                               sale.duration();
+  profile.visits_per_server_per_minute = 30.0;  // shoppers refresh constantly
+  profile.tolerable_staleness_s = 2.0;          // overselling is expensive
+  profile.server_count = scenario_cfg.server_count;
+  profile.bursty_updates = true;
+  const auto rec = core::recommend(profile);
+  std::cout << "advisor recommends: " << to_string(rec.method) << " over "
+            << to_string(rec.infrastructure) << "\n  why: " << rec.rationale
+            << "\n\n";
+
+  // Compare the recommendation against the CDN-default TTL configuration
+  // and the paper's HAT.
+  struct Candidate {
+    std::string name;
+    consistency::UpdateMethod method;
+    consistency::InfrastructureKind infra;
+  };
+  const std::vector<Candidate> candidates = {
+      {"recommended", rec.method, rec.infrastructure},
+      {"TTL-60 (CDN default)", consistency::UpdateMethod::kTtl,
+       consistency::InfrastructureKind::kUnicast},
+      {"HAT", consistency::UpdateMethod::kSelfAdaptive,
+       consistency::InfrastructureKind::kHybridSupernode},
+  };
+
+  util::TextTable table({"configuration", "p99_wait_to_fresh_s", "avg_staleness_s",
+                         "messages", "traffic_km_kb"});
+  for (const auto& c : candidates) {
+    consistency::EngineConfig ec;
+    ec.method.method = c.method;
+    ec.method.server_ttl_s = 60.0;
+    ec.infrastructure.kind = c.infra;
+    ec.infrastructure.cluster_count = 15;
+    ec.users_per_server = 5;
+    ec.user_poll_period_s = 5.0;  // shoppers hammer refresh
+    const auto r = core::run_simulation(*scenario.nodes, sale, ec);
+    // p99 across servers of average staleness: the tail a merchant cares about.
+    auto sorted = r.server_inconsistency_s;
+    std::sort(sorted.begin(), sorted.end());
+    const double p99 = sorted[sorted.size() * 99 / 100];
+    table.add_row(std::vector<std::string>{
+        c.name, util::format_double(p99, 2),
+        util::format_double(r.avg_server_inconsistency_s, 2),
+        std::to_string(r.traffic.total_messages()),
+        util::format_double(r.traffic.cost_km_kb, 0)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe strict-freshness pick keeps inventory staleness in the\n"
+               "sub-second range during bursts; TTL-60 would show shoppers\n"
+               "inventory up to a minute old mid-sale.\n";
+  return 0;
+}

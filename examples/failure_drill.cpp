@@ -1,0 +1,119 @@
+// Failure drill: an operations-style what-if session using the extension
+// features — infrastructure churn with repair, supernode failover, and a
+// multi-content portfolio sharing the origin uplink.
+//
+// Scenario: match night. The CDN serves the scoreboard (strict freshness,
+// Push) and a heavy media-manifest content through one origin uplink, while
+// servers crash and recover throughout the evening. Questions an operator
+// asks, answered by simulation:
+//   1. Does the supernode overlay keep the scoreboard fresh when the heavy
+//      content would otherwise congest the origin?
+//   2. What does server churn cost each infrastructure, and does supernode
+//      failover hold up?
+#include <iostream>
+
+#include "core/portfolio.hpp"
+#include "core/scenario.hpp"
+#include "core/simulation.hpp"
+#include "trace/game_generator.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cdnsim;
+
+trace::UpdateTrace every(double gap, int count, double offset = 0.0) {
+  std::vector<sim::SimTime> times;
+  for (int i = 1; i <= count; ++i) times.push_back(i * gap + offset);
+  return trace::UpdateTrace(times);
+}
+
+}  // namespace
+
+int main() {
+  using namespace cdnsim;
+  using consistency::InfrastructureKind;
+  using consistency::UpdateMethod;
+
+  core::ScenarioConfig sc;
+  sc.server_count = 120;
+  const auto scenario = core::build_scenario(sc);
+
+  std::cout << "=== Part 1: who gets the origin uplink? ===\n";
+  core::ContentSpec scoreboard;
+  scoreboard.name = "scoreboard";
+  scoreboard.updates = every(20.0, 60);
+  scoreboard.engine.method.method = UpdateMethod::kPush;
+  scoreboard.engine.users_per_server = 1;
+
+  core::ContentSpec media;
+  media.name = "media-manifest";
+  media.updates = every(30.0, 40, 3.0);
+  media.engine.method.method = UpdateMethod::kPush;
+  media.engine.update_packet_kb = 400.0;
+  media.engine.users_per_server = 1;
+
+  util::TextTable part1({"media infrastructure", "scoreboard_staleness_s"});
+  for (auto infra : {InfrastructureKind::kUnicast,
+                     InfrastructureKind::kHybridSupernode}) {
+    media.engine.infrastructure.kind = infra;
+    media.engine.infrastructure.cluster_count = 15;
+    const auto r =
+        core::run_portfolio(*scenario.nodes, {scoreboard, media}, 2500.0);
+    part1.add_row(std::vector<std::string>{
+        std::string(to_string(infra)),
+        util::format_double(r.contents[0].result.avg_server_inconsistency_s, 3)});
+  }
+  part1.print(std::cout);
+  std::cout << "-> route heavy contents through the supernode overlay; the\n"
+               "   scoreboard keeps its sub-100ms freshness.\n\n";
+
+  std::cout << "=== Part 2: match night with server crashes ===\n";
+  util::Rng rng(42);
+  const auto game = trace::generate_game_trace(trace::GameTraceConfig{}, rng);
+  util::TextTable part2({"system", "avg_staleness_s", "failures",
+                         "maintenance_msgs"});
+  struct Sys {
+    const char* name;
+    UpdateMethod m;
+    InfrastructureKind i;
+    bool repair;
+  };
+  for (const Sys& sys : {Sys{"TTL unicast", UpdateMethod::kTtl,
+                             InfrastructureKind::kUnicast, true},
+                         Sys{"Push multicast, no repair", UpdateMethod::kPush,
+                             InfrastructureKind::kMulticastTree, false},
+                         Sys{"Push multicast, repair", UpdateMethod::kPush,
+                             InfrastructureKind::kMulticastTree, true},
+                         Sys{"HAT (supernode failover)",
+                             UpdateMethod::kSelfAdaptive,
+                             InfrastructureKind::kHybridSupernode, true}}) {
+    consistency::EngineConfig ec;
+    ec.method.method = sys.m;
+    ec.method.server_ttl_s = 60.0;
+    ec.infrastructure.kind = sys.i;
+    ec.infrastructure.cluster_count = 15;
+    ec.churn.failures_per_hour = 120.0;  // a rough evening
+    ec.churn.downtime_mean_s = 120.0;
+    ec.churn.repair_enabled = sys.repair;
+    ec.users_per_server = 2;
+    ec.tail_s = 400.0;
+
+    sim::Simulator simulator;
+    consistency::UpdateEngine engine(simulator, *scenario.nodes, game, ec);
+    engine.run();
+    double staleness = 0;
+    for (double v : engine.server_avg_inconsistency()) staleness += v;
+    staleness /= static_cast<double>(scenario.nodes->server_count());
+    part2.add_row(std::vector<std::string>{
+        sys.name, util::format_double(staleness, 2),
+        std::to_string(engine.failures_injected()),
+        std::to_string(engine.meter().totals().light_messages)});
+  }
+  part2.print(std::cout);
+  std::cout << "-> without repair a multicast tree starves whole subtrees;\n"
+               "   with the Section 5.2 repair rule (and supernode failover\n"
+               "   for HAT) churn costs little beyond each node's own "
+               "downtime.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Measurement study walk-through: the Section 3 pipeline on a synthetic
+// CDN, narrated. Runs a multi-day crawl simulation, then reproduces the
+// paper's chain of deductions:
+//   1. servers show substantial staleness (Fig. 3);
+//   2. the staleness distribution is uniform-ish on [0, TTL], and recursive
+//      refinement infers the CDN's TTL (Fig. 6);
+//   3. the provider itself is nearly consistent (Fig. 7), distance barely
+//      matters (Fig. 8), absences hurt (Fig. 10);
+//   4. rank churn and the TTL bound rule out a multicast tree (Figs. 11-12);
+//   conclusion: the CDN polls the provider directly with TTL over unicast.
+#include <iostream>
+
+#include "analysis/ttl_inference.hpp"
+#include "core/measurement_study.hpp"
+#include "util/cdf.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdnsim;
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+
+  core::MeasurementConfig cfg;
+  cfg.scenario.server_count = quick ? 150 : 350;
+  cfg.days = quick ? 2 : 6;
+  std::cout << "Crawling " << cfg.scenario.server_count << " content servers for "
+            << cfg.days << " game days (TTL-60 CDN, observers every "
+            << cfg.observer_period_s << " s)...\n";
+  const auto r = core::run_measurement_study(cfg);
+
+  std::cout << "\n[1] Staleness exists: " << r.total_requests
+            << " per-snapshot measurements, average "
+            << r.overall_avg_request_inconsistency << " s.\n";
+
+  const double inferred = analysis::infer_ttl(r.inner_cluster_inconsistency);
+  std::cout << "\n[2] The distribution is uniform-ish on [0, TTL]; recursive\n"
+            << "    refinement infers TTL = " << inferred
+            << " s (ground truth: " << cfg.server_ttl_s << " s).\n";
+
+  util::Cdf provider_cdf(r.provider_request_inconsistency);
+  std::cout << "\n[3] The provider answers with "
+            << 100.0 * provider_cdf.fraction_at_or_below(10.0)
+            << "% of requests under 10 s stale - the origin is not the "
+               "problem.\n";
+
+  std::vector<double> dist, ratio;
+  for (const auto& ring : r.distance_consistency) {
+    if (ring.servers < 3) continue;
+    dist.push_back(ring.distance_km);
+    ratio.push_back(ring.avg_consistency_ratio);
+  }
+  std::cout << "    Distance-to-provider vs consistency correlation: r = "
+            << util::pearson(dist, ratio) << " - geography is not it either.\n";
+  std::cout << "    " << r.absence_events.size()
+            << " server absences found; they add staleness after returns.\n";
+
+  const double instability = analysis::rank_instability(r.daily_server_avg);
+  const double below_ttl =
+      analysis::fraction_below_ttl(r.daily_server_max.front(), cfg.server_ttl_s);
+  std::cout << "\n[4] Tree tests: per-server rank instability " << instability
+            << " (a static tree would be ~0);\n    " << 100.0 * below_ttl
+            << "% of servers' max staleness is below one TTL (a tree's lower\n"
+               "    layers would exceed it).\n";
+
+  std::cout << "\nConclusion: the CDN's servers poll the provider directly -\n"
+            << "unicast + TTL(" << inferred << " s), exactly the paper's "
+            << "Section 3.6 finding.\n";
+  return 0;
+}

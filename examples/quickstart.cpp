@@ -1,0 +1,51 @@
+// Quickstart: build a small CDN, run one live-game trace through two update
+// methods, and compare consistency and traffic.
+//
+//   $ ./quickstart
+//
+// This is the 30-line tour of the public API:
+//   core::build_scenario  — place servers on world sites, assign ISPs
+//   trace::generate_game_trace — synthesize a bursty live-content trace
+//   core::run_simulation  — run one (method, infrastructure) configuration
+#include <iostream>
+
+#include "core/scenario.hpp"
+#include "core/simulation.hpp"
+#include "trace/game_generator.hpp"
+
+int main() {
+  using namespace cdnsim;
+
+  // A 50-server CDN with the provider in Atlanta.
+  core::ScenarioConfig scenario_cfg;
+  scenario_cfg.server_count = 50;
+  const auto scenario = core::build_scenario(scenario_cfg);
+
+  // One live game: ~306 content updates over 2 h 26 m.
+  util::Rng rng(2024);
+  const auto game = trace::generate_game_trace(trace::GameTraceConfig{}, rng);
+  std::cout << "game trace: " << game.update_count() << " updates over "
+            << game.duration() / 60.0 << " minutes\n\n";
+
+  for (const auto method :
+       {consistency::UpdateMethod::kTtl, consistency::UpdateMethod::kPush}) {
+    consistency::EngineConfig engine_cfg;
+    engine_cfg.method.method = method;
+    engine_cfg.method.server_ttl_s = 60.0;
+
+    const auto result = core::run_simulation(*scenario.nodes, game, engine_cfg);
+    std::cout << to_string(method) << ":\n"
+              << "  avg server staleness  " << result.avg_server_inconsistency_s
+              << " s\n"
+              << "  avg user staleness    " << result.avg_user_inconsistency_s
+              << " s\n"
+              << "  maintenance messages  " << result.traffic.total_messages()
+              << "\n"
+              << "  traffic cost          " << result.traffic.cost_km_kb
+              << " km*KB\n\n";
+  }
+  std::cout << "Push is fresher; TTL is ~30x cheaper on messages. Section 5 of\n"
+               "the paper (and examples/live_sports_game.cpp) shows how the\n"
+               "hybrid self-adaptive system HAT gets most of both.\n";
+  return 0;
+}

@@ -1,0 +1,160 @@
+#include "analysis/inconsistency.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace cdnsim::analysis {
+
+SnapshotTimeline::SnapshotTimeline(const trace::PollLog& log) {
+  for (const auto& obs : log.observations()) {
+    if (!obs.answered) continue;
+    const auto it = alpha_.find(obs.version);
+    if (it == alpha_.end() || obs.time < it->second) {
+      alpha_[obs.version] = obs.time;
+    }
+  }
+}
+
+SnapshotTimeline::SnapshotTimeline(const trace::UpdateTrace& updates,
+                                   sim::SimTime offset) {
+  alpha_[0] = 0;
+  for (trace::Version v = 1; v <= updates.update_count(); ++v) {
+    alpha_[v] = updates.update_time(v) + offset;
+  }
+}
+
+std::optional<sim::SimTime> SnapshotTimeline::first_appearance(
+    trace::Version v) const {
+  const auto it = alpha_.find(v);
+  if (it == alpha_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<sim::SimTime> SnapshotTimeline::superseded_at(trace::Version v) const {
+  // alpha_ is ordered by version; find the earliest appearance time among
+  // versions > v. Appearance times are not necessarily monotone in version
+  // (a laggard server can "reveal" an old snapshot late), so take the min.
+  auto it = alpha_.upper_bound(v);
+  if (it == alpha_.end()) return std::nullopt;
+  sim::SimTime best = it->second;
+  for (; it != alpha_.end(); ++it) best = std::min(best, it->second);
+  return best;
+}
+
+trace::Version SnapshotTimeline::max_version() const {
+  return alpha_.empty() ? 0 : alpha_.rbegin()->first;
+}
+
+std::vector<double> request_inconsistency_lengths(const trace::PollLog& log,
+                                                  const SnapshotTimeline& timeline) {
+  std::vector<double> out;
+  out.reserve(log.size());
+  for (const auto& obs : log.observations()) {
+    if (!obs.answered) continue;
+    const auto superseded = timeline.superseded_at(obs.version);
+    if (!superseded) {
+      out.push_back(0.0);
+      continue;
+    }
+    out.push_back(std::max(0.0, obs.time - *superseded));
+  }
+  return out;
+}
+
+std::vector<double> server_inconsistency_lengths(
+    const std::vector<trace::Observation>& server_observations,
+    const SnapshotTimeline& timeline) {
+  // beta_s(v): last time this server served version v.
+  std::map<trace::Version, sim::SimTime> beta;
+  for (const auto& obs : server_observations) {
+    if (!obs.answered) continue;
+    auto& t = beta[obs.version];
+    t = std::max(t, obs.time);
+  }
+  std::vector<double> out;
+  out.reserve(beta.size());
+  for (const auto& [v, last_seen] : beta) {
+    const auto superseded = timeline.superseded_at(v);
+    if (!superseded) continue;
+    const double len = last_seen - *superseded;
+    if (len > 0) out.push_back(len);
+  }
+  return out;
+}
+
+double consistency_ratio(const std::vector<trace::Observation>& server_observations,
+                         const SnapshotTimeline& timeline, sim::SimTime total_time) {
+  CDNSIM_EXPECTS(total_time > 0, "total trace time must be positive");
+  const auto lengths = server_inconsistency_lengths(server_observations, timeline);
+  double sum = 0;
+  for (double x : lengths) sum += x;
+  return 1.0 - std::min(1.0, sum / total_time);
+}
+
+double inconsistent_server_fraction(const trace::PollLog& log,
+                                    const SnapshotTimeline& timeline, sim::SimTime t,
+                                    sim::SimTime poll_window) {
+  // A server's state at time t is its last observation in (t - window, t].
+  std::unordered_map<net::NodeId, const trace::Observation*> latest;
+  for (const auto& obs : log.observations()) {
+    if (!obs.answered || obs.time > t || obs.time <= t - poll_window) continue;
+    auto& slot = latest[obs.server];
+    if (slot == nullptr || obs.time > slot->time) slot = &obs;
+  }
+  if (latest.empty()) return 0.0;
+  std::size_t stale = 0;
+  for (const auto& [server, obs] : latest) {
+    const auto superseded = timeline.superseded_at(obs->version);
+    if (superseded && *superseded <= t) ++stale;
+  }
+  return static_cast<double>(stale) / static_cast<double>(latest.size());
+}
+
+double average_inconsistent_server_fraction(const trace::PollLog& log,
+                                            const SnapshotTimeline& timeline,
+                                            sim::SimTime start, sim::SimTime end,
+                                            sim::SimTime round_s) {
+  CDNSIM_EXPECTS(round_s > 0 && end > start, "invalid averaging window");
+  double sum = 0;
+  std::size_t rounds = 0;
+  for (sim::SimTime t = start + round_s; t <= end; t += round_s) {
+    sum += inconsistent_server_fraction(log, timeline, t, round_s);
+    ++rounds;
+  }
+  return rounds == 0 ? 0.0 : sum / static_cast<double>(rounds);
+}
+
+std::vector<AbsenceEvent> extract_absences(const trace::PollLog& log,
+                                           const SnapshotTimeline& timeline,
+                                           sim::SimTime poll_period) {
+  CDNSIM_EXPECTS(poll_period > 0, "poll period must be positive");
+  std::vector<AbsenceEvent> out;
+  for (net::NodeId server : log.servers()) {
+    const auto observations = log.for_server(server);
+    const trace::Observation* prev_answered = nullptr;
+    for (const auto& obs : observations) {
+      if (!obs.answered) continue;
+      if (prev_answered != nullptr) {
+        const double gap = obs.time - prev_answered->time - poll_period;
+        // Tolerate scheduling jitter of half a period before calling it an
+        // absence (the paper computes t_{i+1} - t_i - 10 s).
+        if (gap > poll_period / 2) {
+          AbsenceEvent ev;
+          ev.server = server;
+          ev.return_time = obs.time;
+          ev.absence_length = gap;
+          const auto superseded = timeline.superseded_at(obs.version);
+          ev.inconsistency_after_return =
+              superseded ? std::max(0.0, obs.time - *superseded) : -1.0;
+          out.push_back(ev);
+        }
+      }
+      prev_answered = &obs;
+    }
+  }
+  return out;
+}
+
+}  // namespace cdnsim::analysis

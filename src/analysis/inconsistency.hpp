@@ -1,0 +1,88 @@
+// Section 3.1's inconsistency-length algebra.
+//
+// The paper's crawler cannot see origin update times; it infers them from
+// the polls themselves: alpha(Ci) is the first time snapshot Ci appears
+// anywhere in the trace ("since we poll a very large number of servers, the
+// first time an update is observed should be close to the time of this
+// update"); beta_s(Ci) is the last time server s served Ci. The
+// inconsistency length of Ci on s is beta_s(Ci) - alpha(C_{i+1}) (how long s
+// kept serving Ci after its successor existed), and a single request that
+// observes Ci at time t is outdated by t - alpha(C_{i+1}) when positive.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "trace/poll_log.hpp"
+#include "trace/update_trace.hpp"
+
+namespace cdnsim::analysis {
+
+/// First-appearance times alpha(Ci) inferred from a poll log.
+class SnapshotTimeline {
+ public:
+  explicit SnapshotTimeline(const trace::PollLog& log);
+
+  /// Construct from ground truth instead of inference (for validation).
+  SnapshotTimeline(const trace::UpdateTrace& updates, sim::SimTime offset);
+
+  /// alpha of version v; nullopt when v never appeared.
+  std::optional<sim::SimTime> first_appearance(trace::Version v) const;
+
+  /// alpha of the earliest version strictly greater than v (the moment
+  /// content v became outdated); nullopt if v is never superseded.
+  std::optional<sim::SimTime> superseded_at(trace::Version v) const;
+
+  trace::Version max_version() const;
+
+ private:
+  std::map<trace::Version, sim::SimTime> alpha_;
+};
+
+/// Per-request inconsistency lengths: for every answered observation, how
+/// long its content had been outdated at observation time (>= 0). Requests
+/// serving content that was still current contribute 0. (Fig. 3 / Fig. 5 /
+/// Fig. 7 CDFs.)
+std::vector<double> request_inconsistency_lengths(const trace::PollLog& log,
+                                                  const SnapshotTimeline& timeline);
+
+/// Per-snapshot inconsistency lengths of one server:
+/// beta_s(Ci) - alpha(C_{i+1}) for every snapshot the server served past its
+/// supersession.
+std::vector<double> server_inconsistency_lengths(
+    const std::vector<trace::Observation>& server_observations,
+    const SnapshotTimeline& timeline);
+
+/// Section 3.4.3's consistency ratio:
+/// 1 - sum(inconsistency lengths) / total trace time.
+double consistency_ratio(const std::vector<trace::Observation>& server_observations,
+                         const SnapshotTimeline& timeline, sim::SimTime total_time);
+
+/// Fraction of servers serving outdated content at time t (Fig. 4b is its
+/// average over all polling rounds of a day).
+double inconsistent_server_fraction(const trace::PollLog& log,
+                                    const SnapshotTimeline& timeline, sim::SimTime t,
+                                    sim::SimTime poll_window);
+
+/// Average of inconsistent_server_fraction over rounds [start, end) stepped
+/// by `round_s`.
+double average_inconsistent_server_fraction(const trace::PollLog& log,
+                                            const SnapshotTimeline& timeline,
+                                            sim::SimTime start, sim::SimTime end,
+                                            sim::SimTime round_s);
+
+/// Server absences extracted from a poll log (gap between consecutive
+/// answered polls minus the poll period), paired with the inconsistency of
+/// the first content served after return. (Fig. 10b/10c.)
+struct AbsenceEvent {
+  net::NodeId server;
+  sim::SimTime return_time;
+  double absence_length;
+  double inconsistency_after_return;  // -1 when not computable
+};
+std::vector<AbsenceEvent> extract_absences(const trace::PollLog& log,
+                                           const SnapshotTimeline& timeline,
+                                           sim::SimTime poll_period);
+
+}  // namespace cdnsim::analysis

@@ -1,0 +1,60 @@
+#include "analysis/timesync.hpp"
+
+#include "util/error.hpp"
+
+namespace cdnsim::analysis {
+
+OffsetMap estimate_offsets(const std::vector<net::NodeId>& servers,
+                           const std::unordered_map<net::NodeId, double>& true_offsets,
+                           const std::unordered_map<net::NodeId, double>& rtts,
+                           const ProbeConfig& config, util::Rng& rng) {
+  CDNSIM_EXPECTS(config.probes_per_server >= 1, "need at least one probe");
+  CDNSIM_EXPECTS(config.asymmetry >= 0 && config.asymmetry < 1,
+                 "asymmetry must be in [0,1)");
+  OffsetMap out;
+  for (net::NodeId s : servers) {
+    const auto off_it = true_offsets.find(s);
+    const auto rtt_it = rtts.find(s);
+    CDNSIM_EXPECTS(off_it != true_offsets.end() && rtt_it != rtts.end(),
+                   "missing offset/rtt for server");
+    const double rtt = rtt_it->second;
+    CDNSIM_EXPECTS(rtt >= 0, "rtt must be non-negative");
+    double sum = 0;
+    for (std::size_t i = 0; i < config.probes_per_server; ++i) {
+      // The server's stamp is taken when the query arrives: at reference
+      // time t0 + forward_delay, the server clock reads
+      // t0 + forward_delay + true_offset. The estimator assumes
+      // forward_delay == RTT/2, so its error is the asymmetry term.
+      const double forward = (rtt / 2.0) * (1.0 + rng.uniform(-config.asymmetry,
+                                                              config.asymmetry));
+      const double estimated = off_it->second + forward - rtt / 2.0;
+      sum += estimated;
+    }
+    out[s] = sum / static_cast<double>(config.probes_per_server);
+  }
+  return out;
+}
+
+trace::PollLog correct_clock_skew(const trace::PollLog& log, const OffsetMap& offsets) {
+  trace::PollLog out;
+  out.reserve(log.size());
+  for (auto obs : log.observations()) {
+    const auto it = offsets.find(obs.server);
+    if (it != offsets.end()) obs.time -= it->second;
+    out.add(obs);
+  }
+  return out;
+}
+
+trace::PollLog inject_clock_skew(const trace::PollLog& log, const OffsetMap& offsets) {
+  trace::PollLog out;
+  out.reserve(log.size());
+  for (auto obs : log.observations()) {
+    const auto it = offsets.find(obs.server);
+    if (it != offsets.end()) obs.time += it->second;
+    out.add(obs);
+  }
+  return out;
+}
+
+}  // namespace cdnsim::analysis

@@ -1,0 +1,47 @@
+// Clock-skew removal (the measurement methodology of Section 3.1).
+//
+// Content servers stamp snapshots with their own GMT clocks, which are not
+// synchronised. The paper removes the skew by probing every server from one
+// reference node: epsilon(s) = t_server - t_reference - RTT/2, then
+// subtracting epsilon(s) from every timestamp of server s. We model the
+// probe (whose only error source is asymmetric path delay within the RTT)
+// and the correction, so the measurement pipeline can be validated end to
+// end against injected skews.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "trace/poll_log.hpp"
+#include "util/rng.hpp"
+
+namespace cdnsim::analysis {
+
+struct ProbeConfig {
+  /// Number of probe RTT measurements averaged per server.
+  std::size_t probes_per_server = 4;
+  /// One-way delay asymmetry: actual forward delay is RTT/2 * (1 + e),
+  /// e uniform in [-asymmetry, +asymmetry]. This is the probe's error term.
+  double asymmetry = 0.2;
+};
+
+/// Estimated clock offsets per server.
+using OffsetMap = std::unordered_map<net::NodeId, double>;
+
+/// Simulates the reference-node probe: for each (server, true_offset,
+/// true_rtt) tuple, returns the estimated offset epsilon.
+OffsetMap estimate_offsets(const std::vector<net::NodeId>& servers,
+                           const std::unordered_map<net::NodeId, double>& true_offsets,
+                           const std::unordered_map<net::NodeId, double>& rtts,
+                           const ProbeConfig& config, util::Rng& rng);
+
+/// Applies the correction: subtracts the server's estimated offset from
+/// every observation timestamp.
+trace::PollLog correct_clock_skew(const trace::PollLog& log,
+                                  const OffsetMap& offsets);
+
+/// Adds per-server offsets to a log (test/injection helper — the inverse of
+/// correct_clock_skew with exact offsets).
+trace::PollLog inject_clock_skew(const trace::PollLog& log, const OffsetMap& offsets);
+
+}  // namespace cdnsim::analysis

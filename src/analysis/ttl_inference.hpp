@@ -1,0 +1,42 @@
+// TTL inference by recursive refinement (Section 3.4.1, Figs. 5-6).
+//
+// Under TTL polling with uniformly random phase, inner-cluster inconsistency
+// lengths are uniform on [0, TTL], so E[I] = TTL/2. Other causes add a heavy
+// tail, so the paper refines recursively: start from TTL' = 2 E[I] over all
+// lengths, re-estimate the mean over lengths <= TTL', and repeat; the
+// candidate with the smallest deviation |2 E'' - TTL'| / TTL' is the TTL the
+// CDN uses. Fig. 6(b) then validates the winner by RMSE between the
+// truncated empirical CDF and the uniform-theory CDF.
+#pragma once
+
+#include <vector>
+
+#include "util/cdf.hpp"
+
+namespace cdnsim::analysis {
+
+struct TtlCandidate {
+  double ttl;
+  double deviation;  // |2*E[I | I <= ttl] - ttl| / ttl
+};
+
+/// Deviation of one candidate TTL against the sample.
+double ttl_deviation(const std::vector<double>& inconsistency_lengths, double ttl);
+
+/// Deviation curve over a sweep of candidate TTLs (Fig. 6a's x-axis).
+std::vector<TtlCandidate> ttl_deviation_curve(
+    const std::vector<double>& inconsistency_lengths,
+    const std::vector<double>& candidate_ttls);
+
+/// The paper's recursive refinement from TTL' = 2 E[I]; returns the fixed
+/// point (iterates until the deviation stops improving or `max_iters`).
+double infer_ttl(const std::vector<double>& inconsistency_lengths,
+                 int max_iters = 32);
+
+/// RMSE between the empirical CDF of lengths <= ttl and the uniform-[0,ttl]
+/// theoretical CDF, evaluated at `points` evenly spaced x positions
+/// (Fig. 6b's trace-vs-theory comparison).
+double uniform_theory_rmse(const std::vector<double>& inconsistency_lengths,
+                           double ttl, std::size_t points = 60);
+
+}  // namespace cdnsim::analysis

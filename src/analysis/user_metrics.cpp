@@ -1,0 +1,87 @@
+#include "analysis/user_metrics.hpp"
+
+#include <algorithm>
+
+namespace cdnsim::analysis {
+
+double redirection_fraction(const cdn::UserLog& log) {
+  std::size_t redirected = 0;
+  std::size_t total = 0;
+  bool first = true;
+  for (const auto& obs : log.observations()) {
+    if (first) {
+      first = false;  // first visit cannot be a redirect
+      continue;
+    }
+    ++total;
+    if (obs.redirected) ++redirected;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(redirected) / static_cast<double>(total);
+}
+
+std::vector<double> redirection_fractions(const cdn::UserPopulationLog& logs) {
+  std::vector<double> out;
+  out.reserve(logs.user_count());
+  for (std::size_t u = 0; u < logs.user_count(); ++u) {
+    const auto& log = logs.log(static_cast<cdn::UserId>(u));
+    if (log.size() < 2) continue;
+    out.push_back(redirection_fraction(log));
+  }
+  return out;
+}
+
+ContinuousTimes continuous_times(const cdn::UserLog& log,
+                                 const SnapshotTimeline& timeline) {
+  ContinuousTimes out;
+  bool in_run = false;
+  bool run_is_consistent = true;
+  sim::SimTime run_start = 0;
+  for (const auto& obs : log.observations()) {
+    if (!obs.answered) continue;
+    const auto superseded = timeline.superseded_at(obs.version);
+    const bool consistent = !superseded || obs.serve_time < *superseded;
+    if (!in_run) {
+      in_run = true;
+      run_is_consistent = consistent;
+      run_start = obs.serve_time;
+      continue;
+    }
+    if (consistent != run_is_consistent) {
+      const double duration = obs.serve_time - run_start;
+      (run_is_consistent ? out.consistency : out.inconsistency).push_back(duration);
+      run_is_consistent = consistent;
+      run_start = obs.serve_time;
+    }
+  }
+  return out;  // the final open run is dropped
+}
+
+ContinuousTimes pooled_continuous_times(const cdn::UserPopulationLog& logs,
+                                        const SnapshotTimeline& timeline) {
+  ContinuousTimes out;
+  for (std::size_t u = 0; u < logs.user_count(); ++u) {
+    auto times = continuous_times(logs.log(static_cast<cdn::UserId>(u)), timeline);
+    out.consistency.insert(out.consistency.end(), times.consistency.begin(),
+                           times.consistency.end());
+    out.inconsistency.insert(out.inconsistency.end(), times.inconsistency.begin(),
+                             times.inconsistency.end());
+  }
+  return out;
+}
+
+double self_inconsistency_fraction(const cdn::UserPopulationLog& logs) {
+  std::uint64_t total = 0;
+  std::uint64_t stale = 0;
+  for (std::size_t u = 0; u < logs.user_count(); ++u) {
+    trace::Version max_seen = 0;
+    for (const auto& obs : logs.log(static_cast<cdn::UserId>(u)).observations()) {
+      if (!obs.answered) continue;
+      ++total;
+      if (obs.version < max_seen) ++stale;
+      max_seen = std::max(max_seen, obs.version);
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(stale) / static_cast<double>(total);
+}
+
+}  // namespace cdnsim::analysis

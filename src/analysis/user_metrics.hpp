@@ -1,0 +1,47 @@
+// User-perspective consistency metrics (Sections 3.3 and 5.3).
+//
+// All metrics are derived from UserLog observation streams:
+//  * redirection fraction — share of visits served by a different server
+//    than the previous visit (Fig. 4a);
+//  * continuous consistency / inconsistency times — durations of maximal
+//    runs of consistent / inconsistent observations (Figs. 4c/4d/4e), where
+//    an observation is "inconsistent" when its content had already been
+//    superseded at observation time;
+//  * self-inconsistency fraction — observations showing content older than
+//    something the same user already saw (Fig. 24).
+#pragma once
+
+#include <vector>
+
+#include "analysis/inconsistency.hpp"
+#include "cdn/user_log.hpp"
+
+namespace cdnsim::analysis {
+
+/// Fraction of a user's visits that were redirected to a different server.
+double redirection_fraction(const cdn::UserLog& log);
+
+/// Redirection fractions of a whole population (one value per user with at
+/// least two visits).
+std::vector<double> redirection_fractions(const cdn::UserPopulationLog& logs);
+
+struct ContinuousTimes {
+  std::vector<double> consistency;    // durations of consistent runs
+  std::vector<double> inconsistency;  // durations of inconsistent runs
+};
+
+/// Splits one user's observation stream into maximal consistent /
+/// inconsistent runs and returns the run durations. Runs still open at the
+/// last observation are dropped (their length is unknown).
+ContinuousTimes continuous_times(const cdn::UserLog& log,
+                                 const SnapshotTimeline& timeline);
+
+/// Pools continuous times over a population.
+ContinuousTimes pooled_continuous_times(const cdn::UserPopulationLog& logs,
+                                        const SnapshotTimeline& timeline);
+
+/// Fraction of observations where the user saw content older than content
+/// (s)he had already seen (the paper's "% of inconsistency observations").
+double self_inconsistency_fraction(const cdn::UserPopulationLog& logs);
+
+}  // namespace cdnsim::analysis

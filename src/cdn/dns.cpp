@@ -1,0 +1,68 @@
+#include "cdn/dns.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace cdnsim::cdn {
+
+DnsSystem::DnsSystem(const topology::NodeRegistry& nodes, DnsConfig config,
+                     util::Rng rng)
+    : nodes_(&nodes), config_(config), rng_(rng) {
+  CDNSIM_EXPECTS(config_.cache_expiry_mean_s > 0, "cache expiry must be positive");
+  CDNSIM_EXPECTS(config_.cache_expiry_jitter_s >= 0, "expiry jitter must be >= 0");
+  CDNSIM_EXPECTS(config_.candidate_count >= 1, "need at least one candidate server");
+  CDNSIM_EXPECTS(nodes.server_count() >= 1, "need at least one server");
+}
+
+UserId DnsSystem::register_user(const net::GeoPoint& location) {
+  // Candidate set: the `candidate_count` servers nearest to the user.
+  std::vector<topology::NodeId> ids = nodes_->server_ids();
+  const std::size_t k = std::min(config_.candidate_count, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(k),
+                    ids.end(), [&](topology::NodeId a, topology::NodeId b) {
+                      return net::haversine_km(nodes_->location(a), location) <
+                             net::haversine_km(nodes_->location(b), location);
+                    });
+  ids.resize(k);
+  UserState state;
+  state.candidates = std::move(ids);
+  users_.push_back(std::move(state));
+  return static_cast<UserId>(users_.size() - 1);
+}
+
+sim::SimTime DnsSystem::draw_expiry() {
+  return config_.cache_expiry_mean_s +
+         rng_.uniform(-config_.cache_expiry_jitter_s, config_.cache_expiry_jitter_s);
+}
+
+DnsSystem::Resolution DnsSystem::resolve(UserId u, sim::SimTime t) {
+  CDNSIM_EXPECTS(u >= 0 && static_cast<std::size_t>(u) < users_.size(),
+                 "unknown user id");
+  UserState& state = users_[static_cast<std::size_t>(u)];
+  Resolution res{};
+  if (state.cache_expires >= t && state.cached_server != topology::kProviderNode) {
+    res.server = state.cached_server;
+    res.redirected = false;
+    res.reassigned = false;
+    return res;
+  }
+  // Cache expired: the authoritative DNS load-balances among candidates.
+  const topology::NodeId previous = state.cached_server;
+  const topology::NodeId chosen =
+      state.candidates[rng_.index(state.candidates.size())];
+  state.cached_server = chosen;
+  state.cache_expires = t + draw_expiry();
+  res.server = chosen;
+  res.reassigned = true;
+  res.redirected = previous != topology::kProviderNode && chosen != previous;
+  return res;
+}
+
+const std::vector<topology::NodeId>& DnsSystem::candidates(UserId u) const {
+  CDNSIM_EXPECTS(u >= 0 && static_cast<std::size_t>(u) < users_.size(),
+                 "unknown user id");
+  return users_[static_cast<std::size_t>(u)].candidates;
+}
+
+}  // namespace cdnsim::cdn

@@ -1,0 +1,69 @@
+// DNS-based server assignment.
+//
+// Reproduces the redirection mechanism of Figure 1 / Section 3.3: an
+// end-user's local DNS caches the content server's IP for a short period;
+// when the cached entry expires, the CDN's authoritative DNS reassigns a
+// server near the user with load balancing (uniform among the user's
+// candidate set). The fraction of visits redirected to a *different* server
+// — 13-17% in the paper — emerges from expiry period vs poll period and
+// candidate-set size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/geo.hpp"
+#include "sim/time.hpp"
+#include "topology/node.hpp"
+#include "util/rng.hpp"
+
+namespace cdnsim::cdn {
+
+using UserId = std::int32_t;
+
+struct DnsConfig {
+  /// Local-DNS cache lifetime of a resolved server IP.
+  sim::SimTime cache_expiry_mean_s = 60.0;
+  sim::SimTime cache_expiry_jitter_s = 20.0;
+  /// The authoritative DNS balances load across the user's nearest
+  /// `candidate_count` servers.
+  std::size_t candidate_count = 8;
+};
+
+class DnsSystem {
+ public:
+  DnsSystem(const topology::NodeRegistry& nodes, DnsConfig config, util::Rng rng);
+
+  /// Registers a user at a location; precomputes its candidate server set.
+  UserId register_user(const net::GeoPoint& location);
+
+  std::size_t user_count() const { return users_.size(); }
+
+  struct Resolution {
+    topology::NodeId server;
+    bool redirected;   // server differs from the previous resolution
+    bool reassigned;   // cache expired and the authoritative DNS was asked
+  };
+
+  /// Resolve the content server for user `u` at time `t`. Calls must be
+  /// monotone in time per user.
+  Resolution resolve(UserId u, sim::SimTime t);
+
+  const std::vector<topology::NodeId>& candidates(UserId u) const;
+
+ private:
+  struct UserState {
+    std::vector<topology::NodeId> candidates;
+    topology::NodeId cached_server = topology::kProviderNode;  // none yet
+    sim::SimTime cache_expires = -1;
+  };
+
+  sim::SimTime draw_expiry();
+
+  const topology::NodeRegistry* nodes_;
+  DnsConfig config_;
+  util::Rng rng_;
+  std::vector<UserState> users_;
+};
+
+}  // namespace cdnsim::cdn

@@ -1,0 +1,27 @@
+#include "cdn/provider.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace cdnsim::cdn {
+
+Provider::Provider(const trace::UpdateTrace& updates, ProviderConfig config,
+                   util::Rng rng)
+    : updates_(&updates), config_(config), rng_(rng) {
+  CDNSIM_EXPECTS(config_.staleness_mean_s >= 0, "staleness mean must be >= 0");
+  CDNSIM_EXPECTS(config_.staleness_cap_s >= 0, "staleness cap must be >= 0");
+}
+
+Version Provider::true_version_at(sim::SimTime t) const {
+  return updates_->version_at(t);
+}
+
+Version Provider::served_version_at(sim::SimTime t) {
+  if (config_.staleness_mean_s <= 0) return true_version_at(t);
+  const double lag =
+      std::min(rng_.exponential(config_.staleness_mean_s), config_.staleness_cap_s);
+  return updates_->version_at(std::max(0.0, t - lag));
+}
+
+}  // namespace cdnsim::cdn

@@ -1,0 +1,46 @@
+// Content-provider origin model.
+//
+// The provider is the source of truth for content versions, driven by an
+// UpdateTrace. Section 3.4.2 of the paper found the providers themselves
+// show a small inconsistency (average 3.43 s, 90% of requests under 10 s)
+// because multiple origin servers serve the same content: we model that as a
+// per-request staleness lag — a request at time t is answered with the
+// version that was current at t - lag, lag drawn from an exponential with
+// the configured mean, capped.
+#pragma once
+
+#include "trace/update_trace.hpp"
+#include "util/rng.hpp"
+
+namespace cdnsim::cdn {
+
+using trace::Version;
+
+struct ProviderConfig {
+  /// Mean origin staleness lag in seconds; 0 = perfectly consistent origin.
+  double staleness_mean_s = 0.0;
+  /// Cap on the lag (the paper observed origin inconsistency < ~60 s).
+  double staleness_cap_s = 30.0;
+};
+
+class Provider {
+ public:
+  Provider(const trace::UpdateTrace& updates, ProviderConfig config, util::Rng rng);
+
+  /// The true current version at time t.
+  Version true_version_at(sim::SimTime t) const;
+
+  /// The version an individual request observes at time t (includes origin
+  /// staleness when configured). Never less than 0, never more than true.
+  Version served_version_at(sim::SimTime t);
+
+  const trace::UpdateTrace& updates() const { return *updates_; }
+  const ProviderConfig& config() const { return config_; }
+
+ private:
+  const trace::UpdateTrace* updates_;
+  ProviderConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace cdnsim::cdn

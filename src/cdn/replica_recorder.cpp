@@ -1,0 +1,51 @@
+#include "cdn/replica_recorder.hpp"
+
+#include "util/error.hpp"
+
+namespace cdnsim::cdn {
+
+ReplicaRecorder::ReplicaRecorder(Version final_version)
+    : final_(final_version),
+      acquire_(static_cast<std::size_t>(final_version), -1.0) {
+  CDNSIM_EXPECTS(final_version >= 0, "final version must be non-negative");
+}
+
+void ReplicaRecorder::on_version(Version v, sim::SimTime t) {
+  CDNSIM_EXPECTS(v >= 0 && v <= final_, "version outside trace range");
+  if (v <= current_) return;  // stale delivery; replica keeps newer content
+  for (Version u = current_ + 1; u <= v; ++u) {
+    acquire_[static_cast<std::size_t>(u - 1)] = t;
+  }
+  current_ = v;
+}
+
+sim::SimTime ReplicaRecorder::acquire_time(Version v) const {
+  CDNSIM_EXPECTS(v >= 1 && v <= final_, "version outside trace range");
+  return acquire_[static_cast<std::size_t>(v - 1)];
+}
+
+bool ReplicaRecorder::acquired(Version v) const { return acquire_time(v) >= 0; }
+
+std::vector<double> ReplicaRecorder::inconsistency_lengths(
+    const trace::UpdateTrace& updates) const {
+  CDNSIM_EXPECTS(updates.update_count() == final_,
+                 "recorder built for a different trace");
+  std::vector<double> out;
+  out.reserve(acquire_.size());
+  for (Version v = 1; v <= final_; ++v) {
+    const sim::SimTime a = acquire_[static_cast<std::size_t>(v - 1)];
+    if (a < 0) continue;
+    out.push_back(a - updates.update_time(v));
+  }
+  return out;
+}
+
+double ReplicaRecorder::average_inconsistency(const trace::UpdateTrace& updates) const {
+  const auto lengths = inconsistency_lengths(updates);
+  if (lengths.empty()) return 0.0;
+  double s = 0;
+  for (double x : lengths) s += x;
+  return s / static_cast<double>(lengths.size());
+}
+
+}  // namespace cdnsim::cdn

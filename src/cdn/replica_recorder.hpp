@@ -1,0 +1,48 @@
+// Per-replica acquisition records and inconsistency computation.
+//
+// For every server the engine records when each content version was first
+// held. The server-side inconsistency of version v is acquire(v) -
+// update_time(v): how long the replica kept serving outdated content after
+// the origin changed (Section 4's "content inconsistency of servers").
+// Versions superseded before the replica ever fetched them are acquired
+// implicitly when a later version arrives.
+#pragma once
+
+#include <vector>
+
+#include "trace/update_trace.hpp"
+
+namespace cdnsim::cdn {
+
+using trace::Version;
+
+class ReplicaRecorder {
+ public:
+  /// `final_version` is the highest version the trace reaches.
+  explicit ReplicaRecorder(Version final_version);
+
+  /// Record that the replica's version jumped to `v` at time `t` (from its
+  /// previous version). All versions in (previous, v] are acquired at t.
+  void on_version(Version v, sim::SimTime t);
+
+  Version current_version() const { return current_; }
+
+  /// First time the replica held a version >= v; negative when never.
+  sim::SimTime acquire_time(Version v) const;
+
+  bool acquired(Version v) const;
+
+  /// Per-version inconsistency lengths acquire(v) - update_time(v) for all
+  /// versions the replica eventually acquired (v in [1, final]).
+  std::vector<double> inconsistency_lengths(const trace::UpdateTrace& updates) const;
+
+  /// Mean of inconsistency_lengths(); 0 when no updates.
+  double average_inconsistency(const trace::UpdateTrace& updates) const;
+
+ private:
+  Version final_;
+  Version current_ = 0;
+  std::vector<sim::SimTime> acquire_;  // index v-1, -1 = never
+};
+
+}  // namespace cdnsim::cdn

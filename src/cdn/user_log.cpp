@@ -1,0 +1,19 @@
+#include "cdn/user_log.hpp"
+
+#include "util/error.hpp"
+
+namespace cdnsim::cdn {
+
+UserLog& UserPopulationLog::log(UserId u) {
+  CDNSIM_EXPECTS(u >= 0 && static_cast<std::size_t>(u) < logs_.size(),
+                 "unknown user id");
+  return logs_[static_cast<std::size_t>(u)];
+}
+
+const UserLog& UserPopulationLog::log(UserId u) const {
+  CDNSIM_EXPECTS(u >= 0 && static_cast<std::size_t>(u) < logs_.size(),
+                 "unknown user id");
+  return logs_[static_cast<std::size_t>(u)];
+}
+
+}  // namespace cdnsim::cdn

@@ -1,0 +1,772 @@
+#include "consistency/engine.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace cdnsim::consistency {
+
+using topology::kProviderNode;
+using topology::NodeId;
+using trace::Version;
+
+// ---------------------------------------------------------------------------
+// Internal state types
+// ---------------------------------------------------------------------------
+
+struct UpdateEngine::UserState {
+  cdn::UserId id = 0;
+  net::GeoPoint location;
+  NodeId home_server = 0;
+  // Sentinel -2: no previous server (kProviderNode is -1).
+  NodeId last_server = -2;
+  Version max_seen = 0;
+  std::unique_ptr<sim::PeriodicTimer> visit_timer;
+};
+
+struct UpdateEngine::ServerState {
+  NodeId id = 0;
+  UpdateMethod method = UpdateMethod::kTtl;
+  Version version = 0;
+  cdn::ReplicaRecorder recorder;
+  net::Uplink uplink;
+
+  std::unique_ptr<sim::PeriodicTimer> poll_timer;
+
+  // Churn: a crashed server answers nothing and loses incoming messages.
+  bool departed = false;
+
+  // Invalidation / self-adaptive / rate-adaptive state.
+  bool sa_in_invalidation_mode = false;
+  Version invalid_known = 0;
+  // Rate-adaptive controller window counters.
+  std::uint64_t visits_in_window = 0;
+  Version version_at_window_start = 0;
+  std::unique_ptr<sim::PeriodicTimer> adapt_timer;
+  bool fetch_in_flight = false;
+  std::vector<NodeId> pending_child_fetches;
+  struct PendingServe {
+    UserState* user;
+    sim::SimTime request_time;
+    bool redirected;
+  };
+  std::vector<PendingServe> waiting_users;
+
+  // Adaptive-TTL: origin time of the newest content we hold.
+  sim::SimTime last_known_update_time = 0;
+
+  const trace::AbsenceSchedule* absence = nullptr;
+
+  ServerState(Version final_version, double uplink_kbps)
+      : recorder(final_version), uplink(uplink_kbps) {}
+
+  bool absent_at(sim::SimTime t) const { return absence && absence->absent_at(t); }
+  bool invalidation_active() const {
+    return method == UpdateMethod::kInvalidation ||
+           ((method == UpdateMethod::kSelfAdaptive ||
+             method == UpdateMethod::kRateAdaptive) &&
+            sa_in_invalidation_mode);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+UpdateEngine::UpdateEngine(sim::Simulator& simulator,
+                           const topology::NodeRegistry& nodes,
+                           const trace::UpdateTrace& updates, EngineConfig config,
+                           std::vector<trace::AbsenceSchedule> absences,
+                           net::Uplink* shared_provider_uplink)
+    : sim_(&simulator),
+      nodes_(&nodes),
+      updates_(nullptr),
+      config_(config),
+      rng_(config.seed),
+      infra_(),
+      latency_(config.latency),
+      provider_uplink_(config.provider_uplink_kbps),
+      shared_provider_uplink_(shared_provider_uplink),
+      absences_(std::move(absences)) {
+  CDNSIM_EXPECTS(config_.trace_offset_s >= 0, "trace offset must be >= 0");
+  CDNSIM_EXPECTS(config_.user_poll_period_s > 0, "user poll period must be > 0");
+  CDNSIM_EXPECTS(absences_.empty() || absences_.size() == nodes.server_count(),
+                 "absence schedules must be empty or one per server");
+
+  // Shift the trace so update v happens at update_time(v) + offset; all
+  // engine-internal times use the shifted trace.
+  std::vector<sim::SimTime> shifted;
+  shifted.reserve(updates.times().size());
+  for (sim::SimTime t : updates.times()) shifted.push_back(t + config_.trace_offset_s);
+  shifted_updates_ = std::make_unique<trace::UpdateTrace>(std::move(shifted));
+  updates_ = shifted_updates_.get();
+
+  util::Rng infra_rng = rng_.fork(0x1f7a);
+  infra_ = build_infrastructure(nodes, config_.infrastructure, config_.method,
+                                infra_rng);
+
+  provider_ = std::make_unique<cdn::Provider>(*updates_, config_.provider,
+                                              rng_.fork(0x9807));
+
+  const Version final_version = updates_->update_count();
+  servers_.reserve(nodes.server_count());
+  for (NodeId id : nodes.server_ids()) {
+    auto s = std::make_unique<ServerState>(final_version, config_.server_uplink_kbps);
+    s->id = id;
+    s->method = infra_.method_of(id);
+    if (!absences_.empty()) s->absence = &absences_[static_cast<std::size_t>(id)];
+    servers_.push_back(std::move(s));
+  }
+
+  end_time_ = updates_->duration() + config_.tail_s;
+}
+
+UpdateEngine::~UpdateEngine() = default;
+
+// ---------------------------------------------------------------------------
+// Transport
+// ---------------------------------------------------------------------------
+
+net::Uplink& UpdateEngine::uplink_of(NodeId node) {
+  if (node == kProviderNode) {
+    return shared_provider_uplink_ != nullptr ? *shared_provider_uplink_
+                                              : provider_uplink_;
+  }
+  return servers_[static_cast<std::size_t>(node)]->uplink;
+}
+
+const net::GeoPoint& UpdateEngine::location_of(NodeId node) const {
+  return nodes_->location(node);
+}
+
+void UpdateEngine::send(NodeId from, NodeId to, net::MessageKind kind,
+                        double size_kb, sim::EventAction on_delivery) {
+  const sim::SimTime now = sim_->now();
+  const sim::SimTime depart = uplink_of(from).reserve(now, size_kb);
+  const sim::SimTime delay = latency_.one_way(
+      location_of(from), location_of(to), nodes_->crosses_isp(from, to), rng_);
+  meter_.record(kind, from, nodes_->distance_km(from, to), size_kb);
+
+  sim::SimTime arrival = depart + delay;
+  // Deliveries to an absent server are deferred until it returns
+  // (retransmission by the reliable transport); deliveries to a *crashed*
+  // server are lost — the node resynchronises when it rejoins.
+  if (to != kProviderNode) {
+    const ServerState& dest = *servers_[static_cast<std::size_t>(to)];
+    if (dest.absence) {
+      const sim::SimTime available = dest.absence->available_from(arrival);
+      if (available > arrival) arrival = available + 0.001;
+    }
+    sim_->at(arrival, [this, to, action = std::move(on_delivery)] {
+      if (servers_[static_cast<std::size_t>(to)]->departed) return;
+      action();
+    });
+    return;
+  }
+  sim_->at(arrival, std::move(on_delivery));
+}
+
+// ---------------------------------------------------------------------------
+// Version bookkeeping and propagation
+// ---------------------------------------------------------------------------
+
+Version UpdateEngine::node_version(NodeId node) const {
+  if (node == kProviderNode) return provider_->true_version_at(sim_->now());
+  return servers_[static_cast<std::size_t>(node)]->version;
+}
+
+void UpdateEngine::acquire_version(ServerState& s, Version v) {
+  if (v <= s.version) return;
+  s.version = v;
+  s.recorder.on_version(v, sim_->now());
+  s.last_known_update_time = updates_->update_time(v);
+  propagate_to_children(s.id, v);
+}
+
+/// Sends invalidation notices for version v to this parent's
+/// notice-receiving children (plain Invalidation children always; subscribed
+/// self-adaptive children once per subscription).
+void UpdateEngine::notify_children(NodeId node, Version v) {
+  auto& subs = subscriptions_[node];
+  for (NodeId c : infra_.children_of(node)) {
+    const UpdateMethod m = infra_.method_of(c);
+    ServerState& child = *servers_[static_cast<std::size_t>(c)];
+    if (m == UpdateMethod::kInvalidation) {
+      send(node, c, net::MessageKind::kInvalidation, config_.light_packet_kb,
+           [this, &child, v] { on_invalidation(child, v); });
+    } else if (m == UpdateMethod::kSelfAdaptive ||
+               m == UpdateMethod::kRateAdaptive) {
+      if (subs.subscribers.count(c) > 0 && subs.notified.count(c) == 0) {
+        subs.notified.insert(c);
+        send(node, c, net::MessageKind::kInvalidation, config_.light_packet_kb,
+             [this, &child, v] { on_invalidation(child, v); });
+      }
+    }
+  }
+}
+
+void UpdateEngine::propagate_to_children(NodeId node, Version v) {
+  for (NodeId c : infra_.children_of(node)) {
+    if (infra_.method_of(c) == UpdateMethod::kPush) {
+      ServerState& child = *servers_[static_cast<std::size_t>(c)];
+      send(node, c, net::MessageKind::kPushUpdate, config_.update_packet_kb,
+           [this, &child, v] { acquire_version(child, v); });
+    }
+  }
+  notify_children(node, v);
+}
+
+void UpdateEngine::on_provider_update(Version v) {
+  propagate_to_children(kProviderNode, v);
+}
+
+// ---------------------------------------------------------------------------
+// Parent-side request handling
+// ---------------------------------------------------------------------------
+
+void UpdateEngine::handle_poll_at_parent(NodeId parent, NodeId child) {
+  ServerState& child_state = *servers_[static_cast<std::size_t>(child)];
+  const Version child_version = child_state.version;
+  Version v;
+  if (parent == kProviderNode) {
+    // Origin staleness (Section 3.4.2) is visible to pollers.
+    v = provider_->served_version_at(sim_->now());
+  } else {
+    v = servers_[static_cast<std::size_t>(parent)]->version;
+  }
+  const bool fresh = v > child_version;
+  const net::MessageKind kind = fresh ? net::MessageKind::kPollResponseFresh
+                                      : net::MessageKind::kPollResponseNoop;
+  const double size = fresh ? config_.update_packet_kb : config_.light_packet_kb;
+  send(parent, child, kind, size,
+       [this, &child_state, v, fresh] { on_poll_response(child_state, v, fresh); });
+}
+
+void UpdateEngine::handle_fetch_at_parent(NodeId parent, NodeId child) {
+  auto& subs = subscriptions_[parent];
+  if (infra_.method_of(child) == UpdateMethod::kRateAdaptive) {
+    // Rate-adaptive children stay subscribed across fetches; clearing the
+    // notified flag re-arms the aggregated notice for the next update.
+    subs.notified.erase(child);
+  } else {
+    // A fetch request from a self-adaptive child carries its switch-back
+    // notice: unsubscribe it.
+    subs.subscribers.erase(child);
+    subs.notified.erase(child);
+  }
+
+  if (parent != kProviderNode) {
+    ServerState& p = *servers_[static_cast<std::size_t>(parent)];
+    if (p.invalidation_active() && p.invalid_known > p.version) {
+      // Parent is itself invalid: fetch upward first, answer the child when
+      // content arrives (recursive invalidation in a multicast tree).
+      p.pending_child_fetches.push_back(child);
+      if (!p.fetch_in_flight) begin_fetch(p);
+      return;
+    }
+  }
+  answer_fetch(parent, child);
+}
+
+void UpdateEngine::answer_fetch(NodeId parent, NodeId child) {
+  const Version v = node_version(parent);
+  ServerState& child_state = *servers_[static_cast<std::size_t>(child)];
+  send(parent, child, net::MessageKind::kFetchResponse, config_.update_packet_kb,
+       [this, &child_state, v] { on_fetch_response(child_state, v); });
+}
+
+// ---------------------------------------------------------------------------
+// Server-side behaviour
+// ---------------------------------------------------------------------------
+
+sim::SimTime UpdateEngine::current_ttl(const ServerState& s) const {
+  if (s.method == UpdateMethod::kAdaptiveTtl) {
+    const double age = std::max(0.0, sim_->now() - s.last_known_update_time);
+    return std::clamp(config_.method.adaptive_factor * age,
+                      config_.method.adaptive_min_ttl_s,
+                      config_.method.adaptive_max_ttl_s);
+  }
+  return config_.method.server_ttl_s;
+}
+
+void UpdateEngine::start_server(ServerState& s) {
+  if (!uses_polling(s.method)) return;
+  ServerState* sp = &s;
+  s.poll_timer = std::make_unique<sim::PeriodicTimer>(
+      *sim_, config_.method.server_ttl_s, [this, sp] { poll_tick(*sp); });
+  // Servers start with uniformly random phase in [0, TTL) — the paper's
+  // assumption behind E[I] = TTL/2 (Section 3.4.1).
+  s.poll_timer->start_after(rng_.uniform(0.0, config_.method.server_ttl_s));
+  if (s.method == UpdateMethod::kRateAdaptive) {
+    s.adapt_timer = std::make_unique<sim::PeriodicTimer>(
+        *sim_, config_.method.rate_window_s, [this, sp] { rate_adapt_tick(*sp); });
+    s.adapt_timer->start();
+  }
+}
+
+/// Rate-adaptive controller (Section 6 future work): once per window,
+/// compare the replica's visits to the updates it observed and pick the
+/// cheaper mode — TTL polling when visitors keep pace with updates,
+/// invalidation subscription otherwise.
+void UpdateEngine::rate_adapt_tick(ServerState& s) {
+  if (sim_->now() >= end_time_) {
+    s.adapt_timer->stop();
+    return;
+  }
+  const auto updates = static_cast<double>(
+      std::max<Version>(s.version, s.invalid_known) - s.version_at_window_start);
+  const auto visits = static_cast<double>(s.visits_in_window);
+  s.version_at_window_start = std::max<Version>(s.version, s.invalid_known);
+  s.visits_in_window = 0;
+  if (s.departed) return;
+
+  const bool want_ttl =
+      updates > 0 && visits >= config_.method.rate_hysteresis * updates;
+  if (want_ttl && s.sa_in_invalidation_mode) {
+    switch_to_ttl_mode(s);
+  } else if (!want_ttl && !s.sa_in_invalidation_mode) {
+    switch_to_invalidation_mode(s);
+  }
+}
+
+/// Leaves invalidation mode: notifies the parent (unsubscribe), resumes the
+/// poll timer, and repairs any known staleness immediately.
+void UpdateEngine::switch_to_ttl_mode(ServerState& s) {
+  s.sa_in_invalidation_mode = false;
+  const NodeId parent = infra_.parent_of(s.id);
+  const NodeId self = s.id;
+  send(self, parent, net::MessageKind::kSwitchNotice, config_.light_packet_kb,
+       [this, parent, self] {
+         auto& subs = subscriptions_[parent];
+         subs.subscribers.erase(self);
+         subs.notified.erase(self);
+       });
+  if (s.poll_timer) s.poll_timer->start_after(rng_.uniform(
+      0.0, config_.method.server_ttl_s));
+  if (s.invalid_known > s.version && !s.fetch_in_flight) begin_fetch(s);
+}
+
+void UpdateEngine::poll_tick(ServerState& s) {
+  if (sim_->now() >= end_time_) {
+    s.poll_timer->stop();
+    return;
+  }
+  if (s.method == UpdateMethod::kAdaptiveTtl) {
+    s.poll_timer->set_period(current_ttl(s));
+  }
+  if (s.departed) return;                // crashed: no activity at all
+  if (s.absent_at(sim_->now())) return;  // overloaded/failed: poll skipped
+  const NodeId parent = infra_.parent_of(s.id);
+  const NodeId self = s.id;
+  send(self, parent, net::MessageKind::kPollRequest, config_.light_packet_kb,
+       [this, parent, self] { handle_poll_at_parent(parent, self); });
+}
+
+void UpdateEngine::on_poll_response(ServerState& s, Version v, bool fresh) {
+  if (fresh) {
+    acquire_version(s, v);
+    return;
+  }
+  // No update during a whole TTL: Algorithm 1 switches to Invalidation.
+  if (s.method == UpdateMethod::kSelfAdaptive && !s.sa_in_invalidation_mode) {
+    switch_to_invalidation_mode(s);
+  }
+}
+
+void UpdateEngine::switch_to_invalidation_mode(ServerState& s) {
+  s.sa_in_invalidation_mode = true;
+  if (s.poll_timer) s.poll_timer->stop();
+  const NodeId parent = infra_.parent_of(s.id);
+  const NodeId self = s.id;
+  send(self, parent, net::MessageKind::kSwitchNotice, config_.light_packet_kb,
+       [this, parent, self] {
+         auto& subs = subscriptions_[parent];
+         subs.subscribers.insert(self);
+         subs.notified.erase(self);
+         // If the parent is already ahead of the child, the child missed an
+         // update that happened during its last TTL window; notify at once
+         // so the next visit repairs it.
+         ServerState& child = *servers_[static_cast<std::size_t>(self)];
+         const Version pv = node_version(parent);
+         if (pv > child.version) {
+           subs.notified.insert(self);
+           send(parent, self, net::MessageKind::kInvalidation,
+                config_.light_packet_kb,
+                [this, &child, pv] { on_invalidation(child, pv); });
+         }
+       });
+}
+
+void UpdateEngine::on_invalidation(ServerState& s, Version v) {
+  s.invalid_known = std::max(s.invalid_known, v);
+  // Invalidation notices flood down to notice-receiving children (multicast
+  // invalidation propagates the notice immediately, content on demand).
+  notify_children(s.id, v);
+}
+
+void UpdateEngine::begin_fetch(ServerState& s) {
+  CDNSIM_EXPECTS(!s.fetch_in_flight, "fetch already in flight");
+  s.fetch_in_flight = true;
+  const NodeId parent = infra_.parent_of(s.id);
+  const NodeId self = s.id;
+  send(self, parent, net::MessageKind::kFetchRequest, config_.light_packet_kb,
+       [this, parent, self] { handle_fetch_at_parent(parent, self); });
+}
+
+void UpdateEngine::on_fetch_response(ServerState& s, Version v) {
+  s.fetch_in_flight = false;
+  acquire_version(s, v);
+  if (s.invalidation_active() && s.invalid_known > s.version) {
+    // A newer invalidation raced past our fetch; fetch again.
+    begin_fetch(s);
+    return;
+  }
+  // Self-adaptive: first visited fetch after an invalidation switches the
+  // method back to TTL (the fetch request carried the switch notice).
+  if (s.method == UpdateMethod::kSelfAdaptive && s.sa_in_invalidation_mode) {
+    s.sa_in_invalidation_mode = false;
+    if (s.poll_timer) s.poll_timer->start_after(config_.method.server_ttl_s);
+  }
+  // Serve users that were waiting on this fetch.
+  auto waiting = std::move(s.waiting_users);
+  s.waiting_users.clear();
+  for (const auto& w : waiting) {
+    deliver_to_user(s, *w.user, w.request_time, sim_->now(), w.redirected);
+  }
+  // Answer children whose fetches were queued behind ours.
+  auto pending = std::move(s.pending_child_fetches);
+  s.pending_child_fetches.clear();
+  for (NodeId c : pending) answer_fetch(s.id, c);
+}
+
+// ---------------------------------------------------------------------------
+// Churn
+// ---------------------------------------------------------------------------
+
+void UpdateEngine::schedule_next_failure() {
+  if (config_.churn.failures_per_hour <= 0) return;
+  const sim::SimTime gap =
+      rng_.exponential(3600.0 / config_.churn.failures_per_hour);
+  const sim::SimTime when = sim_->now() + gap;
+  if (when >= end_time_) return;
+  sim_->at(when, [this] {
+    // Pick a random live server; skip the round if everything is down.
+    std::vector<ServerState*> live;
+    for (auto& s : servers_) {
+      if (!s->departed) live.push_back(s.get());
+    }
+    if (!live.empty()) fail_node(*live[rng_.index(live.size())]);
+    schedule_next_failure();
+  });
+}
+
+void UpdateEngine::fail_node(ServerState& s) {
+  CDNSIM_EXPECTS(!s.departed, "server already failed");
+  ++failures_injected_;
+  s.departed = true;
+  if (s.poll_timer) s.poll_timer->stop();
+  // Users caught waiting on a fetch see a failed request.
+  for (const auto& w : s.waiting_users) {
+    cdn::UserObservation obs;
+    obs.request_time = w.request_time;
+    obs.serve_time = sim_->now();
+    obs.server = s.id;
+    obs.redirected = w.redirected;
+    obs.answered = false;
+    if (config_.record_user_logs) user_logs_->log(w.user->id).add(obs);
+  }
+  s.waiting_users.clear();
+  s.pending_child_fetches.clear();
+  s.fetch_in_flight = false;
+
+  if (config_.churn.repair_enabled) {
+    const RepairReport report = infra_.fail_server(s.id, rng_);
+    apply_repair(report);
+  }
+  // Schedule the node's return.
+  const sim::SimTime downtime =
+      std::max(1.0, rng_.exponential(config_.churn.downtime_mean_s));
+  ServerState* sp = &s;
+  sim_->at(sim_->now() + downtime, [this, sp] { restore_node(*sp); });
+}
+
+void UpdateEngine::restore_node(ServerState& s) {
+  s.departed = false;
+  if (config_.churn.repair_enabled) {
+    const RepairReport report = infra_.restore_server(s.id, rng_);
+    apply_repair(report);
+  }
+  s.method = infra_.method_of(s.id);
+  s.sa_in_invalidation_mode = false;
+  s.fetch_in_flight = false;
+  ensure_polling(s);
+  // Anti-entropy on rejoin: fetch the current content from the parent so
+  // push-based subtrees do not stay permanently behind.
+  begin_fetch(s);
+}
+
+void UpdateEngine::apply_repair(const RepairReport& report) {
+  for (const RepairEdge& edge : report.new_edges) {
+    meter_.record(net::MessageKind::kTreeMaintenance, edge.child,
+                  nodes_->distance_km(edge.child, edge.new_parent),
+                  config_.light_packet_kb);
+    ServerState& child = *servers_[static_cast<std::size_t>(edge.child)];
+    child.method = infra_.method_of(child.id);
+    // A fetch aimed at the failed parent would never complete: re-issue it
+    // toward the new parent.
+    if (child.fetch_in_flight) {
+      child.fetch_in_flight = false;
+      begin_fetch(child);
+    }
+    // Self-adaptive children in invalidation mode re-subscribe at the new
+    // parent (their old subscription died with the failed node).
+    if (child.method == UpdateMethod::kSelfAdaptive &&
+        child.sa_in_invalidation_mode) {
+      auto& subs = subscriptions_[edge.new_parent];
+      subs.subscribers.insert(child.id);
+      subs.notified.erase(child.id);
+    }
+    // Push children may have lost updates between crash and repair: the new
+    // parent brings them up to date.
+    if (child.method == UpdateMethod::kPush && !child.departed) {
+      const Version v = node_version(edge.new_parent);
+      if (v > child.version) {
+        ServerState* cp = &child;
+        send(edge.new_parent, child.id, net::MessageKind::kPushUpdate,
+             config_.update_packet_kb, [this, cp, v] { acquire_version(*cp, v); });
+      }
+    }
+  }
+  if (report.promoted_supernode) {
+    ServerState& sn =
+        *servers_[static_cast<std::size_t>(*report.promoted_supernode)];
+    sn.method = UpdateMethod::kPush;
+    sn.sa_in_invalidation_mode = false;
+    ensure_polling(sn);  // stops the poll timer (Push does not poll)
+    if (!sn.departed && !sn.fetch_in_flight) begin_fetch(sn);
+  }
+}
+
+void UpdateEngine::ensure_polling(ServerState& s) {
+  if (!uses_polling(s.method)) {
+    if (s.poll_timer) s.poll_timer->stop();
+    if (s.adapt_timer) s.adapt_timer->stop();
+    return;
+  }
+  ServerState* sp = &s;
+  if (!s.poll_timer) {
+    s.poll_timer = std::make_unique<sim::PeriodicTimer>(
+        *sim_, config_.method.server_ttl_s, [this, sp] { poll_tick(*sp); });
+  }
+  s.poll_timer->set_period(config_.method.server_ttl_s);
+  s.poll_timer->start_after(rng_.uniform(0.0, config_.method.server_ttl_s));
+  if (s.method == UpdateMethod::kRateAdaptive) {
+    if (!s.adapt_timer) {
+      s.adapt_timer = std::make_unique<sim::PeriodicTimer>(
+          *sim_, config_.method.rate_window_s, [this, sp] { rate_adapt_tick(*sp); });
+    }
+    if (!s.adapt_timer->running()) s.adapt_timer->start();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Users
+// ---------------------------------------------------------------------------
+
+void UpdateEngine::start_users() {
+  const bool dns_mode = config_.user_attachment == UserAttachment::kDnsCache;
+  const std::size_t total_users =
+      dns_mode ? config_.dns_user_count : config_.users_per_server * servers_.size();
+  user_logs_ = std::make_unique<cdn::UserPopulationLog>(total_users);
+  users_.reserve(total_users);
+
+  std::vector<net::Placement> dns_placements;
+  if (dns_mode) {
+    util::Rng placement_rng = rng_.fork(0xd5u);
+    dns_placements =
+        net::place_nodes(total_users, config_.dns_user_placement, placement_rng);
+    dns_ = std::make_unique<cdn::DnsSystem>(*nodes_, config_.dns, rng_.fork(0xd50));
+  }
+
+  for (std::size_t i = 0; i < total_users; ++i) {
+    auto u = std::make_unique<UserState>();
+    u->id = static_cast<cdn::UserId>(i);
+    if (dns_mode) {
+      u->location = dns_placements[i].location;
+      u->home_server = 0;  // unused; resolution happens per visit
+      const cdn::UserId registered = dns_->register_user(u->location);
+      CDNSIM_EXPECTS(registered == u->id, "DNS user ids must match engine ids");
+    } else {
+      u->home_server = static_cast<NodeId>(i / config_.users_per_server);
+      u->location = nodes_->location(u->home_server);
+    }
+    UserState* up = u.get();
+    u->visit_timer = std::make_unique<sim::PeriodicTimer>(
+        *sim_, config_.user_poll_period_s, [this, up] { user_visit(*up); });
+    u->visit_timer->start_after(rng_.uniform(0.0, config_.user_start_window_s));
+    users_.push_back(std::move(u));
+  }
+}
+
+void UpdateEngine::user_visit(UserState& u) {
+  if (sim_->now() >= end_time_) {
+    u.visit_timer->stop();
+    return;
+  }
+  NodeId target = u.home_server;
+  if (config_.user_attachment == UserAttachment::kSwitchEveryVisit) {
+    target = static_cast<NodeId>(rng_.index(servers_.size()));
+  } else if (config_.user_attachment == UserAttachment::kDnsCache) {
+    target = dns_->resolve(u.id, sim_->now()).server;
+  }
+  const bool redirected = u.last_server != -2 && target != u.last_server;
+  u.last_server = target;
+  ServerState& s = *servers_[static_cast<std::size_t>(target)];
+  if (s.departed || s.absent_at(sim_->now())) {
+    cdn::UserObservation obs;
+    obs.request_time = obs.serve_time = sim_->now();
+    obs.server = target;
+    obs.version = 0;
+    obs.redirected = redirected;
+    obs.answered = false;
+    if (config_.record_user_logs) user_logs_->log(u.id).add(obs);
+    if (config_.record_poll_log) {
+      poll_log_.add({target, sim_->now(), 0, /*answered=*/false});
+    }
+    return;
+  }
+  serve_user(s, u, sim_->now(), redirected);
+}
+
+void UpdateEngine::serve_user(ServerState& s, UserState& u, sim::SimTime request_time,
+                              bool redirected) {
+  if (s.method == UpdateMethod::kRateAdaptive) ++s.visits_in_window;
+  if (s.invalidation_active() && s.invalid_known > s.version) {
+    // Content is invalid: fetch before serving (Invalidation semantics).
+    s.waiting_users.push_back({&u, request_time, redirected});
+    if (!s.fetch_in_flight) begin_fetch(s);
+    return;
+  }
+  deliver_to_user(s, u, request_time, sim_->now(), redirected);
+}
+
+void UpdateEngine::deliver_to_user(ServerState& s, UserState& u,
+                                   sim::SimTime request_time, sim::SimTime serve_time,
+                                   bool redirected) {
+  cdn::UserObservation obs;
+  obs.request_time = request_time;
+  obs.serve_time = serve_time;
+  obs.server = s.id;
+  obs.version = s.version;
+  obs.redirected = redirected;
+  obs.answered = true;
+  if (config_.record_user_logs) user_logs_->log(u.id).add(obs);
+  u.max_seen = std::max(u.max_seen, s.version);
+  if (config_.record_poll_log) {
+    poll_log_.add({s.id, serve_time, s.version, /*answered=*/true});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Run
+// ---------------------------------------------------------------------------
+
+void UpdateEngine::run() {
+  prepare();
+  sim_->run();
+}
+
+void UpdateEngine::prepare() {
+  CDNSIM_EXPECTS(!ran_, "UpdateEngine may only be prepared/run once");
+  ran_ = true;
+
+  for (auto& s : servers_) start_server(*s);
+  start_users();
+
+  for (Version v = 1; v <= updates_->update_count(); ++v) {
+    const sim::SimTime t = updates_->update_time(v);
+    sim_->at(t, [this, v] { on_provider_update(v); });
+  }
+
+  schedule_next_failure();
+
+  // Stop all periodic activity at the horizon; in-flight messages drain.
+  sim_->at(end_time_, [this] {
+    for (auto& s : servers_) {
+      if (s->poll_timer) s->poll_timer->stop();
+      if (s->adapt_timer) s->adapt_timer->stop();
+    }
+    for (auto& u : users_) u->visit_timer->stop();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+const cdn::ReplicaRecorder& UpdateEngine::recorder(NodeId server) const {
+  CDNSIM_EXPECTS(server >= 0 && static_cast<std::size_t>(server) < servers_.size(),
+                 "unknown server id");
+  return servers_[static_cast<std::size_t>(server)]->recorder;
+}
+
+std::vector<double> UpdateEngine::server_avg_inconsistency() const {
+  std::vector<double> out;
+  out.reserve(servers_.size());
+  for (const auto& s : servers_) {
+    out.push_back(s->recorder.average_inconsistency(*updates_));
+  }
+  return out;
+}
+
+std::vector<double> UpdateEngine::user_avg_inconsistency() const {
+  std::vector<double> out;
+  out.reserve(users_.size());
+  const Version final_version = updates_->update_count();
+  for (const auto& u : users_) {
+    const auto& observations = user_logs_->log(u->id).observations();
+    // First serve time at which the user saw version >= v.
+    std::vector<double> lengths;
+    Version next_needed = 1;
+    for (const auto& obs : observations) {
+      if (!obs.answered) continue;
+      while (next_needed <= obs.version && next_needed <= final_version) {
+        lengths.push_back(obs.serve_time - updates_->update_time(next_needed));
+        ++next_needed;
+      }
+    }
+    double sum = 0;
+    for (double x : lengths) sum += x;
+    out.push_back(lengths.empty() ? 0.0 : sum / static_cast<double>(lengths.size()));
+  }
+  return out;
+}
+
+std::vector<double> UpdateEngine::per_server_max_user_inconsistency() const {
+  const auto per_user = user_avg_inconsistency();
+  std::vector<double> out(servers_.size(), 0.0);
+  for (std::size_t i = 0; i < per_user.size(); ++i) {
+    const std::size_t server = i / config_.users_per_server;
+    out[server] = std::max(out[server], per_user[i]);
+  }
+  return out;
+}
+
+double UpdateEngine::user_observed_inconsistency_fraction() const {
+  std::uint64_t total = 0;
+  std::uint64_t stale = 0;
+  for (const auto& u : users_) {
+    Version max_seen = 0;
+    for (const auto& obs : user_logs_->log(u->id).observations()) {
+      if (!obs.answered) continue;
+      ++total;
+      if (obs.version < max_seen) ++stale;
+      max_seen = std::max(max_seen, obs.version);
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(stale) / static_cast<double>(total);
+}
+
+}  // namespace cdnsim::consistency

@@ -1,0 +1,241 @@
+// The update engine: drives one trace through one infrastructure with the
+// configured update methods and records every metric the paper's evaluation
+// reports.
+//
+// The engine is a discrete-event program over the Simulator:
+//  * the provider applies the UpdateTrace; on each update it pushes to
+//    Push children, notifies Invalidation children and subscribed
+//    SelfAdaptive children;
+//  * every non-provider node does the same for *its* children whenever it
+//    acquires a new version, so multicast trees propagate recursively;
+//  * TTL-family nodes poll their parent on a timer; poll responses return
+//    the parent's own cached version (this is what amplifies TTL
+//    inconsistency with tree depth, Fig. 15);
+//  * Invalidation-family nodes fetch from their parent at the first user
+//    visit after a notice; fetches recurse upward when the parent itself is
+//    invalid;
+//  * SelfAdaptive nodes implement Algorithm 1: TTL until a poll returns no
+//    update, then subscribe to invalidations; at the first visited fetch
+//    they unsubscribe (the fetch request carries the switch notice) and
+//    resume TTL.
+//
+// All transmissions pass through the sender's Uplink (serialization and
+// queueing — the scalability mechanism of Figs. 19-20) and the latency
+// model, and are accounted by the TrafficMeter.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cdn/dns.hpp"
+#include "cdn/provider.hpp"
+#include "cdn/replica_recorder.hpp"
+#include "cdn/user_log.hpp"
+#include "net/sites.hpp"
+#include "consistency/infrastructure.hpp"
+#include "net/latency_model.hpp"
+#include "net/traffic_meter.hpp"
+#include "net/uplink.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "trace/absence.hpp"
+#include "trace/poll_log.hpp"
+
+namespace cdnsim::consistency {
+
+enum class UserAttachment {
+  kPinnedLocal,       // users_per_server users pinned to each server (Sec. 4)
+  kSwitchEveryVisit,  // every visit goes to a uniformly random server (Fig. 24)
+  kDnsCache,          // local-DNS cache + authoritative reassignment (Sec. 3.3)
+};
+
+struct EngineConfig {
+  MethodConfig method;
+  InfrastructureConfig infrastructure;
+
+  // Packet sizes (paper default: every package 1 KB; Fig. 19 sweeps the
+  // content/update packet size while light messages stay small).
+  double update_packet_kb = 1.0;
+  double light_packet_kb = 1.0;
+
+  // Uplink bandwidths (KB/s). The provider's uplink is the contended
+  // resource in unicast Push.
+  double provider_uplink_kbps = 2500.0;  // 20 Mbit/s
+  double server_uplink_kbps = 2500.0;
+
+  net::LatencyConfig latency;
+
+  // End users.
+  std::size_t users_per_server = 5;
+  sim::SimTime user_poll_period_s = 10.0;  // "end-user TTL"
+  UserAttachment user_attachment = UserAttachment::kPinnedLocal;
+  /// Users start their visit loops at a uniform time in [0, this].
+  sim::SimTime user_start_window_s = 50.0;
+  /// kDnsCache only: population size (the paper uses 200 PlanetLab users)
+  /// and the local-DNS model; users are placed on world sites.
+  std::size_t dns_user_count = 200;
+  cdn::DnsConfig dns;
+  net::PlacementConfig dns_user_placement;
+
+  /// Shift applied to all trace update times (the paper starts updates at
+  /// t = 60 s, after users began visiting).
+  sim::SimTime trace_offset_s = 60.0;
+  /// Keep simulating this long past the last update so slow paths settle.
+  sim::SimTime tail_s = 120.0;
+
+  /// Origin-staleness model for the provider (Section 3.4.2); 0 = exact.
+  cdn::ProviderConfig provider;
+
+  /// Infrastructure churn: random server crashes during the run. A crashed
+  /// server loses in-flight messages, answers nothing, and (with repair
+  /// enabled) is cut out of the update topology, its children re-attaching
+  /// per the Section 5.2 rule — failed supernodes trigger an election. With
+  /// repair disabled, the topology is left broken while the node is down
+  /// (the Section 1 criticism of multicast infrastructures). On return the
+  /// node rejoins and fetches the current content from its parent.
+  struct ChurnConfig {
+    double failures_per_hour = 0.0;  // expected crashes per hour, whole CDN
+    sim::SimTime downtime_mean_s = 120.0;
+    bool repair_enabled = true;
+  };
+  ChurnConfig churn;
+
+  std::uint64_t seed = 1;
+
+  /// Record every user observation into a per-server PollLog (needed by the
+  /// Section 3 analysis pipeline; off by default to save memory).
+  bool record_poll_log = false;
+  /// Record per-user observation logs (needed for user-perspective metrics;
+  /// disable for large measurement sweeps that only use the poll log).
+  bool record_user_logs = true;
+};
+
+class UpdateEngine {
+ public:
+  /// `absences` may be empty (no failures) or one schedule per server.
+  /// `shared_provider_uplink` (optional, not owned, must outlive the
+  /// engine) lets several engines on one Simulator contend for the same
+  /// provider uplink — the multi-content scenario where one popular content
+  /// congests the origin for everyone (Section 1's bottleneck argument).
+  UpdateEngine(sim::Simulator& simulator, const topology::NodeRegistry& nodes,
+               const trace::UpdateTrace& updates, EngineConfig config,
+               std::vector<trace::AbsenceSchedule> absences = {},
+               net::Uplink* shared_provider_uplink = nullptr);
+
+  UpdateEngine(const UpdateEngine&) = delete;
+  UpdateEngine& operator=(const UpdateEngine&) = delete;
+  ~UpdateEngine();
+
+  /// Schedules all initial events without running the simulator — used to
+  /// co-schedule several engines (contents) on one Simulator; call
+  /// Simulator::run() afterwards.
+  void prepare();
+
+  /// prepare() + run the simulation to completion.
+  void run();
+
+  // --- results (valid after run()) ---
+  const Infrastructure& infrastructure() const { return infra_; }
+  const net::TrafficMeter& meter() const { return meter_; }
+  const cdn::ReplicaRecorder& recorder(topology::NodeId server) const;
+  const cdn::UserPopulationLog& user_logs() const { return *user_logs_; }
+  const trace::PollLog& poll_log() const { return poll_log_; }
+  std::size_t user_count() const { return users_.size(); }
+  sim::SimTime end_time() const { return end_time_; }
+
+  /// Per-server average inconsistency (Figs. 14a/15a/19/20).
+  std::vector<double> server_avg_inconsistency() const;
+  /// Per-user average first-seen inconsistency (Figs. 14b/15b).
+  std::vector<double> user_avg_inconsistency() const;
+  /// Largest per-user average on each server (the paper plots per node).
+  std::vector<double> per_server_max_user_inconsistency() const;
+  /// Fraction of user observations showing content older than previously
+  /// seen by the same user (Fig. 24).
+  double user_observed_inconsistency_fraction() const;
+  /// Churn statistics (0 when churn is disabled).
+  std::size_t failures_injected() const { return failures_injected_; }
+
+ private:
+  struct ServerState;
+  struct UserState;
+
+  // message transport
+  void send(topology::NodeId from, topology::NodeId to, net::MessageKind kind,
+            double size_kb, sim::EventAction on_delivery);
+  net::Uplink& uplink_of(topology::NodeId node);
+  const net::GeoPoint& location_of(topology::NodeId node) const;
+
+  // version bookkeeping
+  trace::Version node_version(topology::NodeId node) const;  // provider = truth
+  void acquire_version(ServerState& s, trace::Version v);
+  void propagate_to_children(topology::NodeId node, trace::Version v);
+  void notify_children(topology::NodeId node, trace::Version v);
+
+  // provider side
+  void on_provider_update(trace::Version v);
+  void handle_poll_at_parent(topology::NodeId parent, topology::NodeId child);
+  void handle_fetch_at_parent(topology::NodeId parent, topology::NodeId child);
+  void answer_fetch(topology::NodeId parent, topology::NodeId child);
+
+  // server side
+  void start_server(ServerState& s);
+  void poll_tick(ServerState& s);
+  void on_poll_response(ServerState& s, trace::Version v, bool fresh);
+  void on_invalidation(ServerState& s, trace::Version v);
+  void on_fetch_response(ServerState& s, trace::Version v);
+  void begin_fetch(ServerState& s);
+  void switch_to_invalidation_mode(ServerState& s);
+  void switch_to_ttl_mode(ServerState& s);
+  void rate_adapt_tick(ServerState& s);
+  sim::SimTime current_ttl(const ServerState& s) const;
+
+  // churn
+  void schedule_next_failure();
+  void fail_node(ServerState& s);
+  void restore_node(ServerState& s);
+  void apply_repair(const RepairReport& report);
+  void ensure_polling(ServerState& s);
+
+  // users
+  void start_users();
+  void user_visit(UserState& u);
+  void serve_user(ServerState& s, UserState& u, sim::SimTime request_time,
+                  bool redirected);
+  void deliver_to_user(ServerState& s, UserState& u, sim::SimTime request_time,
+                       sim::SimTime serve_time, bool redirected);
+
+  /// Parent-side subscription bookkeeping for self-adaptive children
+  /// (which children are in invalidation mode, and which were already sent
+  /// the aggregated notice since subscribing).
+  struct SubscriptionState {
+    std::unordered_set<topology::NodeId> subscribers;
+    std::unordered_set<topology::NodeId> notified;
+  };
+
+  sim::Simulator* sim_;
+  const topology::NodeRegistry* nodes_;
+  const trace::UpdateTrace* updates_;  // shifted by trace_offset_s
+  std::unique_ptr<trace::UpdateTrace> shifted_updates_;
+  EngineConfig config_;
+  util::Rng rng_;
+  Infrastructure infra_;
+  net::LatencyModel latency_;
+  net::TrafficMeter meter_;
+  std::unique_ptr<cdn::Provider> provider_;
+  std::unique_ptr<cdn::DnsSystem> dns_;
+  net::Uplink provider_uplink_;
+  net::Uplink* shared_provider_uplink_ = nullptr;
+  std::vector<std::unique_ptr<ServerState>> servers_;
+  std::vector<std::unique_ptr<UserState>> users_;
+  std::unique_ptr<cdn::UserPopulationLog> user_logs_;
+  std::vector<trace::AbsenceSchedule> absences_;
+  std::unordered_map<topology::NodeId, SubscriptionState> subscriptions_;
+  trace::PollLog poll_log_;
+  sim::SimTime end_time_ = 0;
+  std::size_t failures_injected_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace cdnsim::consistency

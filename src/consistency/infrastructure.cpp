@@ -1,0 +1,279 @@
+#include "consistency/infrastructure.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace cdnsim::consistency {
+
+std::string_view to_string(InfrastructureKind k) {
+  switch (k) {
+    case InfrastructureKind::kUnicast: return "Unicast";
+    case InfrastructureKind::kMulticastTree: return "MulticastTree";
+    case InfrastructureKind::kHybridSupernode: return "HybridSupernode";
+  }
+  return "unknown";
+}
+
+topology::NodeId Infrastructure::parent_of(topology::NodeId server) const {
+  CDNSIM_EXPECTS(server >= 0 && static_cast<std::size_t>(server) < parent.size(),
+                 "unknown server id");
+  return parent[static_cast<std::size_t>(server)];
+}
+
+const std::vector<topology::NodeId>& Infrastructure::children_of(
+    topology::NodeId node) const {
+  const std::size_t idx =
+      node == topology::kProviderNode ? 0 : 1 + static_cast<std::size_t>(node);
+  CDNSIM_EXPECTS(idx < children.size(), "unknown node id");
+  return children[idx];
+}
+
+UpdateMethod Infrastructure::method_of(topology::NodeId server) const {
+  CDNSIM_EXPECTS(server >= 0 && static_cast<std::size_t>(server) < method.size(),
+                 "unknown server id");
+  return method[static_cast<std::size_t>(server)];
+}
+
+std::size_t Infrastructure::depth_of(topology::NodeId server) const {
+  std::size_t depth = 0;
+  topology::NodeId cur = server;
+  while (cur != topology::kProviderNode) {
+    cur = parent_of(cur);
+    ++depth;
+    CDNSIM_EXPECTS(depth <= parent.size(), "cycle in infrastructure");
+  }
+  return depth;
+}
+
+namespace {
+
+/// Sentinel for a hybrid cluster whose every member is failed.
+constexpr topology::NodeId kNoSupernode = -2;
+
+Infrastructure make_empty(const topology::NodeRegistry& nodes,
+                          InfrastructureKind kind, UpdateMethod default_method) {
+  Infrastructure infra;
+  infra.kind = kind;
+  const std::size_t n = nodes.server_count();
+  infra.parent.assign(n, topology::kProviderNode);
+  infra.children.assign(1 + n, {});
+  infra.method.assign(n, default_method);
+  infra.is_supernode.assign(n, false);
+  infra.failed.assign(n, false);
+  infra.member_method = default_method;
+  return infra;
+}
+
+void link(Infrastructure& infra, topology::NodeId child, topology::NodeId parent) {
+  infra.parent[static_cast<std::size_t>(child)] = parent;
+  const std::size_t idx =
+      parent == topology::kProviderNode ? 0 : 1 + static_cast<std::size_t>(parent);
+  infra.children[idx].push_back(child);
+}
+
+}  // namespace
+
+std::vector<topology::NodeId>& Infrastructure::children_slot(topology::NodeId node) {
+  const std::size_t idx =
+      node == topology::kProviderNode ? 0 : 1 + static_cast<std::size_t>(node);
+  CDNSIM_EXPECTS(idx < children.size(), "unknown node id");
+  return children[idx];
+}
+
+void Infrastructure::detach_from_parent(topology::NodeId child) {
+  auto& siblings = children_slot(parent[static_cast<std::size_t>(child)]);
+  siblings.erase(std::remove(siblings.begin(), siblings.end(), child),
+                 siblings.end());
+}
+
+void Infrastructure::set_parent(topology::NodeId child, topology::NodeId new_parent) {
+  detach_from_parent(child);
+  parent[static_cast<std::size_t>(child)] = new_parent;
+  children_slot(new_parent).push_back(child);
+}
+
+bool Infrastructure::is_failed(topology::NodeId server) const {
+  CDNSIM_EXPECTS(server >= 0 && static_cast<std::size_t>(server) < failed.size(),
+                 "unknown server id");
+  return failed[static_cast<std::size_t>(server)];
+}
+
+RepairReport Infrastructure::fail_server(topology::NodeId server, util::Rng& rng) {
+  CDNSIM_EXPECTS(!is_failed(server), "server already failed");
+  failed[static_cast<std::size_t>(server)] = true;
+  RepairReport report;
+  switch (kind) {
+    case InfrastructureKind::kUnicast: {
+      detach_from_parent(server);
+      break;
+    }
+    case InfrastructureKind::kMulticastTree: {
+      // Children rejoin per the greedy nearest-with-capacity rule (Sec 5.2).
+      const std::vector<topology::NodeId> orphans = tree->children_of(server);
+      tree->remove(server);
+      detach_from_parent(server);
+      for (topology::NodeId c : orphans) {
+        const topology::NodeId p = tree->parent_of(c);
+        set_parent(c, p);
+        report.new_edges.push_back({c, p});
+      }
+      break;
+    }
+    case InfrastructureKind::kHybridSupernode: {
+      const std::size_t c =
+          clustering->cluster_of[static_cast<std::size_t>(server)];
+      if (!is_supernode[static_cast<std::size_t>(server)]) {
+        detach_from_parent(server);
+        break;
+      }
+      // A supernode failed: repair the overlay, then elect a replacement
+      // among the cluster's live members and hand it the cluster.
+      is_supernode[static_cast<std::size_t>(server)] = false;
+      method[static_cast<std::size_t>(server)] = member_method;
+      const std::vector<topology::NodeId> overlay_orphans =
+          overlay->children_of(server);
+      overlay->remove(server);
+      detach_from_parent(server);
+      for (topology::NodeId oc : overlay_orphans) {
+        const topology::NodeId p = overlay->parent_of(oc);
+        set_parent(oc, p);
+        report.new_edges.push_back({oc, p});
+      }
+      std::vector<topology::NodeId> alive;
+      for (topology::NodeId m : clustering->members[c]) {
+        if (m != server && !is_failed(m)) alive.push_back(m);
+      }
+      if (alive.empty()) {
+        cluster_supernode[c] = kNoSupernode;
+        break;
+      }
+      const topology::NodeId sn = alive[rng.index(alive.size())];
+      cluster_supernode[c] = sn;
+      is_supernode[static_cast<std::size_t>(sn)] = true;
+      method[static_cast<std::size_t>(sn)] = UpdateMethod::kPush;
+      report.promoted_supernode = sn;
+      overlay->join(sn);
+      const topology::NodeId snp = overlay->parent_of(sn);
+      set_parent(sn, snp);
+      report.new_edges.push_back({sn, snp});
+      for (topology::NodeId m : alive) {
+        if (m == sn) continue;
+        set_parent(m, sn);
+        report.new_edges.push_back({m, sn});
+      }
+      break;
+    }
+  }
+  return report;
+}
+
+RepairReport Infrastructure::restore_server(topology::NodeId server,
+                                            util::Rng& rng) {
+  CDNSIM_EXPECTS(is_failed(server), "server is not failed");
+  failed[static_cast<std::size_t>(server)] = false;
+  RepairReport report;
+  switch (kind) {
+    case InfrastructureKind::kUnicast: {
+      set_parent(server, topology::kProviderNode);
+      report.new_edges.push_back({server, topology::kProviderNode});
+      break;
+    }
+    case InfrastructureKind::kMulticastTree: {
+      tree->join(server);
+      const topology::NodeId p = tree->parent_of(server);
+      set_parent(server, p);
+      report.new_edges.push_back({server, p});
+      break;
+    }
+    case InfrastructureKind::kHybridSupernode: {
+      const std::size_t c =
+          clustering->cluster_of[static_cast<std::size_t>(server)];
+      if (cluster_supernode[c] == kNoSupernode) {
+        // First member back in an orphaned cluster becomes its supernode.
+        cluster_supernode[c] = server;
+        is_supernode[static_cast<std::size_t>(server)] = true;
+        method[static_cast<std::size_t>(server)] = UpdateMethod::kPush;
+        report.promoted_supernode = server;
+        overlay->join(server);
+        const topology::NodeId p = overlay->parent_of(server);
+        set_parent(server, p);
+        report.new_edges.push_back({server, p});
+      } else {
+        is_supernode[static_cast<std::size_t>(server)] = false;
+        method[static_cast<std::size_t>(server)] = member_method;
+        set_parent(server, cluster_supernode[c]);
+        report.new_edges.push_back({server, cluster_supernode[c]});
+      }
+      break;
+    }
+  }
+  (void)rng;
+  return report;
+}
+
+Infrastructure build_infrastructure(const topology::NodeRegistry& nodes,
+                                    const InfrastructureConfig& config,
+                                    const MethodConfig& member_method,
+                                    util::Rng& rng) {
+  CDNSIM_EXPECTS(nodes.server_count() >= 1, "need at least one server");
+  Infrastructure infra = make_empty(nodes, config.kind, member_method.method);
+  const auto servers = nodes.server_ids();
+
+  switch (config.kind) {
+    case InfrastructureKind::kUnicast: {
+      for (topology::NodeId s : servers) link(infra, s, topology::kProviderNode);
+      break;
+    }
+    case InfrastructureKind::kMulticastTree: {
+      topology::MulticastTree tree(nodes, config.tree_fanout);
+      // Join in randomized order so tree shape is not an artifact of ids.
+      std::vector<topology::NodeId> order = servers;
+      rng.shuffle(order);
+      if (config.proximity_aware) {
+        tree.build(order);
+      } else {
+        tree.build_random(order, rng);
+      }
+      for (topology::NodeId s : servers) link(infra, s, tree.parent_of(s));
+      infra.tree.emplace(std::move(tree));
+      break;
+    }
+    case InfrastructureKind::kHybridSupernode: {
+      CDNSIM_EXPECTS(config.cluster_count >= 1 &&
+                         config.cluster_count <= nodes.server_count(),
+                     "cluster_count must be in [1, server_count]");
+      auto clustering = topology::cluster_by_hilbert(nodes, config.cluster_count);
+      auto supernodes = topology::elect_supernodes(clustering, rng);
+      // Supernode overlay: proximity-aware k-ary tree under the provider.
+      topology::MulticastTree overlay(nodes, config.supernode_fanout);
+      std::vector<topology::NodeId> order = supernodes;
+      rng.shuffle(order);
+      if (config.proximity_aware) {
+        overlay.build(order);
+      } else {
+        overlay.build_random(order, rng);
+      }
+      for (std::size_t c = 0; c < supernodes.size(); ++c) {
+        const topology::NodeId sn = supernodes[c];
+        infra.is_supernode[static_cast<std::size_t>(sn)] = true;
+        infra.method[static_cast<std::size_t>(sn)] = UpdateMethod::kPush;
+        link(infra, sn, overlay.parent_of(sn));
+      }
+      // Members attach to their cluster's supernode.
+      for (std::size_t c = 0; c < clustering.members.size(); ++c) {
+        for (topology::NodeId s : clustering.members[c]) {
+          if (s == supernodes[c]) continue;
+          link(infra, s, supernodes[c]);
+        }
+      }
+      infra.clustering = std::move(clustering);
+      infra.overlay.emplace(std::move(overlay));
+      infra.cluster_supernode = supernodes;
+      break;
+    }
+  }
+  return infra;
+}
+
+}  // namespace cdnsim::consistency

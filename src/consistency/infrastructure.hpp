@@ -1,0 +1,116 @@
+// Update infrastructures (Section 4 / Section 5.2).
+//
+// An infrastructure determines, for every content server, who its *update
+// parent* is (whom it polls / who pushes to it) and which update method it
+// runs:
+//  * Unicast        — every server's parent is the content provider.
+//  * MulticastTree  — servers form a proximity-aware d-ary tree under the
+//                     provider; updates flow along tree edges.
+//  * HybridSupernode— the paper's Section 5.2: servers are clustered
+//                     (Hilbert order), each cluster elects a supernode; the
+//                     supernodes form a proximity-aware k-ary tree under the
+//                     provider and receive updates by Push; cluster members
+//                     use the supernode as their parent with the configured
+//                     member method (TTL => the paper's "Hybrid" system,
+//                     SelfAdaptive => "HAT").
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "consistency/methods.hpp"
+#include "topology/cluster.hpp"
+#include "topology/multicast_tree.hpp"
+#include "topology/node.hpp"
+#include "util/rng.hpp"
+
+namespace cdnsim::consistency {
+
+enum class InfrastructureKind { kUnicast, kMulticastTree, kHybridSupernode };
+
+std::string_view to_string(InfrastructureKind k);
+
+struct InfrastructureConfig {
+  InfrastructureKind kind = InfrastructureKind::kUnicast;
+  /// Multicast-tree fanout d (the paper uses d = 2 in Section 4).
+  std::size_t tree_fanout = 2;
+  /// Hybrid: number of clusters (20 in Section 5.3) and supernode-tree
+  /// fanout k (4-ary in Section 5.3).
+  std::size_t cluster_count = 20;
+  std::size_t supernode_fanout = 4;
+  /// Ablation: disable proximity awareness in tree construction.
+  bool proximity_aware = true;
+};
+
+/// One topology change produced by failure repair: `child` now attaches to
+/// `new_parent`. The engine charges a tree-maintenance message per edge.
+struct RepairEdge {
+  topology::NodeId child;
+  topology::NodeId new_parent;
+};
+
+/// The outcome of a failure/restore event.
+struct RepairReport {
+  std::vector<RepairEdge> new_edges;
+  /// Hybrid only: a supernode failed and this member was promoted (its
+  /// method becomes Push), or a node (re)joined as the cluster's supernode.
+  std::optional<topology::NodeId> promoted_supernode;
+};
+
+/// The resolved update topology used by the engine.
+///
+/// Supports run-time churn (the paper's Section 1 failure argument and
+/// Section 5.2 repair rule): fail_server() detaches a server, re-parenting
+/// its children greedily (nearest node with spare capacity); in the hybrid
+/// infrastructure a failed supernode triggers the election of a replacement
+/// inside its cluster. restore_server() rejoins per the same rules.
+struct Infrastructure {
+  InfrastructureKind kind = InfrastructureKind::kUnicast;
+  /// parent[server] — kProviderNode or another server id.
+  std::vector<topology::NodeId> parent;
+  /// children[1 + server] (index 0 is the provider's children).
+  std::vector<std::vector<topology::NodeId>> children;
+  /// method[server] — the update method each server runs.
+  std::vector<UpdateMethod> method;
+  /// Hybrid only: supernode flag and cluster assignment.
+  std::vector<bool> is_supernode;
+  std::optional<topology::Clustering> clustering;
+
+  topology::NodeId parent_of(topology::NodeId server) const;
+  const std::vector<topology::NodeId>& children_of(topology::NodeId node) const;
+  UpdateMethod method_of(topology::NodeId server) const;
+  /// Layers below the provider (unicast: 1 for every server).
+  std::size_t depth_of(topology::NodeId server) const;
+
+  bool is_failed(topology::NodeId server) const;
+
+  /// Removes a server from the update topology. Idempotent per failure:
+  /// the server must currently be live.
+  RepairReport fail_server(topology::NodeId server, util::Rng& rng);
+
+  /// Rejoins a previously failed server.
+  RepairReport restore_server(topology::NodeId server, util::Rng& rng);
+
+  // --- internals kept public for construction by build_infrastructure ---
+  UpdateMethod member_method = UpdateMethod::kTtl;
+  std::optional<topology::MulticastTree> tree;     // kMulticastTree
+  std::optional<topology::MulticastTree> overlay;  // kHybridSupernode
+  /// Hybrid: current supernode per cluster (-2 = none alive).
+  std::vector<topology::NodeId> cluster_supernode;
+  std::vector<bool> failed;
+
+ private:
+  void set_parent(topology::NodeId child, topology::NodeId new_parent);
+  void detach_from_parent(topology::NodeId child);
+  std::vector<topology::NodeId>& children_slot(topology::NodeId node);
+};
+
+/// Resolves the configuration against a node registry. `member_method` is
+/// the method run by ordinary servers (and by hybrid cluster members);
+/// hybrid supernodes always run Push.
+Infrastructure build_infrastructure(const topology::NodeRegistry& nodes,
+                                    const InfrastructureConfig& config,
+                                    const MethodConfig& member_method,
+                                    util::Rng& rng);
+
+}  // namespace cdnsim::consistency

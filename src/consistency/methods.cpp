@@ -1,0 +1,40 @@
+#include "consistency/methods.hpp"
+
+namespace cdnsim::consistency {
+
+std::string_view to_string(UpdateMethod m) {
+  switch (m) {
+    case UpdateMethod::kTtl: return "TTL";
+    case UpdateMethod::kPush: return "Push";
+    case UpdateMethod::kInvalidation: return "Invalidation";
+    case UpdateMethod::kAdaptiveTtl: return "AdaptiveTTL";
+    case UpdateMethod::kSelfAdaptive: return "SelfAdaptive";
+    case UpdateMethod::kRateAdaptive: return "RateAdaptive";
+  }
+  return "unknown";
+}
+
+bool uses_polling(UpdateMethod m) {
+  switch (m) {
+    case UpdateMethod::kTtl:
+    case UpdateMethod::kAdaptiveTtl:
+    case UpdateMethod::kSelfAdaptive:
+    case UpdateMethod::kRateAdaptive:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool uses_invalidation(UpdateMethod m) {
+  switch (m) {
+    case UpdateMethod::kInvalidation:
+    case UpdateMethod::kSelfAdaptive:
+    case UpdateMethod::kRateAdaptive:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace cdnsim::consistency

@@ -1,0 +1,66 @@
+// Update methods (Section 1 / Section 4 of the paper).
+//
+//  * TTL            — replicas poll their update parent whenever the cached
+//                     copy's time-to-live expires.
+//  * Push           — the parent transmits every update to the replica
+//                     immediately.
+//  * Invalidation   — the parent sends a light invalidation notice per
+//                     update; the replica fetches the content only when a
+//                     user actually requests it.
+//  * AdaptiveTTL    — TTL whose period tracks the observed update interval
+//                     (the baseline adaptive scheme of [6][22][24]).
+//  * SelfAdaptive   — the paper's Algorithm 1: TTL while updates are
+//                     frequent, switching to Invalidation after a poll that
+//                     returns no update, and back to TTL at the first
+//                     user-visited fetch after an invalidation.
+//  * RateAdaptive   — the paper's Section 6 future-work direction, built
+//                     out: a per-replica controller that also weighs the
+//                     *visit* rate. Each window it compares local visits to
+//                     observed updates: when updates pause, or when updates
+//                     outpace the replica's visitors (transfers would be
+//                     wasted on content nobody sees), it subscribes to
+//                     invalidations and fetches on demand; when visitors
+//                     outpace updates it polls by TTL, aggregating updates
+//                     per TTL window.
+#pragma once
+
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace cdnsim::consistency {
+
+enum class UpdateMethod {
+  kTtl,
+  kPush,
+  kInvalidation,
+  kAdaptiveTtl,
+  kSelfAdaptive,
+  kRateAdaptive,
+};
+
+std::string_view to_string(UpdateMethod m);
+
+struct MethodConfig {
+  UpdateMethod method = UpdateMethod::kTtl;
+  /// Content-server TTL (the paper uses 10 s in Section 4, 60 s in 5.3).
+  sim::SimTime server_ttl_s = 10.0;
+
+  // Adaptive-TTL parameters (Alex-style: ttl = factor * content age).
+  double adaptive_factor = 0.3;
+  sim::SimTime adaptive_min_ttl_s = 2.0;
+  sim::SimTime adaptive_max_ttl_s = 120.0;
+
+  // Rate-adaptive parameters: the controller re-evaluates every window;
+  // TTL mode requires visits >= hysteresis * updates within the window.
+  sim::SimTime rate_window_s = 120.0;
+  double rate_hysteresis = 1.0;
+};
+
+/// Does this method ever run a poll timer?
+bool uses_polling(UpdateMethod m);
+
+/// Does this method ever receive invalidation notices?
+bool uses_invalidation(UpdateMethod m);
+
+}  // namespace cdnsim::consistency

@@ -1,0 +1,45 @@
+// Method/infrastructure advisor: the decision guidance of Section 4.6.
+//
+// Given an application's workload profile (update rate, visit rate,
+// consistency tolerance, scale) returns the update method + infrastructure
+// the paper's evaluation recommends, with the reasoning as text. This is the
+// programmatic form of the paper's "guidance for appropriate selections of
+// consistency maintenance infrastructures and methods".
+#pragma once
+
+#include <string>
+
+#include "consistency/infrastructure.hpp"
+#include "consistency/methods.hpp"
+
+namespace cdnsim::core {
+
+struct WorkloadProfile {
+  /// Content updates per minute while active.
+  double updates_per_minute = 2.0;
+  /// End-user visits per server per minute.
+  double visits_per_server_per_minute = 6.0;
+  /// Largest acceptable staleness observed by users, seconds.
+  double tolerable_staleness_s = 10.0;
+  /// Number of replica servers.
+  std::size_t server_count = 170;
+  /// Does the update rate alternate between bursts and long silences
+  /// (live games, social feeds)?
+  bool bursty_updates = false;
+  /// Do per-server visit rates vary strongly over time or across regions
+  /// (day/night swings, viral spikes)? Triggers the Section 6 rate-adaptive
+  /// method, which re-decides TTL-vs-invalidation per replica per window.
+  bool variable_visit_rates = false;
+  /// Is minimising wide-area traffic a first-class goal?
+  bool traffic_sensitive = false;
+};
+
+struct Recommendation {
+  consistency::UpdateMethod method;
+  consistency::InfrastructureKind infrastructure;
+  std::string rationale;
+};
+
+Recommendation recommend(const WorkloadProfile& profile);
+
+}  // namespace cdnsim::core

@@ -1,0 +1,44 @@
+// Multi-content portfolio simulation.
+//
+// A real CDN origin serves many live contents at once through one uplink
+// (Section 1's "congestion at bottleneck links"). run_portfolio co-schedules
+// one UpdateEngine per content on a single simulator with a *shared*
+// provider uplink, so a heavy content's transfers delay every other
+// content's updates — the cross-content interference a per-content analysis
+// cannot see.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consistency/engine.hpp"
+#include "core/simulation.hpp"
+
+namespace cdnsim::core {
+
+struct ContentSpec {
+  std::string name;
+  trace::UpdateTrace updates;
+  consistency::EngineConfig engine;
+};
+
+struct ContentResult {
+  std::string name;
+  SimulationResult result;
+};
+
+struct PortfolioResult {
+  std::vector<ContentResult> contents;
+  /// Total KB that crossed the shared provider uplink.
+  double provider_uplink_kb = 0;
+  std::uint64_t events_processed = 0;
+};
+
+/// Runs every content of the portfolio concurrently against the same CDN
+/// and the same provider uplink of `provider_uplink_kbps`.
+PortfolioResult run_portfolio(const topology::NodeRegistry& nodes,
+                              const std::vector<ContentSpec>& contents,
+                              double provider_uplink_kbps);
+
+}  // namespace cdnsim::core

@@ -1,0 +1,33 @@
+#include "core/scenario.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace cdnsim::core {
+
+Scenario build_scenario(const ScenarioConfig& config) {
+  CDNSIM_EXPECTS(config.server_count >= 1, "need at least one server");
+  util::Rng rng(config.seed);
+
+  topology::NodeInfo provider;
+  provider.location = config.provider_location;
+  provider.site_index = 0;  // Atlanta is site 0; harmless for other locations
+  auto nodes = std::make_unique<topology::NodeRegistry>(provider);
+
+  util::Rng placement_rng = rng.fork(0x91ace);
+  const auto placements =
+      net::place_nodes(config.server_count, config.placement, placement_rng);
+  for (const auto& p : placements) {
+    topology::NodeInfo info;
+    info.location = p.location;
+    info.site_index = p.site_index;
+    nodes->add_server(info);
+  }
+
+  util::Rng isp_rng = rng.fork(0x15b);
+  topology::assign_isps(*nodes, config.isp, isp_rng);
+
+  return Scenario{std::move(nodes)};
+}
+
+}  // namespace cdnsim::core

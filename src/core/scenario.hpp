@@ -1,0 +1,30 @@
+// Scenario construction: a populated CDN (provider + geo-placed servers with
+// ISP labels) ready to run through the update engine.
+#pragma once
+
+#include <memory>
+
+#include "net/sites.hpp"
+#include "topology/isp_map.hpp"
+#include "topology/node.hpp"
+
+namespace cdnsim::core {
+
+struct ScenarioConfig {
+  std::size_t server_count = 170;  // the paper's Section 4 testbed size
+  net::PlacementConfig placement;
+  topology::IspConfig isp;
+  /// Provider location; the paper's testbed provider is in Atlanta.
+  net::GeoPoint provider_location = net::atlanta_site().location;
+  std::uint64_t seed = 42;
+};
+
+struct Scenario {
+  std::unique_ptr<topology::NodeRegistry> nodes;
+};
+
+/// Places `server_count` servers on world sites, assigns ISPs, and returns
+/// the registry. Deterministic in the seed.
+Scenario build_scenario(const ScenarioConfig& config);
+
+}  // namespace cdnsim::core

@@ -1,0 +1,32 @@
+#include "core/simulation.hpp"
+
+#include "util/stats.hpp"
+
+namespace cdnsim::core {
+
+SimulationResult run_simulation(const topology::NodeRegistry& nodes,
+                                const trace::UpdateTrace& updates,
+                                const consistency::EngineConfig& engine_config,
+                                std::vector<trace::AbsenceSchedule> absences) {
+  sim::Simulator simulator;
+  consistency::UpdateEngine engine(simulator, nodes, updates, engine_config,
+                                   std::move(absences));
+  engine.run();
+
+  SimulationResult result;
+  result.server_inconsistency_s = engine.server_avg_inconsistency();
+  result.user_inconsistency_s = engine.user_avg_inconsistency();
+  result.per_server_max_user_inconsistency_s =
+      engine.per_server_max_user_inconsistency();
+  result.avg_server_inconsistency_s = util::mean(result.server_inconsistency_s);
+  result.avg_user_inconsistency_s = util::mean(result.user_inconsistency_s);
+  result.traffic = engine.meter().totals();
+  result.provider_traffic = engine.meter().sender_totals(topology::kProviderNode);
+  result.user_observed_inconsistency_fraction =
+      engine.user_observed_inconsistency_fraction();
+  result.events_processed = simulator.events_processed();
+  result.simulated_time_s = simulator.now();
+  return result;
+}
+
+}  // namespace cdnsim::core

@@ -1,0 +1,47 @@
+// One-call simulation facade: the library's main public entry point.
+//
+//   auto scenario = core::build_scenario({.server_count = 170});
+//   consistency::EngineConfig engine;
+//   engine.method.method = consistency::UpdateMethod::kPush;
+//   auto result = core::run_simulation(*scenario.nodes, game_trace, engine);
+//   std::cout << result.avg_server_inconsistency_s << "\n";
+//
+// run_simulation wires a Simulator and an UpdateEngine, runs the trace to
+// completion, and returns a flat result struct. For raw access (recorders,
+// logs, the meter) construct an UpdateEngine directly.
+#pragma once
+
+#include <vector>
+
+#include "consistency/engine.hpp"
+#include "core/scenario.hpp"
+#include "trace/update_trace.hpp"
+
+namespace cdnsim::core {
+
+struct SimulationResult {
+  // Per-server average inconsistency, indexed by server id.
+  std::vector<double> server_inconsistency_s;
+  // Per-user average first-seen inconsistency.
+  std::vector<double> user_inconsistency_s;
+  // Largest per-user average on each server (pinned users).
+  std::vector<double> per_server_max_user_inconsistency_s;
+
+  double avg_server_inconsistency_s = 0;
+  double avg_user_inconsistency_s = 0;
+
+  net::TrafficTotals traffic;           // all maintenance traffic
+  net::TrafficTotals provider_traffic;  // sent by the content provider
+
+  double user_observed_inconsistency_fraction = 0;
+  std::uint64_t events_processed = 0;
+  sim::SimTime simulated_time_s = 0;
+};
+
+/// Runs one trace through one engine configuration on the given CDN.
+SimulationResult run_simulation(const topology::NodeRegistry& nodes,
+                                const trace::UpdateTrace& updates,
+                                const consistency::EngineConfig& engine_config,
+                                std::vector<trace::AbsenceSchedule> absences = {});
+
+}  // namespace cdnsim::core

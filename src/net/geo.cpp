@@ -1,0 +1,25 @@
+#include "net/geo.hpp"
+
+#include <cmath>
+
+namespace cdnsim::net {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+double deg_to_rad(double deg) { return deg * kPi / 180.0; }
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = deg_to_rad(a.lat_deg);
+  const double lat2 = deg_to_rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg_to_rad(b.lon_deg - a.lon_deg);
+  const double s = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(s)));
+}
+
+}  // namespace cdnsim::net

@@ -1,0 +1,24 @@
+// Geographic coordinates and great-circle distance.
+//
+// The paper's measurement clusters servers by longitude/latitude and its
+// evaluation metric "traffic cost" is km x KB, so geography is a first-class
+// substrate: every node carries a GeoPoint and message distance is the
+// haversine great-circle distance between endpoints.
+#pragma once
+
+namespace cdnsim::net {
+
+struct GeoPoint {
+  double lat_deg = 0;  // [-90, 90]
+  double lon_deg = 0;  // [-180, 180]
+
+  bool operator==(const GeoPoint&) const = default;
+};
+
+/// Great-circle distance in kilometres (haversine, mean Earth radius).
+double haversine_km(const GeoPoint& a, const GeoPoint& b);
+
+/// Degrees-to-radians helper.
+double deg_to_rad(double deg);
+
+}  // namespace cdnsim::net

@@ -1,0 +1,35 @@
+#include "net/latency_model.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace cdnsim::net {
+
+LatencyModel::LatencyModel(LatencyConfig config) : config_(config) {
+  CDNSIM_EXPECTS(config_.signal_speed_km_per_s > 0, "signal speed must be positive");
+  CDNSIM_EXPECTS(config_.route_stretch >= 1.0, "route stretch must be >= 1");
+  CDNSIM_EXPECTS(config_.base_delay_s >= 0, "base delay must be non-negative");
+  CDNSIM_EXPECTS(config_.jitter_fraction >= 0, "jitter fraction must be non-negative");
+}
+
+sim::SimTime LatencyModel::propagation(const GeoPoint& from, const GeoPoint& to) const {
+  const double km = haversine_km(from, to) * config_.route_stretch;
+  return config_.base_delay_s + km / config_.signal_speed_km_per_s;
+}
+
+sim::SimTime LatencyModel::one_way(const GeoPoint& from, const GeoPoint& to,
+                                   bool crosses_isp, util::Rng& rng) const {
+  sim::SimTime d = propagation(from, to);
+  if (crosses_isp && config_.inter_isp_penalty_mean_s > 0) {
+    d += rng.exponential(config_.inter_isp_penalty_mean_s);
+  }
+  if (config_.jitter_fraction > 0) {
+    // Multiplicative jitter, never negative: U[1, 1 + 2*jitter_fraction)
+    // keeps the mean at (1 + jitter_fraction) * d.
+    d *= rng.uniform(1.0, 1.0 + 2.0 * config_.jitter_fraction);
+  }
+  return d;
+}
+
+}  // namespace cdnsim::net

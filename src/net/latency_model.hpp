@@ -1,0 +1,43 @@
+// End-to-end message latency.
+//
+// latency = propagation (great-circle distance at ~2/3 c, the speed of light
+// in fibre, plus a route-stretch factor) + transmission (handled by the
+// sender's Uplink) + a base per-hop processing floor + optional inter-ISP
+// penalty + optional jitter. The inter-ISP penalty models Section 3.4.3's
+// finding that traffic crossing ISP boundaries competes for transit capacity
+// and arrives later than intra-ISP traffic.
+#pragma once
+
+#include "net/geo.hpp"
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace cdnsim::net {
+
+struct LatencyConfig {
+  double signal_speed_km_per_s = 200000.0;  // ~2/3 c in fibre
+  double route_stretch = 1.5;               // paths are not great circles
+  sim::SimTime base_delay_s = 0.002;        // NIC/stack/last-mile floor
+  sim::SimTime inter_isp_penalty_mean_s = 0.0;  // extra mean delay across ISPs
+  double jitter_fraction = 0.0;             // lognormal-ish multiplicative jitter
+};
+
+class LatencyModel {
+ public:
+  explicit LatencyModel(LatencyConfig config);
+
+  /// One-way propagation delay between two points (no jitter, no penalty).
+  sim::SimTime propagation(const GeoPoint& from, const GeoPoint& to) const;
+
+  /// One-way delay sample including inter-ISP penalty and jitter.
+  /// `rng` may be shared; draws are only made when jitter/penalty are active.
+  sim::SimTime one_way(const GeoPoint& from, const GeoPoint& to, bool crosses_isp,
+                       util::Rng& rng) const;
+
+  const LatencyConfig& config() const { return config_; }
+
+ private:
+  LatencyConfig config_;
+};
+
+}  // namespace cdnsim::net

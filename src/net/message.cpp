@@ -1,0 +1,48 @@
+#include "net/message.hpp"
+
+namespace cdnsim::net {
+
+bool carries_content(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kPollResponseFresh:
+    case MessageKind::kPushUpdate:
+    case MessageKind::kFetchResponse:
+    case MessageKind::kUserResponse:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool counts_as_update(MessageKind kind) {
+  return carries_content(kind) || kind == MessageKind::kPollResponseNoop;
+}
+
+bool is_maintenance(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kUserRequest:
+    case MessageKind::kUserResponse:
+      return false;
+    default:
+      return true;
+  }
+}
+
+std::string_view to_string(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kPollRequest: return "poll-request";
+    case MessageKind::kPollResponseFresh: return "poll-response-fresh";
+    case MessageKind::kPollResponseNoop: return "poll-response-noop";
+    case MessageKind::kPushUpdate: return "push-update";
+    case MessageKind::kInvalidation: return "invalidation";
+    case MessageKind::kFetchRequest: return "fetch-request";
+    case MessageKind::kFetchResponse: return "fetch-response";
+    case MessageKind::kSwitchNotice: return "switch-notice";
+    case MessageKind::kTreeMaintenance: return "tree-maintenance";
+    case MessageKind::kUserRequest: return "user-request";
+    case MessageKind::kUserResponse: return "user-response";
+  }
+  return "unknown";
+}
+
+}  // namespace cdnsim::net

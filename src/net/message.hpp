@@ -1,0 +1,47 @@
+// Message taxonomy for consistency maintenance.
+//
+// The paper distinguishes "update messages" (carry a content payload: poll
+// responses with new content, pushed updates, fetch responses) from "light
+// messages" (poll requests, invalidation notices, method-switch notices,
+// tree-maintenance traffic). Section 5.3 counts the two classes separately
+// (Figs. 22-23), so every message carries its kind and the meter classifies
+// by it.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace cdnsim::net {
+
+enum class MessageKind : std::uint8_t {
+  kPollRequest,        // light: TTL poll / fetch request upstream
+  kPollResponseFresh,  // update: poll response carrying new content
+  kPollResponseNoop,   // light: poll response, content unchanged
+  kPushUpdate,         // update: pushed content
+  kInvalidation,       // light: invalidation notice
+  kFetchRequest,       // light: invalid replica requesting content
+  kFetchResponse,      // update: content returned to invalid replica
+  kSwitchNotice,       // light: self-adaptive TTL<->Invalidation switch
+  kTreeMaintenance,    // light: multicast-tree join/repair traffic
+  kUserRequest,        // light: end-user content request
+  kUserResponse,       // update: content served to an end-user
+};
+
+/// True for messages that carry a content payload.
+bool carries_content(MessageKind kind);
+
+/// True for messages the paper's Section 5.3 accounting counts as "update
+/// messages": content-carrying messages plus *all* polling responses ("the
+/// number of update messages ... including the polling responses and update
+/// messages"). Light messages are the requests: polls, invalidation notices,
+/// switch notices, tree maintenance.
+bool counts_as_update(MessageKind kind);
+
+std::string_view to_string(MessageKind kind);
+
+/// Consistency-maintenance traffic between CDN entities, i.e. everything
+/// except end-user request/response traffic. Figures 16-17 and 22-23 meter
+/// only this class.
+bool is_maintenance(MessageKind kind);
+
+}  // namespace cdnsim::net

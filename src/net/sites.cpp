@@ -1,0 +1,165 @@
+#include "net/sites.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace cdnsim::net {
+
+namespace {
+
+std::vector<Site> make_sites() {
+  using R = Region;
+  return {
+      // --- North America ---
+      {"Atlanta", {33.75, -84.39}, R::kNorthAmerica},
+      {"New York", {40.71, -74.01}, R::kNorthAmerica},
+      {"Boston", {42.36, -71.06}, R::kNorthAmerica},
+      {"Washington DC", {38.91, -77.04}, R::kNorthAmerica},
+      {"Miami", {25.76, -80.19}, R::kNorthAmerica},
+      {"Chicago", {41.88, -87.63}, R::kNorthAmerica},
+      {"Detroit", {42.33, -83.05}, R::kNorthAmerica},
+      {"Dallas", {32.78, -96.80}, R::kNorthAmerica},
+      {"Houston", {29.76, -95.37}, R::kNorthAmerica},
+      {"Denver", {39.74, -104.99}, R::kNorthAmerica},
+      {"Phoenix", {33.45, -112.07}, R::kNorthAmerica},
+      {"Seattle", {47.61, -122.33}, R::kNorthAmerica},
+      {"Portland", {45.52, -122.68}, R::kNorthAmerica},
+      {"San Francisco", {37.77, -122.42}, R::kNorthAmerica},
+      {"Los Angeles", {34.05, -118.24}, R::kNorthAmerica},
+      {"San Diego", {32.72, -117.16}, R::kNorthAmerica},
+      {"Salt Lake City", {40.76, -111.89}, R::kNorthAmerica},
+      {"Minneapolis", {44.98, -93.27}, R::kNorthAmerica},
+      {"St Louis", {38.63, -90.20}, R::kNorthAmerica},
+      {"Pittsburgh", {40.44, -79.99}, R::kNorthAmerica},
+      {"Philadelphia", {39.95, -75.17}, R::kNorthAmerica},
+      {"Raleigh", {35.78, -78.64}, R::kNorthAmerica},
+      {"Nashville", {36.16, -86.78}, R::kNorthAmerica},
+      {"Kansas City", {39.10, -94.58}, R::kNorthAmerica},
+      {"Toronto", {43.65, -79.38}, R::kNorthAmerica},
+      {"Montreal", {45.50, -73.57}, R::kNorthAmerica},
+      {"Vancouver", {49.28, -123.12}, R::kNorthAmerica},
+      {"Mexico City", {19.43, -99.13}, R::kNorthAmerica},
+      {"Austin", {30.27, -97.74}, R::kNorthAmerica},
+      {"Columbus", {39.96, -83.00}, R::kNorthAmerica},
+      // --- Europe ---
+      {"London", {51.51, -0.13}, R::kEurope},
+      {"Manchester", {53.48, -2.24}, R::kEurope},
+      {"Dublin", {53.35, -6.26}, R::kEurope},
+      {"Paris", {48.86, 2.35}, R::kEurope},
+      {"Lyon", {45.76, 4.84}, R::kEurope},
+      {"Amsterdam", {52.37, 4.90}, R::kEurope},
+      {"Brussels", {50.85, 4.35}, R::kEurope},
+      {"Frankfurt", {50.11, 8.68}, R::kEurope},
+      {"Berlin", {52.52, 13.41}, R::kEurope},
+      {"Munich", {48.14, 11.58}, R::kEurope},
+      {"Zurich", {47.38, 8.54}, R::kEurope},
+      {"Vienna", {48.21, 16.37}, R::kEurope},
+      {"Prague", {50.08, 14.44}, R::kEurope},
+      {"Warsaw", {52.23, 21.01}, R::kEurope},
+      {"Stockholm", {59.33, 18.06}, R::kEurope},
+      {"Oslo", {59.91, 10.75}, R::kEurope},
+      {"Copenhagen", {55.68, 12.57}, R::kEurope},
+      {"Helsinki", {60.17, 24.94}, R::kEurope},
+      {"Madrid", {40.42, -3.70}, R::kEurope},
+      {"Barcelona", {41.39, 2.17}, R::kEurope},
+      {"Lisbon", {38.72, -9.14}, R::kEurope},
+      {"Milan", {45.46, 9.19}, R::kEurope},
+      {"Rome", {41.90, 12.50}, R::kEurope},
+      {"Athens", {37.98, 23.73}, R::kEurope},
+      {"Budapest", {47.50, 19.04}, R::kEurope},
+      {"Bucharest", {44.43, 26.10}, R::kEurope},
+      {"Moscow", {55.76, 37.62}, R::kEurope},
+      {"Istanbul", {41.01, 28.98}, R::kEurope},
+      // --- Asia ---
+      {"Tokyo", {35.68, 139.69}, R::kAsia},
+      {"Osaka", {34.69, 135.50}, R::kAsia},
+      {"Seoul", {37.57, 126.98}, R::kAsia},
+      {"Beijing", {39.90, 116.41}, R::kAsia},
+      {"Shanghai", {31.23, 121.47}, R::kAsia},
+      {"Shenzhen", {22.54, 114.06}, R::kAsia},
+      {"Hong Kong", {22.32, 114.17}, R::kAsia},
+      {"Taipei", {25.03, 121.57}, R::kAsia},
+      {"Singapore", {1.35, 103.82}, R::kAsia},
+      {"Kuala Lumpur", {3.14, 101.69}, R::kAsia},
+      {"Bangkok", {13.76, 100.50}, R::kAsia},
+      {"Jakarta", {-6.21, 106.85}, R::kAsia},
+      {"Manila", {14.60, 120.98}, R::kAsia},
+      {"Mumbai", {19.08, 72.88}, R::kAsia},
+      {"Delhi", {28.70, 77.10}, R::kAsia},
+      {"Bangalore", {12.97, 77.59}, R::kAsia},
+      {"Chennai", {13.08, 80.27}, R::kAsia},
+      {"Tel Aviv", {32.09, 34.78}, R::kAsia},
+      {"Dubai", {25.20, 55.27}, R::kAsia},
+      // --- South America ---
+      {"Sao Paulo", {-23.55, -46.63}, R::kSouthAmerica},
+      {"Rio de Janeiro", {-22.91, -43.17}, R::kSouthAmerica},
+      {"Buenos Aires", {-34.60, -58.38}, R::kSouthAmerica},
+      {"Santiago", {-33.45, -70.67}, R::kSouthAmerica},
+      {"Bogota", {4.71, -74.07}, R::kSouthAmerica},
+      // --- Oceania ---
+      {"Sydney", {-33.87, 151.21}, R::kOceania},
+      {"Melbourne", {-37.81, 144.96}, R::kOceania},
+      {"Auckland", {-36.85, 174.76}, R::kOceania},
+  };
+}
+
+}  // namespace
+
+const std::vector<Site>& world_sites() {
+  static const std::vector<Site> sites = make_sites();
+  return sites;
+}
+
+const Site& atlanta_site() {
+  // Atlanta is element 0 by construction; assert the invariant.
+  const auto& sites = world_sites();
+  CDNSIM_EXPECTS(sites[0].name == "Atlanta", "site table changed unexpectedly");
+  return sites[0];
+}
+
+std::vector<Placement> place_nodes(std::size_t count, const PlacementConfig& config,
+                                   util::Rng& rng) {
+  const auto& sites = world_sites();
+  // Partition site indices by region.
+  std::array<std::vector<std::size_t>, 5> by_region;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    by_region[static_cast<std::size_t>(sites[i].region)].push_back(i);
+  }
+  const std::array<double, 5> weights = {
+      config.weight_north_america, config.weight_europe, config.weight_asia,
+      config.weight_south_america, config.weight_oceania};
+  double total_weight = 0;
+  for (std::size_t r = 0; r < weights.size(); ++r) {
+    CDNSIM_EXPECTS(weights[r] >= 0, "region weights must be non-negative");
+    if (!by_region[r].empty()) total_weight += weights[r];
+  }
+  CDNSIM_EXPECTS(total_weight > 0, "at least one region weight must be positive");
+
+  std::vector<Placement> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    double draw = rng.uniform(0.0, total_weight);
+    std::size_t region = 0;
+    for (std::size_t r = 0; r < weights.size(); ++r) {
+      if (by_region[r].empty()) continue;
+      if (draw < weights[r]) {
+        region = r;
+        break;
+      }
+      draw -= weights[r];
+      region = r;  // fall back to last non-empty region on fp round-off
+    }
+    const auto& candidates = by_region[region];
+    const std::size_t site_index = candidates[rng.index(candidates.size())];
+    GeoPoint p = sites[site_index].location;
+    if (config.jitter_deg > 0) {
+      p.lat_deg += rng.uniform(-config.jitter_deg, config.jitter_deg);
+      p.lon_deg += rng.uniform(-config.jitter_deg, config.jitter_deg);
+    }
+    out.push_back({p, site_index});
+  }
+  return out;
+}
+
+}  // namespace cdnsim::net

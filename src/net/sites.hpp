@@ -1,0 +1,55 @@
+// Curated world-site database.
+//
+// Substitute for the PlanetLab deployment: real city coordinates across the
+// US, Europe, Asia, and a few other regions, with the paper's bias toward
+// US/Europe/Asia sites ("we selected 170 PlanetLab nodes ... mainly in the
+// U.S., Europe, and Asia"). Node placement draws sites (optionally weighted
+// by region) and adds small jitter so co-located servers cluster the way
+// CDN PoPs do.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/geo.hpp"
+#include "util/rng.hpp"
+
+namespace cdnsim::net {
+
+enum class Region { kNorthAmerica, kEurope, kAsia, kSouthAmerica, kOceania };
+
+struct Site {
+  std::string name;
+  GeoPoint location;
+  Region region;
+};
+
+/// The full built-in site list (~90 sites).
+const std::vector<Site>& world_sites();
+
+/// The site used for the content provider in the paper's testbed (Atlanta).
+const Site& atlanta_site();
+
+struct PlacementConfig {
+  // Relative weights for drawing sites per region; defaults follow the
+  // paper's US/Europe/Asia emphasis.
+  double weight_north_america = 0.45;
+  double weight_europe = 0.30;
+  double weight_asia = 0.20;
+  double weight_south_america = 0.03;
+  double weight_oceania = 0.02;
+  // Max +- degrees of jitter applied to each placement, so several nodes at
+  // one site are distinct but remain geographically collocated.
+  double jitter_deg = 0.05;
+};
+
+struct Placement {
+  GeoPoint location;
+  std::size_t site_index;  // into world_sites()
+};
+
+/// Draws `count` node placements.
+std::vector<Placement> place_nodes(std::size_t count, const PlacementConfig& config,
+                                   util::Rng& rng);
+
+}  // namespace cdnsim::net

@@ -1,0 +1,39 @@
+#include "net/traffic_meter.hpp"
+
+#include "util/error.hpp"
+
+namespace cdnsim::net {
+
+namespace {
+void apply(TrafficTotals& t, MessageKind kind, double distance_km, double size_kb) {
+  t.cost_km_kb += distance_km * size_kb;
+  if (counts_as_update(kind)) {
+    t.load_km_update += distance_km;
+    ++t.update_messages;
+  } else {
+    t.load_km_light += distance_km;
+    ++t.light_messages;
+  }
+}
+}  // namespace
+
+void TrafficMeter::record(MessageKind kind, NodeId sender, double distance_km,
+                          double size_kb) {
+  CDNSIM_EXPECTS(distance_km >= 0, "distance must be non-negative");
+  CDNSIM_EXPECTS(size_kb >= 0, "size must be non-negative");
+  if (!is_maintenance(kind)) return;
+  apply(totals_, kind, distance_km, size_kb);
+  apply(by_sender_[sender], kind, distance_km, size_kb);
+}
+
+TrafficTotals TrafficMeter::sender_totals(NodeId sender) const {
+  const auto it = by_sender_.find(sender);
+  return it == by_sender_.end() ? TrafficTotals{} : it->second;
+}
+
+void TrafficMeter::reset() {
+  totals_ = {};
+  by_sender_.clear();
+}
+
+}  // namespace cdnsim::net

@@ -1,0 +1,30 @@
+#include "net/uplink.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace cdnsim::net {
+
+Uplink::Uplink(double bandwidth_kbps) : bandwidth_kbps_(bandwidth_kbps) {
+  CDNSIM_EXPECTS(bandwidth_kbps_ > 0, "uplink bandwidth must be positive");
+}
+
+sim::SimTime Uplink::reserve(sim::SimTime now, double size_kb) {
+  CDNSIM_EXPECTS(size_kb >= 0, "message size must be non-negative");
+  const sim::SimTime start = std::max(busy_until_, now);
+  busy_until_ = start + size_kb / bandwidth_kbps_;
+  total_kb_sent_ += size_kb;
+  return busy_until_;
+}
+
+sim::SimTime Uplink::peek(sim::SimTime now, double size_kb) const {
+  CDNSIM_EXPECTS(size_kb >= 0, "message size must be non-negative");
+  return std::max(busy_until_, now) + size_kb / bandwidth_kbps_;
+}
+
+sim::SimTime Uplink::backlog(sim::SimTime now) const {
+  return std::max(0.0, busy_until_ - now);
+}
+
+}  // namespace cdnsim::net

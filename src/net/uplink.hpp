@@ -1,0 +1,41 @@
+// FIFO uplink serialization queue.
+//
+// Each node owns one Uplink modelling its outbound access link. Sending a
+// message occupies the link for size/bandwidth seconds; concurrent sends
+// queue behind each other. This single mechanism produces the paper's
+// scalability results: in unicast Push the provider serializes one copy per
+// server, so queueing delay grows with both packet size (Fig. 19) and
+// network size (Fig. 20), while TTL polling spreads requests over [0, TTL]
+// and stays flat.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace cdnsim::net {
+
+class Uplink {
+ public:
+  /// Bandwidth in KB per second (> 0).
+  explicit Uplink(double bandwidth_kbps);
+
+  /// Reserve the link for a message of `size_kb` starting no earlier than
+  /// `now`; returns the departure time (when the last byte leaves the link).
+  sim::SimTime reserve(sim::SimTime now, double size_kb);
+
+  /// Departure time a reservation *would* get, without reserving.
+  sim::SimTime peek(sim::SimTime now, double size_kb) const;
+
+  /// Seconds of queueing (not counting own transmission) a new message
+  /// would currently experience.
+  sim::SimTime backlog(sim::SimTime now) const;
+
+  double bandwidth_kbps() const { return bandwidth_kbps_; }
+  double total_kb_sent() const { return total_kb_sent_; }
+
+ private:
+  double bandwidth_kbps_;
+  sim::SimTime busy_until_ = 0;
+  double total_kb_sent_ = 0;
+};
+
+}  // namespace cdnsim::net

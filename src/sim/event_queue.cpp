@@ -1,0 +1,49 @@
+#include "sim/event_queue.hpp"
+
+#include "util/error.hpp"
+
+namespace cdnsim::sim {
+
+bool EventHandle::pending() const {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+void EventHandle::cancel() {
+  if (state_) state_->cancelled = true;
+}
+
+EventHandle EventQueue::push(SimTime time, EventAction action) {
+  CDNSIM_EXPECTS(static_cast<bool>(action), "event action must be callable");
+  auto state = std::make_shared<EventHandle::State>();
+  heap_.push(Entry{time, next_seq_++, state, std::move(action)});
+  return EventHandle(std::move(state));
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && heap_.top().state->cancelled) heap_.pop();
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  CDNSIM_EXPECTS(!heap_.empty(), "next_time() on empty queue");
+  return heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_cancelled();
+  CDNSIM_EXPECTS(!heap_.empty(), "pop() on empty queue");
+  // priority_queue::top() is const; we need to move the action out. The
+  // const_cast is confined here and safe because we pop immediately after.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Popped out{top.time, std::move(top.action)};
+  top.state->fired = true;
+  heap_.pop();
+  return out;
+}
+
+}  // namespace cdnsim::sim

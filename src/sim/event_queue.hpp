@@ -1,0 +1,82 @@
+// Priority event queue for the discrete-event engine.
+//
+// Events are ordered by (time, insertion sequence): simultaneous events fire
+// in the order they were scheduled, which keeps whole simulations
+// deterministic for a fixed seed. Cancellation is O(1) via a tombstone flag;
+// cancelled entries are skipped lazily at pop time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace cdnsim::sim {
+
+using EventAction = std::function<void()>;
+
+/// Handle to a scheduled event; lets the owner cancel it later.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True while the event is scheduled and not yet fired or cancelled.
+  bool pending() const;
+
+  /// Cancels the event if still pending; safe to call repeatedly.
+  void cancel();
+
+ private:
+  friend class EventQueue;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+class EventQueue {
+ public:
+  EventHandle push(SimTime time, EventAction action);
+
+  bool empty() const;
+
+  /// Time of the next non-cancelled event. Precondition: !empty().
+  SimTime next_time() const;
+
+  struct Popped {
+    SimTime time;
+    EventAction action;
+  };
+
+  /// Removes and returns the next non-cancelled event. Precondition: !empty().
+  Popped pop();
+
+  std::size_t size_including_cancelled() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    // shared_ptr so EventHandle cancellation is visible; Entry owns action.
+    std::shared_ptr<EventHandle::State> state;
+    EventAction action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace cdnsim::sim

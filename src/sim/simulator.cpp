@@ -1,0 +1,35 @@
+#include "sim/simulator.hpp"
+
+#include "util/error.hpp"
+
+namespace cdnsim::sim {
+
+EventHandle Simulator::at(SimTime time, EventAction action) {
+  CDNSIM_EXPECTS(time >= now_, "cannot schedule an event in the past");
+  return queue_.push(time, std::move(action));
+}
+
+EventHandle Simulator::after(SimTime delay, EventAction action) {
+  CDNSIM_EXPECTS(delay >= 0, "delay must be non-negative");
+  return queue_.push(now_ + delay, std::move(action));
+}
+
+void Simulator::run(SimTime until) {
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    step();
+  }
+  if (until != std::numeric_limits<SimTime>::infinity() && now_ < until) {
+    now_ = until;
+  }
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto [time, action] = queue_.pop();
+  now_ = time;
+  ++events_processed_;
+  action();
+  return true;
+}
+
+}  // namespace cdnsim::sim

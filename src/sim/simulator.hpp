@@ -1,0 +1,48 @@
+// The discrete-event simulator.
+//
+// A Simulator owns the virtual clock and the event queue. Components
+// schedule closures at absolute times or after delays; run() drains events
+// in time order. The clock only moves forward — scheduling in the past is a
+// contract violation, which catches latency-model bugs early.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace cdnsim::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule at an absolute time >= now().
+  EventHandle at(SimTime time, EventAction action);
+
+  /// Schedule after a non-negative delay.
+  EventHandle after(SimTime delay, EventAction action);
+
+  /// Run until the queue drains or the optional horizon is reached.
+  /// Events at exactly the horizon still fire.
+  void run(SimTime until = std::numeric_limits<SimTime>::infinity());
+
+  /// Process a single event if one exists; returns false when drained.
+  bool step();
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  bool drained() const { return queue_.empty(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace cdnsim::sim

@@ -1,0 +1,14 @@
+// Simulated time: seconds since simulation start, as a double.
+// All durations in the library are in seconds unless a name says otherwise.
+#pragma once
+
+namespace cdnsim::sim {
+
+using SimTime = double;
+
+inline constexpr SimTime kSecond = 1.0;
+inline constexpr SimTime kMinute = 60.0;
+inline constexpr SimTime kHour = 3600.0;
+inline constexpr SimTime kDay = 86400.0;
+
+}  // namespace cdnsim::sim

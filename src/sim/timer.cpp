@@ -1,0 +1,40 @@
+#include "sim/timer.hpp"
+
+#include "util/error.hpp"
+
+namespace cdnsim::sim {
+
+PeriodicTimer::PeriodicTimer(Simulator& sim, SimTime period, Callback on_tick)
+    : sim_(&sim), period_(period), on_tick_(std::move(on_tick)) {
+  CDNSIM_EXPECTS(period_ > 0, "timer period must be positive");
+  CDNSIM_EXPECTS(static_cast<bool>(on_tick_), "timer callback must be callable");
+}
+
+PeriodicTimer::~PeriodicTimer() { stop(); }
+
+void PeriodicTimer::start() { start_after(period_); }
+
+void PeriodicTimer::start_after(SimTime initial_delay) {
+  CDNSIM_EXPECTS(initial_delay >= 0, "initial delay must be non-negative");
+  stop();
+  arm(initial_delay);
+}
+
+void PeriodicTimer::stop() { handle_.cancel(); }
+
+void PeriodicTimer::set_period(SimTime period) {
+  CDNSIM_EXPECTS(period > 0, "timer period must be positive");
+  period_ = period;
+}
+
+void PeriodicTimer::arm(SimTime delay) {
+  handle_ = sim_->after(delay, [this] { fire(); });
+}
+
+void PeriodicTimer::fire() {
+  // Re-arm before the callback so the callback may stop() or set_period().
+  arm(period_);
+  on_tick_();
+}
+
+}  // namespace cdnsim::sim

@@ -1,0 +1,49 @@
+// Repeating timers on top of the Simulator.
+//
+// PeriodicTimer drives TTL polling loops and end-user visit loops. The
+// period can be changed between ticks (adaptive TTL), and the timer can be
+// suspended/resumed (self-adaptive method switching, server absences).
+#pragma once
+
+#include <functional>
+
+#include "sim/simulator.hpp"
+
+namespace cdnsim::sim {
+
+class PeriodicTimer {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Timer is created stopped; call start() to arm it.
+  PeriodicTimer(Simulator& sim, SimTime period, Callback on_tick);
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+  ~PeriodicTimer();
+
+  /// Arms the timer: first tick after `initial_delay` (defaults to period).
+  void start();
+  void start_after(SimTime initial_delay);
+
+  /// Cancels the pending tick. Idempotent.
+  void stop();
+
+  bool running() const { return handle_.pending(); }
+
+  /// Takes effect from the next re-arm (i.e. after the pending tick fires,
+  /// or at the next start()).
+  void set_period(SimTime period);
+  SimTime period() const { return period_; }
+
+ private:
+  void arm(SimTime delay);
+  void fire();
+
+  Simulator* sim_;
+  SimTime period_;
+  Callback on_tick_;
+  EventHandle handle_;
+};
+
+}  // namespace cdnsim::sim

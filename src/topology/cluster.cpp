@@ -1,0 +1,132 @@
+#include "topology/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "topology/hilbert.hpp"
+
+namespace cdnsim::topology {
+
+namespace {
+
+Clustering from_groups(const NodeRegistry& nodes,
+                       const std::vector<std::vector<NodeId>>& groups) {
+  Clustering c;
+  c.members = groups;
+  c.cluster_of.assign(nodes.server_count(), 0);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (NodeId id : groups[g]) {
+      c.cluster_of[static_cast<std::size_t>(id)] = g;
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+Clustering cluster_by_grid(const NodeRegistry& nodes, double cell_deg) {
+  CDNSIM_EXPECTS(cell_deg > 0, "grid cell size must be positive");
+  std::map<std::pair<long, long>, std::vector<NodeId>> cells;
+  for (NodeId id : nodes.server_ids()) {
+    const auto& p = nodes.location(id);
+    const auto key = std::make_pair(std::lround(p.lat_deg / cell_deg),
+                                    std::lround(p.lon_deg / cell_deg));
+    cells[key].push_back(id);
+  }
+  std::vector<std::vector<NodeId>> groups;
+  groups.reserve(cells.size());
+  for (auto& [key, members] : cells) groups.push_back(std::move(members));
+  return from_groups(nodes, groups);
+}
+
+Clustering cluster_by_hilbert(const NodeRegistry& nodes, std::size_t cluster_count,
+                              std::uint32_t hilbert_order) {
+  const std::size_t n = nodes.server_count();
+  CDNSIM_EXPECTS(cluster_count >= 1 && cluster_count <= n,
+                 "cluster_count must be in [1, server_count]");
+  std::vector<NodeId> order = nodes.server_ids();
+  std::vector<std::uint64_t> keys(n);
+  for (NodeId id : order) {
+    keys[static_cast<std::size_t>(id)] =
+        hilbert_number(nodes.location(id), hilbert_order);
+  }
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    const auto ka = keys[static_cast<std::size_t>(a)];
+    const auto kb = keys[static_cast<std::size_t>(b)];
+    if (ka != kb) return ka < kb;
+    return a < b;
+  });
+  // Contiguous runs of the Hilbert order, sizes as equal as possible.
+  std::vector<std::vector<NodeId>> groups(cluster_count);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t g = i * cluster_count / n;
+    groups[g].push_back(order[i]);
+  }
+  return from_groups(nodes, groups);
+}
+
+Clustering cluster_by_provider_distance(const NodeRegistry& nodes, double ring_km) {
+  CDNSIM_EXPECTS(ring_km > 0, "ring width must be positive");
+  std::map<long, std::vector<NodeId>> rings;
+  for (NodeId id : nodes.server_ids()) {
+    const double d = nodes.distance_km(kProviderNode, id);
+    rings[std::lround(d / ring_km)].push_back(id);
+  }
+  std::vector<std::vector<NodeId>> groups;
+  groups.reserve(rings.size());
+  for (auto& [key, members] : rings) groups.push_back(std::move(members));
+  return from_groups(nodes, groups);
+}
+
+Clustering cluster_by_isp(const NodeRegistry& nodes) {
+  std::map<std::int32_t, std::vector<NodeId>> isps;
+  for (NodeId id : nodes.server_ids()) {
+    isps[nodes.isp(id)].push_back(id);
+  }
+  std::vector<std::vector<NodeId>> groups;
+  groups.reserve(isps.size());
+  for (auto& [key, members] : isps) groups.push_back(std::move(members));
+  return from_groups(nodes, groups);
+}
+
+std::vector<NodeId> elect_supernodes(const Clustering& clustering, util::Rng& rng) {
+  std::vector<NodeId> supernodes;
+  supernodes.reserve(clustering.members.size());
+  for (const auto& members : clustering.members) {
+    CDNSIM_EXPECTS(!members.empty(), "cannot elect a supernode in an empty cluster");
+    supernodes.push_back(members[rng.index(members.size())]);
+  }
+  return supernodes;
+}
+
+std::vector<NodeId> elect_central_supernodes(const Clustering& clustering,
+                                             const NodeRegistry& nodes) {
+  std::vector<NodeId> supernodes;
+  supernodes.reserve(clustering.members.size());
+  for (const auto& members : clustering.members) {
+    CDNSIM_EXPECTS(!members.empty(), "cannot elect a supernode in an empty cluster");
+    // Centroid in plain lat/lon space is adequate at cluster scale.
+    double lat = 0, lon = 0;
+    for (NodeId id : members) {
+      lat += nodes.location(id).lat_deg;
+      lon += nodes.location(id).lon_deg;
+    }
+    const net::GeoPoint centroid{lat / static_cast<double>(members.size()),
+                                 lon / static_cast<double>(members.size())};
+    NodeId best = members.front();
+    double best_km = net::haversine_km(nodes.location(best), centroid);
+    for (NodeId id : members) {
+      const double km = net::haversine_km(nodes.location(id), centroid);
+      if (km < best_km) {
+        best = id;
+        best_km = km;
+      }
+    }
+    supernodes.push_back(best);
+  }
+  return supernodes;
+}
+
+}  // namespace cdnsim::topology

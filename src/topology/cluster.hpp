@@ -1,0 +1,51 @@
+// Server clustering.
+//
+// Three flavours used by the paper:
+//  * grid clustering — Section 3.4.1 groups servers "with the same longitude
+//    and latitude"; we group by rounded coordinates;
+//  * Hilbert clustering — Section 5.2 groups by Hilbert number into a fixed
+//    number of clusters (contiguous runs of the sorted Hilbert order);
+//  * distance-ring clustering — Section 3.4.3 clusters servers "with the
+//    same distance to the provider" (rounded to a bucket width).
+// Plus supernode election inside each cluster (Section 5.2).
+#pragma once
+
+#include <vector>
+
+#include "topology/node.hpp"
+#include "util/rng.hpp"
+
+namespace cdnsim::topology {
+
+struct Clustering {
+  /// cluster_of[server_id] -> cluster index.
+  std::vector<std::size_t> cluster_of;
+  /// members[cluster] -> server ids.
+  std::vector<std::vector<NodeId>> members;
+
+  std::size_t cluster_count() const { return members.size(); }
+};
+
+/// Groups servers whose location rounds to the same (lat, lon) grid cell.
+Clustering cluster_by_grid(const NodeRegistry& nodes, double cell_deg);
+
+/// Groups servers into exactly `cluster_count` clusters by Hilbert order.
+/// Requires cluster_count >= 1 and <= number of servers.
+Clustering cluster_by_hilbert(const NodeRegistry& nodes, std::size_t cluster_count,
+                              std::uint32_t hilbert_order = 16);
+
+/// Groups servers by distance ring around the provider.
+Clustering cluster_by_provider_distance(const NodeRegistry& nodes, double ring_km);
+
+/// Groups servers by ISP id.
+Clustering cluster_by_isp(const NodeRegistry& nodes);
+
+/// Elects one supernode per cluster, uniformly at random (the paper:
+/// "the supernode is randomly chosen from the node in the cluster").
+std::vector<NodeId> elect_supernodes(const Clustering& clustering, util::Rng& rng);
+
+/// Elects the member closest to the cluster centroid (ablation alternative).
+std::vector<NodeId> elect_central_supernodes(const Clustering& clustering,
+                                             const NodeRegistry& nodes);
+
+}  // namespace cdnsim::topology

@@ -1,0 +1,73 @@
+#include "topology/hilbert.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace cdnsim::topology {
+
+namespace {
+// Rotate/flip a quadrant appropriately (standard Hilbert-curve step).
+void rotate(std::uint32_t n, std::uint32_t& x, std::uint32_t& y, std::uint32_t rx,
+            std::uint32_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      x = n - 1 - x;
+      y = n - 1 - y;
+    }
+    std::swap(x, y);
+  }
+}
+}  // namespace
+
+std::uint64_t hilbert_xy_to_d(std::uint32_t order, GridCell cell) {
+  CDNSIM_EXPECTS(order >= 1 && order <= 31, "hilbert order must be in [1,31]");
+  const std::uint32_t n = 1u << order;
+  CDNSIM_EXPECTS(cell.x < n && cell.y < n, "cell outside hilbert grid");
+  std::uint64_t d = 0;
+  std::uint32_t x = cell.x;
+  std::uint32_t y = cell.y;
+  for (std::uint32_t s = n / 2; s > 0; s /= 2) {
+    const std::uint32_t rx = (x & s) > 0 ? 1 : 0;
+    const std::uint32_t ry = (y & s) > 0 ? 1 : 0;
+    d += static_cast<std::uint64_t>(s) * s * ((3 * rx) ^ ry);
+    rotate(s, x, y, rx, ry);
+  }
+  return d;
+}
+
+GridCell hilbert_d_to_xy(std::uint32_t order, std::uint64_t d) {
+  CDNSIM_EXPECTS(order >= 1 && order <= 31, "hilbert order must be in [1,31]");
+  const std::uint32_t n = 1u << order;
+  CDNSIM_EXPECTS(d < static_cast<std::uint64_t>(n) * n, "hilbert index out of range");
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+  std::uint64_t t = d;
+  for (std::uint32_t s = 1; s < n; s *= 2) {
+    const std::uint32_t rx = 1 & static_cast<std::uint32_t>(t / 2);
+    const std::uint32_t ry = 1 & static_cast<std::uint32_t>(t ^ rx);
+    rotate(s, x, y, rx, ry);
+    x += s * rx;
+    y += s * ry;
+    t /= 4;
+  }
+  return {x, y};
+}
+
+GridCell geo_to_cell(const net::GeoPoint& p, std::uint32_t order) {
+  CDNSIM_EXPECTS(order >= 1 && order <= 31, "hilbert order must be in [1,31]");
+  const std::uint32_t n = 1u << order;
+  const double fx = std::clamp((p.lon_deg + 180.0) / 360.0, 0.0, 1.0);
+  const double fy = std::clamp((p.lat_deg + 90.0) / 180.0, 0.0, 1.0);
+  const auto quantize = [n](double f) {
+    auto v = static_cast<std::uint32_t>(f * n);
+    return std::min(v, n - 1);
+  };
+  return {quantize(fx), quantize(fy)};
+}
+
+std::uint64_t hilbert_number(const net::GeoPoint& p, std::uint32_t order) {
+  return hilbert_xy_to_d(order, geo_to_cell(p, order));
+}
+
+}  // namespace cdnsim::topology

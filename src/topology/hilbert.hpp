@@ -1,0 +1,34 @@
+// Hilbert space-filling curve.
+//
+// Section 5.2 of the paper groups content servers by converting (longitude,
+// latitude) to a 1-D Hilbert number ([39] / Xu et al. [44]): physically
+// close nodes get similar Hilbert numbers, so sorting by the number yields
+// proximity-preserving clusters. We implement the classic d2xy/xy2d
+// iterative mapping on a 2^order x 2^order grid.
+#pragma once
+
+#include <cstdint>
+
+#include "net/geo.hpp"
+
+namespace cdnsim::topology {
+
+struct GridCell {
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+};
+
+/// Maps grid coordinates (x, y) in [0, 2^order) to the Hilbert index.
+std::uint64_t hilbert_xy_to_d(std::uint32_t order, GridCell cell);
+
+/// Inverse: Hilbert index to grid coordinates.
+GridCell hilbert_d_to_xy(std::uint32_t order, std::uint64_t d);
+
+/// Quantizes a geographic point onto the Hilbert grid: longitude -> x,
+/// latitude -> y, each scaled to [0, 2^order).
+GridCell geo_to_cell(const net::GeoPoint& p, std::uint32_t order);
+
+/// The Hilbert number of a geographic point (the paper's grouping key).
+std::uint64_t hilbert_number(const net::GeoPoint& p, std::uint32_t order);
+
+}  // namespace cdnsim::topology

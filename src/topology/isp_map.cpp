@@ -1,0 +1,55 @@
+#include "topology/isp_map.hpp"
+
+#include <set>
+
+#include "net/sites.hpp"
+
+namespace cdnsim::topology {
+
+namespace {
+
+std::int32_t region_of(const NodeRegistry& nodes, NodeId id) {
+  const auto& info = nodes.info(id);
+  const auto& sites = net::world_sites();
+  if (info.site_index < sites.size()) {
+    return static_cast<std::int32_t>(sites[info.site_index].region);
+  }
+  // Fallback: longitude bands (Americas / Europe-Africa / Asia-Oceania).
+  const double lon = info.location.lon_deg;
+  if (lon < -30) return 0;
+  if (lon < 60) return 1;
+  return 2;
+}
+
+}  // namespace
+
+void assign_isps(NodeRegistry& nodes, const IspConfig& config, util::Rng& rng) {
+  CDNSIM_EXPECTS(config.isps_per_region >= 1, "need at least one ISP per region");
+  CDNSIM_EXPECTS(config.mixing_probability >= 0 && config.mixing_probability <= 1,
+                 "mixing probability must be in [0,1]");
+  for (NodeId id : nodes.server_ids()) {
+    auto& info = nodes.mutable_info(id);
+    const std::int32_t region = region_of(nodes, id);
+    // Dominant ISP of the node's site: a stable hash of the site index.
+    const std::int32_t dominant =
+        static_cast<std::int32_t>((info.site_index * 2654435761u) %
+                                  static_cast<std::uint32_t>(config.isps_per_region));
+    std::int32_t local = dominant;
+    if (rng.chance(config.mixing_probability)) {
+      local = static_cast<std::int32_t>(
+          rng.uniform_int(0, config.isps_per_region - 1));
+    }
+    info.isp_id = region * config.isps_per_region + local;
+  }
+  // The provider sits in its own ISP unless it shares a site with servers;
+  // the paper's providers are all in one location, so give them a dedicated id.
+  nodes.mutable_info(kProviderNode).isp_id = -1000;
+}
+
+std::int32_t distinct_isp_count(const NodeRegistry& nodes) {
+  std::set<std::int32_t> ids;
+  for (NodeId id : nodes.server_ids()) ids.insert(nodes.isp(id));
+  return static_cast<std::int32_t>(ids.size());
+}
+
+}  // namespace cdnsim::topology

@@ -1,0 +1,33 @@
+// ISP assignment.
+//
+// Substitute for the paper's IPLOCATION + Traceroute ISP identification
+// (Section 3.4.3): each server is assigned an ISP id deterministically from
+// its geography. Real ISPs are regional, so we model `isps_per_region`
+// competing ISPs inside each geographic macro-region; nodes at the same site
+// can still differ in ISP (multi-homing of CDN PoPs), controlled by a mixing
+// probability.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/node.hpp"
+#include "util/rng.hpp"
+
+namespace cdnsim::topology {
+
+struct IspConfig {
+  std::int32_t isps_per_region = 8;
+  /// Probability that a node draws an ISP uniformly from its region rather
+  /// than taking the dominant ISP of its site.
+  double mixing_probability = 0.35;
+};
+
+/// Assigns isp_id to every server in the registry. Regions are derived from
+/// the node's site (its world_sites() entry) when available, otherwise from
+/// longitude bands.
+void assign_isps(NodeRegistry& nodes, const IspConfig& config, util::Rng& rng);
+
+/// Number of distinct ISP ids present among servers.
+std::int32_t distinct_isp_count(const NodeRegistry& nodes);
+
+}  // namespace cdnsim::topology

@@ -1,0 +1,152 @@
+#include "topology/multicast_tree.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace cdnsim::topology {
+
+MulticastTree::MulticastTree(const NodeRegistry& nodes, std::size_t fanout)
+    : nodes_(&nodes), fanout_(fanout) {
+  CDNSIM_EXPECTS(fanout_ >= 1, "tree fanout must be >= 1");
+}
+
+void MulticastTree::build(const std::vector<NodeId>& members) {
+  for (NodeId id : members) join(id);
+}
+
+void MulticastTree::build_random(const std::vector<NodeId>& members, util::Rng& rng) {
+  for (NodeId id : members) {
+    CDNSIM_EXPECTS(!contains(id) && id != kProviderNode, "node already in tree");
+    // Collect nodes with spare capacity (root plus current members).
+    std::vector<NodeId> candidates;
+    if (has_capacity(kProviderNode)) candidates.push_back(kProviderNode);
+    for (NodeId m : members_) {
+      if (has_capacity(m)) candidates.push_back(m);
+    }
+    CDNSIM_EXPECTS(!candidates.empty(), "no node with spare capacity");
+    attach(id, candidates[rng.index(candidates.size())]);
+  }
+}
+
+void MulticastTree::join(NodeId id) {
+  CDNSIM_EXPECTS(!contains(id) && id != kProviderNode, "node already in tree");
+  attach(id, nearest_with_capacity(id, nullptr));
+}
+
+std::size_t MulticastTree::remove(NodeId id) {
+  CDNSIM_EXPECTS(contains(id), "cannot remove a node not in the tree");
+  // Detach from parent.
+  const NodeId parent = parent_.at(id);
+  auto& siblings = children_[parent];
+  siblings.erase(std::remove(siblings.begin(), siblings.end(), id), siblings.end());
+  // Collect and detach children.
+  std::vector<NodeId> orphans = children_[id];
+  children_.erase(id);
+  parent_.erase(id);
+  members_.erase(std::remove(members_.begin(), members_.end(), id), members_.end());
+  // Detach orphans fully (parent link AND membership): a dangling orphan
+  // must not be selectable as a parent while it has no path to the root,
+  // or two orphans could adopt each other and form a cycle.
+  for (NodeId c : orphans) {
+    parent_.erase(c);
+    members_.erase(std::remove(members_.begin(), members_.end(), c), members_.end());
+  }
+
+  // Each orphan rejoins with its whole subtree intact, picking its nearest
+  // node with capacity (the paper's join rule). The orphan's own descendants
+  // are still listed as members, so they must be excluded as candidate
+  // parents or the orphan could attach below itself and form a cycle.
+  // Process in ascending distance to the old parent so repairs stay local.
+  std::sort(orphans.begin(), orphans.end(), [&](NodeId a, NodeId b) {
+    return nodes_->distance_km(parent, a) < nodes_->distance_km(parent, b);
+  });
+  std::size_t edges_changed = 1;  // the removed node's own edge
+  for (NodeId c : orphans) {
+    std::unordered_set<NodeId> subtree;
+    collect_subtree(c, subtree);
+    attach(c, nearest_with_capacity(c, &subtree));
+    ++edges_changed;
+  }
+  return edges_changed;
+}
+
+bool MulticastTree::contains(NodeId id) const { return parent_.count(id) > 0; }
+
+NodeId MulticastTree::parent_of(NodeId id) const {
+  const auto it = parent_.find(id);
+  CDNSIM_EXPECTS(it != parent_.end(), "node not in tree");
+  return it->second;
+}
+
+const std::vector<NodeId>& MulticastTree::children_of(NodeId id) const {
+  const auto it = children_.find(id);
+  return it == children_.end() ? empty_ : it->second;
+}
+
+std::size_t MulticastTree::depth_of(NodeId id) const {
+  std::size_t depth = 0;
+  NodeId cur = id;
+  while (cur != kProviderNode) {
+    cur = parent_of(cur);
+    ++depth;
+    CDNSIM_EXPECTS(depth <= parent_.size(), "cycle detected in tree");
+  }
+  return depth;
+}
+
+std::size_t MulticastTree::max_depth() const {
+  std::size_t best = 0;
+  for (const auto& [id, parent] : parent_) {
+    best = std::max(best, depth_of(id));
+  }
+  return best;
+}
+
+double MulticastTree::total_edge_km() const {
+  double km = 0;
+  for (const auto& [id, parent] : parent_) {
+    km += nodes_->distance_km(id, parent);
+  }
+  return km;
+}
+
+void MulticastTree::attach(NodeId id, NodeId parent) {
+  parent_[id] = parent;
+  children_[parent].push_back(id);
+  members_.push_back(id);
+}
+
+bool MulticastTree::has_capacity(NodeId id) const {
+  return children_of(id).size() < fanout_;
+}
+
+void MulticastTree::collect_subtree(NodeId root,
+                                    std::unordered_set<NodeId>& out) const {
+  out.insert(root);
+  for (NodeId c : children_of(root)) collect_subtree(c, out);
+}
+
+NodeId MulticastTree::nearest_with_capacity(
+    NodeId joiner, const std::unordered_set<NodeId>* exclude) const {
+  NodeId best = kProviderNode;
+  double best_km = std::numeric_limits<double>::infinity();
+  bool found = false;
+  if (has_capacity(kProviderNode)) {
+    best_km = nodes_->distance_km(kProviderNode, joiner);
+    found = true;
+  }
+  for (NodeId m : members_) {
+    if (!has_capacity(m)) continue;
+    if (exclude != nullptr && exclude->count(m) > 0) continue;
+    const double km = nodes_->distance_km(m, joiner);
+    if (km < best_km) {
+      best = m;
+      best_km = km;
+      found = true;
+    }
+  }
+  CDNSIM_EXPECTS(found, "no node with spare capacity (fanout too small?)");
+  return best;
+}
+
+}  // namespace cdnsim::topology

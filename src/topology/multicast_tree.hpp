@@ -1,0 +1,75 @@
+// Proximity-aware d-ary multicast tree.
+//
+// The paper's multicast infrastructure (Section 4) connects geographically
+// close nodes into a d-ary tree rooted at the content provider; Section 5.2
+// uses the same construction for the supernode overlay ("newly-joined
+// supernodes or supernodes having lost parents choose the nearest supernode
+// that has fewer than k children as its parent"). We implement exactly that
+// greedy join rule, plus failure repair (children of a failed node rejoin by
+// the same rule) and a random (non-proximity) variant for the ablation.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "topology/node.hpp"
+#include "util/rng.hpp"
+
+namespace cdnsim::topology {
+
+class MulticastTree {
+ public:
+  /// `fanout` = d (max children per node, including the root).
+  MulticastTree(const NodeRegistry& nodes, std::size_t fanout);
+
+  /// Greedy proximity-aware join of all `members` in the given order.
+  /// Members join one at a time; the first joiners attach to the root.
+  void build(const std::vector<NodeId>& members);
+
+  /// Same membership but parents chosen uniformly at random among nodes with
+  /// spare capacity (ablation baseline: no proximity awareness).
+  void build_random(const std::vector<NodeId>& members, util::Rng& rng);
+
+  /// Join a single node by the greedy nearest-with-capacity rule.
+  void join(NodeId id);
+
+  /// Remove a node; its children rejoin greedily (closest first). Returns
+  /// the number of tree-maintenance edges changed (for traffic accounting).
+  std::size_t remove(NodeId id);
+
+  bool contains(NodeId id) const;
+  /// Parent in the tree; kProviderNode for first-layer nodes.
+  NodeId parent_of(NodeId id) const;
+  const std::vector<NodeId>& children_of(NodeId id) const;  // id may be provider
+  /// Depth: first layer below the root is depth 1.
+  std::size_t depth_of(NodeId id) const;
+  std::size_t max_depth() const;
+  std::size_t size() const { return parent_.size(); }
+  std::size_t fanout() const { return fanout_; }
+
+  /// All member ids in join order.
+  const std::vector<NodeId>& members() const { return members_; }
+
+  /// Sum over edges of great-circle length, a tree-quality metric.
+  double total_edge_km() const;
+
+ private:
+  void attach(NodeId id, NodeId parent);
+  /// Nearest node with spare capacity; `exclude` (may be null) lists nodes
+  /// that must not be chosen (a rejoining orphan's own subtree).
+  NodeId nearest_with_capacity(NodeId joiner,
+                               const std::unordered_set<NodeId>* exclude) const;
+  void collect_subtree(NodeId root, std::unordered_set<NodeId>& out) const;
+  bool has_capacity(NodeId id) const;
+
+  const NodeRegistry* nodes_;
+  std::size_t fanout_;
+  std::unordered_map<NodeId, NodeId> parent_;
+  std::unordered_map<NodeId, std::vector<NodeId>> children_;
+  std::vector<NodeId> members_;
+  std::vector<NodeId> empty_;
+};
+
+}  // namespace cdnsim::topology

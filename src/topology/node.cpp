@@ -1,0 +1,37 @@
+#include "topology/node.hpp"
+
+namespace cdnsim::topology {
+
+NodeRegistry::NodeRegistry(NodeInfo provider) : provider_(provider) {}
+
+NodeId NodeRegistry::add_server(NodeInfo info) {
+  servers_.push_back(info);
+  return static_cast<NodeId>(servers_.size() - 1);
+}
+
+const NodeInfo& NodeRegistry::info(NodeId id) const {
+  if (id == kProviderNode) return provider_;
+  CDNSIM_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < servers_.size(),
+                 "unknown node id");
+  return servers_[static_cast<std::size_t>(id)];
+}
+
+NodeInfo& NodeRegistry::mutable_info(NodeId id) {
+  if (id == kProviderNode) return provider_;
+  CDNSIM_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < servers_.size(),
+                 "unknown node id");
+  return servers_[static_cast<std::size_t>(id)];
+}
+
+double NodeRegistry::distance_km(NodeId a, NodeId b) const {
+  return net::haversine_km(location(a), location(b));
+}
+
+std::vector<NodeId> NodeRegistry::server_ids() const {
+  std::vector<NodeId> ids;
+  ids.reserve(servers_.size());
+  for (std::size_t i = 0; i < servers_.size(); ++i) ids.push_back(static_cast<NodeId>(i));
+  return ids;
+}
+
+}  // namespace cdnsim::topology

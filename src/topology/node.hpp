@@ -1,0 +1,54 @@
+// Node registry: the set of CDN entities with geography and ISP labels.
+//
+// NodeId -1 is the content provider ("root"); ids 0..n-1 are content
+// servers. The registry is the single source of truth for positions — the
+// latency model, clustering, tree building and traffic metering all read it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/geo.hpp"
+#include "net/traffic_meter.hpp"  // NodeId, kProviderNode
+#include "util/error.hpp"
+
+namespace cdnsim::topology {
+
+using net::kProviderNode;
+using net::NodeId;
+
+struct NodeInfo {
+  net::GeoPoint location;
+  std::int32_t isp_id = 0;
+  std::size_t site_index = 0;  // index into net::world_sites(), when placed
+};
+
+class NodeRegistry {
+ public:
+  /// Creates the registry with the provider's location.
+  explicit NodeRegistry(NodeInfo provider);
+
+  /// Adds a server; returns its id (0-based, dense).
+  NodeId add_server(NodeInfo info);
+
+  std::size_t server_count() const { return servers_.size(); }
+
+  const NodeInfo& info(NodeId id) const;
+  const net::GeoPoint& location(NodeId id) const { return info(id).location; }
+  std::int32_t isp(NodeId id) const { return info(id).isp_id; }
+
+  /// Mutable access, used by the ISP mapper after placement.
+  NodeInfo& mutable_info(NodeId id);
+
+  double distance_km(NodeId a, NodeId b) const;
+  bool crosses_isp(NodeId a, NodeId b) const { return isp(a) != isp(b); }
+
+  /// All server ids, 0..server_count()-1.
+  std::vector<NodeId> server_ids() const;
+
+ private:
+  NodeInfo provider_;
+  std::vector<NodeInfo> servers_;
+};
+
+}  // namespace cdnsim::topology

@@ -1,0 +1,54 @@
+#include "trace/absence.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace cdnsim::trace {
+
+void AbsenceSchedule::add(sim::SimTime start, sim::SimTime end) {
+  CDNSIM_EXPECTS(end > start, "absence interval must have positive length");
+  CDNSIM_EXPECTS(intervals_.empty() || start >= intervals_.back().end,
+                 "absence intervals must be ordered and non-overlapping");
+  intervals_.push_back({start, end});
+}
+
+bool AbsenceSchedule::absent_at(sim::SimTime t) const {
+  // First interval with end > t; absent iff it also starts at or before t.
+  const auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](sim::SimTime value, const Interval& iv) { return value < iv.end; });
+  return it != intervals_.end() && it->start <= t;
+}
+
+sim::SimTime AbsenceSchedule::available_from(sim::SimTime t) const {
+  const auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](sim::SimTime value, const Interval& iv) { return value < iv.end; });
+  if (it != intervals_.end() && it->start <= t) return it->end;
+  return t;
+}
+
+sim::SimTime sample_absence_length(const AbsenceConfig& config, util::Rng& rng) {
+  const double raw = rng.lognormal(config.length_mu, config.length_sigma);
+  return std::clamp(raw, config.min_length_s, config.max_length_s);
+}
+
+AbsenceSchedule generate_absences(const AbsenceConfig& config, sim::SimTime horizon,
+                                  util::Rng& rng) {
+  CDNSIM_EXPECTS(config.absences_per_hour >= 0, "absence rate must be non-negative");
+  AbsenceSchedule schedule;
+  if (config.absences_per_hour == 0) return schedule;
+  const double mean_gap_s = 3600.0 / config.absences_per_hour;
+  sim::SimTime t = 0;
+  while (true) {
+    t += rng.exponential(mean_gap_s);
+    if (t >= horizon) break;
+    const sim::SimTime len = sample_absence_length(config, rng);
+    schedule.add(t, std::min(t + len, horizon));
+    t += len;
+  }
+  return schedule;
+}
+
+}  // namespace cdnsim::trace

@@ -1,0 +1,97 @@
+#include "trace/game_generator.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace cdnsim::trace {
+
+namespace {
+
+/// Appends exponential-gap update times covering [start, end) to `times`.
+void fill_window(std::vector<sim::SimTime>& times, sim::SimTime start,
+                 sim::SimTime end, double mean_gap, double min_gap,
+                 util::Rng& rng) {
+  sim::SimTime t = start;
+  while (true) {
+    t += std::max(min_gap, rng.exponential(mean_gap));
+    if (t >= end) break;
+    times.push_back(t);
+  }
+}
+
+/// Appends event-burst update times covering [start, end): events arrive
+/// with exponential gaps; each event emits a burst of page versions a few
+/// seconds apart, truncated at the window end.
+void fill_bursty_window(std::vector<sim::SimTime>& times, sim::SimTime start,
+                        sim::SimTime end, const GameTraceConfig& cfg,
+                        util::Rng& rng) {
+  sim::SimTime event = start;
+  while (true) {
+    event += std::max(cfg.min_gap_s, rng.exponential(cfg.in_play_event_gap_s));
+    if (event >= end) break;
+    const auto burst = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(cfg.burst_min),
+        static_cast<std::int64_t>(cfg.burst_max)));
+    sim::SimTime t = event;
+    for (std::size_t i = 0; i < burst && t < end; ++i) {
+      times.push_back(t);
+      t += rng.uniform(cfg.intra_burst_gap_min_s, cfg.intra_burst_gap_max_s);
+    }
+    event = std::max(event, t);
+  }
+}
+
+}  // namespace
+
+UpdateTrace generate_game_trace(const GameTraceConfig& config, util::Rng& rng) {
+  CDNSIM_EXPECTS(config.periods >= 1, "a game needs at least one period");
+  CDNSIM_EXPECTS(config.in_play_mean_gap_s > 0 && config.pre_post_mean_gap_s > 0,
+                 "mean gaps must be positive");
+  std::vector<sim::SimTime> times;
+  sim::SimTime cursor = 0;
+
+  fill_window(times, cursor, cursor + config.pre_game_s, config.pre_post_mean_gap_s,
+              config.min_gap_s, rng);
+  cursor += config.pre_game_s;
+
+  for (std::size_t p = 0; p < config.periods; ++p) {
+    if (p > 0) cursor += config.break_s;  // silence: no updates at all
+    if (config.bursty) {
+      fill_bursty_window(times, cursor, cursor + config.period_s, config, rng);
+    } else {
+      fill_window(times, cursor, cursor + config.period_s,
+                  config.in_play_mean_gap_s, config.min_gap_s, rng);
+    }
+    cursor += config.period_s;
+  }
+
+  fill_window(times, cursor, cursor + config.post_game_s, config.pre_post_mean_gap_s,
+              config.min_gap_s, rng);
+
+  return UpdateTrace(std::move(times));
+}
+
+UpdateTrace generate_season_trace(const GameTraceConfig& config, std::size_t days,
+                                  sim::SimTime day_span, sim::SimTime start_offset,
+                                  util::Rng& rng) {
+  CDNSIM_EXPECTS(days >= 1, "season needs at least one day");
+  CDNSIM_EXPECTS(start_offset >= 0, "start offset must be non-negative");
+  CDNSIM_EXPECTS(start_offset + config.total_span() <= day_span,
+                 "game does not fit into the day span");
+  std::vector<sim::SimTime> times;
+  for (std::size_t d = 0; d < days; ++d) {
+    const sim::SimTime base = static_cast<double>(d) * day_span + start_offset;
+    auto game = generate_game_trace(config, rng);
+    for (sim::SimTime t : game.times()) times.push_back(base + t);
+  }
+  return UpdateTrace(std::move(times));
+}
+
+GameWindow game_window(const GameTraceConfig& config, std::size_t day,
+                       sim::SimTime day_span, sim::SimTime start_offset) {
+  const sim::SimTime base = static_cast<double>(day) * day_span + start_offset;
+  return {base, base + config.total_span()};
+}
+
+}  // namespace cdnsim::trace

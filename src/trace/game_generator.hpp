@@ -1,0 +1,69 @@
+// Synthetic live-game update traces.
+//
+// Substitute for the crawled trace (see DESIGN.md): a live sports game whose
+// statistics page updates in bursts while play is on and goes silent during
+// breaks. Defaults reproduce the published aggregate shape: ~306 snapshots
+// over 2 h 26 m (8760 s) — two 60-minute halves of play with exponential
+// inter-update gaps, a 15-minute halftime silence, short pre/post-game
+// windows. The generator can also emit a multi-day "measurement season"
+// (15 game days, as crawled between May 15 and Jun 4, 2012).
+#pragma once
+
+#include <cstddef>
+
+#include "trace/update_trace.hpp"
+#include "util/rng.hpp"
+
+namespace cdnsim::trace {
+
+struct GameTraceConfig {
+  sim::SimTime pre_game_s = 60;       // warm-up chatter window (few updates)
+  std::size_t periods = 2;            // halves
+  sim::SimTime period_s = 3780;       // in-play length per period
+  sim::SimTime break_s = 900;         // halftime between periods
+  sim::SimTime post_game_s = 240;     // wrap-up (few updates)
+  double min_gap_s = 2.0;             // scoreboard refresh floor
+  double pre_post_mean_gap_s = 90.0;  // sparse updates outside play
+
+  /// Burst structure. A live statistics page changes several fields per
+  /// game *event* (a score, a substitution): updates arrive as bursts of
+  /// 2-8 page versions a few seconds apart, separated by ~2 minutes of
+  /// quiet play. Defaults keep ~306 snapshots per game while matching the
+  /// burstiness the paper's measurements imply (its ~11% instantaneous
+  /// server-staleness fraction and sub-TTL per-server maxima require
+  /// supersede *events* to be much rarer than raw snapshot counts suggest).
+  bool bursty = true;
+  double in_play_event_gap_s = 120.0;  // exponential gap between events
+  std::size_t burst_min = 2;           // updates per event, uniform
+  std::size_t burst_max = 8;
+  double intra_burst_gap_min_s = 0.5;  // spacing of updates inside a burst
+  double intra_burst_gap_max_s = 2.0;
+
+  /// Non-bursty mode only: exponential mean between individual updates.
+  double in_play_mean_gap_s = 24.5;
+
+  /// Total span: pre + periods*period + (periods-1)*break + post.
+  sim::SimTime total_span() const {
+    return pre_game_s + static_cast<double>(periods) * period_s +
+           static_cast<double>(periods - 1) * break_s + post_game_s;
+  }
+};
+
+/// One game's update trace starting at t=0.
+UpdateTrace generate_game_trace(const GameTraceConfig& config, util::Rng& rng);
+
+/// `days` consecutive game days; each game starts at day_index*day_span +
+/// start_offset. Returned trace's times are absolute across the season.
+UpdateTrace generate_season_trace(const GameTraceConfig& config, std::size_t days,
+                                  sim::SimTime day_span, sim::SimTime start_offset,
+                                  util::Rng& rng);
+
+/// Day boundaries helper: the [start, end) window of day `d`'s game.
+struct GameWindow {
+  sim::SimTime start;
+  sim::SimTime end;
+};
+GameWindow game_window(const GameTraceConfig& config, std::size_t day,
+                       sim::SimTime day_span, sim::SimTime start_offset);
+
+}  // namespace cdnsim::trace

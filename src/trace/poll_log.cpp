@@ -1,0 +1,67 @@
+#include "trace/poll_log.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace cdnsim::trace {
+
+std::vector<Observation> PollLog::for_server(net::NodeId server) const {
+  std::vector<Observation> out;
+  for (const auto& obs : observations_) {
+    if (obs.server == server) out.push_back(obs);
+  }
+  return out;
+}
+
+std::vector<net::NodeId> PollLog::servers() const {
+  std::set<net::NodeId> ids;
+  for (const auto& obs : observations_) ids.insert(obs.server);
+  return {ids.begin(), ids.end()};
+}
+
+PollLog PollLog::window(sim::SimTime start, sim::SimTime end) const {
+  PollLog out;
+  for (const auto& obs : observations_) {
+    if (obs.time >= start && obs.time < end) out.add(obs);
+  }
+  return out;
+}
+
+void PollLog::save_csv(const std::string& path) const {
+  util::CsvTable table;
+  table.header = {"server", "time_s", "version", "answered"};
+  table.rows.reserve(observations_.size());
+  for (const auto& obs : observations_) {
+    std::ostringstream time_os;
+    time_os.precision(9);
+    time_os << obs.time;
+    table.rows.push_back({std::to_string(obs.server), time_os.str(),
+                          std::to_string(obs.version),
+                          obs.answered ? "1" : "0"});
+  }
+  util::write_csv_file(path, table);
+}
+
+PollLog PollLog::load_csv(const std::string& path) {
+  const auto table = util::read_csv_file(path);
+  CDNSIM_EXPECTS(table.header.size() == 4 && table.header[0] == "server",
+                 "unexpected poll-log CSV header");
+  PollLog log;
+  log.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    CDNSIM_EXPECTS(row.size() == 4, "malformed poll-log CSV row");
+    Observation obs;
+    obs.server = static_cast<net::NodeId>(std::stol(row[0]));
+    obs.time = std::stod(row[1]);
+    obs.version = std::stoll(row[2]);
+    obs.answered = row[3] == "1";
+    log.add(obs);
+  }
+  return log;
+}
+
+}  // namespace cdnsim::trace

@@ -1,0 +1,91 @@
+#include "trace/trace_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace cdnsim::trace {
+
+BurstStructure burst_structure(const UpdateTrace& trace, double burst_gap_s) {
+  CDNSIM_EXPECTS(burst_gap_s > 0, "burst gap must be positive");
+  BurstStructure out;
+  const auto& times = trace.times();
+  if (times.empty()) return out;
+
+  std::vector<double> burst_sizes;
+  std::vector<double> event_starts;
+  double current_size = 1;
+  event_starts.push_back(times.front());
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    if (times[i] - times[i - 1] <= burst_gap_s) {
+      current_size += 1;
+    } else {
+      burst_sizes.push_back(current_size);
+      current_size = 1;
+      event_starts.push_back(times[i]);
+    }
+  }
+  burst_sizes.push_back(current_size);
+
+  out.event_count = burst_sizes.size();
+  out.mean_burst_size = util::mean(burst_sizes);
+  out.max_burst_size = util::max_of(burst_sizes);
+  if (event_starts.size() >= 2) {
+    std::vector<double> gaps;
+    for (std::size_t i = 1; i < event_starts.size(); ++i) {
+      gaps.push_back(event_starts[i] - event_starts[i - 1]);
+    }
+    out.mean_event_gap_s = util::mean(gaps);
+  }
+  return out;
+}
+
+SilenceStructure silences(const UpdateTrace& trace, double min_silence_s) {
+  CDNSIM_EXPECTS(min_silence_s > 0, "silence threshold must be positive");
+  SilenceStructure out;
+  const auto gaps = trace.gaps();
+  for (double g : gaps) {
+    if (g >= min_silence_s) {
+      ++out.silence_count;
+      out.total_silence_s += g;
+      out.longest_silence_s = std::max(out.longest_silence_s, g);
+    }
+  }
+  return out;
+}
+
+TraceSummary summarize(const UpdateTrace& trace) {
+  TraceSummary out;
+  out.update_count = trace.update_count();
+  out.span_s = trace.duration();
+  if (out.update_count == 0) return out;
+  const auto gaps = trace.gaps();
+  out.mean_gap_s = util::mean(gaps);
+  out.median_gap_s = util::percentile(gaps, 0.5);
+  out.max_gap_s = util::max_of(gaps);
+  out.updates_per_minute =
+      out.span_s > 0 ? 60.0 * static_cast<double>(out.update_count) / out.span_s
+                     : 0.0;
+  out.gap_cv = out.mean_gap_s > 0 ? util::stddev(gaps) / out.mean_gap_s : 0.0;
+  return out;
+}
+
+bool matches_paper_targets(const UpdateTrace& trace,
+                           const PaperTraceTargets& targets, double tolerance) {
+  CDNSIM_EXPECTS(tolerance > 0, "tolerance must be positive");
+  const auto summary = summarize(trace);
+  const auto count_target = static_cast<double>(targets.snapshot_count);
+  if (std::abs(static_cast<double>(summary.update_count) - count_target) >
+      tolerance * count_target) {
+    return false;
+  }
+  if (std::abs(summary.span_s - targets.span_s) > tolerance * targets.span_s) {
+    return false;
+  }
+  const auto quiet = silences(trace, targets.silence_s * (1.0 - tolerance));
+  return quiet.silence_count >= 1;
+}
+
+}  // namespace cdnsim::trace

@@ -1,0 +1,66 @@
+// Descriptive statistics of an update trace.
+//
+// Used to validate the synthetic-trace substitution (DESIGN.md): the
+// generator must match the crawled trace's published aggregates — snapshot
+// count, span, burst structure, silence periods — and these functions
+// compute exactly those from any UpdateTrace, synthetic or loaded from CSV.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/update_trace.hpp"
+
+namespace cdnsim::trace {
+
+struct BurstStructure {
+  /// Maximal runs of updates whose internal gaps are <= burst_gap_s.
+  std::size_t event_count = 0;
+  double mean_burst_size = 0;
+  double max_burst_size = 0;
+  /// Gaps between consecutive events (burst starts).
+  double mean_event_gap_s = 0;
+};
+
+/// Groups updates into bursts/events: a new event starts when the gap from
+/// the previous update exceeds `burst_gap_s`.
+BurstStructure burst_structure(const UpdateTrace& trace, double burst_gap_s);
+
+struct SilenceStructure {
+  /// Maximal gaps of at least min_silence_s with no updates.
+  std::size_t silence_count = 0;
+  double total_silence_s = 0;
+  double longest_silence_s = 0;
+};
+
+/// Finds silences (gaps >= min_silence_s) within [0, trace duration].
+SilenceStructure silences(const UpdateTrace& trace, double min_silence_s);
+
+struct TraceSummary {
+  Version update_count = 0;
+  double span_s = 0;
+  double mean_gap_s = 0;
+  double median_gap_s = 0;
+  double max_gap_s = 0;
+  double updates_per_minute = 0;
+  /// Coefficient of variation of gaps; 1 for Poisson, >1 for bursty.
+  double gap_cv = 0;
+};
+
+TraceSummary summarize(const UpdateTrace& trace);
+
+/// The paper's published aggregates for the crawled content.
+struct PaperTraceTargets {
+  Version snapshot_count = 306;
+  double span_s = 8760;     // 2 h 26 m
+  double silence_s = 900;   // halftime
+};
+
+/// True when `trace` is within `tolerance` (relative) of the targets on
+/// snapshot count and span, and contains a silence of at least the target
+/// length.
+bool matches_paper_targets(const UpdateTrace& trace,
+                           const PaperTraceTargets& targets = {},
+                           double tolerance = 0.2);
+
+}  // namespace cdnsim::trace

@@ -1,0 +1,73 @@
+#include "trace/update_trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace cdnsim::trace {
+
+UpdateTrace::UpdateTrace(std::vector<sim::SimTime> update_times)
+    : times_(std::move(update_times)) {
+  sim::SimTime prev = 0;
+  for (sim::SimTime t : times_) {
+    CDNSIM_EXPECTS(t > prev, "update times must be strictly increasing and > 0");
+    prev = t;
+  }
+}
+
+sim::SimTime UpdateTrace::update_time(Version k) const {
+  CDNSIM_EXPECTS(k >= 1 && k <= update_count(), "update index out of range");
+  return times_[static_cast<std::size_t>(k - 1)];
+}
+
+Version UpdateTrace::version_at(sim::SimTime t) const {
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  return static_cast<Version>(it - times_.begin());
+}
+
+std::vector<sim::SimTime> UpdateTrace::gaps() const {
+  std::vector<sim::SimTime> out;
+  out.reserve(times_.size());
+  sim::SimTime prev = 0;
+  for (sim::SimTime t : times_) {
+    out.push_back(t - prev);
+    prev = t;
+  }
+  return out;
+}
+
+void UpdateTrace::append_shifted(const UpdateTrace& other, sim::SimTime offset) {
+  CDNSIM_EXPECTS(offset > 0, "append offset must be positive");
+  const sim::SimTime base = duration() + offset;
+  for (sim::SimTime t : other.times_) times_.push_back(base + t);
+}
+
+void UpdateTrace::save_csv(const std::string& path) const {
+  util::CsvTable table;
+  table.header = {"update_time_s"};
+  for (sim::SimTime t : times_) {
+    std::ostringstream os;
+    os.precision(9);
+    os << t;
+    table.rows.push_back({os.str()});
+  }
+  util::write_csv_file(path, table);
+}
+
+UpdateTrace UpdateTrace::load_csv(const std::string& path) {
+  const auto table = util::read_csv_file(path);
+  CDNSIM_EXPECTS(!table.header.empty() && table.header[0] == "update_time_s",
+                 "unexpected update-trace CSV header");
+  std::vector<sim::SimTime> times;
+  times.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    CDNSIM_EXPECTS(!row.empty(), "empty row in update-trace CSV");
+    times.push_back(std::stod(row[0]));
+  }
+  return UpdateTrace(std::move(times));
+}
+
+}  // namespace cdnsim::trace

@@ -1,0 +1,54 @@
+// Update traces: when the live content changes at the origin.
+//
+// A trace is a strictly increasing sequence of update times. Snapshot 0 is
+// the content at time 0; the k-th update (1-based version k) happens at
+// time(k). This is the paper's "306 different snapshots lasting 2 hours and
+// 26 minutes" object: both the measurement analysis and the trace-driven
+// evaluation consume it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace cdnsim::trace {
+
+using Version = std::int64_t;
+
+class UpdateTrace {
+ public:
+  UpdateTrace() = default;
+  /// Times must be strictly increasing and positive.
+  explicit UpdateTrace(std::vector<sim::SimTime> update_times);
+
+  /// Number of updates (final version number).
+  Version update_count() const { return static_cast<Version>(times_.size()); }
+
+  /// Time of the k-th update, k in [1, update_count()].
+  sim::SimTime update_time(Version k) const;
+
+  /// Version current at time t (0 before the first update).
+  Version version_at(sim::SimTime t) const;
+
+  /// Time of the last update (0 for an empty trace).
+  sim::SimTime duration() const { return times_.empty() ? 0 : times_.back(); }
+
+  const std::vector<sim::SimTime>& times() const { return times_; }
+
+  /// Gaps between consecutive updates (first gap measured from t=0).
+  std::vector<sim::SimTime> gaps() const;
+
+  /// Concatenate another trace, shifted to start `offset` after our end.
+  void append_shifted(const UpdateTrace& other, sim::SimTime offset);
+
+  // CSV persistence: one column "update_time_s".
+  void save_csv(const std::string& path) const;
+  static UpdateTrace load_csv(const std::string& path);
+
+ private:
+  std::vector<sim::SimTime> times_;
+};
+
+}  // namespace cdnsim::trace

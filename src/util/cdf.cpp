@@ -1,0 +1,82 @@
+#include "util/cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace cdnsim::util {
+
+Cdf::Cdf(std::vector<double> samples) : samples_(std::move(samples)), sorted_(false) {
+  finalize();
+}
+
+void Cdf::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void Cdf::finalize() {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+const std::vector<double>& Cdf::sorted_samples() const {
+  const_cast<Cdf*>(this)->finalize();
+  return samples_;
+}
+
+double Cdf::fraction_at_or_below(double x) const {
+  if (samples_.empty()) return 0.0;
+  const auto& s = sorted_samples();
+  const auto it = std::upper_bound(s.begin(), s.end(), x);
+  return static_cast<double>(it - s.begin()) / static_cast<double>(s.size());
+}
+
+double Cdf::value_at_quantile(double q) const {
+  CDNSIM_EXPECTS(!samples_.empty(), "value_at_quantile() on empty Cdf");
+  CDNSIM_EXPECTS(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  const auto& s = sorted_samples();
+  const double pos = q * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, s.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+double Cdf::mean() const { return util::mean(samples_); }
+
+double Cdf::min() const {
+  CDNSIM_EXPECTS(!samples_.empty(), "min() on empty Cdf");
+  return sorted_samples().front();
+}
+
+double Cdf::max() const {
+  CDNSIM_EXPECTS(!samples_.empty(), "max() on empty Cdf");
+  return sorted_samples().back();
+}
+
+std::vector<Cdf::Point> Cdf::points(std::size_t n) const {
+  CDNSIM_EXPECTS(n >= 2, "points() requires n >= 2");
+  if (samples_.empty()) return {};
+  std::vector<double> xs;
+  xs.reserve(n);
+  const double lo = min();
+  const double hi = max();
+  for (std::size_t i = 0; i < n; ++i) {
+    xs.push_back(lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1));
+  }
+  return points_at(xs);
+}
+
+std::vector<Cdf::Point> Cdf::points_at(const std::vector<double>& xs) const {
+  std::vector<Point> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back({x, fraction_at_or_below(x)});
+  return out;
+}
+
+}  // namespace cdnsim::util

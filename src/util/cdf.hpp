@@ -1,0 +1,54 @@
+// Empirical cumulative distribution functions.
+//
+// Nearly every figure in the paper's Section 3 is a CDF of some quantity
+// (inconsistency length, absence length, response time, ...). Cdf wraps a
+// sample set and answers both directions of lookup plus evenly spaced points
+// for printing a figure's series.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cdnsim::util {
+
+class Cdf {
+ public:
+  Cdf() = default;
+  explicit Cdf(std::vector<double> samples);
+
+  void add(double x);
+  /// Sorts the sample set; called automatically by lookups.
+  void finalize();
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Fraction of samples <= x (the CDF value at x).
+  double fraction_at_or_below(double x) const;
+
+  /// Smallest sample value v with CDF(v) >= q, q in [0,1].
+  double value_at_quantile(double q) const;
+
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  struct Point {
+    double x;
+    double cdf;
+  };
+
+  /// `n` evenly spaced points over [min,max] — the series a figure plots.
+  std::vector<Point> points(std::size_t n) const;
+
+  /// Points at the given explicit x positions.
+  std::vector<Point> points_at(const std::vector<double>& xs) const;
+
+  const std::vector<double>& sorted_samples() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace cdnsim::util

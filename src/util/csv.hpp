@@ -1,0 +1,38 @@
+// Minimal CSV reading/writing for trace files and benchmark output.
+// Values never contain embedded separators in our formats, so quoting is
+// supported on read but not required on write.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cdnsim::util {
+
+class CsvWriter {
+ public:
+  /// Writes to the given stream (not owned). Stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out);
+
+  void header(const std::vector<std::string>& names);
+  void row(const std::vector<std::string>& values);
+  void row(const std::vector<double>& values);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Parses one CSV line into fields. Handles double-quoted fields.
+std::vector<std::string> split_csv_line(const std::string& line);
+
+/// Reads a whole CSV file: first row header, rest data.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+CsvTable read_csv(std::istream& in);
+CsvTable read_csv_file(const std::string& path);
+void write_csv_file(const std::string& path, const CsvTable& table);
+
+}  // namespace cdnsim::util

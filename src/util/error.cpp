@@ -1,0 +1,15 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace cdnsim::detail {
+
+void fail_precondition(const char* expr, const char* file, int line,
+                       const std::string& message) {
+  std::ostringstream os;
+  os << "precondition failed: " << message << " [" << expr << "] at " << file
+     << ":" << line;
+  throw PreconditionError(os.str());
+}
+
+}  // namespace cdnsim::detail

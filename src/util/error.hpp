@@ -1,0 +1,40 @@
+// Error handling for cdnsim.
+//
+// Per the C++ Core Guidelines (I.5/I.6/I.7, E.*): preconditions are checked
+// and violations reported as exceptions, so library misuse fails loudly in
+// both debug and release builds instead of corrupting a simulation run.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cdnsim {
+
+/// Thrown when a runtime operation cannot be completed (I/O failure,
+/// malformed trace file, infeasible configuration discovered at run time).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown on precondition violations: the caller passed arguments or used
+/// the API in a way the contract forbids.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void fail_precondition(const char* expr, const char* file, int line,
+                                    const std::string& message);
+}  // namespace detail
+
+}  // namespace cdnsim
+
+/// Contract check: throws cdnsim::PreconditionError when `cond` is false.
+#define CDNSIM_EXPECTS(cond, message)                                        \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::cdnsim::detail::fail_precondition(#cond, __FILE__, __LINE__, (message)); \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,68 @@
+#include "util/rng.hpp"
+
+namespace cdnsim::util {
+
+namespace {
+// SplitMix64 finalizer: decorrelates seed material for forked streams.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+Rng Rng::fork(std::uint64_t tag) {
+  const std::uint64_t child_seed = mix(mix(seed_) ^ mix(tag ^ 0xa5a5a5a5a5a5a5a5ULL));
+  // Also advance our own engine so successive forks with the same tag differ.
+  const std::uint64_t salt = engine_();
+  return Rng(mix(child_seed ^ salt));
+}
+
+double Rng::uniform(double lo, double hi) {
+  CDNSIM_EXPECTS(lo <= hi, "uniform() requires lo <= hi");
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  CDNSIM_EXPECTS(lo <= hi, "uniform_int() requires lo <= hi");
+  std::uniform_int_distribution<std::int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+double Rng::exponential(double mean) {
+  CDNSIM_EXPECTS(mean > 0, "exponential() requires mean > 0");
+  std::exponential_distribution<double> d(1.0 / mean);
+  return d(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  CDNSIM_EXPECTS(stddev >= 0, "normal() requires stddev >= 0");
+  if (stddev == 0) return mean;
+  std::normal_distribution<double> d(mean, stddev);
+  return d(engine_);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  CDNSIM_EXPECTS(sigma >= 0, "lognormal() requires sigma >= 0");
+  std::lognormal_distribution<double> d(mu, sigma);
+  return d(engine_);
+}
+
+bool Rng::chance(double probability) {
+  CDNSIM_EXPECTS(probability >= 0.0 && probability <= 1.0,
+                 "chance() requires probability in [0,1]");
+  if (probability <= 0.0) return false;
+  if (probability >= 1.0) return true;
+  std::bernoulli_distribution d(probability);
+  return d(engine_);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  CDNSIM_EXPECTS(n > 0, "index() requires n > 0");
+  std::uniform_int_distribution<std::size_t> d(0, n - 1);
+  return d(engine_);
+}
+
+}  // namespace cdnsim::util

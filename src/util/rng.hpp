@@ -1,0 +1,70 @@
+// Deterministic random number generation.
+//
+// Every stochastic component of the simulator draws from an Rng that is
+// seeded explicitly, so a whole experiment is reproducible from a single
+// seed. `fork()` derives statistically independent child streams, which lets
+// us give each server / user / generator its own stream without the draws of
+// one component perturbing another when configuration changes.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cdnsim::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// Derive an independent child stream. Children created with distinct tags
+  /// (or successive calls) have uncorrelated sequences.
+  Rng fork(std::uint64_t tag);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Normal with given mean and standard deviation (>= 0).
+  double normal(double mean, double stddev);
+
+  /// Log-normal parameterised by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma);
+
+  /// Bernoulli draw.
+  bool chance(double probability);
+
+  /// Pick a uniformly random index in [0, n).
+  std::size_t index(std::size_t n);
+
+  /// Pick a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    CDNSIM_EXPECTS(!v.empty(), "pick() from empty vector");
+    return v[index(v.size())];
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  std::uint64_t seed() const { return seed_; }
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace cdnsim::util

@@ -1,0 +1,112 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cdnsim::util {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double min_of(const std::vector<double>& xs) {
+  CDNSIM_EXPECTS(!xs.empty(), "min_of() of empty vector");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(const std::vector<double>& xs) {
+  CDNSIM_EXPECTS(!xs.empty(), "max_of() of empty vector");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double sum(const std::vector<double>& xs) {
+  double s = 0;
+  for (double x : xs) s += x;
+  return s;
+}
+
+double percentile(std::vector<double> xs, double q) {
+  CDNSIM_EXPECTS(!xs.empty(), "percentile() of empty vector");
+  CDNSIM_EXPECTS(q >= 0.0 && q <= 1.0, "percentile() requires q in [0,1]");
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double rmse(const std::vector<double>& a, const std::vector<double>& b) {
+  CDNSIM_EXPECTS(a.size() == b.size(), "rmse() requires equal sizes");
+  if (a.empty()) return 0.0;
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  CDNSIM_EXPECTS(a.size() == b.size(), "pearson() requires equal sizes");
+  if (a.size() < 2) return 0.0;
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double num = 0, da = 0, db = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - ma) * (b[i] - mb);
+    da += (a[i] - ma) * (a[i] - ma);
+    db += (b[i] - mb) * (b[i] - mb);
+  }
+  if (da == 0 || db == 0) return 0.0;
+  return num / std::sqrt(da * db);
+}
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+double Accumulator::mean() const {
+  return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_);
+}
+
+double Accumulator::min() const {
+  CDNSIM_EXPECTS(n_ > 0, "Accumulator::min() with no samples");
+  return min_;
+}
+
+double Accumulator::max() const {
+  CDNSIM_EXPECTS(n_ > 0, "Accumulator::max() with no samples");
+  return max_;
+}
+
+double Accumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  const double m = mean();
+  return sum_sq_ / static_cast<double>(n_) - m * m;
+}
+
+}  // namespace cdnsim::util

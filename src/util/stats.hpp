@@ -1,0 +1,52 @@
+// Descriptive statistics used throughout the trace analysis (Section 3 of the
+// paper) and the experiment harness (Sections 4–5): means, interpolated
+// percentiles (5th / median / 95th, as the paper reports), RMSE for the
+// TTL-inference theory-vs-trace comparison (Fig. 6b), and Pearson correlation
+// for the distance study (Fig. 8).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cdnsim::util {
+
+double mean(const std::vector<double>& xs);
+
+/// Population variance; 0 for fewer than two samples.
+double variance(const std::vector<double>& xs);
+
+double stddev(const std::vector<double>& xs);
+
+double min_of(const std::vector<double>& xs);
+double max_of(const std::vector<double>& xs);
+double sum(const std::vector<double>& xs);
+
+/// Interpolated percentile, q in [0,1]. Precondition: xs non-empty.
+double percentile(std::vector<double> xs, double q);
+
+/// Root mean square error between two equally sized series.
+double rmse(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Pearson correlation coefficient; 0 when either series is constant.
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Streaming accumulator for mean/min/max/variance without storing samples.
+class Accumulator {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double variance() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace cdnsim::util

@@ -1,0 +1,105 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace cdnsim::util {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  CDNSIM_EXPECTS(!header_.empty(), "TextTable requires a non-empty header");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  CDNSIM_EXPECTS(row.size() == header_.size(), "TextTable row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_row(const std::vector<double>& row, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) cells.push_back(format_double(v, precision));
+  add_row(std::move(cells));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    if (c > 0) rule += "  ";
+    rule += std::string(widths[c], '-');
+  }
+  out << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+ShapeCheck::ShapeCheck(std::string figure_name) : figure_(std::move(figure_name)) {}
+
+void ShapeCheck::expect(bool ok, const std::string& what, const std::string& detail) {
+  entries_.push_back({ok, what, detail});
+  if (!ok) ++failures_;
+}
+
+void ShapeCheck::expect_less(double a, double b, const std::string& what) {
+  std::ostringstream os;
+  os << format_double(a, 4) << " < " << format_double(b, 4);
+  expect(a < b, what, os.str());
+}
+
+void ShapeCheck::expect_greater(double a, double b, const std::string& what) {
+  std::ostringstream os;
+  os << format_double(a, 4) << " > " << format_double(b, 4);
+  expect(a > b, what, os.str());
+}
+
+void ShapeCheck::expect_near(double a, double b, double rel_tol, const std::string& what) {
+  const double denom = std::max(std::abs(a), std::abs(b));
+  const bool ok = denom == 0.0 || std::abs(a - b) / denom <= rel_tol;
+  std::ostringstream os;
+  os << format_double(a, 4) << " ~= " << format_double(b, 4) << " (rel_tol "
+     << rel_tol << ")";
+  expect(ok, what, os.str());
+}
+
+void ShapeCheck::expect_in_range(double v, double lo, double hi, const std::string& what) {
+  std::ostringstream os;
+  os << format_double(v, 4) << " in [" << format_double(lo, 4) << ", "
+     << format_double(hi, 4) << "]";
+  expect(v >= lo && v <= hi, what, os.str());
+}
+
+void ShapeCheck::print(std::ostream& out) const {
+  out << "shape-check " << figure_ << ": "
+      << (entries_.size() - static_cast<std::size_t>(failures_)) << "/"
+      << entries_.size() << (failures_ == 0 ? " PASS" : " FAIL") << '\n';
+  for (const auto& e : entries_) {
+    out << "  [" << (e.ok ? "ok" : "FAIL") << "] " << e.what;
+    if (!e.detail.empty()) out << "  (" << e.detail << ")";
+    out << '\n';
+  }
+}
+
+}  // namespace cdnsim::util

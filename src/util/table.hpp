@@ -1,0 +1,65 @@
+// Aligned text tables and shape-check reporting for the benchmark harness.
+//
+// Every figure-reproduction binary prints (a) the same series the paper
+// plots, as an aligned table, and (b) a set of "shape checks": the
+// qualitative properties the paper reports (orderings, crossovers, rough
+// factors). ShapeCheck gives those a uniform PASS/FAIL output so a run of
+// all benches doubles as a reproduction report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cdnsim::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Convenience: formats doubles with the given precision.
+  void add_row(const std::vector<double>& row, int precision = 4);
+
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (no trailing-zero stripping).
+std::string format_double(double v, int precision);
+
+class ShapeCheck {
+ public:
+  explicit ShapeCheck(std::string figure_name);
+
+  /// Record one qualitative expectation. `detail` should show the numbers
+  /// behind the verdict.
+  void expect(bool ok, const std::string& what, const std::string& detail = "");
+
+  /// Convenience comparators with value reporting.
+  void expect_less(double a, double b, const std::string& what);
+  void expect_greater(double a, double b, const std::string& what);
+  void expect_near(double a, double b, double rel_tol, const std::string& what);
+  void expect_in_range(double v, double lo, double hi, const std::string& what);
+
+  bool all_passed() const { return failures_ == 0; }
+  int failures() const { return failures_; }
+
+  /// Prints "shape-check <figure>: N/M PASS" plus any failing lines.
+  void print(std::ostream& out) const;
+
+ private:
+  struct Entry {
+    bool ok;
+    std::string what;
+    std::string detail;
+  };
+  std::string figure_;
+  std::vector<Entry> entries_;
+  int failures_ = 0;
+};
+
+}  // namespace cdnsim::util

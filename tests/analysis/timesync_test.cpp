@@ -1,0 +1,117 @@
+#include "analysis/timesync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cdnsim::analysis {
+namespace {
+
+TEST(TimesyncTest, PerfectProbeRecoversOffsets) {
+  const std::vector<net::NodeId> servers{0, 1, 2};
+  const std::unordered_map<net::NodeId, double> offsets{{0, 3.5}, {1, -2.0}, {2, 0.0}};
+  const std::unordered_map<net::NodeId, double> rtts{{0, 0.1}, {1, 0.2}, {2, 0.05}};
+  ProbeConfig cfg;
+  cfg.asymmetry = 0.0;  // symmetric paths: estimator is exact
+  util::Rng rng(1);
+  const auto est = estimate_offsets(servers, offsets, rtts, cfg, rng);
+  EXPECT_NEAR(est.at(0), 3.5, 1e-12);
+  EXPECT_NEAR(est.at(1), -2.0, 1e-12);
+  EXPECT_NEAR(est.at(2), 0.0, 1e-12);
+}
+
+TEST(TimesyncTest, AsymmetryErrorBoundedByRtt) {
+  const std::vector<net::NodeId> servers{0};
+  const std::unordered_map<net::NodeId, double> offsets{{0, 5.0}};
+  const std::unordered_map<net::NodeId, double> rtts{{0, 0.4}};
+  ProbeConfig cfg;
+  cfg.asymmetry = 0.5;
+  cfg.probes_per_server = 1;
+  util::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const auto est = estimate_offsets(servers, offsets, rtts, cfg, rng);
+    EXPECT_NEAR(est.at(0), 5.0, 0.4 / 2 * 0.5 + 1e-9);
+  }
+}
+
+TEST(TimesyncTest, MoreProbesReduceError) {
+  const std::vector<net::NodeId> servers{0};
+  const std::unordered_map<net::NodeId, double> offsets{{0, 1.0}};
+  const std::unordered_map<net::NodeId, double> rtts{{0, 0.5}};
+  ProbeConfig one;
+  one.probes_per_server = 1;
+  one.asymmetry = 0.5;
+  ProbeConfig many;
+  many.probes_per_server = 64;
+  many.asymmetry = 0.5;
+  util::Rng rng1(3), rng2(3);
+  double err_one = 0, err_many = 0;
+  for (int i = 0; i < 100; ++i) {
+    err_one += std::abs(estimate_offsets(servers, offsets, rtts, one, rng1).at(0) - 1.0);
+    err_many +=
+        std::abs(estimate_offsets(servers, offsets, rtts, many, rng2).at(0) - 1.0);
+  }
+  EXPECT_LT(err_many, err_one);
+}
+
+TEST(TimesyncTest, InjectThenCorrectIsIdentityWithExactOffsets) {
+  trace::PollLog log;
+  log.add({0, 100.0, 1, true});
+  log.add({1, 200.0, 2, true});
+  const OffsetMap offsets{{0, 4.0}, {1, -3.0}};
+  const auto skewed = inject_clock_skew(log, offsets);
+  EXPECT_DOUBLE_EQ(skewed.observations()[0].time, 104.0);
+  EXPECT_DOUBLE_EQ(skewed.observations()[1].time, 197.0);
+  const auto corrected = correct_clock_skew(skewed, offsets);
+  EXPECT_DOUBLE_EQ(corrected.observations()[0].time, 100.0);
+  EXPECT_DOUBLE_EQ(corrected.observations()[1].time, 200.0);
+}
+
+TEST(TimesyncTest, ServersWithoutOffsetPassThrough) {
+  trace::PollLog log;
+  log.add({7, 100.0, 1, true});
+  const OffsetMap offsets{{0, 4.0}};
+  const auto corrected = correct_clock_skew(log, offsets);
+  EXPECT_DOUBLE_EQ(corrected.observations()[0].time, 100.0);
+}
+
+TEST(TimesyncTest, MissingServerDataThrows) {
+  const std::vector<net::NodeId> servers{0};
+  ProbeConfig cfg;
+  util::Rng rng(4);
+  EXPECT_THROW(estimate_offsets(servers, {}, {{0, 0.1}}, cfg, rng),
+               cdnsim::PreconditionError);
+  EXPECT_THROW(estimate_offsets(servers, {{0, 1.0}}, {}, cfg, rng),
+               cdnsim::PreconditionError);
+}
+
+TEST(TimesyncTest, EndToEndSkewRemovalImprovesTimestamps) {
+  // The measurement-methodology validation: corrected timestamps are closer
+  // to the truth than skewed ones.
+  util::Rng rng(5);
+  std::vector<net::NodeId> servers;
+  std::unordered_map<net::NodeId, double> offsets;
+  std::unordered_map<net::NodeId, double> rtts;
+  trace::PollLog truth;
+  for (net::NodeId s = 0; s < 50; ++s) {
+    servers.push_back(s);
+    offsets[s] = rng.normal(0.0, 3.0);
+    rtts[s] = rng.uniform(0.05, 0.4);
+    truth.add({s, 100.0, 1, true});
+  }
+  ProbeConfig cfg;
+  const auto est = estimate_offsets(servers, offsets, rtts, cfg, rng);
+  const auto skewed = inject_clock_skew(truth, offsets);
+  const auto corrected = correct_clock_skew(skewed, est);
+  double skew_err = 0, corr_err = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    skew_err += std::abs(skewed.observations()[i].time - 100.0);
+    corr_err += std::abs(corrected.observations()[i].time - 100.0);
+  }
+  EXPECT_LT(corr_err, 0.1 * skew_err);
+}
+
+}  // namespace
+}  // namespace cdnsim::analysis

@@ -1,0 +1,108 @@
+#include "analysis/tree_existence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace cdnsim::analysis {
+namespace {
+
+TEST(RankTest, RanksAscending) {
+  EXPECT_EQ(rank_of({30, 10, 20}), (std::vector<std::size_t>{3, 1, 2}));
+}
+
+TEST(RankTest, TiesBrokenByIndex) {
+  EXPECT_EQ(rank_of({5, 5, 1}), (std::vector<std::size_t>{2, 3, 1}));
+}
+
+TEST(RankInstabilityTest, StaticHierarchyScoresNearZero) {
+  // Same ordering every day, values jitter slightly.
+  util::Rng rng(1);
+  std::vector<std::vector<double>> days;
+  for (int d = 0; d < 7; ++d) {
+    std::vector<double> v;
+    for (int i = 0; i < 20; ++i) {
+      v.push_back(i * 10.0 + rng.uniform(0, 1));
+    }
+    days.push_back(v);
+  }
+  EXPECT_LT(rank_instability(days), 0.02);
+}
+
+TEST(RankInstabilityTest, RandomOrderScoresHigh) {
+  util::Rng rng(2);
+  std::vector<std::vector<double>> days;
+  for (int d = 0; d < 7; ++d) {
+    std::vector<double> v;
+    for (int i = 0; i < 20; ++i) v.push_back(rng.uniform(0, 100));
+    days.push_back(v);
+  }
+  // Expected |rank change| for random permutations of n items ~ n/3.
+  EXPECT_GT(rank_instability(days), 0.15);
+}
+
+TEST(RankInstabilityTest, NeedsTwoDays) {
+  EXPECT_THROW(rank_instability({{1.0, 2.0}}), cdnsim::PreconditionError);
+}
+
+TEST(SpearmanTest, MonotoneSeriesIsOne) {
+  EXPECT_NEAR(spearman({1, 5, 9, 30}, {2, 4, 100, 200}), 1.0, 1e-9);
+  EXPECT_NEAR(spearman({1, 5, 9, 30}, {200, 100, 4, 2}), -1.0, 1e-9);
+}
+
+TEST(SpearmanTest, IndependentSeriesNearZero) {
+  util::Rng rng(3);
+  std::vector<double> a, b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(rng.uniform(0, 1));
+    b.push_back(rng.uniform(0, 1));
+  }
+  EXPECT_NEAR(spearman(a, b), 0.0, 0.1);
+}
+
+TEST(PerServerMaxTest, FindsLargestLength) {
+  trace::PollLog log;
+  // Version 1 appears at t=100 (server 9 is prompt).
+  log.add({9, 100.0, 1, true});
+  // Server 0 still serves v0 at 110 and 130.
+  log.add({0, 90.0, 0, true});
+  log.add({0, 110.0, 0, true});
+  log.add({0, 130.0, 0, true});
+  const SnapshotTimeline tl(log);
+  const auto maxes = per_server_max_inconsistency(log, tl);
+  ASSERT_EQ(maxes.size(), 2u);
+  double overall = 0;
+  for (double x : maxes) overall = std::max(overall, x);
+  EXPECT_DOUBLE_EQ(overall, 30.0);
+}
+
+TEST(FractionBelowTtlTest, CountsCorrectly) {
+  EXPECT_DOUBLE_EQ(fraction_below_ttl({10, 20, 70, 80}, 60.0), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_below_ttl({}, 60.0), 0.0);
+  EXPECT_THROW(fraction_below_ttl({1.0}, 0.0), cdnsim::PreconditionError);
+}
+
+TEST(DailyClusterTest, ComputesPerDayPerCluster) {
+  trace::PollLog log;
+  // Day 0 [0,100): cluster 0 (server 0) lags behind server 1.
+  log.add({1, 10.0, 1, true});
+  log.add({0, 30.0, 0, true});
+  log.add({0, 40.0, 1, true});
+  // Day 1 [100,200): roles reversed.
+  log.add({0, 110.0, 2, true});
+  log.add({1, 130.0, 1, true});
+  log.add({1, 140.0, 2, true});
+  const std::vector<std::vector<net::NodeId>> clusters{{0}, {1}};
+  const std::vector<DayWindow> days{{0, 100}, {100, 200}};
+  const auto matrix = daily_cluster_inconsistency(log, clusters, days);
+  ASSERT_EQ(matrix.size(), 2u);
+  ASSERT_EQ(matrix[0].size(), 2u);
+  EXPECT_GT(matrix[0][0], 0.0);   // cluster 0 inconsistent on day 0
+  EXPECT_DOUBLE_EQ(matrix[0][1], 0.0);
+  EXPECT_GT(matrix[1][1], 0.0);   // cluster 1 inconsistent on day 1
+  EXPECT_DOUBLE_EQ(matrix[1][0], 0.0);
+}
+
+}  // namespace
+}  // namespace cdnsim::analysis

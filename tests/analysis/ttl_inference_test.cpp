@@ -1,0 +1,81 @@
+#include "analysis/ttl_inference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace cdnsim::analysis {
+namespace {
+
+std::vector<double> uniform_lengths(double ttl, int n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) xs.push_back(rng.uniform(0.0, ttl));
+  return xs;
+}
+
+TEST(TtlInferenceTest, RecoversTtlFromCleanUniformSample) {
+  const auto xs = uniform_lengths(60.0, 50000, 1);
+  EXPECT_NEAR(infer_ttl(xs), 60.0, 2.0);
+}
+
+TEST(TtlInferenceTest, RecoversTtlWithHeavyTailContamination) {
+  // 80% uniform [0,60] + 20% other causes (absences etc.) up to 500 s, the
+  // Fig. 6 situation: refinement must shed the tail.
+  util::Rng rng(2);
+  auto xs = uniform_lengths(60.0, 40000, 3);
+  for (int i = 0; i < 10000; ++i) xs.push_back(rng.uniform(60.0, 500.0));
+  const double inferred = infer_ttl(xs);
+  EXPECT_NEAR(inferred, 60.0, 8.0);
+}
+
+TEST(TtlInferenceTest, DeviationMinimisedAtTrueTtl) {
+  const auto xs = uniform_lengths(60.0, 50000, 4);
+  std::vector<double> candidates;
+  for (double t = 40; t <= 80; t += 5) candidates.push_back(t);
+  const auto curve = ttl_deviation_curve(xs, candidates);
+  ASSERT_EQ(curve.size(), candidates.size());
+  double best_ttl = 0;
+  double best_dev = 1e9;
+  for (const auto& c : curve) {
+    if (c.deviation < best_dev) {
+      best_dev = c.deviation;
+      best_ttl = c.ttl;
+    }
+  }
+  EXPECT_DOUBLE_EQ(best_ttl, 60.0);
+}
+
+TEST(TtlInferenceTest, DeviationIsSmallAtTruth) {
+  const auto xs = uniform_lengths(60.0, 50000, 5);
+  EXPECT_LT(ttl_deviation(xs, 60.0), 0.03);
+  EXPECT_GT(ttl_deviation(xs, 80.0), 0.1);
+}
+
+TEST(TtlInferenceTest, TheoryRmseSmallerAtTrueTtl) {
+  // Fig. 6(b): RMSE(trace CDF vs uniform theory) must prefer the true TTL.
+  const auto xs = uniform_lengths(60.0, 30000, 6);
+  const double rmse60 = uniform_theory_rmse(xs, 60.0);
+  const double rmse80 = uniform_theory_rmse(xs, 80.0);
+  EXPECT_LT(rmse60, rmse80);
+  EXPECT_LT(rmse60, 0.02);  // the paper reports 0.0462 on real data
+}
+
+TEST(TtlInferenceTest, EmptySampleThrows) {
+  EXPECT_THROW(infer_ttl({}), cdnsim::PreconditionError);
+}
+
+TEST(TtlInferenceTest, InvalidCandidateThrows) {
+  EXPECT_THROW(ttl_deviation({1.0}, 0.0), cdnsim::PreconditionError);
+  EXPECT_THROW(uniform_theory_rmse({1.0}, -5.0), cdnsim::PreconditionError);
+}
+
+TEST(TtlInferenceTest, AllSamplesAboveCandidateGiveFullDeviation) {
+  const std::vector<double> xs{100, 200, 300};
+  EXPECT_DOUBLE_EQ(ttl_deviation(xs, 10.0), 1.0);  // truncated mean = 0
+}
+
+}  // namespace
+}  // namespace cdnsim::analysis

@@ -1,0 +1,123 @@
+#include "analysis/user_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cdnsim::analysis {
+namespace {
+
+cdn::UserObservation obs(double t, trace::Version v, bool redirected = false,
+                         bool answered = true) {
+  cdn::UserObservation o;
+  o.request_time = o.serve_time = t;
+  o.version = v;
+  o.redirected = redirected;
+  o.answered = answered;
+  o.server = 0;
+  return o;
+}
+
+TEST(RedirectionTest, FractionIgnoresFirstVisit) {
+  cdn::UserLog log;
+  log.add(obs(0, 0, /*redirected=*/false));
+  log.add(obs(10, 0, true));
+  log.add(obs(20, 0, false));
+  log.add(obs(30, 0, true));
+  EXPECT_NEAR(redirection_fraction(log), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RedirectionTest, EmptyOrSingleVisitIsZero) {
+  cdn::UserLog log;
+  EXPECT_DOUBLE_EQ(redirection_fraction(log), 0.0);
+  log.add(obs(0, 0));
+  EXPECT_DOUBLE_EQ(redirection_fraction(log), 0.0);
+}
+
+TEST(RedirectionTest, PopulationSkipsTinyLogs) {
+  cdn::UserPopulationLog logs(2);
+  logs.log(0).add(obs(0, 0));
+  logs.log(1).add(obs(0, 0));
+  logs.log(1).add(obs(10, 0, true));
+  const auto fractions = redirection_fractions(logs);
+  ASSERT_EQ(fractions.size(), 1u);
+  EXPECT_DOUBLE_EQ(fractions[0], 1.0);
+}
+
+SnapshotTimeline timeline_v1_at_100_v2_at_200() {
+  trace::PollLog log;
+  log.add({5, 50.0, 0, true});
+  log.add({5, 100.0, 1, true});
+  log.add({5, 200.0, 2, true});
+  return SnapshotTimeline(log);
+}
+
+TEST(ContinuousTimesTest, SplitsRuns) {
+  const auto tl = timeline_v1_at_100_v2_at_200();
+  cdn::UserLog log;
+  // Consistent from 50..95 (v0 current until 100), inconsistent 105..115
+  // (still v0), consistent again at 125 (v1 current until 200).
+  log.add(obs(50, 0));
+  log.add(obs(95, 0));
+  log.add(obs(105, 0));
+  log.add(obs(115, 0));
+  log.add(obs(125, 1));
+  log.add(obs(135, 1));
+  const auto times = continuous_times(log, tl);
+  ASSERT_EQ(times.consistency.size(), 1u);
+  EXPECT_DOUBLE_EQ(times.consistency[0], 55.0);  // 50 -> 105
+  ASSERT_EQ(times.inconsistency.size(), 1u);
+  EXPECT_DOUBLE_EQ(times.inconsistency[0], 20.0);  // 105 -> 125
+}
+
+TEST(ContinuousTimesTest, OpenFinalRunDropped) {
+  const auto tl = timeline_v1_at_100_v2_at_200();
+  cdn::UserLog log;
+  log.add(obs(50, 0));
+  log.add(obs(95, 0));
+  const auto times = continuous_times(log, tl);
+  EXPECT_TRUE(times.consistency.empty());
+  EXPECT_TRUE(times.inconsistency.empty());
+}
+
+TEST(ContinuousTimesTest, UnansweredVisitsSkipped) {
+  const auto tl = timeline_v1_at_100_v2_at_200();
+  cdn::UserLog log;
+  log.add(obs(50, 0));
+  log.add(obs(60, 0, false, /*answered=*/false));
+  log.add(obs(105, 0));  // inconsistent: run flips here
+  log.add(obs(125, 1));
+  const auto times = continuous_times(log, tl);
+  ASSERT_EQ(times.consistency.size(), 1u);
+  EXPECT_DOUBLE_EQ(times.consistency[0], 55.0);
+}
+
+TEST(ContinuousTimesTest, PooledAcrossUsers) {
+  const auto tl = timeline_v1_at_100_v2_at_200();
+  cdn::UserPopulationLog logs(2);
+  logs.log(0).add(obs(50, 0));
+  logs.log(0).add(obs(105, 0));
+  logs.log(0).add(obs(125, 1));
+  logs.log(1).add(obs(150, 1));
+  logs.log(1).add(obs(205, 1));
+  logs.log(1).add(obs(215, 2));
+  const auto times = pooled_continuous_times(logs, tl);
+  EXPECT_EQ(times.consistency.size(), 2u);
+  EXPECT_EQ(times.inconsistency.size(), 2u);
+}
+
+TEST(SelfInconsistencyTest, CountsRegressions) {
+  cdn::UserPopulationLog logs(1);
+  logs.log(0).add(obs(0, 1));
+  logs.log(0).add(obs(10, 2));
+  logs.log(0).add(obs(20, 1));  // regression!
+  logs.log(0).add(obs(30, 2));
+  EXPECT_DOUBLE_EQ(self_inconsistency_fraction(logs), 0.25);
+}
+
+TEST(SelfInconsistencyTest, MonotoneObservationsAreZero) {
+  cdn::UserPopulationLog logs(1);
+  for (int i = 0; i < 10; ++i) logs.log(0).add(obs(i * 10.0, i));
+  EXPECT_DOUBLE_EQ(self_inconsistency_fraction(logs), 0.0);
+}
+
+}  // namespace
+}  // namespace cdnsim::analysis

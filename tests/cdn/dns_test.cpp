@@ -1,0 +1,128 @@
+#include "cdn/dns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "net/sites.hpp"
+#include "util/error.hpp"
+
+namespace cdnsim::cdn {
+namespace {
+
+topology::NodeRegistry make_registry(std::size_t n, std::uint64_t seed) {
+  topology::NodeInfo provider;
+  provider.location = net::atlanta_site().location;
+  topology::NodeRegistry reg(provider);
+  util::Rng rng(seed);
+  const auto placements = net::place_nodes(n, net::PlacementConfig{}, rng);
+  for (const auto& p : placements) reg.add_server({p.location, 0, p.site_index});
+  return reg;
+}
+
+TEST(DnsTest, CandidatesAreNearestServers) {
+  const auto reg = make_registry(100, 1);
+  DnsConfig cfg;
+  cfg.candidate_count = 5;
+  DnsSystem dns(reg, cfg, util::Rng(2));
+  const net::GeoPoint user{40.71, -74.01};  // NYC
+  const UserId u = dns.register_user(user);
+  const auto& candidates = dns.candidates(u);
+  ASSERT_EQ(candidates.size(), 5u);
+  // Every candidate must be closer to the user than the median server.
+  std::vector<double> all;
+  for (auto id : reg.server_ids()) {
+    all.push_back(net::haversine_km(reg.location(id), user));
+  }
+  std::sort(all.begin(), all.end());
+  const double median = all[all.size() / 2];
+  for (auto id : candidates) {
+    EXPECT_LT(net::haversine_km(reg.location(id), user), median + 1e-9);
+  }
+}
+
+TEST(DnsTest, CachedResolutionIsStableUntilExpiry) {
+  const auto reg = make_registry(50, 3);
+  DnsConfig cfg;
+  cfg.cache_expiry_mean_s = 60;
+  cfg.cache_expiry_jitter_s = 0;
+  DnsSystem dns(reg, cfg, util::Rng(4));
+  const UserId u = dns.register_user({48.86, 2.35});
+  const auto first = dns.resolve(u, 0.0);
+  EXPECT_TRUE(first.reassigned);
+  EXPECT_FALSE(first.redirected);  // no previous server
+  for (double t = 10; t <= 60; t += 10) {
+    const auto r = dns.resolve(u, t);
+    EXPECT_EQ(r.server, first.server);
+    EXPECT_FALSE(r.reassigned);
+  }
+  const auto later = dns.resolve(u, 61.0);
+  EXPECT_TRUE(later.reassigned);
+}
+
+TEST(DnsTest, RedirectionFractionIsInPaperRange) {
+  // Section 3.3: most users see 13-17% of visits redirected. With a 60 s
+  // cache, 10 s visits and 8 candidates: 1/6 of visits reassigned, 7/8 of
+  // reassignments land elsewhere -> ~14.5%.
+  const auto reg = make_registry(200, 5);
+  DnsConfig cfg;
+  DnsSystem dns(reg, cfg, util::Rng(6));
+  util::Rng urng(7);
+  const auto placements = net::place_nodes(40, net::PlacementConfig{}, urng);
+  double total_redirects = 0;
+  double total_visits = 0;
+  for (const auto& p : placements) {
+    const UserId u = dns.register_user(p.location);
+    topology::NodeId prev = -1;
+    for (double t = 0; t < 9000; t += 10) {
+      const auto r = dns.resolve(u, t);
+      if (prev != -1) {
+        total_visits += 1;
+        if (r.server != prev) total_redirects += 1;
+      }
+      prev = r.server;
+    }
+  }
+  EXPECT_NEAR(total_redirects / total_visits, 0.15, 0.05);
+}
+
+TEST(DnsTest, SmallFarmFewerCandidatesThanRequested) {
+  const auto reg = make_registry(3, 8);
+  DnsConfig cfg;
+  cfg.candidate_count = 10;
+  DnsSystem dns(reg, cfg, util::Rng(9));
+  const UserId u = dns.register_user({0, 0});
+  EXPECT_EQ(dns.candidates(u).size(), 3u);
+}
+
+TEST(DnsTest, ResolutionsStayWithinCandidateSet) {
+  const auto reg = make_registry(60, 10);
+  DnsSystem dns(reg, DnsConfig{}, util::Rng(11));
+  const UserId u = dns.register_user({35.68, 139.69});
+  const auto& candidates = dns.candidates(u);
+  const std::set<topology::NodeId> set(candidates.begin(), candidates.end());
+  for (double t = 0; t < 5000; t += 10) {
+    EXPECT_TRUE(set.count(dns.resolve(u, t).server) > 0);
+  }
+}
+
+TEST(DnsTest, UnknownUserThrows) {
+  const auto reg = make_registry(5, 12);
+  DnsSystem dns(reg, DnsConfig{}, util::Rng(13));
+  EXPECT_THROW(dns.resolve(0, 0.0), cdnsim::PreconditionError);
+  EXPECT_THROW(dns.candidates(7), cdnsim::PreconditionError);
+}
+
+TEST(DnsTest, InvalidConfigThrows) {
+  const auto reg = make_registry(5, 14);
+  DnsConfig bad;
+  bad.candidate_count = 0;
+  EXPECT_THROW(DnsSystem(reg, bad, util::Rng(1)), cdnsim::PreconditionError);
+  DnsConfig bad2;
+  bad2.cache_expiry_mean_s = 0;
+  EXPECT_THROW(DnsSystem(reg, bad2, util::Rng(1)), cdnsim::PreconditionError);
+}
+
+}  // namespace
+}  // namespace cdnsim::cdn

@@ -1,0 +1,89 @@
+#include "cdn/provider.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace cdnsim::cdn {
+namespace {
+
+TEST(ProviderTest, ExactOriginServesTrueVersion) {
+  const trace::UpdateTrace updates({10, 20, 30});
+  Provider p(updates, ProviderConfig{}, util::Rng(1));
+  EXPECT_EQ(p.true_version_at(5), 0);
+  EXPECT_EQ(p.served_version_at(5), 0);
+  EXPECT_EQ(p.served_version_at(25), 2);
+  EXPECT_EQ(p.served_version_at(1000), 3);
+}
+
+TEST(ProviderTest, StalenessNeverServesFutureVersions) {
+  const trace::UpdateTrace updates({10, 20, 30});
+  ProviderConfig cfg;
+  cfg.staleness_mean_s = 5.0;
+  Provider p(updates, cfg, util::Rng(2));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(p.served_version_at(25), 2);
+  }
+}
+
+TEST(ProviderTest, StalenessOccasionallyServesOldVersion) {
+  const trace::UpdateTrace updates({10, 20, 30});
+  ProviderConfig cfg;
+  cfg.staleness_mean_s = 5.0;
+  Provider p(updates, cfg, util::Rng(3));
+  int old_serves = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (p.served_version_at(22) < 2) ++old_serves;
+  }
+  // Lag > 2 s has probability e^{-0.4} ~ 0.67.
+  EXPECT_GT(old_serves, 400);
+  EXPECT_LT(old_serves, 900);
+}
+
+TEST(ProviderTest, StalenessMatchesPaperMagnitude) {
+  // Section 3.4.2: provider-served content is ~3.4 s stale on average and
+  // 90% of requests see < 10 s.
+  std::vector<sim::SimTime> times;
+  for (int i = 1; i <= 2000; ++i) times.push_back(i * 20.0);
+  const trace::UpdateTrace updates(times);
+  ProviderConfig cfg;
+  cfg.staleness_mean_s = 3.4;
+  Provider p(updates, cfg, util::Rng(4));
+  int below10 = 0;
+  int total = 0;
+  for (double t = 100; t < 39000; t += 7.0) {
+    const auto v = p.served_version_at(t);
+    const auto true_v = p.true_version_at(t);
+    ASSERT_LE(v, true_v);
+    // Inconsistency: time since the served version was superseded.
+    double inc = 0;
+    if (v < updates.update_count() && updates.update_time(v + 1) <= t) {
+      inc = t - updates.update_time(v + 1);
+    }
+    if (inc < 10.0) ++below10;
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(below10) / total, 0.85);
+}
+
+TEST(ProviderTest, NegativeConfigThrows) {
+  const trace::UpdateTrace updates({10});
+  ProviderConfig bad;
+  bad.staleness_mean_s = -1;
+  EXPECT_THROW(Provider(updates, bad, util::Rng(5)), cdnsim::PreconditionError);
+}
+
+TEST(ProviderTest, StalenessCapBoundsLag) {
+  const trace::UpdateTrace updates({10, 1000});
+  ProviderConfig cfg;
+  cfg.staleness_mean_s = 100.0;
+  cfg.staleness_cap_s = 2.0;
+  Provider p(updates, cfg, util::Rng(6));
+  for (int i = 0; i < 500; ++i) {
+    // At t=13 with cap 2 the earliest visible time is 11 >= update 1.
+    EXPECT_EQ(p.served_version_at(13), 1);
+  }
+}
+
+}  // namespace
+}  // namespace cdnsim::cdn

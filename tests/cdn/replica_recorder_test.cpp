@@ -1,0 +1,81 @@
+#include "cdn/replica_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace cdnsim::cdn {
+namespace {
+
+TEST(ReplicaRecorderTest, RecordsAcquisitionTimes) {
+  ReplicaRecorder r(3);
+  r.on_version(1, 12.0);
+  r.on_version(2, 25.0);
+  r.on_version(3, 33.0);
+  EXPECT_DOUBLE_EQ(r.acquire_time(1), 12.0);
+  EXPECT_DOUBLE_EQ(r.acquire_time(2), 25.0);
+  EXPECT_DOUBLE_EQ(r.acquire_time(3), 33.0);
+  EXPECT_EQ(r.current_version(), 3);
+}
+
+TEST(ReplicaRecorderTest, SkippedVersionsAcquiredImplicitly) {
+  ReplicaRecorder r(4);
+  r.on_version(3, 40.0);
+  EXPECT_DOUBLE_EQ(r.acquire_time(1), 40.0);
+  EXPECT_DOUBLE_EQ(r.acquire_time(2), 40.0);
+  EXPECT_DOUBLE_EQ(r.acquire_time(3), 40.0);
+  EXPECT_FALSE(r.acquired(4));
+}
+
+TEST(ReplicaRecorderTest, StaleDeliveriesIgnored) {
+  ReplicaRecorder r(3);
+  r.on_version(2, 20.0);
+  r.on_version(1, 30.0);  // stale push arrives late
+  EXPECT_EQ(r.current_version(), 2);
+  EXPECT_DOUBLE_EQ(r.acquire_time(1), 20.0);
+}
+
+TEST(ReplicaRecorderTest, InconsistencyLengths) {
+  const trace::UpdateTrace updates({10, 20, 30});
+  ReplicaRecorder r(3);
+  r.on_version(1, 12.0);
+  r.on_version(2, 26.0);
+  r.on_version(3, 37.0);
+  const auto lengths = r.inconsistency_lengths(updates);
+  ASSERT_EQ(lengths.size(), 3u);
+  EXPECT_DOUBLE_EQ(lengths[0], 2.0);
+  EXPECT_DOUBLE_EQ(lengths[1], 6.0);
+  EXPECT_DOUBLE_EQ(lengths[2], 7.0);
+  EXPECT_DOUBLE_EQ(r.average_inconsistency(updates), 5.0);
+}
+
+TEST(ReplicaRecorderTest, UnacquiredVersionsExcluded) {
+  const trace::UpdateTrace updates({10, 20, 30});
+  ReplicaRecorder r(3);
+  r.on_version(1, 15.0);
+  const auto lengths = r.inconsistency_lengths(updates);
+  ASSERT_EQ(lengths.size(), 1u);
+  EXPECT_DOUBLE_EQ(lengths[0], 5.0);
+}
+
+TEST(ReplicaRecorderTest, NoUpdatesAverageIsZero) {
+  const trace::UpdateTrace updates;
+  ReplicaRecorder r(0);
+  EXPECT_DOUBLE_EQ(r.average_inconsistency(updates), 0.0);
+}
+
+TEST(ReplicaRecorderTest, MismatchedTraceThrows) {
+  const trace::UpdateTrace updates({10, 20});
+  ReplicaRecorder r(3);
+  EXPECT_THROW(r.inconsistency_lengths(updates), cdnsim::PreconditionError);
+}
+
+TEST(ReplicaRecorderTest, OutOfRangeVersionThrows) {
+  ReplicaRecorder r(2);
+  EXPECT_THROW(r.on_version(3, 1.0), cdnsim::PreconditionError);
+  EXPECT_THROW(r.acquire_time(0), cdnsim::PreconditionError);
+  EXPECT_THROW(r.acquire_time(3), cdnsim::PreconditionError);
+}
+
+}  // namespace
+}  // namespace cdnsim::cdn

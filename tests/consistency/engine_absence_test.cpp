@@ -1,0 +1,99 @@
+// Engine behaviour under server absences (failure/overload injection):
+// the Section 3.4.5 mechanics — absent servers skip polls, deliveries are
+// deferred until return, users get unanswered visits — and their effect on
+// inconsistency.
+#include <gtest/gtest.h>
+
+#include "engine_test_util.hpp"
+#include "util/stats.hpp"
+
+namespace cdnsim::consistency {
+namespace {
+
+using testutil::base_config;
+using testutil::regular_trace;
+using testutil::run;
+using testutil::small_scenario;
+
+std::vector<trace::AbsenceSchedule> absences_for(std::size_t n, double start,
+                                                 double end,
+                                                 std::size_t first_k) {
+  std::vector<trace::AbsenceSchedule> out(n);
+  for (std::size_t i = 0; i < first_k && i < n; ++i) out[i].add(start, end);
+  return out;
+}
+
+TEST(EngineAbsenceTest, AbsentServersStillConvergeAfterReturn) {
+  const auto scenario = small_scenario(20);
+  const auto updates = regular_trace(25.0, 12);
+  const auto r = run(*scenario.nodes, updates, base_config(UpdateMethod::kTtl),
+                     absences_for(20, 100.0, 200.0, 8));
+  for (topology::NodeId s = 0; s < 20; ++s) {
+    EXPECT_EQ(r->engine->recorder(s).current_version(), 12);
+  }
+}
+
+TEST(EngineAbsenceTest, AbsenceRaisesAffectedServersInconsistency) {
+  const auto scenario = small_scenario(30);
+  const auto updates = regular_trace(25.0, 12);
+  const auto cfg = base_config(UpdateMethod::kTtl);
+  const auto r = run(*scenario.nodes, updates, cfg,
+                     absences_for(30, 80.0, 230.0, 10));
+  const auto inc = r->engine->server_avg_inconsistency();
+  const double affected =
+      util::mean(std::vector<double>(inc.begin(), inc.begin() + 10));
+  const double healthy =
+      util::mean(std::vector<double>(inc.begin() + 10, inc.end()));
+  EXPECT_GT(affected, 1.5 * healthy);
+}
+
+TEST(EngineAbsenceTest, UsersGetUnansweredObservationsDuringAbsence) {
+  const auto scenario = small_scenario(10);
+  const auto updates = regular_trace(25.0, 10);
+  auto cfg = base_config(UpdateMethod::kTtl);
+  cfg.record_poll_log = true;
+  const auto r = run(*scenario.nodes, updates, cfg,
+                     absences_for(10, 100.0, 160.0, 10));
+  std::size_t unanswered = 0;
+  for (const auto& obs : r->engine->poll_log().observations()) {
+    if (!obs.answered) {
+      ++unanswered;
+      EXPECT_GE(obs.time, 100.0);
+      EXPECT_LT(obs.time, 160.0);
+    }
+  }
+  // 50 users polling every 10 s through a 60 s outage: ~300 failed visits.
+  EXPECT_GT(unanswered, 150u);
+}
+
+TEST(EngineAbsenceTest, PushDeliveriesDeferredNotLost) {
+  const auto scenario = small_scenario(10);
+  const auto updates = regular_trace(30.0, 5);  // shifted to 90..210
+  auto cfg = base_config(UpdateMethod::kPush);
+  // Server 0 down exactly across updates 1-3 (engine times 90/120/150).
+  std::vector<trace::AbsenceSchedule> absences(10);
+  absences[0].add(85.0, 155.0);
+  const auto r = run(*scenario.nodes, updates, cfg, std::move(absences));
+  // All versions acquired; versions 1..2 acquired at/after the return time.
+  const auto& rec = r->engine->recorder(0);
+  EXPECT_EQ(rec.current_version(), 5);
+  EXPECT_GE(rec.acquire_time(1), 155.0);
+  EXPECT_GE(rec.acquire_time(2), 155.0);
+}
+
+TEST(EngineAbsenceTest, SelfAdaptiveSurvivesAbsenceDuringSilence) {
+  const auto scenario = small_scenario(12);
+  std::vector<sim::SimTime> times{10.0, 20.0, 900.0, 910.0};
+  const trace::UpdateTrace updates{times};
+  std::vector<trace::AbsenceSchedule> absences(12);
+  for (auto& a : absences) a.add(940.0, 990.0);  // down right after updates
+  const auto r = run(*scenario.nodes, updates,
+                     base_config(UpdateMethod::kSelfAdaptive),
+                     std::move(absences));
+  for (topology::NodeId s = 0; s < 12; ++s) {
+    EXPECT_EQ(r->engine->recorder(s).current_version(), 4);
+  }
+}
+
+}  // namespace
+}  // namespace cdnsim::consistency

@@ -1,0 +1,120 @@
+// Infrastructure churn: crash/repair dynamics (Section 1's multicast
+// fragility argument + Section 5.2's repair rule, exercised end to end).
+#include <gtest/gtest.h>
+
+#include "engine_test_util.hpp"
+#include "util/stats.hpp"
+
+namespace cdnsim::consistency {
+namespace {
+
+using testutil::base_config;
+using testutil::regular_trace;
+using testutil::run;
+using testutil::small_scenario;
+
+EngineConfig churny(EngineConfig ec, double failures_per_hour,
+                    double downtime = 60.0, bool repair = true) {
+  ec.churn.failures_per_hour = failures_per_hour;
+  ec.churn.downtime_mean_s = downtime;
+  ec.churn.repair_enabled = repair;
+  return ec;
+}
+
+TEST(EngineChurnTest, UnicastTtlConvergesUnderHeavyChurn) {
+  const auto scenario = small_scenario(30);
+  const auto updates = regular_trace(25.0, 20);
+  auto cfg = churny(base_config(UpdateMethod::kTtl), 240.0);
+  cfg.tail_s = 400.0;
+  const auto r = run(*scenario.nodes, updates, cfg);
+  EXPECT_GT(r->engine->failures_injected(), 10u);
+  for (topology::NodeId s = 0; s < 30; ++s) {
+    EXPECT_EQ(r->engine->recorder(s).current_version(), 20) << "server " << s;
+  }
+}
+
+TEST(EngineChurnTest, MulticastPushWithRepairConverges) {
+  const auto scenario = small_scenario(40);
+  const auto updates = regular_trace(25.0, 20);
+  auto cfg = churny(
+      base_config(UpdateMethod::kPush, InfrastructureKind::kMulticastTree),
+      240.0);
+  cfg.tail_s = 400.0;
+  const auto r = run(*scenario.nodes, updates, cfg);
+  EXPECT_GT(r->engine->failures_injected(), 10u);
+  for (topology::NodeId s = 0; s < 40; ++s) {
+    EXPECT_EQ(r->engine->recorder(s).current_version(), 20) << "server " << s;
+  }
+  // Repairs were charged as tree-maintenance traffic.
+  EXPECT_GT(r->engine->meter().totals().light_messages, 0u);
+}
+
+TEST(EngineChurnTest, MulticastPushWithoutRepairLosesUpdates) {
+  // The Section 1 criticism: without structure maintenance, failures break
+  // connectivity and updates stop propagating through dead subtrees.
+  const auto scenario = small_scenario(40);
+  const auto updates = regular_trace(20.0, 30);
+  auto repaired = churny(
+      base_config(UpdateMethod::kPush, InfrastructureKind::kMulticastTree),
+      400.0, 150.0, /*repair=*/true);
+  auto broken = churny(
+      base_config(UpdateMethod::kPush, InfrastructureKind::kMulticastTree),
+      400.0, 150.0, /*repair=*/false);
+  const auto rr = run(*scenario.nodes, updates, repaired);
+  const auto rb = run(*scenario.nodes, updates, broken);
+  const double inc_repaired = util::mean(rr->engine->server_avg_inconsistency());
+  const double inc_broken = util::mean(rb->engine->server_avg_inconsistency());
+  EXPECT_GT(inc_broken, 2.0 * inc_repaired);
+}
+
+TEST(EngineChurnTest, HybridSupernodeFailoverKeepsClustersServed) {
+  const auto scenario = small_scenario(40);
+  const auto updates = regular_trace(25.0, 20);
+  auto cfg = churny(
+      base_config(UpdateMethod::kSelfAdaptive,
+                  InfrastructureKind::kHybridSupernode),
+      240.0);
+  cfg.infrastructure.cluster_count = 8;
+  cfg.tail_s = 400.0;
+  const auto r = run(*scenario.nodes, updates, cfg);
+  EXPECT_GT(r->engine->failures_injected(), 10u);
+  for (topology::NodeId s = 0; s < 40; ++s) {
+    EXPECT_EQ(r->engine->recorder(s).current_version(), 20) << "server " << s;
+  }
+  // Infrastructure stayed consistent: every live cluster has exactly one
+  // supernode and members point at it.
+  const auto& infra = r->engine->infrastructure();
+  ASSERT_TRUE(infra.clustering.has_value());
+  for (std::size_t c = 0; c < infra.clustering->cluster_count(); ++c) {
+    const topology::NodeId sn = infra.cluster_supernode[c];
+    if (sn < 0) continue;  // orphaned cluster
+    EXPECT_TRUE(infra.is_supernode[static_cast<std::size_t>(sn)]);
+    for (topology::NodeId m : infra.clustering->members[c]) {
+      if (m == sn || infra.is_failed(m)) continue;
+      EXPECT_EQ(infra.parent_of(m), sn) << "member " << m;
+    }
+  }
+}
+
+TEST(EngineChurnTest, NoChurnMeansNoFailures) {
+  const auto scenario = small_scenario(10);
+  const auto updates = regular_trace(25.0, 5);
+  const auto r = run(*scenario.nodes, updates, base_config(UpdateMethod::kTtl));
+  EXPECT_EQ(r->engine->failures_injected(), 0u);
+}
+
+TEST(EngineChurnTest, ChurnIsDeterministicPerSeed) {
+  const auto scenario = small_scenario(20);
+  const auto updates = regular_trace(25.0, 10);
+  const auto cfg = churny(
+      base_config(UpdateMethod::kTtl, InfrastructureKind::kMulticastTree),
+      300.0);
+  const auto a = run(*scenario.nodes, updates, cfg);
+  const auto b = run(*scenario.nodes, updates, cfg);
+  EXPECT_EQ(a->engine->failures_injected(), b->engine->failures_injected());
+  EXPECT_EQ(a->engine->server_avg_inconsistency(),
+            b->engine->server_avg_inconsistency());
+}
+
+}  // namespace
+}  // namespace cdnsim::consistency

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "engine_test_util.hpp"
+#include "util/stats.hpp"
+
+namespace cdnsim::consistency {
+namespace {
+
+using testutil::base_config;
+using testutil::regular_trace;
+using testutil::run;
+using testutil::short_game;
+using testutil::small_scenario;
+
+EngineConfig hat_config(sim::SimTime server_ttl = 10.0) {
+  auto cfg = base_config(UpdateMethod::kSelfAdaptive,
+                         InfrastructureKind::kHybridSupernode);
+  cfg.method.server_ttl_s = server_ttl;
+  cfg.infrastructure.cluster_count = 8;
+  cfg.infrastructure.supernode_fanout = 4;
+  return cfg;
+}
+
+TEST(EngineHybridTest, HatConvergesEverywhere) {
+  const auto scenario = small_scenario(48);
+  const auto updates = short_game(11);
+  const auto r = run(*scenario.nodes, updates, hat_config());
+  for (topology::NodeId s = 0; s < 48; ++s) {
+    EXPECT_EQ(r->engine->recorder(s).current_version(), updates.update_count())
+        << "server " << s;
+  }
+}
+
+TEST(EngineHybridTest, SupernodesReceiveUpdatesFirst) {
+  const auto scenario = small_scenario(48);
+  const auto updates = regular_trace(30.0, 15);
+  const auto r = run(*scenario.nodes, updates, hat_config());
+  const auto& infra = r->engine->infrastructure();
+  const auto inc = r->engine->server_avg_inconsistency();
+  double sn_sum = 0, member_sum = 0;
+  std::size_t sn_n = 0, member_n = 0;
+  for (topology::NodeId s = 0; s < 48; ++s) {
+    if (infra.is_supernode[static_cast<std::size_t>(s)]) {
+      sn_sum += inc[static_cast<std::size_t>(s)];
+      ++sn_n;
+    } else {
+      member_sum += inc[static_cast<std::size_t>(s)];
+      ++member_n;
+    }
+  }
+  ASSERT_GT(sn_n, 0u);
+  ASSERT_GT(member_n, 0u);
+  EXPECT_LT(sn_sum / sn_n, member_sum / member_n);
+}
+
+TEST(EngineHybridTest, ProviderSendsOnlyToSupernodeRoots) {
+  const auto scenario = small_scenario(48);
+  const auto updates = regular_trace(30.0, 10);
+  const auto r = run(*scenario.nodes, updates, hat_config());
+  const auto from_provider =
+      r->engine->meter().sender_totals(topology::kProviderNode);
+  // 4-ary supernode overlay: provider pushes to at most 4 supernodes.
+  EXPECT_LE(from_provider.update_messages, 4u * 10u);
+}
+
+TEST(EngineHybridTest, HatSavesNetworkLoadVsUnicastTtl) {
+  // Fig. 23: HAT's km-weighted network load is far below unicast TTL.
+  const auto scenario = small_scenario(60);
+  const auto updates = short_game(13);
+  auto ttl = base_config(UpdateMethod::kTtl);
+  ttl.method.server_ttl_s = 60.0;
+  auto hat = hat_config(60.0);
+  const auto rt = run(*scenario.nodes, updates, ttl);
+  const auto rh = run(*scenario.nodes, updates, hat);
+  EXPECT_LT(rh->engine->meter().totals().load_km_total(),
+            0.7 * rt->engine->meter().totals().load_km_total());
+}
+
+TEST(EngineHybridTest, HybridTtlMembersAlsoConverge) {
+  const auto scenario = small_scenario(40);
+  const auto updates = regular_trace(25.0, 12);
+  auto hybrid =
+      base_config(UpdateMethod::kTtl, InfrastructureKind::kHybridSupernode);
+  hybrid.infrastructure.cluster_count = 8;
+  const auto r = run(*scenario.nodes, updates, hybrid);
+  for (topology::NodeId s = 0; s < 40; ++s) {
+    EXPECT_EQ(r->engine->recorder(s).current_version(), 12);
+  }
+}
+
+TEST(EngineHybridTest, MemberInconsistencyBoundedByTtlPlusPushDelay) {
+  const auto scenario = small_scenario(40);
+  const auto updates = regular_trace(40.0, 10);
+  auto hybrid =
+      base_config(UpdateMethod::kTtl, InfrastructureKind::kHybridSupernode);
+  hybrid.infrastructure.cluster_count = 8;
+  hybrid.method.server_ttl_s = 10.0;
+  const auto r = run(*scenario.nodes, updates, hybrid);
+  const auto inc = r->engine->server_avg_inconsistency();
+  for (double v : inc) {
+    EXPECT_LE(v, 12.0);  // one TTL + push transport, never 2x TTL
+  }
+}
+
+TEST(EngineHybridTest, ProximityAblationIncreasesLoad) {
+  // Ablation of DESIGN.md choice #3 on the full multicast tree, where every
+  // edge is affected by proximity awareness.
+  const auto scenario = small_scenario(60);
+  const auto updates = regular_trace(25.0, 15);
+  auto near = base_config(UpdateMethod::kPush, InfrastructureKind::kMulticastTree);
+  auto far = near;
+  far.infrastructure.proximity_aware = false;
+  const auto rn = run(*scenario.nodes, updates, near);
+  const auto rf = run(*scenario.nodes, updates, far);
+  EXPECT_LT(rn->engine->meter().totals().load_km_total(),
+            0.8 * rf->engine->meter().totals().load_km_total());
+}
+
+}  // namespace
+}  // namespace cdnsim::consistency

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "engine_test_util.hpp"
+#include "util/stats.hpp"
+
+namespace cdnsim::consistency {
+namespace {
+
+using testutil::base_config;
+using testutil::regular_trace;
+using testutil::run;
+using testutil::small_scenario;
+
+TEST(EnginePushTest, InconsistencyIsTransportOnly) {
+  const auto scenario = small_scenario(40);
+  const auto updates = regular_trace(20.0, 30);
+  const auto r = run(*scenario.nodes, updates, base_config(UpdateMethod::kPush));
+  const double avg = util::mean(r->engine->server_avg_inconsistency());
+  EXPECT_GT(avg, 0.0);
+  EXPECT_LT(avg, 0.5);  // propagation + queueing only
+}
+
+TEST(EnginePushTest, OneUpdateMessagePerServerPerUpdate) {
+  const auto scenario = small_scenario(25);
+  const auto updates = regular_trace(20.0, 12);
+  const auto r = run(*scenario.nodes, updates, base_config(UpdateMethod::kPush));
+  EXPECT_EQ(r->engine->meter().totals().update_messages, 25u * 12u);
+  EXPECT_EQ(r->engine->meter().totals().light_messages, 0u);
+}
+
+TEST(EnginePushTest, UnicastAllPushesComeFromProvider) {
+  const auto scenario = small_scenario(25);
+  const auto updates = regular_trace(20.0, 12);
+  const auto r = run(*scenario.nodes, updates, base_config(UpdateMethod::kPush));
+  EXPECT_EQ(r->engine->meter().sender_totals(topology::kProviderNode).update_messages,
+            25u * 12u);
+}
+
+TEST(EnginePushTest, MulticastDistributesLoadAcrossInteriorNodes) {
+  const auto scenario = small_scenario(30);
+  const auto updates = regular_trace(20.0, 10);
+  const auto r = run(*scenario.nodes, updates,
+                     base_config(UpdateMethod::kPush,
+                                 InfrastructureKind::kMulticastTree));
+  const auto from_provider =
+      r->engine->meter().sender_totals(topology::kProviderNode).update_messages;
+  // Binary tree: provider only pushes to its <=2 children.
+  EXPECT_LE(from_provider, 2u * 10u);
+  // Total is still one message per server per update.
+  EXPECT_EQ(r->engine->meter().totals().update_messages, 30u * 10u);
+}
+
+TEST(EnginePushTest, MulticastDeeperNodesSeeLargerDelay) {
+  const auto scenario = small_scenario(60);
+  const auto updates = regular_trace(20.0, 20);
+  const auto r = run(*scenario.nodes, updates,
+                     base_config(UpdateMethod::kPush,
+                                 InfrastructureKind::kMulticastTree));
+  const auto inc = r->engine->server_avg_inconsistency();
+  const auto& infra = r->engine->infrastructure();
+  double shallow_sum = 0, deep_sum = 0;
+  std::size_t shallow_n = 0, deep_n = 0;
+  for (topology::NodeId s = 0; s < 60; ++s) {
+    if (infra.depth_of(s) <= 2) {
+      shallow_sum += inc[static_cast<std::size_t>(s)];
+      ++shallow_n;
+    } else if (infra.depth_of(s) >= 4) {
+      deep_sum += inc[static_cast<std::size_t>(s)];
+      ++deep_n;
+    }
+  }
+  ASSERT_GT(shallow_n, 0u);
+  ASSERT_GT(deep_n, 0u);
+  EXPECT_GT(deep_sum / deep_n, shallow_sum / shallow_n);
+}
+
+TEST(EnginePushTest, LargePacketsCongestProviderUplink) {
+  const auto scenario = small_scenario(50);
+  const auto updates = regular_trace(30.0, 10);
+  auto small_pkt = base_config(UpdateMethod::kPush);
+  small_pkt.update_packet_kb = 1.0;
+  auto big_pkt = base_config(UpdateMethod::kPush);
+  big_pkt.update_packet_kb = 500.0;
+  const auto rs = run(*scenario.nodes, updates, small_pkt);
+  const auto rb = run(*scenario.nodes, updates, big_pkt);
+  const double inc_small = util::mean(rs->engine->server_avg_inconsistency());
+  const double inc_big = util::mean(rb->engine->server_avg_inconsistency());
+  // 50 x 500 KB at 2500 KB/s serializes for ~10 s; 50 x 1 KB is ~20 ms.
+  EXPECT_GT(inc_big, 5.0 * inc_small);
+}
+
+TEST(EnginePushTest, UsersNeverObserveRegression) {
+  const auto scenario = small_scenario(20);
+  const auto updates = regular_trace(15.0, 20);
+  auto cfg = base_config(UpdateMethod::kPush);
+  cfg.user_attachment = UserAttachment::kSwitchEveryVisit;
+  const auto r = run(*scenario.nodes, updates, cfg);
+  // Push keeps all servers so close that switching servers almost never
+  // shows older content (Fig. 24's Push ~ 0).
+  EXPECT_LT(r->engine->user_observed_inconsistency_fraction(), 0.01);
+}
+
+TEST(EnginePushTest, TrafficCostLowerOnMulticast) {
+  const auto scenario = small_scenario(60);
+  const auto updates = regular_trace(20.0, 15);
+  const auto ru = run(*scenario.nodes, updates, base_config(UpdateMethod::kPush));
+  const auto rm = run(*scenario.nodes, updates,
+                      base_config(UpdateMethod::kPush,
+                                  InfrastructureKind::kMulticastTree));
+  EXPECT_LT(rm->engine->meter().totals().cost_km_kb,
+            ru->engine->meter().totals().cost_km_kb);
+}
+
+}  // namespace
+}  // namespace cdnsim::consistency

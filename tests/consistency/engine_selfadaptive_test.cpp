@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "engine_test_util.hpp"
+#include "util/stats.hpp"
+
+namespace cdnsim::consistency {
+namespace {
+
+using testutil::base_config;
+using testutil::regular_trace;
+using testutil::run;
+using testutil::short_game;
+using testutil::small_scenario;
+
+TEST(EngineSelfAdaptiveTest, ConvergesOnBurstyTrace) {
+  const auto scenario = small_scenario(30);
+  const auto updates = short_game();
+  const auto r =
+      run(*scenario.nodes, updates, base_config(UpdateMethod::kSelfAdaptive));
+  for (topology::NodeId s = 0; s < 30; ++s) {
+    EXPECT_EQ(r->engine->recorder(s).current_version(), updates.update_count());
+  }
+}
+
+TEST(EngineSelfAdaptiveTest, SavesPollsDuringSilence) {
+  // A trace with one long silence: the self-adaptive method must poll far
+  // less than plain TTL (Algorithm 1's whole point).
+  const auto scenario = small_scenario(25);
+  std::vector<sim::SimTime> times;
+  for (int i = 1; i <= 20; ++i) times.push_back(i * 8.0);      // burst
+  times.push_back(2000.0);                                      // after silence
+  for (int i = 1; i <= 20; ++i) times.push_back(2000.0 + i * 8.0);
+  const trace::UpdateTrace updates{times};
+  auto sa = base_config(UpdateMethod::kSelfAdaptive);
+  auto ttl = base_config(UpdateMethod::kTtl);
+  const auto rs = run(*scenario.nodes, updates, sa);
+  const auto rt = run(*scenario.nodes, updates, ttl);
+  EXPECT_LT(rs->engine->meter().totals().light_messages,
+            0.6 * static_cast<double>(rt->engine->meter().totals().light_messages));
+}
+
+TEST(EngineSelfAdaptiveTest, UpdateMessagesBelowTtlOnGameTrace) {
+  // Fig. 22(a): Self produces fewer "update messages" (responses incl. noop)
+  // than plain TTL on the bursty game trace.
+  const auto scenario = small_scenario(30);
+  const auto updates = short_game(3);
+  auto sa = base_config(UpdateMethod::kSelfAdaptive);
+  sa.method.server_ttl_s = 60.0;
+  auto ttl = base_config(UpdateMethod::kTtl);
+  ttl.method.server_ttl_s = 60.0;
+  const auto rs = run(*scenario.nodes, updates, sa);
+  const auto rt = run(*scenario.nodes, updates, ttl);
+  EXPECT_LT(rs->engine->meter().totals().update_messages,
+            rt->engine->meter().totals().update_messages);
+}
+
+TEST(EngineSelfAdaptiveTest, ReactsToUpdateAfterSilenceViaInvalidation) {
+  // During the silence the servers sit in invalidation mode; the first
+  // update after it must still reach servers (notice -> visit -> fetch).
+  const auto scenario = small_scenario(15);
+  std::vector<sim::SimTime> times{10.0, 18.0, 26.0, 1500.0};
+  const trace::UpdateTrace updates{times};
+  auto cfg = base_config(UpdateMethod::kSelfAdaptive);
+  cfg.user_poll_period_s = 10.0;
+  const auto r = run(*scenario.nodes, updates, cfg);
+  for (topology::NodeId s = 0; s < 15; ++s) {
+    EXPECT_EQ(r->engine->recorder(s).current_version(), 4);
+    // Version 4 (at t=1500+offset) must be acquired within ~a visit period
+    // plus transport, NOT within a TTL (which would indicate polling
+    // continued during silence)... and not hours later either.
+    const double acquired = r->engine->recorder(s).acquire_time(4);
+    EXPECT_GT(acquired, 1500.0);
+    EXPECT_LT(acquired, 1500.0 + cfg.trace_offset_s + 30.0);
+  }
+}
+
+TEST(EngineSelfAdaptiveTest, InconsistencyBetweenInvalidationAndTtl) {
+  const auto scenario = small_scenario(30);
+  const auto updates = short_game(5);
+  const auto ri = run(*scenario.nodes, updates,
+                      base_config(UpdateMethod::kInvalidation));
+  const auto rs = run(*scenario.nodes, updates,
+                      base_config(UpdateMethod::kSelfAdaptive));
+  const auto rt = run(*scenario.nodes, updates, base_config(UpdateMethod::kTtl));
+  const double inval = util::mean(ri->engine->server_avg_inconsistency());
+  const double self = util::mean(rs->engine->server_avg_inconsistency());
+  const double ttl = util::mean(rt->engine->server_avg_inconsistency());
+  EXPECT_LE(self, ttl * 1.2);
+  EXPECT_GE(self, inval * 0.5);
+}
+
+TEST(EngineSelfAdaptiveTest, SwitchNoticesAreAccounted) {
+  const auto scenario = small_scenario(20);
+  std::vector<sim::SimTime> times{10.0, 1000.0};
+  const trace::UpdateTrace updates{times};
+  const auto r =
+      run(*scenario.nodes, updates, base_config(UpdateMethod::kSelfAdaptive));
+  // At least one switch to invalidation (after t=10's burst ends) per
+  // server: light messages must include switch notices beyond polls.
+  EXPECT_GT(r->engine->meter().totals().light_messages, 20u);
+}
+
+TEST(EngineSelfAdaptiveTest, FewerUserStaleObservationsThanTtl) {
+  // Fig. 24: Self < TTL in user-observed inconsistency.
+  const auto scenario = small_scenario(25);
+  const auto updates = short_game(7);
+  auto sa = base_config(UpdateMethod::kSelfAdaptive);
+  sa.method.server_ttl_s = 60.0;
+  sa.user_attachment = UserAttachment::kSwitchEveryVisit;
+  auto ttl = base_config(UpdateMethod::kTtl);
+  ttl.method.server_ttl_s = 60.0;
+  ttl.user_attachment = UserAttachment::kSwitchEveryVisit;
+  const auto rs = run(*scenario.nodes, updates, sa);
+  const auto rt = run(*scenario.nodes, updates, ttl);
+  EXPECT_LT(rs->engine->user_observed_inconsistency_fraction(),
+            rt->engine->user_observed_inconsistency_fraction());
+}
+
+}  // namespace
+}  // namespace cdnsim::consistency

@@ -1,0 +1,68 @@
+// Shared helpers for engine tests: small deterministic scenarios and traces.
+#pragma once
+
+#include "consistency/engine.hpp"
+#include "core/scenario.hpp"
+#include "trace/game_generator.hpp"
+
+namespace cdnsim::consistency::testutil {
+
+inline core::Scenario small_scenario(std::size_t servers = 30,
+                                     std::uint64_t seed = 42) {
+  core::ScenarioConfig cfg;
+  cfg.server_count = servers;
+  cfg.seed = seed;
+  return core::build_scenario(cfg);
+}
+
+/// Regular updates every `gap` seconds, `count` of them.
+inline trace::UpdateTrace regular_trace(double gap, int count) {
+  std::vector<sim::SimTime> times;
+  for (int i = 1; i <= count; ++i) times.push_back(i * gap);
+  return trace::UpdateTrace(std::move(times));
+}
+
+/// A short game in the Section 4 regime: individually delivered updates
+/// more frequent than the server TTL while play is on, silent at the break.
+inline trace::UpdateTrace short_game(std::uint64_t seed = 1) {
+  trace::GameTraceConfig cfg;
+  cfg.bursty = false;
+  cfg.pre_game_s = 20;
+  cfg.periods = 2;
+  cfg.period_s = 400;
+  cfg.break_s = 300;
+  cfg.post_game_s = 40;
+  cfg.in_play_mean_gap_s = 15;
+  util::Rng rng(seed);
+  return trace::generate_game_trace(cfg, rng);
+}
+
+inline EngineConfig base_config(UpdateMethod method,
+                                InfrastructureKind infra =
+                                    InfrastructureKind::kUnicast) {
+  EngineConfig ec;
+  ec.method.method = method;
+  ec.method.server_ttl_s = 10.0;
+  ec.infrastructure.kind = infra;
+  ec.seed = 7;
+  return ec;
+}
+
+struct RunResult {
+  sim::Simulator simulator;
+  std::unique_ptr<UpdateEngine> engine;
+};
+
+inline std::unique_ptr<RunResult> run(const topology::NodeRegistry& nodes,
+                                      const trace::UpdateTrace& updates,
+                                      const EngineConfig& config,
+                                      std::vector<trace::AbsenceSchedule> absences =
+                                          {}) {
+  auto result = std::make_unique<RunResult>();
+  result->engine = std::make_unique<UpdateEngine>(
+      result->simulator, nodes, updates, config, std::move(absences));
+  result->engine->run();
+  return result;
+}
+
+}  // namespace cdnsim::consistency::testutil

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "engine_test_util.hpp"
+#include "util/stats.hpp"
+
+namespace cdnsim::consistency {
+namespace {
+
+using testutil::base_config;
+using testutil::regular_trace;
+using testutil::run;
+using testutil::small_scenario;
+
+TEST(EngineTtlTest, AverageInconsistencyIsHalfTtl) {
+  const auto scenario = small_scenario(60);
+  const auto updates = regular_trace(30.0, 40);  // slower than TTL
+  auto cfg = base_config(UpdateMethod::kTtl);
+  cfg.method.server_ttl_s = 10.0;
+  const auto r = run(*scenario.nodes, updates, cfg);
+  const double avg = util::mean(r->engine->server_avg_inconsistency());
+  // Uniform poll phases => E[I] = TTL/2 (Section 3.4.1), plus small latency.
+  EXPECT_NEAR(avg, 5.0, 1.2);
+}
+
+TEST(EngineTtlTest, InconsistencyBoundedByTtlPlusLatency) {
+  const auto scenario = small_scenario(40);
+  const auto updates = regular_trace(35.0, 20);
+  auto cfg = base_config(UpdateMethod::kTtl);
+  cfg.method.server_ttl_s = 10.0;
+  const auto r = run(*scenario.nodes, updates, cfg);
+  for (topology::NodeId s = 0; s < 40; ++s) {
+    // Shift the internal trace the way the engine does.
+    trace::UpdateTrace shifted = [&] {
+      std::vector<sim::SimTime> times;
+      for (auto t : updates.times()) times.push_back(t + cfg.trace_offset_s);
+      return trace::UpdateTrace(times);
+    }();
+    for (double len : r->engine->recorder(s).inconsistency_lengths(shifted)) {
+      EXPECT_GE(len, 0.0);
+      EXPECT_LE(len, 10.0 + 2.0);  // TTL + transport slack
+    }
+  }
+}
+
+TEST(EngineTtlTest, EveryServerEventuallyConverges) {
+  const auto scenario = small_scenario(30);
+  const auto updates = regular_trace(25.0, 10);
+  const auto r = run(*scenario.nodes, updates, base_config(UpdateMethod::kTtl));
+  for (topology::NodeId s = 0; s < 30; ++s) {
+    EXPECT_EQ(r->engine->recorder(s).current_version(), 10);
+  }
+}
+
+TEST(EngineTtlTest, TtlAggregatesRapidUpdates) {
+  // Updates every 2 s against a 10 s TTL: polls skip intermediate versions,
+  // so fresh responses are far fewer than updates.
+  const auto scenario = small_scenario(20);
+  const auto updates = regular_trace(2.0, 100);
+  const auto r = run(*scenario.nodes, updates, base_config(UpdateMethod::kTtl));
+  const auto totals = r->engine->meter().totals();
+  // Each server makes ~(duration/TTL) polls; 100 updates over 200 s against
+  // a 10 s TTL collapse into ~20 fresh responses per server — far fewer
+  // update messages than the 100*20 a push system would send.
+  EXPECT_LT(totals.update_messages, 100u * 20u / 2u);
+  EXPECT_GT(totals.update_messages, 100u);
+  for (topology::NodeId s = 0; s < 20; ++s) {
+    EXPECT_EQ(r->engine->recorder(s).current_version(), 100);
+  }
+}
+
+TEST(EngineTtlTest, UserInconsistencyExceedsServerInconsistency) {
+  const auto scenario = small_scenario(30);
+  const auto updates = regular_trace(30.0, 20);
+  auto cfg = base_config(UpdateMethod::kTtl);
+  cfg.user_poll_period_s = 10.0;
+  const auto r = run(*scenario.nodes, updates, cfg);
+  const double server_avg = util::mean(r->engine->server_avg_inconsistency());
+  const double user_avg = util::mean(r->engine->user_avg_inconsistency());
+  EXPECT_GT(user_avg, server_avg);
+  // Users add roughly user_ttl/2 on top.
+  EXPECT_NEAR(user_avg - server_avg, 5.0, 2.0);
+}
+
+TEST(EngineTtlTest, PollTrafficScalesWithTtl) {
+  const auto scenario = small_scenario(20);
+  const auto updates = regular_trace(30.0, 30);
+  auto fast = base_config(UpdateMethod::kTtl);
+  fast.method.server_ttl_s = 5.0;
+  auto slow = base_config(UpdateMethod::kTtl);
+  slow.method.server_ttl_s = 20.0;
+  const auto rf = run(*scenario.nodes, updates, fast);
+  const auto rs = run(*scenario.nodes, updates, slow);
+  const auto polls_fast = rf->engine->meter().totals().light_messages;
+  const auto polls_slow = rs->engine->meter().totals().light_messages;
+  EXPECT_NEAR(static_cast<double>(polls_fast) / static_cast<double>(polls_slow),
+              4.0, 0.8);
+}
+
+TEST(EngineTtlTest, AdaptiveTtlBeatsFixedTtlOnCost) {
+  // Long silences: adaptive TTL stretches its period and saves polls.
+  const auto scenario = small_scenario(20);
+  const auto updates = regular_trace(240.0, 5);
+  auto fixed = base_config(UpdateMethod::kTtl);
+  fixed.method.server_ttl_s = 10.0;
+  auto adaptive = base_config(UpdateMethod::kAdaptiveTtl);
+  adaptive.method.server_ttl_s = 10.0;
+  const auto rf = run(*scenario.nodes, updates, fixed);
+  const auto ra = run(*scenario.nodes, updates, adaptive);
+  EXPECT_LT(ra->engine->meter().totals().light_messages,
+            rf->engine->meter().totals().light_messages);
+}
+
+TEST(EngineTtlTest, DeterministicForSeed) {
+  const auto scenario = small_scenario(15);
+  const auto updates = regular_trace(20.0, 10);
+  const auto cfg = base_config(UpdateMethod::kTtl);
+  const auto r1 = run(*scenario.nodes, updates, cfg);
+  const auto r2 = run(*scenario.nodes, updates, cfg);
+  EXPECT_EQ(r1->engine->server_avg_inconsistency(),
+            r2->engine->server_avg_inconsistency());
+  EXPECT_EQ(r1->engine->meter().totals().total_messages(),
+            r2->engine->meter().totals().total_messages());
+}
+
+TEST(EngineTtlTest, RunTwiceThrows) {
+  const auto scenario = small_scenario(5);
+  const auto updates = regular_trace(20.0, 3);
+  sim::Simulator simulator;
+  UpdateEngine engine(simulator, *scenario.nodes, updates,
+                      base_config(UpdateMethod::kTtl));
+  engine.run();
+  EXPECT_THROW(engine.run(), cdnsim::PreconditionError);
+}
+
+}  // namespace
+}  // namespace cdnsim::consistency

@@ -1,0 +1,153 @@
+#include "consistency/infrastructure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "engine_test_util.hpp"
+#include "util/error.hpp"
+
+namespace cdnsim::consistency {
+namespace {
+
+using testutil::small_scenario;
+
+TEST(InfrastructureTest, UnicastAllParentsAreProvider) {
+  const auto scenario = small_scenario(40);
+  util::Rng rng(1);
+  MethodConfig method;
+  InfrastructureConfig cfg;
+  cfg.kind = InfrastructureKind::kUnicast;
+  const auto infra = build_infrastructure(*scenario.nodes, cfg, method, rng);
+  for (topology::NodeId s = 0; s < 40; ++s) {
+    EXPECT_EQ(infra.parent_of(s), topology::kProviderNode);
+    EXPECT_EQ(infra.depth_of(s), 1u);
+    EXPECT_EQ(infra.method_of(s), UpdateMethod::kTtl);
+  }
+  EXPECT_EQ(infra.children_of(topology::kProviderNode).size(), 40u);
+}
+
+TEST(InfrastructureTest, MulticastRespectsFanoutAndConnectivity) {
+  const auto scenario = small_scenario(50);
+  util::Rng rng(2);
+  MethodConfig method;
+  method.method = UpdateMethod::kPush;
+  InfrastructureConfig cfg;
+  cfg.kind = InfrastructureKind::kMulticastTree;
+  cfg.tree_fanout = 2;
+  const auto infra = build_infrastructure(*scenario.nodes, cfg, method, rng);
+  EXPECT_LE(infra.children_of(topology::kProviderNode).size(), 2u);
+  std::size_t max_depth = 0;
+  for (topology::NodeId s = 0; s < 50; ++s) {
+    EXPECT_LE(infra.children_of(s).size(), 2u);
+    max_depth = std::max(max_depth, infra.depth_of(s));
+    EXPECT_EQ(infra.method_of(s), UpdateMethod::kPush);
+  }
+  EXPECT_GE(max_depth, 5u);  // a binary tree over 50 nodes is at least 5 deep
+}
+
+TEST(InfrastructureTest, HybridElectsOneSupernodePerCluster) {
+  const auto scenario = small_scenario(60);
+  util::Rng rng(3);
+  MethodConfig method;
+  method.method = UpdateMethod::kSelfAdaptive;
+  InfrastructureConfig cfg;
+  cfg.kind = InfrastructureKind::kHybridSupernode;
+  cfg.cluster_count = 10;
+  cfg.supernode_fanout = 4;
+  const auto infra = build_infrastructure(*scenario.nodes, cfg, method, rng);
+  ASSERT_TRUE(infra.clustering.has_value());
+  EXPECT_EQ(infra.clustering->cluster_count(), 10u);
+
+  std::size_t supernodes = 0;
+  for (topology::NodeId s = 0; s < 60; ++s) {
+    if (infra.is_supernode[static_cast<std::size_t>(s)]) {
+      ++supernodes;
+      EXPECT_EQ(infra.method_of(s), UpdateMethod::kPush);
+      EXPECT_LE(infra.children_of(infra.parent_of(s)).size(), 60u);
+    } else {
+      EXPECT_EQ(infra.method_of(s), UpdateMethod::kSelfAdaptive);
+      // A member's parent is its cluster's supernode.
+      const auto parent = infra.parent_of(s);
+      ASSERT_NE(parent, topology::kProviderNode);
+      EXPECT_TRUE(infra.is_supernode[static_cast<std::size_t>(parent)]);
+      EXPECT_EQ(infra.clustering->cluster_of[static_cast<std::size_t>(s)],
+                infra.clustering->cluster_of[static_cast<std::size_t>(parent)]);
+    }
+  }
+  EXPECT_EQ(supernodes, 10u);
+}
+
+TEST(InfrastructureTest, HybridSupernodeOverlayRespectsFanout) {
+  const auto scenario = small_scenario(100);
+  util::Rng rng(4);
+  MethodConfig method;
+  InfrastructureConfig cfg;
+  cfg.kind = InfrastructureKind::kHybridSupernode;
+  cfg.cluster_count = 20;
+  cfg.supernode_fanout = 4;
+  const auto infra = build_infrastructure(*scenario.nodes, cfg, method, rng);
+  // Count supernode children of each supernode (members don't count).
+  EXPECT_LE(infra.children_of(topology::kProviderNode).size(), 4u);
+  for (topology::NodeId s = 0; s < 100; ++s) {
+    if (!infra.is_supernode[static_cast<std::size_t>(s)]) continue;
+    std::size_t supernode_children = 0;
+    for (auto c : infra.children_of(s)) {
+      if (infra.is_supernode[static_cast<std::size_t>(c)]) ++supernode_children;
+    }
+    EXPECT_LE(supernode_children, 4u);
+  }
+}
+
+TEST(InfrastructureTest, EveryServerReachableFromProvider) {
+  for (auto kind : {InfrastructureKind::kUnicast, InfrastructureKind::kMulticastTree,
+                    InfrastructureKind::kHybridSupernode}) {
+    const auto scenario = small_scenario(45);
+    util::Rng rng(5);
+    MethodConfig method;
+    InfrastructureConfig cfg;
+    cfg.kind = kind;
+    cfg.cluster_count = 9;
+    const auto infra = build_infrastructure(*scenario.nodes, cfg, method, rng);
+    // BFS from the provider must reach all 45 servers.
+    std::set<topology::NodeId> visited;
+    std::vector<topology::NodeId> frontier{topology::kProviderNode};
+    while (!frontier.empty()) {
+      const auto node = frontier.back();
+      frontier.pop_back();
+      for (auto c : infra.children_of(node)) {
+        ASSERT_TRUE(visited.insert(c).second) << "node reached twice";
+        frontier.push_back(c);
+      }
+    }
+    EXPECT_EQ(visited.size(), 45u) << to_string(kind);
+  }
+}
+
+TEST(InfrastructureTest, ToStringCoversKinds) {
+  EXPECT_EQ(to_string(InfrastructureKind::kUnicast), "Unicast");
+  EXPECT_EQ(to_string(InfrastructureKind::kMulticastTree), "MulticastTree");
+  EXPECT_EQ(to_string(InfrastructureKind::kHybridSupernode), "HybridSupernode");
+}
+
+TEST(MethodsTest, ClassifiersAreConsistent) {
+  EXPECT_TRUE(uses_polling(UpdateMethod::kTtl));
+  EXPECT_TRUE(uses_polling(UpdateMethod::kAdaptiveTtl));
+  EXPECT_TRUE(uses_polling(UpdateMethod::kSelfAdaptive));
+  EXPECT_FALSE(uses_polling(UpdateMethod::kPush));
+  EXPECT_FALSE(uses_polling(UpdateMethod::kInvalidation));
+  EXPECT_TRUE(uses_invalidation(UpdateMethod::kInvalidation));
+  EXPECT_TRUE(uses_invalidation(UpdateMethod::kSelfAdaptive));
+  EXPECT_FALSE(uses_invalidation(UpdateMethod::kTtl));
+}
+
+TEST(MethodsTest, NamesAreStable) {
+  EXPECT_EQ(to_string(UpdateMethod::kTtl), "TTL");
+  EXPECT_EQ(to_string(UpdateMethod::kPush), "Push");
+  EXPECT_EQ(to_string(UpdateMethod::kInvalidation), "Invalidation");
+  EXPECT_EQ(to_string(UpdateMethod::kAdaptiveTtl), "AdaptiveTTL");
+  EXPECT_EQ(to_string(UpdateMethod::kSelfAdaptive), "SelfAdaptive");
+}
+
+}  // namespace
+}  // namespace cdnsim::consistency

@@ -1,0 +1,114 @@
+#include "core/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace cdnsim::core {
+namespace {
+
+using consistency::InfrastructureKind;
+using consistency::UpdateMethod;
+
+TEST(AdvisorTest, StrictSmallNetworkGetsUnicastPush) {
+  WorkloadProfile p;
+  p.tolerable_staleness_s = 1.0;
+  p.server_count = 170;
+  const auto rec = recommend(p);
+  EXPECT_EQ(rec.method, UpdateMethod::kPush);
+  EXPECT_EQ(rec.infrastructure, InfrastructureKind::kUnicast);
+  EXPECT_FALSE(rec.rationale.empty());
+}
+
+TEST(AdvisorTest, StrictLargeNetworkGetsSupernodePush) {
+  WorkloadProfile p;
+  p.tolerable_staleness_s = 1.0;
+  p.server_count = 5000;
+  const auto rec = recommend(p);
+  EXPECT_EQ(rec.method, UpdateMethod::kPush);
+  EXPECT_EQ(rec.infrastructure, InfrastructureKind::kHybridSupernode);
+}
+
+TEST(AdvisorTest, BurstyWorkloadGetsSelfAdaptive) {
+  WorkloadProfile p;
+  p.bursty_updates = true;
+  p.tolerable_staleness_s = 30.0;
+  const auto rec = recommend(p);
+  EXPECT_EQ(rec.method, UpdateMethod::kSelfAdaptive);
+  EXPECT_EQ(rec.infrastructure, InfrastructureKind::kUnicast);
+}
+
+TEST(AdvisorTest, BurstyTrafficSensitiveGetsHat) {
+  WorkloadProfile p;
+  p.bursty_updates = true;
+  p.tolerable_staleness_s = 30.0;
+  p.traffic_sensitive = true;
+  const auto rec = recommend(p);
+  EXPECT_EQ(rec.method, UpdateMethod::kSelfAdaptive);
+  EXPECT_EQ(rec.infrastructure, InfrastructureKind::kHybridSupernode);
+}
+
+TEST(AdvisorTest, VariableVisitRatesGetRateAdaptive) {
+  WorkloadProfile p;
+  p.variable_visit_rates = true;
+  p.tolerable_staleness_s = 30.0;
+  const auto rec = recommend(p);
+  EXPECT_EQ(rec.method, UpdateMethod::kRateAdaptive);
+  EXPECT_EQ(rec.infrastructure, InfrastructureKind::kUnicast);
+  p.traffic_sensitive = true;
+  EXPECT_EQ(recommend(p).infrastructure, InfrastructureKind::kHybridSupernode);
+}
+
+TEST(AdvisorTest, StrictFreshnessOverridesVariableVisits) {
+  WorkloadProfile p;
+  p.variable_visit_rates = true;
+  p.tolerable_staleness_s = 1.0;
+  EXPECT_EQ(recommend(p).method, UpdateMethod::kPush);
+}
+
+TEST(AdvisorTest, UpdateHeavyRarelyVisitedGetsInvalidation) {
+  WorkloadProfile p;
+  p.updates_per_minute = 30.0;
+  p.visits_per_server_per_minute = 0.5;
+  p.tolerable_staleness_s = 20.0;
+  const auto rec = recommend(p);
+  EXPECT_EQ(rec.method, UpdateMethod::kInvalidation);
+}
+
+TEST(AdvisorTest, TolerantSteadyWorkloadGetsTtl) {
+  WorkloadProfile p;
+  p.updates_per_minute = 1.0;
+  p.visits_per_server_per_minute = 20.0;
+  p.tolerable_staleness_s = 60.0;
+  const auto rec = recommend(p);
+  EXPECT_EQ(rec.method, UpdateMethod::kTtl);
+  EXPECT_EQ(rec.infrastructure, InfrastructureKind::kUnicast);
+}
+
+TEST(AdvisorTest, TolerantTrafficSensitiveGetsMulticastTtl) {
+  WorkloadProfile p;
+  p.updates_per_minute = 1.0;
+  p.visits_per_server_per_minute = 20.0;
+  p.tolerable_staleness_s = 60.0;
+  p.traffic_sensitive = true;
+  const auto rec = recommend(p);
+  EXPECT_EQ(rec.method, UpdateMethod::kTtl);
+  EXPECT_EQ(rec.infrastructure, InfrastructureKind::kMulticastTree);
+}
+
+TEST(AdvisorTest, RationaleMentionsEvidence) {
+  WorkloadProfile p;
+  p.tolerable_staleness_s = 1.0;
+  p.server_count = 5000;
+  const auto rec = recommend(p);
+  EXPECT_NE(rec.rationale.find("Fig"), std::string::npos);
+}
+
+TEST(AdvisorTest, NegativeRatesThrow) {
+  WorkloadProfile p;
+  p.updates_per_minute = -1;
+  EXPECT_THROW(recommend(p), cdnsim::PreconditionError);
+}
+
+}  // namespace
+}  // namespace cdnsim::core

@@ -1,0 +1,71 @@
+#include "core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace cdnsim::core {
+namespace {
+
+TEST(ScenarioTest, BuildsRequestedServerCount) {
+  ScenarioConfig cfg;
+  cfg.server_count = 170;
+  const auto scenario = build_scenario(cfg);
+  EXPECT_EQ(scenario.nodes->server_count(), 170u);
+}
+
+TEST(ScenarioTest, ProviderAtConfiguredLocation) {
+  ScenarioConfig cfg;
+  cfg.provider_location = {10.0, 20.0};
+  const auto scenario = build_scenario(cfg);
+  EXPECT_DOUBLE_EQ(scenario.nodes->location(topology::kProviderNode).lat_deg, 10.0);
+  EXPECT_DOUBLE_EQ(scenario.nodes->location(topology::kProviderNode).lon_deg, 20.0);
+}
+
+TEST(ScenarioTest, DefaultProviderIsAtlanta) {
+  const auto scenario = build_scenario(ScenarioConfig{});
+  EXPECT_NEAR(scenario.nodes->location(topology::kProviderNode).lat_deg, 33.75, 0.01);
+}
+
+TEST(ScenarioTest, IspsAreAssigned) {
+  ScenarioConfig cfg;
+  cfg.server_count = 200;
+  const auto scenario = build_scenario(cfg);
+  EXPECT_GT(topology::distinct_isp_count(*scenario.nodes), 5);
+}
+
+TEST(ScenarioTest, DeterministicForSeed) {
+  ScenarioConfig cfg;
+  cfg.server_count = 60;
+  cfg.seed = 99;
+  const auto a = build_scenario(cfg);
+  const auto b = build_scenario(cfg);
+  for (topology::NodeId s = 0; s < 60; ++s) {
+    EXPECT_DOUBLE_EQ(a.nodes->location(s).lat_deg, b.nodes->location(s).lat_deg);
+    EXPECT_EQ(a.nodes->isp(s), b.nodes->isp(s));
+  }
+}
+
+TEST(ScenarioTest, DifferentSeedsDiffer) {
+  ScenarioConfig a_cfg;
+  a_cfg.server_count = 60;
+  a_cfg.seed = 1;
+  ScenarioConfig b_cfg = a_cfg;
+  b_cfg.seed = 2;
+  const auto a = build_scenario(a_cfg);
+  const auto b = build_scenario(b_cfg);
+  int same = 0;
+  for (topology::NodeId s = 0; s < 60; ++s) {
+    if (a.nodes->location(s).lat_deg == b.nodes->location(s).lat_deg) ++same;
+  }
+  EXPECT_LT(same, 15);
+}
+
+TEST(ScenarioTest, ZeroServersThrows) {
+  ScenarioConfig cfg;
+  cfg.server_count = 0;
+  EXPECT_THROW(build_scenario(cfg), cdnsim::PreconditionError);
+}
+
+}  // namespace
+}  // namespace cdnsim::core

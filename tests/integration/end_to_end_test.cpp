@@ -1,0 +1,172 @@
+// Integration tests: whole-pipeline runs crossing every module boundary —
+// scenario building, trace generation, the update engine on each
+// infrastructure, and the Section 3 analysis over the produced logs.
+#include <gtest/gtest.h>
+
+#include "analysis/inconsistency.hpp"
+#include "analysis/ttl_inference.hpp"
+#include "analysis/user_metrics.hpp"
+#include "core/measurement_study.hpp"
+#include "core/simulation.hpp"
+#include "trace/game_generator.hpp"
+#include "util/stats.hpp"
+
+namespace cdnsim {
+namespace {
+
+trace::UpdateTrace quick_game(std::uint64_t seed) {
+  trace::GameTraceConfig cfg;
+  cfg.pre_game_s = 20;
+  cfg.period_s = 400;
+  // Long silences relative to play: the regime the self-adaptive method is
+  // designed for (Section 5.1).
+  cfg.break_s = 600;
+  cfg.post_game_s = 240;
+  cfg.in_play_event_gap_s = 50;
+  util::Rng rng(seed);
+  return trace::generate_game_trace(cfg, rng);
+}
+
+TEST(EndToEndTest, PaperSection4OrderingAcrossAllSixSystems) {
+  core::ScenarioConfig sc;
+  sc.server_count = 60;
+  const auto scenario = core::build_scenario(sc);
+  const auto game = quick_game(1);
+
+  struct System {
+    consistency::UpdateMethod method;
+    consistency::InfrastructureKind infra;
+  };
+  const System push{consistency::UpdateMethod::kPush,
+                    consistency::InfrastructureKind::kUnicast};
+  const System inval{consistency::UpdateMethod::kInvalidation,
+                     consistency::InfrastructureKind::kUnicast};
+  const System ttl{consistency::UpdateMethod::kTtl,
+                   consistency::InfrastructureKind::kUnicast};
+  const System self{consistency::UpdateMethod::kSelfAdaptive,
+                    consistency::InfrastructureKind::kUnicast};
+  const System hybrid{consistency::UpdateMethod::kTtl,
+                      consistency::InfrastructureKind::kHybridSupernode};
+  const System hat{consistency::UpdateMethod::kSelfAdaptive,
+                   consistency::InfrastructureKind::kHybridSupernode};
+
+  auto run_sys = [&](const System& s) {
+    consistency::EngineConfig ec;
+    ec.method.method = s.method;
+    ec.method.server_ttl_s = 60.0;
+    ec.infrastructure.kind = s.infra;
+    ec.infrastructure.cluster_count = 12;
+    ec.user_poll_period_s = 10.0;
+    return core::run_simulation(*scenario.nodes, game, ec);
+  };
+
+  const auto r_push = run_sys(push);
+  const auto r_inval = run_sys(inval);
+  const auto r_ttl = run_sys(ttl);
+  const auto r_self = run_sys(self);
+  const auto r_hybrid = run_sys(hybrid);
+  const auto r_hat = run_sys(hat);
+
+  // Consistency ordering (Figs. 14-15).
+  EXPECT_LT(r_push.avg_server_inconsistency_s, r_inval.avg_server_inconsistency_s);
+  EXPECT_LT(r_inval.avg_server_inconsistency_s, r_ttl.avg_server_inconsistency_s);
+
+  // Message ordering (Fig. 22a): Push > Invalidation > TTL ~ Hybrid > HAT > Self.
+  EXPECT_GT(r_push.traffic.update_messages, r_inval.traffic.update_messages);
+  EXPECT_GT(r_inval.traffic.update_messages, r_ttl.traffic.update_messages);
+  EXPECT_GT(r_ttl.traffic.update_messages, r_self.traffic.update_messages);
+  EXPECT_GT(r_hat.traffic.update_messages, r_self.traffic.update_messages);
+
+  // Provider load (Fig. 22b): the hybrid systems offload the provider (the
+  // provider pushes only to the <=4 supernode-tree roots).
+  EXPECT_LT(r_hat.provider_traffic.update_messages,
+            r_ttl.provider_traffic.update_messages / 3);
+  EXPECT_LT(r_hybrid.provider_traffic.update_messages,
+            r_ttl.provider_traffic.update_messages / 3);
+
+  // Network load in km (Fig. 23): HAT lightest of the TTL-family systems.
+  EXPECT_LT(r_hat.traffic.load_km_total(), r_ttl.traffic.load_km_total());
+  EXPECT_LT(r_hat.traffic.load_km_total(), r_self.traffic.load_km_total());
+}
+
+TEST(EndToEndTest, AnalysisPipelineOverEngineLogs) {
+  // Engine -> PollLog -> Section 3 analysis, checking TTL/2 theory.
+  core::ScenarioConfig sc;
+  sc.server_count = 80;
+  const auto scenario = core::build_scenario(sc);
+  const auto game = quick_game(2);
+
+  consistency::EngineConfig ec;
+  ec.method.method = consistency::UpdateMethod::kTtl;
+  ec.method.server_ttl_s = 20.0;
+  ec.users_per_server = 1;
+  ec.user_poll_period_s = 5.0;
+  ec.record_poll_log = true;
+
+  sim::Simulator simulator;
+  consistency::UpdateEngine engine(simulator, *scenario.nodes, game, ec);
+  engine.run();
+
+  const auto& log = engine.poll_log();
+  ASSERT_GT(log.size(), 5000u);
+  const analysis::SnapshotTimeline timeline(log);
+
+  std::vector<double> lengths;
+  for (net::NodeId s : log.servers()) {
+    const auto server_lengths =
+        analysis::server_inconsistency_lengths(log.for_server(s), timeline);
+    lengths.insert(lengths.end(), server_lengths.begin(), server_lengths.end());
+  }
+  ASSERT_GT(lengths.size(), 500u);
+  // Mean ~ TTL/2 with observation-quantisation slack.
+  EXPECT_NEAR(util::mean(lengths), 10.0, 4.0);
+  // And the TTL-inference pipeline recovers the polling TTL.
+  const double inferred = analysis::infer_ttl(lengths);
+  EXPECT_NEAR(inferred, 20.0, 6.0);
+}
+
+TEST(EndToEndTest, UserPerspectiveMatchesSection33Shape) {
+  core::UserPerspectiveConfig cfg;
+  cfg.base.scenario.server_count = 100;
+  cfg.base.days = 1;
+  cfg.base.game.period_s = 600;
+  cfg.base.game.break_s = 150;
+  cfg.base.game.pre_game_s = 20;
+  cfg.base.game.post_game_s = 30;
+  cfg.base.seed = 11;
+  cfg.user_count = 50;
+  const auto r = core::run_user_perspective_study(cfg);
+
+  // Continuous inconsistency runs are short (70% <= ~1 visit period in the
+  // paper); consistency runs are much longer.
+  ASSERT_FALSE(r.continuous_inconsistency.empty());
+  ASSERT_FALSE(r.continuous_consistency.empty());
+  EXPECT_LT(util::mean(r.continuous_inconsistency),
+            util::mean(r.continuous_consistency));
+}
+
+TEST(EndToEndTest, PushHybridBeatsUnicastPushAtScaleOnProviderLoad) {
+  core::ScenarioConfig sc;
+  sc.server_count = 150;
+  const auto scenario = core::build_scenario(sc);
+  const auto game = quick_game(3);
+
+  consistency::EngineConfig unicast;
+  unicast.method.method = consistency::UpdateMethod::kPush;
+  unicast.update_packet_kb = 100.0;
+
+  consistency::EngineConfig hybrid = unicast;
+  hybrid.infrastructure.kind = consistency::InfrastructureKind::kHybridSupernode;
+  hybrid.infrastructure.cluster_count = 20;
+
+  const auto ru = core::run_simulation(*scenario.nodes, game, unicast);
+  const auto rh = core::run_simulation(*scenario.nodes, game, hybrid);
+  // Supernode overlay bounds provider fanout: lower inconsistency under
+  // large packets, far less provider traffic.
+  EXPECT_LT(rh.avg_server_inconsistency_s, ru.avg_server_inconsistency_s);
+  EXPECT_LT(rh.provider_traffic.update_messages,
+            ru.provider_traffic.update_messages / 10);
+}
+
+}  // namespace
+}  // namespace cdnsim

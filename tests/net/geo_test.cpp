@@ -1,0 +1,58 @@
+#include "net/geo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cdnsim::net {
+namespace {
+
+TEST(GeoTest, ZeroDistanceToSelf) {
+  const GeoPoint p{33.75, -84.39};
+  EXPECT_DOUBLE_EQ(haversine_km(p, p), 0.0);
+}
+
+TEST(GeoTest, Symmetry) {
+  const GeoPoint a{40.71, -74.01};
+  const GeoPoint b{51.51, -0.13};
+  EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+}
+
+TEST(GeoTest, KnownDistanceNewYorkLondon) {
+  const GeoPoint nyc{40.71, -74.01};
+  const GeoPoint london{51.51, -0.13};
+  // Great-circle distance ~5570 km.
+  EXPECT_NEAR(haversine_km(nyc, london), 5570.0, 60.0);
+}
+
+TEST(GeoTest, KnownDistanceAtlantaSeattle) {
+  const GeoPoint atl{33.75, -84.39};
+  const GeoPoint sea{47.61, -122.33};
+  // ~3500 km.
+  EXPECT_NEAR(haversine_km(atl, sea), 3500.0, 60.0);
+}
+
+TEST(GeoTest, AntipodalIsHalfCircumference) {
+  const GeoPoint a{0, 0};
+  const GeoPoint b{0, 180};
+  EXPECT_NEAR(haversine_km(a, b), 20015.0, 30.0);
+}
+
+TEST(GeoTest, OneDegreeLongitudeAtEquator) {
+  const GeoPoint a{0, 0};
+  const GeoPoint b{0, 1};
+  EXPECT_NEAR(haversine_km(a, b), 111.2, 1.0);
+}
+
+TEST(GeoTest, TriangleInequalityHolds) {
+  const GeoPoint a{33.75, -84.39};
+  const GeoPoint b{48.86, 2.35};
+  const GeoPoint c{35.68, 139.69};
+  EXPECT_LE(haversine_km(a, c), haversine_km(a, b) + haversine_km(b, c) + 1e-6);
+}
+
+TEST(GeoTest, DegToRad) {
+  EXPECT_NEAR(deg_to_rad(180.0), 3.14159265, 1e-6);
+  EXPECT_DOUBLE_EQ(deg_to_rad(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace cdnsim::net

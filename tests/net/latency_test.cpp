@@ -1,0 +1,99 @@
+#include "net/latency_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace cdnsim::net {
+namespace {
+
+const GeoPoint kAtlanta{33.75, -84.39};
+const GeoPoint kSeattle{47.61, -122.33};
+const GeoPoint kTokyo{35.68, 139.69};
+
+TEST(LatencyTest, PropagationIncludesBaseDelay) {
+  LatencyConfig cfg;
+  cfg.base_delay_s = 0.002;
+  const LatencyModel model(cfg);
+  EXPECT_DOUBLE_EQ(model.propagation(kAtlanta, kAtlanta), 0.002);
+}
+
+TEST(LatencyTest, PropagationScalesWithDistance) {
+  const LatencyModel model(LatencyConfig{});
+  const double near = model.propagation(kAtlanta, kSeattle);
+  const double far = model.propagation(kAtlanta, kTokyo);
+  EXPECT_GT(far, near);
+}
+
+TEST(LatencyTest, PropagationMatchesSpeedAndStretch) {
+  LatencyConfig cfg;
+  cfg.signal_speed_km_per_s = 200000;
+  cfg.route_stretch = 1.5;
+  cfg.base_delay_s = 0;
+  const LatencyModel model(cfg);
+  const double km = haversine_km(kAtlanta, kSeattle);
+  EXPECT_NEAR(model.propagation(kAtlanta, kSeattle), km * 1.5 / 200000, 1e-9);
+}
+
+TEST(LatencyTest, NoJitterNoPenaltyIsDeterministic) {
+  const LatencyModel model(LatencyConfig{});
+  util::Rng rng(1);
+  const double a = model.one_way(kAtlanta, kTokyo, false, rng);
+  const double b = model.one_way(kAtlanta, kTokyo, false, rng);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_DOUBLE_EQ(a, model.propagation(kAtlanta, kTokyo));
+}
+
+TEST(LatencyTest, InterIspPenaltyIncreasesMeanDelay) {
+  LatencyConfig cfg;
+  cfg.inter_isp_penalty_mean_s = 0.5;
+  const LatencyModel model(cfg);
+  util::Rng rng(2);
+  double intra = 0;
+  double inter = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    intra += model.one_way(kAtlanta, kSeattle, false, rng);
+    inter += model.one_way(kAtlanta, kSeattle, true, rng);
+  }
+  EXPECT_NEAR(inter / n - intra / n, 0.5, 0.05);
+}
+
+TEST(LatencyTest, JitterPreservesFloorAndRoughMean) {
+  LatencyConfig cfg;
+  cfg.jitter_fraction = 0.25;
+  const LatencyModel model(cfg);
+  util::Rng rng(3);
+  const double base = model.propagation(kAtlanta, kTokyo);
+  double sum = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const double d = model.one_way(kAtlanta, kTokyo, false, rng);
+    EXPECT_GE(d, base);           // multiplicative jitter never shrinks
+    EXPECT_LE(d, base * 1.5 + 1e-12);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / n, base * 1.25, base * 0.02);
+}
+
+TEST(LatencyTest, InvalidConfigThrows) {
+  LatencyConfig bad;
+  bad.route_stretch = 0.5;
+  EXPECT_THROW(LatencyModel{bad}, cdnsim::PreconditionError);
+  LatencyConfig bad2;
+  bad2.signal_speed_km_per_s = 0;
+  EXPECT_THROW(LatencyModel{bad2}, cdnsim::PreconditionError);
+}
+
+TEST(LatencyTest, CrossAtlanticLatencyIsPlausible) {
+  // One-way NYC-London should be tens of milliseconds, not seconds.
+  const LatencyModel model(LatencyConfig{});
+  const GeoPoint nyc{40.71, -74.01};
+  const GeoPoint london{51.51, -0.13};
+  const double d = model.propagation(nyc, london);
+  EXPECT_GT(d, 0.02);
+  EXPECT_LT(d, 0.1);
+}
+
+}  // namespace
+}  // namespace cdnsim::net

@@ -1,0 +1,94 @@
+#include "net/sites.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cdnsim::net {
+namespace {
+
+TEST(SitesTest, DatabaseIsSubstantialAndValid) {
+  const auto& sites = world_sites();
+  EXPECT_GE(sites.size(), 80u);
+  std::set<std::string> names;
+  for (const auto& s : sites) {
+    EXPECT_GE(s.location.lat_deg, -90.0);
+    EXPECT_LE(s.location.lat_deg, 90.0);
+    EXPECT_GE(s.location.lon_deg, -180.0);
+    EXPECT_LE(s.location.lon_deg, 180.0);
+    EXPECT_FALSE(s.name.empty());
+    names.insert(s.name);
+  }
+  EXPECT_EQ(names.size(), sites.size()) << "duplicate site names";
+}
+
+TEST(SitesTest, AtlantaIsPresent) {
+  const auto& atl = atlanta_site();
+  EXPECT_EQ(atl.name, "Atlanta");
+  EXPECT_NEAR(atl.location.lat_deg, 33.75, 0.01);
+}
+
+TEST(SitesTest, AllRegionsRepresented) {
+  std::set<Region> regions;
+  for (const auto& s : world_sites()) regions.insert(s.region);
+  EXPECT_EQ(regions.size(), 5u);
+}
+
+TEST(SitesTest, PlacementCountMatches) {
+  util::Rng rng(5);
+  const auto placements = place_nodes(170, PlacementConfig{}, rng);
+  EXPECT_EQ(placements.size(), 170u);
+  for (const auto& p : placements) {
+    EXPECT_LT(p.site_index, world_sites().size());
+    // Jittered location must stay near the site.
+    const auto& site = world_sites()[p.site_index];
+    EXPECT_NEAR(p.location.lat_deg, site.location.lat_deg, 0.06);
+    EXPECT_NEAR(p.location.lon_deg, site.location.lon_deg, 0.06);
+  }
+}
+
+TEST(SitesTest, PlacementRespectsRegionWeights) {
+  util::Rng rng(6);
+  const auto placements = place_nodes(2000, PlacementConfig{}, rng);
+  std::size_t na = 0;
+  for (const auto& p : placements) {
+    if (world_sites()[p.site_index].region == Region::kNorthAmerica) ++na;
+  }
+  // Default NA weight is 0.45.
+  EXPECT_NEAR(static_cast<double>(na) / 2000.0, 0.45, 0.05);
+}
+
+TEST(SitesTest, SingleRegionWeightConcentratesPlacement) {
+  util::Rng rng(7);
+  PlacementConfig cfg;
+  cfg.weight_north_america = 0;
+  cfg.weight_europe = 1;
+  cfg.weight_asia = 0;
+  cfg.weight_south_america = 0;
+  cfg.weight_oceania = 0;
+  const auto placements = place_nodes(200, cfg, rng);
+  for (const auto& p : placements) {
+    EXPECT_EQ(world_sites()[p.site_index].region, Region::kEurope);
+  }
+}
+
+TEST(SitesTest, DeterministicForSeed) {
+  util::Rng a(9), b(9);
+  const auto pa = place_nodes(50, PlacementConfig{}, a);
+  const auto pb = place_nodes(50, PlacementConfig{}, b);
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].site_index, pb[i].site_index);
+    EXPECT_DOUBLE_EQ(pa[i].location.lat_deg, pb[i].location.lat_deg);
+  }
+}
+
+TEST(SitesTest, AllZeroWeightsThrow) {
+  util::Rng rng(1);
+  PlacementConfig cfg;
+  cfg.weight_north_america = cfg.weight_europe = cfg.weight_asia =
+      cfg.weight_south_america = cfg.weight_oceania = 0;
+  EXPECT_THROW(place_nodes(10, cfg, rng), cdnsim::PreconditionError);
+}
+
+}  // namespace
+}  // namespace cdnsim::net

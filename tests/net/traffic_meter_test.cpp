@@ -1,0 +1,89 @@
+#include "net/traffic_meter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace cdnsim::net {
+namespace {
+
+TEST(MessageTest, ContentCarriers) {
+  EXPECT_TRUE(carries_content(MessageKind::kPushUpdate));
+  EXPECT_TRUE(carries_content(MessageKind::kPollResponseFresh));
+  EXPECT_TRUE(carries_content(MessageKind::kFetchResponse));
+  EXPECT_FALSE(carries_content(MessageKind::kPollRequest));
+  EXPECT_FALSE(carries_content(MessageKind::kInvalidation));
+  EXPECT_FALSE(carries_content(MessageKind::kPollResponseNoop));
+}
+
+TEST(MessageTest, NoopPollResponseCountsAsUpdate) {
+  // Section 5.3 counts all polling responses as update messages.
+  EXPECT_TRUE(counts_as_update(MessageKind::kPollResponseNoop));
+  EXPECT_TRUE(counts_as_update(MessageKind::kPushUpdate));
+  EXPECT_FALSE(counts_as_update(MessageKind::kPollRequest));
+  EXPECT_FALSE(counts_as_update(MessageKind::kSwitchNotice));
+}
+
+TEST(MessageTest, UserTrafficIsNotMaintenance) {
+  EXPECT_FALSE(is_maintenance(MessageKind::kUserRequest));
+  EXPECT_FALSE(is_maintenance(MessageKind::kUserResponse));
+  EXPECT_TRUE(is_maintenance(MessageKind::kPollRequest));
+  EXPECT_TRUE(is_maintenance(MessageKind::kTreeMaintenance));
+}
+
+TEST(MessageTest, ToStringIsNonEmptyForAllKinds) {
+  for (int k = 0; k <= static_cast<int>(MessageKind::kUserResponse); ++k) {
+    EXPECT_FALSE(to_string(static_cast<MessageKind>(k)).empty());
+  }
+}
+
+TEST(TrafficMeterTest, AccumulatesCostAndCounts) {
+  TrafficMeter meter;
+  meter.record(MessageKind::kPushUpdate, kProviderNode, 1000.0, 2.0);
+  meter.record(MessageKind::kPollRequest, 3, 500.0, 1.0);
+  const auto& t = meter.totals();
+  EXPECT_DOUBLE_EQ(t.cost_km_kb, 2500.0);
+  EXPECT_EQ(t.update_messages, 1u);
+  EXPECT_EQ(t.light_messages, 1u);
+  EXPECT_DOUBLE_EQ(t.load_km_update, 1000.0);
+  EXPECT_DOUBLE_EQ(t.load_km_light, 500.0);
+  EXPECT_DOUBLE_EQ(t.load_km_total(), 1500.0);
+  EXPECT_EQ(t.total_messages(), 2u);
+}
+
+TEST(TrafficMeterTest, UserTrafficIgnored) {
+  TrafficMeter meter;
+  meter.record(MessageKind::kUserRequest, 1, 100.0, 1.0);
+  meter.record(MessageKind::kUserResponse, 1, 100.0, 1.0);
+  EXPECT_EQ(meter.totals().total_messages(), 0u);
+  EXPECT_DOUBLE_EQ(meter.totals().cost_km_kb, 0.0);
+}
+
+TEST(TrafficMeterTest, PerSenderBreakdown) {
+  TrafficMeter meter;
+  meter.record(MessageKind::kPushUpdate, kProviderNode, 100.0, 1.0);
+  meter.record(MessageKind::kPushUpdate, kProviderNode, 100.0, 1.0);
+  meter.record(MessageKind::kPushUpdate, 5, 100.0, 1.0);
+  EXPECT_EQ(meter.sender_totals(kProviderNode).update_messages, 2u);
+  EXPECT_EQ(meter.sender_totals(5).update_messages, 1u);
+  EXPECT_EQ(meter.sender_totals(99).update_messages, 0u);
+}
+
+TEST(TrafficMeterTest, ResetClearsEverything) {
+  TrafficMeter meter;
+  meter.record(MessageKind::kPushUpdate, 1, 100.0, 1.0);
+  meter.reset();
+  EXPECT_EQ(meter.totals().total_messages(), 0u);
+  EXPECT_EQ(meter.sender_totals(1).update_messages, 0u);
+}
+
+TEST(TrafficMeterTest, NegativeInputsThrow) {
+  TrafficMeter meter;
+  EXPECT_THROW(meter.record(MessageKind::kPushUpdate, 1, -1.0, 1.0),
+               cdnsim::PreconditionError);
+  EXPECT_THROW(meter.record(MessageKind::kPushUpdate, 1, 1.0, -1.0),
+               cdnsim::PreconditionError);
+}
+
+}  // namespace
+}  // namespace cdnsim::net

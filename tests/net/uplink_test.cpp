@@ -1,0 +1,73 @@
+#include "net/uplink.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace cdnsim::net {
+namespace {
+
+TEST(UplinkTest, SingleMessageTransmissionTime) {
+  Uplink link(100.0);  // 100 KB/s
+  EXPECT_DOUBLE_EQ(link.reserve(0.0, 50.0), 0.5);
+}
+
+TEST(UplinkTest, BackToBackMessagesQueue) {
+  Uplink link(100.0);
+  EXPECT_DOUBLE_EQ(link.reserve(0.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(link.reserve(0.0, 100.0), 2.0);
+  EXPECT_DOUBLE_EQ(link.reserve(0.0, 100.0), 3.0);
+}
+
+TEST(UplinkTest, IdleLinkStartsImmediately) {
+  Uplink link(100.0);
+  link.reserve(0.0, 100.0);  // busy until 1.0
+  EXPECT_DOUBLE_EQ(link.reserve(5.0, 100.0), 6.0);
+}
+
+TEST(UplinkTest, BacklogReflectsQueuedWork) {
+  Uplink link(100.0);
+  EXPECT_DOUBLE_EQ(link.backlog(0.0), 0.0);
+  link.reserve(0.0, 200.0);
+  EXPECT_DOUBLE_EQ(link.backlog(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(link.backlog(1.5), 0.5);
+  EXPECT_DOUBLE_EQ(link.backlog(3.0), 0.0);
+}
+
+TEST(UplinkTest, PeekDoesNotReserve) {
+  Uplink link(100.0);
+  EXPECT_DOUBLE_EQ(link.peek(0.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(link.peek(0.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(link.reserve(0.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(link.peek(0.0, 100.0), 2.0);
+}
+
+TEST(UplinkTest, TracksTotalBytes) {
+  Uplink link(100.0);
+  link.reserve(0.0, 30.0);
+  link.reserve(0.0, 70.0);
+  EXPECT_DOUBLE_EQ(link.total_kb_sent(), 100.0);
+}
+
+TEST(UplinkTest, ZeroSizeMessageIsFree) {
+  Uplink link(100.0);
+  EXPECT_DOUBLE_EQ(link.reserve(2.0, 0.0), 2.0);
+}
+
+TEST(UplinkTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(Uplink{0.0}, cdnsim::PreconditionError);
+  EXPECT_THROW(Uplink{-5.0}, cdnsim::PreconditionError);
+  Uplink link(100.0);
+  EXPECT_THROW(link.reserve(0.0, -1.0), cdnsim::PreconditionError);
+}
+
+TEST(UplinkTest, FanoutSerializationGrowsLinearly) {
+  // The Fig. 19/20 mechanism: N copies of one packet leave one by one.
+  Uplink link(1000.0);
+  double last = 0;
+  for (int i = 0; i < 170; ++i) last = link.reserve(0.0, 10.0);
+  EXPECT_NEAR(last, 1.7, 1e-9);
+}
+
+}  // namespace
+}  // namespace cdnsim::net

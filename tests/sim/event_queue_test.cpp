@@ -1,0 +1,92 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cdnsim::sim {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(3.0, [&] { order.push_back(3); });
+  q.push(1.0, [&] { order.push_back(1); });
+  q.push(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.push(7.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.push(5.0, [] {});
+  q.push(2.0, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueueTest, CancelledEventsAreSkipped) {
+  EventQueue q;
+  std::vector<int> order;
+  auto h = q.push(1.0, [&] { order.push_back(1); });
+  q.push(2.0, [&] { order.push_back(2); });
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(EventQueueTest, CancellingAllEmptiesQueue) {
+  EventQueue q;
+  auto h1 = q.push(1.0, [] {});
+  auto h2 = q.push(2.0, [] {});
+  h1.cancel();
+  h2.cancel();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, HandleNotPendingAfterFire) {
+  EventQueue q;
+  auto h = q.push(1.0, [] {});
+  EXPECT_TRUE(h.pending());
+  q.pop().action();
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(EventQueueTest, DefaultHandleIsNotPending) {
+  const EventHandle h;
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(EventQueueTest, CancelIsIdempotent) {
+  EventQueue q;
+  auto h = q.push(1.0, [] {});
+  h.cancel();
+  h.cancel();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), cdnsim::PreconditionError);
+  EXPECT_THROW(q.next_time(), cdnsim::PreconditionError);
+}
+
+TEST(EventQueueTest, NullActionThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.push(1.0, EventAction{}), cdnsim::PreconditionError);
+}
+
+}  // namespace
+}  // namespace cdnsim::sim

@@ -1,0 +1,110 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cdnsim::sim {
+namespace {
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  double seen = -1;
+  sim.at(10.0, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 10.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(SimulatorTest, AfterSchedulesRelativeToNow) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.at(5.0, [&] { sim.after(2.5, [&] { fired_at = sim.now(); }); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(SimulatorTest, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(4.0, [] {}), cdnsim::PreconditionError);
+  EXPECT_THROW(sim.after(-1.0, [] {}), cdnsim::PreconditionError);
+}
+
+TEST(SimulatorTest, RunUntilHorizonStopsAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&] { ++fired; });
+  sim.at(10.0, [&] { ++fired; });
+  sim.run(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventAtExactHorizonFires) {
+  Simulator sim;
+  bool fired = false;
+  sim.at(5.0, [&] { fired = true; });
+  sim.run(5.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, EventsCountIsTracked) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 7u);
+  EXPECT_TRUE(sim.drained());
+}
+
+TEST(SimulatorTest, StepProcessesOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&] { ++fired; });
+  sim.at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, CascadingEventsRunToCompletion) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.after(1.0, chain);
+  };
+  sim.at(0.0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(sim.now(), 99.0);
+}
+
+TEST(SimulatorTest, CancelledEventDoesNotFire) {
+  Simulator sim;
+  bool fired = false;
+  auto h = sim.at(1.0, [&] { fired = true; });
+  h.cancel();
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, SimultaneousEventsFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(1.0, [&] { order.push_back(0); });
+  sim.at(1.0, [&] { order.push_back(1); });
+  sim.at(1.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace cdnsim::sim

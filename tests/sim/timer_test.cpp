@@ -1,0 +1,102 @@
+#include "sim/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cdnsim::sim {
+namespace {
+
+TEST(TimerTest, TicksAtFixedPeriod) {
+  Simulator sim;
+  std::vector<double> ticks;
+  PeriodicTimer timer(sim, 10.0, [&] {
+    ticks.push_back(sim.now());
+    if (ticks.size() == 3) timer.stop();
+  });
+  timer.start();
+  sim.run();
+  EXPECT_EQ(ticks, (std::vector<double>{10, 20, 30}));
+}
+
+TEST(TimerTest, StartAfterControlsPhase) {
+  Simulator sim;
+  std::vector<double> ticks;
+  PeriodicTimer timer(sim, 10.0, [&] {
+    ticks.push_back(sim.now());
+    if (ticks.size() == 2) timer.stop();
+  });
+  timer.start_after(3.0);
+  sim.run();
+  EXPECT_EQ(ticks, (std::vector<double>{3, 13}));
+}
+
+TEST(TimerTest, StopPreventsFurtherTicks) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer(sim, 5.0, [&] { ++ticks; });
+  timer.start();
+  sim.at(12.0, [&] { timer.stop(); });
+  sim.run();
+  EXPECT_EQ(ticks, 2);
+  EXPECT_FALSE(timer.running());
+}
+
+TEST(TimerTest, SetPeriodTakesEffectNextArm) {
+  Simulator sim;
+  std::vector<double> ticks;
+  PeriodicTimer timer(sim, 10.0, [&] {
+    ticks.push_back(sim.now());
+    if (ticks.size() == 1) timer.set_period(2.0);
+    if (ticks.size() == 3) timer.stop();
+  });
+  timer.start();
+  sim.run();
+  // First tick at 10; re-arm happened before the callback changed the
+  // period, so the second tick is at 20, then 22.
+  EXPECT_EQ(ticks, (std::vector<double>{10, 20, 22}));
+}
+
+TEST(TimerTest, RestartAfterStop) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer(sim, 5.0, [&] {
+    ++ticks;
+    timer.stop();
+  });
+  timer.start();
+  sim.at(20.0, [&] { timer.start_after(1.0); });
+  sim.run();
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(TimerTest, CreatedStopped) {
+  Simulator sim;
+  PeriodicTimer timer(sim, 5.0, [] {});
+  EXPECT_FALSE(timer.running());
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(TimerTest, InvalidConstructionThrows) {
+  Simulator sim;
+  EXPECT_THROW(PeriodicTimer(sim, 0.0, [] {}), cdnsim::PreconditionError);
+  EXPECT_THROW(PeriodicTimer(sim, 1.0, PeriodicTimer::Callback{}),
+               cdnsim::PreconditionError);
+}
+
+TEST(TimerTest, DestructionCancelsPendingTick) {
+  Simulator sim;
+  int ticks = 0;
+  {
+    PeriodicTimer timer(sim, 5.0, [&] { ++ticks; });
+    timer.start();
+  }
+  sim.run();
+  EXPECT_EQ(ticks, 0);
+}
+
+}  // namespace
+}  // namespace cdnsim::sim

@@ -1,0 +1,151 @@
+#include "topology/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/sites.hpp"
+#include "util/error.hpp"
+
+namespace cdnsim::topology {
+namespace {
+
+NodeRegistry make_world_registry(std::size_t n, std::uint64_t seed) {
+  NodeInfo provider;
+  provider.location = net::atlanta_site().location;
+  NodeRegistry reg(provider);
+  util::Rng rng(seed);
+  const auto placements = net::place_nodes(n, net::PlacementConfig{}, rng);
+  for (const auto& p : placements) {
+    reg.add_server({p.location, 0, p.site_index});
+  }
+  return reg;
+}
+
+void check_partition(const Clustering& c, std::size_t n) {
+  ASSERT_EQ(c.cluster_of.size(), n);
+  std::set<NodeId> seen;
+  for (std::size_t g = 0; g < c.members.size(); ++g) {
+    for (NodeId id : c.members[g]) {
+      EXPECT_EQ(c.cluster_of[static_cast<std::size_t>(id)], g);
+      EXPECT_TRUE(seen.insert(id).second) << "node in two clusters";
+    }
+  }
+  EXPECT_EQ(seen.size(), n) << "node missing from clustering";
+}
+
+TEST(ClusterTest, GridClusteringIsAPartition) {
+  const auto reg = make_world_registry(200, 1);
+  const auto c = cluster_by_grid(reg, 0.5);
+  check_partition(c, 200);
+  EXPECT_GT(c.cluster_count(), 10u);
+}
+
+TEST(ClusterTest, GridGroupsCollocatedNodes) {
+  NodeInfo provider;
+  NodeRegistry reg(provider);
+  reg.add_server({{40.0, -74.0}, 0, 0});
+  reg.add_server({{40.01, -74.01}, 0, 0});
+  reg.add_server({{-30.0, 140.0}, 0, 0});
+  const auto c = cluster_by_grid(reg, 0.5);
+  EXPECT_EQ(c.cluster_count(), 2u);
+  EXPECT_EQ(c.cluster_of[0], c.cluster_of[1]);
+  EXPECT_NE(c.cluster_of[0], c.cluster_of[2]);
+}
+
+TEST(ClusterTest, HilbertClusteringExactCount) {
+  const auto reg = make_world_registry(173, 2);
+  const auto c = cluster_by_hilbert(reg, 20);
+  check_partition(c, 173);
+  EXPECT_EQ(c.cluster_count(), 20u);
+  // Sizes as equal as possible: 173/20 -> 8 or 9.
+  for (const auto& m : c.members) {
+    EXPECT_GE(m.size(), 8u);
+    EXPECT_LE(m.size(), 9u);
+  }
+}
+
+TEST(ClusterTest, HilbertClustersAreGeographicallyCompact) {
+  const auto reg = make_world_registry(300, 3);
+  const auto c = cluster_by_hilbert(reg, 15);
+  // Mean intra-cluster distance must be far below the global mean distance.
+  double intra = 0;
+  std::size_t intra_n = 0;
+  for (const auto& m : c.members) {
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      for (std::size_t j = i + 1; j < m.size(); ++j) {
+        intra += reg.distance_km(m[i], m[j]);
+        ++intra_n;
+      }
+    }
+  }
+  double global = 0;
+  std::size_t global_n = 0;
+  for (NodeId a = 0; a < 300; a += 7) {
+    for (NodeId b = a + 1; b < 300; b += 7) {
+      global += reg.distance_km(a, b);
+      ++global_n;
+    }
+  }
+  ASSERT_GT(intra_n, 0u);
+  ASSERT_GT(global_n, 0u);
+  EXPECT_LT(intra / intra_n, 0.4 * global / global_n);
+}
+
+TEST(ClusterTest, HilbertInvalidCountThrows) {
+  const auto reg = make_world_registry(10, 4);
+  EXPECT_THROW(cluster_by_hilbert(reg, 0), cdnsim::PreconditionError);
+  EXPECT_THROW(cluster_by_hilbert(reg, 11), cdnsim::PreconditionError);
+}
+
+TEST(ClusterTest, DistanceRingsOrderedByDistance) {
+  const auto reg = make_world_registry(150, 5);
+  const auto c = cluster_by_provider_distance(reg, 1000.0);
+  check_partition(c, 150);
+  // Every member of one ring is within the ring width of the ring's center.
+  for (const auto& m : c.members) {
+    ASSERT_FALSE(m.empty());
+    const double d0 = reg.distance_km(kProviderNode, m.front());
+    for (NodeId id : m) {
+      EXPECT_NEAR(reg.distance_km(kProviderNode, id), d0, 1000.0);
+    }
+  }
+}
+
+TEST(ClusterTest, IspClusteringGroupsByIsp) {
+  auto reg = make_world_registry(50, 6);
+  for (NodeId id : reg.server_ids()) {
+    reg.mutable_info(id).isp_id = id % 4;
+  }
+  const auto c = cluster_by_isp(reg);
+  check_partition(c, 50);
+  EXPECT_EQ(c.cluster_count(), 4u);
+  for (const auto& m : c.members) {
+    const auto isp = reg.isp(m.front());
+    for (NodeId id : m) EXPECT_EQ(reg.isp(id), isp);
+  }
+}
+
+TEST(ClusterTest, SupernodeElectionPicksMembers) {
+  const auto reg = make_world_registry(120, 7);
+  const auto c = cluster_by_hilbert(reg, 12);
+  util::Rng rng(8);
+  const auto supernodes = elect_supernodes(c, rng);
+  ASSERT_EQ(supernodes.size(), 12u);
+  for (std::size_t g = 0; g < 12; ++g) {
+    EXPECT_EQ(c.cluster_of[static_cast<std::size_t>(supernodes[g])], g);
+  }
+}
+
+TEST(ClusterTest, CentralSupernodeMinimisesCentroidDistance) {
+  const auto reg = make_world_registry(120, 9);
+  const auto c = cluster_by_hilbert(reg, 10);
+  const auto supernodes = elect_central_supernodes(c, reg);
+  ASSERT_EQ(supernodes.size(), 10u);
+  for (std::size_t g = 0; g < 10; ++g) {
+    EXPECT_EQ(c.cluster_of[static_cast<std::size_t>(supernodes[g])], g);
+  }
+}
+
+}  // namespace
+}  // namespace cdnsim::topology

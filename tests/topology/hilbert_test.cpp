@@ -1,0 +1,89 @@
+#include "topology/hilbert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cdnsim::topology {
+namespace {
+
+TEST(HilbertTest, RoundTripOrder4) {
+  const std::uint32_t order = 4;
+  const std::uint64_t cells = 16ull * 16ull;
+  for (std::uint64_t d = 0; d < cells; ++d) {
+    const GridCell cell = hilbert_d_to_xy(order, d);
+    EXPECT_EQ(hilbert_xy_to_d(order, cell), d);
+  }
+}
+
+TEST(HilbertTest, IndexIsBijectiveOrder3) {
+  const std::uint32_t order = 3;
+  std::vector<bool> seen(64, false);
+  for (std::uint32_t x = 0; x < 8; ++x) {
+    for (std::uint32_t y = 0; y < 8; ++y) {
+      const auto d = hilbert_xy_to_d(order, {x, y});
+      ASSERT_LT(d, 64u);
+      EXPECT_FALSE(seen[d]) << "duplicate index " << d;
+      seen[d] = true;
+    }
+  }
+}
+
+TEST(HilbertTest, ConsecutiveIndicesAreGridNeighbors) {
+  // The defining property of the Hilbert curve: successive indices are
+  // adjacent cells, so close indices => close space.
+  const std::uint32_t order = 5;
+  GridCell prev = hilbert_d_to_xy(order, 0);
+  for (std::uint64_t d = 1; d < 1024; ++d) {
+    const GridCell cur = hilbert_d_to_xy(order, d);
+    const int dx = std::abs(static_cast<int>(cur.x) - static_cast<int>(prev.x));
+    const int dy = std::abs(static_cast<int>(cur.y) - static_cast<int>(prev.y));
+    EXPECT_EQ(dx + dy, 1) << "at index " << d;
+    prev = cur;
+  }
+}
+
+TEST(HilbertTest, GeoQuantizationCoversGrid) {
+  const std::uint32_t order = 8;
+  const auto c1 = geo_to_cell({-90, -180}, order);
+  EXPECT_EQ(c1.x, 0u);
+  EXPECT_EQ(c1.y, 0u);
+  const auto c2 = geo_to_cell({90, 180}, order);
+  EXPECT_EQ(c2.x, 255u);
+  EXPECT_EQ(c2.y, 255u);
+  const auto c3 = geo_to_cell({0, 0}, order);
+  EXPECT_EQ(c3.x, 128u);
+  EXPECT_EQ(c3.y, 128u);
+}
+
+TEST(HilbertTest, NearbyCitiesHaveCloserNumbersThanFarCities) {
+  const std::uint32_t order = 16;
+  const net::GeoPoint nyc{40.71, -74.01};
+  const net::GeoPoint boston{42.36, -71.06};
+  const net::GeoPoint tokyo{35.68, 139.69};
+  const auto h_nyc = hilbert_number(nyc, order);
+  const auto h_boston = hilbert_number(boston, order);
+  const auto h_tokyo = hilbert_number(tokyo, order);
+  const auto diff = [](std::uint64_t a, std::uint64_t b) {
+    return a > b ? a - b : b - a;
+  };
+  EXPECT_LT(diff(h_nyc, h_boston), diff(h_nyc, h_tokyo));
+}
+
+TEST(HilbertTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(hilbert_xy_to_d(0, {0, 0}), cdnsim::PreconditionError);
+  EXPECT_THROW(hilbert_xy_to_d(2, {4, 0}), cdnsim::PreconditionError);
+  EXPECT_THROW(hilbert_d_to_xy(2, 16), cdnsim::PreconditionError);
+  EXPECT_THROW(geo_to_cell({0, 0}, 0), cdnsim::PreconditionError);
+}
+
+TEST(HilbertTest, OutOfRangeGeoIsClamped) {
+  const auto c = geo_to_cell({200, 999}, 4);
+  EXPECT_LT(c.x, 16u);
+  EXPECT_LT(c.y, 16u);
+}
+
+}  // namespace
+}  // namespace cdnsim::topology

@@ -1,0 +1,68 @@
+#include "topology/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace cdnsim::topology {
+namespace {
+
+NodeRegistry make_registry() {
+  NodeInfo provider;
+  provider.location = {33.75, -84.39};
+  provider.isp_id = -1;
+  NodeRegistry reg(provider);
+  reg.add_server({{40.71, -74.01}, 1, 0});
+  reg.add_server({{47.61, -122.33}, 2, 0});
+  reg.add_server({{40.71, -74.01}, 1, 0});
+  return reg;
+}
+
+TEST(NodeRegistryTest, IdsAreDense) {
+  NodeInfo provider;
+  NodeRegistry reg(provider);
+  EXPECT_EQ(reg.add_server({}), 0);
+  EXPECT_EQ(reg.add_server({}), 1);
+  EXPECT_EQ(reg.server_count(), 2u);
+}
+
+TEST(NodeRegistryTest, ProviderIsSpecialId) {
+  const auto reg = make_registry();
+  EXPECT_NEAR(reg.location(kProviderNode).lat_deg, 33.75, 1e-9);
+  EXPECT_EQ(reg.isp(kProviderNode), -1);
+}
+
+TEST(NodeRegistryTest, DistanceProviderToServer) {
+  const auto reg = make_registry();
+  // Atlanta -> NYC ~1200 km.
+  EXPECT_NEAR(reg.distance_km(kProviderNode, 0), 1200.0, 60.0);
+  EXPECT_DOUBLE_EQ(reg.distance_km(0, 2), 0.0);
+}
+
+TEST(NodeRegistryTest, CrossesIsp) {
+  const auto reg = make_registry();
+  EXPECT_FALSE(reg.crosses_isp(0, 2));
+  EXPECT_TRUE(reg.crosses_isp(0, 1));
+  EXPECT_TRUE(reg.crosses_isp(kProviderNode, 0));
+}
+
+TEST(NodeRegistryTest, ServerIdsLists) {
+  const auto reg = make_registry();
+  const auto ids = reg.server_ids();
+  EXPECT_EQ(ids, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(NodeRegistryTest, UnknownIdThrows) {
+  const auto reg = make_registry();
+  EXPECT_THROW(reg.info(3), cdnsim::PreconditionError);
+  EXPECT_THROW(reg.info(-2), cdnsim::PreconditionError);
+}
+
+TEST(NodeRegistryTest, MutableInfoAllowsIspAssignment) {
+  auto reg = make_registry();
+  reg.mutable_info(1).isp_id = 42;
+  EXPECT_EQ(reg.isp(1), 42);
+}
+
+}  // namespace
+}  // namespace cdnsim::topology

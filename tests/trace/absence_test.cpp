@@ -1,0 +1,99 @@
+#include "trace/absence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace cdnsim::trace {
+namespace {
+
+TEST(AbsenceScheduleTest, AbsentAtQueries) {
+  AbsenceSchedule s;
+  s.add(10, 20);
+  s.add(50, 55);
+  EXPECT_FALSE(s.absent_at(9.99));
+  EXPECT_TRUE(s.absent_at(10));
+  EXPECT_TRUE(s.absent_at(19.99));
+  EXPECT_FALSE(s.absent_at(20));
+  EXPECT_TRUE(s.absent_at(52));
+  EXPECT_FALSE(s.absent_at(100));
+}
+
+TEST(AbsenceScheduleTest, AvailableFrom) {
+  AbsenceSchedule s;
+  s.add(10, 20);
+  EXPECT_DOUBLE_EQ(s.available_from(5), 5);
+  EXPECT_DOUBLE_EQ(s.available_from(15), 20);
+  EXPECT_DOUBLE_EQ(s.available_from(25), 25);
+}
+
+TEST(AbsenceScheduleTest, EmptyScheduleNeverAbsent) {
+  const AbsenceSchedule s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.absent_at(0));
+  EXPECT_DOUBLE_EQ(s.available_from(42), 42);
+}
+
+TEST(AbsenceScheduleTest, OverlappingIntervalsThrow) {
+  AbsenceSchedule s;
+  s.add(10, 20);
+  EXPECT_THROW(s.add(15, 25), cdnsim::PreconditionError);
+  EXPECT_THROW(s.add(5, 8), cdnsim::PreconditionError);
+  EXPECT_THROW(s.add(30, 30), cdnsim::PreconditionError);
+}
+
+TEST(AbsenceSampleTest, LengthsMatchPaperQuantiles) {
+  // Section 3.4.5: absence lengths in [1,500] s, ~30% < 10 s, ~93% < 50 s.
+  const AbsenceConfig cfg;
+  util::Rng rng(1);
+  int below10 = 0;
+  int below50 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double len = sample_absence_length(cfg, rng);
+    EXPECT_GE(len, 1.0);
+    EXPECT_LE(len, 500.0);
+    if (len < 10) ++below10;
+    if (len < 50) ++below50;
+  }
+  EXPECT_NEAR(below10 / static_cast<double>(n), 0.304, 0.04);
+  EXPECT_NEAR(below50 / static_cast<double>(n), 0.931, 0.03);
+}
+
+TEST(AbsenceGenerateTest, RateControlsFrequency) {
+  AbsenceConfig cfg;
+  cfg.absences_per_hour = 2.0;
+  util::Rng rng(2);
+  double total = 0;
+  const int reps = 50;
+  for (int i = 0; i < reps; ++i) {
+    total += static_cast<double>(generate_absences(cfg, 3600.0 * 10, rng)
+                                     .intervals()
+                                     .size());
+  }
+  EXPECT_NEAR(total / reps, 20.0, 3.0);
+}
+
+TEST(AbsenceGenerateTest, ZeroRateIsEmpty) {
+  AbsenceConfig cfg;
+  cfg.absences_per_hour = 0;
+  util::Rng rng(3);
+  EXPECT_TRUE(generate_absences(cfg, 1e6, rng).empty());
+}
+
+TEST(AbsenceGenerateTest, IntervalsWithinHorizonAndOrdered) {
+  AbsenceConfig cfg;
+  cfg.absences_per_hour = 10.0;
+  util::Rng rng(4);
+  const auto s = generate_absences(cfg, 7200.0, rng);
+  double prev_end = 0;
+  for (const auto& iv : s.intervals()) {
+    EXPECT_GE(iv.start, prev_end);
+    EXPECT_GT(iv.end, iv.start);
+    EXPECT_LE(iv.end, 7200.0);
+    prev_end = iv.end;
+  }
+}
+
+}  // namespace
+}  // namespace cdnsim::trace

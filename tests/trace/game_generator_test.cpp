@@ -1,0 +1,150 @@
+#include "trace/game_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace cdnsim::trace {
+namespace {
+
+TEST(GameGeneratorTest, DefaultConfigMatchesPaperScale) {
+  // The paper's content: 306 snapshots over 2 h 26 min (8760 s).
+  const GameTraceConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.total_span(), 8760.0);
+  util::Rng rng(1);
+  double total_updates = 0;
+  const int reps = 20;
+  for (int i = 0; i < reps; ++i) {
+    const auto t = generate_game_trace(cfg, rng);
+    total_updates += static_cast<double>(t.update_count());
+    EXPECT_LE(t.duration(), cfg.total_span());
+  }
+  EXPECT_NEAR(total_updates / reps, 306.0, 40.0);
+}
+
+TEST(GameGeneratorTest, BreaksAreSilent) {
+  GameTraceConfig cfg;
+  cfg.pre_game_s = 0;
+  cfg.post_game_s = 0;
+  cfg.period_s = 1000;
+  cfg.break_s = 500;
+  util::Rng rng(2);
+  const auto t = generate_game_trace(cfg, rng);
+  // Break spans [1000, 1500): no update may fall inside it.
+  for (sim::SimTime u : t.times()) {
+    EXPECT_FALSE(u >= 1000.0 && u < 1500.0) << "update during break at " << u;
+  }
+  EXPECT_GT(t.update_count(), 10);
+}
+
+TEST(GameGeneratorTest, MinGapIsRespectedInNonBurstyMode) {
+  GameTraceConfig cfg;
+  cfg.bursty = false;
+  cfg.min_gap_s = 5.0;
+  cfg.in_play_mean_gap_s = 6.0;
+  util::Rng rng(3);
+  const auto t = generate_game_trace(cfg, rng);
+  sim::SimTime prev = 0;
+  for (sim::SimTime u : t.times()) {
+    EXPECT_GE(u - prev, 5.0 - 1e-9);
+    prev = u;
+  }
+}
+
+TEST(GameGeneratorTest, InPlayGapsAverageNearMean) {
+  GameTraceConfig cfg;
+  cfg.bursty = false;
+  cfg.pre_game_s = 0;
+  cfg.post_game_s = 0;
+  cfg.periods = 1;
+  cfg.period_s = 50000;
+  cfg.in_play_mean_gap_s = 20.0;
+  cfg.min_gap_s = 0.0;
+  util::Rng rng(4);
+  const auto t = generate_game_trace(cfg, rng);
+  EXPECT_NEAR(static_cast<double>(t.update_count()), 2500.0, 150.0);
+}
+
+TEST(GameGeneratorTest, DeterministicForSeed) {
+  util::Rng a(5), b(5);
+  const auto ta = generate_game_trace(GameTraceConfig{}, a);
+  const auto tb = generate_game_trace(GameTraceConfig{}, b);
+  EXPECT_EQ(ta.times(), tb.times());
+}
+
+TEST(GameGeneratorTest, SeasonHasOneGamePerDay) {
+  GameTraceConfig cfg;
+  util::Rng rng(6);
+  const auto season = generate_season_trace(cfg, 3, 86400.0, 3600.0, rng);
+  for (std::size_t day = 0; day < 3; ++day) {
+    const auto window = game_window(cfg, day, 86400.0, 3600.0);
+    Version inside = 0;
+    for (sim::SimTime u : season.times()) {
+      if (u >= window.start && u < window.end) ++inside;
+    }
+    EXPECT_NEAR(static_cast<double>(inside), 306.0, 80.0) << "day " << day;
+  }
+  // Nothing outside the game windows.
+  for (sim::SimTime u : season.times()) {
+    bool in_any = false;
+    for (std::size_t day = 0; day < 3; ++day) {
+      const auto w = game_window(cfg, day, 86400.0, 3600.0);
+      if (u >= w.start && u < w.end) in_any = true;
+    }
+    EXPECT_TRUE(in_any) << "update outside all game windows at " << u;
+  }
+}
+
+TEST(GameGeneratorTest, SeasonRejectsGameLargerThanDay) {
+  GameTraceConfig cfg;
+  util::Rng rng(7);
+  EXPECT_THROW(generate_season_trace(cfg, 2, 8000.0, 0.0, rng),
+               cdnsim::PreconditionError);
+}
+
+TEST(GameGeneratorTest, BurstyModeClustersUpdates) {
+  GameTraceConfig cfg;  // bursty by default
+  util::Rng rng(9);
+  const auto t = generate_game_trace(cfg, rng);
+  // Count supersede "events": gaps larger than the intra-burst maximum.
+  std::size_t events = 0;
+  sim::SimTime prev = -1e9;
+  for (sim::SimTime u : t.times()) {
+    if (u - prev > cfg.intra_burst_gap_max_s + 1.0) ++events;
+    prev = u;
+  }
+  // ~63 in-play events plus a few pre/post-game updates; far fewer events
+  // than snapshots is the defining burst property.
+  EXPECT_GT(events, 30u);
+  EXPECT_LT(events, 120u);
+  EXPECT_GT(t.update_count(), static_cast<Version>(2 * events));
+}
+
+TEST(GameGeneratorTest, BurstSizesWithinConfiguredRange) {
+  GameTraceConfig cfg;
+  cfg.pre_game_s = 0;
+  cfg.post_game_s = 0;
+  util::Rng rng(10);
+  const auto t = generate_game_trace(cfg, rng);
+  std::size_t run = 1;
+  sim::SimTime prev = -1e9;
+  for (sim::SimTime u : t.times()) {
+    if (u - prev <= cfg.intra_burst_gap_max_s + 1e-9) {
+      ++run;
+      EXPECT_LE(run, cfg.burst_max);
+    } else {
+      run = 1;
+    }
+    prev = u;
+  }
+}
+
+TEST(GameGeneratorTest, ZeroPeriodsThrows) {
+  GameTraceConfig cfg;
+  cfg.periods = 0;
+  util::Rng rng(8);
+  EXPECT_THROW(generate_game_trace(cfg, rng), cdnsim::PreconditionError);
+}
+
+}  // namespace
+}  // namespace cdnsim::trace

@@ -1,0 +1,64 @@
+#include "trace/poll_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace cdnsim::trace {
+namespace {
+
+PollLog make_log() {
+  PollLog log;
+  log.add({0, 10.0, 1, true});
+  log.add({1, 10.5, 0, true});
+  log.add({0, 20.0, 2, true});
+  log.add({1, 20.5, 1, false});
+  log.add({2, 30.0, 2, true});
+  return log;
+}
+
+TEST(PollLogTest, ForServerFiltersAndPreservesOrder) {
+  const auto log = make_log();
+  const auto s0 = log.for_server(0);
+  ASSERT_EQ(s0.size(), 2u);
+  EXPECT_DOUBLE_EQ(s0[0].time, 10.0);
+  EXPECT_DOUBLE_EQ(s0[1].time, 20.0);
+}
+
+TEST(PollLogTest, ServersListsDistinctIds) {
+  const auto log = make_log();
+  EXPECT_EQ(log.servers(), (std::vector<net::NodeId>{0, 1, 2}));
+}
+
+TEST(PollLogTest, WindowIsHalfOpen) {
+  const auto log = make_log();
+  const auto w = log.window(10.5, 30.0);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w.observations().front().time, 10.5);
+  EXPECT_DOUBLE_EQ(w.observations().back().time, 20.5);
+}
+
+TEST(PollLogTest, CsvRoundTrip) {
+  const std::string path = testing::TempDir() + "/cdnsim_polllog_test.csv";
+  const auto log = make_log();
+  log.save_csv(path);
+  const auto loaded = PollLog::load_csv(path);
+  ASSERT_EQ(loaded.size(), log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(loaded.observations()[i].server, log.observations()[i].server);
+    EXPECT_DOUBLE_EQ(loaded.observations()[i].time, log.observations()[i].time);
+    EXPECT_EQ(loaded.observations()[i].version, log.observations()[i].version);
+    EXPECT_EQ(loaded.observations()[i].answered, log.observations()[i].answered);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PollLogTest, EmptyLog) {
+  const PollLog log;
+  EXPECT_TRUE(log.empty());
+  EXPECT_TRUE(log.servers().empty());
+  EXPECT_TRUE(log.window(0, 100).empty());
+}
+
+}  // namespace
+}  // namespace cdnsim::trace

@@ -1,0 +1,97 @@
+#include "trace/trace_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/game_generator.hpp"
+#include "util/error.hpp"
+
+namespace cdnsim::trace {
+namespace {
+
+TEST(BurstStructureTest, IdentifiesBurstsAndEvents) {
+  // Two bursts of 3 and 2, then a lone update.
+  const UpdateTrace t({10, 11, 12, 100, 101.5, 300});
+  const auto b = burst_structure(t, 5.0);
+  EXPECT_EQ(b.event_count, 3u);
+  EXPECT_DOUBLE_EQ(b.max_burst_size, 3.0);
+  EXPECT_DOUBLE_EQ(b.mean_burst_size, 2.0);
+  EXPECT_DOUBLE_EQ(b.mean_event_gap_s, (90.0 + 200.0) / 2.0);
+}
+
+TEST(BurstStructureTest, AllSeparateWhenGapSmall) {
+  const UpdateTrace t({10, 20, 30});
+  const auto b = burst_structure(t, 5.0);
+  EXPECT_EQ(b.event_count, 3u);
+  EXPECT_DOUBLE_EQ(b.mean_burst_size, 1.0);
+}
+
+TEST(BurstStructureTest, EmptyTrace) {
+  const UpdateTrace t;
+  const auto b = burst_structure(t, 5.0);
+  EXPECT_EQ(b.event_count, 0u);
+}
+
+TEST(SilencesTest, FindsLongGaps) {
+  const UpdateTrace t({10, 20, 920, 930, 1900});
+  const auto s = silences(t, 500.0);
+  EXPECT_EQ(s.silence_count, 2u);
+  EXPECT_DOUBLE_EQ(s.longest_silence_s, 970.0);
+  EXPECT_DOUBLE_EQ(s.total_silence_s, 900.0 + 970.0);
+}
+
+TEST(SummarizeTest, BasicNumbers) {
+  const UpdateTrace t({10, 20, 40});
+  const auto s = summarize(t);
+  EXPECT_EQ(s.update_count, 3);
+  EXPECT_DOUBLE_EQ(s.span_s, 40);
+  EXPECT_NEAR(s.mean_gap_s, 40.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.median_gap_s, 10.0);
+  EXPECT_DOUBLE_EQ(s.max_gap_s, 20.0);
+  EXPECT_DOUBLE_EQ(s.updates_per_minute, 4.5);
+}
+
+TEST(SummarizeTest, BurstyTraceHasHighGapCv) {
+  util::Rng rng(4);
+  GameTraceConfig bursty;  // default: bursty
+  GameTraceConfig regular = bursty;
+  regular.bursty = false;
+  const auto tb = generate_game_trace(bursty, rng);
+  const auto tr = generate_game_trace(regular, rng);
+  EXPECT_GT(summarize(tb).gap_cv, summarize(tr).gap_cv);
+  EXPECT_GT(summarize(tb).gap_cv, 1.5);
+}
+
+TEST(PaperTargetsTest, DefaultGeneratorMatchesPaperAggregates) {
+  // The DESIGN.md substitution claim, verified: the synthetic trace matches
+  // the published snapshot count, span, and halftime silence. Per-game
+  // counts vary (burst sizes are random), so single games get a loose
+  // tolerance and the mean over several games a tight one.
+  util::Rng rng(7);
+  double total = 0;
+  const int reps = 10;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t = generate_game_trace(GameTraceConfig{}, rng);
+    EXPECT_TRUE(matches_paper_targets(t, {}, 0.35)) << "rep " << rep;
+    total += static_cast<double>(t.update_count());
+  }
+  EXPECT_NEAR(total / reps, 306.0, 0.15 * 306.0);
+}
+
+TEST(PaperTargetsTest, RejectsWrongScale) {
+  const UpdateTrace tiny({10, 20, 30});
+  EXPECT_FALSE(matches_paper_targets(tiny));
+  // Right count/span but no silence.
+  std::vector<sim::SimTime> dense;
+  for (int i = 1; i <= 306; ++i) dense.push_back(i * (8760.0 / 306.0));
+  EXPECT_FALSE(matches_paper_targets(UpdateTrace(dense)));
+}
+
+TEST(PaperTargetsTest, InvalidArgumentsThrow) {
+  const UpdateTrace t({10});
+  EXPECT_THROW(burst_structure(t, 0.0), cdnsim::PreconditionError);
+  EXPECT_THROW(silences(t, -1.0), cdnsim::PreconditionError);
+  EXPECT_THROW(matches_paper_targets(t, {}, 0.0), cdnsim::PreconditionError);
+}
+
+}  // namespace
+}  // namespace cdnsim::trace

@@ -1,0 +1,74 @@
+#include "trace/update_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace cdnsim::trace {
+namespace {
+
+TEST(UpdateTraceTest, VersionAtFollowsUpdates) {
+  const UpdateTrace t({10, 20, 30});
+  EXPECT_EQ(t.version_at(0), 0);
+  EXPECT_EQ(t.version_at(9.999), 0);
+  EXPECT_EQ(t.version_at(10), 1);
+  EXPECT_EQ(t.version_at(25), 2);
+  EXPECT_EQ(t.version_at(30), 3);
+  EXPECT_EQ(t.version_at(1e9), 3);
+}
+
+TEST(UpdateTraceTest, UpdateTimeLookup) {
+  const UpdateTrace t({10, 20, 30});
+  EXPECT_DOUBLE_EQ(t.update_time(1), 10);
+  EXPECT_DOUBLE_EQ(t.update_time(3), 30);
+  EXPECT_THROW(t.update_time(0), cdnsim::PreconditionError);
+  EXPECT_THROW(t.update_time(4), cdnsim::PreconditionError);
+}
+
+TEST(UpdateTraceTest, EmptyTrace) {
+  const UpdateTrace t;
+  EXPECT_EQ(t.update_count(), 0);
+  EXPECT_EQ(t.version_at(100), 0);
+  EXPECT_DOUBLE_EQ(t.duration(), 0);
+}
+
+TEST(UpdateTraceTest, NonIncreasingTimesThrow) {
+  EXPECT_THROW(UpdateTrace({10, 10}), cdnsim::PreconditionError);
+  EXPECT_THROW(UpdateTrace({10, 5}), cdnsim::PreconditionError);
+  EXPECT_THROW(UpdateTrace({0.0}), cdnsim::PreconditionError);
+  EXPECT_THROW(UpdateTrace({-1.0}), cdnsim::PreconditionError);
+}
+
+TEST(UpdateTraceTest, GapsMeasuredFromZero) {
+  const UpdateTrace t({5, 15, 18});
+  const auto gaps = t.gaps();
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_DOUBLE_EQ(gaps[0], 5);
+  EXPECT_DOUBLE_EQ(gaps[1], 10);
+  EXPECT_DOUBLE_EQ(gaps[2], 3);
+}
+
+TEST(UpdateTraceTest, AppendShifted) {
+  UpdateTrace t({5, 10});
+  const UpdateTrace other({2, 4});
+  t.append_shifted(other, 100.0);
+  EXPECT_EQ(t.update_count(), 4);
+  EXPECT_DOUBLE_EQ(t.update_time(3), 112);
+  EXPECT_DOUBLE_EQ(t.update_time(4), 114);
+}
+
+TEST(UpdateTraceTest, CsvRoundTrip) {
+  const std::string path = testing::TempDir() + "/cdnsim_trace_test.csv";
+  const UpdateTrace t({1.5, 2.25, 99.125});
+  t.save_csv(path);
+  const auto loaded = UpdateTrace::load_csv(path);
+  ASSERT_EQ(loaded.update_count(), 3);
+  EXPECT_DOUBLE_EQ(loaded.update_time(1), 1.5);
+  EXPECT_DOUBLE_EQ(loaded.update_time(3), 99.125);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cdnsim::trace

@@ -1,0 +1,82 @@
+#include "util/cdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace cdnsim::util {
+namespace {
+
+TEST(CdfTest, FractionAtOrBelow) {
+  const Cdf cdf({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(1), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(4), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(99), 1.0);
+}
+
+TEST(CdfTest, EmptyCdfBehaviour) {
+  const Cdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(1.0), 0.0);
+  EXPECT_THROW(cdf.value_at_quantile(0.5), PreconditionError);
+  EXPECT_TRUE(cdf.points(5).empty());
+}
+
+TEST(CdfTest, AddThenQuery) {
+  Cdf cdf;
+  cdf.add(5);
+  cdf.add(1);
+  cdf.add(3);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1);
+  EXPECT_DOUBLE_EQ(cdf.max(), 5);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 3);
+  EXPECT_DOUBLE_EQ(cdf.value_at_quantile(0.5), 3);
+}
+
+TEST(CdfTest, QuantileRoundTripsFraction) {
+  Rng rng(17);
+  Cdf cdf;
+  for (int i = 0; i < 1000; ++i) cdf.add(rng.uniform(0, 100));
+  for (double q : {0.1, 0.25, 0.5, 0.9}) {
+    const double v = cdf.value_at_quantile(q);
+    EXPECT_NEAR(cdf.fraction_at_or_below(v), q, 0.01);
+  }
+}
+
+TEST(CdfTest, PointsAreMonotone) {
+  Rng rng(23);
+  Cdf cdf;
+  for (int i = 0; i < 500; ++i) cdf.add(rng.exponential(10));
+  const auto pts = cdf.points(20);
+  ASSERT_EQ(pts.size(), 20u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].x, pts[i - 1].x);
+    EXPECT_GE(pts[i].cdf, pts[i - 1].cdf);
+  }
+  EXPECT_DOUBLE_EQ(pts.back().cdf, 1.0);
+}
+
+TEST(CdfTest, PointsAtExplicitPositions) {
+  const Cdf cdf({1, 2, 3, 4});
+  const auto pts = cdf.points_at({0.5, 2.0, 10.0});
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts[0].cdf, 0.0);
+  EXPECT_DOUBLE_EQ(pts[1].cdf, 0.5);
+  EXPECT_DOUBLE_EQ(pts[2].cdf, 1.0);
+}
+
+TEST(CdfTest, UniformSampleLooksLinear) {
+  Rng rng(31);
+  Cdf cdf;
+  for (int i = 0; i < 20000; ++i) cdf.add(rng.uniform(0, 60));
+  // CDF at x should be ~x/60 — the paper's Section 3.4.1 linearity check.
+  for (double x : {6.0, 18.0, 30.0, 48.0}) {
+    EXPECT_NEAR(cdf.fraction_at_or_below(x), x / 60.0, 0.015);
+  }
+}
+
+}  // namespace
+}  // namespace cdnsim::util

@@ -1,0 +1,79 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace cdnsim::util {
+namespace {
+
+TEST(CsvTest, WriterProducesRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.header({"a", "b"});
+  w.row(std::vector<std::string>{"1", "x"});
+  w.row(std::vector<double>{2.5, 3.0});
+  EXPECT_EQ(os.str(), "a,b\n1,x\n2.5,3\n");
+}
+
+TEST(CsvTest, SplitBasic) {
+  const auto f = split_csv_line("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(CsvTest, SplitEmptyFields) {
+  const auto f = split_csv_line("a,,c,");
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[1], "");
+  EXPECT_EQ(f[3], "");
+}
+
+TEST(CsvTest, SplitQuotedField) {
+  const auto f = split_csv_line(R"(a,"b,c",d)");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[1], "b,c");
+}
+
+TEST(CsvTest, SplitEscapedQuote) {
+  const auto f = split_csv_line(R"("say ""hi""",x)");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "say \"hi\"");
+}
+
+TEST(CsvTest, SplitStripsCarriageReturn) {
+  const auto f = split_csv_line("a,b\r");
+  EXPECT_EQ(f[1], "b");
+}
+
+TEST(CsvTest, ReadCsvSkipsEmptyLines) {
+  std::istringstream in("h1,h2\n\n1,2\n\n3,4\n");
+  const auto table = read_csv(in);
+  EXPECT_EQ(table.header, (std::vector<std::string>{"h1", "h2"}));
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[1][1], "4");
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/cdnsim_csv_test.csv";
+  CsvTable table;
+  table.header = {"x", "y"};
+  table.rows = {{"1", "2"}, {"3", "4"}};
+  write_csv_file(path, table);
+  const auto loaded = read_csv_file(path);
+  EXPECT_EQ(loaded.header, table.header);
+  EXPECT_EQ(loaded.rows, table.rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path/file.csv"), Error);
+}
+
+}  // namespace
+}  // namespace cdnsim::util

@@ -1,0 +1,42 @@
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cdnsim {
+namespace {
+
+TEST(ErrorTest, ExpectsPassesWhenConditionHolds) {
+  EXPECT_NO_THROW(CDNSIM_EXPECTS(1 + 1 == 2, "arithmetic"));
+}
+
+TEST(ErrorTest, ExpectsThrowsPreconditionError) {
+  EXPECT_THROW(CDNSIM_EXPECTS(false, "must fail"), PreconditionError);
+}
+
+TEST(ErrorTest, ExpectsMessageContainsContext) {
+  try {
+    CDNSIM_EXPECTS(2 > 3, "two exceeds three");
+    FAIL() << "expected throw";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("two exceeds three"), std::string::npos);
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, RuntimeErrorCarriesMessage) {
+  const Error e("disk on fire");
+  EXPECT_STREQ(e.what(), "disk on fire");
+}
+
+TEST(ErrorTest, PreconditionErrorIsLogicError) {
+  EXPECT_THROW(throw PreconditionError("x"), std::logic_error);
+}
+
+TEST(ErrorTest, ErrorIsRuntimeError) {
+  EXPECT_THROW(throw Error("x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cdnsim

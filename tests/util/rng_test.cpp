@@ -1,0 +1,141 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace cdnsim::util {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0, 1) == b.uniform(0, 1)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.5, 4.5);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 4.5);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(1, 6));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 1);
+  EXPECT_EQ(*seen.rbegin(), 6);
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(RngTest, NormalZeroStddevIsDeterministic) {
+  Rng rng(3);
+  EXPECT_DOUBLE_EQ(rng.normal(42.0, 0.0), 42.0);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceFrequencyNearProbability) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, IndexCoversRange) {
+  Rng rng(9);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.index(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentOfEachOther) {
+  Rng parent(100);
+  Rng child1 = parent.fork(1);
+  Rng child2 = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.uniform(0, 1) == child2.uniform(0, 1)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, SuccessiveForksWithSameTagDiffer) {
+  Rng parent(100);
+  Rng a = parent.fork(7);
+  Rng b = parent.fork(7);
+  EXPECT_NE(a.uniform(0, 1), b.uniform(0, 1));
+}
+
+TEST(RngTest, PickReturnsElementFromVector) {
+  Rng rng(1);
+  const std::vector<int> v{10, 20, 30};
+  for (int i = 0; i < 50; ++i) {
+    const int x = rng.pick(v);
+    EXPECT_TRUE(x == 10 || x == 20 || x == 30);
+  }
+}
+
+TEST(RngTest, PickFromEmptyThrows) {
+  Rng rng(1);
+  const std::vector<int> v;
+  EXPECT_THROW(rng.pick(v), PreconditionError);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(2);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, InvalidArgumentsThrow) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(2, 1), PreconditionError);
+  EXPECT_THROW(rng.uniform_int(5, 4), PreconditionError);
+  EXPECT_THROW(rng.exponential(0), PreconditionError);
+  EXPECT_THROW(rng.normal(0, -1), PreconditionError);
+  EXPECT_THROW(rng.chance(1.5), PreconditionError);
+  EXPECT_THROW(rng.index(0), PreconditionError);
+}
+
+TEST(RngTest, LognormalIsPositive) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.lognormal(2.7, 0.8), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace cdnsim::util

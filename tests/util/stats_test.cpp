@@ -1,0 +1,101 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cdnsim::util {
+namespace {
+
+TEST(StatsTest, MeanOfEmptyIsZero) { EXPECT_DOUBLE_EQ(mean({}), 0.0); }
+
+TEST(StatsTest, MeanBasic) { EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5); }
+
+TEST(StatsTest, VarianceConstantSeriesIsZero) {
+  EXPECT_DOUBLE_EQ(variance({5, 5, 5}), 0.0);
+}
+
+TEST(StatsTest, VarianceKnownValue) {
+  // Population variance of {2, 4, 4, 4, 5, 5, 7, 9} is 4.
+  EXPECT_DOUBLE_EQ(variance({2, 4, 4, 4, 5, 5, 7, 9}), 4.0);
+  EXPECT_DOUBLE_EQ(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0);
+}
+
+TEST(StatsTest, MinMaxSum) {
+  const std::vector<double> xs{3, -1, 7, 2};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1);
+  EXPECT_DOUBLE_EQ(max_of(xs), 7);
+  EXPECT_DOUBLE_EQ(sum(xs), 11);
+}
+
+TEST(StatsTest, MinMaxOfEmptyThrows) {
+  EXPECT_THROW(min_of({}), PreconditionError);
+  EXPECT_THROW(max_of({}), PreconditionError);
+}
+
+TEST(StatsTest, PercentileEndpoints) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 40);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::vector<double> xs{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 5.0);
+}
+
+TEST(StatsTest, PercentileMedianOddCount) {
+  EXPECT_DOUBLE_EQ(percentile({5, 1, 3}, 0.5), 3.0);
+}
+
+TEST(StatsTest, PercentileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(percentile({40, 10, 30, 20}, 1.0), 40);
+}
+
+TEST(StatsTest, PercentileInvalidInputsThrow) {
+  EXPECT_THROW(percentile({}, 0.5), PreconditionError);
+  EXPECT_THROW(percentile({1.0}, 1.5), PreconditionError);
+}
+
+TEST(StatsTest, RmseIdenticalSeriesIsZero) {
+  EXPECT_DOUBLE_EQ(rmse({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(StatsTest, RmseKnownValue) {
+  EXPECT_DOUBLE_EQ(rmse({0, 0}, {3, 4}), std::sqrt(12.5));
+}
+
+TEST(StatsTest, RmseSizeMismatchThrows) {
+  EXPECT_THROW(rmse({1}, {1, 2}), PreconditionError);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  EXPECT_NEAR(pearson({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+  EXPECT_NEAR(pearson({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantSeriesIsZero) {
+  EXPECT_DOUBLE_EQ(pearson({1, 2, 3}, {5, 5, 5}), 0.0);
+}
+
+TEST(StatsTest, AccumulatorTracksMoments) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.variance(), 4.0, 1e-9);
+}
+
+TEST(StatsTest, AccumulatorEmpty) {
+  const Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_THROW(acc.min(), PreconditionError);
+}
+
+}  // namespace
+}  // namespace cdnsim::util

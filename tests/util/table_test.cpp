@@ -1,0 +1,82 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace cdnsim::util {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"name", "v"});
+  t.add_row(std::vector<std::string>{"a", "1"});
+  t.add_row(std::vector<std::string>{"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("------"), std::string::npos);
+}
+
+TEST(TextTableTest, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row(std::vector<std::string>{"only-one"}), cdnsim::PreconditionError);
+}
+
+TEST(TextTableTest, DoubleRowsUsePrecision) {
+  TextTable t({"x"});
+  t.add_row(std::vector<double>{1.23456}, 2);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("1.23"), std::string::npos);
+  EXPECT_EQ(os.str().find("1.2345"), std::string::npos);
+}
+
+TEST(FormatDoubleTest, FixedPrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 3), "2.000");
+}
+
+TEST(ShapeCheckTest, AllPassing) {
+  ShapeCheck check("fig-test");
+  check.expect_less(1, 2, "one below two");
+  check.expect_greater(3, 2, "three above two");
+  check.expect_near(10, 10.5, 0.1, "close enough");
+  check.expect_in_range(5, 0, 10, "in range");
+  EXPECT_TRUE(check.all_passed());
+  EXPECT_EQ(check.failures(), 0);
+  std::ostringstream os;
+  check.print(os);
+  EXPECT_NE(os.str().find("4/4 PASS"), std::string::npos);
+}
+
+TEST(ShapeCheckTest, FailureIsReported) {
+  ShapeCheck check("fig-test");
+  check.expect_less(5, 2, "impossible");
+  EXPECT_FALSE(check.all_passed());
+  std::ostringstream os;
+  check.print(os);
+  EXPECT_NE(os.str().find("FAIL"), std::string::npos);
+  EXPECT_NE(os.str().find("impossible"), std::string::npos);
+}
+
+TEST(ShapeCheckTest, NearRespectsRelativeTolerance) {
+  ShapeCheck check("fig-test");
+  check.expect_near(100, 115, 0.10, "too far");
+  EXPECT_EQ(check.failures(), 1);
+  check.expect_near(100, 109, 0.10, "close");
+  EXPECT_EQ(check.failures(), 1);
+}
+
+TEST(ShapeCheckTest, RangeBoundsInclusive) {
+  ShapeCheck check("fig-test");
+  check.expect_in_range(0, 0, 10, "lower edge");
+  check.expect_in_range(10, 0, 10, "upper edge");
+  EXPECT_TRUE(check.all_passed());
+}
+
+}  // namespace
+}  // namespace cdnsim::util
