@@ -94,11 +94,26 @@ int main(int argc, char** argv) {
             << ablated.peak_per_second / paper.peak_per_second << "\n";
 
   // Also confirm the end-to-end engine with the paper rule stays consistent
-  // (regression guard for the mechanism under ablation).
+  // (regression guard for the mechanism under ablation) — one self-adaptive
+  // run per Section 5 infrastructure, batched over --jobs threads.
   auto eval = bench::evaluation_setup(flags, 120);
-  auto ec = bench::section5_config(consistency::UpdateMethod::kSelfAdaptive,
-                                   consistency::InfrastructureKind::kUnicast);
-  const auto r = core::run_simulation(*eval.scenario.nodes, eval.game, ec);
+  std::vector<core::BatchJob> jobs;
+  for (auto infra : {consistency::InfrastructureKind::kUnicast,
+                     consistency::InfrastructureKind::kHybridSupernode}) {
+    core::BatchJob job;
+    job.shared_nodes = eval.scenario.nodes.get();
+    job.shared_trace = &eval.game;
+    job.engine =
+        bench::section5_config(consistency::UpdateMethod::kSelfAdaptive, infra);
+    job.label = infra == consistency::InfrastructureKind::kUnicast
+                    ? "self-adaptive/unicast"
+                    : "HAT/supernode";
+    jobs.push_back(std::move(job));
+  }
+  const core::BatchRunner runner({.threads = flags.jobs()});
+  const auto batch = bench::run_batch_reported(runner, jobs);
+  const auto& r = batch[0].sim;
+  const auto& hat = batch[1].sim;
 
   util::ShapeCheck check("abl-selfadaptive-switch");
   check.expect_greater(ablated.peak_per_second, 3.0 * paper.peak_per_second,
@@ -108,5 +123,7 @@ int main(int argc, char** argv) {
                     "visit-spread resumption keeps per-second arrivals low");
   check.expect_less(r.avg_server_inconsistency_s, 60.0,
                     "engine's self-adaptive servers stay within one TTL");
+  check.expect_less(hat.avg_server_inconsistency_s, 60.0,
+                    "HAT servers stay within one TTL too");
   return bench::finish(check);
 }

@@ -9,13 +9,17 @@
 // `for b in build/bench/*; do $b; done` doubles as a reproduction report.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "core/batch_runner.hpp"
 #include "util/cdf.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cdnsim::bench {
 
@@ -23,18 +27,32 @@ namespace cdnsim::bench {
 class Flags {
  public:
   Flags(int argc, char** argv) {
-    for (int i = 1; i + 1 < argc; i += 2) {
-      std::string key = argv[i];
-      if (key.rfind("--", 0) == 0) key = key.substr(2);
-      values_.emplace_back(key, argv[i + 1]);
-    }
     for (int i = 1; i < argc; ++i) {
-      if (std::string(argv[i]) == "--small") small_ = true;
+      const std::string key = argv[i];
+      if (key == "--small") {  // boolean: consumes no value
+        small_ = true;
+        continue;
+      }
+      if (key.rfind("--", 0) == 0 && i + 1 < argc) {
+        values_.emplace_back(key.substr(2), argv[i + 1]);
+        ++i;
+      }
     }
   }
 
   /// True when invoked with --small (used by CI-style quick runs).
   bool small() const { return small_; }
+
+  /// `--jobs N`: worker threads for batch execution. N = 0 selects the
+  /// hardware concurrency; the default is 1 (serial), so timing baselines
+  /// stay comparable. Results are identical for every N — the batch runner
+  /// derives each job's RNG stream from its submission index, not from
+  /// scheduling.
+  std::size_t jobs() const {
+    const std::int64_t n = get_int("jobs", 1);
+    if (n <= 0) return util::ThreadPool::hardware_threads();
+    return static_cast<std::size_t>(n);
+  }
 
   double get(const std::string& key, double fallback) const {
     for (const auto& [k, v] : values_) {
@@ -67,6 +85,54 @@ inline void print_cdf(const std::string& name, const util::Cdf& cdf,
     table.add_row(std::vector<double>{p.x, p.cdf}, 3);
   }
   table.print(std::cout);
+}
+
+/// Wall-clock stopwatch for batch speedup reporting.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Runs a batch, aborts loudly if any job failed, and prints the per-job and
+/// aggregate wall-clock report: `speedup` is (sum of per-job wall clocks) /
+/// (batch wall clock), i.e. how much the pool beat a serial loop of the same
+/// jobs on this host.
+inline std::vector<core::BatchResult> run_batch_reported(
+    const core::BatchRunner& runner, const std::vector<core::BatchJob>& jobs,
+    bool per_job_table = false) {
+  const WallTimer timer;
+  auto results = runner.run(jobs);
+  const double batch_wall = timer.seconds();
+  double serial_wall = 0;
+  for (const auto& r : results) {
+    if (!r.ok()) {
+      std::cerr << "batch job '" << r.label << "' failed: " << r.error << "\n";
+      std::exit(2);
+    }
+    serial_wall += r.wall_s;
+  }
+  if (per_job_table) {
+    util::TextTable table({"job", "wall_s"});
+    for (const auto& r : results) {
+      table.add_row(
+          std::vector<std::string>{r.label, util::format_double(r.wall_s, 3)});
+    }
+    table.print(std::cout);
+  }
+  std::cout << "batch: " << jobs.size() << " jobs on " << runner.threads()
+            << " thread(s): " << util::format_double(batch_wall, 2)
+            << " s wall (sum of jobs " << util::format_double(serial_wall, 2)
+            << " s, speedup " << util::format_double(serial_wall / batch_wall, 2)
+            << "x)\n";
+  return results;
 }
 
 /// Prints the check block and returns the process exit code.

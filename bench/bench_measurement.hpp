@@ -18,6 +18,9 @@ inline core::MeasurementConfig measurement_config(const Flags& flags,
   cfg.days = static_cast<std::size_t>(
       flags.get_int("days", static_cast<std::int64_t>(default_days)));
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  // --jobs N parallelises the per-day simulations (identical results for
+  // every N; see core::MeasurementConfig::threads).
+  cfg.threads = flags.jobs();
   if (flags.small()) {
     cfg.scenario.server_count = 120;
     cfg.days = 2;

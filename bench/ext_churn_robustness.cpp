@@ -43,45 +43,46 @@ int main(int argc, char** argv) {
   std::vector<double> churn_rates{0.0, 60.0, 240.0, 960.0};
   if (flags.small()) churn_rates = {0.0, 240.0};
 
+  // One job per (rate, system) grid point, all sharing the scenario and the
+  // trace read-only; the batch runner spreads them over --jobs threads.
+  std::vector<core::BatchJob> jobs;
+  jobs.reserve(churn_rates.size() * systems.size());
+  for (double rate : churn_rates) {
+    for (const auto& system : systems) {
+      core::BatchJob job;
+      job.shared_nodes = eval.scenario.nodes.get();
+      job.shared_trace = &eval.game;
+      job.engine = bench::section4_config(system.method, system.infra);
+      job.engine.churn.failures_per_hour = rate;
+      job.engine.churn.downtime_mean_s = downtime;
+      job.engine.churn.repair_enabled = system.repair;
+      job.engine.tail_s = 600.0;
+      job.label = std::string(system.name) + "@" + std::to_string(rate);
+      jobs.push_back(std::move(job));
+    }
+  }
+  const core::BatchRunner runner({.threads = flags.jobs()});
+  const auto results = bench::run_batch_reported(runner, jobs);
+
   // inconsistency[system][rate]
   std::vector<std::vector<double>> inconsistency(systems.size());
   std::vector<std::vector<double>> maintenance(systems.size());
 
+  std::size_t job_index = 0;
   for (double rate : churn_rates) {
     std::cout << "\n--- churn rate " << rate << " failures/hour (downtime ~"
               << downtime << " s) ---\n";
     util::TextTable table({"system", "avg_inconsistency_s", "failures",
                            "light_msgs", "converged_frac"});
     for (std::size_t i = 0; i < systems.size(); ++i) {
-      auto ec = bench::section4_config(systems[i].method, systems[i].infra);
-      ec.churn.failures_per_hour = rate;
-      ec.churn.downtime_mean_s = downtime;
-      ec.churn.repair_enabled = systems[i].repair;
-      ec.tail_s = 600.0;
-
-      sim::Simulator simulator;
-      consistency::UpdateEngine engine(simulator, *eval.scenario.nodes,
-                                       eval.game, ec);
-      engine.run();
-
-      const auto inc = engine.server_avg_inconsistency();
-      double converged = 0;
-      for (topology::NodeId s = 0;
-           s < static_cast<topology::NodeId>(inc.size()); ++s) {
-        if (engine.recorder(s).current_version() == eval.game.update_count()) {
-          converged += 1;
-        }
-      }
-      converged /= static_cast<double>(inc.size());
-      const double avg = util::mean(inc);
-      inconsistency[i].push_back(avg);
-      maintenance[i].push_back(
-          static_cast<double>(engine.meter().totals().light_messages));
+      const auto& r = results[job_index++].sim;
+      inconsistency[i].push_back(r.avg_server_inconsistency_s);
+      maintenance[i].push_back(static_cast<double>(r.traffic.light_messages));
       table.add_row(std::vector<std::string>{
-          systems[i].name, util::format_double(avg, 3),
-          std::to_string(engine.failures_injected()),
-          std::to_string(engine.meter().totals().light_messages),
-          util::format_double(converged, 3)});
+          systems[i].name, util::format_double(r.avg_server_inconsistency_s, 3),
+          std::to_string(r.failures_injected),
+          std::to_string(r.traffic.light_messages),
+          util::format_double(r.converged_server_fraction, 3)});
     }
     table.print(std::cout);
   }

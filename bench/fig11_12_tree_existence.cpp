@@ -16,7 +16,12 @@ int main(int argc, char** argv) {
   bench::banner("Figures 11-12: is there a multicast update tree?");
 
   const auto cfg = bench::measurement_config(flags);
+  const bench::WallTimer timer;
   const auto results = core::run_measurement_study(cfg);
+  std::cout << "study: " << cfg.days << " day(s) on "
+            << (cfg.threads == 0 ? "all" : std::to_string(cfg.threads))
+            << " thread(s): " << util::format_double(timer.seconds(), 2)
+            << " s wall\n";
   const std::size_t days = results.daily_cluster_avg.size();
 
   std::cout << "\n--- Fig 11(a): per-cluster min/max of daily averages ---\n";

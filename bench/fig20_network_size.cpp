@@ -5,6 +5,10 @@
 //  (b) multicast: TTL now grows fastest — more servers deepen the tree and
 //      inconsistency is proportional to depth with an amplification factor
 //      in [0, TTL].
+//
+// The sweep is the repo's heaviest grid (10 scenario sizes x methods), so it
+// submits through core::BatchRunner: pass --jobs N (0 = all cores) to run
+// the grid in parallel; the numbers are identical for every N.
 #include "bench_evaluation.hpp"
 #include "util/stats.hpp"
 
@@ -26,34 +30,61 @@ int main(int argc, char** argv) {
 
   const UpdateMethod methods[3] = {UpdateMethod::kPush, UpdateMethod::kInvalidation,
                                    UpdateMethod::kTtl};
+  const InfrastructureKind infras[2] = {InfrastructureKind::kUnicast,
+                                        InfrastructureKind::kMulticastTree};
 
   util::Rng trace_rng(7);
   trace::GameTraceConfig game_cfg;
   game_cfg.bursty = false;  // Section 4's individually-delivered updates
   const auto game = trace::generate_game_trace(game_cfg, trace_rng);
 
+  // Scenarios are built once per size and shared read-only across the grid.
+  std::vector<core::Scenario> scenarios;
+  scenarios.reserve(sizes.size());
+  for (std::size_t n : sizes) {
+    core::ScenarioConfig sc;
+    sc.server_count = n;
+    sc.seed = 42;
+    scenarios.push_back(core::build_scenario(sc));
+  }
+
+  // One job per (infrastructure, size, method) grid point.
+  std::vector<core::BatchJob> jobs;
+  jobs.reserve(2 * sizes.size() * 3);
+  for (auto infra : infras) {
+    for (std::size_t si = 0; si < sizes.size(); ++si) {
+      for (int m = 0; m < 3; ++m) {
+        core::BatchJob job;
+        job.shared_nodes = scenarios[si].nodes.get();
+        job.shared_trace = &game;
+        job.engine = bench::section4_config(methods[m], infra);
+        job.engine.update_packet_kb = packet_kb;
+        job.engine.provider_uplink_kbps = uplink_kbps;
+        job.engine.server_uplink_kbps = uplink_kbps;
+        job.label = std::string(infra == InfrastructureKind::kUnicast
+                                    ? "unicast/"
+                                    : "multicast/") +
+                    std::to_string(sizes[si]) + "/" +
+                    std::string(to_string(methods[m]));
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
+
+  const core::BatchRunner runner({.threads = flags.jobs()});
+  const auto results = bench::run_batch_reported(runner, jobs, true);
+
   double grow[2][3];
-  int infra_idx = 0;
-  for (auto infra : {InfrastructureKind::kUnicast,
-                     InfrastructureKind::kMulticastTree}) {
+  std::size_t job_index = 0;
+  for (int infra_idx = 0; infra_idx < 2; ++infra_idx) {
     std::cout << "\n--- ("
-              << (infra == InfrastructureKind::kUnicast ? "a) unicast"
-                                                        : "b) multicast")
-              << " ---\n";
+              << (infra_idx == 0 ? "a) unicast" : "b) multicast") << " ---\n";
     util::TextTable table({"servers", "Push_s", "Invalidation_s", "TTL_s"});
     std::vector<std::vector<double>> by_method(3);
     for (std::size_t n : sizes) {
-      core::ScenarioConfig sc;
-      sc.server_count = n;
-      sc.seed = 42;
-      const auto scenario = core::build_scenario(sc);
       std::vector<double> row{static_cast<double>(n)};
       for (int m = 0; m < 3; ++m) {
-        auto ec = bench::section4_config(methods[m], infra);
-        ec.update_packet_kb = packet_kb;
-        ec.provider_uplink_kbps = uplink_kbps;
-        ec.server_uplink_kbps = uplink_kbps;
-        const auto r = core::run_simulation(*scenario.nodes, game, ec);
+        const auto& r = results[job_index++].sim;
         row.push_back(r.avg_server_inconsistency_s);
         by_method[m].push_back(r.avg_server_inconsistency_s);
       }
@@ -63,7 +94,6 @@ int main(int argc, char** argv) {
     for (int m = 0; m < 3; ++m) {
       grow[infra_idx][m] = by_method[m].back() - by_method[m].front();
     }
-    ++infra_idx;
   }
 
   util::ShapeCheck check("fig20");

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the standard build + full test suite, then the
+# concurrency layer (thread pool + batch runner) rebuilt and re-run under
+# ThreadSanitizer. Run from the repository root.
+#
+#   scripts/tier1.sh            # both stages
+#   scripts/tier1.sh --no-tsan  # standard stage only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_tsan=1
+if [[ "${1:-}" == "--no-tsan" ]]; then
+  run_tsan=0
+fi
+
+echo "== tier-1: standard build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+if [[ "${run_tsan}" == "1" ]]; then
+  echo
+  echo "== tier-1: thread pool + batch runner under ThreadSanitizer =="
+  cmake -B build-tsan -S . -DCDNSIM_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j --target cdnsim_tests
+  ./build-tsan/tests/cdnsim_tests \
+    --gtest_filter='ThreadPool*:BatchRunner*:RngTest.Substream*'
+fi
+
+echo
+echo "tier-1: OK"

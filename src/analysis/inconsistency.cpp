@@ -84,6 +84,48 @@ std::vector<double> server_inconsistency_lengths(
   return out;
 }
 
+std::vector<Interval> server_inconsistency_intervals(
+    const std::vector<trace::Observation>& server_observations,
+    const SnapshotTimeline& timeline) {
+  // beta_s(v): last time this server served version v (as in the lengths).
+  std::map<trace::Version, sim::SimTime> beta;
+  for (const auto& obs : server_observations) {
+    if (!obs.answered) continue;
+    auto& t = beta[obs.version];
+    t = std::max(t, obs.time);
+  }
+  std::vector<Interval> out;
+  out.reserve(beta.size());
+  for (const auto& [v, last_seen] : beta) {
+    const auto superseded = timeline.superseded_at(v);
+    if (!superseded) continue;
+    if (last_seen > *superseded) out.push_back({*superseded, last_seen});
+  }
+  return out;
+}
+
+double merged_total(std::vector<Interval> intervals) {
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.start < b.start || (a.start == b.start && a.end < b.end);
+            });
+  double total = 0;
+  sim::SimTime covered_until = 0;
+  bool open = false;
+  for (const auto& iv : intervals) {
+    if (iv.end <= iv.start) continue;  // empty
+    if (!open || iv.start > covered_until) {
+      total += iv.end - iv.start;
+      covered_until = iv.end;
+      open = true;
+    } else if (iv.end > covered_until) {
+      total += iv.end - covered_until;
+      covered_until = iv.end;
+    }
+  }
+  return total;
+}
+
 double consistency_ratio(const std::vector<trace::Observation>& server_observations,
                          const SnapshotTimeline& timeline, sim::SimTime total_time) {
   CDNSIM_EXPECTS(total_time > 0, "total trace time must be positive");

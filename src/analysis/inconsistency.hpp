@@ -59,6 +59,27 @@ std::vector<double> server_inconsistency_lengths(
 double consistency_ratio(const std::vector<trace::Observation>& server_observations,
                          const SnapshotTimeline& timeline, sim::SimTime total_time);
 
+/// A half-open time interval [start, end); empty when end <= start.
+struct Interval {
+  sim::SimTime start = 0;
+  sim::SimTime end = 0;
+};
+
+/// One server's per-snapshot inconsistency *intervals*:
+/// [alpha(C_{i+1}), beta_s(Ci)) for every snapshot served past its
+/// supersession. The per-snapshot lengths of server_inconsistency_lengths
+/// are exactly these intervals' lengths; unlike the summed lengths the
+/// intervals can be merged into a union, which bounds true stale time (a
+/// laggard that skips versions double-counts overlapping supersessions in
+/// the sum, never in the union).
+std::vector<Interval> server_inconsistency_intervals(
+    const std::vector<trace::Observation>& server_observations,
+    const SnapshotTimeline& timeline);
+
+/// Total measure of the union of (possibly overlapping, unordered)
+/// intervals. Order-independent by construction; empty intervals count 0.
+double merged_total(std::vector<Interval> intervals);
+
 /// Fraction of servers serving outdated content at time t (Fig. 4b is its
 /// average over all polling rounds of a day).
 double inconsistent_server_fraction(const trace::PollLog& log,

@@ -1,0 +1,72 @@
+#include "core/batch_runner.hpp"
+
+#include <chrono>
+#include <exception>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cdnsim::core {
+
+BatchRunner::BatchRunner(BatchOptions options)
+    : threads_(options.threads == 0 ? util::ThreadPool::hardware_threads()
+                                    : options.threads),
+      master_seed_(options.master_seed) {}
+
+BatchResult BatchRunner::run_job(const BatchJob& job, std::uint64_t master_seed,
+                                 std::size_t job_index) {
+  BatchResult out;
+  out.label = job.label;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    CDNSIM_EXPECTS(job.scenario.has_value() != (job.shared_nodes != nullptr),
+                   "job needs exactly one of scenario / shared_nodes");
+    CDNSIM_EXPECTS(job.game.has_value() != (job.shared_trace != nullptr),
+                   "job needs exactly one of game / shared_trace");
+
+    Scenario built;
+    const topology::NodeRegistry* nodes = job.shared_nodes;
+    if (job.scenario) {
+      built = build_scenario(*job.scenario);
+      nodes = built.nodes.get();
+    }
+
+    trace::UpdateTrace generated;
+    const trace::UpdateTrace* updates = job.shared_trace;
+    if (job.game) {
+      util::Rng trace_rng(util::substream_seed(master_seed, job_index));
+      generated = trace::generate_game_trace(*job.game, trace_rng);
+      updates = &generated;
+    }
+
+    out.sim = run_simulation(*nodes, *updates, job.engine, job.absences);
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  } catch (...) {
+    out.error = "unknown exception";
+  }
+  out.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return out;
+}
+
+std::vector<BatchResult> BatchRunner::run(
+    const std::vector<BatchJob>& jobs) const {
+  std::vector<BatchResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  // Each task writes only its own pre-allocated slot, so completion order is
+  // irrelevant and no synchronisation beyond the pool's join is needed.
+  util::ThreadPool pool(threads_);
+  const std::uint64_t master = master_seed_;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    pool.submit([&jobs, &results, master, i] {
+      results[i] = run_job(jobs[i], master, i);
+    });
+  }
+  pool.wait_idle();
+  return results;
+}
+
+}  // namespace cdnsim::core

@@ -1,12 +1,14 @@
 #include "core/measurement_study.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <unordered_map>
 
 #include "analysis/user_metrics.hpp"
 #include "cdn/provider.hpp"
 #include "net/latency_model.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cdnsim::core {
 
@@ -33,6 +35,31 @@ consistency::EngineConfig day_engine_config(const MeasurementConfig& cfg,
   ec.seed = day_seed;
   return ec;
 }
+
+/// Everything one day needs to simulate, derived serially (fork() consumes
+/// generator state, so derivation order is part of the seed contract and
+/// must not depend on the thread count).
+struct DayInput {
+  trace::UpdateTrace game;
+  consistency::EngineConfig ec;
+  std::vector<trace::AbsenceSchedule> absences;
+};
+
+/// Everything one day contributes to the study, in the exact order the
+/// serial loop used to accumulate it, so the merge is bit-identical.
+struct DayOutput {
+  std::vector<double> day_server_avg;
+  std::vector<double> day_server_max;
+  std::vector<double> cluster_avg;
+  double inconsistent_fraction = 0;
+  std::vector<double> request_lengths;  // per-server order, as pooled
+  std::vector<double> server_day_sum;   // per server
+  std::vector<double> inner_cluster_lengths;
+  std::vector<std::vector<double>> intra_by_cluster;  // [isp cluster]
+  std::vector<std::vector<double>> inter_by_cluster;
+  std::vector<analysis::AbsenceEvent> absence_events;
+  double observed_time = 0;
+};
 
 ClusterPercentiles percentiles_of(const std::vector<double>& xs) {
   ClusterPercentiles p;
@@ -88,25 +115,33 @@ MeasurementResults run_measurement_study(const MeasurementConfig& config) {
 
   double request_sum = 0;
 
+  // Phase 1 (serial): derive every day's inputs in day order.
   util::Rng day_rng = rng.fork(0xda7);
+  std::vector<DayInput> day_inputs;
+  day_inputs.reserve(config.days);
   for (std::size_t day = 0; day < config.days; ++day) {
     util::Rng game_rng = day_rng.fork(day);
-    const trace::UpdateTrace game = trace::generate_game_trace(config.game, game_rng);
-    const consistency::EngineConfig ec =
-        day_engine_config(config, game_rng.fork(1).seed());
-
-    const sim::SimTime horizon = ec.trace_offset_s + game.duration() + ec.tail_s;
-    std::vector<trace::AbsenceSchedule> absences;
-    absences.reserve(n);
+    DayInput in;
+    in.game = trace::generate_game_trace(config.game, game_rng);
+    in.ec = day_engine_config(config, game_rng.fork(1).seed());
+    const sim::SimTime horizon = in.ec.trace_offset_s + in.game.duration() +
+                                 in.ec.tail_s;
     util::Rng absence_rng = game_rng.fork(2);
+    in.absences.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-      absences.push_back(
+      in.absences.push_back(
           trace::generate_absences(config.absence, horizon, absence_rng));
     }
+    day_inputs.push_back(std::move(in));
+  }
 
+  // Phase 2 (parallelisable): each day simulates and analyses in isolation —
+  // only its own DayInput plus the read-only study context.
+  auto run_day = [&](DayInput& in) -> DayOutput {
+    DayOutput out;
     sim::Simulator simulator;
-    consistency::UpdateEngine engine(simulator, nodes, game, ec,
-                                     std::move(absences));
+    consistency::UpdateEngine engine(simulator, nodes, in.game, in.ec,
+                                     std::move(in.absences));
     engine.run();
 
     // Inject per-server clock skew and remove it with the probe estimates —
@@ -121,8 +156,9 @@ MeasurementResults run_measurement_study(const MeasurementConfig& config) {
       by_server[obs.server].push_back(obs);
     }
 
-    std::vector<double> day_server_avg(n, 0.0);
-    std::vector<double> day_server_max(n, 0.0);
+    out.day_server_avg.assign(n, 0.0);
+    out.day_server_max.assign(n, 0.0);
+    out.server_day_sum.assign(n, 0.0);
     for (std::size_t i = 0; i < n; ++i) {
       const auto it = by_server.find(static_cast<net::NodeId>(i));
       if (it == by_server.end()) continue;
@@ -132,38 +168,32 @@ MeasurementResults run_measurement_study(const MeasurementConfig& config) {
       for (double len : lengths) {
         sum += len;
         mx = std::max(mx, len);
-        results.request_inconsistency.push_back(len);
-        request_sum += len;
+        out.request_lengths.push_back(len);
       }
-      server_total_inconsistency[i] += sum;
-      day_server_avg[i] =
+      out.server_day_sum[i] = sum;
+      out.day_server_avg[i] =
           lengths.empty() ? 0.0 : sum / static_cast<double>(lengths.size());
-      day_server_max[i] = mx;
+      out.day_server_max[i] = mx;
     }
-    results.daily_server_avg.push_back(day_server_avg);
-    results.daily_server_max.push_back(std::move(day_server_max));
 
     // Per-geo-cluster averages for the tree-existence statistics.
-    std::vector<double> cluster_avg;
-    cluster_avg.reserve(results.geo_clusters.cluster_count());
+    out.cluster_avg.reserve(results.geo_clusters.cluster_count());
     for (const auto& members : results.geo_clusters.members) {
       double sum = 0;
       std::size_t count = 0;
       for (net::NodeId s : members) {
-        sum += day_server_avg[static_cast<std::size_t>(s)];
+        sum += out.day_server_avg[static_cast<std::size_t>(s)];
         ++count;
       }
-      cluster_avg.push_back(count == 0 ? 0.0 : sum / static_cast<double>(count));
+      out.cluster_avg.push_back(count == 0 ? 0.0
+                                           : sum / static_cast<double>(count));
     }
-    results.daily_cluster_avg.push_back(std::move(cluster_avg));
 
     // Fig. 4(b): fraction of servers with superseded content per round.
-    const sim::SimTime window_start = ec.trace_offset_s;
-    const sim::SimTime window_end = ec.trace_offset_s + game.duration();
-    results.daily_inconsistent_server_fraction.push_back(
-        analysis::average_inconsistent_server_fraction(
-            corrected, timeline, window_start, window_end,
-            config.observer_period_s));
+    const sim::SimTime window_start = in.ec.trace_offset_s;
+    const sim::SimTime window_end = in.ec.trace_offset_s + in.game.duration();
+    out.inconsistent_fraction = analysis::average_inconsistent_server_fraction(
+        corrected, timeline, window_start, window_end, config.observer_period_s);
 
     // Inner-cluster lengths with cluster-local alpha (Fig. 5).
     for (const auto& members : results.geo_clusters.members) {
@@ -179,13 +209,15 @@ MeasurementResults run_measurement_study(const MeasurementConfig& config) {
         const auto it = by_server.find(s);
         if (it == by_server.end()) continue;
         for (double len : analysis::server_inconsistency_lengths(it->second, local)) {
-          if (len > 0) results.inner_cluster_inconsistency.push_back(len);
+          if (len > 0) out.inner_cluster_lengths.push_back(len);
         }
       }
     }
 
     // ISP analysis (Fig. 9): intra uses the cluster-local alpha, inter uses
     // the earliest appearance among all *other* clusters.
+    out.intra_by_cluster.resize(isp_count);
+    out.inter_by_cluster.resize(isp_count);
     for (std::size_t c = 0; c < isp_count; ++c) {
       const auto& members = results.isp_clusters.members[c];
       trace::PollLog cluster_log;
@@ -201,22 +233,81 @@ MeasurementResults run_measurement_study(const MeasurementConfig& config) {
         const auto it = by_server.find(s);
         if (it == by_server.end()) continue;
         for (double len : analysis::server_inconsistency_lengths(it->second, local)) {
-          intra_by_cluster[c].push_back(len);
-          results.intra_isp_inconsistency.push_back(len);
+          out.intra_by_cluster[c].push_back(len);
         }
         for (double len : analysis::server_inconsistency_lengths(it->second, other)) {
-          inter_by_cluster[c].push_back(len);
+          out.inter_by_cluster[c].push_back(len);
         }
       }
     }
 
     // Absence events (Fig. 10).
-    auto events =
+    out.absence_events =
         analysis::extract_absences(corrected, timeline, config.observer_period_s);
-    results.absence_events.insert(results.absence_events.end(), events.begin(),
-                                  events.end());
 
-    total_observed_time += window_end - window_start;
+    out.observed_time = window_end - window_start;
+    return out;
+  };
+
+  std::vector<DayOutput> day_outputs(config.days);
+  std::vector<std::exception_ptr> day_errors(config.days);
+  const std::size_t threads = config.threads == 0
+                                  ? util::ThreadPool::hardware_threads()
+                                  : config.threads;
+  if (threads <= 1 || config.days <= 1) {
+    for (std::size_t d = 0; d < config.days; ++d) {
+      day_outputs[d] = run_day(day_inputs[d]);
+    }
+  } else {
+    util::ThreadPool pool(std::min(threads, config.days));
+    for (std::size_t d = 0; d < config.days; ++d) {
+      pool.submit([&, d] {
+        try {
+          day_outputs[d] = run_day(day_inputs[d]);
+        } catch (...) {
+          day_errors[d] = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+    for (auto& err : day_errors) {
+      if (err) std::rethrow_exception(err);
+    }
+  }
+
+  // Phase 3 (serial): merge in day order, with the same per-element
+  // accumulation order as the old serial loop — results are bit-identical
+  // for any thread count.
+  for (std::size_t day = 0; day < config.days; ++day) {
+    DayOutput& out = day_outputs[day];
+    for (double len : out.request_lengths) {
+      results.request_inconsistency.push_back(len);
+      request_sum += len;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      server_total_inconsistency[i] += out.server_day_sum[i];
+    }
+    results.daily_server_avg.push_back(std::move(out.day_server_avg));
+    results.daily_server_max.push_back(std::move(out.day_server_max));
+    results.daily_cluster_avg.push_back(std::move(out.cluster_avg));
+    results.daily_inconsistent_server_fraction.push_back(
+        out.inconsistent_fraction);
+    for (double len : out.inner_cluster_lengths) {
+      results.inner_cluster_inconsistency.push_back(len);
+    }
+    for (std::size_t c = 0; c < isp_count; ++c) {
+      for (double len : out.intra_by_cluster[c]) {
+        intra_by_cluster[c].push_back(len);
+        results.intra_isp_inconsistency.push_back(len);
+      }
+      for (double len : out.inter_by_cluster[c]) {
+        inter_by_cluster[c].push_back(len);
+      }
+    }
+    results.absence_events.insert(results.absence_events.end(),
+                                  out.absence_events.begin(),
+                                  out.absence_events.end());
+    total_observed_time += out.observed_time;
   }
 
   // Fig. 8: distance rings -> average consistency ratio.

@@ -47,6 +47,11 @@ struct MeasurementConfig {
   double provider_uplink_kbps = 12500.0;  // 100 Mbit/s
   double server_uplink_kbps = 12500.0;
   std::uint64_t seed = 7;
+  /// Worker threads for the per-day simulations (0 = hardware concurrency,
+  /// 1 = serial). Results are identical for every value: day inputs are
+  /// derived serially up front, each day simulates and analyses in
+  /// isolation, and outputs merge in day order.
+  std::size_t threads = 1;
 };
 
 struct ClusterPercentiles {

@@ -25,6 +25,15 @@ struct Scenario {
 
 /// Places `server_count` servers on world sites, assigns ISPs, and returns
 /// the registry. Deterministic in the seed.
+///
+/// Thread safety: safe to call concurrently from any number of threads. All
+/// state is local to the call — the RNG is constructed from `config.seed`
+/// and the only shared data touched is the world-site table, a const
+/// function-local static (thread-safe initialisation, read-only ever after).
+/// The returned Scenario is exclusively owned; a *built* NodeRegistry may be
+/// shared read-only across concurrently running simulations (the batch
+/// runner's `shared_nodes` mode relies on this), but concurrent mutation is
+/// not supported.
 Scenario build_scenario(const ScenarioConfig& config);
 
 }  // namespace cdnsim::core

@@ -26,6 +26,16 @@ SimulationResult run_simulation(const topology::NodeRegistry& nodes,
       engine.user_observed_inconsistency_fraction();
   result.events_processed = simulator.events_processed();
   result.simulated_time_s = simulator.now();
+  result.failures_injected = engine.failures_injected();
+  const auto n = static_cast<topology::NodeId>(nodes.server_count());
+  std::size_t converged = 0;
+  for (topology::NodeId s = 0; s < n; ++s) {
+    if (engine.recorder(s).current_version() == updates.update_count()) {
+      ++converged;
+    }
+  }
+  result.converged_server_fraction =
+      n == 0 ? 0.0 : static_cast<double>(converged) / static_cast<double>(n);
   return result;
 }
 

@@ -36,6 +36,13 @@ struct SimulationResult {
   double user_observed_inconsistency_fraction = 0;
   std::uint64_t events_processed = 0;
   sim::SimTime simulated_time_s = 0;
+
+  // Churn outcomes (trivial when churn is disabled: 0 failures, fraction 1
+  // whenever every server holds the final version).
+  std::size_t failures_injected = 0;
+  /// Fraction of servers whose replica ended the run at the trace's final
+  /// version (the convergence measure of the churn-robustness experiments).
+  double converged_server_fraction = 0;
 };
 
 /// Runs one trace through one engine configuration on the given CDN.

@@ -50,6 +50,14 @@ struct GameTraceConfig {
 };
 
 /// One game's update trace starting at t=0.
+///
+/// Thread safety: the generators keep no state of their own — every draw
+/// comes from the caller-supplied `rng` and everything else is call-local,
+/// so concurrent calls are safe as long as each thread passes its own Rng
+/// (an Rng is not synchronised; never share one across threads). The batch
+/// runner derives a per-job Rng via util::substream_seed for exactly this
+/// reason. A generated UpdateTrace is immutable and freely shareable across
+/// threads.
 UpdateTrace generate_game_trace(const GameTraceConfig& config, util::Rng& rng);
 
 /// `days` consecutive game days; each game starts at day_index*day_span +

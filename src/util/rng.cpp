@@ -12,6 +12,16 @@ std::uint64_t mix(std::uint64_t x) {
 }
 }  // namespace
 
+std::uint64_t substream_seed(std::uint64_t master, std::uint64_t index) {
+  // Two rounds of the SplitMix64 finalizer over decorrelated halves; the
+  // xor constant separates the substream family from fork()'s derivation.
+  return mix(mix(master ^ 0x853c49e6748fea9bULL) + mix(index));
+}
+
+Rng Rng::substream(std::uint64_t index) const {
+  return Rng(substream_seed(seed_, index));
+}
+
 Rng Rng::fork(std::uint64_t tag) {
   const std::uint64_t child_seed = mix(mix(seed_) ^ mix(tag ^ 0xa5a5a5a5a5a5a5a5ULL));
   // Also advance our own engine so successive forks with the same tag differ.

@@ -15,13 +15,28 @@
 
 namespace cdnsim::util {
 
+/// Stateless substream derivation: the seed of child stream `index` under
+/// `master`. Unlike Rng::fork(), nothing is consumed from any generator, so
+/// every caller — any thread, in any order — derives the same child seed for
+/// the same (master, index) pair. This is the seeding rule of the parallel
+/// batch runner: job k always simulates with substream_seed(master, k), no
+/// matter which worker runs it or when.
+std::uint64_t substream_seed(std::uint64_t master, std::uint64_t index);
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
 
   /// Derive an independent child stream. Children created with distinct tags
-  /// (or successive calls) have uncorrelated sequences.
+  /// (or successive calls) have uncorrelated sequences. Consumes generator
+  /// state: the result depends on every draw and fork made before the call.
   Rng fork(std::uint64_t tag);
+
+  /// Stateless sibling of fork(): child stream `index` derived from this
+  /// generator's *original seed* only. Does not touch the engine, so
+  /// substream(k) is the same stream whenever it is asked for — the property
+  /// parallel executors need. Equivalent to Rng(substream_seed(seed(), k)).
+  Rng substream(std::uint64_t index) const;
 
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi);

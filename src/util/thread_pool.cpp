@@ -1,0 +1,101 @@
+#include "util/thread_pool.hpp"
+
+#include "util/error.hpp"
+
+namespace cdnsim::util {
+
+std::size_t ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+ThreadPool::ThreadPool(std::size_t thread_count) {
+  if (thread_count == 0) thread_count = hardware_threads();
+  workers_.reserve(thread_count);
+  for (std::size_t i = 0; i < thread_count; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(thread_count);
+  for (std::size_t i = 0; i < thread_count; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(Task task) {
+  CDNSIM_EXPECTS(task != nullptr, "submit() requires a callable task");
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    CDNSIM_EXPECTS(!stop_, "submit() on a stopping pool");
+    target = next_worker_;
+    next_worker_ = (next_worker_ + 1) % workers_.size();
+    ++in_flight_;
+    ++work_signal_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+    workers_[target]->tasks.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(control_mutex_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+bool ThreadPool::try_pop(std::size_t owner, Task& out) {
+  Worker& w = *workers_[owner];
+  std::lock_guard<std::mutex> lock(w.mutex);
+  if (w.tasks.empty()) return false;
+  out = std::move(w.tasks.front());
+  w.tasks.pop_front();
+  return true;
+}
+
+bool ThreadPool::try_steal(std::size_t thief, Task& out) {
+  const std::size_t n = workers_.size();
+  for (std::size_t k = 1; k < n; ++k) {
+    Worker& victim = *workers_[(thief + k) % n];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (victim.tasks.empty()) continue;
+    out = std::move(victim.tasks.back());
+    victim.tasks.pop_back();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  std::uint64_t seen_signal = 0;
+  while (true) {
+    Task task;
+    if (try_pop(index, task) || try_steal(index, task)) {
+      task();
+      task = nullptr;  // release captures before accounting the completion
+      std::lock_guard<std::mutex> lock(control_mutex_);
+      if (--in_flight_ == 0) idle_cv_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(control_mutex_);
+    if (stop_) return;
+    if (work_signal_ == seen_signal) {
+      work_cv_.wait(lock,
+                    [&] { return stop_ || work_signal_ != seen_signal; });
+      if (stop_) return;
+    }
+    seen_signal = work_signal_;
+  }
+}
+
+}  // namespace cdnsim::util

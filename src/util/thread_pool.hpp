@@ -1,0 +1,77 @@
+// A small work-stealing thread pool.
+//
+// Each worker owns a deque of tasks; submit() deals tasks round-robin across
+// the workers, a worker pops from the front of its own deque, and an idle
+// worker steals from the back of a victim's deque. This keeps a long batch
+// balanced even when job costs are wildly uneven (a fig20 850-server job next
+// to a 170-server one) without a single contended central queue.
+//
+// Contract:
+//  * tasks must not throw — wrap the body in try/catch and report failures
+//    through your own result channel (core::BatchRunner does exactly this);
+//  * the pool is not reentrant: tasks must not call submit()/wait_idle() on
+//    the pool that runs them;
+//  * destruction drains the queue (equivalent to wait_idle()) before joining.
+//
+// Determinism: the pool itself schedules nondeterministically; determinism is
+// the *caller's* job — give each task an independent input (its own RNG
+// stream, its own output slot) so results do not depend on execution order.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cdnsim::util {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// `thread_count` 0 selects hardware_threads().
+  explicit ThreadPool(std::size_t thread_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; never blocks on task execution.
+  void submit(Task task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency(), never less than 1.
+  static std::size_t hardware_threads();
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  bool try_pop(std::size_t owner, Task& out);
+  bool try_steal(std::size_t thief, Task& out);
+  void worker_loop(std::size_t index);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Sleep/wake and completion accounting.
+  std::mutex control_mutex_;
+  std::condition_variable work_cv_;  // workers wait for work_signal_ bumps
+  std::condition_variable idle_cv_;  // wait_idle() waits for in_flight_ == 0
+  std::uint64_t work_signal_ = 0;
+  std::size_t in_flight_ = 0;  // submitted but not yet finished
+  std::size_t next_worker_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace cdnsim::util

@@ -1,0 +1,265 @@
+// The serial/parallel equivalence suite — the correctness artifact every
+// future scaling PR is validated against.
+//
+// core::BatchRunner promises that parallel execution is *byte-identical* to
+// a plain serial loop: same SimulationResult bits for 1, 2 and 8 threads,
+// for shuffled submission orders, and across consecutive runs, for every
+// update method x infrastructure combination. These tests pin that promise,
+// plus the ordering and exception-safety contracts.
+#include "core/batch_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cdnsim::core {
+namespace {
+
+using consistency::InfrastructureKind;
+using consistency::UpdateMethod;
+
+constexpr std::uint64_t kMasterSeed = 2014;
+
+// Small but non-trivial: every method still exchanges real traffic.
+ScenarioConfig small_scenario() {
+  ScenarioConfig sc;
+  sc.server_count = 12;
+  sc.seed = 9;
+  return sc;
+}
+
+trace::GameTraceConfig small_game() {
+  trace::GameTraceConfig g;
+  g.bursty = false;
+  g.pre_game_s = 30;
+  g.period_s = 300;
+  g.break_s = 120;
+  g.post_game_s = 40;
+  return g;
+}
+
+consistency::EngineConfig engine_for(UpdateMethod m, InfrastructureKind infra) {
+  consistency::EngineConfig ec;
+  ec.method.method = m;
+  ec.method.server_ttl_s = 10.0;
+  ec.infrastructure.kind = infra;
+  ec.infrastructure.cluster_count = 4;
+  ec.users_per_server = 2;
+  ec.user_poll_period_s = 10.0;
+  return ec;
+}
+
+/// One job per update method x infrastructure combination; each generates
+/// its own trace from its submission-index substream.
+std::vector<BatchJob> full_grid() {
+  const UpdateMethod methods[] = {
+      UpdateMethod::kTtl,        UpdateMethod::kPush,
+      UpdateMethod::kInvalidation, UpdateMethod::kAdaptiveTtl,
+      UpdateMethod::kSelfAdaptive, UpdateMethod::kRateAdaptive,
+  };
+  const InfrastructureKind infras[] = {InfrastructureKind::kUnicast,
+                                       InfrastructureKind::kMulticastTree,
+                                       InfrastructureKind::kHybridSupernode};
+  std::vector<BatchJob> jobs;
+  for (auto infra : infras) {
+    for (auto m : methods) {
+      BatchJob job;
+      job.scenario = small_scenario();
+      job.game = small_game();
+      job.engine = engine_for(m, infra);
+      job.label = std::string(to_string(m)) + "/" +
+                  std::string(to_string(infra));
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+void expect_identical(const SimulationResult& a, const SimulationResult& b,
+                      const std::string& context) {
+  SCOPED_TRACE(context);
+  ASSERT_EQ(a.server_inconsistency_s, b.server_inconsistency_s);
+  ASSERT_EQ(a.user_inconsistency_s, b.user_inconsistency_s);
+  ASSERT_EQ(a.per_server_max_user_inconsistency_s,
+            b.per_server_max_user_inconsistency_s);
+  ASSERT_EQ(a.avg_server_inconsistency_s, b.avg_server_inconsistency_s);
+  ASSERT_EQ(a.avg_user_inconsistency_s, b.avg_user_inconsistency_s);
+  ASSERT_EQ(a.traffic.cost_km_kb, b.traffic.cost_km_kb);
+  ASSERT_EQ(a.traffic.load_km_update, b.traffic.load_km_update);
+  ASSERT_EQ(a.traffic.load_km_light, b.traffic.load_km_light);
+  ASSERT_EQ(a.traffic.update_messages, b.traffic.update_messages);
+  ASSERT_EQ(a.traffic.light_messages, b.traffic.light_messages);
+  ASSERT_EQ(a.provider_traffic.cost_km_kb, b.provider_traffic.cost_km_kb);
+  ASSERT_EQ(a.provider_traffic.total_messages(),
+            b.provider_traffic.total_messages());
+  ASSERT_EQ(a.user_observed_inconsistency_fraction,
+            b.user_observed_inconsistency_fraction);
+  ASSERT_EQ(a.events_processed, b.events_processed);
+  ASSERT_EQ(a.simulated_time_s, b.simulated_time_s);
+  ASSERT_EQ(a.failures_injected, b.failures_injected);
+  ASSERT_EQ(a.converged_server_fraction, b.converged_server_fraction);
+}
+
+TEST(BatchRunnerEquivalence, ParallelIsByteIdenticalToSerialLoop) {
+  const auto jobs = full_grid();
+
+  // The reference: a plain serial loop over the same derivation rule.
+  std::vector<BatchResult> serial;
+  serial.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    serial.push_back(BatchRunner::run_job(jobs[i], kMasterSeed, i));
+    ASSERT_TRUE(serial.back().ok()) << serial.back().error;
+    // Sanity: the combination actually simulated something.
+    EXPECT_GT(serial.back().sim.events_processed, 100u) << jobs[i].label;
+  }
+
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    const BatchRunner runner({.threads = threads, .master_seed = kMasterSeed});
+    const auto parallel = runner.run(jobs);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      ASSERT_TRUE(parallel[i].ok()) << parallel[i].error;
+      EXPECT_EQ(parallel[i].label, jobs[i].label);
+      expect_identical(serial[i].sim, parallel[i].sim,
+                       jobs[i].label + " @" + std::to_string(threads) +
+                           " threads");
+    }
+  }
+}
+
+TEST(BatchRunnerEquivalence, ConsecutiveRunsAreIdentical) {
+  const auto jobs = full_grid();
+  const BatchRunner runner({.threads = 8, .master_seed = kMasterSeed});
+  const auto first = runner.run(jobs);
+  const auto second = runner.run(jobs);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    ASSERT_TRUE(first[i].ok() && second[i].ok());
+    expect_identical(first[i].sim, second[i].sim, jobs[i].label);
+  }
+}
+
+TEST(BatchRunnerEquivalence, ShuffledSubmissionFollowsSubmissionOrder) {
+  // Shared-input jobs: the result of a job is independent of its submission
+  // index (no per-job trace generation), so after shuffling the job vector
+  // the result at slot i must be the shuffled job's result — proving results
+  // are keyed to submission order, not completion order.
+  const Scenario scenario = build_scenario(small_scenario());
+  util::Rng trace_rng(kMasterSeed);
+  const auto game = trace::generate_game_trace(small_game(), trace_rng);
+
+  std::vector<BatchJob> jobs;
+  const UpdateMethod methods[] = {
+      UpdateMethod::kTtl,          UpdateMethod::kPush,
+      UpdateMethod::kInvalidation, UpdateMethod::kAdaptiveTtl,
+      UpdateMethod::kSelfAdaptive, UpdateMethod::kRateAdaptive,
+  };
+  for (auto m : methods) {
+    BatchJob job;
+    job.shared_nodes = scenario.nodes.get();
+    job.shared_trace = &game;
+    job.engine = engine_for(m, InfrastructureKind::kUnicast);
+    job.label = std::string(to_string(m));
+    jobs.push_back(std::move(job));
+  }
+
+  const BatchRunner runner({.threads = 4, .master_seed = kMasterSeed});
+  const auto base = runner.run(jobs);
+
+  std::vector<std::size_t> perm(jobs.size());
+  std::iota(perm.begin(), perm.end(), 0u);
+  util::Rng shuffle_rng(3);
+  shuffle_rng.shuffle(perm);
+
+  std::vector<BatchJob> shuffled;
+  for (std::size_t p : perm) shuffled.push_back(jobs[p]);
+  const auto shuffled_results = runner.run(shuffled);
+
+  ASSERT_EQ(shuffled_results.size(), jobs.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    ASSERT_TRUE(shuffled_results[i].ok());
+    EXPECT_EQ(shuffled_results[i].label, jobs[perm[i]].label);
+    expect_identical(base[perm[i]].sim, shuffled_results[i].sim,
+                     "slot " + std::to_string(i) + " <- " +
+                         jobs[perm[i]].label);
+  }
+}
+
+TEST(BatchRunnerEquivalence, SubstreamRuleIsIndexDeterministic) {
+  BatchJob job;
+  job.scenario = small_scenario();
+  job.game = small_game();
+  job.engine = engine_for(UpdateMethod::kTtl, InfrastructureKind::kUnicast);
+
+  const auto a = BatchRunner::run_job(job, kMasterSeed, 3);
+  const auto b = BatchRunner::run_job(job, kMasterSeed, 3);
+  ASSERT_TRUE(a.ok() && b.ok());
+  expect_identical(a.sim, b.sim, "same index");
+
+  // A different index sees a different trace substream.
+  const auto c = BatchRunner::run_job(job, kMasterSeed, 4);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a.sim.events_processed, c.sim.events_processed);
+}
+
+TEST(BatchRunnerErrors, ThrowingJobFailsAloneAndPoolDrains) {
+  std::vector<BatchJob> jobs;
+
+  BatchJob good;
+  good.scenario = small_scenario();
+  good.game = small_game();
+  good.engine = engine_for(UpdateMethod::kPush, InfrastructureKind::kUnicast);
+  good.label = "good-0";
+  jobs.push_back(good);
+
+  BatchJob bad;  // neither a scenario nor shared nodes: precondition throw
+  bad.game = small_game();
+  bad.engine = good.engine;
+  bad.label = "bad";
+  jobs.push_back(std::move(bad));
+
+  good.label = "good-2";
+  jobs.push_back(good);
+
+  const BatchRunner runner({.threads = 2, .master_seed = kMasterSeed});
+  const auto results = runner.run(jobs);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_NE(results[1].error.find("scenario"), std::string::npos)
+      << results[1].error;
+  EXPECT_TRUE(results[2].ok());
+
+  // The failed job did not poison the runner: a fresh batch still works and
+  // the surviving jobs' results are unaffected by the failure next to them.
+  const auto again = runner.run({jobs[0]});
+  ASSERT_EQ(again.size(), 1u);
+  ASSERT_TRUE(again[0].ok());
+  expect_identical(results[0].sim, again[0].sim, "good job rerun");
+}
+
+TEST(BatchRunnerErrors, JobWithTwoTraceSourcesIsRejected) {
+  util::Rng trace_rng(1);
+  const auto game = trace::generate_game_trace(small_game(), trace_rng);
+  BatchJob job;
+  job.scenario = small_scenario();
+  job.game = small_game();
+  job.shared_trace = &game;  // both sources: contract violation
+  job.engine = engine_for(UpdateMethod::kTtl, InfrastructureKind::kUnicast);
+  const auto r = BatchRunner::run_job(job, kMasterSeed, 0);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("game"), std::string::npos) << r.error;
+}
+
+TEST(BatchRunnerOptions, EmptyBatchAndThreadDefaults) {
+  const BatchRunner runner({.threads = 0});
+  EXPECT_GE(runner.threads(), 1u);
+  EXPECT_TRUE(runner.run({}).empty());
+}
+
+}  // namespace
+}  // namespace cdnsim::core

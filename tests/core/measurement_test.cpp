@@ -143,6 +143,44 @@ TEST_F(MeasurementStudyTest, MostServersBelowTtlBound) {
   }
 }
 
+TEST(MeasurementStudyThreads, ParallelStudyIsByteIdenticalToSerial) {
+  // MeasurementConfig::threads promises identical results for every value:
+  // day inputs derive serially, days simulate in isolation, outputs merge in
+  // day order. Compare a serial run against a 4-thread run exactly.
+  MeasurementConfig cfg = small_config();
+  cfg.scenario.server_count = 60;  // keep the double-run cheap
+  cfg.days = 2;
+  cfg.threads = 1;
+  const auto serial = run_measurement_study(cfg);
+  cfg.threads = 4;
+  const auto parallel = run_measurement_study(cfg);
+
+  EXPECT_EQ(serial.request_inconsistency, parallel.request_inconsistency);
+  EXPECT_EQ(serial.daily_inconsistent_server_fraction,
+            parallel.daily_inconsistent_server_fraction);
+  EXPECT_EQ(serial.inner_cluster_inconsistency,
+            parallel.inner_cluster_inconsistency);
+  EXPECT_EQ(serial.provider_request_inconsistency,
+            parallel.provider_request_inconsistency);
+  EXPECT_EQ(serial.intra_isp_inconsistency, parallel.intra_isp_inconsistency);
+  EXPECT_EQ(serial.daily_cluster_avg, parallel.daily_cluster_avg);
+  EXPECT_EQ(serial.daily_server_avg, parallel.daily_server_avg);
+  EXPECT_EQ(serial.daily_server_max, parallel.daily_server_max);
+  EXPECT_EQ(serial.provider_response_times, parallel.provider_response_times);
+  EXPECT_EQ(serial.overall_avg_request_inconsistency,
+            parallel.overall_avg_request_inconsistency);
+  EXPECT_EQ(serial.total_requests, parallel.total_requests);
+  ASSERT_EQ(serial.absence_events.size(), parallel.absence_events.size());
+  for (std::size_t i = 0; i < serial.absence_events.size(); ++i) {
+    EXPECT_EQ(serial.absence_events[i].server,
+              parallel.absence_events[i].server);
+    EXPECT_EQ(serial.absence_events[i].return_time,
+              parallel.absence_events[i].return_time);
+    EXPECT_EQ(serial.absence_events[i].absence_length,
+              parallel.absence_events[i].absence_length);
+  }
+}
+
 TEST(UserPerspectiveTest, RedirectionAndContinuousTimes) {
   UserPerspectiveConfig cfg;
   cfg.base = small_config();

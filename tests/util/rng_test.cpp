@@ -96,6 +96,59 @@ TEST(RngTest, SuccessiveForksWithSameTagDiffer) {
   EXPECT_NE(a.uniform(0, 1), b.uniform(0, 1));
 }
 
+TEST(RngTest, SubstreamIsStatelessAndRepeatable) {
+  Rng parent(100);
+  // Unlike fork(), asking for the same substream twice yields the same
+  // stream, regardless of how much parent state was consumed in between.
+  Rng a = parent.substream(7);
+  for (int i = 0; i < 50; ++i) parent.uniform(0, 1);
+  Rng b = parent.substream(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(RngTest, SubstreamDoesNotPerturbParent) {
+  Rng with(5), without(5);
+  (void)with.substream(1);
+  (void)with.substream(2);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(with.uniform(0, 1), without.uniform(0, 1));
+  }
+}
+
+TEST(RngTest, SubstreamsWithDistinctIndicesDiffer) {
+  Rng parent(100);
+  Rng a = parent.substream(0);
+  Rng b = parent.substream(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0, 1) == b.uniform(0, 1)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, SubstreamMatchesSubstreamSeed) {
+  Rng parent(2014);
+  Rng via_member = parent.substream(3);
+  Rng via_seed(substream_seed(2014, 3));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(via_member.uniform(0, 1), via_seed.uniform(0, 1));
+  }
+}
+
+TEST(RngTest, SubstreamSeedAvoidsTrivialCollisions) {
+  // Nearby (master, index) pairs must not collide — the batch runner maps
+  // job index k of master seed m to substream_seed(m, k).
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t m = 0; m < 20; ++m) {
+    for (std::uint64_t k = 0; k < 20; ++k) {
+      seeds.insert(substream_seed(m, k));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 400u);
+}
+
 TEST(RngTest, PickReturnsElementFromVector) {
   Rng rng(1);
   const std::vector<int> v{10, 20, 30};
