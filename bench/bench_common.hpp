@@ -36,7 +36,12 @@ class Flags {
       if (key.rfind("--", 0) == 0 && i + 1 < argc) {
         values_.emplace_back(key.substr(2), argv[i + 1]);
         ++i;
+        continue;
       }
+      // Older bench invocations passed bare `key value` pairs; those now fall
+      // through to here. Warn instead of silently running with defaults.
+      std::cerr << "warning: ignoring argument '" << key
+                << "' (expected --key value pairs or --small)\n";
     }
   }
 

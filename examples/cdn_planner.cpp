@@ -45,12 +45,17 @@ int main(int argc, char** argv) {
   using namespace cdnsim;
 
   std::size_t jobs = 0;  // 0 = hardware concurrency
-  for (int i = 1; i + 1 < argc; ++i) {
+  for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--jobs") {
+      // std::stoul accepts a leading '-' by wrapping, so reject it explicitly.
+      if (i + 1 >= argc || argv[i + 1][0] == '-') {
+        std::cerr << "usage: cdn_planner [--jobs N]  (N >= 0; 0 = all cores)\n";
+        return 2;
+      }
       try {
-        jobs = std::stoul(argv[i + 1]);
+        jobs = std::stoul(argv[++i]);
       } catch (const std::exception&) {
-        std::cerr << "usage: cdn_planner [--jobs N]\n";
+        std::cerr << "usage: cdn_planner [--jobs N]  (N >= 0; 0 = all cores)\n";
         return 2;
       }
     }

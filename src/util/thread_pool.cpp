@@ -40,11 +40,19 @@ void ThreadPool::submit(Task task) {
     target = next_worker_;
     next_worker_ = (next_worker_ + 1) % workers_.size();
     ++in_flight_;
-    ++work_signal_;
   }
   {
     std::lock_guard<std::mutex> lock(workers_[target]->mutex);
     workers_[target]->tasks.push_back(std::move(task));
+  }
+  // The signal bump must happen after the push: a worker consumes the signal
+  // (seen_signal = work_signal_) and then rescans the deques, so the task has
+  // to be visible by the time the signal is. Bumping first loses the wakeup —
+  // the worker eats the signal against empty deques and sleeps through the
+  // later notify because the wait predicate is already satisfied-and-spent.
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    ++work_signal_;
   }
   work_cv_.notify_one();
 }
