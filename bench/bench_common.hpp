@@ -12,7 +12,9 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -59,6 +61,17 @@ class Flags {
     return static_cast<std::size_t>(n);
   }
 
+  std::string get_str(const std::string& key, const std::string& fallback) const {
+    for (const auto& [k, v] : values_) {
+      if (k == key) return v;
+    }
+    return fallback;
+  }
+
+  /// `--bench-json PATH`: when non-empty, bench binaries append one JSON
+  /// record per benchmark to PATH (see append_bench_record). Empty = off.
+  std::string bench_json() const { return get_str("bench-json", ""); }
+
   double get(const std::string& key, double fallback) const {
     for (const auto& [k, v] : values_) {
       if (k == key) return std::stod(v);
@@ -90,6 +103,39 @@ inline void print_cdf(const std::string& name, const util::Cdf& cdf,
     table.add_row(std::vector<double>{p.x, p.cdf}, 3);
   }
   table.print(std::cout);
+}
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Appends one machine-readable benchmark record to `path` (JSON lines —
+/// one object per line, so successive runs accumulate a history):
+///   {"bench": "...", "config": "...", "wall_s": ..., "items_per_s": ...}
+/// `wall_s` is the wall-clock seconds per iteration (or per whole run for
+/// aggregate records); `items_per_s` is 0 when the bench reports no item
+/// throughput. Used to track before/after numbers for performance PRs.
+inline void append_bench_record(const std::string& path,
+                                const std::string& bench,
+                                const std::string& config, double wall_s,
+                                double items_per_s) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    std::cerr << "warning: cannot open bench-json file '" << path << "'\n";
+    return;
+  }
+  std::ostringstream line;
+  line.precision(12);
+  line << "{\"bench\": \"" << json_escape(bench) << "\", \"config\": \""
+       << json_escape(config) << "\", \"wall_s\": " << wall_s
+       << ", \"items_per_s\": " << items_per_s << "}";
+  out << line.str() << '\n';
 }
 
 /// Wall-clock stopwatch for batch speedup reporting.

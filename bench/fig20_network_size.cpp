@@ -72,7 +72,16 @@ int main(int argc, char** argv) {
   }
 
   const core::BatchRunner runner({.threads = flags.jobs()});
+  const bench::WallTimer grid_timer;
   const auto results = bench::run_batch_reported(runner, jobs, true);
+  if (const std::string bench_json = flags.bench_json(); !bench_json.empty()) {
+    const double wall_s = grid_timer.seconds();
+    const std::string config = (flags.small() ? "small" : "full") + std::string("/jobs=") +
+                               std::to_string(runner.threads());
+    bench::append_bench_record(bench_json, "fig20_network_size/grid", config,
+                               wall_s,
+                               static_cast<double>(jobs.size()) / wall_s);
+  }
 
   double grow[2][3];
   std::size_t job_index = 0;

@@ -4,6 +4,10 @@
 // simulator toward the paper's 3000-server crawl.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "consistency/engine.hpp"
 #include "core/scenario.hpp"
 #include "net/latency_model.hpp"
@@ -41,6 +45,40 @@ void BM_HaversineLatency(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HaversineLatency);
+
+// A primed site set shaped like the engine's: a provider plus ~1000 servers
+// at arbitrary coordinates. The queried pair sits mid-set so the hash path
+// (not a lucky first probe) is what gets measured.
+std::vector<net::GeoPoint> primed_sites() {
+  util::Rng rng(11);
+  std::vector<net::GeoPoint> sites;
+  sites.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    sites.push_back({rng.uniform(-60.0, 60.0), rng.uniform(-180.0, 180.0)});
+  }
+  return sites;
+}
+
+void BM_HaversineLatencyPrimed(benchmark::State& state) {
+  net::LatencyModel model(net::LatencyConfig{});
+  const auto sites = primed_sites();
+  model.prime(sites);
+  const net::GeoPoint a = sites[17];
+  const net::GeoPoint b = sites[911];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.propagation(a, b));
+  }
+}
+BENCHMARK(BM_HaversineLatencyPrimed);
+
+void BM_HaversineLatencyPrimedIndexed(benchmark::State& state) {
+  net::LatencyModel model(net::LatencyConfig{});
+  model.prime(primed_sites());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.propagation_between(17, 911));
+  }
+}
+BENCHMARK(BM_HaversineLatencyPrimedIndexed);
 
 void BM_HilbertNumber(benchmark::State& state) {
   const net::GeoPoint p{48.86, 2.35};
@@ -86,6 +124,68 @@ void BM_EngineGameDay(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineGameDay)->Arg(50)->Arg(170)->Unit(benchmark::kMillisecond);
 
+// Console output as usual, plus one bench-json record per benchmark run.
+class JsonAppendingReporter : public benchmark::ConsoleReporter {
+ public:
+  JsonAppendingReporter(std::string path, std::string config)
+      : path_(std::move(path)), config_(std::move(config)) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double wall_s =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations)
+              : 0.0;
+      double items_per_s = 0.0;
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) items_per_s = static_cast<double>(it->second);
+      bench::append_bench_record(path_, run.benchmark_name(), config_, wall_s,
+                                 items_per_s);
+    }
+  }
+
+ private:
+  std::string path_;
+  std::string config_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() plus our own flags, stripped before benchmark::Initialize
+// so ReportUnrecognizedArguments does not reject them:
+//   --bench-json PATH     append per-benchmark records to PATH (JSON lines)
+//   --bench-config LABEL  config tag stored in each record (default "default")
+int main(int argc, char** argv) {
+  std::string bench_json;
+  std::string config = "default";
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--bench-json" && i + 1 < argc) {
+      bench_json = argv[++i];
+    } else if (arg.rfind("--bench-json=", 0) == 0) {
+      bench_json = arg.substr(std::string("--bench-json=").size());
+    } else if (arg == "--bench-config" && i + 1 < argc) {
+      config = argv[++i];
+    } else if (arg.rfind("--bench-config=", 0) == 0) {
+      config = arg.substr(std::string("--bench-config=").size());
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  if (bench_json.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+  } else {
+    JsonAppendingReporter reporter(std::move(bench_json), std::move(config));
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
+  return 0;
+}

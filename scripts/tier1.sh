@@ -1,18 +1,26 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the standard build + full test suite, then the
 # concurrency layer (thread pool + batch runner) rebuilt and re-run under
-# ThreadSanitizer. Run from the repository root.
+# ThreadSanitizer, then a Release-mode smoke run of the core
+# micro-benchmarks (catches perf-path code that only compiles or only
+# crashes under optimization). Run from the repository root.
 #
-#   scripts/tier1.sh            # both stages
-#   scripts/tier1.sh --no-tsan  # standard stage only
+#   scripts/tier1.sh            # all stages
+#   scripts/tier1.sh --no-tsan  # skip the TSan stage
+#   scripts/tier1.sh --no-perf  # skip the Release perf smoke stage
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_tsan=1
-if [[ "${1:-}" == "--no-tsan" ]]; then
-  run_tsan=0
-fi
+run_perf=1
+for arg in "$@"; do
+  case "${arg}" in
+    --no-tsan) run_tsan=0 ;;
+    --no-perf) run_perf=0 ;;
+    *) echo "unknown argument: ${arg}" >&2; exit 2 ;;
+  esac
+done
 
 echo "== tier-1: standard build + ctest =="
 cmake -B build -S . >/dev/null
@@ -26,6 +34,16 @@ if [[ "${run_tsan}" == "1" ]]; then
   cmake --build build-tsan -j --target cdnsim_tests
   ./build-tsan/tests/cdnsim_tests \
     --gtest_filter='ThreadPool*:BatchRunner*:RngTest.Substream*'
+fi
+
+if [[ "${run_perf}" == "1" ]]; then
+  echo
+  echo "== tier-1: Release perf smoke (micro_core) =="
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build-release -j --target micro_core
+  # Note: the system google-benchmark predates duration suffixes, so the
+  # value must be a plain double (no "s"/"x").
+  ./build-release/bench/micro_core --benchmark_min_time=0.05
 fi
 
 echo

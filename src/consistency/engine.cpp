@@ -110,6 +110,16 @@ UpdateEngine::UpdateEngine(sim::Simulator& simulator,
   provider_ = std::make_unique<cdn::Provider>(*updates_, config_.provider,
                                               rng_.fork(0x9807));
 
+  // Prime the latency model's pairwise propagation cache with the fixed
+  // node-site set: every message the engine sends travels between two of
+  // these points, so the hot path becomes a matrix read instead of a
+  // haversine. Site index = node id + 1 (provider kProviderNode = -1 -> 0).
+  std::vector<net::GeoPoint> sites;
+  sites.reserve(nodes.server_count() + 1);
+  sites.push_back(nodes.location(kProviderNode));
+  for (NodeId id : nodes.server_ids()) sites.push_back(nodes.location(id));
+  if (sites.size() <= net::LatencyModel::kMaxPrimedSites) latency_.prime(sites);
+
   const Version final_version = updates_->update_count();
   servers_.reserve(nodes.server_count());
   for (NodeId id : nodes.server_ids()) {
@@ -141,12 +151,21 @@ const net::GeoPoint& UpdateEngine::location_of(NodeId node) const {
   return nodes_->location(node);
 }
 
+// Primed-site index of a node (see the prime() call in the constructor).
+static std::size_t site_index(NodeId node) {
+  return static_cast<std::size_t>(node + 1);
+}
+
 void UpdateEngine::send(NodeId from, NodeId to, net::MessageKind kind,
                         double size_kb, sim::EventAction on_delivery) {
   const sim::SimTime now = sim_->now();
   const sim::SimTime depart = uplink_of(from).reserve(now, size_kb);
-  const sim::SimTime delay = latency_.one_way(
-      location_of(from), location_of(to), nodes_->crosses_isp(from, to), rng_);
+  const sim::SimTime delay =
+      latency_.primed()
+          ? latency_.one_way_between(site_index(from), site_index(to),
+                                     nodes_->crosses_isp(from, to), rng_)
+          : latency_.one_way(location_of(from), location_of(to),
+                             nodes_->crosses_isp(from, to), rng_);
   meter_.record(kind, from, nodes_->distance_km(from, to), size_kb);
 
   sim::SimTime arrival = depart + delay;
@@ -159,7 +178,7 @@ void UpdateEngine::send(NodeId from, NodeId to, net::MessageKind kind,
       const sim::SimTime available = dest.absence->available_from(arrival);
       if (available > arrival) arrival = available + 0.001;
     }
-    sim_->at(arrival, [this, to, action = std::move(on_delivery)] {
+    sim_->at(arrival, [this, to, action = std::move(on_delivery)]() mutable {
       if (servers_[static_cast<std::size_t>(to)]->departed) return;
       action();
     });

@@ -1,49 +1,224 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+#include <cstring>
+#include <new>
+
 #include "util/error.hpp"
 
 namespace cdnsim::sim {
 
+namespace {
+// Element 0 sits 48 bytes into the 64-byte-aligned allocation, so element 1
+// — the start of the root's child quad — lands exactly on the next line and
+// every deeper quad (4i+1, a multiple of 4 apart) is line-aligned too.
+constexpr std::size_t kHeapPadBytes = 48;
+constexpr std::align_val_t kHeapAlign{64};
+}  // namespace
+
+EventQueue::EntryHeap::~EntryHeap() {
+  if (raw_ != nullptr) ::operator delete(raw_, kHeapAlign);
+}
+
+void EventQueue::EntryHeap::grow() {
+  const std::size_t ncap = cap_ == 0 ? 256 : cap_ * 2;
+  void* nraw = ::operator new(ncap * sizeof(HeapEntry) + kHeapPadBytes,
+                              kHeapAlign);
+  auto* ndata = reinterpret_cast<HeapEntry*>(static_cast<std::byte*>(nraw) +
+                                             kHeapPadBytes);
+  if (size_ > 0) std::memcpy(ndata, data_, size_ * sizeof(HeapEntry));
+  if (raw_ != nullptr) ::operator delete(raw_, kHeapAlign);
+  raw_ = nraw;
+  data_ = ndata;
+  cap_ = ncap;
+}
+
 bool EventHandle::pending() const {
-  return state_ && !state_->cancelled && !state_->fired;
+  return queue_ != nullptr && queue_->slot_live(slot_, seq_);
 }
 
 void EventHandle::cancel() {
-  if (state_) state_->cancelled = true;
+  if (queue_ != nullptr) queue_->cancel_slot(slot_, seq_);
+}
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNpos) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNpos;
+    return slot;
+  }
+  CDNSIM_EXPECTS(slots_.size() < kMaxSlots, "event queue slot space exhausted");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.action = EventAction{};  // destroy the payload eagerly
+  s.seq = kStaleSeq;         // all outstanding handles/entries go stale
+  s.next_free = free_head_;
+  free_head_ = slot;
 }
 
 EventHandle EventQueue::push(SimTime time, EventAction action) {
   CDNSIM_EXPECTS(static_cast<bool>(action), "event action must be callable");
-  auto state = std::make_shared<EventHandle::State>();
-  heap_.push(Entry{time, next_seq_++, state, std::move(action)});
-  return EventHandle(std::move(state));
+  CDNSIM_EXPECTS(next_seq_ <= kMaxSeq, "event queue sequence space exhausted");
+  const std::uint32_t slot = acquire_slot();
+  const std::uint64_t seq = next_seq_++;
+  Slot& s = slots_[slot];
+  s.action = std::move(action);
+  s.seq = seq;
+  heap_.push_back(HeapEntry{time, (seq << kSlotIndexBits) | slot});
+  sift_up(heap_.size() - 1);
+  ++live_count_;
+  return EventHandle(this, slot, seq);
 }
 
-void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && heap_.top().state->cancelled) heap_.pop();
+void EventQueue::cancel_slot(std::uint32_t slot, std::uint64_t seq) {
+  if (!slot_live(slot, seq)) return;  // fired/cancelled/reused: inert
+  release_slot(slot);
+  --live_count_;
+  ++dead_in_heap_;  // the heap entry is now a tombstone
+  maybe_compact();
 }
 
-bool EventQueue::empty() const {
-  drop_cancelled();
-  return heap_.empty();
+void EventQueue::skim_dead_top() const {
+  while (!heap_.empty() && !entry_live(heap_.front())) {
+    pop_root();
+    --dead_in_heap_;
+  }
 }
 
 SimTime EventQueue::next_time() const {
-  drop_cancelled();
-  CDNSIM_EXPECTS(!heap_.empty(), "next_time() on empty queue");
-  return heap_.top().time;
+  CDNSIM_EXPECTS(!empty(), "next_time() on empty queue");
+  skim_dead_top();
+  return heap_.front().time;
 }
 
 EventQueue::Popped EventQueue::pop() {
-  drop_cancelled();
-  CDNSIM_EXPECTS(!heap_.empty(), "pop() on empty queue");
-  // priority_queue::top() is const; we need to move the action out. The
-  // const_cast is confined here and safe because we pop immediately after.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  Popped out{top.time, std::move(top.action)};
-  top.state->fired = true;
-  heap_.pop();
+  CDNSIM_EXPECTS(!empty(), "pop() on empty queue");
+  skim_dead_top();
+  const HeapEntry top = heap_.front();
+  const std::uint32_t slot = slot_of(top);
+  Popped out{top.time, std::move(slots_[slot].action)};
+  release_slot(slot);
+  pop_root();
+  --live_count_;
+#if defined(__GNUC__)
+  // The next pop will need the new root's slot (seq stamp + payload, one
+  // line by layout); start that fetch now so it overlaps with the caller
+  // running this event's action.
+  if (!heap_.empty()) {
+    __builtin_prefetch(&slots_[slot_of(heap_.front())], 0, 1);
+  }
+#endif
   return out;
+}
+
+void EventQueue::set_compaction_threshold(double fraction) {
+  CDNSIM_EXPECTS(fraction > 0.0 && fraction <= 1.0,
+                 "compaction threshold must be in (0, 1]");
+  compaction_threshold_ = fraction;
+}
+
+void EventQueue::maybe_compact() {
+  if (heap_.size() < kCompactionMinEntries) return;
+  if (static_cast<double>(dead_in_heap_) >
+      compaction_threshold_ * static_cast<double>(heap_.size())) {
+    compact();
+  }
+}
+
+void EventQueue::compact() {
+  std::size_t kept = 0;
+  const std::size_t n = heap_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (entry_live(heap_[i])) heap_[kept++] = heap_[i];
+  }
+  heap_.resize_down(kept);
+  dead_in_heap_ = 0;
+  if (kept > 1) {
+    // Floyd heapify: sift down every internal node, last parent first.
+    for (std::size_t i = (kept - 2) / 4 + 1; i-- > 0;) sift_down(i);
+  }
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  const HeapEntry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::sift_down(std::size_t i) const {
+  const std::size_t n = heap_.size();
+  const HeapEntry e = heap_[i];
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::pop_root() const {
+  // Bottom-up deletion (Wegener's heapsort trick): the displaced last leaf
+  // almost always belongs back near the bottom, so first walk the min-child
+  // path down to a leaf — pulling each minimum up one level without
+  // comparing against the leaf — then sift the leaf up from the hole. This
+  // replaces the classic sift-down's extra per-level comparison with an
+  // expected O(1) tail of up-comparisons.
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t i = 0;
+  // Full quads take the fast path: the pairwise min reduction compiles to
+  // conditional moves, so the unpredictable choice of child costs no branch
+  // mispredictions (and the quad's four loads are one aligned cache line).
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first + 4 > n) break;
+    const std::size_t a =
+        first + (earlier(heap_[first + 1], heap_[first]) ? 1 : 0);
+    const std::size_t b =
+        first + 2 + (earlier(heap_[first + 3], heap_[first + 2]) ? 1 : 0);
+    const std::size_t best = earlier(heap_[b], heap_[a]) ? b : a;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  // At most one partial quad at the frontier (its nodes have no children:
+  // a partial quad only exists at the very end of the array).
+  {
+    const std::size_t first = 4 * i + 1;
+    if (first < n) {
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < n; ++c) {
+        if (earlier(heap_[c], heap_[best])) best = c;
+      }
+      heap_[i] = heap_[best];
+      i = best;
+    }
+  }
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(last, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = last;
 }
 
 }  // namespace cdnsim::sim

@@ -2,21 +2,48 @@
 //
 // Events are ordered by (time, insertion sequence): simultaneous events fire
 // in the order they were scheduled, which keeps whole simulations
-// deterministic for a fixed seed. Cancellation is O(1) via a tombstone flag;
-// cancelled entries are skipped lazily at pop time.
+// deterministic for a fixed seed.
+//
+// The queue is engineered for zero steady-state allocation:
+//  * the heap is a hand-rolled 4-ary min-heap over 16-byte POD entries
+//    {time, seq<<24 | slot} — shallower than a binary heap, and the backing
+//    store is offset inside a 64-byte-aligned buffer so that every 4-child
+//    sibling group occupies exactly one cache line (one memory access per
+//    level sifted);
+//  * callbacks are sim::InlineAction (small-buffer optimized, see
+//    inline_action.hpp) stored in a free-list slot pool, so pushing and
+//    popping recycles slots instead of allocating;
+//  * the globally unique insertion sequence number doubles as the slot's
+//    generation stamp: a slot records the seq of its current occupant, and a
+//    heap entry or EventHandle whose seq no longer matches is a tombstone.
+//    Cancellation overwrites the slot's seq and recycles the slot
+//    immediately — no shared_ptr, no atomics; the heap entry left behind is
+//    skipped at pop time. Stale handles — after the event fired, was
+//    cancelled, or the slot was reused — are inert: pending() is false,
+//    cancel() no-ops. (seq is 64-bit, so reuse can never resurrect a stale
+//    handle by wrapping.)
+//  * tombstones are bounded: when cancelled entries exceed a configurable
+//    fraction of the heap, the heap is compacted in place (O(n) rebuild),
+//    so timer churn cannot grow the heap without bound.
+//
+// Lifetime contract: an EventHandle must not be used after its EventQueue is
+// destroyed (handles are owned by components whose lifetime is nested inside
+// the simulator's, e.g. PeriodicTimer).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
+#include <new>
 #include <vector>
 
+#include "sim/inline_action.hpp"
 #include "sim/time.hpp"
 
 namespace cdnsim::sim {
 
-using EventAction = std::function<void()>;
+using EventAction = InlineAction;
+
+class EventQueue;
 
 /// Handle to a scheduled event; lets the owner cancel it later.
 class EventHandle {
@@ -26,24 +53,29 @@ class EventHandle {
   /// True while the event is scheduled and not yet fired or cancelled.
   bool pending() const;
 
-  /// Cancels the event if still pending; safe to call repeatedly.
+  /// Cancels the event if still pending; safe to call repeatedly, and inert
+  /// on handles whose slot has been recycled for a newer event.
   void cancel();
 
  private:
   friend class EventQueue;
-  struct State {
-    bool cancelled = false;
-    bool fired = false;
-  };
-  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
-  std::shared_ptr<State> state_;
+  EventHandle(EventQueue* queue, std::uint32_t slot, std::uint64_t seq)
+      : queue_(queue), slot_(slot), seq_(seq) {}
+
+  EventQueue* queue_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint64_t seq_ = 0;
 };
 
 class EventQueue {
  public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
   EventHandle push(SimTime time, EventAction action);
 
-  bool empty() const;
+  bool empty() const { return live_count_ == 0; }
 
   /// Time of the next non-cancelled event. Precondition: !empty().
   SimTime next_time() const;
@@ -56,27 +88,123 @@ class EventQueue {
   /// Removes and returns the next non-cancelled event. Precondition: !empty().
   Popped pop();
 
+  /// Heap entries including tombstones left by cancellations.
   std::size_t size_including_cancelled() const { return heap_.size(); }
 
+  /// Scheduled events that are still live (not cancelled, not fired).
+  std::size_t live_size() const { return live_count_; }
+
+  /// Compaction trigger: when tombstones exceed this fraction of the heap
+  /// (and the heap is non-trivial), the heap is rebuilt without them.
+  /// Must be in (0, 1]; default 0.25.
+  void set_compaction_threshold(double fraction);
+
  private:
-  struct Entry {
+  friend class EventHandle;
+
+  static constexpr std::uint32_t kNpos = 0xffffffffu;
+  // A seq value no pushed event can carry; marks a vacant slot.
+  static constexpr std::uint64_t kStaleSeq = 0xffffffffffffffffull;
+  // Heap entries pack (seq, slot) into one u64 key: slot in the low 24 bits
+  // (up to ~16.7M concurrently scheduled events), seq in the high 40 bits
+  // (~1.1e12 pushes per queue lifetime — both enforced, not assumed).
+  // seq-major packing means key order among equal times IS insertion order.
+  static constexpr unsigned kSlotIndexBits = 24;
+  static constexpr std::uint32_t kSlotIndexMask = (1u << kSlotIndexBits) - 1;
+  static constexpr std::uint32_t kMaxSlots = kSlotIndexMask;
+  static constexpr std::uint64_t kMaxSeq =
+      (1ull << (64 - kSlotIndexBits)) - 1;
+  // Below this size compaction is pointless — the O(n) rebuild costs more
+  // than lazily skipping a handful of tombstones.
+  static constexpr std::size_t kCompactionMinEntries = 64;
+
+  struct HeapEntry {
     SimTime time;
-    std::uint64_t seq;
-    // shared_ptr so EventHandle cancellation is visible; Entry owns action.
-    std::shared_ptr<EventHandle::State> state;
+    std::uint64_t key;  // (seq << kSlotIndexBits) | slot
+  };
+
+  static std::uint32_t slot_of(const HeapEntry& e) {
+    return static_cast<std::uint32_t>(e.key) & kSlotIndexMask;
+  }
+  static std::uint64_t seq_of(const HeapEntry& e) {
+    return e.key >> kSlotIndexBits;
+  }
+
+  // Slot layout puts the seq stamp and the action's dispatch pointers (plus
+  // the first bytes of inline storage) on the same cache line: a pop's
+  // liveness check and payload move usually cost one miss, not two.
+  struct Slot {
+    std::uint64_t seq = kStaleSeq;  // seq of the occupant; kStaleSeq = vacant
+    std::uint32_t next_free = kNpos;
     EventAction action;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+
+  // Growable POD array whose element 0 sits 48 bytes into a 64-byte-aligned
+  // allocation. With 16-byte entries and children at 4i+1 .. 4i+4, every
+  // sibling quad then starts at a 64-byte boundary: one cache line per heap
+  // level touched. Steady state never allocates (capacity is kept).
+  class EntryHeap {
+   public:
+    EntryHeap() = default;
+    EntryHeap(const EntryHeap&) = delete;
+    EntryHeap& operator=(const EntryHeap&) = delete;
+    ~EntryHeap();
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+    HeapEntry& operator[](std::size_t i) { return data_[i]; }
+    const HeapEntry& operator[](std::size_t i) const { return data_[i]; }
+    HeapEntry& front() { return data_[0]; }
+    const HeapEntry& front() const { return data_[0]; }
+    const HeapEntry& back() const { return data_[size_ - 1]; }
+    void push_back(const HeapEntry& e) {
+      if (size_ == cap_) grow();
+      data_[size_++] = e;
     }
+    void pop_back() { --size_; }
+    void resize_down(std::size_t n) { size_ = n; }
+
+   private:
+    void grow();
+
+    void* raw_ = nullptr;       // the aligned allocation
+    HeapEntry* data_ = nullptr; // raw_ + 48 bytes
+    std::size_t size_ = 0;
+    std::size_t cap_ = 0;
   };
 
-  void drop_cancelled() const;
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.key < b.key;
+  }
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  bool slot_live(std::uint32_t slot, std::uint64_t seq) const {
+    return slot < slots_.size() && slots_[slot].seq == seq;
+  }
+  bool entry_live(const HeapEntry& e) const {
+    return slots_[slot_of(e)].seq == seq_of(e);
+  }
+
+  void cancel_slot(std::uint32_t slot, std::uint64_t seq);
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i) const;
+  void pop_root() const;
+  void skim_dead_top() const;
+  void maybe_compact();
+  void compact();
+
+  // mutable: skimming tombstones off the top from next_time() const only
+  // rearranges dead entries — logically the queue is unchanged.
+  mutable EntryHeap heap_;
+  mutable std::size_t dead_in_heap_ = 0;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNpos;
   std::uint64_t next_seq_ = 0;
+  std::size_t live_count_ = 0;
+  double compaction_threshold_ = 0.25;
 };
 
 }  // namespace cdnsim::sim

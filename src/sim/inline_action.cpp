@@ -1,0 +1,46 @@
+#include "sim/inline_action.hpp"
+
+namespace cdnsim::sim::detail {
+
+namespace {
+
+// Intrusive LIFO free list of kActionPoolBlockSize blocks. Thread-local:
+// each simulation runs on one thread (the batch runner gives every job its
+// own Simulator), so no synchronisation is needed, and a block freed on a
+// different thread than it was carved on simply migrates lists.
+struct ActionPool {
+  void* head = nullptr;
+
+  ~ActionPool() {
+    while (head != nullptr) {
+      void* next = *static_cast<void**>(head);
+      ::operator delete(head);
+      head = next;
+    }
+  }
+};
+
+thread_local ActionPool t_pool;
+
+}  // namespace
+
+void* action_pool_allocate(std::size_t size) {
+  if (size > kActionPoolBlockSize) return ::operator new(size);
+  if (t_pool.head != nullptr) {
+    void* block = t_pool.head;
+    t_pool.head = *static_cast<void**>(block);
+    return block;
+  }
+  return ::operator new(kActionPoolBlockSize);
+}
+
+void action_pool_deallocate(void* block, std::size_t size) noexcept {
+  if (size > kActionPoolBlockSize) {
+    ::operator delete(block);
+    return;
+  }
+  *static_cast<void**>(block) = t_pool.head;
+  t_pool.head = block;
+}
+
+}  // namespace cdnsim::sim::detail

@@ -1,0 +1,138 @@
+// Small-buffer-optimized event callback.
+//
+// InlineAction is the move-only `void()` callable the event queue stores in
+// its slot pool. Closures up to kInlineCapacity bytes (a handful of pointers
+// — every steady-state callback the engine schedules) live inside the object
+// itself, so scheduling them performs no heap allocation. Larger closures
+// fall back to a thread-local free-list pool of fixed-size blocks, which
+// touches the global allocator only the first time each block is carved —
+// steady-state scheduling stays allocation-free either way.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace cdnsim::sim {
+
+namespace detail {
+
+/// Block size of the thread-local callback pool. Anything up to this many
+/// bytes is recycled through the pool; larger closures (rare) go straight to
+/// operator new/delete.
+inline constexpr std::size_t kActionPoolBlockSize = 128;
+
+/// Thread-local free-list allocation for out-of-line callbacks. The free
+/// list is intrusive (the block itself stores the next pointer), so
+/// recycling never allocates.
+void* action_pool_allocate(std::size_t size);
+void action_pool_deallocate(void* block, std::size_t size) noexcept;
+
+}  // namespace detail
+
+class InlineAction {
+ public:
+  /// Closures up to this size (and max_align_t alignment) are stored inline.
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  InlineAction() noexcept = default;
+
+  template <typename F, typename Decayed = std::remove_cvref_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<Decayed, InlineAction> &&
+                                        std::is_invocable_r_v<void, Decayed&>>>
+  InlineAction(F&& f) {  // NOLINT(google-explicit-constructor): callable wrapper
+    using Fn = Decayed;
+    if constexpr (sizeof(Fn) <= kInlineCapacity &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); };
+      manage_ = [](Op op, void* dst, void* src) {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        if (op == Op::kRelocate) ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      };
+    } else if constexpr (alignof(Fn) <= alignof(std::max_align_t)) {
+      void* block = detail::action_pool_allocate(sizeof(Fn));
+      ::new (block) Fn(std::forward<F>(f));
+      ::new (static_cast<void*>(storage_)) void*(block);
+      invoke_ = [](void* s) { (*static_cast<Fn*>(*static_cast<void**>(s)))(); };
+      manage_ = [](Op op, void* dst, void* src) {
+        void* block = *static_cast<void**>(src);
+        if (op == Op::kRelocate) {
+          ::new (dst) void*(block);
+        } else {
+          static_cast<Fn*>(block)->~Fn();
+          detail::action_pool_deallocate(block, sizeof(Fn));
+        }
+      };
+    } else {
+      // Over-aligned closures bypass the pool (operator new blocks are only
+      // max_align_t-aligned).
+      void* block = ::operator new(sizeof(Fn), std::align_val_t{alignof(Fn)});
+      ::new (block) Fn(std::forward<F>(f));
+      ::new (static_cast<void*>(storage_)) void*(block);
+      invoke_ = [](void* s) { (*static_cast<Fn*>(*static_cast<void**>(s)))(); };
+      manage_ = [](Op op, void* dst, void* src) {
+        void* block = *static_cast<void**>(src);
+        if (op == Op::kRelocate) {
+          ::new (dst) void*(block);
+        } else {
+          static_cast<Fn*>(block)->~Fn();
+          ::operator delete(block, std::align_val_t{alignof(Fn)});
+        }
+      };
+    }
+  }
+
+  InlineAction(InlineAction&& other) noexcept
+      : invoke_(other.invoke_), manage_(other.manage_) {
+    if (invoke_ != nullptr) manage_(Op::kRelocate, storage_, other.storage_);
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  InlineAction& operator=(InlineAction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      invoke_ = other.invoke_;
+      manage_ = other.manage_;
+      if (invoke_ != nullptr) manage_(Op::kRelocate, storage_, other.storage_);
+      other.invoke_ = nullptr;
+      other.manage_ = nullptr;
+    }
+    return *this;
+  }
+
+  InlineAction(const InlineAction&) = delete;
+  InlineAction& operator=(const InlineAction&) = delete;
+
+  ~InlineAction() { reset(); }
+
+  /// Invokes the stored closure. Precondition: non-empty.
+  void operator()() { invoke_(storage_); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+ private:
+  enum class Op { kRelocate, kDestroy };
+
+  void reset() noexcept {
+    if (invoke_ != nullptr) {
+      manage_(Op::kDestroy, nullptr, storage_);
+      invoke_ = nullptr;
+      manage_ = nullptr;
+    }
+  }
+
+  using InvokeFn = void (*)(void*);
+  // kRelocate: move-construct into dst and leave src dead (no destroy call
+  // follows). kDestroy: destroy src (dst unused).
+  using ManageFn = void (*)(Op, void* dst, void* src);
+
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+  alignas(std::max_align_t) std::byte storage_[kInlineCapacity];
+};
+
+}  // namespace cdnsim::sim

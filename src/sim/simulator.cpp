@@ -1,11 +1,20 @@
 #include "sim/simulator.hpp"
 
+#include <string>
+
 #include "util/error.hpp"
 
 namespace cdnsim::sim {
 
 EventHandle Simulator::at(SimTime time, EventAction action) {
-  CDNSIM_EXPECTS(time >= now_, "cannot schedule an event in the past");
+  // Scheduling before now() would reorder the past and silently corrupt
+  // determinism; it is a runtime condition (it depends on dynamic clock
+  // state, e.g. a latency model emitting a negative delay), so it fails
+  // loudly as cdnsim::Error. The negated comparison also rejects NaN.
+  if (!(time >= now_)) {
+    throw Error("Simulator::at(" + std::to_string(time) +
+                "): scheduling in the past (now=" + std::to_string(now_) + ")");
+  }
   return queue_.push(time, std::move(action));
 }
 
@@ -15,12 +24,17 @@ EventHandle Simulator::after(SimTime delay, EventAction action) {
 }
 
 void Simulator::run(SimTime until) {
+  if (until == std::numeric_limits<SimTime>::infinity()) {
+    // Full drain: skip the per-event next_time() horizon peek (it repeats
+    // the tombstone skim and bounds check pop() is about to do anyway).
+    while (step()) {
+    }
+    return;
+  }
   while (!queue_.empty() && queue_.next_time() <= until) {
     step();
   }
-  if (until != std::numeric_limits<SimTime>::infinity() && now_ < until) {
-    now_ = until;
-  }
+  if (now_ < until) now_ = until;
 }
 
 bool Simulator::step() {

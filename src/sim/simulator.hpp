@@ -23,7 +23,9 @@ class Simulator {
 
   SimTime now() const { return now_; }
 
-  /// Schedule at an absolute time >= now().
+  /// Schedule at an absolute time >= now(). Scheduling in the past (or at a
+  /// NaN time) throws cdnsim::Error — it would reorder history and corrupt
+  /// the run's determinism, so it fails loudly instead.
   EventHandle at(SimTime time, EventAction action);
 
   /// Schedule after a non-negative delay.

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <vector>
+
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace cdnsim::net {
 namespace {
@@ -93,6 +97,124 @@ TEST(LatencyTest, CrossAtlanticLatencyIsPlausible) {
   const double d = model.propagation(nyc, london);
   EXPECT_GT(d, 0.02);
   EXPECT_LT(d, 0.1);
+}
+
+// --- primed propagation cache ----------------------------------------------
+
+std::vector<GeoPoint> grid_sites() {
+  // A deliberately awkward mix: the three named cities, a provider-like
+  // origin, antipodal-ish points, duplicates, and a pole.
+  return {kAtlanta,          kSeattle,        kTokyo,
+          GeoPoint{0.0, 0.0}, GeoPoint{51.51, -0.13}, GeoPoint{-33.87, 151.21},
+          GeoPoint{90.0, 0.0}, kAtlanta /* duplicate site */,
+          GeoPoint{-0.0, 135.0}};
+}
+
+TEST(LatencyTest, PrimedPropagationBitIdenticalToLive) {
+  std::vector<LatencyConfig> configs(3);
+  configs[1].jitter_fraction = 0.25;
+  configs[2].inter_isp_penalty_mean_s = 0.5;
+  configs[2].jitter_fraction = 0.1;
+  const std::vector<GeoPoint> sites = grid_sites();
+  for (const LatencyConfig& cfg : configs) {
+    LatencyModel live(cfg);
+    LatencyModel primed(cfg);
+    primed.prime(sites);
+    ASSERT_TRUE(primed.primed());
+    ASSERT_EQ(primed.primed_count(), sites.size());
+    for (const GeoPoint& a : sites) {
+      for (const GeoPoint& b : sites) {
+        // Bit-identical, not approximately equal: the cache must not move
+        // golden pins by even one ulp.
+        EXPECT_EQ(live.propagation(a, b), primed.propagation(a, b));
+      }
+    }
+  }
+}
+
+TEST(LatencyTest, PrimedOneWayBitIdenticalAcrossJitterAndIsp) {
+  LatencyConfig cfg;
+  cfg.jitter_fraction = 0.3;
+  cfg.inter_isp_penalty_mean_s = 0.2;
+  LatencyModel live(cfg);
+  LatencyModel primed(cfg);
+  const std::vector<GeoPoint> sites = grid_sites();
+  primed.prime(sites);
+  // Identically seeded streams must consume draws in lockstep: the cache may
+  // not change how many random numbers a sample uses.
+  util::Rng rng_live(42);
+  util::Rng rng_primed(42);
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    for (std::size_t j = 0; j < sites.size(); ++j) {
+      for (const bool crosses_isp : {false, true}) {
+        EXPECT_EQ(live.one_way(sites[i], sites[j], crosses_isp, rng_live),
+                  primed.one_way(sites[i], sites[j], crosses_isp, rng_primed));
+      }
+    }
+  }
+}
+
+TEST(LatencyTest, OneWayBetweenMatchesGeoPointPath) {
+  LatencyConfig cfg;
+  cfg.jitter_fraction = 0.15;
+  cfg.inter_isp_penalty_mean_s = 0.1;
+  LatencyModel model(cfg);
+  const std::vector<GeoPoint> sites = grid_sites();
+  model.prime(sites);
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    for (std::size_t j = 0; j < sites.size(); ++j) {
+      EXPECT_EQ(model.propagation_between(i, j),
+                model.propagation(sites[i], sites[j]));
+      util::Rng by_index(7);
+      util::Rng by_point(7);
+      EXPECT_EQ(model.one_way_between(i, j, true, by_index),
+                model.one_way(sites[i], sites[j], true, by_point));
+    }
+  }
+}
+
+TEST(LatencyTest, UnprimedPointsFallBackToLiveHaversine) {
+  LatencyModel live{LatencyConfig{}};
+  LatencyModel primed{LatencyConfig{}};
+  primed.prime(std::vector<GeoPoint>{kAtlanta, kSeattle});
+  const GeoPoint stranger{12.97, 77.59};  // not in the primed set
+  EXPECT_EQ(primed.propagation(stranger, kTokyo),
+            live.propagation(stranger, kTokyo));
+  EXPECT_EQ(primed.propagation(kAtlanta, stranger),
+            live.propagation(kAtlanta, stranger));
+  // Mixed pairs (one primed, one not) also fall back.
+  EXPECT_EQ(primed.propagation(kAtlanta, kSeattle),
+            live.propagation(kAtlanta, kSeattle));
+}
+
+TEST(LatencyTest, PropagationIsBitSymmetric) {
+  // The cache stores one triangular half; symmetry must hold exactly for
+  // that to be an identity-preserving optimisation.
+  const LatencyModel model(LatencyConfig{});
+  const std::vector<GeoPoint> sites = grid_sites();
+  for (const GeoPoint& a : sites) {
+    for (const GeoPoint& b : sites) {
+      EXPECT_EQ(model.propagation(a, b), model.propagation(b, a));
+    }
+  }
+}
+
+TEST(LatencyTest, RePrimingReplacesAndEmptyUnprimes) {
+  LatencyModel model{LatencyConfig{}};
+  model.prime(std::vector<GeoPoint>{kAtlanta, kSeattle, kTokyo});
+  EXPECT_EQ(model.primed_count(), 3u);
+  model.prime(std::vector<GeoPoint>{kAtlanta});
+  EXPECT_EQ(model.primed_count(), 1u);
+  model.prime(std::vector<GeoPoint>{});
+  EXPECT_FALSE(model.primed());
+}
+
+TEST(LatencyTest, PropagationBetweenOutOfRangeThrows) {
+  LatencyModel model{LatencyConfig{}};
+  EXPECT_THROW(model.propagation_between(0, 0), cdnsim::PreconditionError);
+  model.prime(std::vector<GeoPoint>{kAtlanta, kSeattle});
+  EXPECT_THROW(model.propagation_between(0, 2), cdnsim::PreconditionError);
+  EXPECT_THROW(model.propagation_between(2, 0), cdnsim::PreconditionError);
 }
 
 }  // namespace

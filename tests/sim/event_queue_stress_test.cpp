@@ -1,0 +1,216 @@
+// Stress and allocation tests for the pooled 4-ary event queue.
+//
+// 1. A randomized mixed push/cancel/pop workload is checked against a
+//    reference model (std::multimap keyed by (time, seq) — the documented
+//    pop order), including handle-state transitions across compaction and
+//    slot reuse.
+// 2. Steady-state scheduling of inline-capacity callbacks is verified to
+//    perform zero heap allocations, via a counting global operator new
+//    (disabled under sanitizers, which intercept the allocator themselves).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+// --- counting allocator hook -----------------------------------------------
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define CDNSIM_ALLOC_COUNTING 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define CDNSIM_ALLOC_COUNTING 0
+#else
+#define CDNSIM_ALLOC_COUNTING 1
+#endif
+#else
+#define CDNSIM_ALLOC_COUNTING 1
+#endif
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+#if CDNSIM_ALLOC_COUNTING
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif
+
+namespace cdnsim::sim {
+namespace {
+
+TEST(EventQueueStressTest, MixedOpsMatchMultimapModel) {
+  util::Rng rng(0xc0ffee);
+  EventQueue q;
+  q.set_compaction_threshold(0.2);  // exercise compaction under churn
+
+  // Reference model: pop order is (time, seq) — multimap preserves
+  // insertion order among equal times, exactly the queue's tie-break rule.
+  std::multimap<double, int> model;
+  std::vector<std::pair<EventHandle, std::multimap<double, int>::iterator>> live;
+
+  int next_id = 0;
+  int fired_id = -1;
+  std::vector<int> popped_queue;
+  std::vector<int> popped_model;
+
+  for (int step = 0; step < 20000; ++step) {
+    const double roll = rng.uniform(0.0, 1.0);
+    if (roll < 0.5) {  // push
+      const double time = rng.uniform(0.0, 100.0);
+      const int id = next_id++;
+      auto handle = q.push(time, [id, &fired_id] { fired_id = id; });
+      auto it = model.emplace(time, id);
+      live.emplace_back(std::move(handle), it);
+    } else if (roll < 0.7) {  // cancel a random live event
+      if (live.empty()) continue;
+      const std::size_t pick = rng.index(live.size());
+      live[pick].first.cancel();
+      EXPECT_FALSE(live[pick].first.pending());
+      model.erase(live[pick].second);
+      live[pick] = std::move(live.back());
+      live.pop_back();
+    } else {  // pop
+      ASSERT_EQ(q.empty(), model.empty());
+      if (model.empty()) continue;
+      auto popped = q.pop();
+      EXPECT_DOUBLE_EQ(popped.time, model.begin()->first);
+      fired_id = -1;
+      popped.action();
+      popped_queue.push_back(fired_id);
+      popped_model.push_back(model.begin()->second);
+      // Drop the fired event from the live list so we never cancel it.
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (live[i].second == model.begin()) {
+          EXPECT_FALSE(live[i].first.pending());
+          live[i] = std::move(live.back());
+          live.pop_back();
+          break;
+        }
+      }
+      model.erase(model.begin());
+    }
+    ASSERT_EQ(q.live_size(), model.size());
+  }
+
+  // Drain: remaining events must pop in exact model order.
+  while (!q.empty()) {
+    auto popped = q.pop();
+    fired_id = -1;
+    popped.action();
+    popped_queue.push_back(fired_id);
+    ASSERT_FALSE(model.empty());
+    popped_model.push_back(model.begin()->second);
+    model.erase(model.begin());
+  }
+  EXPECT_TRUE(model.empty());
+  EXPECT_EQ(popped_queue, popped_model);
+
+  // Every surviving handle (its event fired or was drained) is stale now.
+  for (auto& entry : live) EXPECT_FALSE(entry.first.pending());
+}
+
+TEST(EventQueueStressTest, HandlesInertAfterCompactionAndReuse) {
+  util::Rng rng(31337);
+  EventQueue q;
+  q.set_compaction_threshold(0.1);
+  std::vector<EventHandle> stale;
+  // Round 1: schedule and cancel enough to force several compactions.
+  for (int i = 0; i < 500; ++i) {
+    stale.push_back(q.push(rng.uniform(0.0, 10.0), [] {}));
+  }
+  for (auto& h : stale) h.cancel();
+  EXPECT_TRUE(q.empty());
+  // Round 2: the freed slots are reused by fresh events.
+  int fired = 0;
+  std::vector<EventHandle> fresh;
+  for (int i = 0; i < 500; ++i) {
+    fresh.push_back(q.push(rng.uniform(0.0, 10.0), [&fired] { ++fired; }));
+  }
+  // Stale handles must observe nothing and cancel nothing.
+  for (auto& h : stale) {
+    EXPECT_FALSE(h.pending());
+    h.cancel();
+  }
+  for (auto& h : fresh) EXPECT_TRUE(h.pending());
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, 500);
+}
+
+TEST(EventQueueStressTest, SteadyStateSchedulingDoesNotAllocate) {
+#if CDNSIM_ALLOC_COUNTING
+  Simulator sim;
+  std::uint64_t sink = 0;
+  auto run_round = [&] {
+    for (int i = 0; i < 4096; ++i) {
+      sim.after(static_cast<double>((i * 37) % 97), [&sink] { ++sink; });
+    }
+    sim.run();
+  };
+  run_round();  // warm-up: heap/slot vectors reach steady-state capacity
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  run_round();
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state scheduling of inline-capacity callbacks allocated";
+  EXPECT_EQ(sink, 2u * 4096u);
+#else
+  GTEST_SKIP() << "allocation counting disabled under sanitizers";
+#endif
+}
+
+TEST(EventQueueStressTest, OversizedCallbacksRecycleThroughPool) {
+#if CDNSIM_ALLOC_COUNTING
+  Simulator sim;
+  // 64 bytes of captured payload exceeds kInlineCapacity, forcing the
+  // pool-backed heap fallback.
+  struct Big {
+    std::uint64_t payload[8];
+  };
+  static_assert(sizeof(Big) > EventAction::kInlineCapacity);
+  std::uint64_t sink = 0;
+  auto run_round = [&] {
+    for (int i = 0; i < 512; ++i) {
+      Big big{};
+      big.payload[0] = static_cast<std::uint64_t>(i);
+      sim.after(1.0, [big, &sink] { sink += big.payload[0]; });
+    }
+    sim.run();
+  };
+  run_round();  // warm-up populates the thread-local block pool
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  run_round();
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "pool-backed fallback hit the global allocator in steady state";
+#else
+  GTEST_SKIP() << "allocation counting disabled under sanitizers";
+#endif
+}
+
+}  // namespace
+}  // namespace cdnsim::sim

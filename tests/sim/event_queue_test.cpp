@@ -88,5 +88,93 @@ TEST(EventQueueTest, NullActionThrows) {
   EXPECT_THROW(q.push(1.0, EventAction{}), cdnsim::PreconditionError);
 }
 
+TEST(EventQueueTest, StaleHandleAfterSlotReuseIsInert) {
+  EventQueue q;
+  auto h1 = q.push(1.0, [] {});
+  h1.cancel();
+  // The cancelled slot is recycled immediately; the next push reuses it.
+  bool fired = false;
+  auto h2 = q.push(2.0, [&] { fired = true; });
+  EXPECT_FALSE(h1.pending());
+  EXPECT_TRUE(h2.pending());
+  // Cancelling through the stale handle must not kill the new event.
+  h1.cancel();
+  EXPECT_TRUE(h2.pending());
+  while (!q.empty()) q.pop().action();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueTest, StaleHandleAfterFireAndReuseIsInert) {
+  EventQueue q;
+  auto h1 = q.push(1.0, [] {});
+  q.pop().action();
+  bool fired = false;
+  q.push(2.0, [&] { fired = true; });
+  EXPECT_FALSE(h1.pending());
+  h1.cancel();  // must not touch the reused slot
+  ASSERT_FALSE(q.empty());
+  q.pop().action();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueTest, CompactionEvictsTombstones) {
+  EventQueue q;
+  q.set_compaction_threshold(0.1);
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 200; ++i) {
+    handles.push_back(q.push(static_cast<double>(i), [] {}));
+  }
+  for (int i = 0; i < 150; ++i) handles[static_cast<std::size_t>(i)].cancel();
+  // With a 10% threshold, the 150 tombstones cannot all still be resident.
+  EXPECT_LT(q.size_including_cancelled(), 200u);
+  EXPECT_EQ(q.live_size(), 50u);
+  // Survivors still pop in time order with correct payload behaviour.
+  double prev = -1;
+  std::size_t popped = 0;
+  while (!q.empty()) {
+    const double t = q.next_time();
+    EXPECT_GT(t, prev);
+    prev = t;
+    q.pop().action();
+    ++popped;
+  }
+  EXPECT_EQ(popped, 50u);
+}
+
+TEST(EventQueueTest, HandlesStayValidAcrossCompaction) {
+  EventQueue q;
+  q.set_compaction_threshold(0.1);
+  auto keeper = q.push(500.0, [] {});
+  std::vector<EventHandle> doomed;
+  for (int i = 0; i < 100; ++i) {
+    doomed.push_back(q.push(static_cast<double>(i), [] {}));
+  }
+  for (auto& h : doomed) h.cancel();  // triggers compaction repeatedly
+  EXPECT_TRUE(keeper.pending());
+  keeper.cancel();
+  EXPECT_FALSE(keeper.pending());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CompactionThresholdMustBeAFraction) {
+  EventQueue q;
+  EXPECT_THROW(q.set_compaction_threshold(0.0), cdnsim::PreconditionError);
+  EXPECT_THROW(q.set_compaction_threshold(1.5), cdnsim::PreconditionError);
+  q.set_compaction_threshold(1.0);  // boundary is allowed
+}
+
+TEST(EventQueueTest, LiveSizeTracksPushPopCancel) {
+  EventQueue q;
+  EXPECT_EQ(q.live_size(), 0u);
+  auto h = q.push(1.0, [] {});
+  q.push(2.0, [] {});
+  EXPECT_EQ(q.live_size(), 2u);
+  h.cancel();
+  EXPECT_EQ(q.live_size(), 1u);
+  q.pop();
+  EXPECT_EQ(q.live_size(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
 }  // namespace
 }  // namespace cdnsim::sim

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <limits>
 #include <vector>
 
 #include "util/error.hpp"
@@ -31,8 +33,41 @@ TEST(SimulatorTest, SchedulingInPastThrows) {
   Simulator sim;
   sim.at(5.0, [] {});
   sim.run();
-  EXPECT_THROW(sim.at(4.0, [] {}), cdnsim::PreconditionError);
+  // Scheduling before now() is a runtime corruption of the event order and
+  // must fail loudly (cdnsim::Error), not silently reorder the past.
+  EXPECT_THROW(sim.at(4.0, [] {}), cdnsim::Error);
   EXPECT_THROW(sim.after(-1.0, [] {}), cdnsim::PreconditionError);
+}
+
+TEST(SimulatorTest, SchedulingInPastFromCallbackThrows) {
+  // Regression: the check must hold against the *advanced* clock while the
+  // simulation is running, not just the construction-time clock.
+  Simulator sim;
+  bool threw = false;
+  sim.at(10.0, [&] {
+    try {
+      sim.at(9.0, [] {});
+    } catch (const cdnsim::Error&) {
+      threw = true;
+    }
+  });
+  sim.run();
+  EXPECT_TRUE(threw);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(SimulatorTest, SchedulingAtNanThrows) {
+  Simulator sim;
+  EXPECT_THROW(
+      sim.at(std::numeric_limits<double>::quiet_NaN(), [] {}), cdnsim::Error);
+}
+
+TEST(SimulatorTest, SchedulingAtNowIsAllowed) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(5.0, [&] { sim.at(sim.now(), [&] { ++fired; }); });
+  sim.run();
+  EXPECT_EQ(fired, 1);
 }
 
 TEST(SimulatorTest, RunUntilHorizonStopsAndAdvancesClock) {
