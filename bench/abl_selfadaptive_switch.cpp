@@ -15,6 +15,7 @@
 #include <map>
 
 #include "bench_evaluation.hpp"
+#include "bench_obs.hpp"
 #include "consistency/engine.hpp"
 #include "util/stats.hpp"
 
@@ -110,8 +111,14 @@ int main(int argc, char** argv) {
                     : "HAT/supernode";
     jobs.push_back(std::move(job));
   }
+  bench::ObsSession obs(argc, argv, flags,
+                        static_cast<std::uint64_t>(flags.get_int("seed", 42)));
+  obs.apply(jobs);
   const core::BatchRunner runner({.threads = flags.jobs()});
-  const auto batch = bench::run_batch_reported(runner, jobs);
+  core::BatchRunStats batch_stats;
+  const auto batch =
+      bench::run_batch_reported(runner, jobs, false, &batch_stats);
+  obs.write(batch, batch_stats);
   const auto& r = batch[0].sim;
   const auto& hat = batch[1].sim;
 

@@ -72,6 +72,17 @@ class Flags {
   /// record per benchmark to PATH (see append_bench_record). Empty = off.
   std::string bench_json() const { return get_str("bench-json", ""); }
 
+  /// `--metrics-out PATH`: write one JSONL metrics record per batch job
+  /// (sim-time derived, byte-identical for any --jobs N). Empty = off.
+  std::string metrics_out() const { return get_str("metrics-out", ""); }
+
+  /// `--trace-out PATH`: write a Chrome trace-event JSON file (load in
+  /// chrome://tracing or Perfetto; pid = job index, tid = node id).
+  std::string trace_out() const { return get_str("trace-out", ""); }
+
+  /// `--csv-out PATH`: write a per-job summary CSV (RFC 4180 quoted).
+  std::string csv_out() const { return get_str("csv-out", ""); }
+
   double get(const std::string& key, double fallback) const {
     for (const auto& [k, v] : values_) {
       if (k == key) return std::stod(v);
@@ -158,9 +169,9 @@ class WallTimer {
 /// jobs on this host.
 inline std::vector<core::BatchResult> run_batch_reported(
     const core::BatchRunner& runner, const std::vector<core::BatchJob>& jobs,
-    bool per_job_table = false) {
+    bool per_job_table = false, core::BatchRunStats* stats = nullptr) {
   const WallTimer timer;
-  auto results = runner.run(jobs);
+  auto results = runner.run(jobs, stats);
   const double batch_wall = timer.seconds();
   double serial_wall = 0;
   for (const auto& r : results) {

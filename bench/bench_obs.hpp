@@ -1,0 +1,152 @@
+// Observability sink for the figure-reproduction binaries.
+//
+// An ObsSession turns the --metrics-out / --trace-out / --csv-out flags
+// into files:
+//   * metrics  — JSONL, one {"label", "metrics"} object per batch job in
+//     submission order. Everything inside derives from sim time and seeded
+//     RNG state, so the file is byte-identical across --jobs counts (the
+//     tier-1 obs stage cmp's --jobs 1 vs --jobs 8);
+//   * trace    — one Chrome trace-event JSON merging every job's recorded
+//     events, pid = job submission index, tid = node id;
+//   * csv      — a per-job summary table (RFC 4180 quoted, full-precision
+//     doubles);
+//   * next to each file, a <file>.manifest.json RunManifest — the one
+//     deliberately non-deterministic artifact (wall clock, host, git
+//     revision, steal counts).
+//
+// Usage in a bench main():
+//   bench::ObsSession obs(argc, argv, flags, kSeed);
+//   obs.apply(jobs);                       // turns on per-job tracing
+//   core::BatchRunStats stats;
+//   auto results = bench::run_batch_reported(runner, jobs, false, &stats);
+//   obs.write(results, stats);
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/batch_runner.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace cdnsim::bench {
+
+class ObsSession {
+ public:
+  ObsSession(int argc, char** argv, const Flags& flags, std::uint64_t seed)
+      : metrics_path_(flags.metrics_out()),
+        trace_path_(flags.trace_out()),
+        csv_path_(flags.csv_out()) {
+    if (!enabled()) return;
+    manifest_ = obs::capture_manifest(argc, argv);
+    manifest_.seed = seed;
+    manifest_.jobs = static_cast<int>(flags.jobs());
+  }
+
+  bool enabled() const {
+    return !metrics_path_.empty() || !trace_path_.empty() ||
+           !csv_path_.empty();
+  }
+  bool trace_enabled() const { return !trace_path_.empty(); }
+
+  /// Enables per-engine trace recording on every job when --trace-out is
+  /// set. Call before running the batch.
+  void apply(std::vector<core::BatchJob>& jobs) const {
+    if (!trace_enabled()) return;
+    for (core::BatchJob& job : jobs) job.engine.record_trace_events = true;
+  }
+
+  /// Writes every requested artifact plus its manifest. Call after the
+  /// batch completes; all jobs in `results` must have succeeded.
+  void write(const std::vector<core::BatchResult>& results,
+             const core::BatchRunStats& stats) {
+    if (!enabled()) return;
+    // The digest covers the logical run configuration (the job labels, in
+    // order) — identical across --jobs counts and hosts, unlike the
+    // manifest's args/wall-clock fields.
+    std::string digest_input;
+    for (const auto& r : results) {
+      digest_input += r.label;
+      digest_input += '\n';
+    }
+    manifest_.config_digest = obs::fnv1a64_hex(digest_input);
+    manifest_.wall_s = stats.wall_s;
+    if (stats.threads > 0) {
+      manifest_.jobs = static_cast<int>(stats.threads);
+    }
+
+    if (!metrics_path_.empty()) write_metrics(results);
+    if (!trace_path_.empty()) write_trace(results);
+    if (!csv_path_.empty()) write_csv(results);
+  }
+
+ private:
+  void write_metrics(const std::vector<core::BatchResult>& results) const {
+    std::ofstream out(metrics_path_);
+    if (!out) throw Error("cannot write metrics: " + metrics_path_);
+    for (const auto& r : results) {
+      out << "{\"label\":\"" << obs::json_escape(r.label) << "\",\"metrics\":";
+      r.sim.metrics.write_json(out);
+      out << "}\n";
+    }
+    out.close();
+    obs::write_manifest_for(metrics_path_, manifest_);
+    std::cout << "metrics: " << results.size() << " record(s) -> "
+              << metrics_path_ << "\n";
+  }
+
+  void write_trace(const std::vector<core::BatchResult>& results) const {
+    obs::TraceRecorder merged;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      merged.append(results[i].sim.trace, static_cast<std::int32_t>(i));
+    }
+    std::ofstream out(trace_path_);
+    if (!out) throw Error("cannot write trace: " + trace_path_);
+    merged.write_chrome_json(out);
+    out.close();
+    obs::write_manifest_for(trace_path_, manifest_);
+    std::cout << "trace: " << merged.size() << " event(s) -> " << trace_path_
+              << "\n";
+  }
+
+  void write_csv(const std::vector<core::BatchResult>& results) const {
+    std::ofstream out(csv_path_);
+    if (!out) throw Error("cannot write csv: " + csv_path_);
+    util::CsvWriter w(out);
+    w.header({"label", "config", "avg_server_inconsistency_s",
+              "avg_user_inconsistency_s", "cost_km_kb", "update_messages",
+              "events_processed"});
+    for (const auto& r : results) {
+      // The config column rewrites the label's '/' separators to commas —
+      // a field that *requires* RFC 4180 quoting, so any regression in the
+      // CSV writer breaks the tier-1 obs checker immediately.
+      std::string config = r.label;
+      for (char& c : config) {
+        if (c == '/') c = ',';
+      }
+      w.row({r.label, config,
+             util::format_double(r.sim.avg_server_inconsistency_s),
+             util::format_double(r.sim.avg_user_inconsistency_s),
+             util::format_double(r.sim.traffic.cost_km_kb),
+             std::to_string(r.sim.traffic.update_messages),
+             std::to_string(r.sim.events_processed)});
+    }
+    out.close();
+    obs::write_manifest_for(csv_path_, manifest_);
+    std::cout << "csv: " << results.size() << " row(s) -> " << csv_path_
+              << "\n";
+  }
+
+  std::string metrics_path_;
+  std::string trace_path_;
+  std::string csv_path_;
+  obs::RunManifest manifest_;
+};
+
+}  // namespace cdnsim::bench

@@ -12,6 +12,7 @@
 //  * multicast and HAT with the Section 5.2 repair rule stay consistent but
 //    pay tree-maintenance traffic that grows with the churn rate.
 #include "bench_evaluation.hpp"
+#include "bench_obs.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
@@ -61,8 +62,14 @@ int main(int argc, char** argv) {
       jobs.push_back(std::move(job));
     }
   }
+  bench::ObsSession obs(argc, argv, flags,
+                        static_cast<std::uint64_t>(flags.get_int("seed", 42)));
+  obs.apply(jobs);
   const core::BatchRunner runner({.threads = flags.jobs()});
-  const auto results = bench::run_batch_reported(runner, jobs);
+  core::BatchRunStats batch_stats;
+  const auto results =
+      bench::run_batch_reported(runner, jobs, false, &batch_stats);
+  obs.write(results, batch_stats);
 
   // inconsistency[system][rate]
   std::vector<std::vector<double>> inconsistency(systems.size());

@@ -10,6 +10,7 @@
 // submits through core::BatchRunner: pass --jobs N (0 = all cores) to run
 // the grid in parallel; the numbers are identical for every N.
 #include "bench_evaluation.hpp"
+#include "bench_obs.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
@@ -71,9 +72,15 @@ int main(int argc, char** argv) {
     }
   }
 
+  bench::ObsSession obs(argc, argv, flags, /*seed=*/7);
+  obs.apply(jobs);
+
   const core::BatchRunner runner({.threads = flags.jobs()});
   const bench::WallTimer grid_timer;
-  const auto results = bench::run_batch_reported(runner, jobs, true);
+  core::BatchRunStats batch_stats;
+  const auto results =
+      bench::run_batch_reported(runner, jobs, true, &batch_stats);
+  obs.write(results, batch_stats);
   if (const std::string bench_json = flags.bench_json(); !bench_json.empty()) {
     const double wall_s = grid_timer.seconds();
     const std::string config = (flags.small() ? "small" : "full") + std::string("/jobs=") +

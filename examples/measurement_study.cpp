@@ -8,20 +8,37 @@
 //      matters (Fig. 8), absences hurt (Fig. 10);
 //   4. rank churn and the TTL bound rule out a multicast tree (Figs. 11-12);
 //   conclusion: the CDN polls the provider directly with TTL over unicast.
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "analysis/ttl_inference.hpp"
 #include "core/measurement_study.hpp"
+#include "obs/manifest.hpp"
 #include "util/cdf.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
   using namespace cdnsim;
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  bool quick = false;
+  std::string metrics_out, trace_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      std::cerr << "warning: ignoring argument '" << arg << "'\n";
+    }
+  }
 
   core::MeasurementConfig cfg;
   cfg.scenario.server_count = quick ? 150 : 350;
   cfg.days = quick ? 2 : 6;
+  cfg.record_trace_events = !trace_out.empty();
   std::cout << "Crawling " << cfg.scenario.server_count << " content servers for "
             << cfg.days << " game days (TTL-60 CDN, observers every "
             << cfg.observer_period_s << " s)...\n";
@@ -64,5 +81,39 @@ int main(int argc, char** argv) {
   std::cout << "\nConclusion: the CDN's servers poll the provider directly -\n"
             << "unicast + TTL(" << inferred << " s), exactly the paper's "
             << "Section 3.6 finding.\n";
+
+  if (!metrics_out.empty() || !trace_out.empty()) {
+    obs::RunManifest manifest = obs::capture_manifest(argc, argv);
+    manifest.seed = cfg.seed;
+    manifest.jobs = static_cast<int>(cfg.threads);
+    manifest.config_digest = obs::fnv1a64_hex(
+        "measurement_study/" + std::to_string(cfg.scenario.server_count) +
+        "/" + std::to_string(cfg.days));
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      if (!out) {
+        std::cerr << "cannot write metrics: " << metrics_out << "\n";
+        return 2;
+      }
+      out << "{\"label\":\"measurement_study\",\"metrics\":";
+      r.metrics.write_json(out);
+      out << "}\n";
+      out.close();
+      obs::write_manifest_for(metrics_out, manifest);
+      std::cout << "metrics: study totals -> " << metrics_out << "\n";
+    }
+    if (!trace_out.empty()) {
+      std::ofstream out(trace_out);
+      if (!out) {
+        std::cerr << "cannot write trace: " << trace_out << "\n";
+        return 2;
+      }
+      r.trace.write_chrome_json(out);
+      out.close();
+      obs::write_manifest_for(trace_out, manifest);
+      std::cout << "trace: " << r.trace.size() << " event(s) -> " << trace_out
+                << "\n";
+    }
+  }
   return 0;
 }

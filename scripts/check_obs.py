@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Validate the observability artifacts a bench binary emits.
+
+Usage:
+    check_obs.py --metrics M.jsonl [--trace T.json] [--csv C.csv]
+
+Checks (stdlib only, no third-party deps):
+  * metrics: parseable JSONL, one {"label", "metrics"} object per line;
+    every metrics object has counters/gauges/histograms; every histogram
+    has len(counts) == len(bounds) + 1 and count == sum(counts);
+  * trace: parseable JSON with a traceEvents list; every event carries
+    name/cat/ph/ts/pid/tid; "X" events carry dur; ts/dur are integers
+    (sim-microseconds — wall-clock floats would break determinism);
+  * csv: parseable by csv.reader, rectangular, and the "config" column
+    (present in the bench summary schema) re-splits into the "/"-joined
+    label parts — this exercises the RFC 4180 quoting path end to end;
+  * every artifact has a sibling <file>.manifest.json naming the binary,
+    a config_digest and a seed.
+
+Exit code 0 when every check passes, 1 otherwise.
+"""
+import argparse
+import csv
+import json
+import os
+import sys
+
+failures = []
+
+
+def check(ok, message):
+    if not ok:
+        failures.append(message)
+    return ok
+
+
+def check_manifest(artifact_path):
+    path = artifact_path + ".manifest.json"
+    if not check(os.path.exists(path), f"missing manifest {path}"):
+        return
+    with open(path) as f:
+        m = json.load(f)
+    for key in ("binary", "args", "seed", "config_digest", "git_describe",
+                "created_utc", "hostname", "platform", "hardware_threads",
+                "jobs", "wall_s"):
+        check(key in m, f"{path}: missing key '{key}'")
+    check(isinstance(m.get("seed"), int), f"{path}: seed must be an integer")
+    digest = m.get("config_digest", "")
+    check(len(digest) == 16 and all(c in "0123456789abcdef" for c in digest),
+          f"{path}: config_digest '{digest}' is not 16 hex chars")
+
+
+def check_metrics(path):
+    with open(path) as f:
+        lines = f.readlines()
+    check(len(lines) >= 1, f"{path}: empty metrics file")
+    for i, line in enumerate(lines):
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            check(False, f"{path}:{i + 1}: invalid JSON: {e}")
+            continue
+        check("label" in rec, f"{path}:{i + 1}: missing 'label'")
+        metrics = rec.get("metrics", {})
+        for section in ("counters", "gauges", "histograms"):
+            check(section in metrics, f"{path}:{i + 1}: missing '{section}'")
+        for name, h in metrics.get("histograms", {}).items():
+            check(len(h["counts"]) == len(h["bounds"]) + 1,
+                  f"{path}:{i + 1}: histogram '{name}' counts/bounds mismatch")
+            check(h["count"] == sum(h["counts"]),
+                  f"{path}:{i + 1}: histogram '{name}' count != sum(counts)")
+    check_manifest(path)
+
+
+def check_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not check(isinstance(events, list), f"{path}: no traceEvents list"):
+        return
+    check(len(events) >= 1, f"{path}: empty trace")
+    for i, ev in enumerate(events):
+        for key in ("name", "cat", "ph", "ts", "pid", "tid"):
+            if not check(key in ev, f"{path}: event {i} missing '{key}'"):
+                return  # one malformed event is enough to report
+        check(isinstance(ev["ts"], int),
+              f"{path}: event {i} ts is not an integer (wall clock leak?)")
+        if ev["ph"] == "X":
+            check(isinstance(ev.get("dur"), int),
+                  f"{path}: X event {i} missing integer dur")
+    check_manifest(path)
+
+
+def check_csv(path):
+    with open(path, newline="") as f:
+        rows = list(csv.reader(f))
+    if not check(len(rows) >= 2, f"{path}: need a header plus one row"):
+        return
+    header = rows[0]
+    for i, row in enumerate(rows[1:], start=2):
+        check(len(row) == len(header),
+              f"{path}:{i}: {len(row)} fields, header has {len(header)}")
+    if "label" in header and "config" in header:
+        li, ci = header.index("label"), header.index("config")
+        for i, row in enumerate(rows[1:], start=2):
+            check(row[ci].split(",") == row[li].split("/"),
+                  f"{path}:{i}: config column does not round-trip the label "
+                  f"(CSV quoting regression?): {row[ci]!r} vs {row[li]!r}")
+    check_manifest(path)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--metrics")
+    parser.add_argument("--trace")
+    parser.add_argument("--csv")
+    args = parser.parse_args()
+    if not (args.metrics or args.trace or args.csv):
+        parser.error("nothing to check")
+    if args.metrics:
+        check_metrics(args.metrics)
+    if args.trace:
+        check_trace(args.trace)
+    if args.csv:
+        check_csv(args.csv)
+    if failures:
+        for msg in failures:
+            print(f"check_obs: FAIL: {msg}", file=sys.stderr)
+        return 1
+    print("check_obs: all artifact checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

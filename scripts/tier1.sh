@@ -1,23 +1,29 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the standard build + full test suite, then the
-# concurrency layer (thread pool + batch runner) rebuilt and re-run under
-# ThreadSanitizer, then a Release-mode smoke run of the core
-# micro-benchmarks (catches perf-path code that only compiles or only
-# crashes under optimization). Run from the repository root.
+# concurrency layer (thread pool + batch runner + shared-Cdf reads) rebuilt
+# and re-run under ThreadSanitizer, then a Release-mode smoke run of the
+# core micro-benchmarks (catches perf-path code that only compiles or only
+# crashes under optimization), then the observability smoke: one fig binary
+# run at --jobs 1 and --jobs 8 with --metrics-out/--trace-out/--csv-out,
+# the deterministic artifacts cmp'd byte-for-byte and validated with
+# scripts/check_obs.py. Run from the repository root.
 #
 #   scripts/tier1.sh            # all stages
 #   scripts/tier1.sh --no-tsan  # skip the TSan stage
 #   scripts/tier1.sh --no-perf  # skip the Release perf smoke stage
+#   scripts/tier1.sh --no-obs   # skip the observability smoke stage
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_tsan=1
 run_perf=1
+run_obs=1
 for arg in "$@"; do
   case "${arg}" in
     --no-tsan) run_tsan=0 ;;
     --no-perf) run_perf=0 ;;
+    --no-obs) run_obs=0 ;;
     *) echo "unknown argument: ${arg}" >&2; exit 2 ;;
   esac
 done
@@ -33,7 +39,7 @@ if [[ "${run_tsan}" == "1" ]]; then
   cmake -B build-tsan -S . -DCDNSIM_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j --target cdnsim_tests
   ./build-tsan/tests/cdnsim_tests \
-    --gtest_filter='ThreadPool*:BatchRunner*:RngTest.Substream*'
+    --gtest_filter='ThreadPool*:BatchRunner*:RngTest.Substream*:CdfTest.ConcurrentReadsOnSharedConstCdf'
 fi
 
 if [[ "${run_perf}" == "1" ]]; then
@@ -44,6 +50,33 @@ if [[ "${run_perf}" == "1" ]]; then
   # Note: the system google-benchmark predates duration suffixes, so the
   # value must be a plain double (no "s"/"x").
   ./build-release/bench/micro_core --benchmark_min_time=0.05
+fi
+
+if [[ "${run_obs}" == "1" ]]; then
+  echo
+  echo "== tier-1: observability artifacts (determinism + format) =="
+  cmake --build build -j --target fig20_network_size
+  obs_dir="$(mktemp -d)"
+  trap 'rm -rf "${obs_dir}"' EXIT
+  # The binary's shape checks may legitimately fail at --small scale (exit
+  # 1); only a crash or batch failure (exit >= 2) fails the stage.
+  for jobs in 1 8; do
+    rc=0
+    ./build/bench/fig20_network_size --small --jobs "${jobs}" \
+      --metrics-out "${obs_dir}/m${jobs}.jsonl" \
+      --trace-out "${obs_dir}/t${jobs}.json" \
+      --csv-out "${obs_dir}/c${jobs}.csv" >/dev/null || rc=$?
+    if [[ "${rc}" -ge 2 ]]; then
+      echo "fig20_network_size --jobs ${jobs} failed (exit ${rc})" >&2
+      exit 1
+    fi
+  done
+  cmp "${obs_dir}/m1.jsonl" "${obs_dir}/m8.jsonl"
+  cmp "${obs_dir}/t1.json" "${obs_dir}/t8.json"
+  cmp "${obs_dir}/c1.csv" "${obs_dir}/c8.csv"
+  echo "metrics/trace/csv byte-identical for --jobs 1 vs --jobs 8"
+  python3 scripts/check_obs.py --metrics "${obs_dir}/m1.jsonl" \
+    --trace "${obs_dir}/t1.json" --csv "${obs_dir}/c1.csv"
 fi
 
 echo

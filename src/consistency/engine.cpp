@@ -1,6 +1,7 @@
 #include "consistency/engine.hpp"
 
 #include <algorithm>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -120,6 +121,8 @@ UpdateEngine::UpdateEngine(sim::Simulator& simulator,
   for (NodeId id : nodes.server_ids()) sites.push_back(nodes.location(id));
   if (sites.size() <= net::LatencyModel::kMaxPrimedSites) latency_.prime(sites);
 
+  bind_metrics();
+
   const Version final_version = updates_->update_count();
   servers_.reserve(nodes.server_count());
   for (NodeId id : nodes.server_ids()) {
@@ -134,6 +137,77 @@ UpdateEngine::UpdateEngine(sim::Simulator& simulator,
 }
 
 UpdateEngine::~UpdateEngine() = default;
+
+// ---------------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------------
+
+static std::size_t method_index(UpdateMethod m) {
+  return static_cast<std::size_t>(m);
+}
+
+void UpdateEngine::bind_metrics() {
+  // Every slot is registered up front, even for methods this run never
+  // assigns: the exported key set is then a function of nothing but the
+  // code version, so outputs diff cleanly across configurations.
+  for (std::size_t m = 0; m < kUpdateMethodCount; ++m) {
+    const std::string suffix(to_string(static_cast<UpdateMethod>(m)));
+    ctr_acquired_[m] = &metrics_.counter("engine.updates_acquired." + suffix);
+    ctr_polls_[m] = &metrics_.counter("engine.polls." + suffix);
+    ctr_fetches_[m] = &metrics_.counter("engine.fetches." + suffix);
+    ctr_invalidations_[m] = &metrics_.counter("engine.invalidations." + suffix);
+  }
+  ctr_mode_switches_ = &metrics_.counter("engine.mode_switches");
+  ctr_visits_ = &metrics_.counter("engine.user_visits");
+  ctr_visits_unanswered_ = &metrics_.counter("engine.user_visits_unanswered");
+  // Buckets span the regimes the paper reports: sub-TTL (seconds), the
+  // 10-60 s server TTLs of Sections 4-5, and pathological minutes-long
+  // windows under churn.
+  hist_inconsistency_ = &metrics_.histogram(
+      "engine.inconsistency_window_s",
+      {0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 60.0, 120.0, 300.0});
+}
+
+void UpdateEngine::publish_run_stats() {
+  const sim::EventQueue::Stats& qs = sim_->queue_stats();
+  metrics_.gauge("sim.events_scheduled").set(static_cast<double>(qs.pushes));
+  metrics_.gauge("sim.events_fired")
+      .set(static_cast<double>(sim_->events_processed()));
+  metrics_.gauge("sim.events_cancelled")
+      .set(static_cast<double>(qs.cancellations));
+  metrics_.gauge("sim.queue_compactions")
+      .set(static_cast<double>(qs.compactions));
+  metrics_.gauge("sim.queue_peak_depth")
+      .set(static_cast<double>(qs.peak_live));
+  metrics_.gauge("sim.end_time_s").set(sim_->now());
+
+  const net::TrafficTotals& t = meter_.totals();
+  metrics_.gauge("net.cost_km_kb").set(t.cost_km_kb);
+  metrics_.gauge("net.load_km_update").set(t.load_km_update);
+  metrics_.gauge("net.load_km_light").set(t.load_km_light);
+  metrics_.gauge("net.messages_update")
+      .set(static_cast<double>(t.update_messages));
+  metrics_.gauge("net.messages_light")
+      .set(static_cast<double>(t.light_messages));
+  const auto& kinds = meter_.kind_counts();
+  for (std::size_t k = 0; k < net::kMessageKindCount; ++k) {
+    metrics_
+        .gauge("net.messages." +
+               std::string(to_string(static_cast<net::MessageKind>(k))))
+        .set(static_cast<double>(kinds[k]));
+  }
+
+  const net::Uplink& pu = shared_provider_uplink_ != nullptr
+                              ? *shared_provider_uplink_
+                              : provider_uplink_;
+  metrics_.gauge("net.provider_uplink.kb_sent").set(pu.total_kb_sent());
+  metrics_.gauge("net.provider_uplink.reservations")
+      .set(static_cast<double>(pu.reservations()));
+  metrics_.gauge("net.provider_uplink.max_backlog_s").set(pu.max_backlog_s());
+
+  metrics_.gauge("engine.failures_injected")
+      .set(static_cast<double>(failures_injected_));
+}
 
 // ---------------------------------------------------------------------------
 // Transport
@@ -201,6 +275,15 @@ void UpdateEngine::acquire_version(ServerState& s, Version v) {
   s.version = v;
   s.recorder.on_version(v, sim_->now());
   s.last_known_update_time = updates_->update_time(v);
+  ctr_acquired_[method_index(s.method)]->inc();
+  // The inconsistency window for version v at this replica: origin update
+  // time to local acquisition (sim time on both ends — deterministic).
+  hist_inconsistency_->observe(sim_->now() - s.last_known_update_time);
+  if (config_.record_trace_events) {
+    trace_.complete("v" + std::to_string(v),
+                    std::string(to_string(s.method)),
+                    s.last_known_update_time, sim_->now(), s.id);
+  }
   propagate_to_children(s.id, v);
 }
 
@@ -354,6 +437,11 @@ void UpdateEngine::rate_adapt_tick(ServerState& s) {
 /// poll timer, and repairs any known staleness immediately.
 void UpdateEngine::switch_to_ttl_mode(ServerState& s) {
   s.sa_in_invalidation_mode = false;
+  ctr_mode_switches_->inc();
+  if (config_.record_trace_events) {
+    trace_.instant("switch_to_ttl", std::string(to_string(s.method)),
+                   sim_->now(), s.id);
+  }
   const NodeId parent = infra_.parent_of(s.id);
   const NodeId self = s.id;
   send(self, parent, net::MessageKind::kSwitchNotice, config_.light_packet_kb,
@@ -377,6 +465,7 @@ void UpdateEngine::poll_tick(ServerState& s) {
   }
   if (s.departed) return;                // crashed: no activity at all
   if (s.absent_at(sim_->now())) return;  // overloaded/failed: poll skipped
+  ctr_polls_[method_index(s.method)]->inc();
   const NodeId parent = infra_.parent_of(s.id);
   const NodeId self = s.id;
   send(self, parent, net::MessageKind::kPollRequest, config_.light_packet_kb,
@@ -396,6 +485,11 @@ void UpdateEngine::on_poll_response(ServerState& s, Version v, bool fresh) {
 
 void UpdateEngine::switch_to_invalidation_mode(ServerState& s) {
   s.sa_in_invalidation_mode = true;
+  ctr_mode_switches_->inc();
+  if (config_.record_trace_events) {
+    trace_.instant("switch_to_invalidation", std::string(to_string(s.method)),
+                   sim_->now(), s.id);
+  }
   if (s.poll_timer) s.poll_timer->stop();
   const NodeId parent = infra_.parent_of(s.id);
   const NodeId self = s.id;
@@ -419,6 +513,7 @@ void UpdateEngine::switch_to_invalidation_mode(ServerState& s) {
 }
 
 void UpdateEngine::on_invalidation(ServerState& s, Version v) {
+  ctr_invalidations_[method_index(s.method)]->inc();
   s.invalid_known = std::max(s.invalid_known, v);
   // Invalidation notices flood down to notice-receiving children (multicast
   // invalidation propagates the notice immediately, content on demand).
@@ -428,6 +523,7 @@ void UpdateEngine::on_invalidation(ServerState& s, Version v) {
 void UpdateEngine::begin_fetch(ServerState& s) {
   CDNSIM_EXPECTS(!s.fetch_in_flight, "fetch already in flight");
   s.fetch_in_flight = true;
+  ctr_fetches_[method_index(s.method)]->inc();
   const NodeId parent = infra_.parent_of(s.id);
   const NodeId self = s.id;
   send(self, parent, net::MessageKind::kFetchRequest, config_.light_packet_kb,
@@ -485,6 +581,9 @@ void UpdateEngine::fail_node(ServerState& s) {
   CDNSIM_EXPECTS(!s.departed, "server already failed");
   ++failures_injected_;
   s.departed = true;
+  if (config_.record_trace_events) {
+    trace_.instant("fail", "churn", sim_->now(), s.id);
+  }
   if (s.poll_timer) s.poll_timer->stop();
   // Users caught waiting on a fetch see a failed request.
   for (const auto& w : s.waiting_users) {
@@ -513,6 +612,9 @@ void UpdateEngine::fail_node(ServerState& s) {
 
 void UpdateEngine::restore_node(ServerState& s) {
   s.departed = false;
+  if (config_.record_trace_events) {
+    trace_.instant("restore", "churn", sim_->now(), s.id);
+  }
   if (config_.churn.repair_enabled) {
     const RepairReport report = infra_.restore_server(s.id, rng_);
     apply_repair(report);
@@ -634,6 +736,7 @@ void UpdateEngine::user_visit(UserState& u) {
     u.visit_timer->stop();
     return;
   }
+  ctr_visits_->inc();
   NodeId target = u.home_server;
   if (config_.user_attachment == UserAttachment::kSwitchEveryVisit) {
     target = static_cast<NodeId>(rng_.index(servers_.size()));
@@ -644,6 +747,7 @@ void UpdateEngine::user_visit(UserState& u) {
   u.last_server = target;
   ServerState& s = *servers_[static_cast<std::size_t>(target)];
   if (s.departed || s.absent_at(sim_->now())) {
+    ctr_visits_unanswered_->inc();
     cdn::UserObservation obs;
     obs.request_time = obs.serve_time = sim_->now();
     obs.server = target;
@@ -695,6 +799,7 @@ void UpdateEngine::deliver_to_user(ServerState& s, UserState& u,
 void UpdateEngine::run() {
   prepare();
   sim_->run();
+  publish_run_stats();
 }
 
 void UpdateEngine::prepare() {

@@ -24,12 +24,15 @@
 // model, and are accounted by the TrafficMeter.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "cdn/dns.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
 #include "cdn/provider.hpp"
 #include "cdn/replica_recorder.hpp"
 #include "cdn/user_log.hpp"
@@ -110,6 +113,10 @@ struct EngineConfig {
   /// Record per-user observation logs (needed for user-perspective metrics;
   /// disable for large measurement sweeps that only use the poll log).
   bool record_user_logs = true;
+  /// Record Chrome trace events (version acquisitions, mode switches,
+  /// churn) into the engine's TraceRecorder. Off by default: tracing
+  /// allocates per event, unlike the always-on counters.
+  bool record_trace_events = false;
 };
 
 class UpdateEngine {
@@ -157,6 +164,18 @@ class UpdateEngine {
   /// Churn statistics (0 when churn is disabled).
   std::size_t failures_injected() const { return failures_injected_; }
 
+  /// The engine's metric registry. Counters accumulate during the run;
+  /// run() finishes by folding in end-of-run gauges (simulator queue
+  /// stats, traffic totals, provider uplink). Engines co-scheduled via
+  /// prepare() + external Simulator::run() should call
+  /// publish_run_stats() themselves before reading this.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  /// Recorded trace events (empty unless config.record_trace_events).
+  const obs::TraceRecorder& trace_events() const { return trace_; }
+  /// Copies simulator/meter/uplink end-of-run totals into metrics().
+  /// Idempotent; called automatically by run().
+  void publish_run_stats();
+
  private:
   struct ServerState;
   struct UserState;
@@ -190,6 +209,9 @@ class UpdateEngine {
   void switch_to_ttl_mode(ServerState& s);
   void rate_adapt_tick(ServerState& s);
   sim::SimTime current_ttl(const ServerState& s) const;
+
+  // observability
+  void bind_metrics();
 
   // churn
   void schedule_next_failure();
@@ -236,6 +258,20 @@ class UpdateEngine {
   sim::SimTime end_time_ = 0;
   std::size_t failures_injected_ = 0;
   bool ran_ = false;
+
+  // Observability. The registry is engine-owned (nothing shared between
+  // batch jobs); the pointers below are slots bound once in bind_metrics()
+  // so each hot-path increment is a single add through a kept reference.
+  obs::MetricsRegistry metrics_;
+  obs::TraceRecorder trace_;
+  std::array<obs::Counter*, kUpdateMethodCount> ctr_acquired_{};
+  std::array<obs::Counter*, kUpdateMethodCount> ctr_polls_{};
+  std::array<obs::Counter*, kUpdateMethodCount> ctr_fetches_{};
+  std::array<obs::Counter*, kUpdateMethodCount> ctr_invalidations_{};
+  obs::Counter* ctr_mode_switches_ = nullptr;
+  obs::Counter* ctr_visits_ = nullptr;
+  obs::Counter* ctr_visits_unanswered_ = nullptr;
+  obs::Histogram* hist_inconsistency_ = nullptr;
 };
 
 }  // namespace cdnsim::consistency

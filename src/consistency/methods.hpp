@@ -24,6 +24,7 @@
 //                     per TTL window.
 #pragma once
 
+#include <cstddef>
 #include <string_view>
 
 #include "sim/time.hpp"
@@ -38,6 +39,10 @@ enum class UpdateMethod {
   kSelfAdaptive,
   kRateAdaptive,
 };
+
+/// Number of UpdateMethod enumerators — sized for per-method counter arrays.
+inline constexpr std::size_t kUpdateMethodCount =
+    static_cast<std::size_t>(UpdateMethod::kRateAdaptive) + 1;
 
 std::string_view to_string(UpdateMethod m);
 

@@ -51,11 +51,13 @@ BatchResult BatchRunner::run_job(const BatchJob& job, std::uint64_t master_seed,
   return out;
 }
 
-std::vector<BatchResult> BatchRunner::run(
-    const std::vector<BatchJob>& jobs) const {
+std::vector<BatchResult> BatchRunner::run(const std::vector<BatchJob>& jobs,
+                                          BatchRunStats* stats) const {
   std::vector<BatchResult> results(jobs.size());
+  if (stats != nullptr) *stats = BatchRunStats{threads_, 0, 0};
   if (jobs.empty()) return results;
 
+  const auto start = std::chrono::steady_clock::now();
   // Each task writes only its own pre-allocated slot, so completion order is
   // irrelevant and no synchronisation beyond the pool's join is needed.
   util::ThreadPool pool(threads_);
@@ -66,6 +68,12 @@ std::vector<BatchResult> BatchRunner::run(
     });
   }
   pool.wait_idle();
+  if (stats != nullptr) {
+    stats->steals = pool.steal_count();
+    stats->wall_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  }
   return results;
 }
 

@@ -69,13 +69,24 @@ struct BatchOptions {
   std::uint64_t master_seed = 42;
 };
 
+/// Host-side execution statistics for one run() call. Inherently
+/// scheduling-dependent (wall clock, steal counts) — belongs in a
+/// RunManifest, never in the deterministic metrics stream.
+struct BatchRunStats {
+  std::size_t threads = 0;
+  std::uint64_t steals = 0;
+  double wall_s = 0;
+};
+
 class BatchRunner {
  public:
   explicit BatchRunner(BatchOptions options = {});
 
   /// Runs every job and returns results in submission order. Deterministic:
   /// the returned SimulationResults are identical for any thread count.
-  std::vector<BatchResult> run(const std::vector<BatchJob>& jobs) const;
+  /// `stats` (optional) receives host-side execution statistics.
+  std::vector<BatchResult> run(const std::vector<BatchJob>& jobs,
+                               BatchRunStats* stats = nullptr) const;
 
   /// The serial reference semantics: what run() must reproduce for job
   /// `job_index`. Exposed so tests (and callers wanting a plain loop) can

@@ -32,6 +32,7 @@ consistency::EngineConfig day_engine_config(const MeasurementConfig& cfg,
   ec.server_uplink_kbps = cfg.server_uplink_kbps;
   ec.record_poll_log = true;
   ec.record_user_logs = false;
+  ec.record_trace_events = cfg.record_trace_events;
   ec.seed = day_seed;
   return ec;
 }
@@ -59,6 +60,8 @@ struct DayOutput {
   std::vector<std::vector<double>> inter_by_cluster;
   std::vector<analysis::AbsenceEvent> absence_events;
   double observed_time = 0;
+  obs::MetricsRegistry metrics;  // the day engine's sim-time metrics
+  obs::TraceRecorder trace;      // empty unless config.record_trace_events
 };
 
 ClusterPercentiles percentiles_of(const std::vector<double>& xs) {
@@ -143,6 +146,8 @@ MeasurementResults run_measurement_study(const MeasurementConfig& config) {
     consistency::UpdateEngine engine(simulator, nodes, in.game, in.ec,
                                      std::move(in.absences));
     engine.run();
+    out.metrics = engine.metrics();
+    out.trace = engine.trace_events();
 
     // Inject per-server clock skew and remove it with the probe estimates —
     // the corrected log is what the paper's pipeline would actually see.
@@ -308,6 +313,8 @@ MeasurementResults run_measurement_study(const MeasurementConfig& config) {
                                   out.absence_events.begin(),
                                   out.absence_events.end());
     total_observed_time += out.observed_time;
+    results.metrics.merge_from(out.metrics);
+    results.trace.append(out.trace, static_cast<std::int32_t>(day));
   }
 
   // Fig. 8: distance rings -> average consistency ratio.
@@ -408,6 +415,7 @@ UserPerspectiveResults run_user_perspective_study(
   const analysis::SnapshotTimeline timeline(engine.poll_log());
 
   UserPerspectiveResults out;
+  out.metrics = engine.metrics();
   out.redirection_fractions = analysis::redirection_fractions(engine.user_logs());
   const auto times =
       analysis::pooled_continuous_times(engine.user_logs(), timeline);

@@ -16,6 +16,8 @@
 #include "analysis/tree_existence.hpp"
 #include "core/scenario.hpp"
 #include "core/simulation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
 #include "trace/absence.hpp"
 #include "trace/game_generator.hpp"
 
@@ -46,6 +48,10 @@ struct MeasurementConfig {
                              .jitter_fraction = 0.15};
   double provider_uplink_kbps = 12500.0;  // 100 Mbit/s
   double server_uplink_kbps = 12500.0;
+  /// Record per-day trace events (version acquisitions, churn) into
+  /// MeasurementResults::trace, pid = day index. Off by default: tracing a
+  /// full study allocates one event per server-version acquisition.
+  bool record_trace_events = false;
   std::uint64_t seed = 7;
   /// Worker threads for the per-day simulations (0 = hardware concurrency,
   /// 1 = serial). Results are identical for every value: day inputs are
@@ -98,6 +104,16 @@ struct MeasurementResults {
 
   double overall_avg_request_inconsistency = 0;
   std::uint64_t total_requests = 0;
+
+  /// Engine/sim metrics merged over all simulated days in day order
+  /// (counters add, histograms merge bucket-wise, gauges keep the last
+  /// day's value). Sim-time derived only, so byte-identical for any
+  /// `threads` count.
+  obs::MetricsRegistry metrics;
+  /// Per-day trace events (empty unless config.record_trace_events),
+  /// appended in day order with pid = day index. Same determinism contract
+  /// as `metrics`.
+  obs::TraceRecorder trace;
 };
 
 /// Runs the full multi-day study. Deterministic in config.seed.
@@ -116,6 +132,7 @@ struct UserPerspectiveResults {
   std::vector<double> continuous_consistency;    // pooled run durations (4c)
   std::vector<double> continuous_inconsistency;  // pooled run durations (4d)
   double avg_inconsistent_server_fraction = 0;   // the ~11% of Sec. 3.3
+  obs::MetricsRegistry metrics;                  // the single day's engine metrics
 };
 
 UserPerspectiveResults run_user_perspective_study(const UserPerspectiveConfig& config);

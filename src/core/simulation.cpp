@@ -36,6 +36,8 @@ SimulationResult run_simulation(const topology::NodeRegistry& nodes,
   }
   result.converged_server_fraction =
       n == 0 ? 0.0 : static_cast<double>(converged) / static_cast<double>(n);
+  result.metrics = engine.metrics();
+  result.trace = engine.trace_events();
   return result;
 }
 

@@ -15,6 +15,8 @@
 
 #include "consistency/engine.hpp"
 #include "core/scenario.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
 #include "trace/update_trace.hpp"
 
 namespace cdnsim::core {
@@ -43,6 +45,12 @@ struct SimulationResult {
   /// Fraction of servers whose replica ended the run at the trace's final
   /// version (the convergence measure of the churn-robustness experiments).
   double converged_server_fraction = 0;
+
+  /// Snapshot of the engine's metric registry (sim-time derived only, so
+  /// byte-identical for a fixed seed regardless of --jobs).
+  obs::MetricsRegistry metrics;
+  /// Trace events, empty unless EngineConfig::record_trace_events.
+  obs::TraceRecorder trace;
 };
 
 /// Runs one trace through one engine configuration on the given CDN.

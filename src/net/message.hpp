@@ -8,6 +8,7 @@
 // by it.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -26,6 +27,10 @@ enum class MessageKind : std::uint8_t {
   kUserRequest,        // light: end-user content request
   kUserResponse,       // update: content served to an end-user
 };
+
+/// Number of MessageKind enumerators — sized for per-kind counter arrays.
+inline constexpr std::size_t kMessageKindCount =
+    static_cast<std::size_t>(MessageKind::kUserResponse) + 1;
 
 /// True for messages that carry a content payload.
 bool carries_content(MessageKind kind);

@@ -21,6 +21,7 @@ void TrafficMeter::record(MessageKind kind, NodeId sender, double distance_km,
                           double size_kb) {
   CDNSIM_EXPECTS(distance_km >= 0, "distance must be non-negative");
   CDNSIM_EXPECTS(size_kb >= 0, "size must be non-negative");
+  ++kind_counts_[static_cast<std::size_t>(kind)];
   if (!is_maintenance(kind)) return;
   apply(totals_, kind, distance_km, size_kb);
   apply(by_sender_[sender], kind, distance_km, size_kb);
@@ -34,6 +35,7 @@ TrafficTotals TrafficMeter::sender_totals(NodeId sender) const {
 void TrafficMeter::reset() {
   totals_ = {};
   by_sender_.clear();
+  kind_counts_.fill(0);
 }
 
 }  // namespace cdnsim::net

@@ -9,6 +9,7 @@
 //     messages overall and from the content provider).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 
@@ -41,11 +42,19 @@ class TrafficMeter {
   /// Messages sent by one node (e.g. the content provider, Fig. 22b).
   TrafficTotals sender_totals(NodeId sender) const;
 
+  /// Count of every record() call per message kind, *including* the
+  /// non-maintenance kinds the cost totals ignore — the obs layer exports
+  /// these so a figure's traffic numbers can be decomposed by kind.
+  const std::array<std::uint64_t, kMessageKindCount>& kind_counts() const {
+    return kind_counts_;
+  }
+
   void reset();
 
  private:
   TrafficTotals totals_;
   std::unordered_map<NodeId, TrafficTotals> by_sender_;
+  std::array<std::uint64_t, kMessageKindCount> kind_counts_{};
 };
 
 }  // namespace cdnsim::net

@@ -13,8 +13,10 @@ Uplink::Uplink(double bandwidth_kbps) : bandwidth_kbps_(bandwidth_kbps) {
 sim::SimTime Uplink::reserve(sim::SimTime now, double size_kb) {
   CDNSIM_EXPECTS(size_kb >= 0, "message size must be non-negative");
   const sim::SimTime start = std::max(busy_until_, now);
+  if (start - now > max_backlog_s_) max_backlog_s_ = start - now;
   busy_until_ = start + size_kb / bandwidth_kbps_;
   total_kb_sent_ += size_kb;
+  ++reservations_;
   return busy_until_;
 }
 

@@ -9,6 +9,8 @@
 // and stays flat.
 #pragma once
 
+#include <cstdint>
+
 #include "sim/time.hpp"
 
 namespace cdnsim::net {
@@ -32,10 +34,17 @@ class Uplink {
   double bandwidth_kbps() const { return bandwidth_kbps_; }
   double total_kb_sent() const { return total_kb_sent_; }
 
+  /// Number of reserve() calls (messages serialized through the link).
+  std::uint64_t reservations() const { return reservations_; }
+  /// Longest queueing delay (seconds) any reservation experienced.
+  sim::SimTime max_backlog_s() const { return max_backlog_s_; }
+
  private:
   double bandwidth_kbps_;
   sim::SimTime busy_until_ = 0;
   double total_kb_sent_ = 0;
+  std::uint64_t reservations_ = 0;
+  sim::SimTime max_backlog_s_ = 0;
 };
 
 }  // namespace cdnsim::net

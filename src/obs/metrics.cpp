@@ -1,0 +1,130 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/csv.hpp"  // util::format_double
+#include "util/error.hpp"
+
+namespace cdnsim::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  CDNSIM_EXPECTS(!bounds_.empty(), "Histogram requires at least one bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    CDNSIM_EXPECTS(bounds_[i - 1] < bounds_[i],
+                   "Histogram bounds must be strictly increasing");
+  }
+}
+
+void Histogram::observe(double x) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && x > bounds_[i]) ++i;
+  ++counts_[i];
+  sum_ += x;
+  ++count_;
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  CDNSIM_EXPECTS(bounds_ == other.bounds_,
+                 "Histogram merge requires identical bounds");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) { return gauges_[name]; }
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(std::move(upper_bounds))).first;
+  }
+  return it->second;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counters_[name].value += c.value;
+  for (const auto& [name, g] : other.gauges_) gauges_[name].value = g.value;
+  for (const auto& [name, h] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+    } else {
+      it->second.merge_from(h);
+    }
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(name) << "\":" << c.value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(name) << "\":" << util::format_double(g.value);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(name) << "\":{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      if (i > 0) out << ',';
+      out << util::format_double(h.bounds()[i]);
+    }
+    out << "],\"counts\":[";
+    for (std::size_t i = 0; i < h.counts().size(); ++i) {
+      if (i > 0) out << ',';
+      out << h.counts()[i];
+    }
+    out << "],\"sum\":" << util::format_double(h.sum())
+        << ",\"count\":" << h.count() << '}';
+  }
+  out << "}}";
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace cdnsim::obs

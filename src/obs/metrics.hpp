@@ -1,0 +1,112 @@
+// Runtime metrics for the simulator: counters, gauges and fixed-bucket
+// histograms behind a registry that hands out plain slots.
+//
+// Design (the "zero-cost when disabled" contract, see DESIGN.md):
+//  * a Counter/Gauge is a bare uint64_t/double slot. Components ask the
+//    registry once (at construction) for `Counter&` references and keep
+//    them, so the hot path is a single non-atomic increment on memory the
+//    component already owns — no name lookup, no branch, no atomics;
+//  * nothing is shared between simulations: each UpdateEngine owns its own
+//    registry, so parallel batch jobs never touch the same slot (the
+//    serial/parallel equivalence suite extends to metrics byte-for-byte);
+//  * exporting is pull-based. A registry serialises to a canonical JSON
+//    object (keys sorted, shortest-round-trip doubles), and only when a
+//    sink (--metrics-out) asks for it. With no sink attached the slots are
+//    written but never read — dead stores on hot cache lines, measured
+//    within noise on the micro_core queue benchmark;
+//  * all values derive from sim time and seeded RNG state, never the wall
+//    clock, so metrics output is deterministic for a fixed seed and
+//    byte-identical across --jobs counts. Wall-clock data belongs in the
+//    RunManifest (manifest.hpp), which is non-deterministic by design.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cdnsim::obs {
+
+/// A monotonically increasing event count.
+struct Counter {
+  std::uint64_t value = 0;
+  void inc(std::uint64_t n = 1) { value += n; }
+};
+
+/// A point-in-time value (totals, peaks, final readings).
+struct Gauge {
+  double value = 0;
+  void set(double v) { value = v; }
+  void max_of(double v) {
+    if (v > value) value = v;
+  }
+};
+
+/// A fixed-bucket histogram: counts of observations per upper bound, plus
+/// an implicit overflow bucket, plus sum/count for the mean. Bounds are
+/// fixed at creation so merged histograms always align.
+class Histogram {
+ public:
+  Histogram() = default;
+  /// `upper_bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double x);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  double sum() const { return sum_; }
+  std::uint64_t count() const { return count_; }
+
+  /// Adds another histogram with identical bounds into this one.
+  void merge_from(const Histogram& other);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  double sum_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+/// Owns named metric slots and serialises them canonically. References
+/// returned by counter()/gauge()/histogram() stay valid for the registry's
+/// lifetime (node-based storage). Copyable, so a simulation result can
+/// carry its metrics out of the engine that produced them.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Creates the histogram on first call; later calls ignore `upper_bounds`
+  /// and return the existing one.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Folds `other` into this registry: counters add, gauges take the
+  /// incoming value, histograms merge bucket-wise (bounds must match).
+  /// Used to aggregate per-day / per-job registries in submission order.
+  void merge_from(const MetricsRegistry& other);
+
+  /// One canonical JSON object (no trailing newline): keys sorted,
+  /// doubles in shortest-round-trip form. Equal registries serialise to
+  /// equal bytes — the equivalence tests compare these strings.
+  void write_json(std::ostream& out) const;
+  std::string to_json() const;
+
+ private:
+  // std::map: deterministic (sorted) iteration + stable node addresses.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// JSON string escaping for the obs serialisers (quotes, backslashes,
+/// control characters).
+std::string json_escape(const std::string& s);
+
+}  // namespace cdnsim::obs

@@ -1,0 +1,65 @@
+#include "obs/trace_recorder.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "obs/metrics.hpp"  // json_escape
+
+namespace cdnsim::obs {
+
+std::int64_t sim_seconds_to_trace_us(double seconds) {
+  return static_cast<std::int64_t>(std::llround(seconds * 1e6));
+}
+
+void TraceRecorder::complete(std::string name, std::string cat,
+                             double start_s, double end_s, std::int32_t tid,
+                             std::string args_json) {
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.ph = 'X';
+  ev.ts_us = sim_seconds_to_trace_us(start_s);
+  ev.dur_us = sim_seconds_to_trace_us(end_s) - ev.ts_us;
+  ev.tid = tid;
+  ev.args_json = std::move(args_json);
+  events_.push_back(std::move(ev));
+}
+
+void TraceRecorder::instant(std::string name, std::string cat, double at_s,
+                            std::int32_t tid, std::string args_json) {
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.ph = 'i';
+  ev.ts_us = sim_seconds_to_trace_us(at_s);
+  ev.tid = tid;
+  ev.args_json = std::move(args_json);
+  events_.push_back(std::move(ev));
+}
+
+void TraceRecorder::append(const TraceRecorder& other, std::int32_t pid) {
+  events_.reserve(events_.size() + other.events_.size());
+  for (TraceEvent ev : other.events_) {
+    ev.pid = pid;
+    events_.push_back(std::move(ev));
+  }
+}
+
+void TraceRecorder::write_chrome_json(std::ostream& out) const {
+  out << "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& ev = events_[i];
+    if (i > 0) out << ',';
+    out << "{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\""
+        << json_escape(ev.cat) << "\",\"ph\":\"" << ev.ph
+        << "\",\"ts\":" << ev.ts_us;
+    if (ev.ph == 'X') out << ",\"dur\":" << ev.dur_us;
+    out << ",\"pid\":" << ev.pid << ",\"tid\":" << ev.tid;
+    if (ev.ph == 'i') out << ",\"s\":\"t\"";
+    if (!ev.args_json.empty()) out << ",\"args\":" << ev.args_json;
+    out << '}';
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace cdnsim::obs

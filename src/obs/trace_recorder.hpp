@@ -1,0 +1,65 @@
+// Chrome trace-event recording for simulation runs.
+//
+// A TraceRecorder collects timestamped events during a simulation and
+// serialises them in the Chrome trace-event JSON format (the JSON-array
+// flavour: {"traceEvents":[...]}), loadable in chrome://tracing and
+// Perfetto. Timestamps are *sim time* converted to microseconds — never
+// wall clock — so traces are deterministic for a fixed seed and
+// byte-identical across --jobs counts; the pid field carries the batch
+// job index and tid the node id, which gives one swim-lane per job and
+// per node in the viewer.
+//
+// Recording is opt-in (EngineConfig::record_trace_events); when disabled
+// the recorder is never constructed and the hot path pays nothing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cdnsim::obs {
+
+/// One Chrome trace event. `ph` is the phase: "X" complete (with dur),
+/// "i" instant, "C" counter.
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char ph = 'i';
+  std::int64_t ts_us = 0;
+  std::int64_t dur_us = 0;  // only written for ph == 'X'
+  std::int32_t pid = 0;
+  std::int32_t tid = 0;
+  std::string args_json;  // pre-rendered JSON object, "" for none
+};
+
+class TraceRecorder {
+ public:
+  /// Records a complete ("X") event spanning [start_s, end_s] sim seconds.
+  void complete(std::string name, std::string cat, double start_s,
+                double end_s, std::int32_t tid, std::string args_json = "");
+
+  /// Records an instant ("i") event at `at_s` sim seconds.
+  void instant(std::string name, std::string cat, double at_s,
+               std::int32_t tid, std::string args_json = "");
+
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Appends another recorder's events, stamping them with `pid` (the
+  /// batch job index). Used to merge per-job traces in submission order.
+  void append(const TraceRecorder& other, std::int32_t pid);
+
+  /// Writes the full {"traceEvents":[...]} document (with a trailing
+  /// newline). Deterministic: events appear in recording/append order.
+  void write_chrome_json(std::ostream& out) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Sim seconds -> trace microseconds (the trace viewer's unit).
+std::int64_t sim_seconds_to_trace_us(double seconds);
+
+}  // namespace cdnsim::obs

@@ -72,6 +72,8 @@ EventHandle EventQueue::push(SimTime time, EventAction action) {
   heap_.push_back(HeapEntry{time, (seq << kSlotIndexBits) | slot});
   sift_up(heap_.size() - 1);
   ++live_count_;
+  ++stats_.pushes;
+  if (live_count_ > stats_.peak_live) stats_.peak_live = live_count_;
   return EventHandle(this, slot, seq);
 }
 
@@ -79,6 +81,7 @@ void EventQueue::cancel_slot(std::uint32_t slot, std::uint64_t seq) {
   if (!slot_live(slot, seq)) return;  // fired/cancelled/reused: inert
   release_slot(slot);
   --live_count_;
+  ++stats_.cancellations;
   ++dead_in_heap_;  // the heap entry is now a tombstone
   maybe_compact();
 }
@@ -131,6 +134,7 @@ void EventQueue::maybe_compact() {
 }
 
 void EventQueue::compact() {
+  ++stats_.compactions;
   std::size_t kept = 0;
   const std::size_t n = heap_.size();
   for (std::size_t i = 0; i < n; ++i) {

@@ -99,6 +99,18 @@ class EventQueue {
   /// Must be in (0, 1]; default 0.25.
   void set_compaction_threshold(double fraction);
 
+  /// Lifetime statistics, maintained unconditionally: plain integer
+  /// increments on state the queue already touches, so they cost nothing
+  /// measurable (verified against BENCH_core.json). Published through
+  /// the obs layer only when a sink asks.
+  struct Stats {
+    std::uint64_t pushes = 0;
+    std::uint64_t cancellations = 0;
+    std::uint64_t compactions = 0;
+    std::uint64_t peak_live = 0;  // high-water mark of live_size()
+  };
+  const Stats& stats() const { return stats_; }
+
  private:
   friend class EventHandle;
 
@@ -205,6 +217,7 @@ class EventQueue {
   std::uint64_t next_seq_ = 0;
   std::size_t live_count_ = 0;
   double compaction_threshold_ = 0.25;
+  Stats stats_;
 };
 
 }  // namespace cdnsim::sim

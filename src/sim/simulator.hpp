@@ -41,6 +41,11 @@ class Simulator {
   std::uint64_t events_processed() const { return events_processed_; }
   bool drained() const { return queue_.empty(); }
 
+  /// Queue lifetime statistics (events scheduled/cancelled, compactions,
+  /// peak depth) — the sim layer stays observability-agnostic; callers
+  /// publish these through obs::MetricsRegistry if they want them.
+  const EventQueue::Stats& queue_stats() const { return queue_.stats(); }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0;

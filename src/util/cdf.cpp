@@ -25,7 +25,8 @@ void Cdf::finalize() {
 }
 
 const std::vector<double>& Cdf::sorted_samples() const {
-  const_cast<Cdf*>(this)->finalize();
+  CDNSIM_EXPECTS(sorted_,
+                 "Cdf read before finalize(); call finalize() after add()");
   return samples_;
 }
 

@@ -4,6 +4,12 @@
 // (inconsistency length, absence length, response time, ...). Cdf wraps a
 // sample set and answers both directions of lookup plus evenly spaced points
 // for printing a figure's series.
+//
+// Thread-safety contract: after finalize() (or vector construction, which
+// finalizes), all const member functions are pure reads, so a const Cdf may
+// be shared across BatchRunner jobs. Reading an unfinalized Cdf throws —
+// lookups never sort behind the caller's back, because a lazy sort under
+// const would race when two threads hit it at once.
 #pragma once
 
 #include <cstddef>
@@ -14,11 +20,14 @@ namespace cdnsim::util {
 class Cdf {
  public:
   Cdf() = default;
+  /// Takes ownership of the samples and finalizes immediately.
   explicit Cdf(std::vector<double> samples);
 
+  /// Appends a sample; the Cdf must be finalized again before lookups.
   void add(double x);
-  /// Sorts the sample set; called automatically by lookups.
+  /// Sorts the sample set. Required after add() before any lookup.
   void finalize();
+  bool finalized() const { return sorted_; }
 
   std::size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
@@ -44,11 +53,13 @@ class Cdf {
   /// Points at the given explicit x positions.
   std::vector<Point> points_at(const std::vector<double>& xs) const;
 
+  /// Throws util::PreconditionError if finalize() has not run since the
+  /// last add().
   const std::vector<double>& sorted_samples() const;
 
  private:
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = true;
+  std::vector<double> samples_;
+  bool sorted_ = true;
 };
 
 }  // namespace cdnsim::util

@@ -1,8 +1,10 @@
 #include "util/csv.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <ostream>
 #include <sstream>
+#include <system_error>
 
 #include "util/error.hpp"
 
@@ -15,7 +17,7 @@ void CsvWriter::header(const std::vector<std::string>& names) { row(names); }
 void CsvWriter::row(const std::vector<std::string>& values) {
   for (std::size_t i = 0; i < values.size(); ++i) {
     if (i > 0) *out_ << ',';
-    *out_ << values[i];
+    *out_ << csv_escape(values[i]);
   }
   *out_ << '\n';
 }
@@ -23,9 +25,29 @@ void CsvWriter::row(const std::vector<std::string>& values) {
 void CsvWriter::row(const std::vector<double>& values) {
   for (std::size_t i = 0; i < values.size(); ++i) {
     if (i > 0) *out_ << ',';
-    *out_ << values[i];
+    *out_ << format_double(values[i]);
   }
   *out_ << '\n';
+}
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string quoted;
+  quoted.reserve(field.size() + 2);
+  quoted.push_back('"');
+  for (const char c : field) {
+    if (c == '"') quoted.push_back('"');
+    quoted.push_back(c);
+  }
+  quoted.push_back('"');
+  return quoted;
+}
+
+std::string format_double(double value) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  if (res.ec != std::errc{}) throw Error("format_double: to_chars failed");
+  return std::string(buf, res.ptr);
 }
 
 std::vector<std::string> split_csv_line(const std::string& line) {
@@ -59,19 +81,60 @@ std::vector<std::string> split_csv_line(const std::string& line) {
 }
 
 CsvTable read_csv(std::istream& in) {
+  // Character-level RFC 4180 state machine rather than getline +
+  // split_csv_line: quoted fields may contain newlines, and an empty line
+  // is a real (single empty field) record that must keep its row index.
   CsvTable table;
-  std::string line;
-  bool first = true;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    auto fields = split_csv_line(line);
-    if (first) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  bool have_header = false;
+  bool any_char = false;  // distinguishes EOF from a pending empty record
+
+  const auto end_row = [&] {
+    fields.push_back(std::move(cur));
+    cur.clear();
+    if (!have_header) {
       table.header = std::move(fields);
-      first = false;
+      have_header = true;
     } else {
       table.rows.push_back(std::move(fields));
     }
+    fields.clear();
+    any_char = false;
+  };
+
+  char c;
+  while (in.get(c)) {
+    if (quoted) {
+      if (c == '"') {
+        if (in.peek() == '"') {
+          cur.push_back('"');
+          in.get(c);
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+      any_char = true;
+    } else if (c == '"') {
+      quoted = true;
+      any_char = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+      any_char = true;
+    } else if (c == '\n') {
+      end_row();
+    } else if (c != '\r') {
+      cur.push_back(c);
+      any_char = true;
+    }
   }
+  // Final record without a trailing newline; a file ending in '\n' adds
+  // nothing here (that is the one "empty line" we skip).
+  if (any_char || !fields.empty()) end_row();
   return table;
 }
 

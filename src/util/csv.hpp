@@ -1,6 +1,8 @@
 // Minimal CSV reading/writing for trace files and benchmark output.
-// Values never contain embedded separators in our formats, so quoting is
-// supported on read but not required on write.
+// Both directions speak RFC 4180: the writer quotes/escapes any field
+// containing a separator, quote or newline, and the reader understands
+// quoted fields (including embedded newlines), so write -> read is a
+// lossless round trip.
 #pragma once
 
 #include <iosfwd>
@@ -22,7 +24,18 @@ class CsvWriter {
   std::ostream* out_;
 };
 
+/// Quotes/escapes a field per RFC 4180 if it contains ',', '"', '\n' or
+/// '\r'; returns it unchanged otherwise.
+std::string csv_escape(const std::string& field);
+
+/// Shortest decimal string that parses back to exactly the same double
+/// (std::to_chars round-trip form). Used for all numeric CSV/JSON export
+/// so figures carry full precision.
+std::string format_double(double value);
+
 /// Parses one CSV line into fields. Handles double-quoted fields.
+/// The line must not contain an embedded (quoted) newline; read_csv
+/// handles those.
 std::vector<std::string> split_csv_line(const std::string& line);
 
 /// Reads a whole CSV file: first row header, rest data.
@@ -31,6 +44,9 @@ struct CsvTable {
   std::vector<std::vector<std::string>> rows;
 };
 
+/// Full RFC 4180 parse: quoted fields may span lines, and interior empty
+/// lines are preserved as single-empty-field rows (only the trailing
+/// newline of the file is skipped), so row indices survive a round trip.
 CsvTable read_csv(std::istream& in);
 CsvTable read_csv_file(const std::string& path);
 void write_csv_file(const std::string& path, const CsvTable& table);

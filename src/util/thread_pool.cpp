@@ -79,6 +79,7 @@ bool ThreadPool::try_steal(std::size_t thief, Task& out) {
     if (victim.tasks.empty()) continue;
     out = std::move(victim.tasks.back());
     victim.tasks.pop_back();
+    steals_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   return false;

@@ -18,6 +18,7 @@
 // stream, its own output slot) so results do not depend on execution order.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -48,6 +49,14 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
+  /// Number of tasks executed by a worker other than the one they were
+  /// dealt to — how much the stealing actually rebalanced. Inherently
+  /// scheduling-dependent; report it in manifests, never in metrics that
+  /// must be deterministic.
+  std::uint64_t steal_count() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
   /// std::thread::hardware_concurrency(), never less than 1.
   static std::size_t hardware_threads();
 
@@ -72,6 +81,7 @@ class ThreadPool {
   std::size_t in_flight_ = 0;  // submitted but not yet finished
   std::size_t next_worker_ = 0;
   bool stop_ = false;
+  std::atomic<std::uint64_t> steals_{0};
 };
 
 }  // namespace cdnsim::util

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <sstream>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -129,6 +130,51 @@ TEST(BatchRunnerEquivalence, ParallelIsByteIdenticalToSerialLoop) {
                            " threads");
     }
   }
+}
+
+TEST(BatchRunnerEquivalence, MetricsAndTraceAreByteIdenticalAcrossThreads) {
+  // The observability extension of the equivalence promise: the serialised
+  // metrics registry and Chrome trace of every job are byte-identical for
+  // any thread count, because they derive only from sim time and the job's
+  // seed substream (wall-clock data lives in the RunManifest, not here).
+  auto jobs = full_grid();
+  for (auto& job : jobs) job.engine.record_trace_events = true;
+
+  const BatchRunner serial({.threads = 1, .master_seed = kMasterSeed});
+  const auto base = serial.run(jobs);
+  for (const auto& r : base) {
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_FALSE(r.sim.metrics.empty()) << r.label;
+    EXPECT_FALSE(r.sim.trace.empty()) << r.label;
+  }
+
+  for (std::size_t threads : {2u, 8u}) {
+    const BatchRunner runner({.threads = threads, .master_seed = kMasterSeed});
+    const auto parallel = runner.run(jobs);
+    ASSERT_EQ(parallel.size(), base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      ASSERT_TRUE(parallel[i].ok()) << parallel[i].error;
+      SCOPED_TRACE(jobs[i].label + " @" + std::to_string(threads) +
+                   " threads");
+      EXPECT_EQ(base[i].sim.metrics.to_json(), parallel[i].sim.metrics.to_json());
+      std::ostringstream trace_a, trace_b;
+      base[i].sim.trace.write_chrome_json(trace_a);
+      parallel[i].sim.trace.write_chrome_json(trace_b);
+      EXPECT_EQ(trace_a.str(), trace_b.str());
+    }
+  }
+}
+
+TEST(BatchRunnerStats, RunFillsBatchStats) {
+  const auto jobs = full_grid();
+  const BatchRunner runner({.threads = 2, .master_seed = kMasterSeed});
+  BatchRunStats stats;
+  const auto results = runner.run(jobs, &stats);
+  ASSERT_EQ(results.size(), jobs.size());
+  EXPECT_EQ(stats.threads, 2u);
+  EXPECT_GT(stats.wall_s, 0.0);
+  // Steal counts are scheduling-dependent; only the invariant holds.
+  EXPECT_LE(stats.steals, static_cast<std::uint64_t>(jobs.size()));
 }
 
 TEST(BatchRunnerEquivalence, ConsecutiveRunsAreIdentical) {

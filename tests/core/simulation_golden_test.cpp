@@ -9,6 +9,9 @@
 // intentional, regenerate the constants and say so in the commit.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "core/batch_runner.hpp"
 
 namespace cdnsim::core {
@@ -91,6 +94,44 @@ TEST_P(SimulationGoldenTest, MatchesRecordedReferenceValues) {
   EXPECT_EQ(s.events_processed, g.events_processed);
   // No churn configured in the golden scenario.
   EXPECT_EQ(s.failures_injected, 0u);
+}
+
+// Observability must be a pure observer: metrics are always collected (the
+// pins above already run with them), and switching trace recording on must
+// reproduce the exact same pinned values while actually recording events.
+TEST_P(SimulationGoldenTest, TraceRecordingDoesNotPerturbPinnedValues) {
+  const Golden& g = GetParam();
+  BatchJob job = golden_job(g);
+  job.engine.record_trace_events = true;
+  const auto r = BatchRunner::run_job(job, kGoldenSeed, 0);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_DOUBLE_EQ(r.sim.avg_server_inconsistency_s,
+                   g.avg_server_inconsistency_s);
+  EXPECT_DOUBLE_EQ(r.sim.traffic.cost_km_kb, g.traffic_cost_km_kb);
+  EXPECT_EQ(r.sim.events_processed, g.events_processed);
+  EXPECT_FALSE(r.sim.trace.empty());
+  EXPECT_FALSE(r.sim.metrics.empty());
+  // Cross-check: every acquisition span in the trace has a counted update.
+  const std::size_t spans =
+      static_cast<std::size_t>(std::count_if(r.sim.trace.events().begin(),
+                                             r.sim.trace.events().end(),
+                                             [](const obs::TraceEvent& e) {
+                                               return e.ph == 'X';
+                                             }));
+  // Sum over all methods: e.g. HAT servers count as SelfAdaptive while
+  // their supernodes acquire as Push.
+  auto metrics = r.sim.metrics;  // counter() is non-const (registers)
+  std::uint64_t acquired = 0;
+  for (const UpdateMethod m :
+       {UpdateMethod::kTtl, UpdateMethod::kAdaptiveTtl, UpdateMethod::kPush,
+        UpdateMethod::kInvalidation, UpdateMethod::kSelfAdaptive,
+        UpdateMethod::kRateAdaptive}) {
+    acquired += metrics
+                    .counter("engine.updates_acquired." +
+                             std::string(to_string(m)))
+                    .value;
+  }
+  EXPECT_EQ(acquired, spans);
 }
 
 INSTANTIATE_TEST_SUITE_P(FiveSystems, SimulationGoldenTest,

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
+#include "util/error.hpp"
+
+namespace cdnsim::obs {
+namespace {
+
+TEST(MetricsTest, CounterSlotsAreStableAcrossRegistration) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("a");
+  a.inc();
+  // Registering more metrics must not invalidate the reference (node-based
+  // storage) — components bind slots once at construction.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("extra." + std::to_string(i));
+  }
+  a.inc(2);
+  EXPECT_EQ(reg.counter("a").value, 3u);
+  EXPECT_EQ(&reg.counter("a"), &a);
+}
+
+TEST(MetricsTest, GaugeSetAndMax) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("g");
+  g.set(2.5);
+  g.max_of(1.0);
+  EXPECT_DOUBLE_EQ(g.value, 2.5);
+  g.max_of(7.0);
+  EXPECT_DOUBLE_EQ(g.value, 7.0);
+}
+
+TEST(MetricsTest, HistogramBucketsAndOverflow) {
+  Histogram h({1.0, 2.0, 5.0});
+  h.observe(0.5);   // bucket 0 (<= 1)
+  h.observe(1.0);   // bucket 0 (bounds are inclusive upper)
+  h.observe(1.5);   // bucket 1
+  h.observe(10.0);  // overflow
+  ASSERT_EQ(h.counts().size(), 4u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[2], 0u);
+  EXPECT_EQ(h.counts()[3], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 13.0);
+}
+
+TEST(MetricsTest, MergeSemantics) {
+  MetricsRegistry a;
+  a.counter("c").inc(3);
+  a.gauge("g").set(1.0);
+  a.histogram("h", {1.0, 2.0}).observe(0.5);
+
+  MetricsRegistry b;
+  b.counter("c").inc(4);
+  b.counter("only_b").inc(1);
+  b.gauge("g").set(9.0);
+  b.histogram("h", {1.0, 2.0}).observe(1.5);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.counter("c").value, 7u);          // counters add
+  EXPECT_EQ(a.counter("only_b").value, 1u);     // missing keys copy in
+  EXPECT_DOUBLE_EQ(a.gauge("g").value, 9.0);    // gauges take incoming
+  EXPECT_EQ(a.histogram("h", {}).count(), 2u);  // histograms merge
+  EXPECT_EQ(a.histogram("h", {}).counts()[1], 1u);
+}
+
+TEST(MetricsTest, MergeMismatchedHistogramBoundsThrows) {
+  MetricsRegistry a;
+  a.histogram("h", {1.0}).observe(0.5);
+  MetricsRegistry b;
+  b.histogram("h", {1.0, 2.0}).observe(0.5);
+  EXPECT_THROW(a.merge_from(b), PreconditionError);
+}
+
+TEST(MetricsTest, CanonicalJsonIsSortedAndStable) {
+  MetricsRegistry reg;
+  reg.counter("zeta").inc();
+  reg.counter("alpha").inc(2);
+  reg.gauge("mid").set(0.1);
+  const std::string json = reg.to_json();
+  // Sorted keys: "alpha" serialises before "zeta".
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
+  // Shortest-round-trip double formatting, not "0.100000".
+  EXPECT_NE(json.find("\"mid\":0.1"), std::string::npos);
+  // Two registries built in different insertion orders agree byte-for-byte.
+  MetricsRegistry other;
+  other.gauge("mid").set(0.1);
+  other.counter("alpha").inc(2);
+  other.counter("zeta").inc();
+  EXPECT_EQ(json, other.to_json());
+}
+
+TEST(MetricsTest, JsonEscapeHandlesControlCharacters) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(TraceTest, ChromeJsonShape) {
+  TraceRecorder rec;
+  rec.complete("fetch", "ttl", 1.0, 2.5, /*tid=*/7);
+  rec.instant("fail", "churn", 3.0, /*tid=*/9, "{\"node\":9}");
+  std::ostringstream os;
+  rec.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1500000"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"node\":9}"), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(TraceTest, AppendStampsPid) {
+  TraceRecorder a;
+  a.instant("x", "c", 1.0, 1);
+  TraceRecorder merged;
+  merged.append(a, /*pid=*/5);
+  merged.append(a, /*pid=*/6);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.events()[0].pid, 5);
+  EXPECT_EQ(merged.events()[1].pid, 6);
+}
+
+TEST(TraceTest, SimSecondsToMicros) {
+  EXPECT_EQ(sim_seconds_to_trace_us(0.0), 0);
+  EXPECT_EQ(sim_seconds_to_trace_us(1.5), 1500000);
+  // llround, not truncation: 1e-7 s rounds to 0 us deterministically.
+  EXPECT_EQ(sim_seconds_to_trace_us(1e-7), 0);
+  EXPECT_EQ(sim_seconds_to_trace_us(2.5e-6), 3);  // ties round away from 0
+}
+
+TEST(ManifestTest, Fnv1a64KnownVectors) {
+  // Reference FNV-1a 64-bit values (offset basis / "a").
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64_hex(""), "cbf29ce484222325");
+}
+
+TEST(ManifestTest, PathForAppendsSuffix) {
+  EXPECT_EQ(manifest_path_for("out/m.jsonl"), "out/m.jsonl.manifest.json");
+}
+
+TEST(ManifestTest, CaptureAndWrite) {
+  const char* argv[] = {"prog", "--small", "--jobs", "4"};
+  RunManifest m = capture_manifest(4, argv);
+  EXPECT_EQ(m.binary, "prog");
+  ASSERT_EQ(m.args.size(), 3u);
+  EXPECT_EQ(m.args[0], "--small");
+  EXPECT_FALSE(m.created_utc.empty());
+  EXPECT_FALSE(m.platform.empty());
+  EXPECT_GT(m.hardware_threads, 0u);
+
+  m.seed = 42;
+  m.config_digest = fnv1a64_hex("cfg");
+  const std::string path = testing::TempDir() + "/cdnsim_obs_artifact.jsonl";
+  write_manifest_for(path, m);
+  const std::string mpath = manifest_path_for(path);
+  std::ifstream in(mpath);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_NE(json.find("\"seed\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"binary\": \"prog\""), std::string::npos);
+  EXPECT_NE(json.find("\"config_digest\""), std::string::npos);
+  std::remove(mpath.c_str());
+}
+
+}  // namespace
+}  // namespace cdnsim::obs

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -30,6 +33,7 @@ TEST(CdfTest, AddThenQuery) {
   cdf.add(5);
   cdf.add(1);
   cdf.add(3);
+  cdf.finalize();
   EXPECT_DOUBLE_EQ(cdf.min(), 1);
   EXPECT_DOUBLE_EQ(cdf.max(), 5);
   EXPECT_DOUBLE_EQ(cdf.mean(), 3);
@@ -40,6 +44,7 @@ TEST(CdfTest, QuantileRoundTripsFraction) {
   Rng rng(17);
   Cdf cdf;
   for (int i = 0; i < 1000; ++i) cdf.add(rng.uniform(0, 100));
+  cdf.finalize();
   for (double q : {0.1, 0.25, 0.5, 0.9}) {
     const double v = cdf.value_at_quantile(q);
     EXPECT_NEAR(cdf.fraction_at_or_below(v), q, 0.01);
@@ -50,6 +55,7 @@ TEST(CdfTest, PointsAreMonotone) {
   Rng rng(23);
   Cdf cdf;
   for (int i = 0; i < 500; ++i) cdf.add(rng.exponential(10));
+  cdf.finalize();
   const auto pts = cdf.points(20);
   ASSERT_EQ(pts.size(), 20u);
   for (std::size_t i = 1; i < pts.size(); ++i) {
@@ -72,10 +78,55 @@ TEST(CdfTest, UniformSampleLooksLinear) {
   Rng rng(31);
   Cdf cdf;
   for (int i = 0; i < 20000; ++i) cdf.add(rng.uniform(0, 60));
+  cdf.finalize();
   // CDF at x should be ~x/60 — the paper's Section 3.4.1 linearity check.
   for (double x : {6.0, 18.0, 30.0, 48.0}) {
     EXPECT_NEAR(cdf.fraction_at_or_below(x), x / 60.0, 0.015);
   }
+}
+
+TEST(CdfTest, UnfinalizedReadThrows) {
+  Cdf cdf({1, 2, 3});            // vector ctor finalizes
+  EXPECT_TRUE(cdf.finalized());
+  EXPECT_DOUBLE_EQ(cdf.value_at_quantile(0.5), 2);
+  cdf.add(0.5);                  // invalidates the sort
+  EXPECT_FALSE(cdf.finalized());
+  EXPECT_THROW(cdf.value_at_quantile(0.5), PreconditionError);
+  EXPECT_THROW(cdf.fraction_at_or_below(1.0), PreconditionError);
+  EXPECT_THROW(cdf.sorted_samples(), PreconditionError);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 1.625);  // mean never needs the sort
+  cdf.finalize();
+  EXPECT_DOUBLE_EQ(cdf.min(), 0.5);
+}
+
+// Regression for the lazy-sort race: a finalized const Cdf must be safely
+// readable from many threads at once. Before the fix, sorted_samples()
+// const_cast-sorted on first read, so concurrent first reads raced (and
+// TSan flags it). Run under CDNSIM_SANITIZE=thread to verify.
+TEST(CdfTest, ConcurrentReadsOnSharedConstCdf) {
+  Rng rng(47);
+  std::vector<double> samples;
+  samples.reserve(5000);
+  for (int i = 0; i < 5000; ++i) samples.push_back(rng.uniform(0, 60));
+  const Cdf cdf(std::move(samples));
+
+  constexpr int kThreads = 8;
+  std::vector<double> got(kThreads, 0.0);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&cdf, &got, t] {
+        double acc = 0;
+        for (double q : {0.1, 0.5, 0.9}) acc += cdf.value_at_quantile(q);
+        acc += cdf.fraction_at_or_below(30.0);
+        acc += cdf.points(16).back().cdf;
+        got[static_cast<std::size_t>(t)] = acc;
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  for (int t = 1; t < kThreads; ++t) EXPECT_DOUBLE_EQ(got[0], got[t]);
 }
 
 }  // namespace
