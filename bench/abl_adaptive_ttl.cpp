@@ -11,6 +11,7 @@
 // than the self-adaptive switch, which reacts to the actual update/silence
 // state instead of predicting intervals.
 #include "bench_evaluation.hpp"
+#include "bench_obs.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -23,15 +24,18 @@ struct Row {
 };
 
 Row run_one(const core::Scenario& scenario, const trace::UpdateTrace& updates,
-            consistency::UpdateMethod method) {
+            consistency::UpdateMethod method, bench::ObsSession& obs,
+            const std::string& label) {
   auto ec = bench::section4_config(method,
                                    consistency::InfrastructureKind::kUnicast);
+  obs.configure(ec);
   ec.method.server_ttl_s = 30.0;
   ec.method.adaptive_min_ttl_s = 5.0;
   ec.method.adaptive_max_ttl_s = 240.0;
   ec.users_per_server = 1;
   ec.tail_s = 300.0;
   const auto r = core::run_simulation(*scenario.nodes, updates, ec);
+  obs.add(label, r);
   return {r.avg_server_inconsistency_s,
           static_cast<double>(r.traffic.light_messages)};
 }
@@ -48,6 +52,8 @@ int main(int argc, char** argv) {
   sc.server_count = static_cast<std::size_t>(flags.get_int("servers", 100));
   if (flags.small()) sc.server_count = 40;
   const auto scenario = core::build_scenario(sc);
+  bench::ObsSession obs(argc, argv, flags,
+                        static_cast<std::uint64_t>(flags.get_int("seed", 42)));
 
   // Regular process: update every 90 s like clockwork — the predictable
   // case adaptive TTL is built for.
@@ -67,8 +73,10 @@ int main(int argc, char** argv) {
   Row regular_rows[3];
   Row irregular_rows[3];
   for (int m = 0; m < 3; ++m) {
-    regular_rows[m] = run_one(scenario, regular, methods[m]);
-    irregular_rows[m] = run_one(scenario, irregular, methods[m]);
+    regular_rows[m] = run_one(scenario, regular, methods[m], obs,
+                              std::string("regular/") + names[m]);
+    irregular_rows[m] = run_one(scenario, irregular, methods[m], obs,
+                                std::string("irregular/") + names[m]);
   }
 
   for (int which = 0; which < 2; ++which) {
@@ -104,5 +112,6 @@ int main(int argc, char** argv) {
   check.expect_less(irregular_rows[2].light_msgs,
                     1.25 * irregular_rows[1].light_msgs,
                     "irregular updates: at comparable polling cost");
+  obs.write_direct();
   return bench::finish(check);
 }

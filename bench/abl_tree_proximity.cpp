@@ -4,6 +4,7 @@
 // (Figs. 16, 23); randomised parent selection keeps the same message counts
 // but much longer edges.
 #include "bench_evaluation.hpp"
+#include "bench_obs.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
@@ -14,6 +15,8 @@ int main(int argc, char** argv) {
   bench::banner("Ablation: proximity-aware vs random tree construction");
 
   auto eval = bench::evaluation_setup(flags);
+  bench::ObsSession obs(argc, argv, flags,
+                        static_cast<std::uint64_t>(flags.get_int("seed", 42)));
 
   struct Row {
     const char* name;
@@ -36,7 +39,11 @@ int main(int argc, char** argv) {
     for (int variant = 0; variant < 2; ++variant) {
       auto ec = bench::section5_config(row.method, row.infra);
       ec.infrastructure.proximity_aware = variant == 0;
+      obs.configure(ec);
       const auto r = core::run_simulation(*eval.scenario.nodes, eval.game, ec);
+      obs.add(std::string(row.name) +
+                  (variant == 0 ? "/proximity" : "/random"),
+              r);
       load[variant] = r.traffic.load_km_total();
     }
     const double saving = 1.0 - load[0] / load[1];
@@ -53,5 +60,6 @@ int main(int argc, char** argv) {
   check.expect_greater(savings[1], 0.3,
                        "proximity saves >30% km for multicast TTL");
   check.expect_greater(savings[2], 0.0, "proximity also helps HAT's overlay");
+  obs.write_direct();
   return bench::finish(check);
 }

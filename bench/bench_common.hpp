@@ -83,6 +83,16 @@ class Flags {
   /// `--csv-out PATH`: write a per-job summary CSV (RFC 4180 quoted).
   std::string csv_out() const { return get_str("csv-out", ""); }
 
+  /// `--profile-out PATH`: write the hierarchical profiler report —
+  /// PATH (JSON, deterministic scope counts + host wall section) plus a
+  /// collapsed-stack sibling (PATH with .json -> .folded) for
+  /// flamegraph.pl / speedscope. Batch binaries only. Empty = off.
+  std::string profile_out() const { return get_str("profile-out", ""); }
+
+  /// `--heartbeat SECS`: opt-in batch progress heartbeat — one stderr line
+  /// every SECS seconds (jobs done, events/s, ETA, steal count). 0 = off.
+  double heartbeat() const { return get("heartbeat", 0.0); }
+
   double get(const std::string& key, double fallback) const {
     for (const auto& [k, v] : values_) {
       if (k == key) return std::stod(v);

@@ -1,7 +1,7 @@
 // Observability sink for the figure-reproduction binaries.
 //
-// An ObsSession turns the --metrics-out / --trace-out / --csv-out flags
-// into files:
+// An ObsSession turns the --metrics-out / --trace-out / --csv-out /
+// --profile-out flags into files:
 //   * metrics  — JSONL, one {"label", "metrics"} object per batch job in
 //     submission order. Everything inside derives from sim time and seeded
 //     RNG state, so the file is byte-identical across --jobs counts (the
@@ -10,27 +10,36 @@
 //     events, pid = job submission index, tid = node id;
 //   * csv      — a per-job summary table (RFC 4180 quoted, full-precision
 //     doubles);
+//   * profile  — <path>.profile JSON (deterministic scope counts/sim
+//     coverage + host-only wall section) plus a collapsed-stack .folded
+//     sibling for flamegraph.pl / speedscope. Batch binaries only;
 //   * next to each file, a <file>.manifest.json RunManifest — the one
 //     deliberately non-deterministic artifact (wall clock, host, git
 //     revision, steal counts).
 //
-// Usage in a bench main():
+// Usage in a batch bench main():
 //   bench::ObsSession obs(argc, argv, flags, kSeed);
-//   obs.apply(jobs);                       // turns on per-job tracing
+//   obs.apply(jobs);                       // per-job tracing + profiling
 //   core::BatchRunStats stats;
 //   auto results = bench::run_batch_reported(runner, jobs, false, &stats);
 //   obs.write(results, stats);
+//
+// Binaries that call run_simulation directly (no BatchRunner) use the
+// configure()/add()/write_direct() hook instead; measurement-study binaries
+// (one merged registry for the whole study) use write_study().
 #pragma once
 
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/batch_runner.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace_recorder.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
@@ -42,7 +51,8 @@ class ObsSession {
   ObsSession(int argc, char** argv, const Flags& flags, std::uint64_t seed)
       : metrics_path_(flags.metrics_out()),
         trace_path_(flags.trace_out()),
-        csv_path_(flags.csv_out()) {
+        csv_path_(flags.csv_out()),
+        profile_path_(flags.profile_out()) {
     if (!enabled()) return;
     manifest_ = obs::capture_manifest(argc, argv);
     manifest_.seed = seed;
@@ -51,15 +61,87 @@ class ObsSession {
 
   bool enabled() const {
     return !metrics_path_.empty() || !trace_path_.empty() ||
-           !csv_path_.empty();
+           !csv_path_.empty() || !profile_path_.empty();
   }
   bool trace_enabled() const { return !trace_path_.empty(); }
+  bool profile_enabled() const { return !profile_path_.empty(); }
 
-  /// Enables per-engine trace recording on every job when --trace-out is
-  /// set. Call before running the batch.
+  /// Enables per-engine trace recording (--trace-out) and per-job
+  /// profiling (--profile-out) on every job. Call before running the batch.
   void apply(std::vector<core::BatchJob>& jobs) const {
-    if (!trace_enabled()) return;
-    for (core::BatchJob& job : jobs) job.engine.record_trace_events = true;
+    for (core::BatchJob& job : jobs) {
+      if (trace_enabled()) job.engine.record_trace_events = true;
+      if (profile_enabled()) job.profile = true;
+    }
+  }
+
+  /// Direct-run hook (binaries sweeping run_simulation in a plain loop):
+  /// call configure() on each engine config before its run, add() with each
+  /// result, then write_direct() once. --profile-out is a batch-only
+  /// feature; a request here is warned about and skipped.
+  void configure(consistency::EngineConfig& engine) const {
+    if (trace_enabled()) engine.record_trace_events = true;
+  }
+
+  void add(const std::string& label, core::SimulationResult sim) {
+    if (!enabled()) return;
+    core::BatchResult r;
+    r.label = label;
+    r.sim = std::move(sim);
+    added_.push_back(std::move(r));
+  }
+
+  void write_direct() {
+    if (!enabled()) return;
+    warn_unsupported(profile_path_, "--profile-out",
+                     "batch (BatchRunner) binaries");
+    profile_path_.clear();
+    core::BatchRunStats stats;
+    stats.threads = 1;
+    stats.wall_s = timer_.seconds();
+    write(added_, stats);
+  }
+
+  /// Measurement-study hook: the study produces one merged registry (and
+  /// optionally one merged trace, pid = day index) for the whole run, not
+  /// per-job results. CSV and profile do not apply; requests are warned
+  /// about and skipped. The trace is written as-is so the study's own pid
+  /// assignment survives.
+  void write_study(const std::string& label,
+                   const obs::MetricsRegistry& metrics,
+                   const obs::TraceRecorder* trace) {
+    if (!enabled()) return;
+    warn_unsupported(csv_path_, "--csv-out", "per-job batch binaries");
+    csv_path_.clear();
+    warn_unsupported(profile_path_, "--profile-out",
+                     "batch (BatchRunner) binaries");
+    profile_path_.clear();
+    manifest_.config_digest = obs::fnv1a64_hex(label + "\n");
+    manifest_.wall_s = timer_.seconds();
+    if (!metrics_path_.empty()) {
+      std::ofstream out(metrics_path_);
+      if (!out) throw Error("cannot write metrics: " + metrics_path_);
+      out << "{\"label\":\"" << obs::json_escape(label) << "\",\"metrics\":";
+      metrics.write_json(out);
+      out << "}\n";
+      out.close();
+      obs::write_manifest_for(metrics_path_, manifest_);
+      std::cout << "metrics: 1 record(s) -> " << metrics_path_ << "\n";
+    }
+    if (!trace_path_.empty()) {
+      if (trace == nullptr) {
+        std::cerr << "warning: --trace-out requested but this study recorded "
+                     "no trace\n";
+      } else {
+        std::ofstream out(trace_path_);
+        if (!out) throw Error("cannot write trace: " + trace_path_);
+        trace->write_chrome_json(out);
+        out.close();
+        obs::write_manifest_for(trace_path_, manifest_);
+        std::cout << "trace: " << trace->size() << " event(s) -> "
+                  << trace_path_ << "\n";
+      }
+    }
   }
 
   /// Writes every requested artifact plus its manifest. Call after the
@@ -84,9 +166,47 @@ class ObsSession {
     if (!metrics_path_.empty()) write_metrics(results);
     if (!trace_path_.empty()) write_trace(results);
     if (!csv_path_.empty()) write_csv(results);
+    if (!profile_path_.empty()) write_profile(results);
+  }
+
+  /// Collapsed-stack sibling of a --profile-out path (.json -> .folded).
+  static std::string folded_path_for(const std::string& profile_path) {
+    const std::string suffix = ".json";
+    if (profile_path.size() > suffix.size() &&
+        profile_path.compare(profile_path.size() - suffix.size(),
+                             suffix.size(), suffix) == 0) {
+      return profile_path.substr(0, profile_path.size() - suffix.size()) +
+             ".folded";
+    }
+    return profile_path + ".folded";
   }
 
  private:
+  static void warn_unsupported(const std::string& path, const char* flag,
+                               const char* where) {
+    if (path.empty()) return;
+    std::cerr << "warning: " << flag << " is only supported by " << where
+              << "; skipping " << path << "\n";
+  }
+
+  void write_profile(const std::vector<core::BatchResult>& results) const {
+    // Submission-order merge: the deterministic sections are then a pure
+    // function of the job list, independent of --jobs.
+    obs::ProfileReport merged;
+    for (const auto& r : results) merged.merge_from(r.sim.profile);
+    std::ofstream out(profile_path_);
+    if (!out) throw Error("cannot write profile: " + profile_path_);
+    merged.write_json(out);
+    out.close();
+    obs::write_manifest_for(profile_path_, manifest_);
+    const std::string folded = folded_path_for(profile_path_);
+    std::ofstream fout(folded);
+    if (!fout) throw Error("cannot write folded profile: " + folded);
+    merged.write_folded(fout);
+    fout.close();
+    std::cout << "profile: " << merged.entries().size() << " scope(s) -> "
+              << profile_path_ << " (+ " << folded << ")\n";
+  }
   void write_metrics(const std::vector<core::BatchResult>& results) const {
     std::ofstream out(metrics_path_);
     if (!out) throw Error("cannot write metrics: " + metrics_path_);
@@ -146,7 +266,10 @@ class ObsSession {
   std::string metrics_path_;
   std::string trace_path_;
   std::string csv_path_;
+  std::string profile_path_;
   obs::RunManifest manifest_;
+  std::vector<core::BatchResult> added_;  // direct-run hook accumulator
+  WallTimer timer_;                       // session lifetime ~ run wall time
 };
 
 }  // namespace cdnsim::bench

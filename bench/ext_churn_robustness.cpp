@@ -65,7 +65,8 @@ int main(int argc, char** argv) {
   bench::ObsSession obs(argc, argv, flags,
                         static_cast<std::uint64_t>(flags.get_int("seed", 42)));
   obs.apply(jobs);
-  const core::BatchRunner runner({.threads = flags.jobs()});
+  const core::BatchRunner runner(
+      {.threads = flags.jobs(), .heartbeat_period_s = flags.heartbeat()});
   core::BatchRunStats batch_stats;
   const auto results =
       bench::run_batch_reported(runner, jobs, false, &batch_stats);

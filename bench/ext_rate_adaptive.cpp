@@ -11,6 +11,7 @@
 //    transferring far less content than TTL for the same staleness budget;
 //  * across the sweep it should track the lower envelope of the two.
 #include "bench_evaluation.hpp"
+#include "bench_obs.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
@@ -21,6 +22,8 @@ int main(int argc, char** argv) {
   bench::banner("Extension: rate-adaptive method vs audience size (Sec 6)");
 
   auto eval = bench::evaluation_setup(flags);
+  bench::ObsSession obs(argc, argv, flags,
+                        static_cast<std::uint64_t>(flags.get_int("seed", 42)));
 
   const UpdateMethod methods[4] = {UpdateMethod::kTtl, UpdateMethod::kInvalidation,
                                    UpdateMethod::kSelfAdaptive,
@@ -46,7 +49,11 @@ int main(int argc, char** argv) {
       ec.users_per_server = 1;
       ec.user_poll_period_s = period;
       ec.user_start_window_s = period;
+      obs.configure(ec);
       const auto r = core::run_simulation(*eval.scenario.nodes, eval.game, ec);
+      obs.add(std::string(names[m]) + "/visit=" +
+                  util::format_double(period, 0),
+              r);
       content_km[m].push_back(r.traffic.load_km_update);
       user_staleness[m].push_back(r.avg_user_inconsistency_s);
       table.add_row(std::vector<std::string>{
@@ -72,5 +79,6 @@ int main(int argc, char** argv) {
                     "busy audience: staleness comparable to TTL");
   check.expect_less(content_km[1][sparse], content_km[1][busy],
                     "Invalidation's load falls with audience (sanity)");
+  obs.write_direct();
   return bench::finish(check);
 }

@@ -9,6 +9,7 @@
 // alternative (TTL on the heavy content, or a supernode overlay for it)
 // undoes.
 #include "bench_evaluation.hpp"
+#include "bench_obs.hpp"
 #include "core/portfolio.hpp"
 #include "util/stats.hpp"
 
@@ -23,6 +24,8 @@ int main(int argc, char** argv) {
   sc.server_count = static_cast<std::size_t>(flags.get_int("servers", 120));
   if (flags.small()) sc.server_count = 50;
   const auto scenario = core::build_scenario(sc);
+  bench::ObsSession obs(argc, argv, flags,
+                        static_cast<std::uint64_t>(flags.get_int("seed", 42)));
   const double uplink = flags.get("uplink", 2500.0);  // 20 Mbit/s origin
 
   // The scoreboard: 1 KB Push updates every ~20 s.
@@ -78,7 +81,9 @@ int main(int argc, char** argv) {
                          "media_staleness_s", "origin_uplink_MB"});
   std::vector<double> scoreboard_staleness;
   for (const auto& mix : mixes) {
-    const auto r = core::run_portfolio(*scenario.nodes, mix.contents, uplink);
+    auto contents = mix.contents;
+    for (auto& spec : contents) obs.configure(spec.engine);
+    const auto r = core::run_portfolio(*scenario.nodes, contents, uplink);
     const double sb = r.contents[0].result.avg_server_inconsistency_s;
     scoreboard_staleness.push_back(sb);
     const double media =
@@ -87,6 +92,10 @@ int main(int argc, char** argv) {
     table.add_row(std::vector<std::string>{
         mix.name, util::format_double(sb, 3), util::format_double(media, 3),
         util::format_double(r.provider_uplink_kb / 1024.0, 1)});
+    for (std::size_t i = 0; i < contents.size(); ++i) {
+      obs.add(std::string(mix.name) + "/" + contents[i].name,
+              r.contents[i].result);
+    }
   }
   table.print(std::cout);
 
@@ -99,5 +108,6 @@ int main(int argc, char** argv) {
   check.expect_less(scoreboard_staleness[3], 0.5 * scoreboard_staleness[1],
                     "a supernode overlay for the neighbour removes most of "
                     "the origin fanout");
+  obs.write_direct();
   return bench::finish(check);
 }

@@ -5,6 +5,7 @@
 // with absences / origin staleness adding a tail.
 #include "bench_common.hpp"
 #include "bench_measurement.hpp"
+#include "bench_obs.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
@@ -12,7 +13,9 @@ int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
   bench::banner("Figure 3: inconsistency of data served by the CDN (15-day crawl)");
 
-  const auto cfg = bench::measurement_config(flags);
+  auto cfg = bench::measurement_config(flags);
+  bench::ObsSession obs(argc, argv, flags, cfg.seed);
+  cfg.record_trace_events = obs.trace_enabled();
   const auto results = core::run_measurement_study(cfg);
 
   // The paper plots the CDF over requests that served outdated content.
@@ -37,5 +40,6 @@ int main(int argc, char** argv) {
                         "mean inconsistency ~40 s (TTL-dominated)");
   check.expect_greater(cdf.max(), 60.0,
                        "tail beyond one TTL exists (absences etc.)");
+  obs.write_study("fig03", results.metrics, &results.trace);
   return bench::finish(check);
 }

@@ -6,6 +6,7 @@
 //  (e) 5th/median/95th continuous inconsistency vs visit frequency 10-60 s
 #include "bench_common.hpp"
 #include "bench_measurement.hpp"
+#include "bench_obs.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
@@ -14,6 +15,10 @@ int main(int argc, char** argv) {
   bench::banner("Figure 4: user-perspective consistency");
 
   auto base = bench::measurement_config(flags, 300, 6);
+  bench::ObsSession obs(argc, argv, flags, base.seed);
+  // The obs hooks attach to the panel-(b) measurement study; the
+  // user-perspective sweeps keep their own single-day registries.
+  base.record_trace_events = obs.trace_enabled();
 
   core::UserPerspectiveConfig up;
   up.base = base;
@@ -78,5 +83,6 @@ int main(int argc, char** argv) {
     check.expect_greater(p95s.back(), p95s.front(),
                          "(e) 95th-pct inconsistency grows with visit period");
   }
+  obs.write_study("fig04", study.metrics, &study.trace);
   return bench::finish(check);
 }

@@ -6,6 +6,7 @@
 #include "analysis/ttl_inference.hpp"
 #include "bench_common.hpp"
 #include "bench_measurement.hpp"
+#include "bench_obs.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
@@ -13,7 +14,9 @@ int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
   bench::banner("Figures 5-6: inner-cluster inconsistency & TTL inference");
 
-  const auto cfg = bench::measurement_config(flags);
+  auto cfg = bench::measurement_config(flags);
+  bench::ObsSession obs(argc, argv, flags, cfg.seed);
+  cfg.record_trace_events = obs.trace_enabled();
   const auto results = core::run_measurement_study(cfg);
 
   std::cout << "\n--- Fig 5: CDF of inner-cluster inconsistency ---\n";
@@ -63,5 +66,6 @@ int main(int argc, char** argv) {
   check.expect_in_range(inferred, 45.0, 75.0,
                         "recursive refinement recovers ~60 s");
   check.expect_less(rmse60, rmse80, "RMSE(TTL=60) < RMSE(TTL=80) as in Fig 6b");
+  obs.write_study("fig05_06", results.metrics, &results.trace);
   return bench::finish(check);
 }

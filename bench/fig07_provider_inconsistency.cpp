@@ -5,6 +5,7 @@
 // the CDN-served inconsistency of Fig. 3.
 #include "bench_common.hpp"
 #include "bench_measurement.hpp"
+#include "bench_obs.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
@@ -12,7 +13,9 @@ int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
   bench::banner("Figure 7: inconsistency of data served by the provider");
 
-  const auto cfg = bench::measurement_config(flags, 300, 6);
+  auto cfg = bench::measurement_config(flags, 300, 6);
+  bench::ObsSession obs(argc, argv, flags, cfg.seed);
+  cfg.record_trace_events = obs.trace_enabled();
   const auto results = core::run_measurement_study(cfg);
 
   // Like Fig. 3, the figure plots the requests that observed outdated
@@ -37,5 +40,6 @@ int main(int argc, char** argv) {
   check.expect_in_range(cdf.mean(), 1.0, 6.0, "mean origin staleness ~3.4 s");
   check.expect_less(cdf.mean(), 0.3 * results.overall_avg_request_inconsistency,
                     "provider is far more consistent than the CDN (vs Fig 3)");
+  obs.write_study("fig07", results.metrics, &results.trace);
   return bench::finish(check);
 }

@@ -5,6 +5,7 @@
 // a meaningful cause of inconsistency.
 #include "bench_common.hpp"
 #include "bench_measurement.hpp"
+#include "bench_obs.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
@@ -12,7 +13,9 @@ int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
   bench::banner("Figure 8: consistency ratio vs provider-server distance");
 
-  const auto cfg = bench::measurement_config(flags);
+  auto cfg = bench::measurement_config(flags);
+  bench::ObsSession obs(argc, argv, flags, cfg.seed);
+  cfg.record_trace_events = obs.trace_enabled();
   const auto results = core::run_measurement_study(cfg);
 
   util::TextTable table({"distance_km", "avg_consistency_ratio", "servers"});
@@ -42,5 +45,6 @@ int main(int argc, char** argv) {
   }
   check.expect_less(max_ratio - min_ratio, 0.30,
                     "ratio band is narrow across all distances");
+  obs.write_study("fig08", results.metrics, &results.trace);
   return bench::finish(check);
 }

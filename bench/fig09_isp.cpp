@@ -4,6 +4,7 @@
 //  (d) per-cluster averages: inter-ISP exceeds intra-ISP by a few to ~20 s
 #include "bench_common.hpp"
 #include "bench_measurement.hpp"
+#include "bench_obs.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
@@ -11,7 +12,9 @@ int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
   bench::banner("Figure 9: intra-ISP vs inter-ISP inconsistency");
 
-  const auto cfg = bench::measurement_config(flags);
+  auto cfg = bench::measurement_config(flags);
+  bench::ObsSession obs(argc, argv, flags, cfg.seed);
+  cfg.record_trace_events = obs.trace_enabled();
   const auto results = core::run_measurement_study(cfg);
 
   std::cout << "\n--- (a) CDF of intra-ISP inconsistency ---\n";
@@ -50,5 +53,6 @@ int main(int argc, char** argv) {
                        "inter-ISP exceeds intra-ISP in most clusters");
   check.expect_in_range(util::mean(deltas), 0.5, 30.0,
                         "average inter-ISP penalty in the paper's range");
+  obs.write_study("fig09", results.metrics, &results.trace);
   return bench::finish(check);
 }

@@ -8,6 +8,7 @@
 
 #include "bench_common.hpp"
 #include "bench_measurement.hpp"
+#include "bench_obs.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
@@ -15,7 +16,9 @@ int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
   bench::banner("Figure 10: provider bandwidth & server absence effects");
 
-  const auto cfg = bench::measurement_config(flags);
+  auto cfg = bench::measurement_config(flags);
+  bench::ObsSession obs(argc, argv, flags, cfg.seed);
+  cfg.record_trace_events = obs.trace_enabled();
   const auto results = core::run_measurement_study(cfg);
 
   std::cout << "\n--- (a) CDF of provider response time ---\n";
@@ -72,5 +75,6 @@ int main(int argc, char** argv) {
   check.expect_greater(
       bucket_y.empty() ? 0.0 : *std::max_element(bucket_y.begin(), bucket_y.end()),
       overall, "(d) inconsistency near absences exceeds the overall average");
+  obs.write_study("fig10", results.metrics, &results.trace);
   return bench::finish(check);
 }

@@ -8,6 +8,7 @@
 //            exceed it).
 #include "bench_common.hpp"
 #include "bench_measurement.hpp"
+#include "bench_obs.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
@@ -15,7 +16,9 @@ int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
   bench::banner("Figures 11-12: is there a multicast update tree?");
 
-  const auto cfg = bench::measurement_config(flags);
+  auto cfg = bench::measurement_config(flags);
+  bench::ObsSession obs(argc, argv, flags, cfg.seed);
+  cfg.record_trace_events = obs.trace_enabled();
   const bench::WallTimer timer;
   const auto results = core::run_measurement_study(cfg);
   std::cout << "study: " << cfg.days << " day(s) on "
@@ -115,5 +118,6 @@ int main(int argc, char** argv) {
   check.expect(true,
                "conclusion: servers poll the provider directly (unicast + TTL)",
                "all tree signatures absent");
+  obs.write_study("fig11_12", results.metrics, &results.trace);
   return bench::finish(check);
 }

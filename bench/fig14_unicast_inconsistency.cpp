@@ -4,6 +4,7 @@
 //  (b) per-node largest average end-user inconsistency: Push ~ Invalidation
 //      < TTL, and TTL users exceed TTL servers.
 #include "bench_evaluation.hpp"
+#include "bench_obs.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
@@ -14,6 +15,8 @@ int main(int argc, char** argv) {
   bench::banner("Figure 14: inconsistency in the unicast-tree infrastructure");
 
   auto eval = bench::evaluation_setup(flags);
+  bench::ObsSession obs(argc, argv, flags,
+                        static_cast<std::uint64_t>(flags.get_int("seed", 42)));
   std::cout << "servers=" << eval.scenario.nodes->server_count()
             << " updates=" << eval.game.update_count() << " span="
             << eval.game.duration() << "s\n";
@@ -23,8 +26,10 @@ int main(int argc, char** argv) {
   const std::vector<std::string> names{"Push", "Invalidation", "TTL"};
   for (auto method : {UpdateMethod::kPush, UpdateMethod::kInvalidation,
                       UpdateMethod::kTtl}) {
-    const auto ec = bench::section4_config(method, InfrastructureKind::kUnicast);
+    auto ec = bench::section4_config(method, InfrastructureKind::kUnicast);
+    obs.configure(ec);
     const auto r = core::run_simulation(*eval.scenario.nodes, eval.game, ec);
+    obs.add(std::string("unicast/") + std::string(to_string(method)), r);
     server_series.push_back(r.server_inconsistency_s);
     user_series.push_back(r.per_server_max_user_inconsistency_s);
     server_avgs.push_back(r.avg_server_inconsistency_s);
@@ -55,5 +60,6 @@ int main(int argc, char** argv) {
                     "(b) Push ~ Invalidation for users");
   check.expect_greater(user_avgs[2], server_avgs[2],
                        "(b) TTL user inconsistency exceeds server inconsistency");
+  obs.write_direct();
   return bench::finish(check);
 }

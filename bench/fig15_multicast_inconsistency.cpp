@@ -4,6 +4,7 @@
 //  (b) end-user inconsistency under TTL grows correspondingly, while Push
 //      and Invalidation match their unicast numbers.
 #include "bench_evaluation.hpp"
+#include "bench_obs.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
@@ -14,15 +15,19 @@ int main(int argc, char** argv) {
   bench::banner("Figure 15: inconsistency in the multicast-tree infrastructure");
 
   auto eval = bench::evaluation_setup(flags);
+  bench::ObsSession obs(argc, argv, flags,
+                        static_cast<std::uint64_t>(flags.get_int("seed", 42)));
 
   std::vector<std::vector<double>> server_series, user_series;
   std::vector<double> server_avgs, user_avgs;
   const std::vector<std::string> names{"Push", "Invalidation", "TTL"};
   for (auto method : {UpdateMethod::kPush, UpdateMethod::kInvalidation,
                       UpdateMethod::kTtl}) {
-    const auto ec =
+    auto ec =
         bench::section4_config(method, InfrastructureKind::kMulticastTree);
+    obs.configure(ec);
     const auto r = core::run_simulation(*eval.scenario.nodes, eval.game, ec);
+    obs.add(std::string("multicast/") + std::string(to_string(method)), r);
     server_series.push_back(r.server_inconsistency_s);
     user_series.push_back(r.per_server_max_user_inconsistency_s);
     server_avgs.push_back(r.avg_server_inconsistency_s);
@@ -35,9 +40,12 @@ int main(int argc, char** argv) {
                              user_series, names);
 
   // Reference: unicast TTL for the amplification comparison.
-  const auto unicast_ttl = core::run_simulation(
-      *eval.scenario.nodes, eval.game,
-      bench::section4_config(UpdateMethod::kTtl, InfrastructureKind::kUnicast));
+  auto ref_ec =
+      bench::section4_config(UpdateMethod::kTtl, InfrastructureKind::kUnicast);
+  obs.configure(ref_ec);
+  const auto unicast_ttl =
+      core::run_simulation(*eval.scenario.nodes, eval.game, ref_ec);
+  obs.add("unicast/Ttl-reference", unicast_ttl);
 
   std::cout << "\nTTL avg: unicast=" << unicast_ttl.avg_server_inconsistency_s
             << "s  multicast=" << server_avgs[2] << "s\n";
@@ -58,5 +66,6 @@ int main(int argc, char** argv) {
   check.expect_greater(ttl_sorted[ttl_sorted.size() * 9 / 10],
                        2.0 * ttl_sorted[ttl_sorted.size() / 10],
                        "(a) lower tree layers see multiples of layer-1 staleness");
+  obs.write_direct();
   return bench::finish(check);
 }

@@ -4,6 +4,7 @@
 //       Push < Invalidation < TTL under the trace's frequent updates;
 //  17 — TTL method: cost decreases as the content-server TTL grows.
 #include "bench_evaluation.hpp"
+#include "bench_obs.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
@@ -14,6 +15,8 @@ int main(int argc, char** argv) {
   bench::banner("Figures 16-17: consistency maintenance traffic cost (km*KB)");
 
   auto eval = bench::evaluation_setup(flags);
+  bench::ObsSession obs(argc, argv, flags,
+                        static_cast<std::uint64_t>(flags.get_int("seed", 42)));
 
   std::cout << "\n--- Fig 16: total traffic cost ---\n";
   util::TextTable cost_table({"method", "unicast_km_kb", "multicast_km_kb"});
@@ -25,8 +28,10 @@ int main(int argc, char** argv) {
     int i = 0;
     for (auto infra : {InfrastructureKind::kUnicast,
                        InfrastructureKind::kMulticastTree}) {
-      const auto ec = bench::section4_config(methods[m], infra);
+      auto ec = bench::section4_config(methods[m], infra);
+      obs.configure(ec);
       const auto r = core::run_simulation(*eval.scenario.nodes, eval.game, ec);
+      obs.add(std::string("fig16/") + names[m] + (i == 0 ? "/unicast" : "/multicast"), r);
       cost[m][i++] = r.traffic.cost_km_kb;
     }
     cost_table.add_row(std::vector<std::string>{
@@ -45,7 +50,11 @@ int main(int argc, char** argv) {
                        InfrastructureKind::kMulticastTree}) {
       auto ec = bench::section4_config(UpdateMethod::kTtl, infra);
       ec.method.server_ttl_s = ttl;
+      obs.configure(ec);
       const auto r = core::run_simulation(*eval.scenario.nodes, eval.game, ec);
+      obs.add("fig17/ttl=" + util::format_double(ttl, 0) +
+                  (i == 0 ? "/unicast" : "/multicast"),
+              r);
       row[i++] = r.traffic.cost_km_kb;
     }
     ttl_table.add_row({ttl, row[0], row[1]}, 0);
@@ -67,5 +76,6 @@ int main(int argc, char** argv) {
                     "17: cost falls substantially as TTL grows (unicast)");
   check.expect_less(multicast_sweep.back(), 0.5 * multicast_sweep.front(),
                     "17: cost falls substantially as TTL grows (multicast)");
+  obs.write_direct();
   return bench::finish(check);
 }

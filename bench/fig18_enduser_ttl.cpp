@@ -5,6 +5,7 @@
 //  (b) consistency-maintenance traffic cost falls — updates with no visit
 //      in between are never transferred.
 #include "bench_evaluation.hpp"
+#include "bench_obs.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
@@ -15,6 +16,8 @@ int main(int argc, char** argv) {
   bench::banner("Figure 18: Invalidation vs end-user TTL");
 
   auto eval = bench::evaluation_setup(flags);
+  bench::ObsSession obs(argc, argv, flags,
+                        static_cast<std::uint64_t>(flags.get_int("seed", 42)));
 
   util::TextTable table({"user_ttl_s", "infra", "p5_s", "median_s", "p95_s",
                          "cost_km_kb"});
@@ -25,7 +28,12 @@ int main(int argc, char** argv) {
       auto ec = bench::section4_config(UpdateMethod::kInvalidation, infra);
       ec.user_poll_period_s = user_ttl;
       ec.user_start_window_s = user_ttl;
+      obs.configure(ec);
       const auto r = core::run_simulation(*eval.scenario.nodes, eval.game, ec);
+      obs.add("user_ttl=" + util::format_double(user_ttl, 0) +
+                  (infra == InfrastructureKind::kUnicast ? "/unicast"
+                                                         : "/multicast"),
+              r);
       const auto& inc = r.server_inconsistency_s;
       const double p5 = util::percentile(inc, 0.05);
       const double med = util::percentile(inc, 0.50);
@@ -56,5 +64,6 @@ int main(int argc, char** argv) {
                     "(b) unicast cost falls with end-user TTL");
   check.expect_less(multi_cost.back(), multi_cost.front(),
                     "(b) multicast cost falls with end-user TTL");
+  obs.write_direct();
   return bench::finish(check);
 }

@@ -6,6 +6,7 @@
 //  (b) multicast: same ordering but far smaller growth (each node forwards
 //      to only d=2 children instead of 170).
 #include "bench_evaluation.hpp"
+#include "bench_obs.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
@@ -16,6 +17,8 @@ int main(int argc, char** argv) {
   bench::banner("Figure 19: content-server inconsistency vs update packet size");
 
   auto eval = bench::evaluation_setup(flags);
+  bench::ObsSession obs(argc, argv, flags,
+                        static_cast<std::uint64_t>(flags.get_int("seed", 42)));
   const std::vector<double> sizes{1.0, 100.0, 500.0};
   const UpdateMethod methods[3] = {UpdateMethod::kPush, UpdateMethod::kInvalidation,
                                    UpdateMethod::kTtl};
@@ -40,7 +43,13 @@ int main(int argc, char** argv) {
         // *burstiness* of each method, not congestion collapse.
         ec.provider_uplink_kbps = 12500.0;
         ec.server_uplink_kbps = 12500.0;
+        obs.configure(ec);
         const auto r = core::run_simulation(*eval.scenario.nodes, eval.game, ec);
+        obs.add((infra == InfrastructureKind::kUnicast ? "unicast/"
+                                                       : "multicast/") +
+                    util::format_double(size, 0) + "kb/" +
+                    std::string(to_string(methods[m])),
+                r);
         row.push_back(r.avg_server_inconsistency_s);
         by_method[m].push_back(r.avg_server_inconsistency_s);
       }
@@ -62,5 +71,6 @@ int main(int argc, char** argv) {
                        "(a) 500 KB pushes visibly congest the provider uplink");
   check.expect_less(grow[1][0], 0.5 * grow[0][0],
                     "(b) multicast dampens Push's packet-size sensitivity");
+  obs.write_direct();
   return bench::finish(check);
 }

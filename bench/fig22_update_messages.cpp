@@ -7,6 +7,7 @@
 //      magnitude (only the supernode-tree roots are served directly).
 // Pass --ablate-k 1 to also sweep the supernode fanout (DESIGN.md choice #1).
 #include "bench_evaluation.hpp"
+#include "bench_obs.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
@@ -15,6 +16,8 @@ int main(int argc, char** argv) {
   bench::banner("Figure 22: number of update messages (six systems)");
 
   auto eval = bench::evaluation_setup(flags);
+  bench::ObsSession obs(argc, argv, flags,
+                        static_cast<std::uint64_t>(flags.get_int("seed", 42)));
   const auto systems = bench::section5_systems();
 
   std::cout << "\n--- (a) update messages vs end-user TTL ---\n";
@@ -30,7 +33,11 @@ int main(int argc, char** argv) {
       auto ec = bench::section5_config(systems[i].method, systems[i].infra);
       ec.user_poll_period_s = user_ttl;
       ec.user_start_window_s = user_ttl;
+      obs.configure(ec);
       const auto r = core::run_simulation(*eval.scenario.nodes, eval.game, ec);
+      obs.add(std::string("a/user_ttl=") + util::format_double(user_ttl, 0) +
+                  "/" + systems[i].name,
+              r);
       row.push_back(static_cast<double>(r.traffic.update_messages));
       if (user_ttl == 10) at10[i] = static_cast<double>(r.traffic.update_messages);
     }
@@ -48,7 +55,11 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < systems.size(); ++i) {
       auto ec = bench::section5_config(systems[i].method, systems[i].infra);
       ec.method.server_ttl_s = server_ttl;
+      obs.configure(ec);
       const auto r = core::run_simulation(*eval.scenario.nodes, eval.game, ec);
+      obs.add(std::string("b/server_ttl=") +
+                  util::format_double(server_ttl, 0) + "/" + systems[i].name,
+              r);
       row.push_back(static_cast<double>(r.provider_traffic.update_messages));
       if (server_ttl == 60) {
         from_cp_at60[i] = static_cast<double>(r.provider_traffic.update_messages);
@@ -66,7 +77,9 @@ int main(int argc, char** argv) {
                                        consistency::InfrastructureKind::
                                            kHybridSupernode);
       ec.infrastructure.supernode_fanout = k;
+      obs.configure(ec);
       const auto r = core::run_simulation(*eval.scenario.nodes, eval.game, ec);
+      obs.add("ablate-k/" + std::to_string(k), r);
       abl.add_row({static_cast<double>(k),
                    static_cast<double>(r.traffic.update_messages),
                    r.traffic.load_km_total(), r.avg_server_inconsistency_s},
@@ -87,5 +100,6 @@ int main(int argc, char** argv) {
                     "(b) HAT's provider load is a small fraction of TTL's");
   check.expect_less(from_cp_at60[4], from_cp_at60[2] / 10.0,
                     "(b) Hybrid's provider load likewise");
+  obs.write_direct();
   return bench::finish(check);
 }

@@ -6,6 +6,7 @@
 // polling-based systems carry roughly as many light messages (requests) as
 // update messages (responses).
 #include "bench_evaluation.hpp"
+#include "bench_obs.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
@@ -14,6 +15,8 @@ int main(int argc, char** argv) {
   bench::banner("Figure 23: consistency maintenance network load (km)");
 
   auto eval = bench::evaluation_setup(flags);
+  bench::ObsSession obs(argc, argv, flags,
+                        static_cast<std::uint64_t>(flags.get_int("seed", 42)));
   const auto systems = bench::section5_systems();
 
   util::TextTable table({"system", "update_km", "light_km", "total_km"});
@@ -21,8 +24,10 @@ int main(int argc, char** argv) {
   std::vector<double> update_km(systems.size());
   std::vector<double> light_km(systems.size());
   for (std::size_t i = 0; i < systems.size(); ++i) {
-    const auto ec = bench::section5_config(systems[i].method, systems[i].infra);
+    auto ec = bench::section5_config(systems[i].method, systems[i].infra);
+    obs.configure(ec);
     const auto r = core::run_simulation(*eval.scenario.nodes, eval.game, ec);
+    obs.add(systems[i].name, r);
     update_km[i] = r.traffic.load_km_update;
     light_km[i] = r.traffic.load_km_light;
     totals[i] = r.traffic.load_km_total();
@@ -42,5 +47,6 @@ int main(int argc, char** argv) {
                     "Hybrid's locality beats unicast TTL despite more messages");
   check.expect_near(light_km[2], update_km[2], 0.65,
                     "TTL carries comparable request and response load");
+  obs.write_direct();
   return bench::finish(check);
 }

@@ -6,6 +6,7 @@
 // the TTL-family fractions fall as the end-user TTL grows toward the
 // content-server TTL.
 #include "bench_evaluation.hpp"
+#include "bench_obs.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
@@ -14,6 +15,8 @@ int main(int argc, char** argv) {
   bench::banner("Figure 24: user-observed inconsistency (server switch per visit)");
 
   auto eval = bench::evaluation_setup(flags);
+  bench::ObsSession obs(argc, argv, flags,
+                        static_cast<std::uint64_t>(flags.get_int("seed", 42)));
   const auto systems = bench::section5_systems();
 
   std::vector<std::string> header{"user_ttl_s"};
@@ -30,7 +33,11 @@ int main(int argc, char** argv) {
       ec.user_poll_period_s = user_ttl;
       ec.user_start_window_s = user_ttl;
       ec.user_attachment = consistency::UserAttachment::kSwitchEveryVisit;
+      obs.configure(ec);
       const auto r = core::run_simulation(*eval.scenario.nodes, eval.game, ec);
+      obs.add("user_ttl=" + util::format_double(user_ttl, 0) + "/" +
+                  systems[i].name,
+              r);
       row.push_back(r.user_observed_inconsistency_fraction);
       if (user_ttl == 10) at10[i] = r.user_observed_inconsistency_fraction;
       if (user_ttl == 60) at60[i] = r.user_observed_inconsistency_fraction;
@@ -49,5 +56,6 @@ int main(int argc, char** argv) {
   check.expect_near(at10[2], at10[4], 0.5, "TTL ~ Hybrid");
   check.expect_less(at60[2], at10[2],
                     "TTL-family fraction falls as end-user TTL grows");
+  obs.write_direct();
   return bench::finish(check);
 }

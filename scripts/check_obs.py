@@ -3,17 +3,25 @@
 
 Usage:
     check_obs.py --metrics M.jsonl [--trace T.json] [--csv C.csv]
+                 [--profile P.profile.json]
 
 Checks (stdlib only, no third-party deps):
   * metrics: parseable JSONL, one {"label", "metrics"} object per line;
     every metrics object has counters/gauges/histograms; every histogram
-    has len(counts) == len(bounds) + 1 and count == sum(counts);
+    has len(counts) == len(bounds) + 1, count == sum(counts), strictly
+    increasing bounds, and (when present) a non-negative integer
+    nan_count;
   * trace: parseable JSON with a traceEvents list; every event carries
     name/cat/ph/ts/pid/tid; "X" events carry dur; ts/dur are integers
     (sim-microseconds — wall-clock floats would break determinism);
   * csv: parseable by csv.reader, rectangular, and the "config" column
     (present in the bench summary schema) re-splits into the "/"-joined
     label parts — this exercises the RFC 4180 quoting path end to end;
+  * profile: schema "cdnsim.profile.v1"; a deterministic section with
+    sorted, unique ';'-joined scope paths carrying integer count >= 1 and
+    sim_cover_us >= 0; a wall section over the same paths with
+    self_ns <= wall_ns; and a collapsed-stack .folded sibling whose lines
+    are "path weight" over exactly the same paths;
   * every artifact has a sibling <file>.manifest.json naming the binary,
     a config_digest and a seed.
 
@@ -69,6 +77,16 @@ def check_metrics(path):
                   f"{path}:{i + 1}: histogram '{name}' counts/bounds mismatch")
             check(h["count"] == sum(h["counts"]),
                   f"{path}:{i + 1}: histogram '{name}' count != sum(counts)")
+            bounds = h["bounds"]
+            check(all(a < b for a, b in zip(bounds, bounds[1:])),
+                  f"{path}:{i + 1}: histogram '{name}' bounds not strictly "
+                  f"increasing: {bounds}")
+            # NaN observations are quarantined outside the buckets; the
+            # field is omitted entirely on clean runs (byte-stability).
+            if "nan_count" in h:
+                check(isinstance(h["nan_count"], int) and h["nan_count"] >= 0,
+                      f"{path}:{i + 1}: histogram '{name}' nan_count must be "
+                      f"a non-negative integer")
     check_manifest(path)
 
 
@@ -109,13 +127,69 @@ def check_csv(path):
     check_manifest(path)
 
 
+def folded_path_for(profile_path):
+    # Mirrors bench::ObsSession::folded_path_for.
+    if profile_path.endswith(".json"):
+        return profile_path[:-len(".json")] + ".folded"
+    return profile_path + ".folded"
+
+
+def check_profile(path):
+    with open(path) as f:
+        doc = json.load(f)
+    check(doc.get("schema") == "cdnsim.profile.v1",
+          f"{path}: schema is {doc.get('schema')!r}, "
+          f"expected 'cdnsim.profile.v1'")
+    det = doc.get("deterministic", {}).get("scopes")
+    wall = doc.get("wall", {}).get("scopes")
+    if not check(isinstance(det, list) and isinstance(wall, list),
+                 f"{path}: missing deterministic/wall scope lists"):
+        return
+    check(len(det) >= 1, f"{path}: empty profile")
+    det_paths = [s.get("path") for s in det]
+    check(det_paths == sorted(det_paths) and len(set(det_paths)) == len(det_paths),
+          f"{path}: deterministic paths must be sorted and unique")
+    for s in det:
+        p = s.get("path", "?")
+        check(isinstance(s.get("count"), int) and s["count"] >= 1,
+              f"{path}: scope '{p}' count must be a positive integer")
+        check(isinstance(s.get("sim_cover_us"), int) and s["sim_cover_us"] >= 0,
+              f"{path}: scope '{p}' sim_cover_us must be a non-negative "
+              f"integer (sim time never runs backwards)")
+    check([s.get("path") for s in wall] == det_paths,
+          f"{path}: wall section must cover the deterministic paths")
+    for s in wall:
+        p = s.get("path", "?")
+        ok = (isinstance(s.get("wall_ns"), int) and
+              isinstance(s.get("self_ns"), int) and
+              0 <= s["self_ns"] <= s["wall_ns"])
+        check(ok, f"{path}: scope '{p}' needs 0 <= self_ns <= wall_ns")
+    folded = folded_path_for(path)
+    if not check(os.path.exists(folded), f"missing folded sibling {folded}"):
+        check_manifest(path)
+        return
+    folded_paths = []
+    with open(folded) as f:
+        for i, line in enumerate(f):
+            frames, sep, weight = line.rstrip("\n").rpartition(" ")
+            if not check(sep == " " and frames and weight.isdigit(),
+                         f"{folded}:{i + 1}: not a 'frames weight' line: "
+                         f"{line!r}"):
+                return
+            folded_paths.append(frames)
+    check(folded_paths == det_paths,
+          f"{folded}: paths disagree with the profile JSON")
+    check_manifest(path)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--metrics")
     parser.add_argument("--trace")
     parser.add_argument("--csv")
+    parser.add_argument("--profile")
     args = parser.parse_args()
-    if not (args.metrics or args.trace or args.csv):
+    if not (args.metrics or args.trace or args.csv or args.profile):
         parser.error("nothing to check")
     if args.metrics:
         check_metrics(args.metrics)
@@ -123,6 +197,8 @@ def main():
         check_trace(args.trace)
     if args.csv:
         check_csv(args.csv)
+    if args.profile:
+        check_profile(args.profile)
     if failures:
         for msg in failures:
             print(f"check_obs: FAIL: {msg}", file=sys.stderr)

@@ -13,6 +13,28 @@ using topology::kProviderNode;
 using topology::NodeId;
 using trace::Version;
 
+namespace {
+
+// Event tags for the dispatch profiler. Tag 0 is sim::kUntaggedEvent;
+// message deliveries map one tag per MessageKind so the profile breaks the
+// dispatch loop down by what actually fired.
+constexpr sim::EventTag kTagProviderUpdate = 1;
+constexpr sim::EventTag kTagPollTick = 2;
+constexpr sim::EventTag kTagAdaptTick = 3;
+constexpr sim::EventTag kTagUserVisit = 4;
+constexpr sim::EventTag kTagChurn = 5;
+constexpr sim::EventTag kTagHorizon = 6;
+constexpr sim::EventTag kTagDeliveryBase = 7;
+constexpr std::size_t kEngineTagCount =
+    kTagDeliveryBase + net::kMessageKindCount;
+
+sim::EventTag delivery_tag(net::MessageKind kind) {
+  return static_cast<sim::EventTag>(kTagDeliveryBase +
+                                    static_cast<std::size_t>(kind));
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // Internal state types
 // ---------------------------------------------------------------------------
@@ -104,9 +126,14 @@ UpdateEngine::UpdateEngine(sim::Simulator& simulator,
   shifted_updates_ = std::make_unique<trace::UpdateTrace>(std::move(shifted));
   updates_ = shifted_updates_.get();
 
+  bind_profiler();
+
   util::Rng infra_rng = rng_.fork(0x1f7a);
-  infra_ = build_infrastructure(nodes, config_.infrastructure, config_.method,
-                                infra_rng);
+  {
+    obs::ProfileScope scope(profiler_, ps_tree_build_);
+    infra_ = build_infrastructure(nodes, config_.infrastructure, config_.method,
+                                  infra_rng);
+  }
 
   provider_ = std::make_unique<cdn::Provider>(*updates_, config_.provider,
                                               rng_.fork(0x9807));
@@ -166,6 +193,31 @@ void UpdateEngine::bind_metrics() {
   hist_inconsistency_ = &metrics_.histogram(
       "engine.inconsistency_window_s",
       {0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 60.0, 120.0, 300.0});
+}
+
+void UpdateEngine::bind_profiler() {
+  profiler_ = config_.profiler;
+  if (profiler_ == nullptr) return;
+  ps_poll_ = profiler_->intern("engine.poll");
+  ps_fetch_ = profiler_->intern("engine.fetch");
+  ps_invalidate_ = profiler_->intern("engine.invalidate");
+  ps_push_ = profiler_->intern("engine.push");
+  ps_mode_switch_ = profiler_->intern("engine.mode_switch");
+  ps_tree_build_ = profiler_->intern("topology.build_tree");
+  ps_repair_ = profiler_->intern("topology.repair");
+
+  tag_slots_.assign(kEngineTagCount, 0);
+  tag_slots_[sim::kUntaggedEvent] = profiler_->intern("sim.untagged");
+  tag_slots_[kTagProviderUpdate] = profiler_->intern("sim.provider_update");
+  tag_slots_[kTagPollTick] = profiler_->intern("sim.poll_tick");
+  tag_slots_[kTagAdaptTick] = profiler_->intern("sim.adapt_tick");
+  tag_slots_[kTagUserVisit] = profiler_->intern("sim.user_visit");
+  tag_slots_[kTagChurn] = profiler_->intern("sim.churn");
+  tag_slots_[kTagHorizon] = profiler_->intern("sim.horizon");
+  for (std::size_t k = 0; k < net::kMessageKindCount; ++k) {
+    tag_slots_[kTagDeliveryBase + k] = profiler_->intern(
+        "deliver." + std::string(to_string(static_cast<net::MessageKind>(k))));
+  }
 }
 
 void UpdateEngine::publish_run_stats() {
@@ -252,13 +304,14 @@ void UpdateEngine::send(NodeId from, NodeId to, net::MessageKind kind,
       const sim::SimTime available = dest.absence->available_from(arrival);
       if (available > arrival) arrival = available + 0.001;
     }
-    sim_->at(arrival, [this, to, action = std::move(on_delivery)]() mutable {
-      if (servers_[static_cast<std::size_t>(to)]->departed) return;
-      action();
-    });
+    sim_->at(arrival, delivery_tag(kind),
+             [this, to, action = std::move(on_delivery)]() mutable {
+               if (servers_[static_cast<std::size_t>(to)]->departed) return;
+               action();
+             });
     return;
   }
-  sim_->at(arrival, std::move(on_delivery));
+  sim_->at(arrival, delivery_tag(kind), std::move(on_delivery));
 }
 
 // ---------------------------------------------------------------------------
@@ -291,6 +344,7 @@ void UpdateEngine::acquire_version(ServerState& s, Version v) {
 /// notice-receiving children (plain Invalidation children always; subscribed
 /// self-adaptive children once per subscription).
 void UpdateEngine::notify_children(NodeId node, Version v) {
+  obs::ProfileScope scope(profiler_, ps_invalidate_);
   auto& subs = subscriptions_[node];
   for (NodeId c : infra_.children_of(node)) {
     const UpdateMethod m = infra_.method_of(c);
@@ -310,6 +364,7 @@ void UpdateEngine::notify_children(NodeId node, Version v) {
 }
 
 void UpdateEngine::propagate_to_children(NodeId node, Version v) {
+  obs::ProfileScope scope(profiler_, ps_push_);
   for (NodeId c : infra_.children_of(node)) {
     if (infra_.method_of(c) == UpdateMethod::kPush) {
       ServerState& child = *servers_[static_cast<std::size_t>(c)];
@@ -329,6 +384,7 @@ void UpdateEngine::on_provider_update(Version v) {
 // ---------------------------------------------------------------------------
 
 void UpdateEngine::handle_poll_at_parent(NodeId parent, NodeId child) {
+  obs::ProfileScope scope(profiler_, ps_poll_);
   ServerState& child_state = *servers_[static_cast<std::size_t>(child)];
   const Version child_version = child_state.version;
   Version v;
@@ -347,6 +403,7 @@ void UpdateEngine::handle_poll_at_parent(NodeId parent, NodeId child) {
 }
 
 void UpdateEngine::handle_fetch_at_parent(NodeId parent, NodeId child) {
+  obs::ProfileScope scope(profiler_, ps_fetch_);
   auto& subs = subscriptions_[parent];
   if (infra_.method_of(child) == UpdateMethod::kRateAdaptive) {
     // Rate-adaptive children stay subscribed across fetches; clearing the
@@ -373,6 +430,7 @@ void UpdateEngine::handle_fetch_at_parent(NodeId parent, NodeId child) {
 }
 
 void UpdateEngine::answer_fetch(NodeId parent, NodeId child) {
+  obs::ProfileScope scope(profiler_, ps_fetch_);
   const Version v = node_version(parent);
   ServerState& child_state = *servers_[static_cast<std::size_t>(child)];
   send(parent, child, net::MessageKind::kFetchResponse, config_.update_packet_kb,
@@ -397,13 +455,15 @@ void UpdateEngine::start_server(ServerState& s) {
   if (!uses_polling(s.method)) return;
   ServerState* sp = &s;
   s.poll_timer = std::make_unique<sim::PeriodicTimer>(
-      *sim_, config_.method.server_ttl_s, [this, sp] { poll_tick(*sp); });
+      *sim_, config_.method.server_ttl_s, [this, sp] { poll_tick(*sp); },
+      kTagPollTick);
   // Servers start with uniformly random phase in [0, TTL) — the paper's
   // assumption behind E[I] = TTL/2 (Section 3.4.1).
   s.poll_timer->start_after(rng_.uniform(0.0, config_.method.server_ttl_s));
   if (s.method == UpdateMethod::kRateAdaptive) {
     s.adapt_timer = std::make_unique<sim::PeriodicTimer>(
-        *sim_, config_.method.rate_window_s, [this, sp] { rate_adapt_tick(*sp); });
+        *sim_, config_.method.rate_window_s, [this, sp] { rate_adapt_tick(*sp); },
+        kTagAdaptTick);
     s.adapt_timer->start();
   }
 }
@@ -436,6 +496,7 @@ void UpdateEngine::rate_adapt_tick(ServerState& s) {
 /// Leaves invalidation mode: notifies the parent (unsubscribe), resumes the
 /// poll timer, and repairs any known staleness immediately.
 void UpdateEngine::switch_to_ttl_mode(ServerState& s) {
+  obs::ProfileScope scope(profiler_, ps_mode_switch_);
   s.sa_in_invalidation_mode = false;
   ctr_mode_switches_->inc();
   if (config_.record_trace_events) {
@@ -456,6 +517,7 @@ void UpdateEngine::switch_to_ttl_mode(ServerState& s) {
 }
 
 void UpdateEngine::poll_tick(ServerState& s) {
+  obs::ProfileScope scope(profiler_, ps_poll_);
   if (sim_->now() >= end_time_) {
     s.poll_timer->stop();
     return;
@@ -473,6 +535,7 @@ void UpdateEngine::poll_tick(ServerState& s) {
 }
 
 void UpdateEngine::on_poll_response(ServerState& s, Version v, bool fresh) {
+  obs::ProfileScope scope(profiler_, ps_poll_);
   if (fresh) {
     acquire_version(s, v);
     return;
@@ -484,6 +547,7 @@ void UpdateEngine::on_poll_response(ServerState& s, Version v, bool fresh) {
 }
 
 void UpdateEngine::switch_to_invalidation_mode(ServerState& s) {
+  obs::ProfileScope scope(profiler_, ps_mode_switch_);
   s.sa_in_invalidation_mode = true;
   ctr_mode_switches_->inc();
   if (config_.record_trace_events) {
@@ -513,6 +577,7 @@ void UpdateEngine::switch_to_invalidation_mode(ServerState& s) {
 }
 
 void UpdateEngine::on_invalidation(ServerState& s, Version v) {
+  obs::ProfileScope scope(profiler_, ps_invalidate_);
   ctr_invalidations_[method_index(s.method)]->inc();
   s.invalid_known = std::max(s.invalid_known, v);
   // Invalidation notices flood down to notice-receiving children (multicast
@@ -521,6 +586,7 @@ void UpdateEngine::on_invalidation(ServerState& s, Version v) {
 }
 
 void UpdateEngine::begin_fetch(ServerState& s) {
+  obs::ProfileScope scope(profiler_, ps_fetch_);
   CDNSIM_EXPECTS(!s.fetch_in_flight, "fetch already in flight");
   s.fetch_in_flight = true;
   ctr_fetches_[method_index(s.method)]->inc();
@@ -531,6 +597,7 @@ void UpdateEngine::begin_fetch(ServerState& s) {
 }
 
 void UpdateEngine::on_fetch_response(ServerState& s, Version v) {
+  obs::ProfileScope scope(profiler_, ps_fetch_);
   s.fetch_in_flight = false;
   acquire_version(s, v);
   if (s.invalidation_active() && s.invalid_known > s.version) {
@@ -566,7 +633,7 @@ void UpdateEngine::schedule_next_failure() {
       rng_.exponential(3600.0 / config_.churn.failures_per_hour);
   const sim::SimTime when = sim_->now() + gap;
   if (when >= end_time_) return;
-  sim_->at(when, [this] {
+  sim_->at(when, kTagChurn, [this] {
     // Pick a random live server; skip the round if everything is down.
     std::vector<ServerState*> live;
     for (auto& s : servers_) {
@@ -607,7 +674,7 @@ void UpdateEngine::fail_node(ServerState& s) {
   const sim::SimTime downtime =
       std::max(1.0, rng_.exponential(config_.churn.downtime_mean_s));
   ServerState* sp = &s;
-  sim_->at(sim_->now() + downtime, [this, sp] { restore_node(*sp); });
+  sim_->at(sim_->now() + downtime, kTagChurn, [this, sp] { restore_node(*sp); });
 }
 
 void UpdateEngine::restore_node(ServerState& s) {
@@ -629,6 +696,7 @@ void UpdateEngine::restore_node(ServerState& s) {
 }
 
 void UpdateEngine::apply_repair(const RepairReport& report) {
+  obs::ProfileScope scope(profiler_, ps_repair_);
   for (const RepairEdge& edge : report.new_edges) {
     meter_.record(net::MessageKind::kTreeMaintenance, edge.child,
                   nodes_->distance_km(edge.child, edge.new_parent),
@@ -679,14 +747,16 @@ void UpdateEngine::ensure_polling(ServerState& s) {
   ServerState* sp = &s;
   if (!s.poll_timer) {
     s.poll_timer = std::make_unique<sim::PeriodicTimer>(
-        *sim_, config_.method.server_ttl_s, [this, sp] { poll_tick(*sp); });
+        *sim_, config_.method.server_ttl_s, [this, sp] { poll_tick(*sp); },
+        kTagPollTick);
   }
   s.poll_timer->set_period(config_.method.server_ttl_s);
   s.poll_timer->start_after(rng_.uniform(0.0, config_.method.server_ttl_s));
   if (s.method == UpdateMethod::kRateAdaptive) {
     if (!s.adapt_timer) {
       s.adapt_timer = std::make_unique<sim::PeriodicTimer>(
-          *sim_, config_.method.rate_window_s, [this, sp] { rate_adapt_tick(*sp); });
+          *sim_, config_.method.rate_window_s,
+          [this, sp] { rate_adapt_tick(*sp); }, kTagAdaptTick);
     }
     if (!s.adapt_timer->running()) s.adapt_timer->start();
   }
@@ -725,7 +795,8 @@ void UpdateEngine::start_users() {
     }
     UserState* up = u.get();
     u->visit_timer = std::make_unique<sim::PeriodicTimer>(
-        *sim_, config_.user_poll_period_s, [this, up] { user_visit(*up); });
+        *sim_, config_.user_poll_period_s, [this, up] { user_visit(*up); },
+        kTagUserVisit);
     u->visit_timer->start_after(rng_.uniform(0.0, config_.user_start_window_s));
     users_.push_back(std::move(u));
   }
@@ -806,18 +877,22 @@ void UpdateEngine::prepare() {
   CDNSIM_EXPECTS(!ran_, "UpdateEngine may only be prepared/run once");
   ran_ = true;
 
+  // Last engine prepared on a shared Simulator wins the profiler slot;
+  // profiled runs use one engine per simulator (BatchRunner jobs).
+  if (profiler_ != nullptr) sim_->attach_profiler(profiler_, tag_slots_);
+
   for (auto& s : servers_) start_server(*s);
   start_users();
 
   for (Version v = 1; v <= updates_->update_count(); ++v) {
     const sim::SimTime t = updates_->update_time(v);
-    sim_->at(t, [this, v] { on_provider_update(v); });
+    sim_->at(t, kTagProviderUpdate, [this, v] { on_provider_update(v); });
   }
 
   schedule_next_failure();
 
   // Stop all periodic activity at the horizon; in-flight messages drain.
-  sim_->at(end_time_, [this] {
+  sim_->at(end_time_, kTagHorizon, [this] {
     for (auto& s : servers_) {
       if (s->poll_timer) s->poll_timer->stop();
       if (s->adapt_timer) s->adapt_timer->stop();

@@ -32,6 +32,7 @@
 
 #include "cdn/dns.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace_recorder.hpp"
 #include "cdn/provider.hpp"
 #include "cdn/replica_recorder.hpp"
@@ -117,6 +118,13 @@ struct EngineConfig {
   /// churn) into the engine's TraceRecorder. Off by default: tracing
   /// allocates per event, unlike the always-on counters.
   bool record_trace_events = false;
+
+  /// Dispatch/phase profiler (borrowed, must outlive the engine; never
+  /// shared between jobs). When set, prepare() attaches it to the Simulator
+  /// with the engine's event-tag table and every engine phase opens a
+  /// ProfileScope. When null — the default — the only residue is one
+  /// null-check per phase entry (the zero-cost contract).
+  obs::Profiler* profiler = nullptr;
 };
 
 class UpdateEngine {
@@ -212,6 +220,7 @@ class UpdateEngine {
 
   // observability
   void bind_metrics();
+  void bind_profiler();
 
   // churn
   void schedule_next_failure();
@@ -272,6 +281,18 @@ class UpdateEngine {
   obs::Counter* ctr_visits_ = nullptr;
   obs::Counter* ctr_visits_unanswered_ = nullptr;
   obs::Histogram* hist_inconsistency_ = nullptr;
+
+  // Dispatch/phase profiler: slots interned once in bind_profiler(), so a
+  // phase entry costs one null-check plus (when enabled) one table walk.
+  obs::Profiler* profiler_ = nullptr;
+  std::vector<obs::ProfileSlot> tag_slots_;
+  obs::ProfileSlot ps_poll_ = 0;
+  obs::ProfileSlot ps_fetch_ = 0;
+  obs::ProfileSlot ps_invalidate_ = 0;
+  obs::ProfileSlot ps_push_ = 0;
+  obs::ProfileSlot ps_mode_switch_ = 0;
+  obs::ProfileSlot ps_tree_build_ = 0;
+  obs::ProfileSlot ps_repair_ = 0;
 };
 
 }  // namespace cdnsim::consistency

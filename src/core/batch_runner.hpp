@@ -51,6 +51,13 @@ struct BatchJob {
 
   /// Free-form tag echoed into the result (bench tables key on it).
   std::string label;
+
+  /// When true the job runs under its own obs::Profiler (a root scope named
+  /// after `label`, stage scopes for scenario build / trace generation /
+  /// simulation, and the engine's dispatch+phase scopes) and the report
+  /// lands in BatchResult::sim.profile. Never shared between jobs, so the
+  /// deterministic sections merge identically for any --jobs count.
+  bool profile = false;
 };
 
 struct BatchResult {
@@ -67,6 +74,11 @@ struct BatchOptions {
   std::size_t threads = 0;
   /// Root of the per-job RNG substreams (trace generation).
   std::uint64_t master_seed = 42;
+  /// Opt-in progress heartbeat: every this-many seconds run() prints one
+  /// stderr line (jobs done, events/s, ETA, steal count) from the calling
+  /// thread. 0 (the default) disables it — results are unaffected either
+  /// way, the heartbeat only reads completion counters.
+  double heartbeat_period_s = 0;
 };
 
 /// Host-side execution statistics for one run() call. Inherently
@@ -100,6 +112,7 @@ class BatchRunner {
  private:
   std::size_t threads_;
   std::uint64_t master_seed_;
+  double heartbeat_period_s_;
 };
 
 }  // namespace cdnsim::core

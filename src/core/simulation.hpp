@@ -16,6 +16,7 @@
 #include "consistency/engine.hpp"
 #include "core/scenario.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace_recorder.hpp"
 #include "trace/update_trace.hpp"
 
@@ -51,6 +52,9 @@ struct SimulationResult {
   obs::MetricsRegistry metrics;
   /// Trace events, empty unless EngineConfig::record_trace_events.
   obs::TraceRecorder trace;
+  /// Hierarchical profile, empty unless BatchJob::profile. Scope counts and
+  /// sim-time coverage are deterministic; wall times are host noise.
+  obs::ProfileReport profile;
 };
 
 /// Runs one trace through one engine configuration on the given CDN.

@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <ostream>
 #include <sstream>
@@ -19,6 +20,16 @@ Histogram::Histogram(std::vector<double> upper_bounds)
 }
 
 void Histogram::observe(double x) {
+  if (counts_.empty()) {
+    throw Error("Histogram::observe on a histogram with no bounds "
+                "(default-constructed?)");
+  }
+  if (std::isnan(x)) {
+    // NaN compares false against every bound, so it would land in bucket 0
+    // and turn sum() into NaN; quarantine it instead.
+    ++nan_count_;
+    return;
+  }
   std::size_t i = 0;
   while (i < bounds_.size() && x > bounds_[i]) ++i;
   ++counts_[i];
@@ -26,12 +37,30 @@ void Histogram::observe(double x) {
   ++count_;
 }
 
+namespace {
+std::string bounds_to_string(const std::vector<double>& bounds) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (i > 0) out += ',';
+    out += util::format_double(bounds[i]);
+  }
+  out += ']';
+  return out;
+}
+}  // namespace
+
 void Histogram::merge_from(const Histogram& other) {
-  CDNSIM_EXPECTS(bounds_ == other.bounds_,
-                 "Histogram merge requires identical bounds");
+  if (bounds_ != other.bounds_) {
+    // Bucket-wise addition over different bounds would silently misattribute
+    // counts; this is a runtime data-shape error, so report both shapes.
+    throw Error("Histogram merge with mismatched bounds: " +
+                bounds_to_string(bounds_) + " vs " +
+                bounds_to_string(other.bounds_));
+  }
   for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
   sum_ += other.sum_;
   count_ += other.count_;
+  nan_count_ += other.nan_count_;
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
@@ -93,7 +122,11 @@ void MetricsRegistry::write_json(std::ostream& out) const {
       out << h.counts()[i];
     }
     out << "],\"sum\":" << util::format_double(h.sum())
-        << ",\"count\":" << h.count() << '}';
+        << ",\"count\":" << h.count();
+    // Emitted only when present, so clean runs serialise to the same bytes
+    // they did before the NaN quarantine existed.
+    if (h.nan_count() > 0) out << ",\"nan_count\":" << h.nan_count();
+    out << '}';
   }
   out << "}}";
 }

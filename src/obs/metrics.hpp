@@ -52,6 +52,10 @@ class Histogram {
   /// `upper_bounds` must be strictly increasing and non-empty.
   explicit Histogram(std::vector<double> upper_bounds);
 
+  /// Buckets a finite observation. NaN is quarantined in nan_count() —
+  /// it never reaches sum()/count(), so one bad sample cannot poison the
+  /// mean of a whole run. Throws cdnsim::Error on a default-constructed
+  /// (bound-less) histogram.
   void observe(double x);
 
   const std::vector<double>& bounds() const { return bounds_; }
@@ -59,8 +63,12 @@ class Histogram {
   const std::vector<std::uint64_t>& counts() const { return counts_; }
   double sum() const { return sum_; }
   std::uint64_t count() const { return count_; }
+  /// NaN observations quarantined away from sum()/count().
+  std::uint64_t nan_count() const { return nan_count_; }
 
-  /// Adds another histogram with identical bounds into this one.
+  /// Adds another histogram into this one. Throws cdnsim::Error when the
+  /// bounds differ — bucket-wise addition over misaligned bounds would
+  /// silently attribute counts to the wrong ranges.
   void merge_from(const Histogram& other);
 
  private:
@@ -68,6 +76,7 @@ class Histogram {
   std::vector<std::uint64_t> counts_;
   double sum_ = 0;
   std::uint64_t count_ = 0;
+  std::uint64_t nan_count_ = 0;
 };
 
 /// Owns named metric slots and serialises them canonically. References

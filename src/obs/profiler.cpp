@@ -1,0 +1,162 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "obs/metrics.hpp"  // json_escape
+#include "util/error.hpp"
+
+namespace cdnsim::obs {
+
+void ProfileReport::merge_from(const ProfileReport& other) {
+  // Both entry lists are sorted by path; a classic merge keeps the result
+  // sorted without re-sorting (merging is order-independent either way).
+  std::vector<ProfileEntry> merged;
+  merged.reserve(entries_.size() + other.entries_.size());
+  std::size_t i = 0, j = 0;
+  while (i < entries_.size() && j < other.entries_.size()) {
+    const int cmp = entries_[i].path.compare(other.entries_[j].path);
+    if (cmp < 0) {
+      merged.push_back(std::move(entries_[i++]));
+    } else if (cmp > 0) {
+      merged.push_back(other.entries_[j++]);
+    } else {
+      ProfileEntry e = std::move(entries_[i++]);
+      const ProfileEntry& o = other.entries_[j++];
+      e.count += o.count;
+      e.sim_cover_us += o.sim_cover_us;
+      e.wall_ns += o.wall_ns;
+      e.self_ns += o.self_ns;
+      merged.push_back(std::move(e));
+    }
+  }
+  while (i < entries_.size()) merged.push_back(std::move(entries_[i++]));
+  while (j < other.entries_.size()) merged.push_back(other.entries_[j++]);
+  entries_ = std::move(merged);
+}
+
+namespace {
+
+void write_deterministic_scopes(std::ostream& out,
+                                const std::vector<ProfileEntry>& entries) {
+  out << "{\"scopes\":[";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) out << ',';
+    const ProfileEntry& e = entries[i];
+    out << "{\"path\":\"" << json_escape(e.path)
+        << "\",\"count\":" << e.count
+        << ",\"sim_cover_us\":" << e.sim_cover_us << '}';
+  }
+  out << "]}";
+}
+
+}  // namespace
+
+void ProfileReport::write_json(std::ostream& out) const {
+  out << "{\"schema\":\"cdnsim.profile.v1\",\"deterministic\":";
+  write_deterministic_scopes(out, entries_);
+  out << ",\"wall\":{\"scopes\":[";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) out << ',';
+    const ProfileEntry& e = entries_[i];
+    out << "{\"path\":\"" << json_escape(e.path)
+        << "\",\"wall_ns\":" << e.wall_ns << ",\"self_ns\":" << e.self_ns
+        << '}';
+  }
+  out << "]}}\n";
+}
+
+std::string ProfileReport::deterministic_json() const {
+  std::ostringstream out;
+  write_deterministic_scopes(out, entries_);
+  return out.str();
+}
+
+void ProfileReport::write_folded(std::ostream& out) const {
+  for (const ProfileEntry& e : entries_) {
+    out << e.path << ' ' << e.self_ns / 1000 << '\n';
+  }
+}
+
+ProfileSlot Profiler::intern(std::string_view label) {
+  const auto it = label_index_.find(label);
+  if (it != label_index_.end()) return it->second;
+  std::string cleaned(label);
+  // ';' is the collapsed-stack frame separator; keep labels unambiguous.
+  std::replace(cleaned.begin(), cleaned.end(), ';', ',');
+  const ProfileSlot slot = static_cast<ProfileSlot>(labels_.size());
+  labels_.push_back(cleaned);
+  // Index under the original spelling so repeat interns of a label that
+  // contained ';' still hit the cache.
+  label_index_.emplace(std::string(label), slot);
+  return slot;
+}
+
+std::uint32_t Profiler::find_or_create(std::vector<std::uint32_t>& siblings,
+                                       ProfileSlot slot) {
+  // Linear scan: fan-out per scope is the number of distinct child labels
+  // (event kinds / phases), a small constant, and the vector is hot.
+  for (const std::uint32_t n : siblings) {
+    if (nodes_[n].slot == slot) return n;
+  }
+  const auto idx = static_cast<std::uint32_t>(nodes_.size());
+  siblings.push_back(idx);
+  Node node;
+  node.slot = slot;
+  nodes_.push_back(std::move(node));
+  return idx;
+}
+
+void Profiler::enter(ProfileSlot slot, std::int64_t sim_cover_us) {
+  CDNSIM_EXPECTS(slot < labels_.size(), "ProfileSlot was never interned");
+  std::vector<std::uint32_t>& siblings =
+      stack_.empty() ? roots_ : nodes_[stack_.back().node].children;
+  const std::uint32_t node = find_or_create(siblings, slot);
+  Node& n = nodes_[node];
+  ++n.count;
+  n.sim_cover_us += sim_cover_us;
+  stack_.push_back(Frame{node, std::chrono::steady_clock::now()});
+}
+
+void Profiler::exit() {
+  CDNSIM_EXPECTS(!stack_.empty(), "Profiler::exit() with no open scope");
+  const Frame frame = stack_.back();
+  stack_.pop_back();
+  const auto elapsed = std::chrono::steady_clock::now() - frame.start;
+  nodes_[frame.node].wall_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+}
+
+void Profiler::flatten(std::uint32_t node, const std::string& prefix,
+                       ProfileReport& out) const {
+  const Node& n = nodes_[node];
+  std::string path = prefix.empty() ? labels_[n.slot]
+                                    : prefix + ';' + labels_[n.slot];
+  std::uint64_t children_wall = 0;
+  for (const std::uint32_t c : n.children) children_wall += nodes_[c].wall_ns;
+  ProfileEntry e;
+  e.path = path;
+  e.count = n.count;
+  e.sim_cover_us = n.sim_cover_us;
+  e.wall_ns = n.wall_ns;
+  // A child's clock can read ahead of its parent's by the resolution of the
+  // two timestamps; clamp instead of underflowing.
+  e.self_ns = n.wall_ns > children_wall ? n.wall_ns - children_wall : 0;
+  out.entries_.push_back(std::move(e));
+  for (const std::uint32_t c : n.children) flatten(c, path, out);
+}
+
+ProfileReport Profiler::report() const {
+  CDNSIM_EXPECTS(stack_.empty(),
+                 "Profiler::report() with scopes still open");
+  ProfileReport out;
+  for (const std::uint32_t r : roots_) flatten(r, std::string(), out);
+  std::sort(out.entries_.begin(), out.entries_.end(),
+            [](const ProfileEntry& a, const ProfileEntry& b) {
+              return a.path < b.path;
+            });
+  return out;
+}
+
+}  // namespace cdnsim::obs

@@ -1,0 +1,152 @@
+// Hierarchical scoped profiler for the simulator.
+//
+// Answers "where does the time go inside a run" with labels attributed to
+// (subsystem, event-kind/phase) scopes — the dispatch loop opens a scope per
+// event tag, engine phases nest under it, and BatchRunner wraps each job in
+// a root scope named after the job label.
+//
+// The design follows the zero-cost observability contract (DESIGN.md) and
+// the determinism split:
+//  * slots are interned once at construction (bind_profiler time); the hot
+//    path is an index into a preresolved table plus one branch when the
+//    profiler pointer is null — no string hashing, no map lookup per event;
+//  * each node carries two families of data. Scope *counts* and *sim-time
+//    coverage* (microseconds of virtual time attributed to the scope by the
+//    dispatcher) derive only from sim time and seeded RNG, so they are
+//    deterministic and byte-identical across --jobs counts. Wall-clock
+//    durations (steady_clock) are host noise by nature and are emitted only
+//    into the manifest-family artifacts: <artifact>.profile.json's "wall"
+//    section and the collapsed-stack .folded output for flamegraph tooling;
+//  * nothing is shared between jobs: each job owns its profiler, reports are
+//    merged in submission order, so the deterministic sections of a merged
+//    report are independent of thread interleaving.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cdnsim::obs {
+
+/// Index of an interned scope label; cheap to copy and store in tables.
+using ProfileSlot = std::uint32_t;
+
+/// One scope path in a finished report. `path` is the ';'-joined chain of
+/// labels from the root (the collapsed-stack frame syntax), so reports from
+/// different jobs merge by string key.
+struct ProfileEntry {
+  std::string path;
+  std::uint64_t count = 0;        // deterministic: times the scope was entered
+  std::int64_t sim_cover_us = 0;  // deterministic: virtual time attributed
+  std::uint64_t wall_ns = 0;      // host-only: inclusive wall time
+  std::uint64_t self_ns = 0;      // host-only: wall_ns minus children
+};
+
+/// A merged, serialisable profile. Entries are kept sorted by path so equal
+/// deterministic data serialises to equal bytes.
+class ProfileReport {
+ public:
+  bool empty() const { return entries_.empty(); }
+  const std::vector<ProfileEntry>& entries() const { return entries_; }
+
+  /// Adds entries by path: counts/sim coverage/wall times all accumulate.
+  void merge_from(const ProfileReport& other);
+
+  /// Full artifact: {"schema","deterministic":{"scopes":[...]},
+  /// "wall":{"scopes":[...]}}. The deterministic section never contains
+  /// wall-clock data; tier1 byte-compares it across --jobs counts.
+  void write_json(std::ostream& out) const;
+
+  /// The deterministic section alone (canonical bytes) — what the
+  /// byte-identity tests compare.
+  std::string deterministic_json() const;
+
+  /// Collapsed-stack format ("frame;frame;frame self_us" per line) for
+  /// flamegraph.pl / speedscope. Weights are self wall time in integer
+  /// microseconds; zero-weight lines are kept so the scope inventory is
+  /// visible even for fast scopes.
+  void write_folded(std::ostream& out) const;
+
+ private:
+  friend class Profiler;
+  std::vector<ProfileEntry> entries_;  // sorted by path
+};
+
+/// Single-threaded hierarchical profiler. One per job; never shared.
+class Profiler {
+ public:
+  Profiler() = default;
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Interns `label` (idempotent) and returns its slot. ';' is reserved as
+  /// the path separator and is rewritten to ',' on the way in.
+  ProfileSlot intern(std::string_view label);
+
+  /// Opens a scope as a child of the current scope (or a root). Adds
+  /// `sim_cover_us` of virtual-time coverage to the node — the dispatcher
+  /// passes the clock advance the popped event caused; nested phase scopes
+  /// pass 0 (virtual time does not move inside an event action).
+  void enter(ProfileSlot slot, std::int64_t sim_cover_us = 0);
+
+  /// Closes the innermost open scope and charges its wall time.
+  void exit();
+
+  std::size_t open_scopes() const { return stack_.size(); }
+
+  /// Snapshot of everything recorded so far. All scopes must be closed.
+  ProfileReport report() const;
+
+ private:
+  struct Node {
+    std::uint32_t slot = 0;
+    std::uint64_t count = 0;
+    std::int64_t sim_cover_us = 0;
+    std::uint64_t wall_ns = 0;  // inclusive
+    std::vector<std::uint32_t> children;
+  };
+  struct Frame {
+    std::uint32_t node;
+    std::chrono::steady_clock::time_point start;
+  };
+
+  std::uint32_t find_or_create(std::vector<std::uint32_t>& siblings,
+                               ProfileSlot slot);
+  void flatten(std::uint32_t node, const std::string& prefix,
+               ProfileReport& out) const;
+
+  std::vector<std::string> labels_;
+  std::map<std::string, ProfileSlot, std::less<>> label_index_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> roots_;
+  std::vector<Frame> stack_;
+};
+
+/// RAII scope guard. With a null profiler both constructor and destructor
+/// are a single branch — the disabled configuration stays zero-cost.
+class ProfileScope {
+ public:
+  /// Hot path: slot resolved once at bind time.
+  ProfileScope(Profiler* p, ProfileSlot slot, std::int64_t sim_cover_us = 0)
+      : p_(p) {
+    if (p_ != nullptr) p_->enter(slot, sim_cover_us);
+  }
+  /// Cold path (job-level scopes): interns the label on entry.
+  ProfileScope(Profiler* p, std::string_view label) : p_(p) {
+    if (p_ != nullptr) p_->enter(p_->intern(label));
+  }
+  ~ProfileScope() {
+    if (p_ != nullptr) p_->exit();
+  }
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  Profiler* p_;
+};
+
+}  // namespace cdnsim::obs

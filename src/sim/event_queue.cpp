@@ -61,13 +61,14 @@ void EventQueue::release_slot(std::uint32_t slot) {
   free_head_ = slot;
 }
 
-EventHandle EventQueue::push(SimTime time, EventAction action) {
+EventHandle EventQueue::push(SimTime time, EventTag tag, EventAction action) {
   CDNSIM_EXPECTS(static_cast<bool>(action), "event action must be callable");
   CDNSIM_EXPECTS(next_seq_ <= kMaxSeq, "event queue sequence space exhausted");
   const std::uint32_t slot = acquire_slot();
   const std::uint64_t seq = next_seq_++;
   Slot& s = slots_[slot];
   s.action = std::move(action);
+  s.tag = tag;
   s.seq = seq;
   heap_.push_back(HeapEntry{time, (seq << kSlotIndexBits) | slot});
   sift_up(heap_.size() - 1);
@@ -104,7 +105,7 @@ EventQueue::Popped EventQueue::pop() {
   skim_dead_top();
   const HeapEntry top = heap_.front();
   const std::uint32_t slot = slot_of(top);
-  Popped out{top.time, std::move(slots_[slot].action)};
+  Popped out{top.time, std::move(slots_[slot].action), slots_[slot].tag};
   release_slot(slot);
   pop_root();
   --live_count_;

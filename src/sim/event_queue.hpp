@@ -43,6 +43,14 @@ namespace cdnsim::sim {
 
 using EventAction = InlineAction;
 
+/// Small integer classifying what kind of event an action is (poll tick,
+/// message delivery, churn failure, ...). The sim layer treats it as opaque;
+/// the dispatcher maps it to a profiler scope label via a table the engine
+/// installs. Stored in padding the Slot layout already had, so tagging is
+/// free in both space and time.
+using EventTag = std::uint16_t;
+inline constexpr EventTag kUntaggedEvent = 0;
+
 class EventQueue;
 
 /// Handle to a scheduled event; lets the owner cancel it later.
@@ -73,7 +81,10 @@ class EventQueue {
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
-  EventHandle push(SimTime time, EventAction action);
+  EventHandle push(SimTime time, EventAction action) {
+    return push(time, kUntaggedEvent, std::move(action));
+  }
+  EventHandle push(SimTime time, EventTag tag, EventAction action);
 
   bool empty() const { return live_count_ == 0; }
 
@@ -83,6 +94,7 @@ class EventQueue {
   struct Popped {
     SimTime time;
     EventAction action;
+    EventTag tag;
   };
 
   /// Removes and returns the next non-cancelled event. Precondition: !empty().
@@ -148,6 +160,7 @@ class EventQueue {
   struct Slot {
     std::uint64_t seq = kStaleSeq;  // seq of the occupant; kStaleSeq = vacant
     std::uint32_t next_free = kNpos;
+    EventTag tag = kUntaggedEvent;  // lives in what used to be padding
     EventAction action;
   };
 

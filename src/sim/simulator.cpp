@@ -1,12 +1,14 @@
 #include "sim/simulator.hpp"
 
+#include <cmath>
 #include <string>
+#include <utility>
 
 #include "util/error.hpp"
 
 namespace cdnsim::sim {
 
-EventHandle Simulator::at(SimTime time, EventAction action) {
+EventHandle Simulator::at(SimTime time, EventTag tag, EventAction action) {
   // Scheduling before now() would reorder the past and silently corrupt
   // determinism; it is a runtime condition (it depends on dynamic clock
   // state, e.g. a latency model emitting a negative delay), so it fails
@@ -15,12 +17,20 @@ EventHandle Simulator::at(SimTime time, EventAction action) {
     throw Error("Simulator::at(" + std::to_string(time) +
                 "): scheduling in the past (now=" + std::to_string(now_) + ")");
   }
-  return queue_.push(time, std::move(action));
+  return queue_.push(time, tag, std::move(action));
 }
 
-EventHandle Simulator::after(SimTime delay, EventAction action) {
+EventHandle Simulator::after(SimTime delay, EventTag tag, EventAction action) {
   CDNSIM_EXPECTS(delay >= 0, "delay must be non-negative");
-  return queue_.push(now_ + delay, std::move(action));
+  return queue_.push(now_ + delay, tag, std::move(action));
+}
+
+void Simulator::attach_profiler(obs::Profiler* profiler,
+                                std::vector<obs::ProfileSlot> tag_slots) {
+  CDNSIM_EXPECTS(profiler == nullptr || !tag_slots.empty(),
+                 "attach_profiler needs a slot for the untagged fallback");
+  profiler_ = profiler;
+  tag_slots_ = std::move(tag_slots);
 }
 
 void Simulator::run(SimTime until) {
@@ -39,10 +49,23 @@ void Simulator::run(SimTime until) {
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  auto [time, action] = queue_.pop();
+  auto [time, action, tag] = queue_.pop();
+  const SimTime prev = now_;
   now_ = time;
   ++events_processed_;
-  action();
+  if (profiler_ == nullptr) {
+    action();
+  } else {
+    // Virtual-time coverage: the clock advance this event caused, in the
+    // same integer-microsecond rounding the trace layer uses, so coverage
+    // is deterministic and sums to the horizon across all scopes.
+    const std::int64_t cover_us =
+        std::llround(time * 1e6) - std::llround(prev * 1e6);
+    const obs::ProfileSlot slot =
+        tag < tag_slots_.size() ? tag_slots_[tag] : tag_slots_[0];
+    obs::ProfileScope scope(profiler_, slot, cover_us);
+    action();
+  }
   return true;
 }
 

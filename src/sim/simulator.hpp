@@ -8,7 +8,9 @@
 
 #include <cstdint>
 #include <limits>
+#include <vector>
 
+#include "obs/profiler.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
@@ -26,10 +28,25 @@ class Simulator {
   /// Schedule at an absolute time >= now(). Scheduling in the past (or at a
   /// NaN time) throws cdnsim::Error — it would reorder history and corrupt
   /// the run's determinism, so it fails loudly instead.
-  EventHandle at(SimTime time, EventAction action);
+  EventHandle at(SimTime time, EventAction action) {
+    return at(time, kUntaggedEvent, std::move(action));
+  }
+  EventHandle at(SimTime time, EventTag tag, EventAction action);
 
   /// Schedule after a non-negative delay.
-  EventHandle after(SimTime delay, EventAction action);
+  EventHandle after(SimTime delay, EventAction action) {
+    return after(delay, kUntaggedEvent, std::move(action));
+  }
+  EventHandle after(SimTime delay, EventTag tag, EventAction action);
+
+  /// Attaches a dispatch profiler (borrowed; may be null to detach).
+  /// `tag_slots[tag]` is the pre-interned scope label for each EventTag the
+  /// caller schedules with; tags past the table's end fall back to slot 0
+  /// (the untagged label). Slots resolve to a table index in step(), so the
+  /// enabled cost is one branch + one indexed load per event, and the
+  /// disabled cost is the branch alone.
+  void attach_profiler(obs::Profiler* profiler,
+                       std::vector<obs::ProfileSlot> tag_slots);
 
   /// Run until the queue drains or the optional horizon is reached.
   /// Events at exactly the horizon still fire.
@@ -50,6 +67,8 @@ class Simulator {
   EventQueue queue_;
   SimTime now_ = 0;
   std::uint64_t events_processed_ = 0;
+  obs::Profiler* profiler_ = nullptr;
+  std::vector<obs::ProfileSlot> tag_slots_;
 };
 
 }  // namespace cdnsim::sim

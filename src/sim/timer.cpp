@@ -4,8 +4,9 @@
 
 namespace cdnsim::sim {
 
-PeriodicTimer::PeriodicTimer(Simulator& sim, SimTime period, Callback on_tick)
-    : sim_(&sim), period_(period), on_tick_(std::move(on_tick)) {
+PeriodicTimer::PeriodicTimer(Simulator& sim, SimTime period, Callback on_tick,
+                             EventTag tag)
+    : sim_(&sim), period_(period), on_tick_(std::move(on_tick)), tag_(tag) {
   CDNSIM_EXPECTS(period_ > 0, "timer period must be positive");
   CDNSIM_EXPECTS(static_cast<bool>(on_tick_), "timer callback must be callable");
 }
@@ -28,7 +29,7 @@ void PeriodicTimer::set_period(SimTime period) {
 }
 
 void PeriodicTimer::arm(SimTime delay) {
-  handle_ = sim_->after(delay, [this] { fire(); });
+  handle_ = sim_->after(delay, tag_, [this] { fire(); });
 }
 
 void PeriodicTimer::fire() {

@@ -15,8 +15,10 @@ class PeriodicTimer {
  public:
   using Callback = std::function<void()>;
 
-  /// Timer is created stopped; call start() to arm it.
-  PeriodicTimer(Simulator& sim, SimTime period, Callback on_tick);
+  /// Timer is created stopped; call start() to arm it. `tag` labels every
+  /// tick event for the dispatch profiler (kUntaggedEvent = unlabeled).
+  PeriodicTimer(Simulator& sim, SimTime period, Callback on_tick,
+                EventTag tag = kUntaggedEvent);
 
   PeriodicTimer(const PeriodicTimer&) = delete;
   PeriodicTimer& operator=(const PeriodicTimer&) = delete;
@@ -44,6 +46,7 @@ class PeriodicTimer {
   SimTime period_;
   Callback on_tick_;
   EventHandle handle_;
+  EventTag tag_;
 };
 
 }  // namespace cdnsim::sim

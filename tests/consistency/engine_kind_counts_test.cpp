@@ -1,0 +1,114 @@
+// TrafficMeter per-kind message counts: the kind decomposition must stay
+// consistent with the cost totals even under churn, where crashes drop
+// in-flight messages, repairs generate tree maintenance and returning nodes
+// re-fetch content.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "engine_test_util.hpp"
+#include "net/message.hpp"
+
+namespace cdnsim::consistency {
+namespace {
+
+using testutil::base_config;
+using testutil::regular_trace;
+using testutil::run;
+using testutil::small_scenario;
+
+EngineConfig churny(EngineConfig ec, double failures_per_hour,
+                    double downtime = 60.0, bool repair = true) {
+  ec.churn.failures_per_hour = failures_per_hour;
+  ec.churn.downtime_mean_s = downtime;
+  ec.churn.repair_enabled = repair;
+  return ec;
+}
+
+// Every maintenance record lands in exactly one kind bucket and exactly one
+// of update/light, so the maintenance kinds must re-add to the totals.
+void expect_kind_counts_consistent(const net::TrafficMeter& meter,
+                                   std::size_t server_count) {
+  std::uint64_t update_sum = 0;
+  std::uint64_t light_sum = 0;
+  for (std::size_t k = 0; k < net::kMessageKindCount; ++k) {
+    const auto kind = static_cast<net::MessageKind>(k);
+    if (!net::is_maintenance(kind)) continue;
+    (net::counts_as_update(kind) ? update_sum : light_sum) +=
+        meter.kind_counts()[k];
+  }
+  EXPECT_EQ(update_sum, meter.totals().update_messages);
+  EXPECT_EQ(light_sum, meter.totals().light_messages);
+
+  // The per-sender view is a partition of the same stream: provider plus
+  // every server re-adds to the global totals, field by field.
+  net::TrafficTotals sum;
+  for (topology::NodeId id = net::kProviderNode;
+       id < static_cast<topology::NodeId>(server_count); ++id) {
+    const auto t = meter.sender_totals(id);
+    sum.cost_km_kb += t.cost_km_kb;
+    sum.load_km_update += t.load_km_update;
+    sum.load_km_light += t.load_km_light;
+    sum.update_messages += t.update_messages;
+    sum.light_messages += t.light_messages;
+  }
+  EXPECT_EQ(sum.update_messages, meter.totals().update_messages);
+  EXPECT_EQ(sum.light_messages, meter.totals().light_messages);
+  // The global total and the per-sender sums accumulate the same terms in
+  // different orders, so they agree only to rounding.
+  const double rel = 1e-9;
+  EXPECT_NEAR(sum.cost_km_kb, meter.totals().cost_km_kb,
+              rel * meter.totals().cost_km_kb);
+  EXPECT_NEAR(sum.load_km_update, meter.totals().load_km_update,
+              rel * (meter.totals().load_km_update + 1.0));
+  EXPECT_NEAR(sum.load_km_light, meter.totals().load_km_light,
+              rel * (meter.totals().load_km_light + 1.0));
+}
+
+std::uint64_t kind_count(const net::TrafficMeter& meter, net::MessageKind k) {
+  return meter.kind_counts()[static_cast<std::size_t>(k)];
+}
+
+TEST(EngineKindCountsTest, TtlKindsSumToTotalsUnderChurn) {
+  constexpr std::size_t kServers = 30;
+  const auto scenario = small_scenario(kServers);
+  const auto updates = regular_trace(25.0, 20);
+  auto cfg = churny(base_config(UpdateMethod::kTtl), 240.0);
+  cfg.tail_s = 400.0;
+  const auto r = run(*scenario.nodes, updates, cfg);
+  ASSERT_GT(r->engine->failures_injected(), 0u);
+
+  const auto& meter = r->engine->meter();
+  expect_kind_counts_consistent(meter, kServers);
+
+  // TTL traffic is polls and their responses; nothing push/invalidate.
+  using net::MessageKind;
+  EXPECT_GT(kind_count(meter, MessageKind::kPollRequest), 0u);
+  EXPECT_GT(kind_count(meter, MessageKind::kPollResponseFresh), 0u);
+  EXPECT_EQ(kind_count(meter, MessageKind::kPushUpdate), 0u);
+  EXPECT_EQ(kind_count(meter, MessageKind::kInvalidation), 0u);
+}
+
+TEST(EngineKindCountsTest, MulticastPushRepairEmitsTreeMaintenance) {
+  constexpr std::size_t kServers = 40;
+  const auto scenario = small_scenario(kServers);
+  const auto updates = regular_trace(25.0, 20);
+  auto cfg = churny(
+      base_config(UpdateMethod::kPush, InfrastructureKind::kMulticastTree),
+      240.0);
+  cfg.tail_s = 400.0;
+  const auto r = run(*scenario.nodes, updates, cfg);
+  ASSERT_GT(r->engine->failures_injected(), 0u);
+
+  const auto& meter = r->engine->meter();
+  expect_kind_counts_consistent(meter, kServers);
+
+  using net::MessageKind;
+  EXPECT_GT(kind_count(meter, MessageKind::kPushUpdate), 0u);
+  // Crash repairs re-attach children and returning nodes re-fetch content.
+  EXPECT_GT(kind_count(meter, MessageKind::kTreeMaintenance), 0u);
+  EXPECT_GT(kind_count(meter, MessageKind::kFetchResponse), 0u);
+}
+
+}  // namespace
+}  // namespace cdnsim::consistency

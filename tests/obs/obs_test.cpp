@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "obs/manifest.hpp"
@@ -72,11 +73,59 @@ TEST(MetricsTest, MergeSemantics) {
 }
 
 TEST(MetricsTest, MergeMismatchedHistogramBoundsThrows) {
+  // Bucket-wise addition over misaligned bounds would silently attribute
+  // counts to the wrong ranges — a data-integrity Error, not a programmer
+  // precondition.
   MetricsRegistry a;
   a.histogram("h", {1.0}).observe(0.5);
   MetricsRegistry b;
   b.histogram("h", {1.0, 2.0}).observe(0.5);
-  EXPECT_THROW(a.merge_from(b), PreconditionError);
+  EXPECT_THROW(a.merge_from(b), Error);
+}
+
+TEST(MetricsTest, ObserveOnBoundlessHistogramThrows) {
+  Histogram h;  // default-constructed: no bucket layout to observe into
+  EXPECT_THROW(h.observe(1.0), Error);
+}
+
+TEST(MetricsTest, NanObservationsAreQuarantined) {
+  Histogram h({1.0, 2.0});
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  // The NaN never reaches the buckets, the count or the sum — one bad
+  // sample cannot poison the mean of a whole run.
+  EXPECT_EQ(h.nan_count(), 1u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  for (const auto c : h.counts()) EXPECT_EQ(c, 0u);
+
+  h.observe(0.5);
+  EXPECT_EQ(h.nan_count(), 1u);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5);
+}
+
+TEST(MetricsTest, MergeAddsNanCounts) {
+  Histogram a({1.0});
+  a.observe(std::numeric_limits<double>::quiet_NaN());
+  Histogram b({1.0});
+  b.observe(std::numeric_limits<double>::quiet_NaN());
+  b.observe(0.5);
+  a.merge_from(b);
+  EXPECT_EQ(a.nan_count(), 2u);
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(MetricsTest, NanCountOmittedFromJsonWhenZero) {
+  // The field appears only when a NaN was actually quarantined, so clean
+  // runs keep their exact pre-existing bytes (artifact byte-stability).
+  MetricsRegistry clean;
+  clean.histogram("h", {1.0}).observe(0.5);
+  EXPECT_EQ(clean.to_json().find("nan_count"), std::string::npos);
+
+  MetricsRegistry dirty;
+  dirty.histogram("h", {1.0})
+      .observe(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_NE(dirty.to_json().find("\"nan_count\":1"), std::string::npos);
 }
 
 TEST(MetricsTest, CanonicalJsonIsSortedAndStable) {

@@ -1,0 +1,208 @@
+// obs::Profiler unit tests plus the batch-level determinism contract: scope
+// counts and sim-time coverage are a pure function of the job list, byte-
+// identical for any worker-thread count; wall times are host noise and live
+// only in the report's "wall" section.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+
+#include "core/batch_runner.hpp"
+#include "obs/profiler.hpp"
+#include "util/error.hpp"
+
+namespace cdnsim::obs {
+namespace {
+
+TEST(ProfilerTest, NestedScopesBuildSemicolonPaths) {
+  Profiler prof;
+  {
+    ProfileScope outer(&prof, "outer");
+    { ProfileScope inner(&prof, "inner"); }
+    { ProfileScope inner(&prof, "inner"); }
+  }
+  { ProfileScope outer(&prof, "outer"); }
+  const auto report = prof.report();
+  ASSERT_EQ(report.entries().size(), 2u);
+  EXPECT_EQ(report.entries()[0].path, "outer");
+  EXPECT_EQ(report.entries()[0].count, 2u);
+  EXPECT_EQ(report.entries()[1].path, "outer;inner");
+  EXPECT_EQ(report.entries()[1].count, 2u);
+}
+
+TEST(ProfilerTest, NullProfilerScopesAreNoOps) {
+  // The disabled path everywhere: a ProfileScope bound to no profiler.
+  ProfileScope a(nullptr, "anything");
+  ProfileScope b(static_cast<Profiler*>(nullptr), ProfileSlot{0}, 17);
+  SUCCEED();
+}
+
+TEST(ProfilerTest, SimCoverageAccumulatesOnTheEnteredScope) {
+  Profiler prof;
+  const ProfileSlot slot = prof.intern("dispatch");
+  { ProfileScope s(&prof, slot, 250); }
+  {
+    ProfileScope s(&prof, slot, 750);
+    // A nested phase scope carries no sim coverage of its own.
+    ProfileScope phase(&prof, "phase");
+  }
+  const auto report = prof.report();
+  ASSERT_EQ(report.entries().size(), 2u);
+  EXPECT_EQ(report.entries()[0].path, "dispatch");
+  EXPECT_EQ(report.entries()[0].sim_cover_us, 1000);
+  EXPECT_EQ(report.entries()[1].path, "dispatch;phase");
+  EXPECT_EQ(report.entries()[1].sim_cover_us, 0);
+}
+
+TEST(ProfilerTest, ReportWithOpenScopeThrows) {
+  Profiler prof;
+  ProfileScope open(&prof, "still-open");
+  EXPECT_EQ(prof.open_scopes(), 1u);
+  EXPECT_THROW(prof.report(), PreconditionError);
+}
+
+TEST(ProfilerTest, SemicolonInLabelIsSanitized) {
+  // ';' is the collapsed-stack frame separator; a label containing it would
+  // corrupt every downstream flamegraph.
+  Profiler prof;
+  { ProfileScope s(&prof, "a;b"); }
+  const auto report = prof.report();
+  ASSERT_EQ(report.entries().size(), 1u);
+  EXPECT_EQ(report.entries()[0].path, "a,b");
+}
+
+TEST(ProfilerTest, MergeAddsSharedPathsAndUnionsDistinctOnes) {
+  Profiler p1;
+  { ProfileScope s(&p1, "shared"); }
+  { ProfileScope s(&p1, "only1"); }
+  Profiler p2;
+  { ProfileScope s(&p2, "shared"); }
+  { ProfileScope s(&p2, "shared"); }
+  { ProfileScope s(&p2, "only2"); }
+
+  ProfileReport merged = p1.report();
+  merged.merge_from(p2.report());
+  ASSERT_EQ(merged.entries().size(), 3u);
+  EXPECT_EQ(merged.entries()[0].path, "only1");
+  EXPECT_EQ(merged.entries()[1].path, "only2");
+  EXPECT_EQ(merged.entries()[2].path, "shared");
+  EXPECT_EQ(merged.entries()[2].count, 3u);
+}
+
+TEST(ProfilerTest, JsonAndFoldedShape) {
+  Profiler prof;
+  {
+    ProfileScope outer(&prof, "root");
+    ProfileScope inner(&prof, "leaf");
+  }
+  const auto report = prof.report();
+
+  std::ostringstream json;
+  report.write_json(json);
+  EXPECT_NE(json.str().find("\"schema\":\"cdnsim.profile.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.str().find("\"deterministic\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"wall\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"path\":\"root;leaf\""), std::string::npos);
+
+  // The deterministic section must not leak wall-clock fields.
+  const std::string det = report.deterministic_json();
+  EXPECT_NE(det.find("\"sim_cover_us\""), std::string::npos);
+  EXPECT_EQ(det.find("_ns"), std::string::npos);
+
+  std::ostringstream folded;
+  report.write_folded(folded);
+  // One "frames weight" line per entry, frames ';'-joined.
+  EXPECT_NE(folded.str().find("root;leaf "), std::string::npos);
+  for (const char c : folded.str()) {
+    EXPECT_TRUE(c == '\n' || c == ' ' || c == ';' || std::isalnum(
+        static_cast<unsigned char>(c)))
+        << "unexpected folded char " << c;
+  }
+}
+
+core::BatchJob profiled_job(consistency::UpdateMethod method,
+                            const std::string& label) {
+  core::BatchJob job;
+  core::ScenarioConfig sc;
+  sc.server_count = 15;
+  sc.seed = 42;
+  job.scenario = sc;
+  trace::GameTraceConfig game;
+  game.bursty = false;
+  game.pre_game_s = 20;
+  game.periods = 1;
+  game.period_s = 300;
+  game.break_s = 100;
+  game.post_game_s = 40;
+  game.in_play_mean_gap_s = 20;
+  job.game = game;
+  job.engine.method.method = method;
+  job.engine.method.server_ttl_s = 10.0;
+  job.engine.users_per_server = 1;
+  job.engine.seed = 7;
+  job.label = label;
+  job.profile = true;
+  return job;
+}
+
+std::string merged_deterministic_json(const std::vector<core::BatchResult>& rs) {
+  ProfileReport merged;
+  for (const auto& r : rs) {
+    EXPECT_TRUE(r.ok()) << r.error;
+    merged.merge_from(r.sim.profile);
+  }
+  return merged.deterministic_json();
+}
+
+TEST(ProfilerBatchTest, DeterministicSectionIsByteIdenticalAcrossThreads) {
+  using consistency::UpdateMethod;
+  std::vector<core::BatchJob> jobs;
+  jobs.push_back(profiled_job(UpdateMethod::kTtl, "ttl"));
+  jobs.push_back(profiled_job(UpdateMethod::kPush, "push"));
+  jobs.push_back(profiled_job(UpdateMethod::kInvalidation, "inval"));
+  jobs.push_back(profiled_job(UpdateMethod::kSelfAdaptive, "self"));
+
+  std::string first;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const core::BatchRunner runner({.threads = threads});
+    const std::string det = merged_deterministic_json(runner.run(jobs));
+    if (first.empty()) {
+      first = det;
+    } else {
+      EXPECT_EQ(det, first) << "threads=" << threads;
+    }
+  }
+
+  // The profile reaches from the job root through the batch stages into the
+  // engine's event dispatch and phase scopes.
+  EXPECT_NE(first.find("ttl;job.build_scenario"), std::string::npos);
+  EXPECT_NE(first.find("ttl;job.simulate"), std::string::npos);
+  EXPECT_NE(first.find("sim.poll_tick"), std::string::npos);
+  EXPECT_NE(first.find("engine.poll"), std::string::npos);
+  EXPECT_NE(first.find("topology.build_tree"), std::string::npos);
+}
+
+TEST(ProfilerBatchTest, ProfileOffLeavesReportEmptyAndResultsUnchanged) {
+  using consistency::UpdateMethod;
+  auto with = profiled_job(UpdateMethod::kTtl, "job");
+  auto without = with;
+  without.profile = false;
+
+  const core::BatchRunner runner({.threads = 1});
+  const auto r_with = runner.run({with});
+  const auto r_without = runner.run({without});
+  ASSERT_TRUE(r_with[0].ok());
+  ASSERT_TRUE(r_without[0].ok());
+  EXPECT_FALSE(r_with[0].sim.profile.empty());
+  EXPECT_TRUE(r_without[0].sim.profile.empty());
+  // Profiling must never perturb the simulation itself.
+  EXPECT_EQ(r_with[0].sim.events_processed, r_without[0].sim.events_processed);
+  EXPECT_DOUBLE_EQ(r_with[0].sim.avg_server_inconsistency_s,
+                   r_without[0].sim.avg_server_inconsistency_s);
+  EXPECT_EQ(r_with[0].sim.metrics.to_json(), r_without[0].sim.metrics.to_json());
+}
+
+}  // namespace
+}  // namespace cdnsim::obs
