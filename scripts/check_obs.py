@@ -58,10 +58,18 @@ def check_manifest(artifact_path):
           f"{path}: config_digest '{digest}' is not 16 hex chars")
 
 
-def check_metrics(path):
+def check_metrics(path, require_metrics=()):
     with open(path) as f:
         lines = f.readlines()
     check(len(lines) >= 1, f"{path}: empty metrics file")
+    # --require-metric NAME[>N]: the named counter/gauge must exist on every
+    # line, and when a threshold is given, at least one line must exceed it
+    # (proves the instrumented subsystem actually ran, not just registered).
+    requirements = []
+    for spec in require_metrics:
+        name, _, threshold = spec.partition(">")
+        requirements.append((name, float(threshold) if threshold else None))
+    exceeded = {name: False for name, _ in requirements}
     for i, line in enumerate(lines):
         try:
             rec = json.loads(line)
@@ -87,6 +95,19 @@ def check_metrics(path):
                 check(isinstance(h["nan_count"], int) and h["nan_count"] >= 0,
                       f"{path}:{i + 1}: histogram '{name}' nan_count must be "
                       f"a non-negative integer")
+        values = dict(metrics.get("counters", {}))
+        values.update(metrics.get("gauges", {}))
+        for name, threshold in requirements:
+            if not check(name in values,
+                         f"{path}:{i + 1}: required metric '{name}' missing"):
+                continue
+            if threshold is not None and values[name] > threshold:
+                exceeded[name] = True
+    for name, threshold in requirements:
+        if threshold is not None:
+            check(exceeded[name],
+                  f"{path}: metric '{name}' never exceeds {threshold} on any "
+                  f"line (instrumented subsystem never fired?)")
     check_manifest(path)
 
 
@@ -188,11 +209,17 @@ def main():
     parser.add_argument("--trace")
     parser.add_argument("--csv")
     parser.add_argument("--profile")
+    parser.add_argument("--require-metric", action="append", default=[],
+                        metavar="NAME[>N]",
+                        help="counter/gauge that must exist on every metrics "
+                             "line; with >N, some line must exceed N")
     args = parser.parse_args()
     if not (args.metrics or args.trace or args.csv or args.profile):
         parser.error("nothing to check")
+    if args.require_metric and not args.metrics:
+        parser.error("--require-metric needs --metrics")
     if args.metrics:
-        check_metrics(args.metrics)
+        check_metrics(args.metrics, args.require_metric)
     if args.trace:
         check_trace(args.trace)
     if args.csv:

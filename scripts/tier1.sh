@@ -15,6 +15,7 @@
 #   scripts/tier1.sh --no-tsan  # skip the TSan stage
 #   scripts/tier1.sh --no-perf  # skip the Release perf smoke + regression gate
 #   scripts/tier1.sh --no-obs   # skip the observability smoke stage
+#   scripts/tier1.sh --no-fault # skip the fault-injection smoke stage
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,11 +23,13 @@ cd "$(dirname "$0")/.."
 run_tsan=1
 run_perf=1
 run_obs=1
+run_fault=1
 for arg in "$@"; do
   case "${arg}" in
     --no-tsan) run_tsan=0 ;;
     --no-perf) run_perf=0 ;;
     --no-obs) run_obs=0 ;;
+    --no-fault) run_fault=0 ;;
     *) echo "unknown argument: ${arg}" >&2; exit 2 ;;
   esac
 done
@@ -45,7 +48,7 @@ if [[ "${run_tsan}" == "1" ]]; then
   cmake -B build-tsan -S . -DCDNSIM_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j --target cdnsim_tests
   ./build-tsan/tests/cdnsim_tests \
-    --gtest_filter='ThreadPool*:BatchRunner*:RngTest.Substream*:CdfTest.ConcurrentReadsOnSharedConstCdf'
+    --gtest_filter='ThreadPool*:BatchRunner*:RngTest.Substream*:CdfTest.ConcurrentReadsOnSharedConstCdf:FaultInjectionProperty*'
 fi
 
 if [[ "${run_perf}" == "1" ]]; then
@@ -121,6 +124,40 @@ print(json.dumps(json.load(open(sys.argv[1]))["deterministic"]))' \
     exit 1
   fi
   echo "obs_diff: seed 7 vs 8 shows value deltas with an unchanged schema"
+fi
+
+if [[ "${run_fault}" == "1" ]]; then
+  echo
+  echo "== tier-1: fault injection + reliable delivery (determinism + metrics) =="
+  cmake --build build -j --target ext_fault_tolerance
+  fault_dir="${tmp_dir}/fault"
+  mkdir -p "${fault_dir}"
+  # Shape checks are calibrated and expected to pass even at --small scale;
+  # only a crash or batch failure (exit >= 2) fails the stage, matching the
+  # obs stage's contract.
+  for jobs in 1 8; do
+    rc=0
+    ./build/bench/ext_fault_tolerance --small --jobs "${jobs}" \
+      --metrics-out "${fault_dir}/m${jobs}.jsonl" \
+      --csv-out "${fault_dir}/c${jobs}.csv" >/dev/null || rc=$?
+    if [[ "${rc}" -ge 2 ]]; then
+      echo "ext_fault_tolerance --jobs ${jobs} failed (exit ${rc})" >&2
+      exit 1
+    fi
+  done
+  cmp "${fault_dir}/m1.jsonl" "${fault_dir}/m8.jsonl"
+  cmp "${fault_dir}/c1.csv" "${fault_dir}/c8.csv"
+  echo "fault-injected metrics/csv byte-identical for --jobs 1 vs 8"
+  # The fault counters must be present on every line *and* actually fire
+  # somewhere in the sweep — a silently disabled injector passes cmp but
+  # not this.
+  python3 scripts/check_obs.py --metrics "${fault_dir}/m1.jsonl" \
+    --csv "${fault_dir}/c1.csv" \
+    --require-metric 'fault.messages_dropped>0' \
+    --require-metric 'reliable.retries>0' \
+    --require-metric 'reliable.give_ups' \
+    --require-metric 'fault.messages_duplicated' \
+    --require-metric 'fault.brownout_transitions'
 fi
 
 echo

@@ -1,6 +1,7 @@
 #include "consistency/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -24,13 +25,23 @@ constexpr sim::EventTag kTagAdaptTick = 3;
 constexpr sim::EventTag kTagUserVisit = 4;
 constexpr sim::EventTag kTagChurn = 5;
 constexpr sim::EventTag kTagHorizon = 6;
-constexpr sim::EventTag kTagDeliveryBase = 7;
+constexpr sim::EventTag kTagFault = 7;    // brownout transitions
+constexpr sim::EventTag kTagRetry = 8;    // reliable-delivery deadlines
+constexpr sim::EventTag kTagDeliveryBase = 9;
 constexpr std::size_t kEngineTagCount =
     kTagDeliveryBase + net::kMessageKindCount;
 
 sim::EventTag delivery_tag(net::MessageKind kind) {
   return static_cast<sim::EventTag>(kTagDeliveryBase +
                                     static_cast<std::size_t>(kind));
+}
+
+/// Hard-state messages covered by the reliable-delivery layer: content or
+/// notices a receiver cannot recover by its own polling.
+bool reliable_kind(net::MessageKind kind) {
+  return kind == net::MessageKind::kPushUpdate ||
+         kind == net::MessageKind::kInvalidation ||
+         kind == net::MessageKind::kFetchResponse;
 }
 
 }  // namespace
@@ -69,6 +80,9 @@ struct UpdateEngine::ServerState {
   Version version_at_window_start = 0;
   std::unique_ptr<sim::PeriodicTimer> adapt_timer;
   bool fetch_in_flight = false;
+  // Generation counter for the reliable fetch-RPC guard: bumped whenever a
+  // (re)issued fetch arms a new deadline, so stale deadlines become no-ops.
+  std::uint64_t fetch_epoch = 0;
   std::vector<NodeId> pending_child_fetches;
   struct PendingServe {
     UserState* user;
@@ -92,6 +106,20 @@ struct UpdateEngine::ServerState {
              method == UpdateMethod::kRateAdaptive) &&
             sa_in_invalidation_mode);
   }
+};
+
+// One in-flight reliable message. Shared between the delivery events (which
+// may fire more than once: retransmissions, injected duplicates) and the
+// retry deadlines; `delivered` makes the receiver-side action at-most-once
+// and `acked` stops the retransmission chain.
+struct UpdateEngine::ReliableState {
+  NodeId from = 0;
+  NodeId to = 0;
+  net::MessageKind kind = net::MessageKind::kPushUpdate;
+  double size_kb = 0;
+  sim::EventAction action;
+  bool delivered = false;
+  bool acked = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -148,6 +176,20 @@ UpdateEngine::UpdateEngine(sim::Simulator& simulator,
   for (NodeId id : nodes.server_ids()) sites.push_back(nodes.location(id));
   if (sites.size() <= net::LatencyModel::kMaxPrimedSites) latency_.prime(sites);
 
+  // The injector draws from substream_seed(seed, kFaultStream) — stateless,
+  // so constructing it here perturbs neither rng_ nor any fork above.
+  if (config_.fault.enabled) {
+    injector_ =
+        std::make_unique<fault::Injector>(config_.fault, nodes, config_.seed);
+  }
+
+  CDNSIM_EXPECTS(!config_.reliable.enabled ||
+                     (config_.reliable.ack_timeout_s > 0 &&
+                      config_.reliable.backoff_factor >= 1.0 &&
+                      config_.reliable.max_retries >= 0),
+                 "reliable delivery needs ack_timeout_s > 0, "
+                 "backoff_factor >= 1 and max_retries >= 0");
+
   bind_metrics();
 
   const Version final_version = updates_->update_count();
@@ -187,6 +229,12 @@ void UpdateEngine::bind_metrics() {
   ctr_mode_switches_ = &metrics_.counter("engine.mode_switches");
   ctr_visits_ = &metrics_.counter("engine.user_visits");
   ctr_visits_unanswered_ = &metrics_.counter("engine.user_visits_unanswered");
+  ctr_fault_dropped_ = &metrics_.counter("fault.messages_dropped");
+  ctr_fault_partition_dropped_ = &metrics_.counter("fault.partition_dropped");
+  ctr_fault_duplicated_ = &metrics_.counter("fault.messages_duplicated");
+  ctr_fault_brownouts_ = &metrics_.counter("fault.brownout_transitions");
+  ctr_reliable_retries_ = &metrics_.counter("reliable.retries");
+  ctr_reliable_give_ups_ = &metrics_.counter("reliable.give_ups");
   // Buckets span the regimes the paper reports: sub-TTL (seconds), the
   // 10-60 s server TTLs of Sections 4-5, and pathological minutes-long
   // windows under churn.
@@ -198,6 +246,7 @@ void UpdateEngine::bind_metrics() {
 void UpdateEngine::bind_profiler() {
   profiler_ = config_.profiler;
   if (profiler_ == nullptr) return;
+  ps_send_ = profiler_->intern("engine.send");
   ps_poll_ = profiler_->intern("engine.poll");
   ps_fetch_ = profiler_->intern("engine.fetch");
   ps_invalidate_ = profiler_->intern("engine.invalidate");
@@ -214,6 +263,8 @@ void UpdateEngine::bind_profiler() {
   tag_slots_[kTagUserVisit] = profiler_->intern("sim.user_visit");
   tag_slots_[kTagChurn] = profiler_->intern("sim.churn");
   tag_slots_[kTagHorizon] = profiler_->intern("sim.horizon");
+  tag_slots_[kTagFault] = profiler_->intern("sim.fault");
+  tag_slots_[kTagRetry] = profiler_->intern("sim.retry");
   for (std::size_t k = 0; k < net::kMessageKindCount; ++k) {
     tag_slots_[kTagDeliveryBase + k] = profiler_->intern(
         "deliver." + std::string(to_string(static_cast<net::MessageKind>(k))));
@@ -282,22 +333,20 @@ static std::size_t site_index(NodeId node) {
   return static_cast<std::size_t>(node + 1);
 }
 
-void UpdateEngine::send(NodeId from, NodeId to, net::MessageKind kind,
-                        double size_kb, sim::EventAction on_delivery) {
-  const sim::SimTime now = sim_->now();
-  const sim::SimTime depart = uplink_of(from).reserve(now, size_kb);
-  const sim::SimTime delay =
-      latency_.primed()
-          ? latency_.one_way_between(site_index(from), site_index(to),
-                                     nodes_->crosses_isp(from, to), rng_)
-          : latency_.one_way(location_of(from), location_of(to),
-                             nodes_->crosses_isp(from, to), rng_);
-  meter_.record(kind, from, nodes_->distance_km(from, to), size_kb);
+sim::SimTime UpdateEngine::draw_latency(NodeId from, NodeId to) {
+  return latency_.primed()
+             ? latency_.one_way_between(site_index(from), site_index(to),
+                                        nodes_->crosses_isp(from, to), rng_)
+             : latency_.one_way(location_of(from), location_of(to),
+                                nodes_->crosses_isp(from, to), rng_);
+}
 
-  sim::SimTime arrival = depart + delay;
-  // Deliveries to an absent server are deferred until it returns
-  // (retransmission by the reliable transport); deliveries to a *crashed*
-  // server are lost — the node resynchronises when it rejoins.
+// Deliveries to an absent server are deferred until it returns
+// (retransmission by the reliable transport); deliveries to a *crashed*
+// server are lost — the node resynchronises when it rejoins.
+void UpdateEngine::schedule_delivery(NodeId to, net::MessageKind kind,
+                                     sim::SimTime arrival,
+                                     sim::EventAction action) {
   if (to != kProviderNode) {
     const ServerState& dest = *servers_[static_cast<std::size_t>(to)];
     if (dest.absence) {
@@ -305,13 +354,192 @@ void UpdateEngine::send(NodeId from, NodeId to, net::MessageKind kind,
       if (available > arrival) arrival = available + 0.001;
     }
     sim_->at(arrival, delivery_tag(kind),
-             [this, to, action = std::move(on_delivery)]() mutable {
+             [this, to, action = std::move(action)]() mutable {
                if (servers_[static_cast<std::size_t>(to)]->departed) return;
                action();
              });
     return;
   }
-  sim_->at(arrival, delivery_tag(kind), std::move(on_delivery));
+  sim_->at(arrival, delivery_tag(kind), std::move(action));
+}
+
+void UpdateEngine::record_injected_drop(bool partitioned, NodeId to) {
+  (partitioned ? ctr_fault_partition_dropped_ : ctr_fault_dropped_)->inc();
+  if (config_.record_trace_events) {
+    trace_.instant(partitioned ? "partition_drop" : "drop", "fault",
+                   sim_->now(), to);
+  }
+}
+
+void UpdateEngine::send(NodeId from, NodeId to, net::MessageKind kind,
+                        double size_kb, sim::EventAction on_delivery) {
+  if (config_.reliable.enabled && reliable_kind(kind)) {
+    send_reliable(from, to, kind, size_kb, std::move(on_delivery));
+    return;
+  }
+  send_unreliable(from, to, kind, size_kb, std::move(on_delivery));
+}
+
+void UpdateEngine::send_unreliable(NodeId from, NodeId to,
+                                   net::MessageKind kind, double size_kb,
+                                   sim::EventAction on_delivery) {
+  obs::ProfileScope scope(profiler_, ps_send_);
+  const sim::SimTime now = sim_->now();
+  const sim::SimTime depart = uplink_of(from).reserve(now, size_kb);
+  const sim::SimTime delay = draw_latency(from, to);
+  meter_.record(kind, from, nodes_->distance_km(from, to), size_kb);
+  sim::SimTime arrival = depart + delay;
+
+  if (injector_ != nullptr) {
+    const fault::Injector::Decision d = injector_->decide(from, to, now);
+    // A dropped message has already paid the uplink and the meter: it was
+    // sent, then lost in flight.
+    if (d.drop) {
+      record_injected_drop(d.partitioned, to);
+      return;
+    }
+    arrival += d.extra_delay_s;
+    if (d.duplicate) {
+      ctr_fault_duplicated_->inc();
+      // EventAction is move-only; both copies run the same shared action
+      // (at-least-once delivery of an unreliable network).
+      auto shared = std::make_shared<sim::EventAction>(std::move(on_delivery));
+      schedule_delivery(to, kind, arrival, [shared] { (*shared)(); });
+      schedule_delivery(to, kind, arrival + d.duplicate_extra_delay_s,
+                        [shared] { (*shared)(); });
+      return;
+    }
+  }
+  schedule_delivery(to, kind, arrival, std::move(on_delivery));
+}
+
+// ---------------------------------------------------------------------------
+// Reliable delivery
+// ---------------------------------------------------------------------------
+
+void UpdateEngine::send_reliable(NodeId from, NodeId to, net::MessageKind kind,
+                                 double size_kb, sim::EventAction on_delivery) {
+  auto st = std::make_shared<ReliableState>();
+  st->from = from;
+  st->to = to;
+  st->kind = kind;
+  st->size_kb = size_kb;
+  st->action = std::move(on_delivery);
+  reliable_attempt(st, 0);
+}
+
+void UpdateEngine::reliable_attempt(const std::shared_ptr<ReliableState>& st,
+                                    int attempt) {
+  obs::ProfileScope scope(profiler_, ps_send_);
+  const sim::SimTime now = sim_->now();
+  const sim::SimTime depart = uplink_of(st->from).reserve(now, st->size_kb);
+  const sim::SimTime delay = draw_latency(st->from, st->to);
+  meter_.record(st->kind, st->from, nodes_->distance_km(st->from, st->to),
+                st->size_kb);
+  sim::SimTime arrival = depart + delay;
+
+  bool lost = false;
+  if (injector_ != nullptr) {
+    const fault::Injector::Decision d =
+        injector_->decide(st->from, st->to, now);
+    if (d.drop) {
+      lost = true;
+      record_injected_drop(d.partitioned, st->to);
+    } else {
+      arrival += d.extra_delay_s;
+      if (d.duplicate) {
+        ctr_fault_duplicated_->inc();
+        schedule_delivery(st->to, st->kind,
+                          arrival + d.duplicate_extra_delay_s,
+                          [this, st] { reliable_deliver(st); });
+      }
+    }
+  }
+  if (!lost) {
+    schedule_delivery(st->to, st->kind, arrival,
+                      [this, st] { reliable_deliver(st); });
+  }
+
+  // Arm the retransmission deadline regardless of the fate of this copy —
+  // the sender cannot know the message was lost, only that no ack came back.
+  const sim::SimTime deadline =
+      config_.reliable.ack_timeout_s *
+      std::pow(config_.reliable.backoff_factor, attempt);
+  sim_->at(now + deadline, kTagRetry, [this, st, attempt] {
+    if (st->acked) return;
+    // A crashed sender retransmits nothing; churn resync covers its state.
+    if (st->from != kProviderNode &&
+        servers_[static_cast<std::size_t>(st->from)]->departed) {
+      return;
+    }
+    if (attempt >= config_.reliable.max_retries) {
+      ctr_reliable_give_ups_->inc();
+      if (config_.record_trace_events) {
+        trace_.instant("give_up", "fault", sim_->now(), st->to);
+      }
+      return;
+    }
+    ctr_reliable_retries_->inc();
+    reliable_attempt(st, attempt + 1);
+  });
+}
+
+void UpdateEngine::reliable_deliver(const std::shared_ptr<ReliableState>& st) {
+  if (!st->delivered) {
+    st->delivered = true;
+    st->action();
+  }
+  // Every delivered copy acks (retransmissions included): a lost ack causes
+  // a spurious retransmission, which the delivered flag absorbs.
+  send_ack(st);
+}
+
+void UpdateEngine::send_ack(const std::shared_ptr<ReliableState>& st) {
+  obs::ProfileScope scope(profiler_, ps_send_);
+  const sim::SimTime now = sim_->now();
+  const sim::SimTime depart =
+      uplink_of(st->to).reserve(now, config_.light_packet_kb);
+  const sim::SimTime delay = draw_latency(st->to, st->from);
+  meter_.record(net::MessageKind::kAck, st->to,
+                nodes_->distance_km(st->to, st->from), config_.light_packet_kb);
+  sim::SimTime arrival = depart + delay;
+  if (injector_ != nullptr) {
+    const fault::Injector::Decision d =
+        injector_->decide(st->to, st->from, now);
+    if (d.drop) {
+      record_injected_drop(d.partitioned, st->from);
+      return;
+    }
+    arrival += d.extra_delay_s;
+    // A duplicated ack is indistinguishable from one: setting `acked` twice
+    // is harmless, so the duplicate is simply not scheduled.
+  }
+  schedule_delivery(st->from, net::MessageKind::kAck, arrival,
+                    [st] { st->acked = true; });
+}
+
+// ---------------------------------------------------------------------------
+// Fault schedule (brownouts)
+// ---------------------------------------------------------------------------
+
+void UpdateEngine::schedule_brownouts() {
+  if (injector_ == nullptr) return;
+  for (const fault::Brownout& b : injector_->plan().brownouts) {
+    sim_->at(b.start, kTagFault, [this, b] {
+      uplink_of(b.node).set_bandwidth_scale(b.bandwidth_factor);
+      ctr_fault_brownouts_->inc();
+      if (config_.record_trace_events) {
+        trace_.instant("brownout_start", "fault", sim_->now(), b.node);
+      }
+    });
+    sim_->at(b.end, kTagFault, [this, b] {
+      uplink_of(b.node).set_bandwidth_scale(1.0);
+      ctr_fault_brownouts_->inc();
+      if (config_.record_trace_events) {
+        trace_.instant("brownout_end", "fault", sim_->now(), b.node);
+      }
+    });
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -590,10 +818,62 @@ void UpdateEngine::begin_fetch(ServerState& s) {
   CDNSIM_EXPECTS(!s.fetch_in_flight, "fetch already in flight");
   s.fetch_in_flight = true;
   ctr_fetches_[method_index(s.method)]->inc();
+  issue_fetch_request(s);
+  // Fetch is a request/response RPC: the requester guards the whole exchange
+  // (a lost kFetchRequest has no sender-side ack to trigger retransmission).
+  if (config_.reliable.enabled) arm_fetch_guard(s, 0);
+}
+
+void UpdateEngine::issue_fetch_request(ServerState& s) {
   const NodeId parent = infra_.parent_of(s.id);
   const NodeId self = s.id;
   send(self, parent, net::MessageKind::kFetchRequest, config_.light_packet_kb,
        [this, parent, self] { handle_fetch_at_parent(parent, self); });
+}
+
+void UpdateEngine::arm_fetch_guard(ServerState& s, int attempt) {
+  ++s.fetch_epoch;
+  const std::uint64_t epoch = s.fetch_epoch;
+  // 2x the one-way ack timeout: the guard covers a round trip plus the
+  // response transmission.
+  const sim::SimTime deadline =
+      2.0 * config_.reliable.ack_timeout_s *
+      std::pow(config_.reliable.backoff_factor, attempt);
+  ServerState* sp = &s;
+  sim_->at(sim_->now() + deadline, kTagRetry, [this, sp, epoch, attempt] {
+    ServerState& srv = *sp;
+    if (srv.fetch_epoch != epoch || !srv.fetch_in_flight || srv.departed) {
+      return;
+    }
+    if (attempt >= config_.reliable.max_retries) {
+      give_up_fetch(srv);
+      return;
+    }
+    ctr_reliable_retries_->inc();
+    issue_fetch_request(srv);
+    arm_fetch_guard(srv, attempt + 1);
+  });
+}
+
+void UpdateEngine::give_up_fetch(ServerState& s) {
+  ctr_reliable_give_ups_->inc();
+  if (config_.record_trace_events) {
+    trace_.instant("give_up", "fault", sim_->now(), s.id);
+  }
+  s.fetch_in_flight = false;
+  // Users caught waiting on the abandoned fetch see a failed request, the
+  // same observable outcome as a server crash mid-fetch.
+  for (const auto& w : s.waiting_users) {
+    cdn::UserObservation obs;
+    obs.request_time = w.request_time;
+    obs.serve_time = sim_->now();
+    obs.server = s.id;
+    obs.redirected = w.redirected;
+    obs.answered = false;
+    if (config_.record_user_logs) user_logs_->log(w.user->id).add(obs);
+  }
+  s.waiting_users.clear();
+  s.pending_child_fetches.clear();
 }
 
 void UpdateEngine::on_fetch_response(ServerState& s, Version v) {
@@ -890,6 +1170,7 @@ void UpdateEngine::prepare() {
   }
 
   schedule_next_failure();
+  schedule_brownouts();
 
   // Stop all periodic activity at the horizon; in-flight messages drain.
   sim_->at(end_time_, kTagHorizon, [this] {

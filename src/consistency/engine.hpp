@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "cdn/dns.hpp"
+#include "fault/injector.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace_recorder.hpp"
@@ -105,6 +106,31 @@ struct EngineConfig {
     bool repair_enabled = true;
   };
   ChurnConfig churn;
+
+  /// Network fault injection: message loss / duplication / delay jitter,
+  /// ISP-pair partitions and uplink brownouts (src/fault). Disabled by
+  /// default; an enabled plan with all rates at zero is byte-identical to a
+  /// disabled one (the injector draws from its own substream RNG and makes
+  /// no draw for a zero rate). Dropped messages still pay the sender's
+  /// uplink and are metered — they are sent, then lost in flight.
+  fault::FaultPlan fault;
+
+  /// Reliable delivery for hard-state messages (kPushUpdate, kInvalidation,
+  /// kFetchResponse): each transmission expects a kAck from the receiver;
+  /// missing acks trigger retransmissions with exponential backoff until the
+  /// retry budget is exhausted, at which point the sender gives up and the
+  /// destination's inconsistency window stays open. Fetch requests ride the
+  /// same budget as a requester-driven RPC guard: a fetch that produces no
+  /// response in time is re-issued, and on give-up the requester unwedges
+  /// itself (fetch_in_flight cleared, waiting users failed). Off by
+  /// default — the soft-state methods of the paper need no transport help.
+  struct ReliableConfig {
+    bool enabled = false;
+    sim::SimTime ack_timeout_s = 2.0;  // first-attempt ack deadline
+    double backoff_factor = 2.0;       // deadline multiplier per retry
+    int max_retries = 4;               // retransmissions after the first send
+  };
+  ReliableConfig reliable;
 
   std::uint64_t seed = 1;
 
@@ -187,12 +213,31 @@ class UpdateEngine {
  private:
   struct ServerState;
   struct UserState;
+  struct ReliableState;
 
   // message transport
   void send(topology::NodeId from, topology::NodeId to, net::MessageKind kind,
             double size_kb, sim::EventAction on_delivery);
+  void send_unreliable(topology::NodeId from, topology::NodeId to,
+                       net::MessageKind kind, double size_kb,
+                       sim::EventAction on_delivery);
+  void schedule_delivery(topology::NodeId to, net::MessageKind kind,
+                         sim::SimTime arrival, sim::EventAction action);
+  sim::SimTime draw_latency(topology::NodeId from, topology::NodeId to);
   net::Uplink& uplink_of(topology::NodeId node);
   const net::GeoPoint& location_of(topology::NodeId node) const;
+
+  // reliable delivery (hard-state messages, see EngineConfig::reliable)
+  void send_reliable(topology::NodeId from, topology::NodeId to,
+                     net::MessageKind kind, double size_kb,
+                     sim::EventAction on_delivery);
+  void reliable_attempt(const std::shared_ptr<ReliableState>& st, int attempt);
+  void reliable_deliver(const std::shared_ptr<ReliableState>& st);
+  void send_ack(const std::shared_ptr<ReliableState>& st);
+
+  // fault injection
+  void record_injected_drop(bool partitioned, topology::NodeId to);
+  void schedule_brownouts();
 
   // version bookkeeping
   trace::Version node_version(topology::NodeId node) const;  // provider = truth
@@ -213,6 +258,9 @@ class UpdateEngine {
   void on_invalidation(ServerState& s, trace::Version v);
   void on_fetch_response(ServerState& s, trace::Version v);
   void begin_fetch(ServerState& s);
+  void issue_fetch_request(ServerState& s);
+  void arm_fetch_guard(ServerState& s, int attempt);
+  void give_up_fetch(ServerState& s);
   void switch_to_invalidation_mode(ServerState& s);
   void switch_to_ttl_mode(ServerState& s);
   void rate_adapt_tick(ServerState& s);
@@ -251,6 +299,7 @@ class UpdateEngine {
   std::unique_ptr<trace::UpdateTrace> shifted_updates_;
   EngineConfig config_;
   util::Rng rng_;
+  std::unique_ptr<fault::Injector> injector_;
   Infrastructure infra_;
   net::LatencyModel latency_;
   net::TrafficMeter meter_;
@@ -280,12 +329,19 @@ class UpdateEngine {
   obs::Counter* ctr_mode_switches_ = nullptr;
   obs::Counter* ctr_visits_ = nullptr;
   obs::Counter* ctr_visits_unanswered_ = nullptr;
+  obs::Counter* ctr_fault_dropped_ = nullptr;
+  obs::Counter* ctr_fault_partition_dropped_ = nullptr;
+  obs::Counter* ctr_fault_duplicated_ = nullptr;
+  obs::Counter* ctr_fault_brownouts_ = nullptr;
+  obs::Counter* ctr_reliable_retries_ = nullptr;
+  obs::Counter* ctr_reliable_give_ups_ = nullptr;
   obs::Histogram* hist_inconsistency_ = nullptr;
 
   // Dispatch/phase profiler: slots interned once in bind_profiler(), so a
   // phase entry costs one null-check plus (when enabled) one table walk.
   obs::Profiler* profiler_ = nullptr;
   std::vector<obs::ProfileSlot> tag_slots_;
+  obs::ProfileSlot ps_send_ = 0;
   obs::ProfileSlot ps_poll_ = 0;
   obs::ProfileSlot ps_fetch_ = 0;
   obs::ProfileSlot ps_invalidate_ = 0;

@@ -1,5 +1,6 @@
 #include "core/simulation.hpp"
 
+#include "obs/profiler.hpp"
 #include "util/stats.hpp"
 
 namespace cdnsim::core {
@@ -13,6 +14,9 @@ SimulationResult run_simulation(const topology::NodeRegistry& nodes,
                                    std::move(absences));
   engine.run();
 
+  // Result assembly walks every recorder and log once; under a profiler it
+  // gets its own scope so the per-event simulate cost stays separable.
+  obs::ProfileScope collect(engine_config.profiler, "job.collect_results");
   SimulationResult result;
   result.server_inconsistency_s = engine.server_avg_inconsistency();
   result.user_inconsistency_s = engine.user_avg_inconsistency();

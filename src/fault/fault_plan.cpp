@@ -1,0 +1,35 @@
+#include "fault/fault_plan.hpp"
+
+#include "util/error.hpp"
+
+namespace cdnsim::fault {
+
+namespace {
+
+void validate_rates(double loss, double duplicate, sim::SimTime jitter) {
+  CDNSIM_EXPECTS(loss >= 0.0 && loss <= 1.0,
+                 "loss probability must be in [0, 1]");
+  CDNSIM_EXPECTS(duplicate >= 0.0 && duplicate <= 1.0,
+                 "duplicate probability must be in [0, 1]");
+  CDNSIM_EXPECTS(jitter >= 0.0, "extra delay jitter must be >= 0");
+}
+
+}  // namespace
+
+void FaultPlan::validate() const {
+  validate_rates(loss_probability, duplicate_probability, extra_delay_max_s);
+  for (const LinkFault& lf : link_overrides) {
+    validate_rates(lf.loss_probability, lf.duplicate_probability,
+                   lf.extra_delay_max_s);
+  }
+  for (const Partition& p : partitions) {
+    CDNSIM_EXPECTS(p.start < p.end, "partition must have start < end");
+  }
+  for (const Brownout& b : brownouts) {
+    CDNSIM_EXPECTS(b.start < b.end, "brownout must have start < end");
+    CDNSIM_EXPECTS(b.bandwidth_factor > 0.0,
+                   "brownout bandwidth factor must be > 0");
+  }
+}
+
+}  // namespace cdnsim::fault

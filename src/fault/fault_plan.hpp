@@ -1,0 +1,85 @@
+// Declarative network fault plans.
+//
+// Section 1 of the paper argues TTL survives in practice because it is
+// soft-state: "node failures break the structure connectivity and lead to
+// unsuccessful update propagation". The repo models *node* churn elsewhere
+// (EngineConfig::ChurnConfig); a FaultPlan describes *network* faults — the
+// messages themselves getting lost, duplicated, delayed, partitioned away or
+// squeezed through a browned-out uplink — so hard-state methods (Push,
+// Invalidation) can be made to pay their fragility in a measurable way
+// (bench/ext_fault_tolerance).
+//
+// A plan is pure data: a seeded fault::Injector turns it into per-message
+// decisions with its own stateless substream RNG, so enabling a plan with
+// every rate at zero leaves a run byte-identical to one with no plan at all,
+// and fault-enabled runs stay byte-identical for any --jobs count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/traffic_meter.hpp"  // NodeId
+#include "sim/time.hpp"
+
+namespace cdnsim::fault {
+
+/// Per-link override of the plan-wide probabilities, keyed by the directed
+/// (from, to) pair. Use net::kProviderNode (-1) for the provider.
+struct LinkFault {
+  net::NodeId from = 0;
+  net::NodeId to = 0;
+  double loss_probability = 0.0;
+  double duplicate_probability = 0.0;
+  sim::SimTime extra_delay_max_s = 0.0;
+};
+
+/// A bidirectional ISP-pair partition: while active, every message between a
+/// node in isp_a and a node in isp_b is dropped deterministically (no RNG —
+/// a partition is not a coin flip).
+struct Partition {
+  std::int32_t isp_a = 0;
+  std::int32_t isp_b = 0;
+  sim::SimTime start = 0;
+  sim::SimTime end = 0;  // exclusive
+};
+
+/// An uplink brownout: between start and end, `node`'s uplink runs at
+/// bandwidth_factor of its configured rate (0 < factor; < 1 slows, > 1 is a
+/// burst upgrade). Applied as scheduled simulation events.
+struct Brownout {
+  net::NodeId node = 0;
+  sim::SimTime start = 0;
+  sim::SimTime end = 0;  // exclusive
+  double bandwidth_factor = 0.5;
+};
+
+/// A seeded, declarative schedule of deterministic network faults.
+///
+/// `enabled` is the master switch: a disabled plan is never consulted and
+/// the send path is exactly the pre-fault-subsystem code. An enabled plan
+/// with every probability at zero and no partitions/brownouts exercises the
+/// injector path but makes no decision — byte-identical to disabled (the
+/// property tests pin this).
+struct FaultPlan {
+  bool enabled = false;
+
+  /// Plan-wide per-message loss probability in [0, 1].
+  double loss_probability = 0.0;
+  /// Plan-wide per-message duplication probability in [0, 1].
+  double duplicate_probability = 0.0;
+  /// Extra one-way delay jitter: uniform in [0, extra_delay_max_s).
+  sim::SimTime extra_delay_max_s = 0.0;
+
+  /// Per-link overrides (take precedence over the plan-wide rates for the
+  /// exact directed pair).
+  std::vector<LinkFault> link_overrides;
+  std::vector<Partition> partitions;
+  std::vector<Brownout> brownouts;
+
+  /// Throws cdnsim::PreconditionError when any probability is outside
+  /// [0, 1], a jitter bound is negative, an interval has start >= end, or a
+  /// brownout factor is not positive.
+  void validate() const;
+};
+
+}  // namespace cdnsim::fault

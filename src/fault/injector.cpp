@@ -1,0 +1,86 @@
+#include "fault/injector.hpp"
+
+#include "util/error.hpp"
+
+namespace cdnsim::fault {
+
+namespace {
+
+std::uint64_t link_key(net::NodeId from, net::NodeId to) {
+  // NodeIds are small signed ints (provider = -1); widen before packing so
+  // negatives do not collide with large positives.
+  const auto f = static_cast<std::uint64_t>(static_cast<std::uint32_t>(from));
+  const auto t = static_cast<std::uint64_t>(static_cast<std::uint32_t>(to));
+  return (f << 32) | t;
+}
+
+}  // namespace
+
+Injector::Injector(const FaultPlan& plan, const topology::NodeRegistry& nodes,
+                   std::uint64_t engine_seed)
+    : plan_(plan),
+      nodes_(&nodes),
+      rng_(util::substream_seed(engine_seed, kFaultStream)) {
+  plan_.validate();
+  for (std::size_t i = 0; i < plan_.link_overrides.size(); ++i) {
+    const LinkFault& lf = plan_.link_overrides[i];
+    override_index_[link_key(lf.from, lf.to)] = i;
+  }
+}
+
+const LinkFault* Injector::override_for(net::NodeId from, net::NodeId to) const {
+  if (override_index_.empty()) return nullptr;
+  const auto it = override_index_.find(link_key(from, to));
+  return it == override_index_.end() ? nullptr
+                                     : &plan_.link_overrides[it->second];
+}
+
+bool Injector::partitioned_at(net::NodeId from, net::NodeId to,
+                              sim::SimTime now) const {
+  if (plan_.partitions.empty()) return false;
+  const std::int32_t a = nodes_->isp(from);
+  const std::int32_t b = nodes_->isp(to);
+  for (const Partition& p : plan_.partitions) {
+    if (now < p.start || now >= p.end) continue;
+    if ((a == p.isp_a && b == p.isp_b) || (a == p.isp_b && b == p.isp_a)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Injector::Decision Injector::decide(net::NodeId from, net::NodeId to,
+                                    sim::SimTime now) {
+  Decision d;
+  if (partitioned_at(from, to, now)) {
+    d.drop = true;
+    d.partitioned = true;
+    ++partition_drops_;
+    return d;
+  }
+  const LinkFault* lf = override_for(from, to);
+  const double loss = lf ? lf->loss_probability : plan_.loss_probability;
+  const double duplicate =
+      lf ? lf->duplicate_probability : plan_.duplicate_probability;
+  const sim::SimTime jitter =
+      lf ? lf->extra_delay_max_s : plan_.extra_delay_max_s;
+  // Every probability is gated on > 0 before the draw, so a zero-rate plan
+  // consumes nothing from the fault stream.
+  if (loss > 0 && rng_.chance(loss)) {
+    d.drop = true;
+    ++losses_;
+    return d;
+  }
+  if (jitter > 0) d.extra_delay_s = rng_.uniform(0.0, jitter);
+  if (duplicate > 0 && rng_.chance(duplicate)) {
+    d.duplicate = true;
+    ++duplicates_;
+    // The second copy takes a slightly different network path: offset it by
+    // a jitter draw (or a small fixed window when the plan has no jitter) so
+    // duplicates can reorder past their original.
+    d.duplicate_extra_delay_s = rng_.uniform(0.0, jitter > 0 ? jitter : 0.05);
+  }
+  return d;
+}
+
+}  // namespace cdnsim::fault

@@ -1,0 +1,72 @@
+// Turns a FaultPlan into per-message fault decisions.
+//
+// Determinism contract: the injector draws from its own RNG, derived
+// *statelessly* from the engine seed via util::substream_seed. The engine's
+// generator is never touched, so
+//  * an enabled plan with all rates at zero makes zero draws and leaves the
+//    run byte-identical to a plan-free run (the engine RNG stream, event
+//    order and every double are unchanged);
+//  * per-message draws happen in simulation event order, which is itself
+//    deterministic, so fault-enabled runs are byte-identical for any --jobs
+//    count (each batch job owns its engine and therefore its injector).
+// Partition drops are deterministic (a time-window membership test, no RNG).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "fault/fault_plan.hpp"
+#include "topology/node.hpp"
+#include "util/rng.hpp"
+
+namespace cdnsim::fault {
+
+class Injector {
+ public:
+  /// What happens to one message traversal.
+  struct Decision {
+    bool drop = false;
+    bool partitioned = false;  // drop was a partition, not a random loss
+    bool duplicate = false;
+    sim::SimTime extra_delay_s = 0;
+    sim::SimTime duplicate_extra_delay_s = 0;  // offset of the second copy
+  };
+
+  /// `nodes` is borrowed (ISP lookups for partitions) and must outlive the
+  /// injector. `engine_seed` is the owning engine's seed; the injector's
+  /// stream is substream_seed(engine_seed, kFaultStream).
+  Injector(const FaultPlan& plan, const topology::NodeRegistry& nodes,
+           std::uint64_t engine_seed);
+
+  /// Decide the fate of one message sent from `from` to `to` at sim time
+  /// `now`. Consumes injector RNG only when a non-zero rate applies to the
+  /// link, so zero-rate plans are draw-free.
+  Decision decide(net::NodeId from, net::NodeId to, sim::SimTime now);
+
+  /// True when an active partition separates the two nodes' ISPs at `now`.
+  bool partitioned_at(net::NodeId from, net::NodeId to, sim::SimTime now) const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // Running totals (also mirrored into the engine's MetricsRegistry).
+  std::uint64_t losses() const { return losses_; }
+  std::uint64_t partition_drops() const { return partition_drops_; }
+  std::uint64_t duplicates() const { return duplicates_; }
+
+  /// Substream index of the injector RNG under the engine seed.
+  static constexpr std::uint64_t kFaultStream = 0xfa017;
+
+ private:
+  const LinkFault* override_for(net::NodeId from, net::NodeId to) const;
+
+  FaultPlan plan_;
+  const topology::NodeRegistry* nodes_;
+  util::Rng rng_;
+  // Directed (from, to) -> index into plan_.link_overrides.
+  std::unordered_map<std::uint64_t, std::size_t> override_index_;
+  std::uint64_t losses_ = 0;
+  std::uint64_t partition_drops_ = 0;
+  std::uint64_t duplicates_ = 0;
+};
+
+}  // namespace cdnsim::fault

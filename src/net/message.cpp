@@ -41,6 +41,7 @@ std::string_view to_string(MessageKind kind) {
     case MessageKind::kTreeMaintenance: return "tree-maintenance";
     case MessageKind::kUserRequest: return "user-request";
     case MessageKind::kUserResponse: return "user-response";
+    case MessageKind::kAck: return "ack";
   }
   return "unknown";
 }

@@ -26,11 +26,12 @@ enum class MessageKind : std::uint8_t {
   kTreeMaintenance,    // light: multicast-tree join/repair traffic
   kUserRequest,        // light: end-user content request
   kUserResponse,       // update: content served to an end-user
+  kAck,                // light: reliable-delivery acknowledgement
 };
 
 /// Number of MessageKind enumerators — sized for per-kind counter arrays.
 inline constexpr std::size_t kMessageKindCount =
-    static_cast<std::size_t>(MessageKind::kUserResponse) + 1;
+    static_cast<std::size_t>(MessageKind::kAck) + 1;
 
 /// True for messages that carry a content payload.
 bool carries_content(MessageKind kind);

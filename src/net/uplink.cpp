@@ -10,11 +10,16 @@ Uplink::Uplink(double bandwidth_kbps) : bandwidth_kbps_(bandwidth_kbps) {
   CDNSIM_EXPECTS(bandwidth_kbps_ > 0, "uplink bandwidth must be positive");
 }
 
+void Uplink::set_bandwidth_scale(double scale) {
+  CDNSIM_EXPECTS(scale > 0, "bandwidth scale must be positive");
+  scale_ = scale;
+}
+
 sim::SimTime Uplink::reserve(sim::SimTime now, double size_kb) {
   CDNSIM_EXPECTS(size_kb >= 0, "message size must be non-negative");
   const sim::SimTime start = std::max(busy_until_, now);
   if (start - now > max_backlog_s_) max_backlog_s_ = start - now;
-  busy_until_ = start + size_kb / bandwidth_kbps_;
+  busy_until_ = start + size_kb / (bandwidth_kbps_ * scale_);
   total_kb_sent_ += size_kb;
   ++reservations_;
   return busy_until_;
@@ -22,7 +27,7 @@ sim::SimTime Uplink::reserve(sim::SimTime now, double size_kb) {
 
 sim::SimTime Uplink::peek(sim::SimTime now, double size_kb) const {
   CDNSIM_EXPECTS(size_kb >= 0, "message size must be non-negative");
-  return std::max(busy_until_, now) + size_kb / bandwidth_kbps_;
+  return std::max(busy_until_, now) + size_kb / (bandwidth_kbps_ * scale_);
 }
 
 sim::SimTime Uplink::backlog(sim::SimTime now) const {

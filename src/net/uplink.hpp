@@ -31,6 +31,12 @@ class Uplink {
   /// would currently experience.
   sim::SimTime backlog(sim::SimTime now) const;
 
+  /// Scale the effective bandwidth (fault-injection brownouts): future
+  /// reservations run at `scale` times the configured rate until the next
+  /// call; 1.0 restores it. In-flight reservations are unaffected.
+  void set_bandwidth_scale(double scale);
+  double bandwidth_scale() const { return scale_; }
+
   double bandwidth_kbps() const { return bandwidth_kbps_; }
   double total_kb_sent() const { return total_kb_sent_; }
 
@@ -41,6 +47,7 @@ class Uplink {
 
  private:
   double bandwidth_kbps_;
+  double scale_ = 1.0;
   sim::SimTime busy_until_ = 0;
   double total_kb_sent_ = 0;
   std::uint64_t reservations_ = 0;

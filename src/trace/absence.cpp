@@ -1,6 +1,7 @@
 #include "trace/absence.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "util/error.hpp"
 
@@ -8,8 +9,21 @@ namespace cdnsim::trace {
 
 void AbsenceSchedule::add(sim::SimTime start, sim::SimTime end) {
   CDNSIM_EXPECTS(end > start, "absence interval must have positive length");
-  CDNSIM_EXPECTS(intervals_.empty() || start >= intervals_.back().end,
-                 "absence intervals must be ordered and non-overlapping");
+  if (!intervals_.empty() && start < intervals_.back().start) {
+    detail::fail_precondition(
+        "start >= intervals_.back().start", __FILE__, __LINE__,
+        "absence intervals must be added in start order: [" +
+            std::to_string(start) + ", " + std::to_string(end) +
+            ") starts before existing [" +
+            std::to_string(intervals_.back().start) + ", " +
+            std::to_string(intervals_.back().end) + ")");
+  }
+  // An interval that overlaps or abuts the previous one extends it instead of
+  // creating a second entry — the node is simply absent for the union.
+  if (!intervals_.empty() && start <= intervals_.back().end) {
+    intervals_.back().end = std::max(intervals_.back().end, end);
+    return;
+  }
   intervals_.push_back({start, end});
 }
 

@@ -1,6 +1,7 @@
 #include "trace/update_trace.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <fstream>
 #include <sstream>
 
@@ -63,9 +64,22 @@ UpdateTrace UpdateTrace::load_csv(const std::string& path) {
                  "unexpected update-trace CSV header");
   std::vector<sim::SimTime> times;
   times.reserve(table.rows.size());
-  for (const auto& row : table.rows) {
-    CDNSIM_EXPECTS(!row.empty(), "empty row in update-trace CSV");
-    times.push_back(std::stod(row[0]));
+  for (std::size_t i = 0; i < table.rows.size(); ++i) {
+    const auto& row = table.rows[i];
+    // Data row i is file line i + 2 (line 1 is the header).
+    if (row.empty() || row[0].empty()) {
+      throw Error("empty update_time_s cell in " + path + " (row " +
+                  std::to_string(i + 2) + ")");
+    }
+    const std::string& cell = row[0];
+    double value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(cell.data(), cell.data() + cell.size(), value);
+    if (ec != std::errc{} || ptr != cell.data() + cell.size()) {
+      throw Error("malformed update_time_s value \"" + cell + "\" in " + path +
+                  " (row " + std::to_string(i + 2) + ")");
+    }
+    times.push_back(value);
   }
   return UpdateTrace(std::move(times));
 }

@@ -1,0 +1,323 @@
+// Property suite for src/fault (ISSUE 5):
+//  (a) an enabled FaultPlan with every rate at zero is byte-identical to an
+//      injector-free run;
+//  (b) fault-enabled batch runs are byte-identical for any thread count;
+//  (c) retry-budget exhaustion opens an inconsistency window that the
+//      Section 3 analysis pipeline measures.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/inconsistency.hpp"
+#include "core/batch_runner.hpp"
+#include "core/simulation.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "net/uplink.hpp"
+#include "util/error.hpp"
+
+#include "../consistency/engine_test_util.hpp"
+
+namespace cdnsim {
+namespace {
+
+using consistency::EngineConfig;
+using consistency::InfrastructureKind;
+using consistency::UpdateMethod;
+using core::BatchJob;
+using core::BatchResult;
+using core::BatchRunner;
+using core::SimulationResult;
+namespace testutil = consistency::testutil;
+
+// ---------------------------------------------------------------------------
+// FaultPlan / Injector units
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlanTest, ValidateRejectsBadValues) {
+  fault::FaultPlan plan;
+  plan.enabled = true;
+  plan.validate();  // all-zero plan is valid
+
+  fault::FaultPlan bad = plan;
+  bad.loss_probability = 1.5;
+  EXPECT_THROW(bad.validate(), PreconditionError);
+  bad = plan;
+  bad.duplicate_probability = -0.1;
+  EXPECT_THROW(bad.validate(), PreconditionError);
+  bad = plan;
+  bad.extra_delay_max_s = -1;
+  EXPECT_THROW(bad.validate(), PreconditionError);
+  bad = plan;
+  bad.partitions.push_back({0, 1, 50, 50});
+  EXPECT_THROW(bad.validate(), PreconditionError);
+  bad = plan;
+  bad.brownouts.push_back({0, 10, 20, 0.0});
+  EXPECT_THROW(bad.validate(), PreconditionError);
+  bad = plan;
+  bad.link_overrides.push_back({0, 1, 2.0, 0, 0});
+  EXPECT_THROW(bad.validate(), PreconditionError);
+}
+
+TEST(FaultInjectorTest, ZeroRatePlanMakesNoDraws) {
+  const auto scenario = testutil::small_scenario(10);
+  fault::FaultPlan plan;
+  plan.enabled = true;
+  fault::Injector a(plan, *scenario.nodes, 7);
+  fault::Injector b(plan, *scenario.nodes, 7);
+  // A zero-rate decide() consumes no RNG: interleaving extra decides on one
+  // injector cannot diverge the pair.
+  for (int i = 0; i < 100; ++i) {
+    const auto d = a.decide(0, 1, i);
+    EXPECT_FALSE(d.drop);
+    EXPECT_FALSE(d.duplicate);
+    EXPECT_EQ(d.extra_delay_s, 0.0);
+  }
+  EXPECT_EQ(a.losses(), 0u);
+  EXPECT_EQ(b.losses(), 0u);
+}
+
+TEST(FaultInjectorTest, SameSeedSameDecisions) {
+  const auto scenario = testutil::small_scenario(10);
+  fault::FaultPlan plan;
+  plan.enabled = true;
+  plan.loss_probability = 0.3;
+  plan.duplicate_probability = 0.2;
+  plan.extra_delay_max_s = 0.5;
+  fault::Injector a(plan, *scenario.nodes, 7);
+  fault::Injector b(plan, *scenario.nodes, 7);
+  for (int i = 0; i < 500; ++i) {
+    const auto da = a.decide(i % 5, (i + 1) % 5, i);
+    const auto db = b.decide(i % 5, (i + 1) % 5, i);
+    EXPECT_EQ(da.drop, db.drop);
+    EXPECT_EQ(da.duplicate, db.duplicate);
+    EXPECT_EQ(da.extra_delay_s, db.extra_delay_s);
+    EXPECT_EQ(da.duplicate_extra_delay_s, db.duplicate_extra_delay_s);
+  }
+  EXPECT_GT(a.losses(), 0u);
+  EXPECT_GT(a.duplicates(), 0u);
+  EXPECT_EQ(a.losses(), b.losses());
+}
+
+TEST(FaultInjectorTest, PartitionDropsAreDeterministicAndWindowed) {
+  // Two ISPs: servers 0..4 in ISP of site, we instead build a registry by
+  // hand so the ISP split is exact.
+  topology::NodeRegistry nodes({net::GeoPoint{0, 0}, 0});
+  for (int i = 0; i < 4; ++i) {
+    nodes.add_server({net::GeoPoint{1.0 * i, 0}, i % 2});
+  }
+  fault::FaultPlan plan;
+  plan.enabled = true;
+  plan.partitions.push_back({0, 1, 10.0, 20.0});
+  fault::Injector inj(plan, nodes, 1);
+  // Cross-ISP pair inside the window: always dropped, no randomness.
+  EXPECT_TRUE(inj.decide(0, 1, 15.0).drop);
+  EXPECT_TRUE(inj.decide(0, 1, 15.0).partitioned);
+  EXPECT_TRUE(inj.decide(1, 0, 10.0).drop);  // bidirectional, start inclusive
+  EXPECT_FALSE(inj.decide(0, 1, 20.0).drop);  // end exclusive
+  EXPECT_FALSE(inj.decide(0, 2, 15.0).drop);  // same ISP
+  EXPECT_FALSE(inj.decide(0, 1, 5.0).drop);   // before window
+  EXPECT_EQ(inj.partition_drops(), 3u);
+}
+
+TEST(UplinkTest, BandwidthScaleAffectsOnlyFutureReservations) {
+  net::Uplink up(100.0);  // 100 KB/s
+  EXPECT_DOUBLE_EQ(up.reserve(0, 100), 1.0);
+  up.set_bandwidth_scale(0.5);
+  EXPECT_DOUBLE_EQ(up.reserve(1.0, 100), 3.0);  // 100 KB at 50 KB/s
+  up.set_bandwidth_scale(1.0);
+  EXPECT_DOUBLE_EQ(up.reserve(3.0, 100), 4.0);
+  EXPECT_THROW(up.set_bandwidth_scale(0.0), PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// (a) zero-rate plan == no plan, byte for byte
+// ---------------------------------------------------------------------------
+
+void expect_identical(const SimulationResult& a, const SimulationResult& b,
+                      const std::string& context) {
+  SCOPED_TRACE(context);
+  ASSERT_EQ(a.server_inconsistency_s, b.server_inconsistency_s);
+  ASSERT_EQ(a.user_inconsistency_s, b.user_inconsistency_s);
+  ASSERT_EQ(a.avg_server_inconsistency_s, b.avg_server_inconsistency_s);
+  ASSERT_EQ(a.avg_user_inconsistency_s, b.avg_user_inconsistency_s);
+  ASSERT_EQ(a.traffic.cost_km_kb, b.traffic.cost_km_kb);
+  ASSERT_EQ(a.traffic.update_messages, b.traffic.update_messages);
+  ASSERT_EQ(a.traffic.light_messages, b.traffic.light_messages);
+  ASSERT_EQ(a.events_processed, b.events_processed);
+  ASSERT_EQ(a.simulated_time_s, b.simulated_time_s);
+  ASSERT_EQ(a.converged_server_fraction, b.converged_server_fraction);
+  ASSERT_EQ(a.metrics.to_json(), b.metrics.to_json());
+}
+
+TEST(FaultInjectionProperty, ZeroRatePlanIsByteIdenticalToNoPlan) {
+  const auto scenario = testutil::small_scenario(20, 424242);
+  const auto trace = testutil::regular_trace(8.0, 12);
+  const UpdateMethod methods[] = {UpdateMethod::kTtl, UpdateMethod::kPush,
+                                  UpdateMethod::kInvalidation,
+                                  UpdateMethod::kSelfAdaptive};
+  for (const auto m : methods) {
+    EngineConfig base = testutil::base_config(m);
+    const auto plain = core::run_simulation(*scenario.nodes, trace, base);
+
+    EngineConfig zero = base;
+    zero.fault.enabled = true;  // all rates zero, no partitions/brownouts
+    const auto injected = core::run_simulation(*scenario.nodes, trace, zero);
+    expect_identical(plain, injected,
+                     std::string("zero-rate ") +
+                         std::string(consistency::to_string(m)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (b) fault-enabled runs are byte-identical across --jobs
+// ---------------------------------------------------------------------------
+
+std::vector<BatchJob> faulty_grid() {
+  const UpdateMethod methods[] = {UpdateMethod::kTtl, UpdateMethod::kPush,
+                                  UpdateMethod::kInvalidation};
+  std::vector<BatchJob> jobs;
+  for (const auto m : methods) {
+    for (const bool reliable : {false, true}) {
+      BatchJob job;
+      core::ScenarioConfig sc;
+      sc.server_count = 20;
+      sc.seed = 11;
+      job.scenario = sc;
+      trace::GameTraceConfig game;
+      game.bursty = false;
+      game.pre_game_s = 20;
+      game.periods = 1;
+      game.period_s = 200;
+      game.break_s = 0;
+      game.post_game_s = 30;
+      game.in_play_mean_gap_s = 12;
+      job.game = game;
+      job.engine = testutil::base_config(m);
+      job.engine.fault.enabled = true;
+      job.engine.fault.loss_probability = 0.15;
+      job.engine.fault.duplicate_probability = 0.05;
+      job.engine.fault.extra_delay_max_s = 0.25;
+      job.engine.fault.brownouts.push_back({0, 50.0, 120.0, 0.25});
+      job.engine.reliable.enabled = reliable;
+      job.label = std::string(consistency::to_string(m)) +
+                  (reliable ? "/reliable" : "/fire-and-forget");
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+TEST(FaultInjectionProperty, FaultyRunsAreByteIdenticalAcrossJobCounts) {
+  const auto jobs = faulty_grid();
+  const BatchRunner serial({.threads = 1, .master_seed = 99});
+  const BatchRunner parallel({.threads = 8, .master_seed = 99});
+  const auto a = serial.run(jobs);
+  const auto b = parallel.run(jobs);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(a[i].ok()) << a[i].error;
+    ASSERT_TRUE(b[i].ok()) << b[i].error;
+    expect_identical(a[i].sim, b[i].sim, jobs[i].label);
+    // The faults actually fired (otherwise the property is vacuous).
+    obs::MetricsRegistry m = a[i].sim.metrics;
+    EXPECT_GT(m.counter("fault.messages_dropped").value, 0u) << jobs[i].label;
+    EXPECT_GT(m.counter("fault.brownout_transitions").value, 0u)
+        << jobs[i].label;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reliable delivery semantics
+// ---------------------------------------------------------------------------
+
+TEST(ReliableDelivery, RetriesRecoverPushConsistencyAtATrafficCost) {
+  const auto scenario = testutil::small_scenario(20);
+  const auto trace = testutil::regular_trace(10.0, 10);
+
+  EngineConfig lossless = testutil::base_config(UpdateMethod::kPush);
+  const auto baseline = core::run_simulation(*scenario.nodes, trace, lossless);
+
+  EngineConfig lossy = lossless;
+  lossy.fault.enabled = true;
+  lossy.fault.loss_probability = 0.3;
+  const auto dropped = core::run_simulation(*scenario.nodes, trace, lossy);
+
+  EngineConfig retried = lossy;
+  retried.reliable.enabled = true;
+  const auto recovered = core::run_simulation(*scenario.nodes, trace, retried);
+
+  // Without retries, lost pushes strand replicas on old versions.
+  EXPECT_GT(dropped.avg_server_inconsistency_s,
+            2.0 * baseline.avg_server_inconsistency_s);
+  EXPECT_LT(dropped.converged_server_fraction, 1.0);
+  // Retries restore consistency to near-baseline…
+  EXPECT_LT(recovered.avg_server_inconsistency_s,
+            baseline.avg_server_inconsistency_s + 2.0);
+  EXPECT_DOUBLE_EQ(recovered.converged_server_fraction, 1.0);
+  // …and the recovery is paid in messages (retransmissions + acks).
+  EXPECT_GT(recovered.traffic.update_messages, dropped.traffic.update_messages);
+  obs::MetricsRegistry m = recovered.metrics;
+  EXPECT_GT(m.counter("reliable.retries").value, 0u);
+  EXPECT_GT(m.gauge("net.messages.ack").value, 0.0);
+}
+
+TEST(ReliableDelivery, AckTimeoutValidation) {
+  const auto scenario = testutil::small_scenario(5);
+  const auto trace = testutil::regular_trace(10.0, 2);
+  EngineConfig bad = testutil::base_config(UpdateMethod::kPush);
+  bad.reliable.enabled = true;
+  bad.reliable.ack_timeout_s = 0;
+  EXPECT_THROW(core::run_simulation(*scenario.nodes, trace, bad),
+               PreconditionError);
+  bad.reliable.ack_timeout_s = 1.0;
+  bad.reliable.backoff_factor = 0.5;
+  EXPECT_THROW(core::run_simulation(*scenario.nodes, trace, bad),
+               PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// (c) retry-budget exhaustion opens a measurable inconsistency window
+// ---------------------------------------------------------------------------
+
+TEST(ReliableDelivery, GiveUpOpensInconsistencyWindowAnalysisCanMeasure) {
+  // Provider and server 0 in ISP 0; server 1 alone in ISP 1 and partitioned
+  // away for the entire run, so every push (and every retry) to it dies.
+  topology::NodeRegistry nodes({net::GeoPoint{0, 0}, 0});
+  nodes.add_server({net::GeoPoint{1, 1}, 0});
+  nodes.add_server({net::GeoPoint{2, 2}, 1});
+
+  const auto trace = testutil::regular_trace(10.0, 5);
+  EngineConfig cfg = testutil::base_config(UpdateMethod::kPush);
+  cfg.record_poll_log = true;
+  cfg.fault.enabled = true;
+  cfg.fault.partitions.push_back({0, 1, 0.0, 1e9});
+  cfg.reliable.enabled = true;
+  cfg.reliable.ack_timeout_s = 1.0;
+  cfg.reliable.max_retries = 2;
+
+  const auto run = testutil::run(nodes, trace, cfg);
+  obs::MetricsRegistry m = run->engine->metrics();
+  EXPECT_GT(m.counter("reliable.retries").value, 0u);
+  EXPECT_GE(m.counter("reliable.give_ups").value, 5u);  // one per update
+
+  // Ground-truth timeline; the victim's poll observations never advance, so
+  // the analysis pipeline reports a wide-open window while the connected
+  // server stays tight.
+  const analysis::SnapshotTimeline timeline(trace, cfg.trace_offset_s);
+  const auto& log = run->engine->poll_log();
+  const auto victim =
+      analysis::server_inconsistency_lengths(log.for_server(1), timeline);
+  const auto healthy =
+      analysis::server_inconsistency_lengths(log.for_server(0), timeline);
+  double victim_total = 0;
+  for (const double w : victim) victim_total += w;
+  double healthy_total = 0;
+  for (const double w : healthy) healthy_total += w;
+  EXPECT_GT(victim_total, 30.0) << "partitioned server should stay stale";
+  EXPECT_LT(healthy_total, victim_total / 4);
+}
+
+}  // namespace
+}  // namespace cdnsim

@@ -34,12 +34,44 @@ TEST(AbsenceScheduleTest, EmptyScheduleNeverAbsent) {
   EXPECT_DOUBLE_EQ(s.available_from(42), 42);
 }
 
-TEST(AbsenceScheduleTest, OverlappingIntervalsThrow) {
+TEST(AbsenceScheduleTest, OverlappingIntervalsMergeIntoUnion) {
   AbsenceSchedule s;
   s.add(10, 20);
-  EXPECT_THROW(s.add(15, 25), cdnsim::PreconditionError);
-  EXPECT_THROW(s.add(5, 8), cdnsim::PreconditionError);
-  EXPECT_THROW(s.add(30, 30), cdnsim::PreconditionError);
+  s.add(15, 25);  // overlaps [10, 20) -> merges into [10, 25)
+  ASSERT_EQ(s.intervals().size(), 1u);
+  EXPECT_DOUBLE_EQ(s.intervals()[0].start, 10);
+  EXPECT_DOUBLE_EQ(s.intervals()[0].end, 25);
+  s.add(25, 30);  // abuts -> extends to [10, 30)
+  ASSERT_EQ(s.intervals().size(), 1u);
+  EXPECT_DOUBLE_EQ(s.intervals()[0].end, 30);
+  s.add(40, 45);  // disjoint -> second interval
+  ASSERT_EQ(s.intervals().size(), 2u);
+  EXPECT_TRUE(s.absent_at(22));
+  EXPECT_FALSE(s.absent_at(35));
+  EXPECT_TRUE(s.absent_at(42));
+}
+
+TEST(AbsenceScheduleTest, ContainedIntervalDoesNotShrinkMerge) {
+  AbsenceSchedule s;
+  s.add(10, 30);
+  s.add(12, 15);  // fully contained -> no change
+  ASSERT_EQ(s.intervals().size(), 1u);
+  EXPECT_DOUBLE_EQ(s.intervals()[0].start, 10);
+  EXPECT_DOUBLE_EQ(s.intervals()[0].end, 30);
+}
+
+TEST(AbsenceScheduleTest, InvalidIntervalsThrowWithContext) {
+  AbsenceSchedule s;
+  s.add(10, 20);
+  EXPECT_THROW(s.add(30, 30), cdnsim::PreconditionError);  // zero length
+  try {
+    s.add(5, 8);  // starts before the last interval's start
+    FAIL() << "out-of-order add should throw";
+  } catch (const cdnsim::PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("start order"), std::string::npos) << what;
+    EXPECT_NE(what.find("5.0"), std::string::npos) << what;
+  }
 }
 
 TEST(AbsenceSampleTest, LengthsMatchPaperQuantiles) {

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "util/error.hpp"
 
@@ -67,6 +69,39 @@ TEST(UpdateTraceTest, CsvRoundTrip) {
   ASSERT_EQ(loaded.update_count(), 3);
   EXPECT_DOUBLE_EQ(loaded.update_time(1), 1.5);
   EXPECT_DOUBLE_EQ(loaded.update_time(3), 99.125);
+  std::remove(path.c_str());
+}
+
+TEST(UpdateTraceTest, LoadCsvReportsMalformedCellWithContext) {
+  const std::string path = testing::TempDir() + "/cdnsim_trace_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "update_time_s\n1.5\nbogus\n";
+  }
+  try {
+    UpdateTrace::load_csv(path);
+    FAIL() << "malformed cell should throw";
+  } catch (const cdnsim::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus"), std::string::npos) << what;
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("row 3"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(UpdateTraceTest, LoadCsvRejectsTrailingGarbageAndEmptyCells) {
+  const std::string path = testing::TempDir() + "/cdnsim_trace_bad2.csv";
+  {
+    std::ofstream out(path);
+    out << "update_time_s\n1.5x\n";
+  }
+  EXPECT_THROW(UpdateTrace::load_csv(path), cdnsim::Error);
+  {
+    std::ofstream out(path);
+    out << "update_time_s\n\n2.0\n";
+  }
+  EXPECT_THROW(UpdateTrace::load_csv(path), cdnsim::Error);
   std::remove(path.c_str());
 }
 
