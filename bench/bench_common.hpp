@@ -35,6 +35,10 @@ class Flags {
         small_ = true;
         continue;
       }
+      if (key == "--large") {  // boolean: consumes no value
+        large_ = true;
+        continue;
+      }
       if (key.rfind("--", 0) == 0 && i + 1 < argc) {
         values_.emplace_back(key.substr(2), argv[i + 1]);
         ++i;
@@ -49,6 +53,10 @@ class Flags {
 
   /// True when invoked with --small (used by CI-style quick runs).
   bool small() const { return small_; }
+
+  /// True when invoked with --large (opt-in scaled-up grids; fig20 sweeps
+  /// network sizes to 10x the paper's maximum).
+  bool large() const { return large_; }
 
   /// `--jobs N`: worker threads for batch execution. N = 0 selects the
   /// hardware concurrency; the default is 1 (serial), so timing baselines
@@ -110,6 +118,7 @@ class Flags {
  private:
   std::vector<std::pair<std::string, std::string>> values_;
   bool small_ = false;
+  bool large_ = false;
 };
 
 inline void banner(const std::string& title) {

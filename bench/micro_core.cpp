@@ -11,7 +11,9 @@
 #include "consistency/engine.hpp"
 #include "core/scenario.hpp"
 #include "net/latency_model.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
+#include "trace/update_trace.hpp"
 #include "topology/hilbert.hpp"
 #include "topology/multicast_tree.hpp"
 #include "trace/game_generator.hpp"
@@ -123,6 +125,35 @@ void BM_EngineGameDay(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EngineGameDay)->Arg(50)->Arg(170)->Unit(benchmark::kMillisecond);
+
+// ~100k batched user visits against a sparse trace: the visit walk (not
+// update propagation) dominates, so this isolates the sim.visit_batch path
+// the batched engine replaced per-visit events with. 1000 users polling
+// every 10 s over ~1080 s of simulated time = ~108k visits per iteration.
+void BM_VisitBatch(benchmark::State& state) {
+  core::ScenarioConfig sc;
+  sc.server_count = 100;
+  const auto scenario = core::build_scenario(sc);
+  const trace::UpdateTrace updates(
+      std::vector<sim::SimTime>{100.0, 500.0, 900.0});
+  std::uint64_t visits = 0;
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    consistency::EngineConfig ec;
+    ec.method.method = consistency::UpdateMethod::kTtl;
+    ec.users_per_server = 10;
+    ec.user_poll_period_s = 10.0;
+    consistency::UpdateEngine engine(simulator, *scenario.nodes, updates, ec);
+    engine.run();
+    obs::MetricsRegistry m = engine.metrics();  // registry is copyable
+    visits = m.counter("engine.user_visits").value;
+    benchmark::DoNotOptimize(visits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(visits));
+  state.counters["visits"] = static_cast<double>(visits);
+}
+BENCHMARK(BM_VisitBatch)->Name("visit_batch_100k")->Unit(benchmark::kMillisecond);
 
 // Console output as usual, plus one bench-json record per benchmark run.
 class JsonAppendingReporter : public benchmark::ConsoleReporter {

@@ -58,18 +58,38 @@ def check_manifest(artifact_path):
           f"{path}: config_digest '{digest}' is not 16 hex chars")
 
 
+COMPARATORS = {
+    ">": lambda value, threshold: value > threshold,
+    ">=": lambda value, threshold: value >= threshold,
+    "==": lambda value, threshold: value == threshold,
+}
+
+
+def parse_requirement(spec):
+    """Splits 'NAME', 'NAME>N', 'NAME>=N' or 'NAME==N' into
+    (name, op, threshold). Two-character operators are tried first so
+    'x>=1' never parses as name 'x' with op '>' and threshold '=1'."""
+    for op in (">=", "==", ">"):
+        name, sep, threshold = spec.partition(op)
+        if sep:
+            try:
+                return name, op, float(threshold)
+            except ValueError:
+                raise SystemExit(
+                    f"check_obs: bad --require-metric threshold in {spec!r}")
+    return spec, None, None
+
+
 def check_metrics(path, require_metrics=()):
     with open(path) as f:
         lines = f.readlines()
     check(len(lines) >= 1, f"{path}: empty metrics file")
-    # --require-metric NAME[>N]: the named counter/gauge must exist on every
-    # line, and when a threshold is given, at least one line must exceed it
-    # (proves the instrumented subsystem actually ran, not just registered).
-    requirements = []
-    for spec in require_metrics:
-        name, _, threshold = spec.partition(">")
-        requirements.append((name, float(threshold) if threshold else None))
-    exceeded = {name: False for name, _ in requirements}
+    # --require-metric NAME[OP N] with OP in {>, >=, ==}: the named
+    # counter/gauge must exist on every line, and when a comparison is
+    # given, at least one line must satisfy it (proves the instrumented
+    # subsystem actually ran — or, with ==, hit exactly the expected value).
+    requirements = [parse_requirement(spec) for spec in require_metrics]
+    satisfied = {name: False for name, _, _ in requirements}
     for i, line in enumerate(lines):
         try:
             rec = json.loads(line)
@@ -97,17 +117,18 @@ def check_metrics(path, require_metrics=()):
                       f"a non-negative integer")
         values = dict(metrics.get("counters", {}))
         values.update(metrics.get("gauges", {}))
-        for name, threshold in requirements:
+        for name, op, threshold in requirements:
             if not check(name in values,
                          f"{path}:{i + 1}: required metric '{name}' missing"):
                 continue
-            if threshold is not None and values[name] > threshold:
-                exceeded[name] = True
-    for name, threshold in requirements:
-        if threshold is not None:
-            check(exceeded[name],
-                  f"{path}: metric '{name}' never exceeds {threshold} on any "
-                  f"line (instrumented subsystem never fired?)")
+            if op is not None and COMPARATORS[op](values[name], threshold):
+                satisfied[name] = True
+    for name, op, threshold in requirements:
+        if op is not None:
+            check(satisfied[name],
+                  f"{path}: metric '{name}' never satisfies "
+                  f"'{op} {threshold}' on any line "
+                  f"(instrumented subsystem never fired?)")
     check_manifest(path)
 
 
@@ -210,9 +231,10 @@ def main():
     parser.add_argument("--csv")
     parser.add_argument("--profile")
     parser.add_argument("--require-metric", action="append", default=[],
-                        metavar="NAME[>N]",
+                        metavar="NAME[OP N]",
                         help="counter/gauge that must exist on every metrics "
-                             "line; with >N, some line must exceed N")
+                             "line; with >N / >=N / ==N, some line must "
+                             "satisfy the comparison")
     args = parser.parse_args()
     if not (args.metrics or args.trace or args.csv or args.profile):
         parser.error("nothing to check")

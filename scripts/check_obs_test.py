@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Unit tests for check_obs.py, focused on the --require-metric grammar
+(NAME, NAME>N, NAME>=N, NAME==N) and its per-line/any-line semantics.
+Stdlib only; registered with ctest so it runs in every tier-1 pass.
+
+    python3 scripts/check_obs_test.py
+"""
+import importlib.util
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SPEC = importlib.util.spec_from_file_location(
+    "check_obs", os.path.join(_HERE, "check_obs.py"))
+check_obs = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_obs)
+
+
+def write_metrics(dirname, counter_values):
+    """One JSONL line per value, each with counter 'c' set to that value,
+    plus the manifest sibling check_metrics insists on."""
+    path = os.path.join(dirname, "m.jsonl")
+    with open(path, "w") as f:
+        for v in counter_values:
+            f.write(json.dumps({
+                "label": "job",
+                "metrics": {"counters": {"c": v}, "gauges": {},
+                            "histograms": {}},
+            }) + "\n")
+    with open(path + ".manifest.json", "w") as f:
+        json.dump({"binary": "test", "args": [], "seed": 1,
+                   "config_digest": "0123456789abcdef",
+                   "git_describe": "", "created_utc": "", "hostname": "",
+                   "platform": "", "hardware_threads": 1, "jobs": 1,
+                   "wall_s": 0.0}, f)
+    return path
+
+
+def run_check(counter_values, requirement):
+    """Returns check_obs's failure list for one requirement against the
+    given per-line counter values."""
+    check_obs.failures = []
+    with tempfile.TemporaryDirectory() as d:
+        path = write_metrics(d, counter_values)
+        check_obs.check_metrics(path, [requirement])
+    return check_obs.failures
+
+
+class ParseRequirementTest(unittest.TestCase):
+    def test_bare_name_has_no_comparison(self):
+        self.assertEqual(check_obs.parse_requirement("fault.drops"),
+                         ("fault.drops", None, None))
+
+    def test_each_operator_parses(self):
+        self.assertEqual(check_obs.parse_requirement("c>0"), ("c", ">", 0.0))
+        self.assertEqual(check_obs.parse_requirement("c>=2"), ("c", ">=", 2.0))
+        self.assertEqual(check_obs.parse_requirement("c==3"), ("c", "==", 3.0))
+
+    def test_two_char_operators_win_over_prefix(self):
+        # 'c>=1' must not parse as name 'c', op '>', threshold '=1'.
+        name, op, threshold = check_obs.parse_requirement("c>=1")
+        self.assertEqual((name, op, threshold), ("c", ">=", 1.0))
+
+    def test_bad_threshold_exits(self):
+        with self.assertRaises(SystemExit):
+            check_obs.parse_requirement("c>abc")
+
+
+class ComparatorTest(unittest.TestCase):
+    def test_strict_greater_excludes_equal(self):
+        self.assertFalse(check_obs.COMPARATORS[">"](2.0, 2.0))
+        self.assertTrue(check_obs.COMPARATORS[">"](2.1, 2.0))
+
+    def test_greater_equal_includes_equal(self):
+        self.assertTrue(check_obs.COMPARATORS[">="](2.0, 2.0))
+        self.assertFalse(check_obs.COMPARATORS[">="](1.9, 2.0))
+
+    def test_equality_is_exact(self):
+        self.assertTrue(check_obs.COMPARATORS["=="](2.0, 2.0))
+        self.assertFalse(check_obs.COMPARATORS["=="](2.0000001, 2.0))
+
+
+class RequireMetricSemanticsTest(unittest.TestCase):
+    def test_existence_only_passes_when_present_everywhere(self):
+        self.assertEqual(run_check([0, 0, 0], "c"), [])
+
+    def test_missing_metric_fails_per_line(self):
+        failures = run_check([1], "absent")
+        self.assertTrue(any("absent" in f and "missing" in f
+                            for f in failures))
+
+    def test_any_line_may_satisfy_the_comparison(self):
+        # c>0 holds on one of three lines: that is enough.
+        self.assertEqual(run_check([0, 5, 0], "c>0"), [])
+
+    def test_never_satisfied_comparison_fails(self):
+        failures = run_check([0, 0], "c>0")
+        self.assertTrue(any("never satisfies" in f for f in failures))
+
+    def test_greater_equal_boundary(self):
+        self.assertEqual(run_check([2], "c>=2"), [])
+        self.assertTrue(any("never satisfies" in f
+                            for f in run_check([1], "c>=2")))
+
+    def test_equality_requires_exact_hit(self):
+        self.assertEqual(run_check([1, 7, 3], "c==7"), [])
+        self.assertTrue(any("never satisfies" in f
+                            for f in run_check([6, 8], "c==7")))
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -48,18 +48,29 @@ if [[ "${run_tsan}" == "1" ]]; then
   cmake -B build-tsan -S . -DCDNSIM_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j --target cdnsim_tests
   ./build-tsan/tests/cdnsim_tests \
-    --gtest_filter='ThreadPool*:BatchRunner*:RngTest.Substream*:CdfTest.ConcurrentReadsOnSharedConstCdf:FaultInjectionProperty*'
+    --gtest_filter='ThreadPool*:BatchRunner*:RngTest.Substream*:CdfTest.ConcurrentReadsOnSharedConstCdf:FaultInjectionProperty*:ShardMerge*:VisitBatch*'
 fi
 
 if [[ "${run_perf}" == "1" ]]; then
   echo
   echo "== tier-1: Release perf smoke (micro_core) + regression gate =="
   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-  cmake --build build-release -j --target micro_core
+  cmake --build build-release -j --target micro_core fig20_network_size
   # Note: the system google-benchmark predates duration suffixes, so the
   # value must be a plain double (no "s"/"x").
   ./build-release/bench/micro_core --benchmark_min_time=0.05 \
     --bench-json "${tmp_dir}/bench_fresh.jsonl" --bench-config tier1
+  # fig20 --small on the sharded driver records fig20_small_shards<N>
+  # (shape checks may fail at --small scale, exit 1; only >= 2 is a crash).
+  for sh in 1 8; do
+    rc=0
+    ./build-release/bench/fig20_network_size --small --jobs 8 --shards "${sh}" \
+      --bench-json "${tmp_dir}/bench_fresh.jsonl" >/dev/null || rc=$?
+    if [[ "${rc}" -ge 2 ]]; then
+      echo "fig20_network_size --shards ${sh} failed (exit ${rc})" >&2
+      exit 1
+    fi
+  done
   # 2.0x, not the script's 1.5x default: the committed baseline was recorded
   # in an earlier session and this host swings ~±30% run to run (measured by
   # interleaving identical binaries), so 1.5x flakes on wall-heavy benches.
@@ -98,6 +109,31 @@ print(json.dumps(json.load(open(sys.argv[1]))["deterministic"]))' \
   cmp "${obs_dir}/c1.csv" "${obs_dir}/c8.csv"
   cmp "${obs_dir}/det1.json" "${obs_dir}/det8.json"
   echo "metrics/trace/csv/profile-deterministic byte-identical for --jobs 1 vs 8"
+
+  # Sharded-driver invariance: with --shards N > 0 every job runs on the
+  # lane-partitioned engine, and the lane decomposition and worker count are
+  # both pure implementation detail — metrics and csv must be byte-identical
+  # for every (--shards, --jobs) combination. (Manifests embed argv, so they
+  # are excluded by construction.)
+  shard_dir="${tmp_dir}/obs-shards"
+  mkdir -p "${shard_dir}"
+  for sh in 1 2 8; do
+    for jobs in 1 8; do
+      rc=0
+      ./build/bench/fig20_network_size --small --jobs "${jobs}" \
+        --shards "${sh}" \
+        --metrics-out "${shard_dir}/m_s${sh}_j${jobs}.jsonl" \
+        --csv-out "${shard_dir}/c_s${sh}_j${jobs}.csv" >/dev/null || rc=$?
+      if [[ "${rc}" -ge 2 ]]; then
+        echo "fig20_network_size --shards ${sh} --jobs ${jobs} failed" \
+             "(exit ${rc})" >&2
+        exit 1
+      fi
+      cmp "${shard_dir}/m_s1_j1.jsonl" "${shard_dir}/m_s${sh}_j${jobs}.jsonl"
+      cmp "${shard_dir}/c_s1_j1.csv" "${shard_dir}/c_s${sh}_j${jobs}.csv"
+    done
+  done
+  echo "sharded metrics/csv byte-identical across --shards 1/2/8 x --jobs 1/8"
   python3 scripts/check_obs.py --metrics "${obs_dir}/m1.jsonl" \
     --trace "${obs_dir}/t1.json" --csv "${obs_dir}/c1.csv" \
     --profile "${obs_dir}/p1.profile.json"

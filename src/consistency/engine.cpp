@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
+#include <limits>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
+#include <vector>
 
+#include "sim/shard_merge.hpp"
+#include "trace/visit_schedule.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cdnsim::consistency {
 
@@ -27,9 +32,17 @@ constexpr sim::EventTag kTagChurn = 5;
 constexpr sim::EventTag kTagHorizon = 6;
 constexpr sim::EventTag kTagFault = 7;    // brownout transitions
 constexpr sim::EventTag kTagRetry = 8;    // reliable-delivery deadlines
-constexpr sim::EventTag kTagDeliveryBase = 9;
+constexpr sim::EventTag kTagVisitBatch = 9;
+constexpr sim::EventTag kTagDeliveryBase = 10;
 constexpr std::size_t kEngineTagCount =
     kTagDeliveryBase + net::kMessageKindCount;
+
+// Per-node run-phase substream bases for the sharded engine. Offsetting by
+// (node id + 1) gives every node — provider included — its own stateless
+// stream, so the draw sequence is a function of the node, never of which
+// lane or worker executed it.
+constexpr std::uint64_t kShardNodeRngStream = 0x9a0d0000ull;
+constexpr std::uint64_t kShardNodeFaultStream = 0x7a110000ull;
 
 sim::EventTag delivery_tag(net::MessageKind kind) {
   return static_cast<sim::EventTag>(kTagDeliveryBase +
@@ -42,6 +55,15 @@ bool reliable_kind(net::MessageKind kind) {
   return kind == net::MessageKind::kPushUpdate ||
          kind == net::MessageKind::kInvalidation ||
          kind == net::MessageKind::kFetchResponse;
+}
+
+// Buckets span the regimes the paper reports: sub-TTL (seconds), the
+// 10-60 s server TTLs of Sections 4-5, and pathological minutes-long
+// windows under churn.
+const std::vector<double>& inconsistency_bounds() {
+  static const std::vector<double> bounds = {0.5,  1.0,  2.0,  5.0,   10.0,
+                                             20.0, 30.0, 60.0, 120.0, 300.0};
+  return bounds;
 }
 
 }  // namespace
@@ -57,7 +79,7 @@ struct UpdateEngine::UserState {
   // Sentinel -2: no previous server (kProviderNode is -1).
   NodeId last_server = -2;
   Version max_seen = 0;
-  std::unique_ptr<sim::PeriodicTimer> visit_timer;
+  std::unique_ptr<sim::PeriodicTimer> visit_timer;  // legacy per-visit path
 };
 
 struct UpdateEngine::ServerState {
@@ -96,8 +118,25 @@ struct UpdateEngine::ServerState {
 
   const trace::AbsenceSchedule* absence = nullptr;
 
+  // Batched-visit walk state: position in the precomputed arrival arrays,
+  // the pending batch/pump event, and which of the two it is.
+  std::size_t visit_cursor = 0;
+  sim::EventHandle visit_event;
+  bool visit_pumping = false;
+
+  // Per-server inconsistency-window histogram; fold_lane_stats() merges
+  // these in ascending server order, so the floating-point sum is a pure
+  // function of per-server contents in every execution mode.
+  obs::Histogram inconsistency;
+
+  // Parent-side subscription state for this node's notice-receiving
+  // children (single-writer: only this node's lane touches it).
+  SubscriptionState subs;
+
   ServerState(Version final_version, double uplink_kbps)
-      : recorder(final_version), uplink(uplink_kbps) {}
+      : recorder(final_version),
+        uplink(uplink_kbps),
+        inconsistency(inconsistency_bounds()) {}
 
   bool absent_at(sim::SimTime t) const { return absence && absence->absent_at(t); }
   bool invalidation_active() const {
@@ -146,6 +185,29 @@ UpdateEngine::UpdateEngine(sim::Simulator& simulator,
   CDNSIM_EXPECTS(absences_.empty() || absences_.size() == nodes.server_count(),
                  "absence schedules must be empty or one per server");
 
+  // Resolve the execution mode before anything observes it (bind_profiler
+  // keeps event scopes off worker threads for sharded engines).
+  visit_batching_ = config_.visit_batching &&
+                    config_.user_attachment == UserAttachment::kPinnedLocal &&
+                    !config_.record_poll_log;
+  sharded_ = config_.shard.shards > 0;
+  if (visit_batching_) {
+    CDNSIM_EXPECTS(config_.visit_batch_epoch_s > 0,
+                   "visit batch epoch must be positive");
+  }
+  if (sharded_) {
+    CDNSIM_EXPECTS(config_.shard.epoch_s > 0, "shard epoch must be positive");
+    CDNSIM_EXPECTS(visit_batching_,
+                   "sharding requires batched visits (pinned attachment, "
+                   "no poll log, visit_batching on)");
+    CDNSIM_EXPECTS(!config_.record_trace_events,
+                   "sharding does not support trace-event recording");
+    CDNSIM_EXPECTS(config_.churn.failures_per_hour <= 0,
+                   "sharding does not support churn");
+    CDNSIM_EXPECTS(shared_provider_uplink_ == nullptr,
+                   "sharding does not support a shared provider uplink");
+  }
+
   // Shift the trace so update v happens at update_time(v) + offset; all
   // engine-internal times use the shifted trace.
   std::vector<sim::SimTime> shifted;
@@ -177,7 +239,9 @@ UpdateEngine::UpdateEngine(sim::Simulator& simulator,
   if (sites.size() <= net::LatencyModel::kMaxPrimedSites) latency_.prime(sites);
 
   // The injector draws from substream_seed(seed, kFaultStream) — stateless,
-  // so constructing it here perturbs neither rng_ nor any fork above.
+  // so constructing it here perturbs neither rng_ nor any fork above. The
+  // sharded engine still builds it (brownout schedules come from plan());
+  // per-message decisions there use the per-node injectors below.
   if (config_.fault.enabled) {
     injector_ =
         std::make_unique<fault::Injector>(config_.fault, nodes, config_.seed);
@@ -203,9 +267,77 @@ UpdateEngine::UpdateEngine(sim::Simulator& simulator,
   }
 
   end_time_ = updates_->duration() + config_.tail_s;
+
+  // Execution lanes. Classic engines have one lane whose `sim` stays null
+  // (the external simulator drives everything); sharded engines partition
+  // servers into contiguous lanes, each with its own internal Simulator,
+  // and anchor the provider to lane 0.
+  const std::size_t server_count = servers_.size();
+  std::size_t lane_count = 1;
+  if (sharded_) {
+    lane_count = std::min<std::size_t>(
+        static_cast<std::size_t>(config_.shard.shards),
+        std::max<std::size_t>(server_count, 1));
+  }
+  lanes_ = std::vector<Lane>(lane_count);
+  lane_of_.assign(server_count + 1, 0);
+  if (sharded_) {
+    for (std::size_t i = 0; i < server_count; ++i) {
+      lane_of_[i + 1] = static_cast<std::uint32_t>(i * lane_count / server_count);
+    }
+    for (Lane& lane : lanes_) lane.sim = std::make_unique<sim::Simulator>();
+    merge_ = std::make_unique<sim::ShardMergeQueue>(lane_count);
+    node_send_seq_.assign(server_count + 1, 0);
+    node_rngs_.reserve(server_count + 1);
+    if (config_.fault.enabled) node_injectors_.resize(server_count + 1);
+    for (std::size_t idx = 0; idx < server_count + 1; ++idx) {
+      node_rngs_.emplace_back(
+          util::substream_seed(config_.seed, kShardNodeRngStream + idx));
+      if (config_.fault.enabled) {
+        node_injectors_[idx] = std::make_unique<fault::Injector>(
+            config_.fault, nodes,
+            util::substream_seed(config_.seed, kShardNodeFaultStream + idx));
+      }
+    }
+  }
 }
 
-UpdateEngine::~UpdateEngine() = default;
+UpdateEngine::~UpdateEngine() {
+  // servers_/users_ hold timers and event handles that may be registered on
+  // the engine-owned lane simulators; members are destroyed in reverse
+  // declaration order, which would free the lanes (declared later) first
+  // and leave the timer destructors cancelling into dead event queues.
+  // Tear the handle owners down here, while lanes_ is still alive.
+  users_.clear();
+  servers_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Lane anchoring
+// ---------------------------------------------------------------------------
+
+sim::Simulator& UpdateEngine::sim_of(NodeId node) {
+  return sharded_ ? *lanes_[lane_index_of(node)].sim : *sim_;
+}
+
+const sim::Simulator& UpdateEngine::sim_of(NodeId node) const {
+  return sharded_ ? *lanes_[lane_index_of(node)].sim : *sim_;
+}
+
+util::Rng& UpdateEngine::rng_of(NodeId node) {
+  return sharded_ ? node_rngs_[static_cast<std::size_t>(node + 1)] : rng_;
+}
+
+fault::Injector* UpdateEngine::injector_of(NodeId node) {
+  if (!sharded_) return injector_.get();
+  if (node_injectors_.empty()) return nullptr;
+  return node_injectors_[static_cast<std::size_t>(node + 1)].get();
+}
+
+UpdateEngine::SubscriptionState& UpdateEngine::subs_of(NodeId node) {
+  if (node == kProviderNode) return provider_subs_;
+  return servers_[static_cast<std::size_t>(node)]->subs;
+}
 
 // ---------------------------------------------------------------------------
 // Observability
@@ -218,33 +350,33 @@ static std::size_t method_index(UpdateMethod m) {
 void UpdateEngine::bind_metrics() {
   // Every slot is registered up front, even for methods this run never
   // assigns: the exported key set is then a function of nothing but the
-  // code version, so outputs diff cleanly across configurations.
+  // code version, so outputs diff cleanly across configurations. Values
+  // accumulate in LaneCounters / per-server histograms during the run and
+  // land here in fold_lane_stats().
   for (std::size_t m = 0; m < kUpdateMethodCount; ++m) {
     const std::string suffix(to_string(static_cast<UpdateMethod>(m)));
-    ctr_acquired_[m] = &metrics_.counter("engine.updates_acquired." + suffix);
-    ctr_polls_[m] = &metrics_.counter("engine.polls." + suffix);
-    ctr_fetches_[m] = &metrics_.counter("engine.fetches." + suffix);
-    ctr_invalidations_[m] = &metrics_.counter("engine.invalidations." + suffix);
+    metrics_.counter("engine.updates_acquired." + suffix);
+    metrics_.counter("engine.polls." + suffix);
+    metrics_.counter("engine.fetches." + suffix);
+    metrics_.counter("engine.invalidations." + suffix);
   }
-  ctr_mode_switches_ = &metrics_.counter("engine.mode_switches");
-  ctr_visits_ = &metrics_.counter("engine.user_visits");
-  ctr_visits_unanswered_ = &metrics_.counter("engine.user_visits_unanswered");
-  ctr_fault_dropped_ = &metrics_.counter("fault.messages_dropped");
-  ctr_fault_partition_dropped_ = &metrics_.counter("fault.partition_dropped");
-  ctr_fault_duplicated_ = &metrics_.counter("fault.messages_duplicated");
-  ctr_fault_brownouts_ = &metrics_.counter("fault.brownout_transitions");
-  ctr_reliable_retries_ = &metrics_.counter("reliable.retries");
-  ctr_reliable_give_ups_ = &metrics_.counter("reliable.give_ups");
-  // Buckets span the regimes the paper reports: sub-TTL (seconds), the
-  // 10-60 s server TTLs of Sections 4-5, and pathological minutes-long
-  // windows under churn.
-  hist_inconsistency_ = &metrics_.histogram(
-      "engine.inconsistency_window_s",
-      {0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 60.0, 120.0, 300.0});
+  metrics_.counter("engine.mode_switches");
+  metrics_.counter("engine.user_visits");
+  metrics_.counter("engine.user_visits_unanswered");
+  metrics_.counter("fault.messages_dropped");
+  metrics_.counter("fault.partition_dropped");
+  metrics_.counter("fault.messages_duplicated");
+  metrics_.counter("fault.brownout_transitions");
+  metrics_.counter("reliable.retries");
+  metrics_.counter("reliable.give_ups");
+  metrics_.histogram("engine.inconsistency_window_s", inconsistency_bounds());
 }
 
 void UpdateEngine::bind_profiler() {
   profiler_ = config_.profiler;
+  // Event handlers run on worker threads under sharding; the Profiler is
+  // single-threaded and stays with the driver (tree build, shard.merge).
+  event_profiler_ = sharded_ ? nullptr : profiler_;
   if (profiler_ == nullptr) return;
   ps_send_ = profiler_->intern("engine.send");
   ps_poll_ = profiler_->intern("engine.poll");
@@ -254,6 +386,7 @@ void UpdateEngine::bind_profiler() {
   ps_mode_switch_ = profiler_->intern("engine.mode_switch");
   ps_tree_build_ = profiler_->intern("topology.build_tree");
   ps_repair_ = profiler_->intern("topology.repair");
+  ps_shard_merge_ = profiler_->intern("shard.merge");
 
   tag_slots_.assign(kEngineTagCount, 0);
   tag_slots_[sim::kUntaggedEvent] = profiler_->intern("sim.untagged");
@@ -265,24 +398,105 @@ void UpdateEngine::bind_profiler() {
   tag_slots_[kTagHorizon] = profiler_->intern("sim.horizon");
   tag_slots_[kTagFault] = profiler_->intern("sim.fault");
   tag_slots_[kTagRetry] = profiler_->intern("sim.retry");
+  tag_slots_[kTagVisitBatch] = profiler_->intern("sim.visit_batch");
   for (std::size_t k = 0; k < net::kMessageKindCount; ++k) {
     tag_slots_[kTagDeliveryBase + k] = profiler_->intern(
         "deliver." + std::string(to_string(static_cast<net::MessageKind>(k))));
   }
 }
 
+void UpdateEngine::fold_lane_stats() {
+  if (stats_folded_) return;
+  stats_folded_ = true;
+
+  LaneCounters total;
+  for (const Lane& lane : lanes_) {
+    const LaneCounters& c = lane.counters;
+    for (std::size_t m = 0; m < kUpdateMethodCount; ++m) {
+      total.acquired[m] += c.acquired[m];
+      total.polls[m] += c.polls[m];
+      total.fetches[m] += c.fetches[m];
+      total.invalidations[m] += c.invalidations[m];
+    }
+    total.mode_switches += c.mode_switches;
+    total.visits += c.visits;
+    total.visits_unanswered += c.visits_unanswered;
+    total.fault_dropped += c.fault_dropped;
+    total.fault_partition_dropped += c.fault_partition_dropped;
+    total.fault_duplicated += c.fault_duplicated;
+    total.fault_brownouts += c.fault_brownouts;
+    total.reliable_retries += c.reliable_retries;
+    total.reliable_give_ups += c.reliable_give_ups;
+  }
+  for (std::size_t m = 0; m < kUpdateMethodCount; ++m) {
+    const std::string suffix(to_string(static_cast<UpdateMethod>(m)));
+    metrics_.counter("engine.updates_acquired." + suffix).inc(total.acquired[m]);
+    metrics_.counter("engine.polls." + suffix).inc(total.polls[m]);
+    metrics_.counter("engine.fetches." + suffix).inc(total.fetches[m]);
+    metrics_.counter("engine.invalidations." + suffix).inc(total.invalidations[m]);
+  }
+  metrics_.counter("engine.mode_switches").inc(total.mode_switches);
+  metrics_.counter("engine.user_visits").inc(total.visits);
+  metrics_.counter("engine.user_visits_unanswered").inc(total.visits_unanswered);
+  metrics_.counter("fault.messages_dropped").inc(total.fault_dropped);
+  metrics_.counter("fault.partition_dropped").inc(total.fault_partition_dropped);
+  metrics_.counter("fault.messages_duplicated").inc(total.fault_duplicated);
+  metrics_.counter("fault.brownout_transitions").inc(total.fault_brownouts);
+  metrics_.counter("reliable.retries").inc(total.reliable_retries);
+  metrics_.counter("reliable.give_ups").inc(total.reliable_give_ups);
+
+  // Per-server histograms fold in ascending server order in every mode, so
+  // the bucket counts and the floating-point sum are independent of lane
+  // decomposition and event interleaving.
+  obs::Histogram& hist =
+      metrics_.histogram("engine.inconsistency_window_s", inconsistency_bounds());
+  for (const auto& s : servers_) hist.merge_from(s->inconsistency);
+
+  for (const Lane& lane : lanes_) meter_.merge_from(lane.meter);
+  // Per-sender totals are accumulated wholly within one lane; rebuilding
+  // the grand totals from them in sender order makes the floating-point
+  // sums shard-count-invariant too.
+  if (sharded_) meter_.rebuild_totals_from_senders();
+}
+
 void UpdateEngine::publish_run_stats() {
-  const sim::EventQueue::Stats& qs = sim_->queue_stats();
-  metrics_.gauge("sim.events_scheduled").set(static_cast<double>(qs.pushes));
-  metrics_.gauge("sim.events_fired")
-      .set(static_cast<double>(sim_->events_processed()));
-  metrics_.gauge("sim.events_cancelled")
-      .set(static_cast<double>(qs.cancellations));
-  metrics_.gauge("sim.queue_compactions")
-      .set(static_cast<double>(qs.compactions));
-  metrics_.gauge("sim.queue_peak_depth")
-      .set(static_cast<double>(qs.peak_live));
-  metrics_.gauge("sim.end_time_s").set(sim_->now());
+  fold_lane_stats();
+
+  if (!sharded_) {
+    const sim::EventQueue::Stats& qs = sim_->queue_stats();
+    metrics_.gauge("sim.events_scheduled").set(static_cast<double>(qs.pushes));
+    metrics_.gauge("sim.events_fired")
+        .set(static_cast<double>(sim_->events_processed()));
+    metrics_.gauge("sim.events_cancelled")
+        .set(static_cast<double>(qs.cancellations));
+    metrics_.gauge("sim.queue_compactions")
+        .set(static_cast<double>(qs.compactions));
+    metrics_.gauge("sim.queue_peak_depth")
+        .set(static_cast<double>(qs.peak_live));
+    metrics_.gauge("sim.end_time_s").set(sim_->now());
+  } else {
+    std::uint64_t pushes = 0;
+    std::uint64_t cancellations = 0;
+    for (const Lane& lane : lanes_) {
+      pushes += lane.sim->queue_stats().pushes;
+      cancellations += lane.sim->queue_stats().cancellations;
+    }
+    // As in events_processed(): the per-lane horizon flush is one logical
+    // event, not lane_count of them.
+    pushes -= std::min<std::uint64_t>(pushes, lanes_.size() - 1);
+    metrics_.gauge("sim.events_scheduled").set(static_cast<double>(pushes));
+    metrics_.gauge("sim.events_fired")
+        .set(static_cast<double>(events_processed()));
+    metrics_.gauge("sim.events_cancelled")
+        .set(static_cast<double>(cancellations));
+    // Compactions and peak depth are per-queue quantities with no
+    // decomposition-independent total; published as 0 so the key set stays
+    // fixed while every value remains a pure function of the simulated
+    // history (byte-identical across shard and worker counts).
+    metrics_.gauge("sim.queue_compactions").set(0.0);
+    metrics_.gauge("sim.queue_peak_depth").set(0.0);
+    metrics_.gauge("sim.end_time_s").set(final_time());
+  }
 
   const net::TrafficTotals& t = meter_.totals();
   metrics_.gauge("net.cost_km_kb").set(t.cost_km_kb);
@@ -334,40 +548,79 @@ static std::size_t site_index(NodeId node) {
 }
 
 sim::SimTime UpdateEngine::draw_latency(NodeId from, NodeId to) {
-  return latency_.primed()
-             ? latency_.one_way_between(site_index(from), site_index(to),
-                                        nodes_->crosses_isp(from, to), rng_)
-             : latency_.one_way(location_of(from), location_of(to),
-                                nodes_->crosses_isp(from, to), rng_);
+  util::Rng& rng = rng_of(from);
+  if (latency_.primed()) {
+    return latency_.one_way_between(site_index(from), site_index(to),
+                                    nodes_->crosses_isp(from, to), rng);
+  }
+  // Unprimed fallback (site set above kMaxPrimedSites): one_way()'s
+  // one-entry memo is not thread-safe, so sharded lanes take the uncached
+  // variant — identical bits and rng consumption.
+  return sharded_ ? latency_.one_way_uncached(location_of(from), location_of(to),
+                                              nodes_->crosses_isp(from, to), rng)
+                  : latency_.one_way(location_of(from), location_of(to),
+                                     nodes_->crosses_isp(from, to), rng);
 }
 
 // Deliveries to an absent server are deferred until it returns
 // (retransmission by the reliable transport); deliveries to a *crashed*
 // server are lost — the node resynchronises when it rejoins.
-void UpdateEngine::schedule_delivery(NodeId to, net::MessageKind kind,
-                                     sim::SimTime arrival,
+//
+// Sharded engines additionally quantize every arrival up to the first
+// epoch-grid point after the send time, and route ALL messages — same-lane
+// included, so lane decomposition cannot change any arrival — through the
+// merge queue. The quantized arrival lands at a time no lane has reached
+// when the driver injects it (events fired per round lie in one epoch cell,
+// whose closing grid point is exactly this barrier).
+void UpdateEngine::schedule_delivery(NodeId from, NodeId to,
+                                     net::MessageKind kind, sim::SimTime arrival,
                                      sim::EventAction action) {
+  if (sharded_) {
+    const double epoch = config_.shard.epoch_s;
+    const sim::SimTime now = sim_of(from).now();
+    sim::SimTime barrier = (std::floor(now / epoch) + 1.0) * epoch;
+    if (barrier <= now) barrier = (std::floor(now / epoch) + 2.0) * epoch;
+    if (arrival < barrier) arrival = barrier;
+  }
   if (to != kProviderNode) {
     const ServerState& dest = *servers_[static_cast<std::size_t>(to)];
     if (dest.absence) {
       const sim::SimTime available = dest.absence->available_from(arrival);
       if (available > arrival) arrival = available + 0.001;
     }
-    sim_->at(arrival, delivery_tag(kind),
-             [this, to, action = std::move(action)]() mutable {
-               if (servers_[static_cast<std::size_t>(to)]->departed) return;
-               action();
-             });
+    sim::EventAction guarded = [this, to, action = std::move(action)]() mutable {
+      if (servers_[static_cast<std::size_t>(to)]->departed) return;
+      action();
+    };
+    if (sharded_) {
+      merge_->emit(lane_index_of(from),
+                   {arrival, from,
+                    node_send_seq_[static_cast<std::size_t>(from + 1)]++,
+                    static_cast<std::uint32_t>(lane_index_of(to)),
+                    delivery_tag(kind), std::move(guarded)});
+    } else {
+      sim_->at(arrival, delivery_tag(kind), std::move(guarded));
+    }
     return;
   }
-  sim_->at(arrival, delivery_tag(kind), std::move(action));
+  if (sharded_) {
+    merge_->emit(lane_index_of(from),
+                 {arrival, from,
+                  node_send_seq_[static_cast<std::size_t>(from + 1)]++,
+                  static_cast<std::uint32_t>(lane_index_of(to)),
+                  delivery_tag(kind), std::move(action)});
+  } else {
+    sim_->at(arrival, delivery_tag(kind), std::move(action));
+  }
 }
 
-void UpdateEngine::record_injected_drop(bool partitioned, NodeId to) {
-  (partitioned ? ctr_fault_partition_dropped_ : ctr_fault_dropped_)->inc();
+void UpdateEngine::record_injected_drop(bool partitioned, NodeId from,
+                                        NodeId to) {
+  LaneCounters& c = counters_of(from);
+  ++(partitioned ? c.fault_partition_dropped : c.fault_dropped);
   if (config_.record_trace_events) {
     trace_.instant(partitioned ? "partition_drop" : "drop", "fault",
-                   sim_->now(), to);
+                   sim_of(from).now(), to);
   }
 }
 
@@ -383,34 +636,34 @@ void UpdateEngine::send(NodeId from, NodeId to, net::MessageKind kind,
 void UpdateEngine::send_unreliable(NodeId from, NodeId to,
                                    net::MessageKind kind, double size_kb,
                                    sim::EventAction on_delivery) {
-  obs::ProfileScope scope(profiler_, ps_send_);
-  const sim::SimTime now = sim_->now();
+  obs::ProfileScope scope(event_profiler_, ps_send_);
+  const sim::SimTime now = sim_of(from).now();
   const sim::SimTime depart = uplink_of(from).reserve(now, size_kb);
   const sim::SimTime delay = draw_latency(from, to);
-  meter_.record(kind, from, nodes_->distance_km(from, to), size_kb);
+  meter_of(from).record(kind, from, nodes_->distance_km(from, to), size_kb);
   sim::SimTime arrival = depart + delay;
 
-  if (injector_ != nullptr) {
-    const fault::Injector::Decision d = injector_->decide(from, to, now);
+  if (fault::Injector* injector = injector_of(from)) {
+    const fault::Injector::Decision d = injector->decide(from, to, now);
     // A dropped message has already paid the uplink and the meter: it was
     // sent, then lost in flight.
     if (d.drop) {
-      record_injected_drop(d.partitioned, to);
+      record_injected_drop(d.partitioned, from, to);
       return;
     }
     arrival += d.extra_delay_s;
     if (d.duplicate) {
-      ctr_fault_duplicated_->inc();
+      ++counters_of(from).fault_duplicated;
       // EventAction is move-only; both copies run the same shared action
       // (at-least-once delivery of an unreliable network).
       auto shared = std::make_shared<sim::EventAction>(std::move(on_delivery));
-      schedule_delivery(to, kind, arrival, [shared] { (*shared)(); });
-      schedule_delivery(to, kind, arrival + d.duplicate_extra_delay_s,
+      schedule_delivery(from, to, kind, arrival, [shared] { (*shared)(); });
+      schedule_delivery(from, to, kind, arrival + d.duplicate_extra_delay_s,
                         [shared] { (*shared)(); });
       return;
     }
   }
-  schedule_delivery(to, kind, arrival, std::move(on_delivery));
+  schedule_delivery(from, to, kind, arrival, std::move(on_delivery));
 }
 
 // ---------------------------------------------------------------------------
@@ -430,33 +683,32 @@ void UpdateEngine::send_reliable(NodeId from, NodeId to, net::MessageKind kind,
 
 void UpdateEngine::reliable_attempt(const std::shared_ptr<ReliableState>& st,
                                     int attempt) {
-  obs::ProfileScope scope(profiler_, ps_send_);
-  const sim::SimTime now = sim_->now();
+  obs::ProfileScope scope(event_profiler_, ps_send_);
+  const sim::SimTime now = sim_of(st->from).now();
   const sim::SimTime depart = uplink_of(st->from).reserve(now, st->size_kb);
   const sim::SimTime delay = draw_latency(st->from, st->to);
-  meter_.record(st->kind, st->from, nodes_->distance_km(st->from, st->to),
-                st->size_kb);
+  meter_of(st->from).record(st->kind, st->from,
+                            nodes_->distance_km(st->from, st->to), st->size_kb);
   sim::SimTime arrival = depart + delay;
 
   bool lost = false;
-  if (injector_ != nullptr) {
-    const fault::Injector::Decision d =
-        injector_->decide(st->from, st->to, now);
+  if (fault::Injector* injector = injector_of(st->from)) {
+    const fault::Injector::Decision d = injector->decide(st->from, st->to, now);
     if (d.drop) {
       lost = true;
-      record_injected_drop(d.partitioned, st->to);
+      record_injected_drop(d.partitioned, st->from, st->to);
     } else {
       arrival += d.extra_delay_s;
       if (d.duplicate) {
-        ctr_fault_duplicated_->inc();
-        schedule_delivery(st->to, st->kind,
+        ++counters_of(st->from).fault_duplicated;
+        schedule_delivery(st->from, st->to, st->kind,
                           arrival + d.duplicate_extra_delay_s,
                           [this, st] { reliable_deliver(st); });
       }
     }
   }
   if (!lost) {
-    schedule_delivery(st->to, st->kind, arrival,
+    schedule_delivery(st->from, st->to, st->kind, arrival,
                       [this, st] { reliable_deliver(st); });
   }
 
@@ -465,7 +717,7 @@ void UpdateEngine::reliable_attempt(const std::shared_ptr<ReliableState>& st,
   const sim::SimTime deadline =
       config_.reliable.ack_timeout_s *
       std::pow(config_.reliable.backoff_factor, attempt);
-  sim_->at(now + deadline, kTagRetry, [this, st, attempt] {
+  sim_of(st->from).at(now + deadline, kTagRetry, [this, st, attempt] {
     if (st->acked) return;
     // A crashed sender retransmits nothing; churn resync covers its state.
     if (st->from != kProviderNode &&
@@ -473,13 +725,13 @@ void UpdateEngine::reliable_attempt(const std::shared_ptr<ReliableState>& st,
       return;
     }
     if (attempt >= config_.reliable.max_retries) {
-      ctr_reliable_give_ups_->inc();
+      ++counters_of(st->from).reliable_give_ups;
       if (config_.record_trace_events) {
-        trace_.instant("give_up", "fault", sim_->now(), st->to);
+        trace_.instant("give_up", "fault", sim_of(st->from).now(), st->to);
       }
       return;
     }
-    ctr_reliable_retries_->inc();
+    ++counters_of(st->from).reliable_retries;
     reliable_attempt(st, attempt + 1);
   });
 }
@@ -495,26 +747,27 @@ void UpdateEngine::reliable_deliver(const std::shared_ptr<ReliableState>& st) {
 }
 
 void UpdateEngine::send_ack(const std::shared_ptr<ReliableState>& st) {
-  obs::ProfileScope scope(profiler_, ps_send_);
-  const sim::SimTime now = sim_->now();
+  obs::ProfileScope scope(event_profiler_, ps_send_);
+  // The ack travels to -> from; st->to is the sender here.
+  const sim::SimTime now = sim_of(st->to).now();
   const sim::SimTime depart =
       uplink_of(st->to).reserve(now, config_.light_packet_kb);
   const sim::SimTime delay = draw_latency(st->to, st->from);
-  meter_.record(net::MessageKind::kAck, st->to,
-                nodes_->distance_km(st->to, st->from), config_.light_packet_kb);
+  meter_of(st->to).record(net::MessageKind::kAck, st->to,
+                          nodes_->distance_km(st->to, st->from),
+                          config_.light_packet_kb);
   sim::SimTime arrival = depart + delay;
-  if (injector_ != nullptr) {
-    const fault::Injector::Decision d =
-        injector_->decide(st->to, st->from, now);
+  if (fault::Injector* injector = injector_of(st->to)) {
+    const fault::Injector::Decision d = injector->decide(st->to, st->from, now);
     if (d.drop) {
-      record_injected_drop(d.partitioned, st->from);
+      record_injected_drop(d.partitioned, st->to, st->from);
       return;
     }
     arrival += d.extra_delay_s;
     // A duplicated ack is indistinguishable from one: setting `acked` twice
     // is harmless, so the duplicate is simply not scheduled.
   }
-  schedule_delivery(st->from, net::MessageKind::kAck, arrival,
+  schedule_delivery(st->to, st->from, net::MessageKind::kAck, arrival,
                     [st] { st->acked = true; });
 }
 
@@ -525,18 +778,18 @@ void UpdateEngine::send_ack(const std::shared_ptr<ReliableState>& st) {
 void UpdateEngine::schedule_brownouts() {
   if (injector_ == nullptr) return;
   for (const fault::Brownout& b : injector_->plan().brownouts) {
-    sim_->at(b.start, kTagFault, [this, b] {
+    sim_of(b.node).at(b.start, kTagFault, [this, b] {
       uplink_of(b.node).set_bandwidth_scale(b.bandwidth_factor);
-      ctr_fault_brownouts_->inc();
+      ++counters_of(b.node).fault_brownouts;
       if (config_.record_trace_events) {
-        trace_.instant("brownout_start", "fault", sim_->now(), b.node);
+        trace_.instant("brownout_start", "fault", sim_of(b.node).now(), b.node);
       }
     });
-    sim_->at(b.end, kTagFault, [this, b] {
+    sim_of(b.node).at(b.end, kTagFault, [this, b] {
       uplink_of(b.node).set_bandwidth_scale(1.0);
-      ctr_fault_brownouts_->inc();
+      ++counters_of(b.node).fault_brownouts;
       if (config_.record_trace_events) {
-        trace_.instant("brownout_end", "fault", sim_->now(), b.node);
+        trace_.instant("brownout_end", "fault", sim_of(b.node).now(), b.node);
       }
     });
   }
@@ -546,34 +799,41 @@ void UpdateEngine::schedule_brownouts() {
 // Version bookkeeping and propagation
 // ---------------------------------------------------------------------------
 
-Version UpdateEngine::node_version(NodeId node) const {
-  if (node == kProviderNode) return provider_->true_version_at(sim_->now());
+Version UpdateEngine::node_version(NodeId node) {
+  if (node == kProviderNode) {
+    return provider_->true_version_at(sim_of(kProviderNode).now());
+  }
   return servers_[static_cast<std::size_t>(node)]->version;
 }
 
 void UpdateEngine::acquire_version(ServerState& s, Version v) {
   if (v <= s.version) return;
+  // Pending visits observed the pre-update content; flush them before the
+  // version moves (no-op while the server pumps per-visit events).
+  catch_up_visits(s);
+  const sim::SimTime now = sim_of(s.id).now();
   s.version = v;
-  s.recorder.on_version(v, sim_->now());
+  s.recorder.on_version(v, now);
   s.last_known_update_time = updates_->update_time(v);
-  ctr_acquired_[method_index(s.method)]->inc();
+  ++counters_of(s.id).acquired[method_index(s.method)];
   // The inconsistency window for version v at this replica: origin update
   // time to local acquisition (sim time on both ends — deterministic).
-  hist_inconsistency_->observe(sim_->now() - s.last_known_update_time);
+  s.inconsistency.observe(now - s.last_known_update_time);
   if (config_.record_trace_events) {
     trace_.complete("v" + std::to_string(v),
                     std::string(to_string(s.method)),
-                    s.last_known_update_time, sim_->now(), s.id);
+                    s.last_known_update_time, now, s.id);
   }
   propagate_to_children(s.id, v);
+  resync_visits(s);
 }
 
 /// Sends invalidation notices for version v to this parent's
 /// notice-receiving children (plain Invalidation children always; subscribed
 /// self-adaptive children once per subscription).
 void UpdateEngine::notify_children(NodeId node, Version v) {
-  obs::ProfileScope scope(profiler_, ps_invalidate_);
-  auto& subs = subscriptions_[node];
+  obs::ProfileScope scope(event_profiler_, ps_invalidate_);
+  SubscriptionState& subs = subs_of(node);
   for (NodeId c : infra_.children_of(node)) {
     const UpdateMethod m = infra_.method_of(c);
     ServerState& child = *servers_[static_cast<std::size_t>(c)];
@@ -592,7 +852,7 @@ void UpdateEngine::notify_children(NodeId node, Version v) {
 }
 
 void UpdateEngine::propagate_to_children(NodeId node, Version v) {
-  obs::ProfileScope scope(profiler_, ps_push_);
+  obs::ProfileScope scope(event_profiler_, ps_push_);
   for (NodeId c : infra_.children_of(node)) {
     if (infra_.method_of(c) == UpdateMethod::kPush) {
       ServerState& child = *servers_[static_cast<std::size_t>(c)];
@@ -611,14 +871,20 @@ void UpdateEngine::on_provider_update(Version v) {
 // Parent-side request handling
 // ---------------------------------------------------------------------------
 
-void UpdateEngine::handle_poll_at_parent(NodeId parent, NodeId child) {
-  obs::ProfileScope scope(profiler_, ps_poll_);
+void UpdateEngine::handle_poll_at_parent(NodeId parent, NodeId child,
+                                         Version child_version_sent) {
+  obs::ProfileScope scope(event_profiler_, ps_poll_);
   ServerState& child_state = *servers_[static_cast<std::size_t>(child)];
-  const Version child_version = child_state.version;
+  // Classic engines compare against the child's live version (an
+  // idealization — the request does not carry it — that the golden pins
+  // depend on). Sharded engines use the version the request was sent with:
+  // the child's state may move concurrently on another lane.
+  const Version child_version =
+      sharded_ ? child_version_sent : child_state.version;
   Version v;
   if (parent == kProviderNode) {
     // Origin staleness (Section 3.4.2) is visible to pollers.
-    v = provider_->served_version_at(sim_->now());
+    v = provider_->served_version_at(sim_of(parent).now());
   } else {
     v = servers_[static_cast<std::size_t>(parent)]->version;
   }
@@ -631,8 +897,8 @@ void UpdateEngine::handle_poll_at_parent(NodeId parent, NodeId child) {
 }
 
 void UpdateEngine::handle_fetch_at_parent(NodeId parent, NodeId child) {
-  obs::ProfileScope scope(profiler_, ps_fetch_);
-  auto& subs = subscriptions_[parent];
+  obs::ProfileScope scope(event_profiler_, ps_fetch_);
+  SubscriptionState& subs = subs_of(parent);
   if (infra_.method_of(child) == UpdateMethod::kRateAdaptive) {
     // Rate-adaptive children stay subscribed across fetches; clearing the
     // notified flag re-arms the aggregated notice for the next update.
@@ -658,7 +924,7 @@ void UpdateEngine::handle_fetch_at_parent(NodeId parent, NodeId child) {
 }
 
 void UpdateEngine::answer_fetch(NodeId parent, NodeId child) {
-  obs::ProfileScope scope(profiler_, ps_fetch_);
+  obs::ProfileScope scope(event_profiler_, ps_fetch_);
   const Version v = node_version(parent);
   ServerState& child_state = *servers_[static_cast<std::size_t>(child)];
   send(parent, child, net::MessageKind::kFetchResponse, config_.update_packet_kb,
@@ -671,7 +937,8 @@ void UpdateEngine::answer_fetch(NodeId parent, NodeId child) {
 
 sim::SimTime UpdateEngine::current_ttl(const ServerState& s) const {
   if (s.method == UpdateMethod::kAdaptiveTtl) {
-    const double age = std::max(0.0, sim_->now() - s.last_known_update_time);
+    const double age =
+        std::max(0.0, sim_of(s.id).now() - s.last_known_update_time);
     return std::clamp(config_.method.adaptive_factor * age,
                       config_.method.adaptive_min_ttl_s,
                       config_.method.adaptive_max_ttl_s);
@@ -683,15 +950,16 @@ void UpdateEngine::start_server(ServerState& s) {
   if (!uses_polling(s.method)) return;
   ServerState* sp = &s;
   s.poll_timer = std::make_unique<sim::PeriodicTimer>(
-      *sim_, config_.method.server_ttl_s, [this, sp] { poll_tick(*sp); },
+      sim_of(s.id), config_.method.server_ttl_s, [this, sp] { poll_tick(*sp); },
       kTagPollTick);
   // Servers start with uniformly random phase in [0, TTL) — the paper's
-  // assumption behind E[I] = TTL/2 (Section 3.4.1).
+  // assumption behind E[I] = TTL/2 (Section 3.4.1). Prepare-phase draw:
+  // always from the engine RNG, so the stream prefix is shard-invariant.
   s.poll_timer->start_after(rng_.uniform(0.0, config_.method.server_ttl_s));
   if (s.method == UpdateMethod::kRateAdaptive) {
     s.adapt_timer = std::make_unique<sim::PeriodicTimer>(
-        *sim_, config_.method.rate_window_s, [this, sp] { rate_adapt_tick(*sp); },
-        kTagAdaptTick);
+        sim_of(s.id), config_.method.rate_window_s,
+        [this, sp] { rate_adapt_tick(*sp); }, kTagAdaptTick);
     s.adapt_timer->start();
   }
 }
@@ -701,10 +969,12 @@ void UpdateEngine::start_server(ServerState& s) {
 /// cheaper mode — TTL polling when visitors keep pace with updates,
 /// invalidation subscription otherwise.
 void UpdateEngine::rate_adapt_tick(ServerState& s) {
-  if (sim_->now() >= end_time_) {
+  if (sim_of(s.id).now() >= end_time_) {
     s.adapt_timer->stop();
     return;
   }
+  // The controller reads visits_in_window: count the backlog first.
+  catch_up_visits(s);
   const auto updates = static_cast<double>(
       std::max<Version>(s.version, s.invalid_known) - s.version_at_window_start);
   const auto visits = static_cast<double>(s.visits_in_window);
@@ -724,46 +994,51 @@ void UpdateEngine::rate_adapt_tick(ServerState& s) {
 /// Leaves invalidation mode: notifies the parent (unsubscribe), resumes the
 /// poll timer, and repairs any known staleness immediately.
 void UpdateEngine::switch_to_ttl_mode(ServerState& s) {
-  obs::ProfileScope scope(profiler_, ps_mode_switch_);
+  obs::ProfileScope scope(event_profiler_, ps_mode_switch_);
+  catch_up_visits(s);
   s.sa_in_invalidation_mode = false;
-  ctr_mode_switches_->inc();
+  ++counters_of(s.id).mode_switches;
   if (config_.record_trace_events) {
     trace_.instant("switch_to_ttl", std::string(to_string(s.method)),
-                   sim_->now(), s.id);
+                   sim_of(s.id).now(), s.id);
   }
   const NodeId parent = infra_.parent_of(s.id);
   const NodeId self = s.id;
   send(self, parent, net::MessageKind::kSwitchNotice, config_.light_packet_kb,
        [this, parent, self] {
-         auto& subs = subscriptions_[parent];
+         SubscriptionState& subs = subs_of(parent);
          subs.subscribers.erase(self);
          subs.notified.erase(self);
        });
-  if (s.poll_timer) s.poll_timer->start_after(rng_.uniform(
+  if (s.poll_timer) s.poll_timer->start_after(rng_of(s.id).uniform(
       0.0, config_.method.server_ttl_s));
   if (s.invalid_known > s.version && !s.fetch_in_flight) begin_fetch(s);
+  resync_visits(s);
 }
 
 void UpdateEngine::poll_tick(ServerState& s) {
-  obs::ProfileScope scope(profiler_, ps_poll_);
-  if (sim_->now() >= end_time_) {
+  obs::ProfileScope scope(event_profiler_, ps_poll_);
+  if (sim_of(s.id).now() >= end_time_) {
     s.poll_timer->stop();
     return;
   }
   if (s.method == UpdateMethod::kAdaptiveTtl) {
     s.poll_timer->set_period(current_ttl(s));
   }
-  if (s.departed) return;                // crashed: no activity at all
-  if (s.absent_at(sim_->now())) return;  // overloaded/failed: poll skipped
-  ctr_polls_[method_index(s.method)]->inc();
+  if (s.departed) return;                      // crashed: no activity at all
+  if (s.absent_at(sim_of(s.id).now())) return;  // overloaded: poll skipped
+  ++counters_of(s.id).polls[method_index(s.method)];
   const NodeId parent = infra_.parent_of(s.id);
   const NodeId self = s.id;
+  const Version vsent = s.version;
   send(self, parent, net::MessageKind::kPollRequest, config_.light_packet_kb,
-       [this, parent, self] { handle_poll_at_parent(parent, self); });
+       [this, parent, self, vsent] {
+         handle_poll_at_parent(parent, self, vsent);
+       });
 }
 
 void UpdateEngine::on_poll_response(ServerState& s, Version v, bool fresh) {
-  obs::ProfileScope scope(profiler_, ps_poll_);
+  obs::ProfileScope scope(event_profiler_, ps_poll_);
   if (fresh) {
     acquire_version(s, v);
     return;
@@ -775,49 +1050,59 @@ void UpdateEngine::on_poll_response(ServerState& s, Version v, bool fresh) {
 }
 
 void UpdateEngine::switch_to_invalidation_mode(ServerState& s) {
-  obs::ProfileScope scope(profiler_, ps_mode_switch_);
+  obs::ProfileScope scope(event_profiler_, ps_mode_switch_);
+  catch_up_visits(s);
   s.sa_in_invalidation_mode = true;
-  ctr_mode_switches_->inc();
+  ++counters_of(s.id).mode_switches;
   if (config_.record_trace_events) {
     trace_.instant("switch_to_invalidation", std::string(to_string(s.method)),
-                   sim_->now(), s.id);
+                   sim_of(s.id).now(), s.id);
   }
   if (s.poll_timer) s.poll_timer->stop();
   const NodeId parent = infra_.parent_of(s.id);
   const NodeId self = s.id;
+  const Version vsent = s.version;
   send(self, parent, net::MessageKind::kSwitchNotice, config_.light_packet_kb,
-       [this, parent, self] {
-         auto& subs = subscriptions_[parent];
+       [this, parent, self, vsent] {
+         SubscriptionState& subs = subs_of(parent);
          subs.subscribers.insert(self);
          subs.notified.erase(self);
          // If the parent is already ahead of the child, the child missed an
          // update that happened during its last TTL window; notify at once
-         // so the next visit repairs it.
+         // so the next visit repairs it. Classic engines compare the
+         // child's live version (the old idealization the golden pins
+         // depend on); sharded ones use the version the notice carried.
          ServerState& child = *servers_[static_cast<std::size_t>(self)];
+         const Version child_version = sharded_ ? vsent : child.version;
          const Version pv = node_version(parent);
-         if (pv > child.version) {
+         if (pv > child_version) {
            subs.notified.insert(self);
            send(parent, self, net::MessageKind::kInvalidation,
                 config_.light_packet_kb,
                 [this, &child, pv] { on_invalidation(child, pv); });
          }
        });
+  resync_visits(s);
 }
 
 void UpdateEngine::on_invalidation(ServerState& s, Version v) {
-  obs::ProfileScope scope(profiler_, ps_invalidate_);
-  ctr_invalidations_[method_index(s.method)]->inc();
+  obs::ProfileScope scope(event_profiler_, ps_invalidate_);
+  // Visits before this notice saw valid content: flush them before the
+  // server turns blocked.
+  catch_up_visits(s);
+  ++counters_of(s.id).invalidations[method_index(s.method)];
   s.invalid_known = std::max(s.invalid_known, v);
   // Invalidation notices flood down to notice-receiving children (multicast
   // invalidation propagates the notice immediately, content on demand).
   notify_children(s.id, v);
+  resync_visits(s);
 }
 
 void UpdateEngine::begin_fetch(ServerState& s) {
-  obs::ProfileScope scope(profiler_, ps_fetch_);
+  obs::ProfileScope scope(event_profiler_, ps_fetch_);
   CDNSIM_EXPECTS(!s.fetch_in_flight, "fetch already in flight");
   s.fetch_in_flight = true;
-  ctr_fetches_[method_index(s.method)]->inc();
+  ++counters_of(s.id).fetches[method_index(s.method)];
   issue_fetch_request(s);
   // Fetch is a request/response RPC: the requester guards the whole exchange
   // (a lost kFetchRequest has no sender-side ack to trigger retransmission).
@@ -840,7 +1125,8 @@ void UpdateEngine::arm_fetch_guard(ServerState& s, int attempt) {
       2.0 * config_.reliable.ack_timeout_s *
       std::pow(config_.reliable.backoff_factor, attempt);
   ServerState* sp = &s;
-  sim_->at(sim_->now() + deadline, kTagRetry, [this, sp, epoch, attempt] {
+  sim_of(s.id).at(sim_of(s.id).now() + deadline, kTagRetry,
+                  [this, sp, epoch, attempt] {
     ServerState& srv = *sp;
     if (srv.fetch_epoch != epoch || !srv.fetch_in_flight || srv.departed) {
       return;
@@ -849,24 +1135,27 @@ void UpdateEngine::arm_fetch_guard(ServerState& s, int attempt) {
       give_up_fetch(srv);
       return;
     }
-    ctr_reliable_retries_->inc();
+    ++counters_of(srv.id).reliable_retries;
     issue_fetch_request(srv);
     arm_fetch_guard(srv, attempt + 1);
   });
 }
 
 void UpdateEngine::give_up_fetch(ServerState& s) {
-  ctr_reliable_give_ups_->inc();
+  ++counters_of(s.id).reliable_give_ups;
+  const sim::SimTime now = sim_of(s.id).now();
   if (config_.record_trace_events) {
-    trace_.instant("give_up", "fault", sim_->now(), s.id);
+    trace_.instant("give_up", "fault", now, s.id);
   }
   s.fetch_in_flight = false;
   // Users caught waiting on the abandoned fetch see a failed request, the
-  // same observable outcome as a server crash mid-fetch.
+  // same observable outcome as a server crash mid-fetch. (No visit hooks:
+  // the server stays blocked — invalid_known still ahead — so the pump
+  // keeps firing, and the next pump visit re-triggers the fetch.)
   for (const auto& w : s.waiting_users) {
     cdn::UserObservation obs;
     obs.request_time = w.request_time;
-    obs.serve_time = sim_->now();
+    obs.serve_time = now;
     obs.server = s.id;
     obs.redirected = w.redirected;
     obs.answered = false;
@@ -877,7 +1166,7 @@ void UpdateEngine::give_up_fetch(ServerState& s) {
 }
 
 void UpdateEngine::on_fetch_response(ServerState& s, Version v) {
-  obs::ProfileScope scope(profiler_, ps_fetch_);
+  obs::ProfileScope scope(event_profiler_, ps_fetch_);
   s.fetch_in_flight = false;
   acquire_version(s, v);
   if (s.invalidation_active() && s.invalid_known > s.version) {
@@ -891,16 +1180,21 @@ void UpdateEngine::on_fetch_response(ServerState& s, Version v) {
     s.sa_in_invalidation_mode = false;
     if (s.poll_timer) s.poll_timer->start_after(config_.method.server_ttl_s);
   }
+  const sim::SimTime now = sim_of(s.id).now();
   // Serve users that were waiting on this fetch.
   auto waiting = std::move(s.waiting_users);
   s.waiting_users.clear();
   for (const auto& w : waiting) {
-    deliver_to_user(s, *w.user, w.request_time, sim_->now(), w.redirected);
+    deliver_to_user(s, *w.user, w.request_time, now, w.redirected);
   }
   // Answer children whose fetches were queued behind ours.
   auto pending = std::move(s.pending_child_fetches);
   s.pending_child_fetches.clear();
   for (NodeId c : pending) answer_fetch(s.id, c);
+  // acquire_version resynced already; the mode switch-back above cannot
+  // change blockedness (it only happens with no staleness left), so this is
+  // a harmless safety net.
+  resync_visits(s);
 }
 
 // ---------------------------------------------------------------------------
@@ -926,6 +1220,8 @@ void UpdateEngine::schedule_next_failure() {
 
 void UpdateEngine::fail_node(ServerState& s) {
   CDNSIM_EXPECTS(!s.departed, "server already failed");
+  // Visits before the crash saw the live server.
+  catch_up_visits(s);
   ++failures_injected_;
   s.departed = true;
   if (config_.record_trace_events) {
@@ -955,9 +1251,12 @@ void UpdateEngine::fail_node(ServerState& s) {
       std::max(1.0, rng_.exponential(config_.churn.downtime_mean_s));
   ServerState* sp = &s;
   sim_->at(sim_->now() + downtime, kTagChurn, [this, sp] { restore_node(*sp); });
+  resync_visits(s);
 }
 
 void UpdateEngine::restore_node(ServerState& s) {
+  // Visits during the outage were unanswered; count them before the flip.
+  catch_up_visits(s);
   s.departed = false;
   if (config_.record_trace_events) {
     trace_.instant("restore", "churn", sim_->now(), s.id);
@@ -973,15 +1272,18 @@ void UpdateEngine::restore_node(ServerState& s) {
   // Anti-entropy on rejoin: fetch the current content from the parent so
   // push-based subtrees do not stay permanently behind.
   begin_fetch(s);
+  resync_visits(s);
 }
 
 void UpdateEngine::apply_repair(const RepairReport& report) {
-  obs::ProfileScope scope(profiler_, ps_repair_);
+  obs::ProfileScope scope(event_profiler_, ps_repair_);
   for (const RepairEdge& edge : report.new_edges) {
-    meter_.record(net::MessageKind::kTreeMaintenance, edge.child,
-                  nodes_->distance_km(edge.child, edge.new_parent),
-                  config_.light_packet_kb);
+    meter_of(edge.child).record(net::MessageKind::kTreeMaintenance, edge.child,
+                                nodes_->distance_km(edge.child, edge.new_parent),
+                                config_.light_packet_kb);
     ServerState& child = *servers_[static_cast<std::size_t>(edge.child)];
+    // Re-parenting can change the child's method (and with it blockedness).
+    catch_up_visits(child);
     child.method = infra_.method_of(child.id);
     // A fetch aimed at the failed parent would never complete: re-issue it
     // toward the new parent.
@@ -993,7 +1295,7 @@ void UpdateEngine::apply_repair(const RepairReport& report) {
     // parent (their old subscription died with the failed node).
     if (child.method == UpdateMethod::kSelfAdaptive &&
         child.sa_in_invalidation_mode) {
-      auto& subs = subscriptions_[edge.new_parent];
+      SubscriptionState& subs = subs_of(edge.new_parent);
       subs.subscribers.insert(child.id);
       subs.notified.erase(child.id);
     }
@@ -1007,14 +1309,17 @@ void UpdateEngine::apply_repair(const RepairReport& report) {
              config_.update_packet_kb, [this, cp, v] { acquire_version(*cp, v); });
       }
     }
+    resync_visits(child);
   }
   if (report.promoted_supernode) {
     ServerState& sn =
         *servers_[static_cast<std::size_t>(*report.promoted_supernode)];
+    catch_up_visits(sn);
     sn.method = UpdateMethod::kPush;
     sn.sa_in_invalidation_mode = false;
     ensure_polling(sn);  // stops the poll timer (Push does not poll)
     if (!sn.departed && !sn.fetch_in_flight) begin_fetch(sn);
+    resync_visits(sn);
   }
 }
 
@@ -1027,15 +1332,15 @@ void UpdateEngine::ensure_polling(ServerState& s) {
   ServerState* sp = &s;
   if (!s.poll_timer) {
     s.poll_timer = std::make_unique<sim::PeriodicTimer>(
-        *sim_, config_.method.server_ttl_s, [this, sp] { poll_tick(*sp); },
+        sim_of(s.id), config_.method.server_ttl_s, [this, sp] { poll_tick(*sp); },
         kTagPollTick);
   }
   s.poll_timer->set_period(config_.method.server_ttl_s);
-  s.poll_timer->start_after(rng_.uniform(0.0, config_.method.server_ttl_s));
+  s.poll_timer->start_after(rng_of(s.id).uniform(0.0, config_.method.server_ttl_s));
   if (s.method == UpdateMethod::kRateAdaptive) {
     if (!s.adapt_timer) {
       s.adapt_timer = std::make_unique<sim::PeriodicTimer>(
-          *sim_, config_.method.rate_window_s,
+          sim_of(s.id), config_.method.rate_window_s,
           [this, sp] { rate_adapt_tick(*sp); }, kTagAdaptTick);
     }
     if (!s.adapt_timer->running()) s.adapt_timer->start();
@@ -1043,7 +1348,7 @@ void UpdateEngine::ensure_polling(ServerState& s) {
 }
 
 // ---------------------------------------------------------------------------
-// Users
+// Users — legacy per-visit path
 // ---------------------------------------------------------------------------
 
 void UpdateEngine::start_users() {
@@ -1073,12 +1378,24 @@ void UpdateEngine::start_users() {
       u->home_server = static_cast<NodeId>(i / config_.users_per_server);
       u->location = nodes_->location(u->home_server);
     }
-    UserState* up = u.get();
-    u->visit_timer = std::make_unique<sim::PeriodicTimer>(
-        *sim_, config_.user_poll_period_s, [this, up] { user_visit(*up); },
-        kTagUserVisit);
-    u->visit_timer->start_after(rng_.uniform(0.0, config_.user_start_window_s));
+    if (!visit_batching_) {
+      UserState* up = u.get();
+      u->visit_timer = std::make_unique<sim::PeriodicTimer>(
+          *sim_, config_.user_poll_period_s, [this, up] { user_visit(*up); },
+          kTagUserVisit);
+      u->visit_timer->start_after(rng_.uniform(0.0, config_.user_start_window_s));
+    }
     users_.push_back(std::move(u));
+  }
+
+  if (visit_batching_) {
+    // build_visit_schedule draws the per-user phases in user-id order —
+    // exactly the draws the timer setup above would have made, so the
+    // engine RNG advances identically on both paths.
+    visit_plan_ = std::make_unique<trace::VisitSchedule>(trace::build_visit_schedule(
+        servers_.size(), config_.users_per_server, config_.user_poll_period_s,
+        config_.user_start_window_s, end_time_, rng_));
+    for (auto& s : servers_) schedule_visit_event(*s);
   }
 }
 
@@ -1087,18 +1404,18 @@ void UpdateEngine::user_visit(UserState& u) {
     u.visit_timer->stop();
     return;
   }
-  ctr_visits_->inc();
   NodeId target = u.home_server;
   if (config_.user_attachment == UserAttachment::kSwitchEveryVisit) {
     target = static_cast<NodeId>(rng_.index(servers_.size()));
   } else if (config_.user_attachment == UserAttachment::kDnsCache) {
     target = dns_->resolve(u.id, sim_->now()).server;
   }
+  ++counters_of(target).visits;
   const bool redirected = u.last_server != -2 && target != u.last_server;
   u.last_server = target;
   ServerState& s = *servers_[static_cast<std::size_t>(target)];
   if (s.departed || s.absent_at(sim_->now())) {
-    ctr_visits_unanswered_->inc();
+    ++counters_of(target).visits_unanswered;
     cdn::UserObservation obs;
     obs.request_time = obs.serve_time = sim_->now();
     obs.server = target;
@@ -1123,7 +1440,7 @@ void UpdateEngine::serve_user(ServerState& s, UserState& u, sim::SimTime request
     if (!s.fetch_in_flight) begin_fetch(s);
     return;
   }
-  deliver_to_user(s, u, request_time, sim_->now(), redirected);
+  deliver_to_user(s, u, request_time, sim_of(s.id).now(), redirected);
 }
 
 void UpdateEngine::deliver_to_user(ServerState& s, UserState& u,
@@ -1144,42 +1461,314 @@ void UpdateEngine::deliver_to_user(ServerState& s, UserState& u,
 }
 
 // ---------------------------------------------------------------------------
+// Users — batched path
+// ---------------------------------------------------------------------------
+
+// A "blocked" server must see visits at their exact arrival times: each one
+// joins waiting_users and may trigger a fetch, so bulk processing would
+// change behaviour. Everywhere else a pinned-local visit is a pure read.
+bool UpdateEngine::visit_pump_needed(const ServerState& s) const {
+  return !s.departed && s.invalidation_active() && s.invalid_known > s.version;
+}
+
+void UpdateEngine::catch_up_visits(ServerState& s) {
+  catch_up_visits_until(s, sim_of(s.id).now());
+}
+
+// Bulk-processes the server's pending visits strictly before `upto`.
+// Callers invoke this immediately BEFORE any mutation of user-visible
+// server state (version, invalid_known, departed, method), so every visit
+// in the backlog is evaluated against the state that held when it arrived.
+void UpdateEngine::catch_up_visits_until(ServerState& s, sim::SimTime upto) {
+  if (!visit_batching_) return;
+  const trace::VisitSchedule::PerServer& plan =
+      visit_plan_->servers[static_cast<std::size_t>(s.id)];
+  std::size_t i = s.visit_cursor;
+  const std::size_t n = plan.times.size();
+  if (i >= n || plan.times[i] >= upto) return;
+  // A blocked server runs in pump mode, which keeps the cursor current —
+  // so the early return above always fires first for it. (Order matters:
+  // this guard must come after that return, not before.)
+  CDNSIM_EXPECTS(!visit_pump_needed(s),
+                 "bulk visit walk while the server is blocked");
+  const bool rate_adaptive = s.method == UpdateMethod::kRateAdaptive;
+  const bool record_logs = config_.record_user_logs;
+  std::uint64_t visits = 0;
+  std::uint64_t unanswered = 0;
+  std::uint64_t in_window = 0;
+  const Version version = s.version;
+  while (i < n && plan.times[i] < upto) {
+    const sim::SimTime t = plan.times[i];
+    UserState& u = *users_[plan.users[i]];
+    ++visits;
+    u.last_server = s.id;  // pinned attachment: never a redirect
+    if (s.departed || s.absent_at(t)) {
+      ++unanswered;
+      if (record_logs) {
+        cdn::UserObservation obs;
+        obs.request_time = obs.serve_time = t;
+        obs.server = s.id;
+        obs.version = 0;
+        obs.redirected = false;
+        obs.answered = false;
+        user_logs_->log(u.id).add(obs);
+      }
+    } else {
+      if (rate_adaptive) ++in_window;
+      if (record_logs) {
+        cdn::UserObservation obs;
+        obs.request_time = t;
+        obs.serve_time = t;
+        obs.server = s.id;
+        obs.version = version;
+        obs.redirected = false;
+        obs.answered = true;
+        user_logs_->log(u.id).add(obs);
+      }
+      if (version > u.max_seen) u.max_seen = version;
+    }
+    ++i;
+  }
+  s.visit_cursor = i;
+  LaneCounters& c = counters_of(s.id);
+  c.visits += visits;
+  c.visits_unanswered += unanswered;
+  s.visits_in_window += in_window;
+}
+
+// Called immediately AFTER any state mutation that may change blockedness:
+// re-arms the server's next visit event in the right mode.
+void UpdateEngine::resync_visits(ServerState& s) {
+  if (!visit_batching_) return;
+  const trace::VisitSchedule::PerServer& plan =
+      visit_plan_->servers[static_cast<std::size_t>(s.id)];
+  if (s.visit_cursor >= plan.times.size()) {
+    if (s.visit_event.pending()) s.visit_event.cancel();
+    return;
+  }
+  const bool pump = visit_pump_needed(s);
+  if (pump == s.visit_pumping && s.visit_event.pending()) return;
+  schedule_visit_event(s);
+}
+
+void UpdateEngine::schedule_visit_event(ServerState& s) {
+  if (s.visit_event.pending()) s.visit_event.cancel();
+  const trace::VisitSchedule::PerServer& plan =
+      visit_plan_->servers[static_cast<std::size_t>(s.id)];
+  if (s.visit_cursor >= plan.times.size()) {
+    s.visit_pumping = false;
+    return;
+  }
+  const sim::SimTime next = plan.times[s.visit_cursor];
+  s.visit_pumping = visit_pump_needed(s);
+  ServerState* sp = &s;
+  if (s.visit_pumping) {
+    // Blocked: the next visit must fire at its exact arrival time.
+    s.visit_event = sim_of(s.id).at(next, kTagUserVisit,
+                                    [this, sp] { pump_visit(*sp); });
+    return;
+  }
+  // Unblocked: one flush event at the epoch boundary after the next visit.
+  const double epoch = config_.visit_batch_epoch_s;
+  sim::SimTime boundary = (std::floor(next / epoch) + 1.0) * epoch;
+  if (boundary <= next) boundary = next + epoch;
+  if (boundary >= end_time_) return;  // the horizon flush covers the tail
+  s.visit_event = sim_of(s.id).at(boundary, kTagVisitBatch,
+                                  [this, sp] { visit_batch_event(*sp); });
+}
+
+void UpdateEngine::visit_batch_event(ServerState& s) {
+  catch_up_visits(s);
+  schedule_visit_event(s);
+}
+
+// One visit at its exact arrival time — the blocked-server slow path,
+// mirroring the legacy user_visit() for a pinned user.
+void UpdateEngine::pump_visit(ServerState& s) {
+  const trace::VisitSchedule::PerServer& plan =
+      visit_plan_->servers[static_cast<std::size_t>(s.id)];
+  CDNSIM_EXPECTS(s.visit_cursor < plan.times.size(), "pump past the schedule");
+  const sim::SimTime now = sim_of(s.id).now();
+  UserState& u = *users_[plan.users[s.visit_cursor]];
+  ++s.visit_cursor;
+  ++counters_of(s.id).visits;
+  u.last_server = s.id;
+  if (s.departed || s.absent_at(now)) {
+    ++counters_of(s.id).visits_unanswered;
+    if (config_.record_user_logs) {
+      cdn::UserObservation obs;
+      obs.request_time = obs.serve_time = now;
+      obs.server = s.id;
+      obs.version = 0;
+      obs.redirected = false;
+      obs.answered = false;
+      user_logs_->log(u.id).add(obs);
+    }
+  } else {
+    serve_user(s, u, now, false);
+  }
+  schedule_visit_event(s);
+}
+
+// Horizon handling for one server: stop periodic activity and flush the
+// tail of the visit schedule (every scheduled visit is < end_time_).
+void UpdateEngine::horizon_server(ServerState& s) {
+  if (s.poll_timer) s.poll_timer->stop();
+  if (s.adapt_timer) s.adapt_timer->stop();
+  if (!visit_batching_) return;
+  catch_up_visits_until(s, end_time_);
+  if (s.visit_event.pending()) s.visit_event.cancel();
+  s.visit_pumping = false;
+}
+
+// ---------------------------------------------------------------------------
 // Run
 // ---------------------------------------------------------------------------
 
 void UpdateEngine::run() {
+  if (sharded_) {
+    run_sharded();
+    publish_run_stats();
+    return;
+  }
   prepare();
   sim_->run();
   publish_run_stats();
 }
 
 void UpdateEngine::prepare() {
+  CDNSIM_EXPECTS(!sharded_,
+                 "sharded engines cannot share an external simulator; use run()");
   CDNSIM_EXPECTS(!ran_, "UpdateEngine may only be prepared/run once");
   ran_ = true;
 
   // Last engine prepared on a shared Simulator wins the profiler slot;
   // profiled runs use one engine per simulator (BatchRunner jobs).
   if (profiler_ != nullptr) sim_->attach_profiler(profiler_, tag_slots_);
+  prepare_events();
+}
 
+void UpdateEngine::prepare_events() {
   for (auto& s : servers_) start_server(*s);
   start_users();
 
   for (Version v = 1; v <= updates_->update_count(); ++v) {
     const sim::SimTime t = updates_->update_time(v);
-    sim_->at(t, kTagProviderUpdate, [this, v] { on_provider_update(v); });
+    sim_of(kProviderNode).at(t, kTagProviderUpdate,
+                             [this, v] { on_provider_update(v); });
   }
 
   schedule_next_failure();
   schedule_brownouts();
 
   // Stop all periodic activity at the horizon; in-flight messages drain.
-  sim_->at(end_time_, kTagHorizon, [this] {
-    for (auto& s : servers_) {
-      if (s->poll_timer) s->poll_timer->stop();
-      if (s->adapt_timer) s->adapt_timer->stop();
+  if (!sharded_) {
+    sim_->at(end_time_, kTagHorizon, [this] {
+      for (auto& s : servers_) horizon_server(*s);
+      for (auto& u : users_) {
+        if (u->visit_timer) u->visit_timer->stop();
+      }
+    });
+  } else {
+    for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
+      lanes_[lane].sim->at(end_time_, kTagHorizon, [this, lane] {
+        for (auto& s : servers_) {
+          if (lane_index_of(s->id) == lane) horizon_server(*s);
+        }
+      });
     }
-    for (auto& u : users_) u->visit_timer->stop();
-  });
+  }
+}
+
+void UpdateEngine::run_sharded() {
+  CDNSIM_EXPECTS(!ran_, "UpdateEngine may only be prepared/run once");
+  ran_ = true;
+  prepare_events();
+
+  const std::size_t lane_count = lanes_.size();
+  std::size_t worker_count =
+      config_.shard.workers > 0
+          ? static_cast<std::size_t>(config_.shard.workers)
+          : std::min(lane_count, util::ThreadPool::hardware_threads());
+  worker_count = std::max<std::size_t>(1, std::min(worker_count, lane_count));
+  std::unique_ptr<util::ThreadPool> pool;
+  if (worker_count > 1) pool = std::make_unique<util::ThreadPool>(worker_count);
+
+  const double epoch = config_.shard.epoch_s;
+  std::int64_t last_k = std::numeric_limits<std::int64_t>::min();
+  std::vector<std::exception_ptr> errors(lane_count);
+  for (;;) {
+    sim::SimTime min_next = std::numeric_limits<sim::SimTime>::infinity();
+    for (const Lane& lane : lanes_) {
+      if (!lane.sim->drained()) {
+        min_next = std::min(min_next, lane.sim->next_event_time());
+      }
+    }
+    if (!(min_next < std::numeric_limits<sim::SimTime>::infinity())) {
+      if (merge_->empty()) break;  // all lanes drained, nothing in flight
+    } else {
+      // The barrier is the first epoch-grid point strictly after the next
+      // event, so every event fired this round lies in a single epoch cell
+      // — whose closing grid point is exactly what per-message arrival
+      // quantization computes. The backstop keeps barriers strictly
+      // monotone even if floating point misplaces a grid-aligned event.
+      std::int64_t next_k =
+          static_cast<std::int64_t>(std::floor(min_next / epoch)) + 1;
+      if (next_k <= last_k) next_k = last_k + 1;
+      last_k = next_k;
+      const sim::SimTime barrier = static_cast<double>(next_k) * epoch;
+      if (pool) {
+        bool submitted = false;
+        for (std::size_t i = 0; i < lane_count; ++i) {
+          sim::Simulator* lane_sim = lanes_[i].sim.get();
+          if (lane_sim->drained() || !(lane_sim->next_event_time() < barrier)) {
+            continue;
+          }
+          std::exception_ptr* err = &errors[i];
+          pool->submit([lane_sim, barrier, err] {
+            try {
+              lane_sim->run_before(barrier);
+            } catch (...) {
+              *err = std::current_exception();
+            }
+          });
+          submitted = true;
+        }
+        if (submitted) pool->wait_idle();
+        for (std::exception_ptr& e : errors) {
+          if (e) std::rethrow_exception(std::exchange(e, nullptr));
+        }
+      } else {
+        for (Lane& lane : lanes_) lane.sim->run_before(barrier);
+      }
+    }
+    // Single-threaded exchange: drain every outbox in the deterministic
+    // (arrival, sender, seq) order and inject into the target lanes. Every
+    // arrival is >= the current barrier, ahead of every lane's clock.
+    obs::ProfileScope scope(profiler_, ps_shard_merge_);
+    auto messages = merge_->drain();
+    for (auto& m : messages) {
+      lanes_[m.target_lane].sim->at(m.arrival, m.tag, std::move(m.action));
+    }
+  }
+}
+
+std::uint64_t UpdateEngine::events_processed() const {
+  if (!sharded_) return sim_->events_processed();
+  std::uint64_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.sim->events_processed();
+  // The horizon flush is one logical event scheduled once per lane; count
+  // it once so the total is independent of the lane decomposition
+  // (byte-identical metrics across shard counts).
+  const std::uint64_t surplus = lanes_.size() - 1;
+  return total - std::min(total, surplus);
+}
+
+sim::SimTime UpdateEngine::final_time() const {
+  if (!sharded_) return sim_->now();
+  sim::SimTime t = 0;
+  for (const Lane& lane : lanes_) t = std::max(t, lane.sim->now());
+  return t;
 }
 
 // ---------------------------------------------------------------------------

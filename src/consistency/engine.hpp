@@ -22,9 +22,25 @@
 // All transmissions pass through the sender's Uplink (serialization and
 // queueing — the scalability mechanism of Figs. 19-20) and the latency
 // model, and are accounted by the TrafficMeter.
+//
+// Execution modes (DESIGN.md "Batched visits and intra-run sharding"):
+//  * batched visits (default for the pinned attachment): user arrivals are
+//    precomputed into per-server SoA arrays (trace::VisitSchedule) and
+//    walked in bulk — one batch event per server per epoch plus a catch-up
+//    at every server state change — instead of one event per visit. The
+//    walk is observationally identical to the per-visit path; only the
+//    sim.event* gauges (event counts) change.
+//  * intra-run sharding (shard.shards > 0): servers are partitioned into
+//    contiguous lanes, each lane an independent Simulator driven by a
+//    ThreadPool worker; every network message crosses lanes through an
+//    epoch-quantized ShardMergeQueue, and per-node RNG substreams replace
+//    the engine-global draw stream. Output is byte-identical for any shard
+//    or worker count (but not to the unsharded engine, whose message
+//    arrivals are not epoch-quantized).
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -47,6 +63,14 @@
 #include "sim/timer.hpp"
 #include "trace/absence.hpp"
 #include "trace/poll_log.hpp"
+#include "util/rng.hpp"
+
+namespace cdnsim::sim {
+class ShardMergeQueue;
+}
+namespace cdnsim::trace {
+struct VisitSchedule;
+}
 
 namespace cdnsim::consistency {
 
@@ -83,6 +107,38 @@ struct EngineConfig {
   std::size_t dns_user_count = 200;
   cdn::DnsConfig dns;
   net::PlacementConfig dns_user_placement;
+
+  /// Batched user-visit processing: precompute per-server arrival arrays
+  /// and walk them in bulk instead of one simulator event per visit.
+  /// Effective only for kPinnedLocal without a poll log (other shapes fall
+  /// back to the per-visit path). Observationally identical to the legacy
+  /// path — same draws, same observations, same counters — except for the
+  /// sim.event* gauges, which count the (far fewer) events actually fired.
+  /// The equivalence is enforced by visit_batch_equivalence_test.
+  bool visit_batching = true;
+  /// Batch flush cadence (s). Purely an execution knob: results are
+  /// flushed at every server state change and at the horizon regardless,
+  /// so any value > 0 yields identical output.
+  sim::SimTime visit_batch_epoch_s = 20.0;
+
+  /// Intra-run sharding: partition servers into `shards` contiguous groups
+  /// ("lanes"), each driven as an independent event stream on a ThreadPool
+  /// worker, with cross-lane messages exchanged through an epoch-barrier
+  /// merge queue. Requires batched visits with the pinned attachment and
+  /// no churn / poll log / trace events / shared provider uplink.
+  struct ShardConfig {
+    /// > 0 enables sharding with this many lanes (clamped to the server
+    /// count). Output is byte-identical for any positive value.
+    int shards = 0;
+    /// Barrier pitch (s): every cross-lane message arrives at the first
+    /// epoch-grid point after its send time or its network arrival,
+    /// whichever is later.
+    sim::SimTime epoch_s = 0.25;
+    /// Worker threads driving the lanes; 0 = min(shards, hardware).
+    /// Output is byte-identical for any value.
+    int workers = 0;
+  };
+  ShardConfig shard;
 
   /// Shift applied to all trace update times (the paper starts updates at
   /// t = 60 s, after users began visiting).
@@ -149,7 +205,9 @@ struct EngineConfig {
   /// shared between jobs). When set, prepare() attaches it to the Simulator
   /// with the engine's event-tag table and every engine phase opens a
   /// ProfileScope. When null — the default — the only residue is one
-  /// null-check per phase entry (the zero-cost contract).
+  /// null-check per phase entry (the zero-cost contract). Sharded runs
+  /// profile only driver-thread phases (tree build, shard.merge): the
+  /// single-threaded Profiler must not be shared with lane workers.
   obs::Profiler* profiler = nullptr;
 };
 
@@ -171,10 +229,12 @@ class UpdateEngine {
 
   /// Schedules all initial events without running the simulator — used to
   /// co-schedule several engines (contents) on one Simulator; call
-  /// Simulator::run() afterwards.
+  /// Simulator::run() afterwards. Not available for sharded engines, whose
+  /// event streams live on internal per-lane simulators.
   void prepare();
 
-  /// prepare() + run the simulation to completion.
+  /// prepare() + run the simulation to completion. Sharded engines run
+  /// their lanes here (on a ThreadPool when shard.workers != 1).
   void run();
 
   // --- results (valid after run()) ---
@@ -185,6 +245,14 @@ class UpdateEngine {
   const trace::PollLog& poll_log() const { return poll_log_; }
   std::size_t user_count() const { return users_.size(); }
   sim::SimTime end_time() const { return end_time_; }
+
+  /// Total events fired — the external Simulator's count for classic
+  /// engines, the sum over lanes for sharded ones.
+  std::uint64_t events_processed() const;
+  /// Clock position after the run: Simulator::now() for classic engines,
+  /// the max over lanes (i.e. the time of the globally last event) for
+  /// sharded ones.
+  sim::SimTime final_time() const;
 
   /// Per-server average inconsistency (Figs. 14a/15a/19/20).
   std::vector<double> server_avg_inconsistency() const;
@@ -198,16 +266,18 @@ class UpdateEngine {
   /// Churn statistics (0 when churn is disabled).
   std::size_t failures_injected() const { return failures_injected_; }
 
-  /// The engine's metric registry. Counters accumulate during the run;
-  /// run() finishes by folding in end-of-run gauges (simulator queue
-  /// stats, traffic totals, provider uplink). Engines co-scheduled via
-  /// prepare() + external Simulator::run() should call
+  /// The engine's metric registry. Populated by publish_run_stats():
+  /// counters and the inconsistency histogram accumulate per lane / per
+  /// server during the run and are folded in deterministically, then the
+  /// end-of-run gauges (simulator queue stats, traffic totals, provider
+  /// uplink) are set. run() publishes automatically; engines co-scheduled
+  /// via prepare() + external Simulator::run() must call
   /// publish_run_stats() themselves before reading this.
   const obs::MetricsRegistry& metrics() const { return metrics_; }
   /// Recorded trace events (empty unless config.record_trace_events).
   const obs::TraceRecorder& trace_events() const { return trace_; }
-  /// Copies simulator/meter/uplink end-of-run totals into metrics().
-  /// Idempotent; called automatically by run().
+  /// Folds lane counters/meters and copies simulator/meter/uplink
+  /// end-of-run totals into metrics(). Idempotent; called by run().
   void publish_run_stats();
 
  private:
@@ -215,14 +285,61 @@ class UpdateEngine {
   struct UserState;
   struct ReliableState;
 
+  /// Plain per-lane counter mirror of the registry counters. Each lane
+  /// accumulates its own copy (single-writer under sharding) and
+  /// fold_lane_stats() sums them into metrics_ — integer adds, so the fold
+  /// is exact and order-independent.
+  struct LaneCounters {
+    std::array<std::uint64_t, kUpdateMethodCount> acquired{};
+    std::array<std::uint64_t, kUpdateMethodCount> polls{};
+    std::array<std::uint64_t, kUpdateMethodCount> fetches{};
+    std::array<std::uint64_t, kUpdateMethodCount> invalidations{};
+    std::uint64_t mode_switches = 0;
+    std::uint64_t visits = 0;
+    std::uint64_t visits_unanswered = 0;
+    std::uint64_t fault_dropped = 0;
+    std::uint64_t fault_partition_dropped = 0;
+    std::uint64_t fault_duplicated = 0;
+    std::uint64_t fault_brownouts = 0;
+    std::uint64_t reliable_retries = 0;
+    std::uint64_t reliable_give_ups = 0;
+  };
+
+  /// One execution context. Classic engines have exactly one lane whose
+  /// `sim` is null (the external simulator is used); sharded engines own
+  /// one internal Simulator per lane. Cache-line aligned: counters and
+  /// meters are written concurrently by different workers.
+  struct alignas(64) Lane {
+    std::unique_ptr<sim::Simulator> sim;
+    net::TrafficMeter meter;
+    LaneCounters counters;
+  };
+
+  // lane anchoring: every helper resolves through the node that owns the
+  // execution context, so sharded handlers always touch their own lane.
+  std::size_t lane_index_of(topology::NodeId node) const {
+    return lane_of_[static_cast<std::size_t>(node + 1)];
+  }
+  sim::Simulator& sim_of(topology::NodeId node);
+  const sim::Simulator& sim_of(topology::NodeId node) const;
+  util::Rng& rng_of(topology::NodeId node);
+  fault::Injector* injector_of(topology::NodeId node);
+  net::TrafficMeter& meter_of(topology::NodeId node) {
+    return lanes_[sharded_ ? lane_index_of(node) : 0].meter;
+  }
+  LaneCounters& counters_of(topology::NodeId node) {
+    return lanes_[sharded_ ? lane_index_of(node) : 0].counters;
+  }
+
   // message transport
   void send(topology::NodeId from, topology::NodeId to, net::MessageKind kind,
             double size_kb, sim::EventAction on_delivery);
   void send_unreliable(topology::NodeId from, topology::NodeId to,
                        net::MessageKind kind, double size_kb,
                        sim::EventAction on_delivery);
-  void schedule_delivery(topology::NodeId to, net::MessageKind kind,
-                         sim::SimTime arrival, sim::EventAction action);
+  void schedule_delivery(topology::NodeId from, topology::NodeId to,
+                         net::MessageKind kind, sim::SimTime arrival,
+                         sim::EventAction action);
   sim::SimTime draw_latency(topology::NodeId from, topology::NodeId to);
   net::Uplink& uplink_of(topology::NodeId node);
   const net::GeoPoint& location_of(topology::NodeId node) const;
@@ -236,18 +353,20 @@ class UpdateEngine {
   void send_ack(const std::shared_ptr<ReliableState>& st);
 
   // fault injection
-  void record_injected_drop(bool partitioned, topology::NodeId to);
+  void record_injected_drop(bool partitioned, topology::NodeId from,
+                            topology::NodeId to);
   void schedule_brownouts();
 
   // version bookkeeping
-  trace::Version node_version(topology::NodeId node) const;  // provider = truth
+  trace::Version node_version(topology::NodeId node);  // provider = truth
   void acquire_version(ServerState& s, trace::Version v);
   void propagate_to_children(topology::NodeId node, trace::Version v);
   void notify_children(topology::NodeId node, trace::Version v);
 
   // provider side
   void on_provider_update(trace::Version v);
-  void handle_poll_at_parent(topology::NodeId parent, topology::NodeId child);
+  void handle_poll_at_parent(topology::NodeId parent, topology::NodeId child,
+                             trace::Version child_version);
   void handle_fetch_at_parent(topology::NodeId parent, topology::NodeId child);
   void answer_fetch(topology::NodeId parent, topology::NodeId child);
 
@@ -269,6 +388,7 @@ class UpdateEngine {
   // observability
   void bind_metrics();
   void bind_profiler();
+  void fold_lane_stats();
 
   // churn
   void schedule_next_failure();
@@ -277,13 +397,32 @@ class UpdateEngine {
   void apply_repair(const RepairReport& report);
   void ensure_polling(ServerState& s);
 
-  // users
+  // users — legacy per-visit path
   void start_users();
   void user_visit(UserState& u);
   void serve_user(ServerState& s, UserState& u, sim::SimTime request_time,
                   bool redirected);
   void deliver_to_user(ServerState& s, UserState& u, sim::SimTime request_time,
                        sim::SimTime serve_time, bool redirected);
+
+  // users — batched path (trace::VisitSchedule). A server's pending visits
+  // are walked in bulk whenever its user-visible state is about to change
+  // (catch_up_visits) and at epoch boundaries (visit_batch_event); while
+  // the server is "blocked" (invalidation pending, visits must fetch) the
+  // exact per-visit timing matters, so resync_visits switches the server
+  // to a per-visit pump event at the precise next arrival.
+  bool visit_pump_needed(const ServerState& s) const;
+  void catch_up_visits(ServerState& s);
+  void catch_up_visits_until(ServerState& s, sim::SimTime upto);
+  void resync_visits(ServerState& s);
+  void schedule_visit_event(ServerState& s);
+  void visit_batch_event(ServerState& s);
+  void pump_visit(ServerState& s);
+  void horizon_server(ServerState& s);
+
+  // run drivers
+  void prepare_events();
+  void run_sharded();
 
   /// Parent-side subscription bookkeeping for self-adaptive children
   /// (which children are in invalidation mode, and which were already sent
@@ -292,6 +431,7 @@ class UpdateEngine {
     std::unordered_set<topology::NodeId> subscribers;
     std::unordered_set<topology::NodeId> notified;
   };
+  SubscriptionState& subs_of(topology::NodeId node);
 
   sim::Simulator* sim_;
   const topology::NodeRegistry* nodes_;
@@ -302,7 +442,7 @@ class UpdateEngine {
   std::unique_ptr<fault::Injector> injector_;
   Infrastructure infra_;
   net::LatencyModel latency_;
-  net::TrafficMeter meter_;
+  net::TrafficMeter meter_;  // fold target; lanes meter during the run
   std::unique_ptr<cdn::Provider> provider_;
   std::unique_ptr<cdn::DnsSystem> dns_;
   net::Uplink provider_uplink_;
@@ -311,35 +451,41 @@ class UpdateEngine {
   std::vector<std::unique_ptr<UserState>> users_;
   std::unique_ptr<cdn::UserPopulationLog> user_logs_;
   std::vector<trace::AbsenceSchedule> absences_;
-  std::unordered_map<topology::NodeId, SubscriptionState> subscriptions_;
+  SubscriptionState provider_subs_;
   trace::PollLog poll_log_;
   sim::SimTime end_time_ = 0;
   std::size_t failures_injected_ = 0;
   bool ran_ = false;
 
+  // Execution mode (resolved once in the constructor).
+  bool visit_batching_ = false;
+  bool sharded_ = false;
+  std::unique_ptr<trace::VisitSchedule> visit_plan_;
+  std::vector<Lane> lanes_;                 // exactly 1 when !sharded_
+  std::vector<std::uint32_t> lane_of_;      // node id + 1 -> lane index
+  std::unique_ptr<sim::ShardMergeQueue> merge_;
+  // Sharded only: per-node run-phase RNGs / injectors (index node id + 1)
+  // replace the engine-global rng_/injector_, and per-node emission
+  // counters give merge messages their deterministic sort key.
+  std::vector<util::Rng> node_rngs_;
+  std::vector<std::unique_ptr<fault::Injector>> node_injectors_;
+  std::vector<std::uint64_t> node_send_seq_;
+
   // Observability. The registry is engine-owned (nothing shared between
-  // batch jobs); the pointers below are slots bound once in bind_metrics()
-  // so each hot-path increment is a single add through a kept reference.
+  // batch jobs). Counters accumulate in LaneCounters and per-server
+  // histograms during the run; fold_lane_stats() moves them into the
+  // registry (idempotent, deterministic order).
   obs::MetricsRegistry metrics_;
   obs::TraceRecorder trace_;
-  std::array<obs::Counter*, kUpdateMethodCount> ctr_acquired_{};
-  std::array<obs::Counter*, kUpdateMethodCount> ctr_polls_{};
-  std::array<obs::Counter*, kUpdateMethodCount> ctr_fetches_{};
-  std::array<obs::Counter*, kUpdateMethodCount> ctr_invalidations_{};
-  obs::Counter* ctr_mode_switches_ = nullptr;
-  obs::Counter* ctr_visits_ = nullptr;
-  obs::Counter* ctr_visits_unanswered_ = nullptr;
-  obs::Counter* ctr_fault_dropped_ = nullptr;
-  obs::Counter* ctr_fault_partition_dropped_ = nullptr;
-  obs::Counter* ctr_fault_duplicated_ = nullptr;
-  obs::Counter* ctr_fault_brownouts_ = nullptr;
-  obs::Counter* ctr_reliable_retries_ = nullptr;
-  obs::Counter* ctr_reliable_give_ups_ = nullptr;
-  obs::Histogram* hist_inconsistency_ = nullptr;
+  bool stats_folded_ = false;
 
   // Dispatch/phase profiler: slots interned once in bind_profiler(), so a
   // phase entry costs one null-check plus (when enabled) one table walk.
+  // event_profiler_ is profiler_ for classic engines and null for sharded
+  // ones (event handlers run on worker threads; the Profiler is
+  // single-threaded and stays with the driver).
   obs::Profiler* profiler_ = nullptr;
+  obs::Profiler* event_profiler_ = nullptr;
   std::vector<obs::ProfileSlot> tag_slots_;
   obs::ProfileSlot ps_send_ = 0;
   obs::ProfileSlot ps_poll_ = 0;
@@ -349,6 +495,7 @@ class UpdateEngine {
   obs::ProfileSlot ps_mode_switch_ = 0;
   obs::ProfileSlot ps_tree_build_ = 0;
   obs::ProfileSlot ps_repair_ = 0;
+  obs::ProfileSlot ps_shard_merge_ = 0;
 };
 
 }  // namespace cdnsim::consistency

@@ -43,6 +43,9 @@ PortfolioResult run_portfolio(const topology::NodeRegistry& nodes,
   }
   for (auto& engine : engines) engine->prepare();
   simulator.run();
+  // Counters/meters accumulate per lane during the run; fold them into each
+  // engine's registry before reading metrics or meters.
+  for (auto& engine : engines) engine->publish_run_stats();
 
   PortfolioResult out;
   out.provider_uplink_kb = shared_uplink.total_kb_sent();

@@ -28,8 +28,10 @@ SimulationResult run_simulation(const topology::NodeRegistry& nodes,
   result.provider_traffic = engine.meter().sender_totals(topology::kProviderNode);
   result.user_observed_inconsistency_fraction =
       engine.user_observed_inconsistency_fraction();
-  result.events_processed = simulator.events_processed();
-  result.simulated_time_s = simulator.now();
+  // Through the engine, not the simulator: a sharded engine runs on its own
+  // internal per-lane simulators and the external one stays empty.
+  result.events_processed = engine.events_processed();
+  result.simulated_time_s = engine.final_time();
   result.failures_injected = engine.failures_injected();
   const auto n = static_cast<topology::NodeId>(nodes.server_count());
   std::size_t converged = 0;

@@ -93,22 +93,24 @@ sim::SimTime LatencyModel::pair_at(std::size_t i, std::size_t j) const {
   return i >= j ? pair_s_[tri_index(i, j)] : pair_s_[tri_index(j, i)];
 }
 
-sim::SimTime LatencyModel::propagation(const GeoPoint& from,
-                                       const GeoPoint& to) const {
-  if (memo_valid_ && memo_from_ == from && memo_to_ == to) return memo_s_;
-  sim::SimTime s = 0;
-  bool cached = false;
+sim::SimTime LatencyModel::propagation_uncached(const GeoPoint& from,
+                                                const GeoPoint& to) const {
   if (!table_.empty()) {
     const std::ptrdiff_t i = primed_index(from);
     if (i >= 0) {
       const std::ptrdiff_t j = primed_index(to);
       if (j >= 0) {
-        s = pair_at(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
-        cached = true;
+        return pair_at(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
       }
     }
   }
-  if (!cached) s = live_propagation(from, to);
+  return live_propagation(from, to);
+}
+
+sim::SimTime LatencyModel::propagation(const GeoPoint& from,
+                                       const GeoPoint& to) const {
+  if (memo_valid_ && memo_from_ == from && memo_to_ == to) return memo_s_;
+  const sim::SimTime s = propagation_uncached(from, to);
   memo_from_ = from;
   memo_to_ = to;
   memo_s_ = s;
@@ -144,6 +146,12 @@ sim::SimTime LatencyModel::one_way(const GeoPoint& from, const GeoPoint& to,
 sim::SimTime LatencyModel::one_way_between(std::size_t i, std::size_t j,
                                            bool crosses_isp, util::Rng& rng) const {
   return sample(propagation_between(i, j), crosses_isp, rng);
+}
+
+sim::SimTime LatencyModel::one_way_uncached(const GeoPoint& from,
+                                            const GeoPoint& to, bool crosses_isp,
+                                            util::Rng& rng) const {
+  return sample(propagation_uncached(from, to), crosses_isp, rng);
 }
 
 }  // namespace cdnsim::net

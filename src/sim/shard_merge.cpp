@@ -1,0 +1,47 @@
+#include "sim/shard_merge.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace cdnsim::sim {
+
+ShardMergeQueue::ShardMergeQueue(std::size_t lane_count)
+    : outboxes_(lane_count) {
+  CDNSIM_EXPECTS(lane_count > 0, "merge queue needs at least one lane");
+}
+
+void ShardMergeQueue::emit(std::size_t lane, Message msg) {
+  outboxes_[lane].messages.push_back(std::move(msg));
+}
+
+bool ShardMergeQueue::empty() const {
+  for (const Outbox& box : outboxes_) {
+    if (!box.messages.empty()) return false;
+  }
+  return true;
+}
+
+std::vector<ShardMergeQueue::Message> ShardMergeQueue::drain() {
+  std::vector<Message> merged;
+  std::size_t total = 0;
+  for (const Outbox& box : outboxes_) total += box.messages.size();
+  merged.reserve(total);
+  for (Outbox& box : outboxes_) {
+    for (Message& m : box.messages) merged.push_back(std::move(m));
+    box.messages.clear();
+  }
+  // (sender, seq) pairs are unique, so this comparison is a strict total
+  // order and the sort result does not depend on the pre-sort (thread
+  // arrival) order of the concatenated outboxes.
+  std::sort(merged.begin(), merged.end(),
+            [](const Message& a, const Message& b) {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              if (a.sender != b.sender) return a.sender < b.sender;
+              return a.seq < b.seq;
+            });
+  return merged;
+}
+
+}  // namespace cdnsim::sim

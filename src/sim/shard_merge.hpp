@@ -1,0 +1,66 @@
+// Deterministic cross-shard message exchange.
+//
+// The sharded engine partitions nodes into lanes, each lane an independent
+// Simulator driven to a common epoch barrier by a thread-pool worker. Any
+// message that must hop between execution contexts is not delivered
+// directly; the sender appends it to its *own lane's* outbox (wait-free, no
+// cross-thread writes), and between epochs the single-threaded driver drains
+// every outbox, sorts by the total order (arrival, sender, seq), and injects
+// the events into the target lanes.
+//
+// The sort key is the determinism invariant (shard_merge_test): sender is
+// the emitting NodeId and seq a per-sender emission counter, so the order —
+// and therefore every downstream event sequence — is a pure function of the
+// simulated history, never of which worker thread appended first. Arrival
+// times are already epoch-quantized by the engine (>= the barrier after the
+// send), which is what makes the per-lane histories independent within an
+// epoch in the first place.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace cdnsim::sim {
+
+class ShardMergeQueue {
+ public:
+  struct Message {
+    SimTime arrival = 0;
+    std::int32_t sender = 0;  ///< emitting node (providers < 0 allowed)
+    std::uint64_t seq = 0;    ///< per-sender emission counter
+    std::uint32_t target_lane = 0;
+    EventTag tag = kUntaggedEvent;
+    EventAction action;
+  };
+
+  explicit ShardMergeQueue(std::size_t lane_count);
+
+  ShardMergeQueue(const ShardMergeQueue&) = delete;
+  ShardMergeQueue& operator=(const ShardMergeQueue&) = delete;
+
+  /// Appends to `lane`'s outbox. Callers must only ever pass their own
+  /// lane index — that is what makes emission wait-free and race-free.
+  void emit(std::size_t lane, Message msg);
+
+  /// True when every outbox is empty. Driver-thread only.
+  bool empty() const;
+
+  /// Moves out all buffered messages, sorted by (arrival, sender, seq).
+  /// Driver-thread only, after the lanes have quiesced.
+  std::vector<Message> drain();
+
+  std::size_t lane_count() const { return outboxes_.size(); }
+
+ private:
+  // One cache line per lane so concurrent appends never false-share.
+  struct alignas(64) Outbox {
+    std::vector<Message> messages;
+  };
+  std::vector<Outbox> outboxes_;
+};
+
+}  // namespace cdnsim::sim

@@ -52,6 +52,19 @@ class Simulator {
   /// Events at exactly the horizon still fire.
   void run(SimTime until = std::numeric_limits<SimTime>::infinity());
 
+  /// Run every event strictly before `horizon`, leaving now() at the last
+  /// processed event rather than forcing it to the horizon. This is the
+  /// epoch-barrier primitive of the sharded engine driver: after
+  /// run_before(B) the lane may legally accept injected events at any
+  /// time >= B, and max(now()) across lanes stays the time of the last
+  /// real event, not a synthetic barrier tick.
+  void run_before(SimTime horizon) {
+    while (!queue_.empty() && queue_.next_time() < horizon) step();
+  }
+
+  /// Timestamp of the earliest pending event. Precondition: !drained().
+  SimTime next_event_time() const { return queue_.next_time(); }
+
   /// Process a single event if one exists; returns false when drained.
   bool step();
 

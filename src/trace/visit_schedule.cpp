@@ -1,0 +1,64 @@
+#include "trace/visit_schedule.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace cdnsim::trace {
+
+VisitSchedule build_visit_schedule(std::size_t server_count,
+                                   std::size_t users_per_server,
+                                   sim::SimTime period_s,
+                                   sim::SimTime start_window_s,
+                                   sim::SimTime end_time_s, util::Rng& rng) {
+  CDNSIM_EXPECTS(period_s > 0, "visit period must be positive");
+  CDNSIM_EXPECTS(start_window_s >= 0, "start window must be non-negative");
+  const std::size_t total_users = server_count * users_per_server;
+  CDNSIM_EXPECTS(total_users <= std::numeric_limits<std::uint32_t>::max(),
+                 "visit schedule user indices must fit in 32 bits");
+
+  // All phases first, in user-id order: the exact draw sequence the legacy
+  // per-user timer setup consumed, so callers can swap paths freely.
+  std::vector<sim::SimTime> phases;
+  phases.reserve(total_users);
+  for (std::size_t u = 0; u < total_users; ++u) {
+    phases.push_back(rng.uniform(0.0, start_window_s));
+  }
+
+  VisitSchedule out;
+  out.servers.resize(server_count);
+  struct Visit {
+    sim::SimTime time;
+    std::uint32_t user;
+  };
+  std::vector<Visit> scratch;
+  for (std::size_t s = 0; s < server_count; ++s) {
+    scratch.clear();
+    for (std::size_t k = 0; k < users_per_server; ++k) {
+      const std::size_t u = s * users_per_server + k;
+      // Repeated addition, not phase + i * period: this is the arithmetic
+      // PeriodicTimer::fire() performs, bit for bit.
+      for (sim::SimTime t = phases[u]; t < end_time_s; t += period_s) {
+        scratch.push_back({t, static_cast<std::uint32_t>(u)});
+      }
+    }
+    std::sort(scratch.begin(), scratch.end(), [](const Visit& a, const Visit& b) {
+      if (a.time != b.time) return a.time < b.time;
+      return a.user < b.user;
+    });
+    VisitSchedule::PerServer& ps = out.servers[s];
+    ps.times.reserve(scratch.size());
+    ps.users.reserve(scratch.size());
+    ps.deadlines.reserve(scratch.size());
+    for (const Visit& v : scratch) {
+      ps.times.push_back(v.time);
+      ps.users.push_back(v.user);
+      ps.deadlines.push_back(v.time + period_s);
+    }
+    out.total_visits += scratch.size();
+  }
+  return out;
+}
+
+}  // namespace cdnsim::trace

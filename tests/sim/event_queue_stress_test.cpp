@@ -9,54 +9,15 @@
 //    (disabled under sanitizers, which intercept the allocator themselves).
 #include <gtest/gtest.h>
 
-#include <atomic>
 #include <cstdint>
-#include <cstdlib>
 #include <map>
-#include <new>
 #include <utility>
 #include <vector>
 
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
+#include "support/alloc_counter.hpp"
 #include "util/rng.hpp"
-
-// --- counting allocator hook -----------------------------------------------
-
-#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
-#define CDNSIM_ALLOC_COUNTING 0
-#elif defined(__has_feature)
-#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
-#define CDNSIM_ALLOC_COUNTING 0
-#else
-#define CDNSIM_ALLOC_COUNTING 1
-#endif
-#else
-#define CDNSIM_ALLOC_COUNTING 1
-#endif
-
-namespace {
-std::atomic<std::uint64_t> g_allocations{0};
-}  // namespace
-
-#if CDNSIM_ALLOC_COUNTING
-void* operator new(std::size_t size) {
-  g_allocations.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-
-void* operator new[](std::size_t size) {
-  g_allocations.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-#endif
 
 namespace cdnsim::sim {
 namespace {
@@ -171,9 +132,9 @@ TEST(EventQueueStressTest, SteadyStateSchedulingDoesNotAllocate) {
   };
   run_round();  // warm-up: heap/slot vectors reach steady-state capacity
 
-  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  const std::uint64_t before = testsupport::allocation_count();
   run_round();
-  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  const std::uint64_t after = testsupport::allocation_count();
   EXPECT_EQ(after - before, 0u)
       << "steady-state scheduling of inline-capacity callbacks allocated";
   EXPECT_EQ(sink, 2u * 4096u);
@@ -202,9 +163,9 @@ TEST(EventQueueStressTest, OversizedCallbacksRecycleThroughPool) {
   };
   run_round();  // warm-up populates the thread-local block pool
 
-  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  const std::uint64_t before = testsupport::allocation_count();
   run_round();
-  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  const std::uint64_t after = testsupport::allocation_count();
   EXPECT_EQ(after - before, 0u)
       << "pool-backed fallback hit the global allocator in steady state";
 #else
