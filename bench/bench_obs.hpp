@@ -63,6 +63,10 @@ class ObsSession {
     return !metrics_path_.empty() || !trace_path_.empty() ||
            !csv_path_.empty() || !profile_path_.empty();
   }
+
+  /// Records the apply_shard_flags() summary in every manifest written by
+  /// this session (which --shards selection ran, and what auto resolved to).
+  void set_shards(const std::string& summary) { manifest_.shards = summary; }
   bool trace_enabled() const { return !trace_path_.empty(); }
   bool profile_enabled() const { return !profile_path_.empty(); }
 

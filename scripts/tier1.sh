@@ -48,7 +48,7 @@ if [[ "${run_tsan}" == "1" ]]; then
   cmake -B build-tsan -S . -DCDNSIM_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j --target cdnsim_tests
   ./build-tsan/tests/cdnsim_tests \
-    --gtest_filter='ThreadPool*:BatchRunner*:RngTest.Substream*:CdfTest.ConcurrentReadsOnSharedConstCdf:FaultInjectionProperty*:ShardMerge*:VisitBatch*'
+    --gtest_filter='ThreadPool*:BatchRunner*:RngTest.Substream*:CdfTest.ConcurrentReadsOnSharedConstCdf:FaultInjectionProperty*:ShardMerge*:*ShardPipeline*:VisitBatch*'
 fi
 
 if [[ "${run_perf}" == "1" ]]; then
@@ -60,9 +60,10 @@ if [[ "${run_perf}" == "1" ]]; then
   # value must be a plain double (no "s"/"x").
   ./build-release/bench/micro_core --benchmark_min_time=0.05 \
     --bench-json "${tmp_dir}/bench_fresh.jsonl" --bench-config tier1
-  # fig20 --small on the sharded driver records fig20_small_shards<N>
+  # fig20 --small on the sharded driver records fig20_small_shards<N>;
+  # "auto" (the default selection mode) records fig20_small_shards_auto
   # (shape checks may fail at --small scale, exit 1; only >= 2 is a crash).
-  for sh in 1 8; do
+  for sh in 1 8 auto; do
     rc=0
     ./build-release/bench/fig20_network_size --small --jobs 8 --shards "${sh}" \
       --bench-json "${tmp_dir}/bench_fresh.jsonl" >/dev/null || rc=$?
@@ -110,14 +111,15 @@ print(json.dumps(json.load(open(sys.argv[1]))["deterministic"]))' \
   cmp "${obs_dir}/det1.json" "${obs_dir}/det8.json"
   echo "metrics/trace/csv/profile-deterministic byte-identical for --jobs 1 vs 8"
 
-  # Sharded-driver invariance: with --shards N > 0 every job runs on the
-  # lane-partitioned engine, and the lane decomposition and worker count are
-  # both pure implementation detail — metrics and csv must be byte-identical
-  # for every (--shards, --jobs) combination. (Manifests embed argv, so they
-  # are excluded by construction.)
+  # Sharded-driver invariance: the lane decomposition (explicit counts and
+  # the auto selection, which resolves per job from server count x hardware
+  # threads) and the worker count are pure implementation detail — metrics
+  # and csv must be byte-identical for every (--shards, --jobs) combination,
+  # "auto" included. (Manifests embed argv and the resolved lane counts, so
+  # they are excluded by construction.)
   shard_dir="${tmp_dir}/obs-shards"
   mkdir -p "${shard_dir}"
-  for sh in 1 2 8; do
+  for sh in 1 2 8 auto; do
     for jobs in 1 8; do
       rc=0
       ./build/bench/fig20_network_size --small --jobs "${jobs}" \
@@ -133,7 +135,31 @@ print(json.dumps(json.load(open(sys.argv[1]))["deterministic"]))' \
       cmp "${shard_dir}/c_s1_j1.csv" "${shard_dir}/c_s${sh}_j${jobs}.csv"
     done
   done
-  echo "sharded metrics/csv byte-identical across --shards 1/2/8 x --jobs 1/8"
+  echo "sharded metrics/csv byte-identical across --shards 1/2/8/auto x --jobs 1/8"
+
+  # Same contract on a second, newly auto-wired bench: ext_churn's rate-0
+  # baseline jobs run sharded while churn jobs degrade to classic, and the
+  # artifacts must not care which — --shards auto vs 1 across --jobs 1/8.
+  cmake --build build -j --target ext_churn_robustness
+  churn_dir="${tmp_dir}/obs-churn"
+  mkdir -p "${churn_dir}"
+  for sh in 1 auto; do
+    for jobs in 1 8; do
+      rc=0
+      ./build/bench/ext_churn_robustness --small --jobs "${jobs}" \
+        --shards "${sh}" \
+        --metrics-out "${churn_dir}/m_s${sh}_j${jobs}.jsonl" \
+        --csv-out "${churn_dir}/c_s${sh}_j${jobs}.csv" >/dev/null || rc=$?
+      if [[ "${rc}" -ge 2 ]]; then
+        echo "ext_churn_robustness --shards ${sh} --jobs ${jobs} failed" \
+             "(exit ${rc})" >&2
+        exit 1
+      fi
+      cmp "${churn_dir}/m_s1_j1.jsonl" "${churn_dir}/m_s${sh}_j${jobs}.jsonl"
+      cmp "${churn_dir}/c_s1_j1.csv" "${churn_dir}/c_s${sh}_j${jobs}.csv"
+    done
+  done
+  echo "ext_churn metrics/csv byte-identical across --shards 1/auto x --jobs 1/8"
   python3 scripts/check_obs.py --metrics "${obs_dir}/m1.jsonl" \
     --trace "${obs_dir}/t1.json" --csv "${obs_dir}/c1.csv" \
     --profile "${obs_dir}/p1.profile.json"

@@ -66,7 +66,48 @@ const std::vector<double>& inconsistency_bounds() {
   return bounds;
 }
 
+// Auto shard sizing: every lane pays a fixed per-round cost (barrier scan,
+// merge-generation flip, worker wakeup), so scenarios below this many
+// servers per lane run fastest with fewer lanes. Measured on fig20 --small
+// (Release): below ~24 servers per lane the per-round overhead eats the
+// parallel speedup.
+constexpr std::size_t kAutoMinServersPerLane = 24;
+
 }  // namespace
+
+bool shard_supported(const EngineConfig& config) {
+  const bool batched = config.visit_batching &&
+                       config.user_attachment == UserAttachment::kPinnedLocal &&
+                       !config.record_poll_log;
+  return batched && !config.record_trace_events &&
+         config.churn.failures_per_hour <= 0 && config.profiler == nullptr;
+}
+
+int resolved_shard_count(const EngineConfig& config, std::size_t server_count,
+                         std::size_t hardware_threads) {
+  if (config.shard.shards == 0) return 0;
+  const std::size_t clamp_hi = std::max<std::size_t>(server_count, 1);
+  if (config.shard.shards > 0) {
+    return static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(config.shard.shards), clamp_hi));
+  }
+  CDNSIM_EXPECTS(config.shard.shards == EngineConfig::ShardConfig::kAuto,
+                 "shard.shards must be kAuto (-1), 0 (off), or positive");
+  if (!shard_supported(config)) return 0;
+  if (hardware_threads == 0) {
+    hardware_threads = util::ThreadPool::hardware_threads();
+  }
+  const std::size_t by_size =
+      std::max<std::size_t>(1, server_count / kAutoMinServersPerLane);
+  const std::size_t lanes = std::min(
+      clamp_hi, std::min(std::max<std::size_t>(hardware_threads, 1), by_size));
+  // Never zero for a supported config: auto must stay on the sharded driver
+  // so its output is byte-identical to every explicit --shards N (classic
+  // execution has different message timing — no epoch grid). A single
+  // resolved lane skips the epoch loop entirely (see run_sharded), so it
+  // costs the same as classic-with-lanes.
+  return static_cast<int>(lanes);
+}
 
 // ---------------------------------------------------------------------------
 // Internal state types
@@ -78,14 +119,12 @@ struct UpdateEngine::UserState {
   NodeId home_server = 0;
   // Sentinel -2: no previous server (kProviderNode is -1).
   NodeId last_server = -2;
-  Version max_seen = 0;
   std::unique_ptr<sim::PeriodicTimer> visit_timer;  // legacy per-visit path
 };
 
 struct UpdateEngine::ServerState {
   NodeId id = 0;
   UpdateMethod method = UpdateMethod::kTtl;
-  Version version = 0;
   cdn::ReplicaRecorder recorder;
   net::Uplink uplink;
 
@@ -123,6 +162,19 @@ struct UpdateEngine::ServerState {
   std::size_t visit_cursor = 0;
   sim::EventHandle visit_event;
   bool visit_pumping = false;
+
+  // Run-length user-log records from the bulk visit walk: schedule entries
+  // [begin, end) all share one (version, answered) outcome. Recording one
+  // run per walk instead of one row per visit keeps the hot walk free of
+  // scattered per-user appends; materialize_user_logs() expands them into
+  // UserObservation rows once, after the run.
+  struct VisitLogRun {
+    std::uint32_t begin;
+    std::uint32_t end;
+    Version version;
+    bool answered;
+  };
+  std::vector<VisitLogRun> visit_log_runs;
 
   // Per-server inconsistency-window histogram; fold_lane_stats() merges
   // these in ascending server order, so the floating-point sum is a pure
@@ -190,7 +242,15 @@ UpdateEngine::UpdateEngine(sim::Simulator& simulator,
   visit_batching_ = config_.visit_batching &&
                     config_.user_attachment == UserAttachment::kPinnedLocal &&
                     !config_.record_poll_log;
-  sharded_ = config_.shard.shards > 0;
+  int resolved_shards = resolved_shard_count(config_, nodes.server_count());
+  // A shared provider uplink is a constructor argument, invisible to the
+  // config-level auto resolution: degrade auto to classic here (an explicit
+  // shard count still trips the precondition below).
+  if (config_.shard.shards == EngineConfig::ShardConfig::kAuto &&
+      shared_provider_uplink_ != nullptr) {
+    resolved_shards = 0;
+  }
+  sharded_ = resolved_shards > 0;
   if (visit_batching_) {
     CDNSIM_EXPECTS(config_.visit_batch_epoch_s > 0,
                    "visit batch epoch must be positive");
@@ -265,6 +325,8 @@ UpdateEngine::UpdateEngine(sim::Simulator& simulator,
     if (!absences_.empty()) s->absence = &absences_[static_cast<std::size_t>(id)];
     servers_.push_back(std::move(s));
   }
+  versions_.assign(servers_.size(), 0);
+  rebuild_child_lists();
 
   end_time_ = updates_->duration() + config_.tail_s;
 
@@ -274,11 +336,7 @@ UpdateEngine::UpdateEngine(sim::Simulator& simulator,
   // and anchor the provider to lane 0.
   const std::size_t server_count = servers_.size();
   std::size_t lane_count = 1;
-  if (sharded_) {
-    lane_count = std::min<std::size_t>(
-        static_cast<std::size_t>(config_.shard.shards),
-        std::max<std::size_t>(server_count, 1));
-  }
+  if (sharded_) lane_count = static_cast<std::size_t>(resolved_shards);
   lanes_ = std::vector<Lane>(lane_count);
   lane_of_.assign(server_count + 1, 0);
   if (sharded_) {
@@ -379,6 +437,8 @@ void UpdateEngine::bind_profiler() {
   event_profiler_ = sharded_ ? nullptr : profiler_;
   if (profiler_ == nullptr) return;
   ps_send_ = profiler_->intern("engine.send");
+  ps_version_ = profiler_->intern("engine.version");
+  ps_timer_ = profiler_->intern("sim.timer");
   ps_poll_ = profiler_->intern("engine.poll");
   ps_fetch_ = profiler_->intern("engine.fetch");
   ps_invalidate_ = profiler_->intern("engine.invalidate");
@@ -459,7 +519,71 @@ void UpdateEngine::fold_lane_stats() {
   if (sharded_) meter_.rebuild_totals_from_senders();
 }
 
+void UpdateEngine::materialize_user_logs() {
+  if (!config_.record_user_logs || !visit_batching_) return;
+  const std::size_t ups = static_cast<std::size_t>(config_.users_per_server);
+  // Scratch reused across servers: only one server's users are live at a
+  // time, so the merge's write working set stays ups-sized and cache-hot.
+  std::vector<std::vector<cdn::UserObservation>> points(ups);
+  std::vector<std::size_t> cursor(ups, 0);
+  std::vector<std::uint32_t> counts(ups, 0);
+  std::vector<cdn::UserLog*> logs(ups, nullptr);
+  for (auto& sp : servers_) {
+    ServerState& s = *sp;
+    if (s.visit_log_runs.empty()) continue;
+    const trace::VisitSchedule::PerServer& plan =
+        visit_plan_->servers[static_cast<std::size_t>(s.id)];
+    const std::uint32_t base =
+        static_cast<std::uint32_t>(static_cast<std::size_t>(s.id) * ups);
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (const auto& r : s.visit_log_runs) {
+      for (std::uint32_t j = r.begin; j < r.end; ++j) {
+        ++counts[plan.users[j] - base];
+      }
+    }
+    // Users may already hold rows added directly (pump visits, waiting
+    // users served or abandoned): move those out and merge by request
+    // time. Blocked servers run in pump mode, so a direct row and a run
+    // row never share a request time — per-user row order stays exactly
+    // the strictly-increasing sequence the per-visit path produced.
+    for (std::size_t k = 0; k < ups; ++k) {
+      logs[k] = &user_logs_->log(static_cast<cdn::UserId>(base + k));
+      if (counts[k] == 0) continue;  // direct rows (if any) stay as-is
+      points[k] = logs[k]->take();
+      cursor[k] = 0;
+      logs[k]->reserve(points[k].size() + counts[k]);
+    }
+    cdn::UserObservation obs;
+    obs.server = s.id;
+    obs.redirected = false;
+    for (const auto& r : s.visit_log_runs) {
+      obs.version = r.version;
+      obs.answered = r.answered;
+      for (std::uint32_t j = r.begin; j < r.end; ++j) {
+        const std::size_t k = plan.users[j] - base;
+        const sim::SimTime t = plan.times[j];
+        std::vector<cdn::UserObservation>& pts = points[k];
+        std::size_t& pi = cursor[k];
+        while (pi < pts.size() && pts[pi].request_time < t) {
+          logs[k]->add(pts[pi++]);
+        }
+        obs.request_time = obs.serve_time = t;
+        logs[k]->add(obs);
+      }
+    }
+    for (std::size_t k = 0; k < ups; ++k) {
+      for (std::size_t pi = cursor[k]; pi < points[k].size(); ++pi) {
+        logs[k]->add(points[k][pi]);
+      }
+      points[k].clear();
+    }
+    s.visit_log_runs.clear();
+    s.visit_log_runs.shrink_to_fit();
+  }
+}
+
 void UpdateEngine::publish_run_stats() {
+  materialize_user_logs();
   fold_lane_stats();
 
   if (!sharded_) {
@@ -572,16 +696,25 @@ sim::SimTime UpdateEngine::draw_latency(NodeId from, NodeId to) {
 // merge queue. The quantized arrival lands at a time no lane has reached
 // when the driver injects it (events fired per round lie in one epoch cell,
 // whose closing grid point is exactly this barrier).
+sim::SimTime UpdateEngine::shard_barrier(sim::SimTime now) const {
+  const double epoch = config_.shard.epoch_s;
+  sim::SimTime barrier = (std::floor(now / epoch) + 1.0) * epoch;
+  if (barrier <= now) barrier = (std::floor(now / epoch) + 2.0) * epoch;
+  return barrier;
+}
+
 void UpdateEngine::schedule_delivery(NodeId from, NodeId to,
                                      net::MessageKind kind, sim::SimTime arrival,
                                      sim::EventAction action) {
   if (sharded_) {
-    const double epoch = config_.shard.epoch_s;
-    const sim::SimTime now = sim_of(from).now();
-    sim::SimTime barrier = (std::floor(now / epoch) + 1.0) * epoch;
-    if (barrier <= now) barrier = (std::floor(now / epoch) + 2.0) * epoch;
+    const sim::SimTime barrier = shard_barrier(sim_of(from).now());
     if (arrival < barrier) arrival = barrier;
   }
+  deliver_at(from, to, kind, arrival, std::move(action));
+}
+
+void UpdateEngine::deliver_at(NodeId from, NodeId to, net::MessageKind kind,
+                              sim::SimTime arrival, sim::EventAction action) {
   if (to != kProviderNode) {
     const ServerState& dest = *servers_[static_cast<std::size_t>(to)];
     if (dest.absence) {
@@ -665,6 +798,66 @@ void UpdateEngine::send_unreliable(NodeId from, NodeId to,
   }
   schedule_delivery(from, to, kind, arrival, std::move(on_delivery));
 }
+
+// One fan-out of unreliable messages from a single sender, with the
+// per-message engine lookups of send_unreliable hoisted out of the child
+// loop: one clock read, one uplink / meter / injector resolve, and (for
+// sharded engines) one barrier quantization. Per-child work keeps the exact
+// reserve -> latency-draw -> meter -> injector sequence of send_unreliable,
+// so every RNG draw and floating-point accumulation is bit-identical to a
+// loop of individual send_unreliable calls — only redundant lookups and the
+// per-message profile scope are amortized. Sim time cannot advance during a
+// synchronous fan-out, so the single `now` matches what each send would
+// have read.
+struct UpdateEngine::FanoutBatch {
+  UpdateEngine& e;
+  const NodeId from;
+  const sim::SimTime now;
+  net::Uplink& uplink;
+  net::TrafficMeter& meter;
+  fault::Injector* const injector;
+  const sim::SimTime barrier;  // unused when !e.sharded_
+
+  FanoutBatch(UpdateEngine& engine, NodeId sender)
+      : e(engine),
+        from(sender),
+        now(e.sim_of(sender).now()),
+        uplink(e.uplink_of(sender)),
+        meter(e.meter_of(sender)),
+        injector(e.injector_of(sender)),
+        barrier(e.sharded_ ? e.shard_barrier(now) : 0.0) {}
+
+  void send(NodeId to, net::MessageKind kind, double size_kb,
+            sim::EventAction on_delivery) {
+    const sim::SimTime depart = uplink.reserve(now, size_kb);
+    const sim::SimTime delay = e.draw_latency(from, to);
+    meter.record(kind, from, e.nodes_->distance_km(from, to), size_kb);
+    sim::SimTime arrival = depart + delay;
+    if (injector != nullptr) {
+      const fault::Injector::Decision d = injector->decide(from, to, now);
+      if (d.drop) {
+        e.record_injected_drop(d.partitioned, from, to);
+        return;
+      }
+      arrival += d.extra_delay_s;
+      if (d.duplicate) {
+        ++e.counters_of(from).fault_duplicated;
+        auto shared = std::make_shared<sim::EventAction>(std::move(on_delivery));
+        deliver(to, kind, arrival, [shared] { (*shared)(); });
+        deliver(to, kind, arrival + d.duplicate_extra_delay_s,
+                [shared] { (*shared)(); });
+        return;
+      }
+    }
+    deliver(to, kind, arrival, std::move(on_delivery));
+  }
+
+  void deliver(NodeId to, net::MessageKind kind, sim::SimTime arrival,
+               sim::EventAction action) {
+    if (e.sharded_ && arrival < barrier) arrival = barrier;
+    e.deliver_at(from, to, kind, arrival, std::move(action));
+  }
+};
 
 // ---------------------------------------------------------------------------
 // Reliable delivery
@@ -803,16 +996,47 @@ Version UpdateEngine::node_version(NodeId node) {
   if (node == kProviderNode) {
     return provider_->true_version_at(sim_of(kProviderNode).now());
   }
-  return servers_[static_cast<std::size_t>(node)]->version;
+  return version_of(node);
+}
+
+// Partition every node's children once by delivery role, preserving
+// children_of order inside each list. notify_children interleaves plain
+// invalidation children with subscription-gated adaptive ones in that
+// order, so a single `notice` list (with a gated flag) keeps the send —
+// and therefore uplink/RNG — sequence byte-identical to the old dynamic
+// method_of dispatch.
+void UpdateEngine::rebuild_child_lists() {
+  child_lists_.assign(servers_.size() + 1, {});
+  for (NodeId node = kProviderNode; node < static_cast<NodeId>(servers_.size());
+       ++node) {
+    ChildLists& lists = child_lists_[static_cast<std::size_t>(node + 1)];
+    for (NodeId c : infra_.children_of(node)) {
+      switch (infra_.method_of(c)) {
+        case UpdateMethod::kPush:
+          lists.push.push_back(c);
+          break;
+        case UpdateMethod::kInvalidation:
+          lists.notice.push_back({c, /*gated=*/false});
+          break;
+        case UpdateMethod::kSelfAdaptive:
+        case UpdateMethod::kRateAdaptive:
+          lists.notice.push_back({c, /*gated=*/true});
+          break;
+        default:
+          break;  // TTL-family children pull; nothing to deliver
+      }
+    }
+  }
 }
 
 void UpdateEngine::acquire_version(ServerState& s, Version v) {
-  if (v <= s.version) return;
+  if (v <= version_of(s.id)) return;
+  obs::ProfileScope scope(event_profiler_, ps_version_);
   // Pending visits observed the pre-update content; flush them before the
   // version moves (no-op while the server pumps per-visit events).
   catch_up_visits(s);
   const sim::SimTime now = sim_of(s.id).now();
-  s.version = v;
+  version_of(s.id) = v;
   s.recorder.on_version(v, now);
   s.last_known_update_time = updates_->update_time(v);
   ++counters_of(s.id).acquired[method_index(s.method)];
@@ -833,31 +1057,56 @@ void UpdateEngine::acquire_version(ServerState& s, Version v) {
 /// self-adaptive children once per subscription).
 void UpdateEngine::notify_children(NodeId node, Version v) {
   obs::ProfileScope scope(event_profiler_, ps_invalidate_);
+  const ChildLists& lists = child_lists_[static_cast<std::size_t>(node + 1)];
+  if (lists.notice.empty()) return;
   SubscriptionState& subs = subs_of(node);
-  for (NodeId c : infra_.children_of(node)) {
-    const UpdateMethod m = infra_.method_of(c);
-    ServerState& child = *servers_[static_cast<std::size_t>(c)];
-    if (m == UpdateMethod::kInvalidation) {
-      send(node, c, net::MessageKind::kInvalidation, config_.light_packet_kb,
-           [this, &child, v] { on_invalidation(child, v); });
-    } else if (m == UpdateMethod::kSelfAdaptive ||
-               m == UpdateMethod::kRateAdaptive) {
-      if (subs.subscribers.count(c) > 0 && subs.notified.count(c) == 0) {
-        subs.notified.insert(c);
-        send(node, c, net::MessageKind::kInvalidation, config_.light_packet_kb,
-             [this, &child, v] { on_invalidation(child, v); });
+  if (config_.reliable.enabled) {
+    for (const ChildLists::Notice& n : lists.notice) {
+      if (n.gated) {
+        if (subs.subscribers.count(n.child) == 0 ||
+            subs.notified.count(n.child) != 0) {
+          continue;
+        }
+        subs.notified.insert(n.child);
       }
+      ServerState& child = *servers_[static_cast<std::size_t>(n.child)];
+      send(node, n.child, net::MessageKind::kInvalidation,
+           config_.light_packet_kb, [this, &child, v] { on_invalidation(child, v); });
     }
+    return;
+  }
+  FanoutBatch batch(*this, node);
+  for (const ChildLists::Notice& n : lists.notice) {
+    if (n.gated) {
+      if (subs.subscribers.count(n.child) == 0 ||
+          subs.notified.count(n.child) != 0) {
+        continue;
+      }
+      subs.notified.insert(n.child);
+    }
+    ServerState& child = *servers_[static_cast<std::size_t>(n.child)];
+    batch.send(n.child, net::MessageKind::kInvalidation, config_.light_packet_kb,
+               [this, &child, v] { on_invalidation(child, v); });
   }
 }
 
 void UpdateEngine::propagate_to_children(NodeId node, Version v) {
   obs::ProfileScope scope(event_profiler_, ps_push_);
-  for (NodeId c : infra_.children_of(node)) {
-    if (infra_.method_of(c) == UpdateMethod::kPush) {
-      ServerState& child = *servers_[static_cast<std::size_t>(c)];
-      send(node, c, net::MessageKind::kPushUpdate, config_.update_packet_kb,
-           [this, &child, v] { acquire_version(child, v); });
+  const ChildLists& lists = child_lists_[static_cast<std::size_t>(node + 1)];
+  if (!lists.push.empty()) {
+    if (config_.reliable.enabled) {
+      for (NodeId c : lists.push) {
+        ServerState& child = *servers_[static_cast<std::size_t>(c)];
+        send(node, c, net::MessageKind::kPushUpdate, config_.update_packet_kb,
+             [this, &child, v] { acquire_version(child, v); });
+      }
+    } else {
+      FanoutBatch batch(*this, node);
+      for (NodeId c : lists.push) {
+        ServerState& child = *servers_[static_cast<std::size_t>(c)];
+        batch.send(c, net::MessageKind::kPushUpdate, config_.update_packet_kb,
+                   [this, &child, v] { acquire_version(child, v); });
+      }
     }
   }
   notify_children(node, v);
@@ -880,13 +1129,13 @@ void UpdateEngine::handle_poll_at_parent(NodeId parent, NodeId child,
   // depend on). Sharded engines use the version the request was sent with:
   // the child's state may move concurrently on another lane.
   const Version child_version =
-      sharded_ ? child_version_sent : child_state.version;
+      sharded_ ? child_version_sent : version_of(child_state.id);
   Version v;
   if (parent == kProviderNode) {
     // Origin staleness (Section 3.4.2) is visible to pollers.
     v = provider_->served_version_at(sim_of(parent).now());
   } else {
-    v = servers_[static_cast<std::size_t>(parent)]->version;
+    v = version_of(parent);
   }
   const bool fresh = v > child_version;
   const net::MessageKind kind = fresh ? net::MessageKind::kPollResponseFresh
@@ -912,7 +1161,7 @@ void UpdateEngine::handle_fetch_at_parent(NodeId parent, NodeId child) {
 
   if (parent != kProviderNode) {
     ServerState& p = *servers_[static_cast<std::size_t>(parent)];
-    if (p.invalidation_active() && p.invalid_known > p.version) {
+    if (p.invalidation_active() && p.invalid_known > version_of(p.id)) {
       // Parent is itself invalid: fetch upward first, answer the child when
       // content arrives (recursive invalidation in a multicast tree).
       p.pending_child_fetches.push_back(child);
@@ -952,6 +1201,7 @@ void UpdateEngine::start_server(ServerState& s) {
   s.poll_timer = std::make_unique<sim::PeriodicTimer>(
       sim_of(s.id), config_.method.server_ttl_s, [this, sp] { poll_tick(*sp); },
       kTagPollTick);
+  s.poll_timer->attach_profiler(event_profiler_, ps_timer_);
   // Servers start with uniformly random phase in [0, TTL) — the paper's
   // assumption behind E[I] = TTL/2 (Section 3.4.1). Prepare-phase draw:
   // always from the engine RNG, so the stream prefix is shard-invariant.
@@ -960,6 +1210,7 @@ void UpdateEngine::start_server(ServerState& s) {
     s.adapt_timer = std::make_unique<sim::PeriodicTimer>(
         sim_of(s.id), config_.method.rate_window_s,
         [this, sp] { rate_adapt_tick(*sp); }, kTagAdaptTick);
+    s.adapt_timer->attach_profiler(event_profiler_, ps_timer_);
     s.adapt_timer->start();
   }
 }
@@ -976,9 +1227,10 @@ void UpdateEngine::rate_adapt_tick(ServerState& s) {
   // The controller reads visits_in_window: count the backlog first.
   catch_up_visits(s);
   const auto updates = static_cast<double>(
-      std::max<Version>(s.version, s.invalid_known) - s.version_at_window_start);
+      std::max<Version>(version_of(s.id), s.invalid_known) -
+      s.version_at_window_start);
   const auto visits = static_cast<double>(s.visits_in_window);
-  s.version_at_window_start = std::max<Version>(s.version, s.invalid_known);
+  s.version_at_window_start = std::max<Version>(version_of(s.id), s.invalid_known);
   s.visits_in_window = 0;
   if (s.departed) return;
 
@@ -1012,7 +1264,7 @@ void UpdateEngine::switch_to_ttl_mode(ServerState& s) {
        });
   if (s.poll_timer) s.poll_timer->start_after(rng_of(s.id).uniform(
       0.0, config_.method.server_ttl_s));
-  if (s.invalid_known > s.version && !s.fetch_in_flight) begin_fetch(s);
+  if (s.invalid_known > version_of(s.id) && !s.fetch_in_flight) begin_fetch(s);
   resync_visits(s);
 }
 
@@ -1030,7 +1282,7 @@ void UpdateEngine::poll_tick(ServerState& s) {
   ++counters_of(s.id).polls[method_index(s.method)];
   const NodeId parent = infra_.parent_of(s.id);
   const NodeId self = s.id;
-  const Version vsent = s.version;
+  const Version vsent = version_of(s.id);
   send(self, parent, net::MessageKind::kPollRequest, config_.light_packet_kb,
        [this, parent, self, vsent] {
          handle_poll_at_parent(parent, self, vsent);
@@ -1061,7 +1313,7 @@ void UpdateEngine::switch_to_invalidation_mode(ServerState& s) {
   if (s.poll_timer) s.poll_timer->stop();
   const NodeId parent = infra_.parent_of(s.id);
   const NodeId self = s.id;
-  const Version vsent = s.version;
+  const Version vsent = version_of(s.id);
   send(self, parent, net::MessageKind::kSwitchNotice, config_.light_packet_kb,
        [this, parent, self, vsent] {
          SubscriptionState& subs = subs_of(parent);
@@ -1073,7 +1325,7 @@ void UpdateEngine::switch_to_invalidation_mode(ServerState& s) {
          // child's live version (the old idealization the golden pins
          // depend on); sharded ones use the version the notice carried.
          ServerState& child = *servers_[static_cast<std::size_t>(self)];
-         const Version child_version = sharded_ ? vsent : child.version;
+         const Version child_version = sharded_ ? vsent : version_of(self);
          const Version pv = node_version(parent);
          if (pv > child_version) {
            subs.notified.insert(self);
@@ -1169,7 +1421,7 @@ void UpdateEngine::on_fetch_response(ServerState& s, Version v) {
   obs::ProfileScope scope(event_profiler_, ps_fetch_);
   s.fetch_in_flight = false;
   acquire_version(s, v);
-  if (s.invalidation_active() && s.invalid_known > s.version) {
+  if (s.invalidation_active() && s.invalid_known > version_of(s.id)) {
     // A newer invalidation raced past our fetch; fetch again.
     begin_fetch(s);
     return;
@@ -1277,6 +1529,9 @@ void UpdateEngine::restore_node(ServerState& s) {
 
 void UpdateEngine::apply_repair(const RepairReport& report) {
   obs::ProfileScope scope(event_profiler_, ps_repair_);
+  // Every caller just mutated infra_ (fail/restore re-parenting, method
+  // flips, supernode promotion), so the flattened fan-out lists are stale.
+  rebuild_child_lists();
   for (const RepairEdge& edge : report.new_edges) {
     meter_of(edge.child).record(net::MessageKind::kTreeMaintenance, edge.child,
                                 nodes_->distance_km(edge.child, edge.new_parent),
@@ -1303,7 +1558,7 @@ void UpdateEngine::apply_repair(const RepairReport& report) {
     // parent brings them up to date.
     if (child.method == UpdateMethod::kPush && !child.departed) {
       const Version v = node_version(edge.new_parent);
-      if (v > child.version) {
+      if (v > version_of(child.id)) {
         ServerState* cp = &child;
         send(edge.new_parent, child.id, net::MessageKind::kPushUpdate,
              config_.update_packet_kb, [this, cp, v] { acquire_version(*cp, v); });
@@ -1334,6 +1589,7 @@ void UpdateEngine::ensure_polling(ServerState& s) {
     s.poll_timer = std::make_unique<sim::PeriodicTimer>(
         sim_of(s.id), config_.method.server_ttl_s, [this, sp] { poll_tick(*sp); },
         kTagPollTick);
+    s.poll_timer->attach_profiler(event_profiler_, ps_timer_);
   }
   s.poll_timer->set_period(config_.method.server_ttl_s);
   s.poll_timer->start_after(rng_of(s.id).uniform(0.0, config_.method.server_ttl_s));
@@ -1342,6 +1598,7 @@ void UpdateEngine::ensure_polling(ServerState& s) {
       s.adapt_timer = std::make_unique<sim::PeriodicTimer>(
           sim_of(s.id), config_.method.rate_window_s,
           [this, sp] { rate_adapt_tick(*sp); }, kTagAdaptTick);
+      s.adapt_timer->attach_profiler(event_profiler_, ps_timer_);
     }
     if (!s.adapt_timer->running()) s.adapt_timer->start();
   }
@@ -1383,6 +1640,7 @@ void UpdateEngine::start_users() {
       u->visit_timer = std::make_unique<sim::PeriodicTimer>(
           *sim_, config_.user_poll_period_s, [this, up] { user_visit(*up); },
           kTagUserVisit);
+      u->visit_timer->attach_profiler(event_profiler_, ps_timer_);
       u->visit_timer->start_after(rng_.uniform(0.0, config_.user_start_window_s));
     }
     users_.push_back(std::move(u));
@@ -1434,7 +1692,7 @@ void UpdateEngine::user_visit(UserState& u) {
 void UpdateEngine::serve_user(ServerState& s, UserState& u, sim::SimTime request_time,
                               bool redirected) {
   if (s.method == UpdateMethod::kRateAdaptive) ++s.visits_in_window;
-  if (s.invalidation_active() && s.invalid_known > s.version) {
+  if (s.invalidation_active() && s.invalid_known > version_of(s.id)) {
     // Content is invalid: fetch before serving (Invalidation semantics).
     s.waiting_users.push_back({&u, request_time, redirected});
     if (!s.fetch_in_flight) begin_fetch(s);
@@ -1450,13 +1708,12 @@ void UpdateEngine::deliver_to_user(ServerState& s, UserState& u,
   obs.request_time = request_time;
   obs.serve_time = serve_time;
   obs.server = s.id;
-  obs.version = s.version;
+  obs.version = version_of(s.id);
   obs.redirected = redirected;
   obs.answered = true;
   if (config_.record_user_logs) user_logs_->log(u.id).add(obs);
-  u.max_seen = std::max(u.max_seen, s.version);
   if (config_.record_poll_log) {
-    poll_log_.add({s.id, serve_time, s.version, /*answered=*/true});
+    poll_log_.add({s.id, serve_time, version_of(s.id), /*answered=*/true});
   }
 }
 
@@ -1468,7 +1725,8 @@ void UpdateEngine::deliver_to_user(ServerState& s, UserState& u,
 // joins waiting_users and may trigger a fetch, so bulk processing would
 // change behaviour. Everywhere else a pinned-local visit is a pure read.
 bool UpdateEngine::visit_pump_needed(const ServerState& s) const {
-  return !s.departed && s.invalidation_active() && s.invalid_known > s.version;
+  return !s.departed && s.invalidation_active() &&
+         s.invalid_known > version_of(s.id);
 }
 
 void UpdateEngine::catch_up_visits(ServerState& s) {
@@ -1493,47 +1751,65 @@ void UpdateEngine::catch_up_visits_until(ServerState& s, sim::SimTime upto) {
                  "bulk visit walk while the server is blocked");
   const bool rate_adaptive = s.method == UpdateMethod::kRateAdaptive;
   const bool record_logs = config_.record_user_logs;
-  std::uint64_t visits = 0;
-  std::uint64_t unanswered = 0;
-  std::uint64_t in_window = 0;
-  const Version version = s.version;
-  while (i < n && plan.times[i] < upto) {
-    const sim::SimTime t = plan.times[i];
-    UserState& u = *users_[plan.users[i]];
-    ++visits;
-    u.last_server = s.id;  // pinned attachment: never a redirect
-    if (s.departed || s.absent_at(t)) {
-      ++unanswered;
-      if (record_logs) {
-        cdn::UserObservation obs;
-        obs.request_time = obs.serve_time = t;
-        obs.server = s.id;
-        obs.version = 0;
-        obs.redirected = false;
-        obs.answered = false;
-        user_logs_->log(u.id).add(obs);
-      }
-    } else {
-      if (rate_adaptive) ++in_window;
-      if (record_logs) {
-        cdn::UserObservation obs;
-        obs.request_time = t;
-        obs.serve_time = t;
-        obs.server = s.id;
-        obs.version = version;
-        obs.redirected = false;
-        obs.answered = true;
-        user_logs_->log(u.id).add(obs);
-      }
-      if (version > u.max_seen) u.max_seen = version;
+  LaneCounters& c = counters_of(s.id);
+  // The server's user-visible state cannot change inside one walk — every
+  // caller flushes the backlog *before* mutating — so the branch structure
+  // is hoisted out of the per-visit loop. Users are pinned (plan.users[i]
+  // IS the user id) and a bulk visit is a pure read, so the common path
+  // below never touches UserState at all.
+  if (!s.departed && s.absence == nullptr) {
+    // Fast path: every pending visit is answered with the same version, so
+    // the whole window collapses to a range scan plus (when logging) one
+    // run-length record — no per-visit work at all.
+    const std::size_t begin = i;
+    // Linear, not lower_bound: the cursor advances a handful of entries per
+    // call, so a sequential scan beats a binary search over the whole tail.
+    while (i < n && plan.times[i] < upto) ++i;
+    if (record_logs && i > begin) {
+      s.visit_log_runs.push_back({static_cast<std::uint32_t>(begin),
+                                  static_cast<std::uint32_t>(i),
+                                  version_of(s.id), true});
     }
-    ++i;
+    const std::uint64_t count = i - begin;
+    c.visits += count;
+    if (rate_adaptive) s.visits_in_window += count;
+  } else {
+    std::uint64_t visits = 0;
+    std::uint64_t unanswered = 0;
+    std::uint64_t in_window = 0;
+    const Version version = version_of(s.id);
+    // Coalesce the walk into maximal same-outcome runs (answered flips only
+    // at absence-window edges, so runs are long).
+    std::size_t run_begin = i;
+    bool run_answered = false;
+    const auto flush_run = [&](std::size_t end) {
+      if (!record_logs || end == run_begin) return;
+      s.visit_log_runs.push_back({static_cast<std::uint32_t>(run_begin),
+                                  static_cast<std::uint32_t>(end),
+                                  run_answered ? version : 0, run_answered});
+    };
+    while (i < n && plan.times[i] < upto) {
+      const sim::SimTime t = plan.times[i];
+      ++visits;
+      const bool answered = !(s.departed || s.absent_at(t));
+      if (i != run_begin && answered != run_answered) {
+        flush_run(i);
+        run_begin = i;
+      }
+      run_answered = answered;
+      if (!answered) {
+        ++unanswered;
+      } else if (rate_adaptive) {
+        ++in_window;
+      }
+      ++i;
+    }
+    flush_run(i);
+    c.visits += visits;
+    c.visits_unanswered += unanswered;
+    s.visits_in_window += in_window;
   }
   s.visit_cursor = i;
-  LaneCounters& c = counters_of(s.id);
-  c.visits += visits;
-  c.visits_unanswered += unanswered;
-  s.visits_in_window += in_window;
 }
 
 // Called immediately AFTER any state mutation that may change blockedness:
@@ -1589,10 +1865,11 @@ void UpdateEngine::pump_visit(ServerState& s) {
       visit_plan_->servers[static_cast<std::size_t>(s.id)];
   CDNSIM_EXPECTS(s.visit_cursor < plan.times.size(), "pump past the schedule");
   const sim::SimTime now = sim_of(s.id).now();
+  // Pinned attachment: batched visits never redirect, so last_server (a
+  // legacy-path concern) is left untouched.
   UserState& u = *users_[plan.users[s.visit_cursor]];
   ++s.visit_cursor;
   ++counters_of(s.id).visits;
-  u.last_server = s.id;
   if (s.departed || s.absent_at(now)) {
     ++counters_of(s.id).visits_unanswered;
     if (config_.record_user_logs) {
@@ -1694,6 +1971,18 @@ void UpdateEngine::run_sharded() {
   std::unique_ptr<util::ThreadPool> pool;
   if (worker_count > 1) pool = std::make_unique<util::ThreadPool>(worker_count);
 
+  if (config_.shard.overlap) {
+    run_sharded_pipelined(pool.get());
+  } else {
+    run_sharded_lockstep(pool.get());
+  }
+}
+
+// Reference driver: every round fully quiesces, then the driver alone drains
+// the merge queue in global (arrival, sender, seq) order and injects. Kept
+// as the baseline the pipelined driver is equivalence-tested against.
+void UpdateEngine::run_sharded_lockstep(util::ThreadPool* pool) {
+  const std::size_t lane_count = lanes_.size();
   const double epoch = config_.shard.epoch_s;
   std::int64_t last_k = std::numeric_limits<std::int64_t>::min();
   std::vector<std::exception_ptr> errors(lane_count);
@@ -1753,6 +2042,90 @@ void UpdateEngine::run_sharded() {
   }
 }
 
+// Overlapped driver: cross-lane messages ride the double-buffered staging
+// generations, so each round's injection (read generation, per-target
+// columns) happens on the *worker* threads, concurrently with lane
+// execution, instead of serializing on the driver. Equivalence with the
+// lockstep driver rests on two facts: (1) the barrier fold below takes the
+// staged minimum into account, so the barrier sequence equals lockstep's
+// post-injection one; (2) each target's sorted column is a subsequence of
+// the global (arrival, sender, seq) sort, so per-lane injection order
+// matches what a global drain would have handed that lane.
+void UpdateEngine::run_sharded_pipelined(util::ThreadPool* pool) {
+  const std::size_t lane_count = lanes_.size();
+  const double epoch = config_.shard.epoch_s;
+  std::int64_t last_k = std::numeric_limits<std::int64_t>::min();
+  std::vector<std::exception_ptr> errors(lane_count);
+  sim::ShardMergeQueue* merge = merge_.get();
+  for (;;) {
+    // Fold the staged (not-yet-injected) messages into the next-event
+    // minimum: a lockstep driver would have injected them before picking
+    // its barrier, and every staged arrival sits on the epoch grid ahead
+    // of all lane clocks, so the fold is exactly its post-injection view.
+    sim::SimTime min_next = std::numeric_limits<sim::SimTime>::infinity();
+    for (const Lane& lane : lanes_) {
+      if (!lane.sim->drained()) {
+        min_next = std::min(min_next, lane.sim->next_event_time());
+      }
+    }
+    min_next = std::min(min_next, merge->min_staged_arrival());
+    if (!(min_next < std::numeric_limits<sim::SimTime>::infinity())) break;
+    std::int64_t next_k =
+        static_cast<std::int64_t>(std::floor(min_next / epoch)) + 1;
+    if (next_k <= last_k) next_k = last_k + 1;
+    last_k = next_k;
+    const sim::SimTime barrier = static_cast<double>(next_k) * epoch;
+    {
+      // Same once-per-round scope the lockstep drain records, so the
+      // deterministic profile section stays invariant across drivers.
+      obs::ProfileScope scope(profiler_, ps_shard_merge_);
+      merge->flip();
+    }
+    if (pool) {
+      bool submitted = false;
+      for (std::size_t i = 0; i < lane_count; ++i) {
+        sim::Simulator* lane_sim = lanes_[i].sim.get();
+        const bool has_incoming = merge->incoming_count(i) > 0;
+        const bool has_local =
+            !lane_sim->drained() && lane_sim->next_event_time() < barrier;
+        // Every non-empty column must be consumed this round (flip()
+        // precondition), even if nothing then runs before the barrier.
+        if (!has_incoming && !has_local) continue;
+        std::exception_ptr* err = &errors[i];
+        pool->submit([lane_sim, merge, barrier, err, i] {
+          try {
+            auto incoming = merge->take_incoming(i);
+            for (auto& m : incoming) {
+              lane_sim->at(m.arrival, m.tag, std::move(m.action));
+            }
+            lane_sim->run_before(barrier);
+          } catch (...) {
+            *err = std::current_exception();
+          }
+        });
+        submitted = true;
+      }
+      if (submitted) pool->wait_idle();
+      for (std::exception_ptr& e : errors) {
+        if (e) std::rethrow_exception(std::exchange(e, nullptr));
+      }
+    } else {
+      for (std::size_t i = 0; i < lane_count; ++i) {
+        sim::Simulator* lane_sim = lanes_[i].sim.get();
+        const bool has_incoming = merge->incoming_count(i) > 0;
+        const bool has_local =
+            !lane_sim->drained() && lane_sim->next_event_time() < barrier;
+        if (!has_incoming && !has_local) continue;
+        auto incoming = merge->take_incoming(i);
+        for (auto& m : incoming) {
+          lane_sim->at(m.arrival, m.tag, std::move(m.action));
+        }
+        lane_sim->run_before(barrier);
+      }
+    }
+  }
+}
+
 std::uint64_t UpdateEngine::events_processed() const {
   if (!sharded_) return sim_->events_processed();
   std::uint64_t total = 0;
@@ -1797,24 +2170,28 @@ std::vector<double> UpdateEngine::user_avg_inconsistency() const {
   for (const auto& u : users_) {
     const auto& observations = user_logs_->log(u->id).observations();
     // First serve time at which the user saw version >= v.
-    std::vector<double> lengths;
+    double sum = 0;
+    std::size_t count = 0;
     Version next_needed = 1;
     for (const auto& obs : observations) {
       if (!obs.answered) continue;
       while (next_needed <= obs.version && next_needed <= final_version) {
-        lengths.push_back(obs.serve_time - updates_->update_time(next_needed));
+        sum += obs.serve_time - updates_->update_time(next_needed);
         ++next_needed;
+        ++count;
       }
     }
-    double sum = 0;
-    for (double x : lengths) sum += x;
-    out.push_back(lengths.empty() ? 0.0 : sum / static_cast<double>(lengths.size()));
+    out.push_back(count == 0 ? 0.0 : sum / static_cast<double>(count));
   }
   return out;
 }
 
 std::vector<double> UpdateEngine::per_server_max_user_inconsistency() const {
-  const auto per_user = user_avg_inconsistency();
+  return per_server_max_user_inconsistency(user_avg_inconsistency());
+}
+
+std::vector<double> UpdateEngine::per_server_max_user_inconsistency(
+    const std::vector<double>& per_user) const {
   std::vector<double> out(servers_.size(), 0.0);
   for (std::size_t i = 0; i < per_user.size(); ++i) {
     const std::size_t server = i / config_.users_per_server;

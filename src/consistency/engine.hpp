@@ -71,6 +71,9 @@ class ShardMergeQueue;
 namespace cdnsim::trace {
 struct VisitSchedule;
 }
+namespace cdnsim::util {
+class ThreadPool;
+}
 
 namespace cdnsim::consistency {
 
@@ -127,8 +130,14 @@ struct EngineConfig {
   /// merge queue. Requires batched visits with the pinned attachment and
   /// no churn / poll log / trace events / shared provider uplink.
   struct ShardConfig {
+    /// `shards = kAuto`: pick the lane count from the server count and the
+    /// hardware thread count (see resolved_shard_count), falling back to
+    /// classic execution when the configuration does not support sharding.
+    static constexpr int kAuto = -1;
     /// > 0 enables sharding with this many lanes (clamped to the server
-    /// count). Output is byte-identical for any positive value.
+    /// count); kAuto picks a lane count automatically; 0 disables.
+    /// Output is byte-identical for any supported positive value, and an
+    /// auto-resolved engine is byte-identical to `shards = 1`.
     int shards = 0;
     /// Barrier pitch (s): every cross-lane message arrives at the first
     /// epoch-grid point after its send time or its network arrival,
@@ -137,6 +146,13 @@ struct EngineConfig {
     /// Worker threads driving the lanes; 0 = min(shards, hardware).
     /// Output is byte-identical for any value.
     int workers = 0;
+    /// Overlapped epoch pipeline (default): each lane injects its own
+    /// incoming cross-lane messages from the previous epoch at the start of
+    /// its round, so merge work for epoch k overlaps lane execution of
+    /// epoch k+1. false = lockstep driver (lanes idle while the driver
+    /// drains the merge queue serially). Byte-identical either way; the
+    /// lockstep mode exists as the equivalence-test reference.
+    bool overlap = true;
   };
   ShardConfig shard;
 
@@ -211,6 +227,27 @@ struct EngineConfig {
   obs::Profiler* profiler = nullptr;
 };
 
+/// Config-level sharding support check, shared by the auto resolution and
+/// the benches' flag wiring: true when `config` satisfies the sharded
+/// constructor preconditions (batched pinned visits, no poll log / trace
+/// events / churn) and is not profiled (a profiled run stays classic so the
+/// event-tag scopes remain attributable).
+bool shard_supported(const EngineConfig& config);
+
+/// Number of lanes an engine constructed with `config` over `server_count`
+/// servers will use: 0 = classic unsharded execution, >= 1 = sharded with
+/// that many lanes. Explicit `shard.shards > 0` is clamped to the server
+/// count; `ShardConfig::kAuto` resolves to min(hardware threads, servers /
+/// per-lane floor), floored at one lane, when the configuration supports
+/// sharding (see shard_supported) and to 0 when it does not — so an
+/// auto-configured bench degrades to classic execution instead of tripping
+/// the sharding preconditions, while a supported auto config always stays
+/// on the sharded driver (classic has different message timing, and auto
+/// must stay byte-identical to every explicit count). `hardware_threads =
+/// 0` means detect; pass a value explicitly for deterministic tests.
+int resolved_shard_count(const EngineConfig& config, std::size_t server_count,
+                         std::size_t hardware_threads = 0);
+
 class UpdateEngine {
  public:
   /// `absences` may be empty (no failures) or one schedule per server.
@@ -260,6 +297,10 @@ class UpdateEngine {
   std::vector<double> user_avg_inconsistency() const;
   /// Largest per-user average on each server (the paper plots per node).
   std::vector<double> per_server_max_user_inconsistency() const;
+  /// Same, folding an already-computed user_avg_inconsistency() vector so
+  /// result assembly scans the user logs once instead of twice.
+  std::vector<double> per_server_max_user_inconsistency(
+      const std::vector<double>& per_user) const;
   /// Fraction of user observations showing content older than previously
   /// seen by the same user (Fig. 24).
   double user_observed_inconsistency_fraction() const;
@@ -284,6 +325,7 @@ class UpdateEngine {
   struct ServerState;
   struct UserState;
   struct ReliableState;
+  struct FanoutBatch;
 
   /// Plain per-lane counter mirror of the registry counters. Each lane
   /// accumulates its own copy (single-writer under sharding) and
@@ -340,6 +382,13 @@ class UpdateEngine {
   void schedule_delivery(topology::NodeId from, topology::NodeId to,
                          net::MessageKind kind, sim::SimTime arrival,
                          sim::EventAction action);
+  /// First epoch-grid point strictly after `now` (sharded engines only).
+  sim::SimTime shard_barrier(sim::SimTime now) const;
+  /// schedule_delivery after arrival quantization: absence deferral,
+  /// departed guard, merge-queue emission / direct scheduling.
+  void deliver_at(topology::NodeId from, topology::NodeId to,
+                  net::MessageKind kind, sim::SimTime arrival,
+                  sim::EventAction action);
   sim::SimTime draw_latency(topology::NodeId from, topology::NodeId to);
   net::Uplink& uplink_of(topology::NodeId node);
   const net::GeoPoint& location_of(topology::NodeId node) const;
@@ -357,11 +406,24 @@ class UpdateEngine {
                             topology::NodeId to);
   void schedule_brownouts();
 
-  // version bookkeeping
+  // version bookkeeping. Server versions live in a flat per-server table
+  // (versions_) rather than on ServerState: acquisition, propagation and
+  // the visit walk read versions far more often than any other field, and
+  // the flat table spares them the servers_ unique_ptr chase.
+  trace::Version& version_of(topology::NodeId server) {
+    return versions_[static_cast<std::size_t>(server)];
+  }
+  trace::Version version_of(topology::NodeId server) const {
+    return versions_[static_cast<std::size_t>(server)];
+  }
   trace::Version node_version(topology::NodeId node);  // provider = truth
   void acquire_version(ServerState& s, trace::Version v);
   void propagate_to_children(topology::NodeId node, trace::Version v);
   void notify_children(topology::NodeId node, trace::Version v);
+  /// Rebuilds the per-node partitioned child lists (child_lists_) from the
+  /// infrastructure. Called at construction and after every repair — the
+  /// only times the topology or a node's method can change.
+  void rebuild_child_lists();
 
   // provider side
   void on_provider_update(trace::Version v);
@@ -389,6 +451,10 @@ class UpdateEngine {
   void bind_metrics();
   void bind_profiler();
   void fold_lane_stats();
+  // Expands the bulk walk's run-length visit records into per-user
+  // UserObservation rows (merged by request time with directly-added
+  // rows); runs once from publish_run_stats(), no-op in legacy mode.
+  void materialize_user_logs();
 
   // churn
   void schedule_next_failure();
@@ -423,6 +489,8 @@ class UpdateEngine {
   // run drivers
   void prepare_events();
   void run_sharded();
+  void run_sharded_lockstep(util::ThreadPool* pool);
+  void run_sharded_pipelined(util::ThreadPool* pool);
 
   /// Parent-side subscription bookkeeping for self-adaptive children
   /// (which children are in invalidation mode, and which were already sent
@@ -448,6 +516,23 @@ class UpdateEngine {
   net::Uplink provider_uplink_;
   net::Uplink* shared_provider_uplink_ = nullptr;
   std::vector<std::unique_ptr<ServerState>> servers_;
+  /// Flat per-server version table (index = server id). Single-writer under
+  /// sharding: only the owning lane writes a server's slot.
+  std::vector<trace::Version> versions_;
+  /// Per-node child lists partitioned by delivery role (index = node id +
+  /// 1): `push` holds kPush children and `notice` the notice-receiving ones
+  /// (kInvalidation always sent; self-/rate-adaptive gated on subscription),
+  /// both preserving children_of order so send sequences are unchanged.
+  /// Rebuilt by rebuild_child_lists(); read-only during the run.
+  struct ChildLists {
+    std::vector<topology::NodeId> push;
+    struct Notice {
+      topology::NodeId child;
+      bool gated;  // subscription-gated (self-/rate-adaptive child)
+    };
+    std::vector<Notice> notice;
+  };
+  std::vector<ChildLists> child_lists_;
   std::vector<std::unique_ptr<UserState>> users_;
   std::unique_ptr<cdn::UserPopulationLog> user_logs_;
   std::vector<trace::AbsenceSchedule> absences_;
@@ -488,6 +573,8 @@ class UpdateEngine {
   obs::Profiler* event_profiler_ = nullptr;
   std::vector<obs::ProfileSlot> tag_slots_;
   obs::ProfileSlot ps_send_ = 0;
+  obs::ProfileSlot ps_version_ = 0;
+  obs::ProfileSlot ps_timer_ = 0;
   obs::ProfileSlot ps_poll_ = 0;
   obs::ProfileSlot ps_fetch_ = 0;
   obs::ProfileSlot ps_invalidate_ = 0;

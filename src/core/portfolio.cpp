@@ -13,7 +13,7 @@ SimulationResult collect(const consistency::UpdateEngine& engine,
   result.server_inconsistency_s = engine.server_avg_inconsistency();
   result.user_inconsistency_s = engine.user_avg_inconsistency();
   result.per_server_max_user_inconsistency_s =
-      engine.per_server_max_user_inconsistency();
+      engine.per_server_max_user_inconsistency(result.user_inconsistency_s);
   result.avg_server_inconsistency_s = util::mean(result.server_inconsistency_s);
   result.avg_user_inconsistency_s = util::mean(result.user_inconsistency_s);
   result.traffic = engine.meter().totals();

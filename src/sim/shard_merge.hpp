@@ -3,10 +3,10 @@
 // The sharded engine partitions nodes into lanes, each lane an independent
 // Simulator driven to a common epoch barrier by a thread-pool worker. Any
 // message that must hop between execution contexts is not delivered
-// directly; the sender appends it to its *own lane's* outbox (wait-free, no
-// cross-thread writes), and between epochs the single-threaded driver drains
-// every outbox, sorts by the total order (arrival, sender, seq), and injects
-// the events into the target lanes.
+// directly; the sender appends it to its *own lane's* staging row (wait-free,
+// no cross-thread writes), and between epochs the driver flips the staging
+// generation and hands each target lane its incoming column, sorted by the
+// total order (arrival, sender, seq).
 //
 // The sort key is the determinism invariant (shard_merge_test): sender is
 // the emitting NodeId and seq a per-sender emission counter, so the order —
@@ -15,10 +15,20 @@
 // times are already epoch-quantized by the engine (>= the barrier after the
 // send), which is what makes the per-lane histories independent within an
 // epoch in the first place.
+//
+// Two generations make the overlapped pipeline possible: while lanes run
+// round k+1 (emitting into the write generation), each lane's worker also
+// injects its round-k incoming messages from the read generation. The two
+// never alias, and `take_incoming(t)` touches only column-t buckets, so
+// per-target injection parallelizes without locks. Because each target's
+// sorted column is a subsequence of the global (arrival, sender, seq) order,
+// per-lane injection produces byte-identical event sequences to a global
+// sorted drain.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -42,25 +52,70 @@ class ShardMergeQueue {
   ShardMergeQueue(const ShardMergeQueue&) = delete;
   ShardMergeQueue& operator=(const ShardMergeQueue&) = delete;
 
-  /// Appends to `lane`'s outbox. Callers must only ever pass their own
-  /// lane index — that is what makes emission wait-free and race-free.
+  /// Appends to `lane`'s staging row in the write generation. Callers must
+  /// only ever pass their own lane index — that is what makes emission
+  /// wait-free and race-free.
   void emit(std::size_t lane, Message msg);
 
-  /// True when every outbox is empty. Driver-thread only.
+  /// True when both generations hold no messages. Driver-thread only.
   bool empty() const;
 
-  /// Moves out all buffered messages, sorted by (arrival, sender, seq).
-  /// Driver-thread only, after the lanes have quiesced.
+  /// Swaps the write and read generations. Driver-thread only, after the
+  /// lanes have quiesced and after every `take_incoming` column of the
+  /// previous read generation has been consumed.
+  void flip();
+
+  /// Total messages staged in the write generation. Driver-thread only,
+  /// after the lanes have quiesced.
+  std::size_t staged_count() const;
+
+  /// Earliest arrival staged in the write generation, or +infinity when it
+  /// is empty. Driver-thread only, after the lanes have quiesced. The
+  /// pipelined driver folds this into its epoch-barrier computation so the
+  /// barrier sequence matches what a lockstep drain-then-run driver with
+  /// these messages already injected would have produced.
+  SimTime min_staged_arrival() const;
+
+  /// Messages bound for `target` in the read generation. Safe to call
+  /// concurrently for distinct targets.
+  std::size_t incoming_count(std::size_t target) const;
+
+  /// Moves out the read generation's messages bound for `target`, sorted by
+  /// (arrival, sender, seq). Safe to call concurrently for *distinct*
+  /// targets: only column-`target` buckets are touched.
+  std::vector<Message> take_incoming(std::size_t target);
+
+  /// Moves out all buffered messages (both generations must collapse into
+  /// one: the read generation must be empty), sorted globally by (arrival,
+  /// sender, seq). Driver-thread only, after the lanes have quiesced. This
+  /// is the lockstep driver's path and the historical API.
   std::vector<Message> drain();
 
-  std::size_t lane_count() const { return outboxes_.size(); }
+  std::size_t lane_count() const { return generations_[0].size(); }
 
  private:
-  // One cache line per lane so concurrent appends never false-share.
-  struct alignas(64) Outbox {
+  // One cache line per bucket so concurrent `take_incoming` calls on
+  // adjacent columns never false-share on the vector headers.
+  struct alignas(64) Bucket {
     std::vector<Message> messages;
   };
-  std::vector<Outbox> outboxes_;
+  // One row per source lane; `min_arrival` is maintained by the emitting
+  // lane alone and read by the driver after the quiesce barrier.
+  struct alignas(64) Row {
+    std::vector<Bucket> buckets;
+    SimTime min_arrival = std::numeric_limits<SimTime>::infinity();
+  };
+  using Generation = std::vector<Row>;
+
+  static void sort_messages(std::vector<Message>& messages);
+
+  Generation& write_gen() { return generations_[write_index_]; }
+  const Generation& write_gen() const { return generations_[write_index_]; }
+  Generation& read_gen() { return generations_[1 - write_index_]; }
+  const Generation& read_gen() const { return generations_[1 - write_index_]; }
+
+  Generation generations_[2];
+  int write_index_ = 0;
 };
 
 }  // namespace cdnsim::sim

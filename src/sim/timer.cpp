@@ -28,13 +28,24 @@ void PeriodicTimer::set_period(SimTime period) {
   period_ = period;
 }
 
+void PeriodicTimer::attach_profiler(obs::Profiler* profiler,
+                                    obs::ProfileSlot slot) {
+  profiler_ = profiler;
+  profile_slot_ = slot;
+}
+
 void PeriodicTimer::arm(SimTime delay) {
   handle_ = sim_->after(delay, tag_, [this] { fire(); });
 }
 
 void PeriodicTimer::fire() {
   // Re-arm before the callback so the callback may stop() or set_period().
-  arm(period_);
+  // Only the re-arm is charged to the timer slot: the callback accounts to
+  // the scopes the actual work opens.
+  {
+    obs::ProfileScope scope(profiler_, profile_slot_);
+    arm(period_);
+  }
   on_tick_();
 }
 

@@ -38,6 +38,12 @@ class PeriodicTimer {
   void set_period(SimTime period);
   SimTime period() const { return period_; }
 
+  /// Attributes the timer's own bookkeeping (the re-arm on every tick) to
+  /// `slot` on `profiler` (borrowed; null detaches). The tick *callback*
+  /// stays outside the scope — it accounts to whatever the work itself
+  /// opens — so the slot isolates pure timer overhead.
+  void attach_profiler(obs::Profiler* profiler, obs::ProfileSlot slot);
+
  private:
   void arm(SimTime delay);
   void fire();
@@ -47,6 +53,8 @@ class PeriodicTimer {
   Callback on_tick_;
   EventHandle handle_;
   EventTag tag_;
+  obs::Profiler* profiler_ = nullptr;
+  obs::ProfileSlot profile_slot_ = 0;
 };
 
 }  // namespace cdnsim::sim

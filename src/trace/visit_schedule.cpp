@@ -6,6 +6,21 @@
 #include "util/error.hpp"
 
 namespace cdnsim::trace {
+namespace {
+
+// Head of one user's visit progression during the per-server k-way merge.
+struct Head {
+  sim::SimTime time;
+  std::uint32_t k;  // local user index; user id = base + k, so ties merge by k
+};
+
+// Min-heap order for std::*_heap (which build max-heaps): "a after b".
+bool head_after(const Head& a, const Head& b) {
+  if (a.time != b.time) return a.time > b.time;
+  return a.k > b.k;
+}
+
+}  // namespace
 
 VisitSchedule build_visit_schedule(std::size_t server_count,
                                    std::size_t users_per_server,
@@ -28,35 +43,49 @@ VisitSchedule build_visit_schedule(std::size_t server_count,
 
   VisitSchedule out;
   out.servers.resize(server_count);
-  struct Visit {
-    sim::SimTime time;
-    std::uint32_t user;
-  };
-  std::vector<Visit> scratch;
+  // Each user's progression (phase, phase + P, phase + P + P, ...) is
+  // non-decreasing, so a k-way merge across a server's users emits the
+  // (time, user-id) sorted order directly — the merged order is unique
+  // (the comparator is a strict total order on distinct rows), so this is
+  // byte-identical to sorting the concatenation, at O(n log users_per_server)
+  // instead of O(n log n).
+  const std::size_t rounds_hint =
+      static_cast<std::size_t>(end_time_s / period_s) + 2;
+  std::vector<Head> heap;
+  heap.reserve(users_per_server);
   for (std::size_t s = 0; s < server_count; ++s) {
-    scratch.clear();
+    const std::size_t base = s * users_per_server;
+    heap.clear();
     for (std::size_t k = 0; k < users_per_server; ++k) {
-      const std::size_t u = s * users_per_server + k;
-      // Repeated addition, not phase + i * period: this is the arithmetic
-      // PeriodicTimer::fire() performs, bit for bit.
-      for (sim::SimTime t = phases[u]; t < end_time_s; t += period_s) {
-        scratch.push_back({t, static_cast<std::uint32_t>(u)});
+      const sim::SimTime phase = phases[base + k];
+      if (phase < end_time_s) {
+        heap.push_back({phase, static_cast<std::uint32_t>(k)});
       }
     }
-    std::sort(scratch.begin(), scratch.end(), [](const Visit& a, const Visit& b) {
-      if (a.time != b.time) return a.time < b.time;
-      return a.user < b.user;
-    });
+    std::make_heap(heap.begin(), heap.end(), head_after);
     VisitSchedule::PerServer& ps = out.servers[s];
-    ps.times.reserve(scratch.size());
-    ps.users.reserve(scratch.size());
-    ps.deadlines.reserve(scratch.size());
-    for (const Visit& v : scratch) {
-      ps.times.push_back(v.time);
-      ps.users.push_back(v.user);
-      ps.deadlines.push_back(v.time + period_s);
+    ps.times.reserve(users_per_server * rounds_hint);
+    ps.users.reserve(users_per_server * rounds_hint);
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), head_after);
+      Head h = heap.back();
+      heap.pop_back();
+      ps.times.push_back(h.time);
+      ps.users.push_back(static_cast<std::uint32_t>(base + h.k));
+      // Repeated addition, not phase + i * period: this is the arithmetic
+      // PeriodicTimer::fire() performs, bit for bit.
+      h.time += period_s;
+      if (h.time < end_time_s) {
+        heap.push_back(h);
+        std::push_heap(heap.begin(), heap.end(), head_after);
+      }
     }
-    out.total_visits += scratch.size();
+    const std::size_t n = ps.times.size();
+    ps.deadlines.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ps.deadlines.push_back(ps.times[i] + period_s);
+    }
+    out.total_visits += n;
   }
   return out;
 }

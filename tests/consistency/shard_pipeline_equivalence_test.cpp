@@ -1,0 +1,244 @@
+// Equivalence battery for the overlapped epoch pipeline and auto shard
+// selection.
+//
+// 1. The pipelined sharded driver (shard.overlap = true, the default) must
+//    be byte-identical to the lockstep reference driver (overlap = false):
+//    same result vectors, same full metrics JSON — sim.* gauges included —
+//    across all five paper systems, reliable delivery off/on, and a nonzero
+//    fault plan. The lockstep driver exists exactly to anchor this test.
+// 2. `ShardConfig::kAuto` must (a) resolve lane counts by the documented
+//    size/hardware model, (b) degrade to classic execution on configurations
+//    the sharded driver does not support instead of tripping its
+//    preconditions, and (c) never change results: an auto engine is
+//    byte-identical to `shards = 1` whatever it resolves to.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "consistency/engine.hpp"
+#include "consistency/engine_test_util.hpp"
+#include "obs/profiler.hpp"
+
+namespace cdnsim::consistency {
+namespace {
+
+using testutil::base_config;
+using testutil::run;
+using testutil::short_game;
+using testutil::small_scenario;
+
+struct System {
+  const char* name;
+  UpdateMethod method;
+  InfrastructureKind infra;
+};
+
+const System kSystems[] = {
+    {"Ttl", UpdateMethod::kTtl, InfrastructureKind::kUnicast},
+    {"Push", UpdateMethod::kPush, InfrastructureKind::kUnicast},
+    {"Invalidation", UpdateMethod::kInvalidation, InfrastructureKind::kUnicast},
+    {"SelfAdaptive", UpdateMethod::kSelfAdaptive, InfrastructureKind::kUnicast},
+    {"Hat", UpdateMethod::kSelfAdaptive, InfrastructureKind::kHybridSupernode},
+};
+
+fault::FaultPlan nonzero_fault_plan() {
+  fault::FaultPlan plan;
+  plan.enabled = true;
+  plan.loss_probability = 0.05;
+  plan.duplicate_probability = 0.02;
+  plan.extra_delay_max_s = 0.4;
+  return plan;
+}
+
+// Everything a run exposes to callers, as comparable strings/vectors.
+struct Fingerprint {
+  std::vector<double> server_avg;
+  std::vector<double> user_avg;
+  std::vector<double> per_server_max_user;
+  double observed_fraction = 0.0;
+  std::string metrics_json;
+};
+
+Fingerprint fingerprint(const UpdateEngine& engine) {
+  Fingerprint fp;
+  fp.server_avg = engine.server_avg_inconsistency();
+  fp.user_avg = engine.user_avg_inconsistency();
+  fp.per_server_max_user = engine.per_server_max_user_inconsistency();
+  fp.observed_fraction = engine.user_observed_inconsistency_fraction();
+  fp.metrics_json = engine.metrics().to_json();
+  return fp;
+}
+
+// operator== on doubles is bit-exact here (no NaNs in these outputs), which
+// is the equivalence the pipelined driver promises.
+void expect_identical(const Fingerprint& a, const Fingerprint& b) {
+  EXPECT_EQ(a.server_avg, b.server_avg);
+  EXPECT_EQ(a.user_avg, b.user_avg);
+  EXPECT_EQ(a.per_server_max_user, b.per_server_max_user);
+  EXPECT_EQ(a.observed_fraction, b.observed_fraction);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+}
+
+class ShardPipelineEquivalenceTest : public ::testing::TestWithParam<System> {};
+
+TEST_P(ShardPipelineEquivalenceTest, OverlapMatchesLockstepReference) {
+  const System& sys = GetParam();
+  const auto scenario = small_scenario();
+  const auto updates = short_game();
+  for (const bool faulty : {false, true}) {
+    for (const bool reliable : {false, true}) {
+      EngineConfig pipelined = base_config(sys.method, sys.infra);
+      if (faulty) pipelined.fault = nonzero_fault_plan();
+      pipelined.reliable.enabled = reliable;
+      pipelined.shard.shards = 4;
+      pipelined.shard.workers = 2;
+      pipelined.shard.overlap = true;
+      EngineConfig lockstep = pipelined;
+      lockstep.shard.overlap = false;
+
+      const auto pipelined_run = run(*scenario.nodes, updates, pipelined);
+      const auto lockstep_run = run(*scenario.nodes, updates, lockstep);
+      SCOPED_TRACE(std::string(sys.name) + (faulty ? " faulty" : " clean") +
+                   (reliable ? " reliable" : " best-effort"));
+      expect_identical(fingerprint(*pipelined_run->engine),
+                       fingerprint(*lockstep_run->engine));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FiveSystems, ShardPipelineEquivalenceTest,
+                         ::testing::ValuesIn(kSystems),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(ShardPipelineDriverTest, OverlapInvariantAcrossWorkerAndLaneCounts) {
+  // The pipelined driver inherits the decomposition-invariance contract:
+  // one fingerprint for every (shards, workers) combination.
+  const auto scenario = small_scenario();
+  const auto updates = short_game();
+  Fingerprint reference;
+  bool have_reference = false;
+  for (const int shards : {1, 3, 8}) {
+    for (const int workers : {1, 4}) {
+      EngineConfig ec = base_config(UpdateMethod::kSelfAdaptive,
+                                    InfrastructureKind::kHybridSupernode);
+      ec.fault = nonzero_fault_plan();
+      ec.reliable.enabled = true;
+      ec.shard.shards = shards;
+      ec.shard.workers = workers;
+      ec.shard.overlap = true;
+      const auto r = run(*scenario.nodes, updates, ec);
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " workers=" + std::to_string(workers));
+      const Fingerprint fp = fingerprint(*r->engine);
+      if (!have_reference) {
+        reference = fp;
+        have_reference = true;
+      } else {
+        expect_identical(reference, fp);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Auto shard selection
+// ---------------------------------------------------------------------------
+
+EngineConfig shardable_config() {
+  EngineConfig ec = base_config(UpdateMethod::kPush);
+  ec.shard.shards = EngineConfig::ShardConfig::kAuto;
+  return ec;
+}
+
+TEST(ShardAutoSelectionTest, ResolvesByServerCountAndHardwareThreads) {
+  const EngineConfig ec = shardable_config();
+  // Size-limited: one lane per kAutoMinServersPerLane (24) servers.
+  EXPECT_EQ(resolved_shard_count(ec, 48, /*hardware_threads=*/8), 2);
+  EXPECT_EQ(resolved_shard_count(ec, 96, /*hardware_threads=*/8), 4);
+  // Hardware-limited once the scenario is big enough.
+  EXPECT_EQ(resolved_shard_count(ec, 960, /*hardware_threads=*/8), 8);
+  EXPECT_EQ(resolved_shard_count(ec, 960, /*hardware_threads=*/2), 2);
+  // Tiny scenarios and single-thread hosts stay at one lane, never zero:
+  // classic execution has different message timing (no epoch grid), and
+  // auto's output must stay byte-identical to every explicit --shards N.
+  EXPECT_EQ(resolved_shard_count(ec, 30, /*hardware_threads=*/8), 1);
+  EXPECT_EQ(resolved_shard_count(ec, 3, /*hardware_threads=*/16), 1);
+  EXPECT_EQ(resolved_shard_count(ec, 960, /*hardware_threads=*/1), 1);
+}
+
+TEST(ShardAutoSelectionTest, ExplicitCountsClampAndZeroDisables) {
+  EngineConfig ec = shardable_config();
+  ec.shard.shards = 5;
+  EXPECT_EQ(resolved_shard_count(ec, 3), 3);   // clamped to server count
+  EXPECT_EQ(resolved_shard_count(ec, 100), 5);
+  ec.shard.shards = 0;
+  EXPECT_EQ(resolved_shard_count(ec, 100), 0);  // off means off
+}
+
+TEST(ShardAutoSelectionTest, AutoDegradesToClassicWhenUnsupported) {
+  // Each of these configurations would trip the sharded constructor's
+  // preconditions; auto must resolve to classic execution (0) instead.
+  {
+    EngineConfig ec = shardable_config();
+    ec.record_trace_events = true;
+    EXPECT_EQ(resolved_shard_count(ec, 960, 8), 0);
+  }
+  {
+    EngineConfig ec = shardable_config();
+    ec.churn.failures_per_hour = 1.0;
+    EXPECT_EQ(resolved_shard_count(ec, 960, 8), 0);
+  }
+  {
+    EngineConfig ec = shardable_config();
+    ec.visit_batching = false;
+    EXPECT_EQ(resolved_shard_count(ec, 960, 8), 0);
+  }
+  {
+    EngineConfig ec = shardable_config();
+    ec.record_poll_log = true;
+    EXPECT_EQ(resolved_shard_count(ec, 960, 8), 0);
+  }
+  {
+    EngineConfig ec = shardable_config();
+    obs::Profiler profiler;
+    ec.profiler = &profiler;
+    EXPECT_EQ(resolved_shard_count(ec, 960, 8), 0);
+  }
+}
+
+TEST(ShardAutoSelectionTest, AutoRunMatchesShardsOne) {
+  // Whatever lane count auto resolves to on this host, results are
+  // byte-identical to an explicit single lane — the invariance the benches'
+  // default (--shards auto) rides on.
+  const auto scenario = small_scenario();
+  const auto updates = short_game();
+  EngineConfig auto_cfg = base_config(UpdateMethod::kInvalidation);
+  auto_cfg.fault = nonzero_fault_plan();
+  auto_cfg.shard.shards = EngineConfig::ShardConfig::kAuto;
+  EngineConfig one_cfg = auto_cfg;
+  one_cfg.shard.shards = 1;
+  const auto auto_run = run(*scenario.nodes, updates, auto_cfg);
+  const auto one_run = run(*scenario.nodes, updates, one_cfg);
+  expect_identical(fingerprint(*auto_run->engine),
+                   fingerprint(*one_run->engine));
+}
+
+TEST(ShardAutoSelectionTest, AutoOnUnsupportedConfigRunsClassic) {
+  // An auto engine over an unsupported configuration (churn here) must run —
+  // on the classic driver — and match an explicitly classic engine exactly.
+  const auto scenario = small_scenario();
+  const auto updates = short_game();
+  EngineConfig auto_cfg = base_config(UpdateMethod::kTtl);
+  auto_cfg.churn.failures_per_hour = 2.0;
+  auto_cfg.shard.shards = EngineConfig::ShardConfig::kAuto;
+  EngineConfig classic_cfg = auto_cfg;
+  classic_cfg.shard.shards = 0;
+  const auto auto_run = run(*scenario.nodes, updates, auto_cfg);
+  const auto classic_run = run(*scenario.nodes, updates, classic_cfg);
+  expect_identical(fingerprint(*auto_run->engine),
+                   fingerprint(*classic_run->engine));
+}
+
+}  // namespace
+}  // namespace cdnsim::consistency
