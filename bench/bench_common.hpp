@@ -9,6 +9,7 @@
 // `for b in build/bench/*; do $b; done` doubles as a reproduction report.
 #pragma once
 
+#include <charconv>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -25,6 +26,26 @@
 #include "util/thread_pool.hpp"
 
 namespace cdnsim::bench {
+
+/// Whole-string numeric parse (std::from_chars): rejects empty cells,
+/// non-numeric text and trailing garbage ("12abc"), and never throws —
+/// callers report the offending flag themselves.
+template <typename T>
+bool parse_number(const std::string& raw, T& out) {
+  const auto [ptr, ec] =
+      std::from_chars(raw.data(), raw.data() + raw.size(), out);
+  return ec == std::errc{} && ptr == raw.data() + raw.size();
+}
+
+/// Hard usage error naming the malformed flag (exit 2): a typo'd value
+/// silently falling back to a default would invalidate an A/B run.
+[[noreturn]] inline void flag_usage_error(const std::string& key,
+                                          const std::string& raw,
+                                          const std::string& expected) {
+  std::cerr << "error: --" << key << " expects " << expected << ", got '"
+            << raw << "'\n";
+  std::exit(2);
+}
 
 /// Minimal --flag value parser: `Flags f(argc, argv); f.get("days", 15)`.
 class Flags {
@@ -112,18 +133,9 @@ class Flags {
     const std::string raw = get_str("shards", "");
     if (raw.empty()) return fallback;
     if (raw == "auto") return consistency::EngineConfig::ShardConfig::kAuto;
-    std::size_t pos = 0;
     long long n = 0;
-    bool parsed = true;
-    try {
-      n = std::stoll(raw, &pos);
-    } catch (...) {
-      parsed = false;
-    }
-    if (!parsed || pos != raw.size() || n < 1) {
-      std::cerr << "error: --shards expects 'auto' or an integer >= 1, got '"
-                << raw << "'\n";
-      std::exit(2);
+    if (!parse_number(raw, n) || n < 1) {
+      flag_usage_error("shards", raw, "'auto' or an integer >= 1");
     }
     return static_cast<int>(n);
   }
@@ -134,34 +146,32 @@ class Flags {
   double epoch_s(double fallback) const {
     const std::string raw = get_str("epoch-s", "");
     if (raw.empty()) return fallback;
-    std::size_t pos = 0;
     double v = 0;
-    bool parsed = true;
-    try {
-      v = std::stod(raw, &pos);
-    } catch (...) {
-      parsed = false;
-    }
-    if (!parsed || pos != raw.size() || !(v > 0) ||
+    if (!parse_number(raw, v) || !(v > 0) ||
         !(v < std::numeric_limits<double>::infinity())) {
-      std::cerr << "error: --epoch-s expects a positive number of seconds, "
-                   "got '"
-                << raw << "'\n";
-      std::exit(2);
+      flag_usage_error("epoch-s", raw, "a positive number of seconds");
     }
     return v;
   }
 
   double get(const std::string& key, double fallback) const {
     for (const auto& [k, v] : values_) {
-      if (k == key) return std::stod(v);
+      if (k == key) {
+        double out = 0;
+        if (!parse_number(v, out)) flag_usage_error(key, v, "a number");
+        return out;
+      }
     }
     return fallback;
   }
 
   std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
     for (const auto& [k, v] : values_) {
-      if (k == key) return std::stoll(v);
+      if (k == key) {
+        std::int64_t out = 0;
+        if (!parse_number(v, out)) flag_usage_error(key, v, "an integer");
+        return out;
+      }
     }
     return fallback;
   }

@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "cdn/ring.hpp"
 #include "consistency/engine.hpp"
+#include "core/catalog_run.hpp"
 #include "core/scenario.hpp"
 #include "net/latency_model.hpp"
 #include "obs/metrics.hpp"
@@ -207,6 +209,59 @@ void BM_ShardMergeDrain(benchmark::State& state) {
 }
 BENCHMARK(BM_ShardMergeDrain)
     ->Name("shard_merge_drain_100k")
+    ->Unit(benchmark::kMillisecond);
+
+// 100k replica-set lookups on the placement ring (170 servers x 64 vnodes,
+// the paper-scale CDN): the per-object cost the catalog layer pays before
+// any simulation runs. Bounds placement overhead at million-object scale.
+void BM_RingLookup(benchmark::State& state) {
+  cdn::ConsistentHashRing ring(64);
+  for (topology::NodeId s = 0; s < 170; ++s) ring.add_server(s);
+  constexpr std::size_t kLookups = 100000;
+  std::size_t sink = 0;
+  for (auto _ : state) {
+    sink = 0;
+    for (std::uint64_t k = 0; k < kLookups; ++k) {
+      sink += ring.replicas_for(cdn::object_point(k), 3).size();
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kLookups));
+}
+BENCHMARK(BM_RingLookup)
+    ->Name("ring_lookup_100k")
+    ->Unit(benchmark::kMillisecond);
+
+// A whole small catalog run: 12 Zipf objects, proportional replication,
+// TTL maintenance on 40 servers — the ext_catalog_scale --small workload's
+// unit grid point, serial lanes. Bounds the per-grid-point cost of the
+// catalog sweeps.
+void BM_CatalogSmall(benchmark::State& state) {
+  core::ScenarioConfig sc;
+  sc.server_count = 40;
+  const auto scenario = core::build_scenario(sc);
+  trace::GameTraceConfig game_cfg;
+  game_cfg.period_s = 600;
+  game_cfg.break_s = 200;
+  util::Rng rng(3);
+  const auto game = trace::generate_game_trace(game_cfg, rng);
+  core::CatalogRunConfig cfg;
+  cfg.catalog.object_count = 12;
+  cfg.catalog.policy = cdn::ReplicaPolicy::kProportional;
+  cfg.catalog.replica_budget = 4.0;
+  cfg.engine.method.method = consistency::UpdateMethod::kTtl;
+  cfg.lanes = 1;
+  cfg.threads = 1;
+  for (auto _ : state) {
+    const auto run = core::run_catalog(*scenario.nodes, game, cfg);
+    benchmark::DoNotOptimize(run.events_processed);
+    state.counters["events"] = static_cast<double>(run.events_processed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 12);
+}
+BENCHMARK(BM_CatalogSmall)
+    ->Name("catalog_small")
     ->Unit(benchmark::kMillisecond);
 
 // Console output as usual, plus one bench-json record per benchmark run.

@@ -48,7 +48,7 @@ if [[ "${run_tsan}" == "1" ]]; then
   cmake -B build-tsan -S . -DCDNSIM_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j --target cdnsim_tests
   ./build-tsan/tests/cdnsim_tests \
-    --gtest_filter='ThreadPool*:BatchRunner*:RngTest.Substream*:CdfTest.ConcurrentReadsOnSharedConstCdf:FaultInjectionProperty*:ShardMerge*:*ShardPipeline*:VisitBatch*'
+    --gtest_filter='ThreadPool*:BatchRunner*:RngTest.Substream*:CdfTest.ConcurrentReadsOnSharedConstCdf:FaultInjectionProperty*:ShardMerge*:*ShardPipeline*:VisitBatch*:Catalog*:Ring*'
 fi
 
 if [[ "${run_perf}" == "1" ]]; then
@@ -160,6 +160,31 @@ print(json.dumps(json.load(open(sys.argv[1]))["deterministic"]))' \
     done
   done
   echo "ext_churn metrics/csv byte-identical across --shards 1/auto x --jobs 1/8"
+
+  # Catalog runs: --shards selects the object-lane count (objects split by
+  # ring position) and --jobs the worker threads; both are pure execution
+  # knobs, so the per-object metrics/csv must be byte-identical across the
+  # whole grid, "auto" included.
+  cmake --build build -j --target ext_catalog_scale
+  cat_dir="${tmp_dir}/obs-catalog"
+  mkdir -p "${cat_dir}"
+  for sh in 1 auto; do
+    for jobs in 1 8; do
+      rc=0
+      ./build/bench/ext_catalog_scale --small --jobs "${jobs}" \
+        --shards "${sh}" \
+        --metrics-out "${cat_dir}/m_s${sh}_j${jobs}.jsonl" \
+        --csv-out "${cat_dir}/c_s${sh}_j${jobs}.csv" >/dev/null || rc=$?
+      if [[ "${rc}" -ge 2 ]]; then
+        echo "ext_catalog_scale --shards ${sh} --jobs ${jobs} failed" \
+             "(exit ${rc})" >&2
+        exit 1
+      fi
+      cmp "${cat_dir}/m_s1_j1.jsonl" "${cat_dir}/m_s${sh}_j${jobs}.jsonl"
+      cmp "${cat_dir}/c_s1_j1.csv" "${cat_dir}/c_s${sh}_j${jobs}.csv"
+    done
+  done
+  echo "catalog metrics/csv byte-identical across --shards 1/auto x --jobs 1/8"
   python3 scripts/check_obs.py --metrics "${obs_dir}/m1.jsonl" \
     --trace "${obs_dir}/t1.json" --csv "${obs_dir}/c1.csv" \
     --profile "${obs_dir}/p1.profile.json"

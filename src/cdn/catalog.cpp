@@ -1,0 +1,141 @@
+#include "cdn/catalog.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cdnsim::cdn {
+
+std::string_view to_string(ReplicaPolicy policy) {
+  switch (policy) {
+    case ReplicaPolicy::kFixed: return "fixed";
+    case ReplicaPolicy::kProportional: return "proportional";
+    case ReplicaPolicy::kSqrtProportional: return "sqrt";
+  }
+  return "unknown";
+}
+
+Catalog::Catalog(CatalogConfig config, std::size_t server_count)
+    : config_(config), server_count_(server_count) {
+  CDNSIM_EXPECTS(config_.object_count >= 1, "catalog needs at least one object");
+  CDNSIM_EXPECTS(server_count_ >= 1, "catalog needs at least one server");
+  CDNSIM_EXPECTS(config_.zipf_s >= 0, "zipf_s must be non-negative");
+  CDNSIM_EXPECTS(config_.replica_budget > 0, "replica_budget must be positive");
+  CDNSIM_EXPECTS(config_.min_replicas >= 1, "min_replicas must be >= 1");
+  CDNSIM_EXPECTS(config_.hot_churn_fraction >= 0 &&
+                     config_.hot_churn_fraction <= 1,
+                 "hot_churn_fraction must be in [0, 1]");
+  objects_.resize(config_.object_count);
+  for (std::size_t i = 0; i < objects_.size(); ++i) {
+    objects_[i].id = static_cast<ObjectId>(i);
+    objects_[i].rank = i;
+  }
+  derive_weights_and_replicas();
+}
+
+const CatalogObject& Catalog::object(ObjectId id) const {
+  CDNSIM_EXPECTS(static_cast<std::size_t>(id) < objects_.size(),
+                 "unknown object id");
+  return objects_[static_cast<std::size_t>(id)];
+}
+
+std::size_t Catalog::total_replicas() const {
+  std::size_t total = 0;
+  for (const auto& o : objects_) total += o.replicas;
+  return total;
+}
+
+std::size_t Catalog::users_per_replica(ObjectId id,
+                                       std::size_t users_per_server) const {
+  const CatalogObject& o = object(id);
+  const double viewers = static_cast<double>(users_per_server) *
+                         static_cast<double>(server_count_) * o.weight;
+  const auto per_replica =
+      std::llround(viewers / static_cast<double>(o.replicas));
+  return static_cast<std::size_t>(std::max<long long>(1, per_replica));
+}
+
+std::size_t Catalog::churn_hot_set(util::Rng& rng) {
+  const std::size_t n = objects_.size();
+  const std::size_t hot = static_cast<std::size_t>(
+      std::ceil(config_.hot_churn_fraction * static_cast<double>(n)));
+  if (hot == 0 || n < 2) return 0;
+
+  // The churn pool: whoever holds the hottest `hot` ranks, plus `hot`
+  // uniformly-drawn outsiders (sampling the whole catalog keeps the pool
+  // deterministic in the rng and lets genuinely cold objects go hot).
+  std::vector<std::size_t> pool;  // object indices
+  pool.reserve(2 * hot);
+  for (const auto& o : objects_) {
+    if (o.rank < hot) pool.push_back(static_cast<std::size_t>(o.id));
+  }
+  while (pool.size() < std::min(2 * hot, n)) {
+    const std::size_t candidate = rng.index(n);
+    if (std::find(pool.begin(), pool.end(), candidate) == pool.end()) {
+      pool.push_back(candidate);
+    }
+  }
+
+  // Shuffle the pool's ranks among its members.
+  std::vector<std::size_t> ranks;
+  ranks.reserve(pool.size());
+  for (const std::size_t idx : pool) ranks.push_back(objects_[idx].rank);
+  rng.shuffle(ranks);
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (objects_[pool[i]].rank != ranks[i]) ++changed;
+    objects_[pool[i]].rank = ranks[i];
+  }
+  derive_weights_and_replicas();
+  return changed;
+}
+
+void Catalog::derive_weights_and_replicas() {
+  const std::size_t n = objects_.size();
+  const std::size_t max_replicas =
+      config_.max_replicas == 0
+          ? server_count_
+          : std::min(config_.max_replicas, server_count_);
+  CDNSIM_EXPECTS(config_.min_replicas <= max_replicas,
+                 "min_replicas exceeds the replica clamp");
+
+  // Normalized Zipf mass per rank.
+  double harmonic = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    harmonic += std::pow(static_cast<double>(r + 1), -config_.zipf_s);
+  }
+  for (auto& o : objects_) {
+    o.weight =
+        std::pow(static_cast<double>(o.rank + 1), -config_.zipf_s) / harmonic;
+  }
+
+  // Allocate the replica budget. sum(weight) == 1, so the proportional
+  // policies spend ~budget copies before clamping.
+  const double budget =
+      config_.replica_budget * static_cast<double>(n);
+  double sqrt_mass = 0;
+  if (config_.policy == ReplicaPolicy::kSqrtProportional) {
+    for (const auto& o : objects_) sqrt_mass += std::sqrt(o.weight);
+  }
+  for (auto& o : objects_) {
+    double share = 0;
+    switch (config_.policy) {
+      case ReplicaPolicy::kFixed:
+        share = config_.replica_budget;
+        break;
+      case ReplicaPolicy::kProportional:
+        share = budget * o.weight;
+        break;
+      case ReplicaPolicy::kSqrtProportional:
+        share = budget * std::sqrt(o.weight) / sqrt_mass;
+        break;
+    }
+    const auto rounded = std::llround(share);
+    o.replicas = std::clamp(static_cast<std::size_t>(std::max<long long>(
+                                1, rounded)),
+                            config_.min_replicas, max_replicas);
+  }
+}
+
+}  // namespace cdnsim::cdn

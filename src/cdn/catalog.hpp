@@ -1,0 +1,108 @@
+// The object catalog: N content objects with Zipf popularity, hot-set
+// churn, and popularity-driven replica counts.
+//
+// The paper measures one live page replicated to every server; a real CDN
+// serves a catalog where object popularity follows a Zipf law and the
+// replica count per object adapts to demand ("Adaptive Replication in
+// Distributed Content Delivery Networks", Leconte, Lelarge & Massoulié —
+// PAPERS.md). The catalog models exactly that input side:
+//  * popularity — object at rank r (0 = hottest) has weight
+//    (r+1)^-s / H_N(s), the normalized Zipf mass;
+//  * replication — a total replica budget of replica_budget * N copies is
+//    allocated by policy: the same count for every object (kFixed, the
+//    non-adaptive baseline), proportionally to popularity (kProportional,
+//    the adaptive allocation that keeps per-replica demand flat), or
+//    proportionally to sqrt(popularity) (kSqrtProportional, the classic
+//    compromise that over-replicates the tail);
+//  * churn — churn_hot_set() reshuffles the popularity ranks of the hot
+//    head (plus as many cold objects) and re-derives replica counts, the
+//    "yesterday's cold object is today's front page" event the adaptive
+//    policies must absorb.
+// Placement of each object's replicas onto servers is the ring's job
+// (cdn/ring.hpp); running the update methods over the replica sets is
+// core::run_catalog's.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cdnsim::cdn {
+
+using ObjectId = std::uint32_t;
+
+enum class ReplicaPolicy { kFixed, kProportional, kSqrtProportional };
+
+std::string_view to_string(ReplicaPolicy policy);
+
+struct CatalogConfig {
+  std::size_t object_count = 1;
+  /// Zipf exponent over popularity ranks (~0.8-1.0 for web catalogs).
+  double zipf_s = 0.9;
+  ReplicaPolicy policy = ReplicaPolicy::kProportional;
+  /// Average replicas per object; the total budget is
+  /// round(replica_budget * object_count) copies, split by policy.
+  double replica_budget = 2.0;
+  /// Per-object clamp on the policy's allocation. max_replicas = 0 means
+  /// "the whole server set".
+  std::size_t min_replicas = 1;
+  std::size_t max_replicas = 0;
+  /// Virtual nodes per server on the placement ring.
+  std::size_t ring_vnodes = 64;
+  /// Fraction of the catalog whose ranks are reshuffled per
+  /// churn_hot_set() call (the hot head plus as many cold objects).
+  double hot_churn_fraction = 0.1;
+};
+
+struct CatalogObject {
+  ObjectId id = 0;
+  /// Popularity rank, 0 = hottest. Initially rank == id; hot-set churn
+  /// permutes ranks while ids (and thus ring placement) stay put.
+  std::size_t rank = 0;
+  /// Normalized Zipf mass at this rank (catalog weights sum to 1).
+  double weight = 0;
+  /// Policy-derived replica count in [min_replicas, max clamp].
+  std::size_t replicas = 1;
+};
+
+class Catalog {
+ public:
+  /// `server_count` bounds the per-object replica clamp.
+  Catalog(CatalogConfig config, std::size_t server_count);
+
+  const CatalogConfig& config() const { return config_; }
+  std::size_t size() const { return objects_.size(); }
+  std::size_t server_count() const { return server_count_; }
+  const CatalogObject& object(ObjectId id) const;
+  const std::vector<CatalogObject>& objects() const { return objects_; }
+
+  /// Sum of per-object replica counts (the spent budget).
+  std::size_t total_replicas() const;
+
+  /// Popularity-weighted demand: how many users each replica of `id`
+  /// serves, given the single-page experiments' `users_per_server` base.
+  /// The catalog-wide viewer population is users_per_server * server_count
+  /// (the legacy budget), split by weight, spread over the object's
+  /// replicas, floored at one viewer. Under kProportional this is nearly
+  /// flat across objects — the load-balance property adaptive replication
+  /// buys; under kFixed the hot head concentrates viewers per replica.
+  std::size_t users_per_replica(ObjectId id, std::size_t users_per_server) const;
+
+  /// Hot-set churn: the objects currently holding the hottest
+  /// ceil(hot_churn_fraction * N) ranks and an equal number of
+  /// uniformly-drawn cold objects trade ranks (a deterministic shuffle of
+  /// `rng`), then weights and replica counts are re-derived. Returns how
+  /// many objects changed rank.
+  std::size_t churn_hot_set(util::Rng& rng);
+
+ private:
+  void derive_weights_and_replicas();
+
+  CatalogConfig config_;
+  std::size_t server_count_;
+  std::vector<CatalogObject> objects_;  // index = ObjectId
+};
+
+}  // namespace cdnsim::cdn

@@ -1,0 +1,98 @@
+#include "cdn/ring.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace cdnsim::cdn {
+
+std::uint64_t ring_hash(std::uint64_t x) {
+  // splitmix64 finalizer (Steele, Lea & Flood): full-avalanche in three
+  // xor-shift-multiply rounds.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t object_point(std::uint64_t object_id) {
+  return ring_hash(object_id ^ 0x6f626a65637473ULL);  // "objects"
+}
+
+ConsistentHashRing::ConsistentHashRing(std::size_t vnodes_per_server)
+    : vnodes_per_server_(vnodes_per_server) {
+  CDNSIM_EXPECTS(vnodes_per_server >= 1,
+                 "ring needs at least one virtual node per server");
+}
+
+std::uint64_t ConsistentHashRing::vnode_point(topology::NodeId server,
+                                              std::size_t index) {
+  // Server id and vnode index packed into one word: ids are dense and
+  // small, so 40 bits of server and 24 of index never collide in practice.
+  const auto s = static_cast<std::uint64_t>(static_cast<std::int64_t>(server) + 1);
+  return ring_hash((s << 24) | static_cast<std::uint64_t>(index));
+}
+
+void ConsistentHashRing::add_server(topology::NodeId server) {
+  CDNSIM_EXPECTS(server >= 0, "only content servers join the ring");
+  CDNSIM_EXPECTS(!contains(server), "server already on the ring");
+  for (std::size_t r = 0; r < vnodes_per_server_; ++r) {
+    const VNode v{vnode_point(server, r), server};
+    const auto pos = std::lower_bound(
+        vnodes_.begin(), vnodes_.end(), v, [](const VNode& a, const VNode& b) {
+          return a.point != b.point ? a.point < b.point : a.server < b.server;
+        });
+    vnodes_.insert(pos, v);
+  }
+  ++server_count_;
+}
+
+void ConsistentHashRing::remove_server(topology::NodeId server) {
+  CDNSIM_EXPECTS(contains(server), "server is not on the ring");
+  vnodes_.erase(std::remove_if(vnodes_.begin(), vnodes_.end(),
+                               [server](const VNode& v) {
+                                 return v.server == server;
+                               }),
+                vnodes_.end());
+  --server_count_;
+}
+
+bool ConsistentHashRing::contains(topology::NodeId server) const {
+  return std::any_of(vnodes_.begin(), vnodes_.end(), [server](const VNode& v) {
+    return v.server == server;
+  });
+}
+
+topology::NodeId ConsistentHashRing::owner_of(std::uint64_t point) const {
+  CDNSIM_EXPECTS(!vnodes_.empty(), "lookup on an empty ring");
+  auto it = std::lower_bound(vnodes_.begin(), vnodes_.end(), point,
+                             [](const VNode& v, std::uint64_t p) {
+                               return v.point < p;
+                             });
+  if (it == vnodes_.end()) it = vnodes_.begin();  // wrap past the top
+  return it->server;
+}
+
+std::vector<topology::NodeId> ConsistentHashRing::replicas_for(
+    std::uint64_t point, std::size_t count) const {
+  CDNSIM_EXPECTS(!vnodes_.empty(), "lookup on an empty ring");
+  const std::size_t want = std::min(count, server_count_);
+  std::vector<topology::NodeId> out;
+  out.reserve(want);
+  auto it = std::lower_bound(vnodes_.begin(), vnodes_.end(), point,
+                             [](const VNode& v, std::uint64_t p) {
+                               return v.point < p;
+                             });
+  if (it == vnodes_.end()) it = vnodes_.begin();
+  while (out.size() < want) {
+    const topology::NodeId server = it->server;
+    if (std::find(out.begin(), out.end(), server) == out.end()) {
+      out.push_back(server);
+    }
+    ++it;
+    if (it == vnodes_.end()) it = vnodes_.begin();
+  }
+  return out;
+}
+
+}  // namespace cdnsim::cdn

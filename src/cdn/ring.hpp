@@ -1,0 +1,78 @@
+// Consistent-hash placement ring (ROADMAP item 1).
+//
+// Maps 64-bit key points onto content servers the way a real CDN places its
+// object catalog: every server contributes `vnodes_per_server` virtual nodes
+// at pseudo-random ring positions, a key is owned by the first virtual node
+// clockwise from its point, and an object's replica set is the first k
+// *distinct* servers on that walk. Virtual nodes give the two properties the
+// catalog layer needs:
+//  * balance — each server owns a near-equal share of the key space (the
+//    share concentrates around 1/n as vnodes grow);
+//  * minimal remapping — adding or removing one server only moves the keys
+//    that land on its own virtual arcs (~1/(n+1) of the space), every other
+//    object keeps its replica set.
+// Both are pinned by tests/cdn/ring_test.cpp.
+//
+// Everything is deterministic: positions come from a fixed 64-bit mix of
+// (server id, virtual-node index), never from RNG state, so every process
+// that builds a ring over the same membership sees the same placement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/node.hpp"
+
+namespace cdnsim::cdn {
+
+/// The ring's 64-bit mixer (splitmix64 finalizer): avalanche-quality, cheap,
+/// and stable across platforms — placement must never depend on the host.
+std::uint64_t ring_hash(std::uint64_t x);
+
+/// Ring point of catalog object `object_id` (keys and virtual nodes share
+/// one hash space; the salt keeps object points off the vnode points).
+std::uint64_t object_point(std::uint64_t object_id);
+
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(std::size_t vnodes_per_server = 64);
+
+  /// Adds a server's virtual nodes. A server may be added once.
+  void add_server(topology::NodeId server);
+  /// Removes a previously added server (its virtual nodes only — every
+  /// other server's arcs are untouched, which is what makes remapping
+  /// minimal).
+  void remove_server(topology::NodeId server);
+  bool contains(topology::NodeId server) const;
+
+  std::size_t server_count() const { return server_count_; }
+  std::size_t vnodes_per_server() const { return vnodes_per_server_; }
+
+  /// Owner of `point`: the server of the first virtual node at or clockwise
+  /// of the point (wrapping past the top of the space). Ring must be
+  /// non-empty.
+  topology::NodeId owner_of(std::uint64_t point) const;
+
+  /// The first `count` distinct servers clockwise from `point`, in
+  /// ring-walk order (the placement rule for a replica set). `count`
+  /// larger than the membership returns every server.
+  std::vector<topology::NodeId> replicas_for(std::uint64_t point,
+                                             std::size_t count) const;
+
+ private:
+  struct VNode {
+    std::uint64_t point;
+    topology::NodeId server;
+  };
+
+  static std::uint64_t vnode_point(topology::NodeId server, std::size_t index);
+
+  /// Sorted by (point, server): the tie order is part of the placement
+  /// contract — it must not depend on insertion order, or membership
+  /// changes would remap unrelated keys.
+  std::vector<VNode> vnodes_;
+  std::size_t vnodes_per_server_;
+  std::size_t server_count_ = 0;
+};
+
+}  // namespace cdnsim::cdn

@@ -15,6 +15,16 @@ std::string_view to_string(InfrastructureKind k) {
   return "unknown";
 }
 
+InfrastructureConfig clamp_infrastructure(InfrastructureConfig config,
+                                          std::size_t server_count) {
+  CDNSIM_EXPECTS(server_count >= 1, "need at least one server");
+  config.cluster_count =
+      std::clamp<std::size_t>(config.cluster_count, 1, server_count);
+  config.tree_fanout = std::max<std::size_t>(config.tree_fanout, 1);
+  config.supernode_fanout = std::max<std::size_t>(config.supernode_fanout, 1);
+  return config;
+}
+
 topology::NodeId Infrastructure::parent_of(topology::NodeId server) const {
   CDNSIM_EXPECTS(server >= 0 && static_cast<std::size_t>(server) < parent.size(),
                  "unknown server id");

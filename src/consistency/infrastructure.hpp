@@ -42,6 +42,14 @@ struct InfrastructureConfig {
   bool proximity_aware = true;
 };
 
+/// Adapts a template configuration to a concrete (possibly much smaller)
+/// server set: cluster_count is clamped into [1, server_count] and the
+/// fanouts floored at 1, so one config can drive both a full-CDN run and
+/// the few-replica sub-topologies the object catalog carves out of it
+/// (build_infrastructure rejects cluster_count > server_count outright).
+InfrastructureConfig clamp_infrastructure(InfrastructureConfig config,
+                                          std::size_t server_count);
+
 /// One topology change produced by failure repair: `child` now attaches to
 /// `new_parent`. The engine charges a tree-maintenance message per edge.
 struct RepairEdge {

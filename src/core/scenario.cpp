@@ -30,4 +30,18 @@ Scenario build_scenario(const ScenarioConfig& config) {
   return Scenario{std::move(nodes)};
 }
 
+Scenario subset_scenario(const topology::NodeRegistry& nodes,
+                         const std::vector<topology::NodeId>& servers) {
+  CDNSIM_EXPECTS(!servers.empty(), "subset needs at least one server");
+  auto subset = std::make_unique<topology::NodeRegistry>(
+      nodes.info(topology::kProviderNode));
+  for (const topology::NodeId id : servers) {
+    CDNSIM_EXPECTS(id >= 0 &&
+                       static_cast<std::size_t>(id) < nodes.server_count(),
+                   "subset references an unknown server id");
+    subset->add_server(nodes.info(id));
+  }
+  return Scenario{std::move(subset)};
+}
+
 }  // namespace cdnsim::core

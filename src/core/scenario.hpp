@@ -36,4 +36,16 @@ struct Scenario {
 /// not supported.
 Scenario build_scenario(const ScenarioConfig& config);
 
+/// A scenario over a subset of another registry's servers: the provider and
+/// every listed server keep their NodeInfo (location, ISP, site) while ids
+/// re-densify to 0..k-1 in the order given. This is how the object catalog
+/// turns a replica set carved out of the full CDN into a runnable
+/// sub-scenario; passing every server id in ascending order reproduces the
+/// source registry exactly (the single-object equivalence contract).
+///
+/// Thread safety: same as build_scenario — all state is local to the call,
+/// and `nodes` is only read.
+Scenario subset_scenario(const topology::NodeRegistry& nodes,
+                         const std::vector<topology::NodeId>& servers);
+
 }  // namespace cdnsim::core

@@ -1,6 +1,7 @@
 #include "trace/poll_log.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <set>
 #include <sstream>
 
@@ -8,6 +9,28 @@
 #include "util/error.hpp"
 
 namespace cdnsim::trace {
+
+namespace {
+
+/// Parses one CSV cell as a whole: empty cells, non-numeric text and
+/// trailing garbage ("12abc") are all rejected with the cell's file
+/// position, instead of std::sto*'s context-free throw / silent truncation.
+/// Data row `row` is file line row + 2 (line 1 is the header).
+template <typename T>
+T parse_cell(const std::string& cell, const char* field,
+             const std::string& path, std::size_t row, std::size_t column) {
+  T value{};
+  const auto [ptr, ec] =
+      std::from_chars(cell.data(), cell.data() + cell.size(), value);
+  if (ec != std::errc{} || ptr != cell.data() + cell.size()) {
+    throw Error("malformed " + std::string(field) + " value \"" + cell +
+                "\" in " + path + " (row " + std::to_string(row + 2) +
+                ", column " + std::to_string(column + 1) + ")");
+  }
+  return value;
+}
+
+}  // namespace
 
 std::vector<Observation> PollLog::for_server(net::NodeId server) const {
   std::vector<Observation> out;
@@ -52,13 +75,24 @@ PollLog PollLog::load_csv(const std::string& path) {
                  "unexpected poll-log CSV header");
   PollLog log;
   log.reserve(table.rows.size());
-  for (const auto& row : table.rows) {
-    CDNSIM_EXPECTS(row.size() == 4, "malformed poll-log CSV row");
+  for (std::size_t i = 0; i < table.rows.size(); ++i) {
+    const auto& row = table.rows[i];
+    if (row.size() != 4) {
+      throw Error("malformed poll-log CSV row in " + path + " (row " +
+                  std::to_string(i + 2) + "): expected 4 fields, got " +
+                  std::to_string(row.size()));
+    }
     Observation obs;
-    obs.server = static_cast<net::NodeId>(std::stol(row[0]));
-    obs.time = std::stod(row[1]);
-    obs.version = std::stoll(row[2]);
-    obs.answered = row[3] == "1";
+    obs.server = parse_cell<net::NodeId>(row[0], "server", path, i, 0);
+    obs.time = parse_cell<double>(row[1], "time_s", path, i, 1);
+    obs.version = parse_cell<std::int64_t>(row[2], "version", path, i, 2);
+    const int answered = parse_cell<int>(row[3], "answered", path, i, 3);
+    if (answered != 0 && answered != 1) {
+      throw Error("malformed answered value \"" + row[3] + "\" in " + path +
+                  " (row " + std::to_string(i + 2) +
+                  ", column 4): expected 0 or 1");
+    }
+    obs.answered = answered == 1;
     log.add(obs);
   }
   return log;

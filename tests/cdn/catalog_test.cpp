@@ -1,0 +1,207 @@
+#include "cdn/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace cdnsim::cdn {
+namespace {
+
+CatalogConfig base_config(std::size_t objects, ReplicaPolicy policy) {
+  CatalogConfig cfg;
+  cfg.object_count = objects;
+  cfg.policy = policy;
+  return cfg;
+}
+
+TEST(CatalogTest, WeightsAreNormalizedZipf) {
+  const Catalog catalog(base_config(100, ReplicaPolicy::kProportional), 50);
+  double total = 0;
+  for (const auto& o : catalog.objects()) total += o.weight;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Rank 0 is hottest, weights strictly decrease in rank (initial rank==id),
+  // and adjacent ratios follow (r+1)^-s / (r+2)^-s.
+  const double s = catalog.config().zipf_s;
+  for (std::size_t r = 0; r + 1 < 100; ++r) {
+    const double a = catalog.object(static_cast<ObjectId>(r)).weight;
+    const double b = catalog.object(static_cast<ObjectId>(r + 1)).weight;
+    EXPECT_GT(a, b);
+    EXPECT_NEAR(a / b, std::pow((r + 2.0) / (r + 1.0), s), 1e-9);
+  }
+}
+
+TEST(CatalogTest, ZipfZeroIsUniform) {
+  CatalogConfig cfg = base_config(10, ReplicaPolicy::kProportional);
+  cfg.zipf_s = 0.0;
+  const Catalog catalog(cfg, 20);
+  for (const auto& o : catalog.objects()) {
+    EXPECT_NEAR(o.weight, 0.1, 1e-12);
+    // Uniform weights: proportional allocation = the fixed budget.
+    EXPECT_EQ(o.replicas, 2u);
+  }
+}
+
+TEST(CatalogTest, FixedPolicyGivesEveryObjectTheSameCount) {
+  CatalogConfig cfg = base_config(40, ReplicaPolicy::kFixed);
+  cfg.replica_budget = 3.0;
+  const Catalog catalog(cfg, 30);
+  for (const auto& o : catalog.objects()) EXPECT_EQ(o.replicas, 3u);
+  EXPECT_EQ(catalog.total_replicas(), 120u);
+}
+
+TEST(CatalogTest, ProportionalSpendsRoughlyTheBudgetAndFollowsRank) {
+  CatalogConfig cfg = base_config(200, ReplicaPolicy::kProportional);
+  cfg.replica_budget = 4.0;
+  const Catalog catalog(cfg, 100);
+  // min_replicas floors the cold tail, so total >= budget; it must not
+  // balloon past floor + proportional head.
+  const std::size_t total = catalog.total_replicas();
+  EXPECT_GE(total, 200u);               // >= one copy each
+  EXPECT_LE(total, 2u * 4u * 200u);     // sane upper bound
+  // Replica counts are non-increasing in rank.
+  for (std::size_t r = 0; r + 1 < 200; ++r) {
+    EXPECT_GE(catalog.object(static_cast<ObjectId>(r)).replicas,
+              catalog.object(static_cast<ObjectId>(r + 1)).replicas);
+  }
+  // The hot head gets strictly more than the tail.
+  EXPECT_GT(catalog.object(0).replicas, catalog.object(199).replicas);
+}
+
+TEST(CatalogTest, SqrtPolicySitsBetweenFixedAndProportional) {
+  CatalogConfig cfg = base_config(200, ReplicaPolicy::kProportional);
+  cfg.replica_budget = 4.0;
+  const Catalog proportional(cfg, 100);
+  cfg.policy = ReplicaPolicy::kSqrtProportional;
+  const Catalog sqrt_prop(cfg, 100);
+  // sqrt flattens the allocation: less on the head, more on the tail.
+  EXPECT_LT(sqrt_prop.object(0).replicas, proportional.object(0).replicas);
+  EXPECT_GE(sqrt_prop.object(199).replicas, proportional.object(199).replicas);
+}
+
+TEST(CatalogTest, ReplicaCountsRespectClamps) {
+  CatalogConfig cfg = base_config(50, ReplicaPolicy::kProportional);
+  cfg.replica_budget = 10.0;
+  cfg.min_replicas = 2;
+  cfg.max_replicas = 8;
+  const Catalog catalog(cfg, 20);
+  for (const auto& o : catalog.objects()) {
+    EXPECT_GE(o.replicas, 2u);
+    EXPECT_LE(o.replicas, 8u);
+  }
+  // max_replicas = 0 means the whole server set; counts never exceed it.
+  cfg.max_replicas = 0;
+  const Catalog uncapped(cfg, 20);
+  for (const auto& o : uncapped.objects()) EXPECT_LE(o.replicas, 20u);
+}
+
+TEST(CatalogTest, SingleObjectFullReplicationIsTheLegacyDemand) {
+  // The catalog degenerates to the paper's setup: one object on every
+  // server, users_per_replica == users_per_server exactly.
+  CatalogConfig cfg = base_config(1, ReplicaPolicy::kFixed);
+  cfg.replica_budget = 170.0;
+  const Catalog catalog(cfg, 170);
+  ASSERT_EQ(catalog.object(0).replicas, 170u);
+  EXPECT_DOUBLE_EQ(catalog.object(0).weight, 1.0);
+  EXPECT_EQ(catalog.users_per_replica(0, 3), 3u);
+  EXPECT_EQ(catalog.users_per_replica(0, 17), 17u);
+}
+
+TEST(CatalogTest, ProportionalKeepsPerReplicaDemandFlat) {
+  // The Leconte-style property the adaptive policy buys: viewers per
+  // replica varies far less across the catalog than popularity does.
+  CatalogConfig cfg = base_config(100, ReplicaPolicy::kProportional);
+  cfg.replica_budget = 8.0;
+  const Catalog catalog(cfg, 60);
+  std::size_t lo = SIZE_MAX;
+  std::size_t hi = 0;
+  // Compare across the head, where clamps don't bind.
+  for (ObjectId id = 0; id < 20; ++id) {
+    const auto demand = catalog.users_per_replica(id, 10);
+    lo = std::min(lo, demand);
+    hi = std::max(hi, demand);
+  }
+  EXPECT_LE(hi, 3 * lo);
+  // Under kFixed the head concentrates: object 0 sees far more per replica
+  // than rank 19.
+  cfg.policy = ReplicaPolicy::kFixed;
+  const Catalog fixed(cfg, 60);
+  EXPECT_GT(fixed.users_per_replica(0, 10),
+            3 * fixed.users_per_replica(19, 10));
+}
+
+TEST(CatalogTest, ChurnIsDeterministicInTheRng) {
+  CatalogConfig cfg = base_config(80, ReplicaPolicy::kProportional);
+  Catalog a(cfg, 40);
+  Catalog b(cfg, 40);
+  util::Rng rng_a(123);
+  util::Rng rng_b(123);
+  const std::size_t changed_a = a.churn_hot_set(rng_a);
+  const std::size_t changed_b = b.churn_hot_set(rng_b);
+  EXPECT_EQ(changed_a, changed_b);
+  for (ObjectId id = 0; id < 80; ++id) {
+    EXPECT_EQ(a.object(id).rank, b.object(id).rank);
+    EXPECT_EQ(a.object(id).replicas, b.object(id).replicas);
+    EXPECT_DOUBLE_EQ(a.object(id).weight, b.object(id).weight);
+  }
+}
+
+TEST(CatalogTest, ChurnPreservesTheRankPermutation) {
+  CatalogConfig cfg = base_config(60, ReplicaPolicy::kProportional);
+  Catalog catalog(cfg, 30);
+  util::Rng rng(7);
+  for (int round = 0; round < 5; ++round) {
+    catalog.churn_hot_set(rng);
+    std::set<std::size_t> ranks;
+    double total = 0;
+    for (const auto& o : catalog.objects()) {
+      ranks.insert(o.rank);
+      total += o.weight;
+      EXPECT_EQ(o.id, catalog.object(o.id).id);  // ids never move
+    }
+    // Ranks stay a permutation of 0..N-1 and weights stay normalized.
+    EXPECT_EQ(ranks.size(), 60u);
+    EXPECT_EQ(*ranks.begin(), 0u);
+    EXPECT_EQ(*ranks.rbegin(), 59u);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(CatalogTest, ChurnTouchesOnlyThePool) {
+  CatalogConfig cfg = base_config(100, ReplicaPolicy::kProportional);
+  cfg.hot_churn_fraction = 0.05;  // pool = 5 hot + 5 drawn = at most 10
+  Catalog catalog(cfg, 50);
+  util::Rng rng(9);
+  const std::size_t changed = catalog.churn_hot_set(rng);
+  EXPECT_LE(changed, 10u);
+}
+
+TEST(CatalogTest, ZeroChurnFractionIsANoop) {
+  CatalogConfig cfg = base_config(50, ReplicaPolicy::kProportional);
+  cfg.hot_churn_fraction = 0.0;
+  Catalog catalog(cfg, 25);
+  util::Rng rng(1);
+  EXPECT_EQ(catalog.churn_hot_set(rng), 0u);
+  for (const auto& o : catalog.objects()) EXPECT_EQ(o.rank, o.id);
+}
+
+TEST(CatalogTest, PreconditionsThrow) {
+  EXPECT_THROW(Catalog(base_config(0, ReplicaPolicy::kFixed), 10),
+               cdnsim::PreconditionError);
+  EXPECT_THROW(Catalog(base_config(10, ReplicaPolicy::kFixed), 0),
+               cdnsim::PreconditionError);
+  CatalogConfig bad = base_config(10, ReplicaPolicy::kFixed);
+  bad.replica_budget = 0;
+  EXPECT_THROW(Catalog(bad, 10), cdnsim::PreconditionError);
+  bad = base_config(10, ReplicaPolicy::kFixed);
+  bad.min_replicas = 30;  // exceeds the 10-server clamp
+  EXPECT_THROW(Catalog(bad, 10), cdnsim::PreconditionError);
+  const Catalog catalog(base_config(5, ReplicaPolicy::kFixed), 5);
+  EXPECT_THROW(catalog.object(5), cdnsim::PreconditionError);
+}
+
+}  // namespace
+}  // namespace cdnsim::cdn

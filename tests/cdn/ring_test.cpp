@@ -1,0 +1,177 @@
+#include "cdn/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cdnsim::cdn {
+namespace {
+
+ConsistentHashRing make_ring(topology::NodeId servers,
+                             std::size_t vnodes = 64) {
+  ConsistentHashRing ring(vnodes);
+  for (topology::NodeId s = 0; s < servers; ++s) ring.add_server(s);
+  return ring;
+}
+
+TEST(RingTest, HashIsStableAcrossCalls) {
+  // Placement must never depend on the host or process: the mixer is a pure
+  // function pinned here against the splitmix64 reference sequence.
+  EXPECT_EQ(ring_hash(0), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(ring_hash(1), ring_hash(1));
+  EXPECT_NE(ring_hash(1), ring_hash(2));
+  EXPECT_EQ(object_point(7), object_point(7));
+}
+
+TEST(RingTest, OwnerIsDeterministicAndMemberOnly) {
+  const auto ring = make_ring(17);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    const auto owner = ring.owner_of(object_point(k));
+    EXPECT_EQ(owner, ring.owner_of(object_point(k)));
+    EXPECT_GE(owner, 0);
+    EXPECT_LT(owner, 17);
+  }
+}
+
+TEST(RingTest, InsertionOrderDoesNotChangePlacement) {
+  ConsistentHashRing forward(32);
+  ConsistentHashRing backward(32);
+  for (topology::NodeId s = 0; s < 20; ++s) forward.add_server(s);
+  for (topology::NodeId s = 19; s >= 0; --s) backward.add_server(s);
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    const auto point = object_point(k);
+    EXPECT_EQ(forward.owner_of(point), backward.owner_of(point));
+    EXPECT_EQ(forward.replicas_for(point, 3), backward.replicas_for(point, 3));
+  }
+}
+
+TEST(RingTest, ReplicasAreDistinctAndStartAtOwner) {
+  const auto ring = make_ring(30);
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    const auto point = object_point(k);
+    const auto replicas = ring.replicas_for(point, 5);
+    ASSERT_EQ(replicas.size(), 5u);
+    EXPECT_EQ(replicas.front(), ring.owner_of(point));
+    const std::set<topology::NodeId> distinct(replicas.begin(), replicas.end());
+    EXPECT_EQ(distinct.size(), replicas.size());
+  }
+}
+
+TEST(RingTest, ReplicaCountClampsToMembership) {
+  const auto ring = make_ring(4);
+  const auto all = ring.replicas_for(object_point(1), 100);
+  ASSERT_EQ(all.size(), 4u);
+  std::set<topology::NodeId> distinct(all.begin(), all.end());
+  EXPECT_EQ(distinct, (std::set<topology::NodeId>{0, 1, 2, 3}));
+}
+
+TEST(RingTest, ReplicaSetsNest) {
+  // replicas_for(point, k) must be a prefix of replicas_for(point, k+1) —
+  // raising an object's replica count only ever *adds* copies, which is what
+  // lets the adaptive policies grow hot objects without moving cold data.
+  const auto ring = make_ring(25);
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    const auto point = object_point(k);
+    auto prev = ring.replicas_for(point, 1);
+    for (std::size_t count = 2; count <= 8; ++count) {
+      const auto next = ring.replicas_for(point, count);
+      ASSERT_EQ(next.size(), count);
+      EXPECT_TRUE(std::equal(prev.begin(), prev.end(), next.begin()));
+      prev = next;
+    }
+  }
+}
+
+TEST(RingTest, BalanceWithinBound) {
+  // With 64 vnodes/server the per-server key share must stay within a
+  // loose multiplicative band of the fair share 1/n.
+  const topology::NodeId n = 20;
+  const auto ring = make_ring(n, 64);
+  const std::size_t keys = 20000;
+  std::map<topology::NodeId, std::size_t> owned;
+  for (std::uint64_t k = 0; k < keys; ++k) {
+    owned[ring.owner_of(object_point(k))]++;
+  }
+  EXPECT_EQ(owned.size(), static_cast<std::size_t>(n));
+  const double fair = static_cast<double>(keys) / n;
+  for (const auto& [server, count] : owned) {
+    EXPECT_GT(count, 0.5 * fair) << "server " << server << " underloaded";
+    EXPECT_LT(count, 2.0 * fair) << "server " << server << " overloaded";
+  }
+}
+
+TEST(RingTest, JoinRemapsOnlyAMinimalFraction) {
+  const topology::NodeId n = 20;
+  auto ring = make_ring(n);
+  const std::size_t keys = 10000;
+  std::vector<topology::NodeId> before(keys);
+  for (std::uint64_t k = 0; k < keys; ++k) {
+    before[k] = ring.owner_of(object_point(k));
+  }
+  ring.add_server(n);  // one server joins
+  std::size_t moved = 0;
+  for (std::uint64_t k = 0; k < keys; ++k) {
+    const auto after = ring.owner_of(object_point(k));
+    if (after != before[k]) {
+      ++moved;
+      // Every moved key must have moved TO the joiner, never between
+      // incumbents.
+      EXPECT_EQ(after, n);
+    }
+  }
+  // Expected fraction is 1/(n+1) ~ 4.8%; allow slack for vnode variance.
+  EXPECT_GT(moved, keys / 50);
+  EXPECT_LT(moved, keys / 5);
+}
+
+TEST(RingTest, LeaveRemapsOnlyTheLeaversKeys) {
+  const topology::NodeId n = 20;
+  auto ring = make_ring(n);
+  const std::size_t keys = 10000;
+  std::vector<topology::NodeId> before(keys);
+  for (std::uint64_t k = 0; k < keys; ++k) {
+    before[k] = ring.owner_of(object_point(k));
+  }
+  const topology::NodeId leaver = 7;
+  ring.remove_server(leaver);
+  EXPECT_FALSE(ring.contains(leaver));
+  for (std::uint64_t k = 0; k < keys; ++k) {
+    const auto after = ring.owner_of(object_point(k));
+    if (before[k] != leaver) {
+      // Keys the leaver never owned must not move at all.
+      EXPECT_EQ(after, before[k]);
+    } else {
+      EXPECT_NE(after, leaver);
+    }
+  }
+}
+
+TEST(RingTest, JoinThenLeaveRestoresPlacementExactly) {
+  auto ring = make_ring(15);
+  std::vector<std::vector<topology::NodeId>> before;
+  for (std::uint64_t k = 0; k < 300; ++k) {
+    before.push_back(ring.replicas_for(object_point(k), 3));
+  }
+  ring.add_server(15);
+  ring.remove_server(15);
+  for (std::uint64_t k = 0; k < 300; ++k) {
+    EXPECT_EQ(ring.replicas_for(object_point(k), 3), before[k]);
+  }
+}
+
+TEST(RingTest, PreconditionsThrow) {
+  EXPECT_THROW(ConsistentHashRing(0), cdnsim::PreconditionError);
+  auto ring = make_ring(3);
+  EXPECT_THROW(ring.add_server(1), cdnsim::PreconditionError);   // duplicate
+  EXPECT_THROW(ring.remove_server(9), cdnsim::PreconditionError);  // absent
+  ConsistentHashRing empty(8);
+  EXPECT_THROW(empty.owner_of(0), cdnsim::PreconditionError);
+}
+
+}  // namespace
+}  // namespace cdnsim::cdn

@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "util/error.hpp"
 
 namespace cdnsim::trace {
 namespace {
@@ -58,6 +62,79 @@ TEST(PollLogTest, EmptyLog) {
   EXPECT_TRUE(log.empty());
   EXPECT_TRUE(log.servers().empty());
   EXPECT_TRUE(log.window(0, 100).empty());
+}
+
+// Regression: load_csv used bare std::stol/stod/stoll, which threw a
+// context-free std::invalid_argument on bad cells and silently *accepted*
+// trailing garbage ("12abc" -> 12). It now reports file, row and column.
+TEST(PollLogTest, LoadCsvReportsMalformedCellWithContext) {
+  const std::string path = testing::TempDir() + "/cdnsim_polllog_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "server,time_s,version,answered\n"
+        << "0,1.5,2,1\n"
+        << "0,bogus,3,1\n";
+  }
+  try {
+    PollLog::load_csv(path);
+    FAIL() << "malformed cell should throw";
+  } catch (const cdnsim::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus"), std::string::npos) << what;
+    EXPECT_NE(what.find("time_s"), std::string::npos) << what;
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("row 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("column 2"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PollLogTest, LoadCsvRejectsTrailingGarbageAndEmptyCells) {
+  const std::string path = testing::TempDir() + "/cdnsim_polllog_bad2.csv";
+  {
+    std::ofstream out(path);
+    out << "server,time_s,version,answered\n"
+        << "12abc,1.5,2,1\n";
+  }
+  EXPECT_THROW(PollLog::load_csv(path), cdnsim::Error);
+  {
+    std::ofstream out(path);
+    out << "server,time_s,version,answered\n"
+        << "0,,2,1\n";
+  }
+  EXPECT_THROW(PollLog::load_csv(path), cdnsim::Error);
+  std::remove(path.c_str());
+}
+
+TEST(PollLogTest, LoadCsvRejectsNonBinaryAnsweredAndShortRows) {
+  const std::string path = testing::TempDir() + "/cdnsim_polllog_bad3.csv";
+  {
+    std::ofstream out(path);
+    out << "server,time_s,version,answered\n"
+        << "0,1.5,2,7\n";
+  }
+  try {
+    PollLog::load_csv(path);
+    FAIL() << "non-binary answered should throw";
+  } catch (const cdnsim::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("answered"), std::string::npos) << what;
+    EXPECT_NE(what.find("row 2"), std::string::npos) << what;
+  }
+  {
+    std::ofstream out(path);
+    out << "server,time_s,version,answered\n"
+        << "0,1.5,2\n";
+  }
+  try {
+    PollLog::load_csv(path);
+    FAIL() << "short row should throw";
+  } catch (const cdnsim::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("row 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("expected 4 fields"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace
