@@ -120,8 +120,29 @@ class Flags {
   std::string profile_out() const { return get_str("profile-out", ""); }
 
   /// `--heartbeat SECS`: opt-in batch progress heartbeat — one stderr line
-  /// every SECS seconds (jobs done, events/s, ETA, steal count). 0 = off.
+  /// every SECS seconds (jobs done, events/s, ETA, steal count; plus
+  /// per-lane events/s and merge-queue depth for sharded jobs). 0 = off.
   double heartbeat() const { return get("heartbeat", 0.0); }
+
+  /// `--timeseries-out PATH`: write the time-resolved telemetry artifact —
+  /// per-run deterministic sample rows/spans (byte-identical across
+  /// --jobs/--shards) plus a host-only shard-health section — and a
+  /// long-form CSV sibling (PATH with .json -> .csv). Empty = off.
+  std::string timeseries_out() const { return get_str("timeseries-out", ""); }
+
+  /// `--sample-s SECS`: sampling interval of --timeseries-out. Must be a
+  /// positive number; anything else is a hard usage error (exit 2) — an
+  /// interval of 0 would loop the sampler forever on one grid point.
+  double sample_s(double fallback) const {
+    const std::string raw = get_str("sample-s", "");
+    if (raw.empty()) return fallback;
+    double v = 0;
+    if (!parse_number(raw, v) || !(v > 0) ||
+        !(v < std::numeric_limits<double>::infinity())) {
+      flag_usage_error("sample-s", raw, "a positive number of seconds");
+    }
+    return v;
+  }
 
   /// `--shards auto|N`: lane count for the engine's intra-run sharded
   /// driver. "auto" picks per job from the server count and hardware

@@ -13,6 +13,10 @@
 //   * profile  — <path>.profile JSON (deterministic scope counts/sim
 //     coverage + host-only wall section) plus a collapsed-stack .folded
 //     sibling for flamegraph.pl / speedscope. Batch binaries only;
+//   * timeseries — cdnsim.timeseries.v1 JSON with a deterministic section
+//     (per-run sampled series + propagation-span rollups, byte-identical
+//     across --jobs/--shards) and a host section (shard health samples),
+//     plus a long-form CSV sibling for plotting;
 //   * next to each file, a <file>.manifest.json RunManifest — the one
 //     deliberately non-deterministic artifact (wall clock, host, git
 //     revision, steal counts).
@@ -40,6 +44,7 @@
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace_recorder.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
@@ -52,7 +57,9 @@ class ObsSession {
       : metrics_path_(flags.metrics_out()),
         trace_path_(flags.trace_out()),
         csv_path_(flags.csv_out()),
-        profile_path_(flags.profile_out()) {
+        profile_path_(flags.profile_out()),
+        timeseries_path_(flags.timeseries_out()),
+        sample_s_(flags.sample_s(10.0)) {
     if (!enabled()) return;
     manifest_ = obs::capture_manifest(argc, argv);
     manifest_.seed = seed;
@@ -61,7 +68,8 @@ class ObsSession {
 
   bool enabled() const {
     return !metrics_path_.empty() || !trace_path_.empty() ||
-           !csv_path_.empty() || !profile_path_.empty();
+           !csv_path_.empty() || !profile_path_.empty() ||
+           !timeseries_path_.empty();
   }
 
   /// Records the apply_shard_flags() summary in every manifest written by
@@ -69,13 +77,17 @@ class ObsSession {
   void set_shards(const std::string& summary) { manifest_.shards = summary; }
   bool trace_enabled() const { return !trace_path_.empty(); }
   bool profile_enabled() const { return !profile_path_.empty(); }
+  bool timeseries_enabled() const { return !timeseries_path_.empty(); }
 
-  /// Enables per-engine trace recording (--trace-out) and per-job
-  /// profiling (--profile-out) on every job. Call before running the batch.
+  /// Enables per-engine trace recording (--trace-out), per-job profiling
+  /// (--profile-out) and time-resolved sampling (--timeseries-out) on every
+  /// job. Call before running the batch. Time series do not force classic
+  /// execution — apply_shard_flags() composes with them.
   void apply(std::vector<core::BatchJob>& jobs) const {
     for (core::BatchJob& job : jobs) {
       if (trace_enabled()) job.engine.record_trace_events = true;
       if (profile_enabled()) job.profile = true;
+      if (timeseries_enabled()) job.engine.timeseries_sample_s = sample_s_;
     }
   }
 
@@ -85,6 +97,7 @@ class ObsSession {
   /// feature; a request here is warned about and skipped.
   void configure(consistency::EngineConfig& engine) const {
     if (trace_enabled()) engine.record_trace_events = true;
+    if (timeseries_enabled()) engine.timeseries_sample_s = sample_s_;
   }
 
   void add(const std::string& label, core::SimulationResult sim) {
@@ -120,6 +133,9 @@ class ObsSession {
     warn_unsupported(profile_path_, "--profile-out",
                      "batch (BatchRunner) binaries");
     profile_path_.clear();
+    warn_unsupported(timeseries_path_, "--timeseries-out",
+                     "per-job batch and direct-run binaries");
+    timeseries_path_.clear();
     manifest_.config_digest = obs::fnv1a64_hex(label + "\n");
     manifest_.wall_s = timer_.seconds();
     if (!metrics_path_.empty()) {
@@ -171,6 +187,7 @@ class ObsSession {
     if (!trace_path_.empty()) write_trace(results);
     if (!csv_path_.empty()) write_csv(results);
     if (!profile_path_.empty()) write_profile(results);
+    if (!timeseries_path_.empty()) write_timeseries(results);
   }
 
   /// Collapsed-stack sibling of a --profile-out path (.json -> .folded).
@@ -183,6 +200,17 @@ class ObsSession {
              ".folded";
     }
     return profile_path + ".folded";
+  }
+
+  /// Long-form CSV sibling of a --timeseries-out path (.json -> .csv).
+  static std::string timeseries_csv_path_for(const std::string& path) {
+    const std::string suffix = ".json";
+    if (path.size() > suffix.size() &&
+        path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      return path.substr(0, path.size() - suffix.size()) + ".csv";
+    }
+    return path + ".csv";
   }
 
  private:
@@ -267,10 +295,92 @@ class ObsSession {
               << "\n";
   }
 
+  void write_timeseries(const std::vector<core::BatchResult>& results) const {
+    // Two top-level sections mirror the profile artifact split:
+    // "deterministic" derives from sim time + seeded RNG only (tier-1 cmp's
+    // it across --jobs and --shards); "host" carries the per-run shard
+    // health samples (barrier wall time — scheduling-dependent by nature).
+    std::ofstream out(timeseries_path_);
+    if (!out) throw Error("cannot write timeseries: " + timeseries_path_);
+    out << "{\"schema\":\"cdnsim.timeseries.v1\",\"deterministic\":{\"runs\":[";
+    bool first = true;
+    std::size_t runs = 0;
+    std::size_t rows = 0;
+    for (const auto& r : results) {
+      if (r.sim.timeseries.names.empty()) continue;
+      if (!first) out << ',';
+      first = false;
+      ++runs;
+      rows += r.sim.timeseries.rows.size();
+      out << "{\"label\":\"" << obs::json_escape(r.label) << "\",\"series\":";
+      r.sim.timeseries.write_deterministic(out);
+      out << '}';
+    }
+    out << "]},\"host\":{\"runs\":[";
+    first = true;
+    for (const auto& r : results) {
+      if (r.sim.timeseries.names.empty()) continue;
+      if (!first) out << ',';
+      first = false;
+      out << "{\"label\":\"" << obs::json_escape(r.label) << "\",\"shard\":";
+      r.sim.timeseries.write_host(out);
+      out << '}';
+    }
+    out << "]}}\n";
+    out.close();
+    obs::write_manifest_for(timeseries_path_, manifest_);
+
+    // Long-form CSV sibling for plotting: one (label, t, series, value) row
+    // per sample cell, plus span.* rollup rows. Deterministic content only.
+    const std::string csv = timeseries_csv_path_for(timeseries_path_);
+    std::ofstream cout_stream(csv);
+    if (!cout_stream) throw Error("cannot write timeseries csv: " + csv);
+    util::CsvWriter w(cout_stream);
+    w.header({"label", "t", "series", "value"});
+    for (const auto& r : results) {
+      const obs::TimeSeriesReport& ts = r.sim.timeseries;
+      if (ts.names.empty()) continue;
+      for (const auto& row : ts.rows) {
+        const std::string t = util::format_double(row[0]);
+        for (std::size_t c = 0; c < ts.names.size(); ++c) {
+          w.row({r.label, t, ts.names[c], util::format_double(row[c + 1])});
+        }
+      }
+      for (const auto& s : ts.spans) {
+        const std::string t = util::format_double(s.t);
+        const double n = s.applied_versions > 0
+                             ? static_cast<double>(s.applied_versions)
+                             : 1.0;
+        w.row({r.label, t, "span.published",
+               util::format_double(static_cast<double>(s.published))});
+        w.row({r.label, t, "span.applied_versions",
+               util::format_double(static_cast<double>(s.applied_versions))});
+        w.row({r.label, t, "span.applies",
+               util::format_double(static_cast<double>(s.applies))});
+        w.row({r.label, t, "span.reached_all",
+               util::format_double(static_cast<double>(s.reached_all))});
+        w.row({r.label, t, "span.first_mean_s",
+               util::format_double(s.first_sum_s / n)});
+        w.row({r.label, t, "span.median_mean_s",
+               util::format_double(s.median_sum_s / n)});
+        w.row({r.label, t, "span.last_mean_s",
+               util::format_double(s.last_sum_s / n)});
+        w.row({r.label, t, "span.last_max_s",
+               util::format_double(s.last_max_s)});
+      }
+    }
+    cout_stream.close();
+    std::cout << "timeseries: " << runs << " run(s), " << rows
+              << " sample row(s) -> " << timeseries_path_ << " (+ " << csv
+              << ")\n";
+  }
+
   std::string metrics_path_;
   std::string trace_path_;
   std::string csv_path_;
   std::string profile_path_;
+  std::string timeseries_path_;
+  double sample_s_ = 10.0;
   obs::RunManifest manifest_;
   std::vector<core::BatchResult> added_;  // direct-run hook accumulator
   WallTimer timer_;                       // session lifetime ~ run wall time

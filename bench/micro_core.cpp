@@ -14,6 +14,7 @@
 #include "core/scenario.hpp"
 #include "net/latency_model.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/shard_merge.hpp"
 #include "sim/simulator.hpp"
 #include "trace/update_trace.hpp"
@@ -262,6 +263,42 @@ void BM_CatalogSmall(benchmark::State& state) {
 }
 BENCHMARK(BM_CatalogSmall)
     ->Name("catalog_small")
+    ->Unit(benchmark::kMillisecond);
+
+// 100k sampler rollups on an engine-shaped column set (~54 series): stage
+// every column, then take_sample — the per-interval work sample_timeseries()
+// adds on top of the engine's own state scan. Bounds the --timeseries-out
+// cost of sampling at second resolution over long horizons.
+void BM_TimeSeriesSample(benchmark::State& state) {
+  constexpr std::size_t kSamples = 100000;
+  std::size_t rows = 0;
+  for (auto _ : state) {
+    obs::TimeSeries ts(1.0);
+    std::vector<obs::SeriesId> deltas;
+    std::vector<obs::SeriesId> gauges;
+    for (int i = 0; i < 40; ++i) {
+      deltas.push_back(ts.add_delta("d" + std::to_string(i)));
+    }
+    for (int i = 0; i < 14; ++i) {
+      gauges.push_back(ts.add_gauge("g" + std::to_string(i)));
+    }
+    double running = 0;
+    for (std::size_t s = 0; s < kSamples; ++s) {
+      for (const obs::SeriesId id : deltas) ts.stage(id, running += 1.0);
+      for (const obs::SeriesId id : gauges) {
+        ts.stage(id, static_cast<double>(s % 7));
+      }
+      ts.take_sample();
+    }
+    rows = ts.row_count();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kSamples));
+  state.counters["rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_TimeSeriesSample)
+    ->Name("timeseries_sample_100k")
     ->Unit(benchmark::kMillisecond);
 
 // Console output as usual, plus one bench-json record per benchmark run.

@@ -3,7 +3,7 @@
 
 Usage:
     check_obs.py --metrics M.jsonl [--trace T.json] [--csv C.csv]
-                 [--profile P.profile.json]
+                 [--profile P.profile.json] [--timeseries TS.json]
 
 Checks (stdlib only, no third-party deps):
   * metrics: parseable JSONL, one {"label", "metrics"} object per line;
@@ -22,6 +22,15 @@ Checks (stdlib only, no third-party deps):
     sim_cover_us >= 0; a wall section over the same paths with
     self_ns <= wall_ns; and a collapsed-stack .folded sibling whose lines
     are "path weight" over exactly the same paths;
+  * timeseries: schema "cdnsim.timeseries.v1"; per deterministic run a
+    positive sample_s, rectangular rows on the exact (i+1)*sample_s grid
+    with strictly increasing timestamps, delta columns whose interval
+    values telescope to their entry in "totals" (and, when --metrics is
+    also given, to the matching final registry counter/gauge for the same
+    label), gauge columns whose final row equals their total, span rollups
+    with reached_all <= applied_versions <= published covering every
+    published version, host run labels mirroring the deterministic ones,
+    and a long-form CSV sibling;
   * every artifact has a sibling <file>.manifest.json naming the binary,
     a config_digest and a seed.
 
@@ -224,19 +233,168 @@ def check_profile(path):
     check_manifest(path)
 
 
+TS_SPAN_COLUMNS = ["t", "published", "applied_versions", "applies",
+                   "reached_all", "first_mean_s", "median_mean_s",
+                   "last_mean_s", "last_max_s"]
+
+
+def timeseries_csv_path_for(path):
+    # Mirrors bench::ObsSession::timeseries_csv_path_for.
+    if path.endswith(".json"):
+        return path[:-len(".json")] + ".csv"
+    return path + ".csv"
+
+
+def near(a, b, tol=1e-6):
+    return abs(a - b) <= tol + 1e-9 * max(abs(a), abs(b))
+
+
+def check_timeseries(path, metrics_path=None):
+    with open(path) as f:
+        doc = json.load(f)
+    check(doc.get("schema") == "cdnsim.timeseries.v1",
+          f"{path}: schema is {doc.get('schema')!r}, "
+          f"expected 'cdnsim.timeseries.v1'")
+    runs = doc.get("deterministic", {}).get("runs")
+    if not check(isinstance(runs, list) and len(runs) >= 1,
+                 f"{path}: no deterministic runs"):
+        return
+    # Final registry values per label, for interval-sum reconciliation. A
+    # delta column is named exactly like its registry slot, so a sampled
+    # series that disagrees with the end-of-run counter means the sampler
+    # dropped or double-counted an interval.
+    registry_by_label = {}
+    if metrics_path:
+        with open(metrics_path) as f:
+            for line in f:
+                if not line.strip():
+                    continue
+                rec = json.loads(line)
+                values = dict(rec.get("metrics", {}).get("counters", {}))
+                values.update(rec.get("metrics", {}).get("gauges", {}))
+                registry_by_label[rec.get("label")] = values
+    labels = []
+    for run in runs:
+        label = run.get("label", "?")
+        labels.append(label)
+        s = run.get("series", {})
+        sample_s = s.get("sample_s", 0)
+        if not check(isinstance(sample_s, (int, float)) and sample_s > 0,
+                     f"{path}: run '{label}': sample_s must be positive"):
+            continue
+        columns = s.get("columns", [])
+        check(len(columns) >= 1, f"{path}: run '{label}': no columns")
+        for c in columns:
+            check(c.get("kind") in ("delta", "gauge"),
+                  f"{path}: run '{label}': column '{c.get('name')}' has "
+                  f"kind {c.get('kind')!r}")
+        rows = s.get("rows", [])
+        if not check(len(rows) >= 1,
+                     f"{path}: run '{label}': no sample rows"):
+            continue
+        prev_t = 0.0
+        sums = [0.0] * len(columns)
+        ok_rows = True
+        for i, row in enumerate(rows):
+            if not check(len(row) == len(columns) + 1,
+                         f"{path}: run '{label}' row {i}: {len(row)} fields, "
+                         f"expected {len(columns) + 1}"):
+                ok_rows = False
+                break
+            t = row[0]
+            check(t > prev_t,
+                  f"{path}: run '{label}' row {i}: timestamps not strictly "
+                  f"increasing ({t} after {prev_t})")
+            check(near(t, (i + 1) * sample_s, tol=0),
+                  f"{path}: run '{label}' row {i}: t={t} off the "
+                  f"(i+1)*sample_s grid")
+            prev_t = t
+            for j, v in enumerate(row[1:]):
+                sums[j] += v
+        if not ok_rows:
+            continue
+        totals = s.get("totals", {})
+        for j, c in enumerate(columns):
+            name = c.get("name", "?")
+            if not check(name in totals,
+                         f"{path}: run '{label}': totals missing '{name}'"):
+                continue
+            if c.get("kind") == "delta":
+                check(near(sums[j], totals[name]),
+                      f"{path}: run '{label}': delta column '{name}' "
+                      f"interval sum {sums[j]} != total {totals[name]}")
+            else:
+                check(near(rows[-1][j + 1], totals[name]),
+                      f"{path}: run '{label}': gauge column '{name}' final "
+                      f"row {rows[-1][j + 1]} != total {totals[name]}")
+        spans = s.get("spans", {})
+        check(spans.get("columns") == TS_SPAN_COLUMNS,
+              f"{path}: run '{label}': span columns are "
+              f"{spans.get('columns')!r}")
+        prev_span_t = 0.0
+        published = 0.0
+        for i, r in enumerate(spans.get("rows", [])):
+            if not check(len(r) == len(TS_SPAN_COLUMNS),
+                         f"{path}: run '{label}' span row {i}: "
+                         f"{len(r)} fields"):
+                break
+            check(r[0] > prev_span_t,
+                  f"{path}: run '{label}' span row {i}: timestamps not "
+                  f"strictly increasing")
+            prev_span_t = r[0]
+            check(0 <= r[4] <= r[2] <= r[1],
+                  f"{path}: run '{label}' span row {i}: needs "
+                  f"reached_all <= applied_versions <= published, got "
+                  f"{r[4]}/{r[2]}/{r[1]}")
+            published += r[1]
+        if "consistency.updates_published" in totals:
+            check(near(published, totals["consistency.updates_published"]),
+                  f"{path}: run '{label}': span rows account for "
+                  f"{published} versions, published "
+                  f"{totals['consistency.updates_published']}")
+        if registry_by_label:
+            if not check(label in registry_by_label,
+                         f"{path}: run '{label}' has no matching metrics "
+                         f"line in {metrics_path}"):
+                continue
+            registry = registry_by_label[label]
+            for c in columns:
+                name = c.get("name", "?")
+                if c.get("kind") != "delta" or name not in registry:
+                    continue
+                check(near(totals.get(name, 0), registry[name]),
+                      f"{path}: run '{label}': total '{name}' = "
+                      f"{totals.get(name)} but the final registry says "
+                      f"{registry[name]}")
+    host_runs = doc.get("host", {}).get("runs")
+    check(isinstance(host_runs, list) and
+          [r.get("label") for r in host_runs] == labels,
+          f"{path}: host runs must mirror the deterministic run labels")
+    csv_sibling = timeseries_csv_path_for(path)
+    if check(os.path.exists(csv_sibling),
+             f"missing timeseries csv sibling {csv_sibling}"):
+        with open(csv_sibling, newline="") as f:
+            header = next(csv.reader(f), None)
+        check(header == ["label", "t", "series", "value"],
+              f"{csv_sibling}: header is {header!r}")
+    check_manifest(path)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--metrics")
     parser.add_argument("--trace")
     parser.add_argument("--csv")
     parser.add_argument("--profile")
+    parser.add_argument("--timeseries")
     parser.add_argument("--require-metric", action="append", default=[],
                         metavar="NAME[OP N]",
                         help="counter/gauge that must exist on every metrics "
                              "line; with >N / >=N / ==N, some line must "
                              "satisfy the comparison")
     args = parser.parse_args()
-    if not (args.metrics or args.trace or args.csv or args.profile):
+    if not (args.metrics or args.trace or args.csv or args.profile or
+            args.timeseries):
         parser.error("nothing to check")
     if args.require_metric and not args.metrics:
         parser.error("--require-metric needs --metrics")
@@ -248,6 +406,8 @@ def main():
         check_csv(args.csv)
     if args.profile:
         check_profile(args.profile)
+    if args.timeseries:
+        check_timeseries(args.timeseries, metrics_path=args.metrics)
     if failures:
         for msg in failures:
             print(f"check_obs: FAIL: {msg}", file=sys.stderr)

@@ -4,14 +4,20 @@
 Usage:
     obs_diff.py A B [--rel-tol 1e-9] [--out report.md]
                     [--fail-on-diff] [--fail-on-schema-change]
+                    [--include-wall]
 
-Accepts either artifact family (auto-detected from the file contents):
+Accepts any artifact family (auto-detected from the file contents):
   * metrics JSONL — one {"label", "metrics"} object per line, as written by
     bench::ObsSession. Compared per label, per metric name: counters,
     gauges, histogram count/sum/nan_count and per-bucket counts;
   * profile JSON — {"schema": "cdnsim.profile.v1", ...}. Only the
-    "deterministic" section (scope counts + sim-time coverage) is compared;
-    the "wall" section is host noise and is deliberately ignored.
+    "deterministic" section (scope counts + sim-time coverage) is compared
+    by default; the host-only "wall" section is scheduling noise and is
+    ignored unless --include-wall is given;
+  * timeseries JSON — {"schema": "cdnsim.timeseries.v1", ...}. Compared per
+    run label: every sampled cell, every total and every span-rollup field.
+    The host section (shard health samples, barrier wall time) is ignored
+    unless --include-wall is given.
 
 A *value* difference is a shared key whose numbers differ beyond --rel-tol.
 A *schema* difference is a key (label, metric name, scope path, histogram
@@ -28,8 +34,8 @@ import json
 import sys
 
 
-def load(path):
-    """Returns ("profile"|"metrics", flat dict of name -> number)."""
+def load(path, include_wall=False):
+    """Returns ("profile"|"timeseries"|"metrics", flat name -> number)."""
     with open(path) as f:
         text = f.read()
     try:
@@ -41,7 +47,47 @@ def load(path):
         for scope in doc.get("deterministic", {}).get("scopes", []):
             flat[f"{scope['path']} count"] = scope["count"]
             flat[f"{scope['path']} sim_cover_us"] = scope["sim_cover_us"]
+        if include_wall:
+            for scope in doc.get("wall", {}).get("scopes", []):
+                flat[f"{scope['path']} wall_ns"] = scope.get("wall_ns", 0)
+                flat[f"{scope['path']} self_ns"] = scope.get("self_ns", 0)
+            flat["wall scope_entry_ns"] = doc.get("wall", {}).get(
+                "scope_entry_ns", 0)
         return "profile", flat
+    if isinstance(doc, dict) and doc.get("schema") == "cdnsim.timeseries.v1":
+        flat = {}
+        for run in doc.get("deterministic", {}).get("runs", []):
+            label = run.get("label", "?")
+            s = run.get("series", {})
+            flat[f"{label} sample_s"] = s.get("sample_s", 0)
+            flat[f"{label} replicas"] = s.get("replicas", 0)
+            names = [c.get("name", "?") for c in s.get("columns", [])]
+            for row in s.get("rows", []):
+                for name, v in zip(names, row[1:]):
+                    flat[f"{label} t={row[0]:g} {name}"] = v
+            for name, v in s.get("totals", {}).items():
+                flat[f"{label} total {name}"] = v
+            span_cols = s.get("spans", {}).get("columns", [])[1:]
+            for row in s.get("spans", {}).get("rows", []):
+                for name, v in zip(span_cols, row[1:]):
+                    flat[f"{label} span t={row[0]:g} {name}"] = v
+        if include_wall:
+            for run in doc.get("host", {}).get("runs", []):
+                label = run.get("label", "?")
+                shard = run.get("shard", {})
+                if not shard:
+                    continue
+                flat[f"{label} host shards"] = shard.get("shards", 0)
+                flat[f"{label} host lane_imbalance"] = shard.get(
+                    "lane_imbalance", 0)
+                for sample in shard.get("samples", []):
+                    base = f"{label} host t={sample.get('t', 0):g}"
+                    flat[f"{base} staged_rows"] = sample.get("staged_rows", 0)
+                    flat[f"{base} barrier_wait_ns"] = sample.get(
+                        "barrier_wait_ns", 0)
+                    for lane, ev in enumerate(sample.get("lane_events", [])):
+                        flat[f"{base} lane{lane}_events"] = ev
+        return "timeseries", flat
     # Metrics JSONL: one record per line.
     flat = {}
     for i, line in enumerate(text.splitlines()):
@@ -97,10 +143,13 @@ def main():
     parser.add_argument("--fail-on-schema-change", action="store_true",
                         help="exit 3 when the two files disagree on which "
                              "keys exist")
+    parser.add_argument("--include-wall", action="store_true",
+                        help="also compare the host-only wall/shard "
+                             "sections (scheduling noise; off by default)")
     args = parser.parse_args()
 
-    kind_a, flat_a = load(args.a)
-    kind_b, flat_b = load(args.b)
+    kind_a, flat_a = load(args.a, args.include_wall)
+    kind_b, flat_b = load(args.b, args.include_wall)
     if kind_a != kind_b:
         sys.exit(f"obs_diff: cannot compare a {kind_a} file ({args.a}) "
                  f"against a {kind_b} file ({args.b})")

@@ -6,9 +6,12 @@
 # (catches perf-path code that only compiles, only crashes, or only crawls
 # under optimization), then the observability smoke: fig20 run at --jobs 1
 # and --jobs 8 with every --*-out flag, the deterministic artifacts (metrics,
-# trace, csv, and the profile's deterministic section) cmp'd byte-for-byte,
-# validated with scripts/check_obs.py, and a second seed diffed with
-# scripts/obs_diff.py (same schema, different values). Run from the
+# trace, csv, timeseries, and the profile's deterministic section) cmp'd
+# byte-for-byte — timeseries across the full --shards 1/2/8/auto x --jobs
+# 1/8 grid — validated with scripts/check_obs.py (including the timeseries
+# interval-sum vs final-counter reconciliation), the time-resolved
+# convergence bench smoked at both job counts, and a second seed diffed
+# with scripts/obs_diff.py (same schema, different values). Run from the
 # repository root.
 #
 #   scripts/tier1.sh            # all stages
@@ -125,17 +128,58 @@ print(json.dumps(json.load(open(sys.argv[1]))["deterministic"]))' \
       ./build/bench/fig20_network_size --small --jobs "${jobs}" \
         --shards "${sh}" \
         --metrics-out "${shard_dir}/m_s${sh}_j${jobs}.jsonl" \
-        --csv-out "${shard_dir}/c_s${sh}_j${jobs}.csv" >/dev/null || rc=$?
+        --csv-out "${shard_dir}/c_s${sh}_j${jobs}.csv" \
+        --timeseries-out "${shard_dir}/ts_s${sh}_j${jobs}.json" \
+        >/dev/null || rc=$?
       if [[ "${rc}" -ge 2 ]]; then
         echo "fig20_network_size --shards ${sh} --jobs ${jobs} failed" \
              "(exit ${rc})" >&2
         exit 1
       fi
+      # The timeseries artifact splits like the profile: its host section
+      # (shard health samples, barrier wall time) is scheduling noise, the
+      # deterministic section (sampled series, totals, spans) must not
+      # depend on the lane decomposition or the worker count.
+      python3 -c 'import json, sys
+print(json.dumps(json.load(open(sys.argv[1]))["deterministic"]))' \
+        "${shard_dir}/ts_s${sh}_j${jobs}.json" \
+        > "${shard_dir}/tsdet_s${sh}_j${jobs}.json"
       cmp "${shard_dir}/m_s1_j1.jsonl" "${shard_dir}/m_s${sh}_j${jobs}.jsonl"
       cmp "${shard_dir}/c_s1_j1.csv" "${shard_dir}/c_s${sh}_j${jobs}.csv"
+      cmp "${shard_dir}/tsdet_s1_j1.json" \
+          "${shard_dir}/tsdet_s${sh}_j${jobs}.json"
+      cmp "${shard_dir}/ts_s1_j1.csv" "${shard_dir}/ts_s${sh}_j${jobs}.csv"
     done
   done
-  echo "sharded metrics/csv byte-identical across --shards 1/2/8/auto x --jobs 1/8"
+  echo "sharded metrics/csv/timeseries byte-identical across --shards 1/2/8/auto x --jobs 1/8"
+  python3 scripts/check_obs.py \
+    --metrics "${shard_dir}/m_s1_j1.jsonl" \
+    --timeseries "${shard_dir}/ts_s1_j1.json"
+
+  # Time-resolved convergence curves: the sampler demo bench must survive
+  # both job counts with byte-identical deterministic timeseries, and its
+  # artifact must pass the schema + reconciliation checks.
+  cmake --build build -j --target ext_convergence_curves
+  conv_dir="${tmp_dir}/obs-conv"
+  mkdir -p "${conv_dir}"
+  for jobs in 1 8; do
+    rc=0
+    ./build/bench/ext_convergence_curves --small --jobs "${jobs}" \
+      --metrics-out "${conv_dir}/m${jobs}.jsonl" \
+      --timeseries-out "${conv_dir}/ts${jobs}.json" >/dev/null || rc=$?
+    if [[ "${rc}" -ge 2 ]]; then
+      echo "ext_convergence_curves --jobs ${jobs} failed (exit ${rc})" >&2
+      exit 1
+    fi
+    python3 -c 'import json, sys
+print(json.dumps(json.load(open(sys.argv[1]))["deterministic"]))' \
+      "${conv_dir}/ts${jobs}.json" > "${conv_dir}/tsdet${jobs}.json"
+  done
+  cmp "${conv_dir}/tsdet1.json" "${conv_dir}/tsdet8.json"
+  cmp "${conv_dir}/ts1.csv" "${conv_dir}/ts8.csv"
+  python3 scripts/check_obs.py --metrics "${conv_dir}/m1.jsonl" \
+    --timeseries "${conv_dir}/ts1.json"
+  echo "convergence-curve timeseries byte-identical for --jobs 1 vs 8"
 
   # Same contract on a second, newly auto-wired bench: ext_churn's rate-0
   # baseline jobs run sharded while churn jobs degrade to classic, and the

@@ -1,6 +1,7 @@
 #include "consistency/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <exception>
 #include <limits>
@@ -315,6 +316,7 @@ UpdateEngine::UpdateEngine(sim::Simulator& simulator,
                  "backoff_factor >= 1 and max_retries >= 0");
 
   bind_metrics();
+  bind_timeseries();
 
   const Version final_version = updates_->update_count();
   servers_.reserve(nodes.server_count());
@@ -465,10 +467,159 @@ void UpdateEngine::bind_profiler() {
   }
 }
 
-void UpdateEngine::fold_lane_stats() {
-  if (stats_folded_) return;
-  stats_folded_ = true;
+void UpdateEngine::bind_timeseries() {
+  if (config_.timeseries == nullptr || config_.timeseries_sample_s <= 0) {
+    return;
+  }
+  ts_ = config_.timeseries;
+  CDNSIM_EXPECTS(ts_->column_count() == 0 && ts_->row_count() == 0,
+                 "a TimeSeries may not be shared between engines");
+  // Columns are bound in a fixed order so the layout is a function of the
+  // code version alone — merged catalog series and cross-run diffs line up
+  // without name lookups. Delta columns are named exactly like the
+  // registry slots they telescope to, so check_obs.py can reconcile them.
+  TsColumns& c = ts_cols_;
+  c.updates_published = ts_->add_delta("consistency.updates_published");
+  c.stale_replicas = ts_->add_gauge("consistency.stale_replicas");
+  c.inflight_updates = ts_->add_gauge("consistency.inflight_updates");
+  for (std::size_t m = 0; m < kUpdateMethodCount; ++m) {
+    const std::string suffix(to_string(static_cast<UpdateMethod>(m)));
+    c.open_windows[m] = ts_->add_gauge("consistency.open_windows." + suffix);
+    c.acquired[m] = ts_->add_delta("engine.updates_acquired." + suffix);
+    c.polls[m] = ts_->add_delta("engine.polls." + suffix);
+    c.fetches[m] = ts_->add_delta("engine.fetches." + suffix);
+    c.invalidations[m] = ts_->add_delta("engine.invalidations." + suffix);
+  }
+  c.mode_switches = ts_->add_delta("engine.mode_switches");
+  c.visits = ts_->add_delta("engine.user_visits");
+  c.visits_unanswered = ts_->add_delta("engine.user_visits_unanswered");
+  c.fault_dropped = ts_->add_delta("fault.messages_dropped");
+  c.fault_partition_dropped = ts_->add_delta("fault.partition_dropped");
+  c.fault_duplicated = ts_->add_delta("fault.messages_duplicated");
+  c.fault_brownouts = ts_->add_delta("fault.brownout_transitions");
+  c.reliable_retries = ts_->add_delta("reliable.retries");
+  c.reliable_give_ups = ts_->add_delta("reliable.give_ups");
+  for (std::size_t k = 0; k < net::kMessageKindCount; ++k) {
+    c.messages[k] = ts_->add_delta(
+        "net.messages." +
+        std::string(to_string(static_cast<net::MessageKind>(k))));
+  }
+  c.uplink_backlog = ts_->add_gauge("net.provider_uplink.backlog_s");
+  c.uplink_brownout = ts_->add_gauge("net.provider_uplink.brownout");
+}
 
+// Records one row at ts_->next_sample_time(). The caller guarantees every
+// event with time strictly before that point has fired and no later one
+// has (classic: run_before(next_sample_time); sharded: sample points are
+// interleaved with the epoch barriers) — so everything staged here is a
+// pure function of the simulated history up to the grid point, identical
+// for every lane decomposition and worker count.
+void UpdateEngine::sample_timeseries() {
+  const double t = ts_->next_sample_time();
+  const TsColumns& c = ts_cols_;
+
+  // Consistency state. `latest` counts trace updates published strictly
+  // before t; a replica is stale (its inconsistency window open) while its
+  // version trails it.
+  const Version total_updates = updates_->update_count();
+  while (ts_published_cursor_ < total_updates &&
+         updates_->update_time(ts_published_cursor_ + 1) < t) {
+    ++ts_published_cursor_;
+  }
+  const Version latest = ts_published_cursor_;
+  ts_->stage(c.updates_published, static_cast<double>(latest));
+  std::uint64_t stale = 0;
+  std::array<std::uint64_t, kUpdateMethodCount> stale_by_method{};
+  Version min_version = latest;
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    const Version v = versions_[i];
+    min_version = std::min(min_version, v);
+    if (v < latest) {
+      ++stale;
+      ++stale_by_method[method_index(servers_[i]->method)];
+    }
+  }
+  ts_->stage(c.stale_replicas, static_cast<double>(stale));
+  ts_->stage(c.inflight_updates, static_cast<double>(latest - min_version));
+  for (std::size_t m = 0; m < kUpdateMethodCount; ++m) {
+    ts_->stage(c.open_windows[m], static_cast<double>(stale_by_method[m]));
+  }
+
+  // Engine/fault/reliable activity: stage the cumulative lane-counter sums;
+  // the delta columns emit per-interval differences.
+  const LaneCounters lc = sum_lane_counters();
+  for (std::size_t m = 0; m < kUpdateMethodCount; ++m) {
+    ts_->stage(c.acquired[m], static_cast<double>(lc.acquired[m]));
+    ts_->stage(c.polls[m], static_cast<double>(lc.polls[m]));
+    ts_->stage(c.fetches[m], static_cast<double>(lc.fetches[m]));
+    ts_->stage(c.invalidations[m], static_cast<double>(lc.invalidations[m]));
+  }
+  ts_->stage(c.mode_switches, static_cast<double>(lc.mode_switches));
+  ts_->stage(c.visits, static_cast<double>(lc.visits));
+  ts_->stage(c.visits_unanswered, static_cast<double>(lc.visits_unanswered));
+  ts_->stage(c.fault_dropped, static_cast<double>(lc.fault_dropped));
+  ts_->stage(c.fault_partition_dropped,
+             static_cast<double>(lc.fault_partition_dropped));
+  ts_->stage(c.fault_duplicated, static_cast<double>(lc.fault_duplicated));
+  ts_->stage(c.fault_brownouts, static_cast<double>(lc.fault_brownouts));
+  ts_->stage(c.reliable_retries, static_cast<double>(lc.reliable_retries));
+  ts_->stage(c.reliable_give_ups, static_cast<double>(lc.reliable_give_ups));
+
+  // Transport: per-kind message counts summed over the lane meters.
+  std::array<std::uint64_t, net::kMessageKindCount> kinds{};
+  for (const Lane& lane : lanes_) {
+    const auto& kc = lane.meter.kind_counts();
+    for (std::size_t k = 0; k < net::kMessageKindCount; ++k) kinds[k] += kc[k];
+  }
+  for (std::size_t k = 0; k < net::kMessageKindCount; ++k) {
+    ts_->stage(c.messages[k], static_cast<double>(kinds[k]));
+  }
+  const net::Uplink& pu = shared_provider_uplink_ != nullptr
+                              ? *shared_provider_uplink_
+                              : provider_uplink_;
+  ts_->stage(c.uplink_backlog, pu.backlog(t));
+  ts_->stage(c.uplink_brownout, pu.bandwidth_scale() < 1.0 ? 1.0 : 0.0);
+
+  ts_->take_sample();
+
+  // Host-only shard-pipeline health rides the same cadence but never the
+  // deterministic section.
+  if (sharded_) {
+    std::vector<std::uint64_t> lane_events;
+    lane_events.reserve(lanes_.size());
+    for (const Lane& lane : lanes_) {
+      lane_events.push_back(lane.sim->events_processed());
+    }
+    ts_->shard_health_sample(t, merge_->staged_count(), ts_barrier_wait_ns_,
+                             std::move(lane_events));
+  }
+}
+
+void UpdateEngine::finish_timeseries() {
+  if (ts_ == nullptr) return;
+  for (Version v = 1; v <= updates_->update_count(); ++v) {
+    ts_->span_publish(static_cast<std::uint64_t>(v), updates_->update_time(v));
+  }
+  for (const Lane& lane : lanes_) ts_->fold_spans(lane.spans);
+  ts_->set_replica_count(servers_.size());
+  ts_->set_shards(sharded_ ? static_cast<std::uint32_t>(lanes_.size()) : 0);
+}
+
+void UpdateEngine::update_shard_progress() {
+  obs::ShardProgress* p = config_.shard_progress;
+  if (p == nullptr) return;
+  const std::size_t n =
+      std::min(lanes_.size(), obs::ShardProgress::kMaxLanes);
+  p->lanes.store(static_cast<std::uint32_t>(n), std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n; ++i) {
+    p->lane_events[i].store(lanes_[i].sim->events_processed(),
+                            std::memory_order_relaxed);
+    p->staged_rows[i].store(merge_->incoming_count(i),
+                            std::memory_order_relaxed);
+  }
+}
+
+UpdateEngine::LaneCounters UpdateEngine::sum_lane_counters() const {
   LaneCounters total;
   for (const Lane& lane : lanes_) {
     const LaneCounters& c = lane.counters;
@@ -488,6 +639,14 @@ void UpdateEngine::fold_lane_stats() {
     total.reliable_retries += c.reliable_retries;
     total.reliable_give_ups += c.reliable_give_ups;
   }
+  return total;
+}
+
+void UpdateEngine::fold_lane_stats() {
+  if (stats_folded_) return;
+  stats_folded_ = true;
+
+  const LaneCounters total = sum_lane_counters();
   for (std::size_t m = 0; m < kUpdateMethodCount; ++m) {
     const std::string suffix(to_string(static_cast<UpdateMethod>(m)));
     metrics_.counter("engine.updates_acquired." + suffix).inc(total.acquired[m]);
@@ -1043,6 +1202,12 @@ void UpdateEngine::acquire_version(ServerState& s, Version v) {
   // The inconsistency window for version v at this replica: origin update
   // time to local acquisition (sim time on both ends — deterministic).
   s.inconsistency.observe(now - s.last_known_update_time);
+  if (ts_ != nullptr) {
+    // Propagation span: the same publish->apply latency, recorded into the
+    // owning lane's buffer (single-writer) and rolled up at report time.
+    lanes_[sharded_ ? lane_index_of(s.id) : 0].spans.record(
+        static_cast<std::uint64_t>(v), now - s.last_known_update_time);
+  }
   if (config_.record_trace_events) {
     trace_.complete("v" + std::to_string(v),
                     std::string(to_string(s.method)),
@@ -1905,11 +2070,25 @@ void UpdateEngine::horizon_server(ServerState& s) {
 void UpdateEngine::run() {
   if (sharded_) {
     run_sharded();
+    finish_timeseries();
     publish_run_stats();
     return;
   }
   prepare();
-  sim_->run();
+  if (ts_ == nullptr) {
+    sim_->run();
+  } else {
+    // Grid-driven execution: run strictly up to each sample point, record
+    // the row, repeat. The loop's final row lands on the first grid point
+    // strictly after the last event, so the delta columns' totals cover
+    // the whole run (check_obs.py reconciles them against the registry).
+    for (;;) {
+      sim_->run_before(ts_->next_sample_time());
+      sample_timeseries();
+      if (sim_->drained()) break;
+    }
+  }
+  finish_timeseries();
   publish_run_stats();
 }
 
@@ -1996,6 +2175,13 @@ void UpdateEngine::run_sharded_lockstep(util::ThreadPool* pool) {
     if (!(min_next < std::numeric_limits<sim::SimTime>::infinity())) {
       if (merge_->empty()) break;  // all lanes drained, nothing in flight
     } else {
+      // Sample points at or before the next event are complete (everything
+      // strictly before them has fired); emit them before running further.
+      // The sequence of sample points is a function of the min_next
+      // sequence, which is decomposition-invariant.
+      if (ts_ != nullptr) {
+        while (ts_->next_sample_time() <= min_next) sample_timeseries();
+      }
       // The barrier is the first epoch-grid point strictly after the next
       // event, so every event fired this round lies in a single epoch cell
       // — whose closing grid point is exactly what per-message arrival
@@ -2004,8 +2190,20 @@ void UpdateEngine::run_sharded_lockstep(util::ThreadPool* pool) {
       std::int64_t next_k =
           static_cast<std::int64_t>(std::floor(min_next / epoch)) + 1;
       if (next_k <= last_k) next_k = last_k + 1;
-      last_k = next_k;
-      const sim::SimTime barrier = static_cast<double>(next_k) * epoch;
+      sim::SimTime barrier = static_cast<double>(next_k) * epoch;
+      if (ts_ != nullptr && ts_->next_sample_time() < barrier) {
+        // Partial round up to the next sample point. Events still lie
+        // inside the same epoch cell (the sample point precedes its
+        // close), so arrival quantization is unchanged; last_k is
+        // committed only for full epoch barriers so the monotone backstop
+        // never skips a cell.
+        barrier = ts_->next_sample_time();
+      } else {
+        last_k = next_k;
+      }
+      const bool track_wall = ts_ != nullptr;
+      const auto wall_start = track_wall ? std::chrono::steady_clock::now()
+                                         : std::chrono::steady_clock::time_point();
       if (pool) {
         bool submitted = false;
         for (std::size_t i = 0; i < lane_count; ++i) {
@@ -2030,6 +2228,13 @@ void UpdateEngine::run_sharded_lockstep(util::ThreadPool* pool) {
       } else {
         for (Lane& lane : lanes_) lane.sim->run_before(barrier);
       }
+      if (track_wall) {
+        ts_barrier_wait_ns_ += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count());
+      }
+      update_shard_progress();
     }
     // Single-threaded exchange: drain every outbox in the deterministic
     // (arrival, sender, seq) order and inject into the target lanes. Every
@@ -2040,6 +2245,9 @@ void UpdateEngine::run_sharded_lockstep(util::ThreadPool* pool) {
       lanes_[m.target_lane].sim->at(m.arrival, m.tag, std::move(m.action));
     }
   }
+  // One closing row strictly after the last event (the per-round clamp
+  // keeps the grid caught up, so exactly one is pending at exit).
+  if (ts_ != nullptr) sample_timeseries();
 }
 
 // Overlapped driver: cross-lane messages ride the double-buffered staging
@@ -2070,17 +2278,34 @@ void UpdateEngine::run_sharded_pipelined(util::ThreadPool* pool) {
     }
     min_next = std::min(min_next, merge->min_staged_arrival());
     if (!(min_next < std::numeric_limits<sim::SimTime>::infinity())) break;
+    // Emit complete sample points before running further (see the lockstep
+    // driver). Staged messages are future events — their arrivals sit on
+    // the epoch grid at or after min_next — so they are correctly outside
+    // the sampled prefix.
+    if (ts_ != nullptr) {
+      while (ts_->next_sample_time() <= min_next) sample_timeseries();
+    }
     std::int64_t next_k =
         static_cast<std::int64_t>(std::floor(min_next / epoch)) + 1;
     if (next_k <= last_k) next_k = last_k + 1;
-    last_k = next_k;
-    const sim::SimTime barrier = static_cast<double>(next_k) * epoch;
+    sim::SimTime barrier = static_cast<double>(next_k) * epoch;
+    if (ts_ != nullptr && ts_->next_sample_time() < barrier) {
+      // Partial round up to the sample point; last_k is committed only for
+      // full epoch barriers (see the lockstep driver).
+      barrier = ts_->next_sample_time();
+    } else {
+      last_k = next_k;
+    }
     {
       // Same once-per-round scope the lockstep drain records, so the
       // deterministic profile section stays invariant across drivers.
       obs::ProfileScope scope(profiler_, ps_shard_merge_);
       merge->flip();
     }
+    update_shard_progress();
+    const bool track_wall = ts_ != nullptr;
+    const auto wall_start = track_wall ? std::chrono::steady_clock::now()
+                                       : std::chrono::steady_clock::time_point();
     if (pool) {
       bool submitted = false;
       for (std::size_t i = 0; i < lane_count; ++i) {
@@ -2123,7 +2348,16 @@ void UpdateEngine::run_sharded_pipelined(util::ThreadPool* pool) {
         lane_sim->run_before(barrier);
       }
     }
+    if (track_wall) {
+      ts_barrier_wait_ns_ += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - wall_start)
+              .count());
+    }
   }
+  // One closing row strictly after the last event (see the lockstep
+  // driver).
+  if (ts_ != nullptr) sample_timeseries();
 }
 
 std::uint64_t UpdateEngine::events_processed() const {

@@ -50,6 +50,7 @@
 #include "fault/injector.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace_recorder.hpp"
 #include "cdn/provider.hpp"
 #include "cdn/replica_recorder.hpp"
@@ -225,6 +226,26 @@ struct EngineConfig {
   /// profile only driver-thread phases (tree build, shard.merge): the
   /// single-threaded Profiler must not be shared with lane workers.
   obs::Profiler* profiler = nullptr;
+
+  /// Time-resolved telemetry (DESIGN.md "Time-resolved telemetry"). When
+  /// timeseries_sample_s > 0 and `timeseries` is set (borrowed, must
+  /// outlive the engine; never shared between jobs), the run records one
+  /// row per sample_s of sim time — consistency state, engine/fault/
+  /// reliable counter deltas, per-MessageKind traffic, uplink backlog —
+  /// plus per-update propagation spans. Sampling rides the sim-time grid
+  /// (classic: run_before per grid point; sharded: samples interleave with
+  /// the epoch barriers), so the deterministic section is byte-identical
+  /// across shard and worker counts. Unlike the profiler, time series do
+  /// NOT force classic execution. When null — the default — the only
+  /// residue is one null-check in acquire_version (span hook).
+  double timeseries_sample_s = 0;
+  obs::TimeSeries* timeseries = nullptr;
+
+  /// Live per-lane progress sink for the batch heartbeat (borrowed; may be
+  /// shared with a reader thread — all slots are relaxed atomics). Sharded
+  /// runs update it once per barrier round; host-only, never part of any
+  /// artifact's deterministic section.
+  obs::ShardProgress* shard_progress = nullptr;
 };
 
 /// Config-level sharding support check, shared by the auto resolution and
@@ -355,7 +376,12 @@ class UpdateEngine {
     std::unique_ptr<sim::Simulator> sim;
     net::TrafficMeter meter;
     LaneCounters counters;
+    obs::SpanBuffer spans;  // propagation-span applies (single-writer)
   };
+
+  /// Sums every lane's counters (exact integer adds, order-independent).
+  /// Shared by fold_lane_stats() and sample_timeseries().
+  LaneCounters sum_lane_counters() const;
 
   // lane anchoring: every helper resolves through the node that owns the
   // execution context, so sharded handlers always touch their own lane.
@@ -451,6 +477,16 @@ class UpdateEngine {
   void bind_metrics();
   void bind_profiler();
   void fold_lane_stats();
+  // Time series: column binding (constructor), one sample at
+  // ts_->next_sample_time() covering events strictly before it, and the
+  // end-of-run span fold. See the "Run" drivers for where samples
+  // interleave with execution.
+  void bind_timeseries();
+  void sample_timeseries();
+  void finish_timeseries();
+  // Refreshes config_.shard_progress from the quiesced lanes (driver
+  // thread, relaxed stores; host-only heartbeat data).
+  void update_shard_progress();
   // Expands the bulk walk's run-length visit records into per-user
   // UserObservation rows (merged by request time with directly-added
   // rows); runs once from publish_run_stats(), no-op in legacy mode.
@@ -563,6 +599,38 @@ class UpdateEngine {
   obs::MetricsRegistry metrics_;
   obs::TraceRecorder trace_;
   bool stats_folded_ = false;
+
+  // Time-resolved telemetry (ts_ null unless config.timeseries is bound;
+  // the disabled hot-path residue is one null-check). Column ids are
+  // resolved once in bind_timeseries(); sample_timeseries() stages into
+  // them. ts_published_cursor_ counts trace updates with publish time
+  // strictly before the current sample point.
+  obs::TimeSeries* ts_ = nullptr;
+  struct TsColumns {
+    obs::SeriesId updates_published = 0;
+    obs::SeriesId stale_replicas = 0;
+    obs::SeriesId inflight_updates = 0;
+    std::array<obs::SeriesId, kUpdateMethodCount> open_windows{};
+    std::array<obs::SeriesId, kUpdateMethodCount> acquired{};
+    std::array<obs::SeriesId, kUpdateMethodCount> polls{};
+    std::array<obs::SeriesId, kUpdateMethodCount> fetches{};
+    std::array<obs::SeriesId, kUpdateMethodCount> invalidations{};
+    obs::SeriesId mode_switches = 0;
+    obs::SeriesId visits = 0;
+    obs::SeriesId visits_unanswered = 0;
+    obs::SeriesId fault_dropped = 0;
+    obs::SeriesId fault_partition_dropped = 0;
+    obs::SeriesId fault_duplicated = 0;
+    obs::SeriesId fault_brownouts = 0;
+    obs::SeriesId reliable_retries = 0;
+    obs::SeriesId reliable_give_ups = 0;
+    std::array<obs::SeriesId, net::kMessageKindCount> messages{};
+    obs::SeriesId uplink_backlog = 0;
+    obs::SeriesId uplink_brownout = 0;
+  };
+  TsColumns ts_cols_;
+  trace::Version ts_published_cursor_ = 0;
+  std::uint64_t ts_barrier_wait_ns_ = 0;  // host-only, sharded drivers
 
   // Dispatch/phase profiler: slots interned once in bind_profiler(), so a
   // phase entry costs one null-check plus (when enabled) one table walk.

@@ -33,6 +33,11 @@ consistency::EngineConfig catalog_engine_config(
       catalog.users_per_replica(id, tmpl.users_per_server);
   config.infrastructure =
       consistency::clamp_infrastructure(tmpl.infrastructure, replica_count);
+  // Borrowed observability sinks must never be shared across objects (the
+  // lanes run concurrently): each run_simulation owns its sampler, driven
+  // by timeseries_sample_s alone.
+  config.timeseries = nullptr;
+  config.shard_progress = nullptr;
   return config;
 }
 
@@ -133,6 +138,9 @@ CatalogRunResult run_catalog(const topology::NodeRegistry& nodes,
     result.traffic.update_messages += o.sim.traffic.update_messages;
     result.traffic.light_messages += o.sim.traffic.light_messages;
     result.events_processed += o.sim.events_processed;
+    if (!o.sim.timeseries.empty()) {
+      result.timeseries.merge_from(o.sim.timeseries);
+    }
   }
   result.resolved_lanes = lanes;
   return result;

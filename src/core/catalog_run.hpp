@@ -85,6 +85,13 @@ struct CatalogRunResult {
   /// Lane count that actually ran (provenance for manifests; the output
   /// does not depend on it).
   std::size_t resolved_lanes = 1;
+
+  /// Catalog-wide time series: every object's report merged in object-id
+  /// order (delta columns and span buckets sum; gauges sum with each
+  /// object's final value carried past its horizon). Empty unless the
+  /// template engine config enables timeseries_sample_s. Host shard
+  /// samples do not aggregate across objects and are cleared.
+  obs::TimeSeriesReport timeseries;
 };
 
 /// The per-object config derivation, exposed for the equivalence tests:

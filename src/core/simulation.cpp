@@ -10,7 +10,17 @@ SimulationResult run_simulation(const topology::NodeRegistry& nodes,
                                 const consistency::EngineConfig& engine_config,
                                 std::vector<trace::AbsenceSchedule> absences) {
   sim::Simulator simulator;
-  consistency::UpdateEngine engine(simulator, nodes, updates, engine_config,
+  // The engine borrows its TimeSeries; own one here per run so batch jobs
+  // and catalog objects never share a sampler. Callers opt in through
+  // EngineConfig::timeseries_sample_s alone (an explicit pointer — e.g.
+  // from a test — is respected as-is).
+  std::unique_ptr<obs::TimeSeries> timeseries;
+  consistency::EngineConfig config = engine_config;
+  if (config.timeseries_sample_s > 0 && config.timeseries == nullptr) {
+    timeseries = std::make_unique<obs::TimeSeries>(config.timeseries_sample_s);
+    config.timeseries = timeseries.get();
+  }
+  consistency::UpdateEngine engine(simulator, nodes, updates, config,
                                    std::move(absences));
   engine.run();
 
@@ -44,6 +54,9 @@ SimulationResult run_simulation(const topology::NodeRegistry& nodes,
       n == 0 ? 0.0 : static_cast<double>(converged) / static_cast<double>(n);
   result.metrics = engine.metrics();
   result.trace = engine.trace_events();
+  if (config.timeseries != nullptr) {
+    result.timeseries = config.timeseries->report();
+  }
   return result;
 }
 

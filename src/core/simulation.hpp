@@ -17,6 +17,7 @@
 #include "core/scenario.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace_recorder.hpp"
 #include "trace/update_trace.hpp"
 
@@ -55,6 +56,11 @@ struct SimulationResult {
   /// Hierarchical profile, empty unless BatchJob::profile. Scope counts and
   /// sim-time coverage are deterministic; wall times are host noise.
   obs::ProfileReport profile;
+  /// Time-resolved telemetry, empty unless
+  /// EngineConfig::timeseries_sample_s > 0. run_simulation owns the sampler
+  /// per run (jobs never share one); rows/spans/totals are deterministic,
+  /// the shard-health samples are host-only.
+  obs::TimeSeriesReport timeseries;
 };
 
 /// Runs one trace through one engine configuration on the given CDN.

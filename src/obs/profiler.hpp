@@ -126,6 +126,14 @@ class Profiler {
   std::vector<Frame> stack_;
 };
 
+/// Measured cost of one enter()/exit() pair on this host, in nanoseconds.
+/// Calibrated once per process (tight loop over an empty scope on a private
+/// Profiler, median of several batches) and cached; recorded in the profile
+/// artifact's wall section as "scope_entry_ns" so wall numbers can be read
+/// net of instrumentation overhead. Host-dependent by nature — never part
+/// of any deterministic section.
+std::uint64_t profile_scope_entry_ns();
+
 /// RAII scope guard. With a null profiler both constructor and destructor
 /// are a single branch — the disabled configuration stays zero-cost.
 class ProfileScope {
