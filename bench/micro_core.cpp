@@ -15,6 +15,7 @@
 #include "net/latency_model.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
+#include "pubsub/pubsub.hpp"
 #include "sim/shard_merge.hpp"
 #include "sim/simulator.hpp"
 #include "trace/update_trace.hpp"
@@ -299,6 +300,44 @@ void BM_TimeSeriesSample(benchmark::State& state) {
 }
 BENCHMARK(BM_TimeSeriesSample)
     ->Name("timeseries_sample_100k")
+    ->Unit(benchmark::kMillisecond);
+
+// One full fan-out round trip over a million-subscriber topic: publish a
+// sequence through the credit-window walker, settle every live delivery,
+// then publish again so half the credits are busy and the walker takes the
+// suppress-and-mark-lagging path too. Pure pubsub state machine — no events,
+// no transport — so this bounds the per-copy bookkeeping cost the delivery
+// layer adds at ext_fanout_scale's top count.
+void BM_FanoutWalk1M(benchmark::State& state) {
+  constexpr std::size_t kSubscribers = 1000000;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    pubsub::Topic topic;
+    for (std::size_t i = 0; i < kSubscribers; ++i) {
+      topic.add(static_cast<std::int32_t>(i), /*gated=*/false);
+    }
+    const pubsub::FlowController flow(1);
+    pubsub::FanoutStats stats;
+    pubsub::Fanout fanout(topic, &flow, stats);
+    const auto all = [](const pubsub::Subscriber&) { return true; };
+    fanout.publish(1, 0.0, all,
+                   [](pubsub::SubscriberId, pubsub::Subscriber&) {});
+    // Settle even ids only: update 2 then delivers to half the topic and
+    // suppresses the other half (both walker branches stay hot).
+    for (pubsub::SubscriberId id = 0; id < kSubscribers; id += 2) {
+      fanout.settle(id, 1, /*ok=*/true, /*catch_up=*/false);
+    }
+    fanout.publish(2, 1.0, all,
+                   [](pubsub::SubscriberId, pubsub::Subscriber&) {});
+    sink = stats.live_deliveries + stats.suppressed_deliveries;
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sink));
+  state.counters["deliveries"] = static_cast<double>(sink);
+}
+BENCHMARK(BM_FanoutWalk1M)
+    ->Name("fanout_1m")
     ->Unit(benchmark::kMillisecond);
 
 // Console output as usual, plus one bench-json record per benchmark run.

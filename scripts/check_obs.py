@@ -10,7 +10,8 @@ Checks (stdlib only, no third-party deps):
     every metrics object has counters/gauges/histograms; every histogram
     has len(counts) == len(bounds) + 1, count == sum(counts), strictly
     increasing bounds, and (when present) a non-negative integer
-    nan_count;
+    nan_count; lines carrying the pubsub lagging series must satisfy
+    lagging_subscribers == lagging_enter - lagging_exit >= 0;
   * trace: parseable JSON with a traceEvents list; every event carries
     name/cat/ph/ts/pid/tid; "X" events carry dur; ts/dur are integers
     (sim-microseconds — wall-clock floats would break determinism);
@@ -124,8 +125,26 @@ def check_metrics(path, require_metrics=()):
                 check(isinstance(h["nan_count"], int) and h["nan_count"] >= 0,
                       f"{path}:{i + 1}: histogram '{name}' nan_count must be "
                       f"a non-negative integer")
-        values = dict(metrics.get("counters", {}))
-        values.update(metrics.get("gauges", {}))
+        counters = metrics.get("counters", {})
+        gauges = metrics.get("gauges", {})
+        # Pub/sub flow-control invariant: the lagging gauge is defined as
+        # lagging_enter - lagging_exit (monotone counters folded exactly
+        # across lanes), so whenever all three appear they must agree and
+        # the live set can never be negative.
+        if ("pubsub.lagging_enter" in counters and
+                "pubsub.lagging_exit" in counters and
+                "pubsub.lagging_subscribers" in gauges):
+            enter = counters["pubsub.lagging_enter"]
+            exit_ = counters["pubsub.lagging_exit"]
+            gauge = gauges["pubsub.lagging_subscribers"]
+            check(exit_ <= enter,
+                  f"{path}:{i + 1}: pubsub.lagging_exit {exit_} exceeds "
+                  f"lagging_enter {enter}")
+            check(gauge == enter - exit_,
+                  f"{path}:{i + 1}: pubsub.lagging_subscribers {gauge} != "
+                  f"lagging_enter - lagging_exit ({enter} - {exit_})")
+        values = dict(counters)
+        values.update(gauges)
         for name, op, threshold in requirements:
             if not check(name in values,
                          f"{path}:{i + 1}: required metric '{name}' missing"):

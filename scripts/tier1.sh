@@ -51,7 +51,7 @@ if [[ "${run_tsan}" == "1" ]]; then
   cmake -B build-tsan -S . -DCDNSIM_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j --target cdnsim_tests
   ./build-tsan/tests/cdnsim_tests \
-    --gtest_filter='ThreadPool*:BatchRunner*:RngTest.Substream*:CdfTest.ConcurrentReadsOnSharedConstCdf:FaultInjectionProperty*:ShardMerge*:*ShardPipeline*:VisitBatch*:Catalog*:Ring*'
+    --gtest_filter='ThreadPool*:BatchRunner*:RngTest.Substream*:CdfTest.ConcurrentReadsOnSharedConstCdf:FaultInjectionProperty*:ShardMerge*:*ShardPipeline*:VisitBatch*:Catalog*:Ring*:Pubsub*:Fanout*'
 fi
 
 if [[ "${run_perf}" == "1" ]]; then
@@ -229,6 +229,39 @@ print(json.dumps(json.load(open(sys.argv[1]))["deterministic"]))' \
     done
   done
   echo "catalog metrics/csv byte-identical across --shards 1/auto x --jobs 1/8"
+
+  # Pub/sub fan-out kernel sweep: --jobs parallelizes whole cells and
+  # --shards selects the latency-fold lane count (integer-exact), so the
+  # metrics/csv must be byte-identical across the grid; check_obs then
+  # asserts the flow-control path actually fired (suppressions converted
+  # into log catch-up reads) — a silently disabled window passes cmp but
+  # not this.
+  cmake --build build -j --target ext_fanout_scale
+  fan_dir="${tmp_dir}/obs-fanout"
+  mkdir -p "${fan_dir}"
+  for sh in 1 auto; do
+    for jobs in 1 8; do
+      rc=0
+      ./build/bench/ext_fanout_scale --small --jobs "${jobs}" \
+        --shards "${sh}" \
+        --metrics-out "${fan_dir}/m_s${sh}_j${jobs}.jsonl" \
+        --csv-out "${fan_dir}/c_s${sh}_j${jobs}.csv" >/dev/null || rc=$?
+      if [[ "${rc}" -ge 2 ]]; then
+        echo "ext_fanout_scale --shards ${sh} --jobs ${jobs} failed" \
+             "(exit ${rc})" >&2
+        exit 1
+      fi
+      cmp "${fan_dir}/m_s1_j1.jsonl" "${fan_dir}/m_s${sh}_j${jobs}.jsonl"
+      cmp "${fan_dir}/c_s1_j1.csv" "${fan_dir}/c_s${sh}_j${jobs}.csv"
+    done
+  done
+  echo "fanout metrics/csv byte-identical across --shards 1/auto x --jobs 1/8"
+  python3 scripts/check_obs.py --metrics "${fan_dir}/m_s1_j1.jsonl" \
+    --csv "${fan_dir}/c_s1_j1.csv" \
+    --require-metric 'pubsub.suppressed_deliveries>0' \
+    --require-metric 'pubsub.catch_up_reads>0' \
+    --require-metric 'fanout.messages>0'
+
   python3 scripts/check_obs.py --metrics "${obs_dir}/m1.jsonl" \
     --trace "${obs_dir}/t1.json" --csv "${obs_dir}/c1.csv" \
     --profile "${obs_dir}/p1.profile.json"

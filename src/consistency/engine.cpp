@@ -5,6 +5,7 @@
 #include <cmath>
 #include <exception>
 #include <limits>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -34,7 +35,8 @@ constexpr sim::EventTag kTagHorizon = 6;
 constexpr sim::EventTag kTagFault = 7;    // brownout transitions
 constexpr sim::EventTag kTagRetry = 8;    // reliable-delivery deadlines
 constexpr sim::EventTag kTagVisitBatch = 9;
-constexpr sim::EventTag kTagDeliveryBase = 10;
+constexpr sim::EventTag kTagPubsubSettle = 10;  // flow-control confirmations
+constexpr sim::EventTag kTagDeliveryBase = 11;
 constexpr std::size_t kEngineTagCount =
     kTagDeliveryBase + net::kMessageKindCount;
 
@@ -55,7 +57,9 @@ sim::EventTag delivery_tag(net::MessageKind kind) {
 bool reliable_kind(net::MessageKind kind) {
   return kind == net::MessageKind::kPushUpdate ||
          kind == net::MessageKind::kInvalidation ||
-         kind == net::MessageKind::kFetchResponse;
+         kind == net::MessageKind::kFetchResponse ||
+         kind == net::MessageKind::kCatchUpUpdate ||
+         kind == net::MessageKind::kCatchUpNotice;
 }
 
 // Buckets span the regimes the paper reports: sub-TTL (seconds), the
@@ -163,6 +167,15 @@ struct UpdateEngine::ServerState {
   std::size_t visit_cursor = 0;
   sim::EventHandle visit_event;
   bool visit_pumping = false;
+  // Arrival time of the first unwalked visit (+inf when the schedule is
+  // exhausted or the server has no batched schedule). Maintained alongside
+  // visit_cursor so the flush-before-every-state-mutation callers can skip
+  // the whole walk when the window is empty.
+  sim::SimTime next_visit_time = std::numeric_limits<sim::SimTime>::infinity();
+
+  bool has_pending_visits_before(sim::SimTime t) const {
+    return next_visit_time < t;
+  }
 
   // Run-length user-log records from the bulk visit walk: schedule entries
   // [begin, end) all share one (version, answered) outcome. Recording one
@@ -212,6 +225,19 @@ struct UpdateEngine::ReliableState {
   sim::EventAction action;
   bool delivered = false;
   bool acked = false;
+
+  // Flow-controlled pub/sub transmissions: which subscriber credit this
+  // message holds. The first of {ack, give-up} settles it (pubsub_settled
+  // makes the settle at-most-once — retransmitted copies ack repeatedly).
+  struct PubsubRef {
+    PubsubChannel channel = PubsubChannel::kContent;
+    pubsub::SubscriberId subscriber = 0;
+    trace::Version version = 0;
+    bool catch_up = false;
+    std::uint64_t generation = 0;
+    bool settled = false;
+  };
+  std::optional<PubsubRef> pubsub;
 };
 
 // ---------------------------------------------------------------------------
@@ -314,6 +340,11 @@ UpdateEngine::UpdateEngine(sim::Simulator& simulator,
                       config_.reliable.max_retries >= 0),
                  "reliable delivery needs ack_timeout_s > 0, "
                  "backoff_factor >= 1 and max_retries >= 0");
+
+  CDNSIM_EXPECTS(config_.pubsub.log_capacity > 0 &&
+                     config_.pubsub.catchup_retry_s > 0,
+                 "pubsub needs log_capacity > 0 and catchup_retry_s > 0");
+  flow_ = pubsub::FlowController(config_.pubsub.flow_window);
 
   bind_metrics();
   bind_timeseries();
@@ -429,6 +460,13 @@ void UpdateEngine::bind_metrics() {
   metrics_.counter("fault.brownout_transitions");
   metrics_.counter("reliable.retries");
   metrics_.counter("reliable.give_ups");
+  metrics_.counter("pubsub.live_deliveries");
+  metrics_.counter("pubsub.suppressed_deliveries");
+  metrics_.counter("pubsub.catch_up_messages");
+  metrics_.counter("pubsub.catch_up_reads");
+  metrics_.counter("pubsub.skipped_ahead");
+  metrics_.counter("pubsub.lagging_enter");
+  metrics_.counter("pubsub.lagging_exit");
   metrics_.histogram("engine.inconsistency_window_s", inconsistency_bounds());
 }
 
@@ -461,6 +499,7 @@ void UpdateEngine::bind_profiler() {
   tag_slots_[kTagFault] = profiler_->intern("sim.fault");
   tag_slots_[kTagRetry] = profiler_->intern("sim.retry");
   tag_slots_[kTagVisitBatch] = profiler_->intern("sim.visit_batch");
+  tag_slots_[kTagPubsubSettle] = profiler_->intern("sim.pubsub_settle");
   for (std::size_t k = 0; k < net::kMessageKindCount; ++k) {
     tag_slots_[kTagDeliveryBase + k] = profiler_->intern(
         "deliver." + std::string(to_string(static_cast<net::MessageKind>(k))));
@@ -499,6 +538,12 @@ void UpdateEngine::bind_timeseries() {
   c.fault_brownouts = ts_->add_delta("fault.brownout_transitions");
   c.reliable_retries = ts_->add_delta("reliable.retries");
   c.reliable_give_ups = ts_->add_delta("reliable.give_ups");
+  c.pubsub_live = ts_->add_delta("pubsub.live_deliveries");
+  c.pubsub_suppressed = ts_->add_delta("pubsub.suppressed_deliveries");
+  c.pubsub_catch_up_messages = ts_->add_delta("pubsub.catch_up_messages");
+  c.pubsub_catch_up_reads = ts_->add_delta("pubsub.catch_up_reads");
+  c.pubsub_skipped_ahead = ts_->add_delta("pubsub.skipped_ahead");
+  c.pubsub_lagging = ts_->add_gauge("pubsub.lagging_subscribers");
   for (std::size_t k = 0; k < net::kMessageKindCount; ++k) {
     c.messages[k] = ts_->add_delta(
         "net.messages." +
@@ -564,6 +609,18 @@ void UpdateEngine::sample_timeseries() {
   ts_->stage(c.fault_brownouts, static_cast<double>(lc.fault_brownouts));
   ts_->stage(c.reliable_retries, static_cast<double>(lc.reliable_retries));
   ts_->stage(c.reliable_give_ups, static_cast<double>(lc.reliable_give_ups));
+  ts_->stage(c.pubsub_live, static_cast<double>(lc.pubsub.live_deliveries));
+  ts_->stage(c.pubsub_suppressed,
+             static_cast<double>(lc.pubsub.suppressed_deliveries));
+  ts_->stage(c.pubsub_catch_up_messages,
+             static_cast<double>(lc.pubsub.catch_up_messages));
+  ts_->stage(c.pubsub_catch_up_reads,
+             static_cast<double>(lc.pubsub.catch_up_reads));
+  ts_->stage(c.pubsub_skipped_ahead,
+             static_cast<double>(lc.pubsub.skipped_ahead));
+  ts_->stage(c.pubsub_lagging,
+             static_cast<double>(lc.pubsub.lagging_enter -
+                                 lc.pubsub.lagging_exit));
 
   // Transport: per-kind message counts summed over the lane meters.
   std::array<std::uint64_t, net::kMessageKindCount> kinds{};
@@ -638,6 +695,13 @@ UpdateEngine::LaneCounters UpdateEngine::sum_lane_counters() const {
     total.fault_brownouts += c.fault_brownouts;
     total.reliable_retries += c.reliable_retries;
     total.reliable_give_ups += c.reliable_give_ups;
+    total.pubsub.live_deliveries += c.pubsub.live_deliveries;
+    total.pubsub.suppressed_deliveries += c.pubsub.suppressed_deliveries;
+    total.pubsub.catch_up_messages += c.pubsub.catch_up_messages;
+    total.pubsub.catch_up_reads += c.pubsub.catch_up_reads;
+    total.pubsub.skipped_ahead += c.pubsub.skipped_ahead;
+    total.pubsub.lagging_enter += c.pubsub.lagging_enter;
+    total.pubsub.lagging_exit += c.pubsub.lagging_exit;
   }
   return total;
 }
@@ -663,6 +727,15 @@ void UpdateEngine::fold_lane_stats() {
   metrics_.counter("fault.brownout_transitions").inc(total.fault_brownouts);
   metrics_.counter("reliable.retries").inc(total.reliable_retries);
   metrics_.counter("reliable.give_ups").inc(total.reliable_give_ups);
+  metrics_.counter("pubsub.live_deliveries").inc(total.pubsub.live_deliveries);
+  metrics_.counter("pubsub.suppressed_deliveries")
+      .inc(total.pubsub.suppressed_deliveries);
+  metrics_.counter("pubsub.catch_up_messages")
+      .inc(total.pubsub.catch_up_messages);
+  metrics_.counter("pubsub.catch_up_reads").inc(total.pubsub.catch_up_reads);
+  metrics_.counter("pubsub.skipped_ahead").inc(total.pubsub.skipped_ahead);
+  metrics_.counter("pubsub.lagging_enter").inc(total.pubsub.lagging_enter);
+  metrics_.counter("pubsub.lagging_exit").inc(total.pubsub.lagging_exit);
 
   // Per-server histograms fold in ascending server order in every mode, so
   // the bucket counts and the floating-point sum are independent of lane
@@ -807,6 +880,18 @@ void UpdateEngine::publish_run_stats() {
 
   metrics_.gauge("engine.failures_injected")
       .set(static_cast<double>(failures_injected_));
+
+  // Pub/sub gauges: topic membership and the end-of-run lagging residue
+  // (stranded subscribers that never confirmed the log head).
+  std::uint64_t subscriptions = 0;
+  for (const NodeTopics& t : topics_) {
+    subscriptions += t.content.size() + t.notice.size();
+  }
+  metrics_.gauge("pubsub.subscriptions").set(static_cast<double>(subscriptions));
+  const LaneCounters total = sum_lane_counters();
+  metrics_.gauge("pubsub.lagging_subscribers")
+      .set(static_cast<double>(total.pubsub.lagging_enter -
+                               total.pubsub.lagging_exit));
 }
 
 // ---------------------------------------------------------------------------
@@ -1081,6 +1166,15 @@ void UpdateEngine::reliable_attempt(const std::shared_ptr<ReliableState>& st,
       if (config_.record_trace_events) {
         trace_.instant("give_up", "fault", sim_of(st->from).now(), st->to);
       }
+      // A flow-controlled pub/sub transmission settles as lost: its credit
+      // frees and the subscriber re-tails the log (unless a late ack
+      // already settled it).
+      if (st->pubsub.has_value() && !st->pubsub->settled) {
+        st->pubsub->settled = true;
+        pubsub_settle(st->from, st->pubsub->channel, st->pubsub->subscriber,
+                      st->pubsub->version, /*ok=*/false, st->pubsub->catch_up,
+                      st->pubsub->generation);
+      }
       return;
     }
     ++counters_of(st->from).reliable_retries;
@@ -1120,7 +1214,7 @@ void UpdateEngine::send_ack(const std::shared_ptr<ReliableState>& st) {
     // is harmless, so the duplicate is simply not scheduled.
   }
   schedule_delivery(st->to, st->from, net::MessageKind::kAck, arrival,
-                    [st] { st->acked = true; });
+                    [this, st] { on_ack(st); });
 }
 
 // ---------------------------------------------------------------------------
@@ -1186,6 +1280,7 @@ void UpdateEngine::rebuild_child_lists() {
       }
     }
   }
+  rebuild_topics();
 }
 
 void UpdateEngine::acquire_version(ServerState& s, Version v) {
@@ -1222,6 +1317,10 @@ void UpdateEngine::acquire_version(ServerState& s, Version v) {
 /// self-adaptive children once per subscription).
 void UpdateEngine::notify_children(NodeId node, Version v) {
   obs::ProfileScope scope(event_profiler_, ps_invalidate_);
+  if (pubsub_active_) {
+    pubsub_publish(node, PubsubChannel::kNotice, v);
+    return;
+  }
   const ChildLists& lists = child_lists_[static_cast<std::size_t>(node + 1)];
   if (lists.notice.empty()) return;
   SubscriptionState& subs = subs_of(node);
@@ -1257,6 +1356,11 @@ void UpdateEngine::notify_children(NodeId node, Version v) {
 
 void UpdateEngine::propagate_to_children(NodeId node, Version v) {
   obs::ProfileScope scope(event_profiler_, ps_push_);
+  if (pubsub_active_) {
+    pubsub_publish(node, PubsubChannel::kContent, v);
+    notify_children(node, v);
+    return;
+  }
   const ChildLists& lists = child_lists_[static_cast<std::size_t>(node + 1)];
   if (!lists.push.empty()) {
     if (config_.reliable.enabled) {
@@ -1275,6 +1379,259 @@ void UpdateEngine::propagate_to_children(NodeId node, Version v) {
     }
   }
   notify_children(node, v);
+}
+
+// ---------------------------------------------------------------------------
+// Pub/sub fan-out (multicast/hybrid delivery path)
+// ---------------------------------------------------------------------------
+
+// One topic walk per (relay, channel) publish. With flow control off the
+// walk replays the legacy child-list loops bit for bit — same subscriber
+// order (topics mirror child_lists_), same per-child reserve → latency-draw
+// → meter → injector sequence, no extra draws — which is what keeps
+// multicast/hybrid golden runs byte-identical to the pre-pub/sub engine.
+// With flow control on, each transmission holds one of the subscriber's
+// credits and is settled by an ack (reliable mode) or by the sender's own
+// arrival estimate (unreliable mode); subscribers out of credits are
+// suppressed and later tail the missed versions from the topic log.
+void UpdateEngine::pubsub_publish(NodeId node, PubsubChannel ch, Version v) {
+  pubsub::Topic& topic = topic_of(node, ch);
+  if (topic.empty()) return;
+  const bool content = ch == PubsubChannel::kContent;
+  const net::MessageKind kind = content ? net::MessageKind::kPushUpdate
+                                        : net::MessageKind::kInvalidation;
+  const double size_kb =
+      content ? config_.update_packet_kb : config_.light_packet_kb;
+  const sim::SimTime now = sim_of(node).now();
+  SubscriptionState* subs = content ? nullptr : &subs_of(node);
+  auto allowed = [&](const pubsub::Subscriber& s) {
+    if (!s.gated) return true;
+    if (subs->subscribers.count(s.node) == 0 ||
+        subs->notified.count(s.node) != 0) {
+      return false;
+    }
+    subs->notified.insert(s.node);
+    return true;
+  };
+  pubsub::Fanout fanout(topic, &flow_, counters_of(node).pubsub);
+  const auto seq = static_cast<pubsub::SequenceNumber>(v);
+  if (config_.reliable.enabled) {
+    fanout.publish(seq, now, allowed,
+                   [&](pubsub::SubscriberId sid, pubsub::Subscriber& sub) {
+                     if (flow_.enabled()) {
+                       pubsub_transmit(node, ch, sid, v, /*catch_up=*/false,
+                                       nullptr);
+                       return;
+                     }
+                     ServerState& child =
+                         *servers_[static_cast<std::size_t>(sub.node)];
+                     if (content) {
+                       send(node, sub.node, kind, size_kb,
+                            [this, &child, v] { acquire_version(child, v); });
+                     } else {
+                       send(node, sub.node, kind, size_kb,
+                            [this, &child, v] { on_invalidation(child, v); });
+                     }
+                   });
+    return;
+  }
+  FanoutBatch batch(*this, node);
+  fanout.publish(seq, now, allowed,
+                 [&](pubsub::SubscriberId sid, pubsub::Subscriber& sub) {
+                   if (flow_.enabled()) {
+                     pubsub_transmit(node, ch, sid, v, /*catch_up=*/false,
+                                     &batch);
+                     return;
+                   }
+                   ServerState& child =
+                       *servers_[static_cast<std::size_t>(sub.node)];
+                   if (content) {
+                     batch.send(sub.node, kind, size_kb,
+                                [this, &child, v] { acquire_version(child, v); });
+                   } else {
+                     batch.send(sub.node, kind, size_kb,
+                                [this, &child, v] { on_invalidation(child, v); });
+                   }
+                 });
+}
+
+// Flow-controlled transport of one delivery (live or catch-up). The
+// subscriber's credit was taken by the walker; this function only moves the
+// bytes and arranges the settle that will release it.
+void UpdateEngine::pubsub_transmit(NodeId relay, PubsubChannel ch,
+                                   pubsub::SubscriberId sid, Version v,
+                                   bool catch_up, FanoutBatch* batch) {
+  pubsub::Subscriber& sub = topic_of(relay, ch).at(sid);
+  ServerState& child = *servers_[static_cast<std::size_t>(sub.node)];
+  const bool content = ch == PubsubChannel::kContent;
+  net::MessageKind kind;
+  double size_kb;
+  if (content) {
+    kind = catch_up ? net::MessageKind::kCatchUpUpdate
+                    : net::MessageKind::kPushUpdate;
+    size_kb = config_.update_packet_kb;
+  } else {
+    kind = catch_up ? net::MessageKind::kCatchUpNotice
+                    : net::MessageKind::kInvalidation;
+    size_kb = config_.light_packet_kb;
+  }
+  sim::EventAction action;
+  if (content) {
+    action = [this, &child, v] { acquire_version(child, v); };
+  } else {
+    action = [this, &child, v] { on_invalidation(child, v); };
+  }
+  if (config_.reliable.enabled) {
+    auto st = std::make_shared<ReliableState>();
+    st->from = relay;
+    st->to = sub.node;
+    st->kind = kind;
+    st->size_kb = size_kb;
+    st->action = std::move(action);
+    st->pubsub = ReliableState::PubsubRef{ch,       sid,
+                                          v,        catch_up,
+                                          pubsub_generation_, false};
+    reliable_attempt(st, 0);
+    return;
+  }
+  // Unreliable transport: nothing confirms receipt, so the sender settles
+  // the credit at the nominal arrival instant of its own transmission (an
+  // optimistic transport-level estimate); a copy lost to the injector
+  // settles as lost at the same instant. The settle event is sender-local
+  // bookkeeping, so it needs no barrier quantization under sharding.
+  std::optional<FanoutBatch> local;
+  if (batch == nullptr) local.emplace(*this, relay);
+  FanoutBatch& b = batch != nullptr ? *batch : *local;
+  const sim::SimTime depart = b.uplink.reserve(b.now, size_kb);
+  const sim::SimTime delay = draw_latency(relay, sub.node);
+  b.meter.record(kind, relay, nodes_->distance_km(relay, sub.node), size_kb);
+  sim::SimTime arrival = depart + delay;
+  bool lost = false;
+  bool scheduled = false;
+  if (b.injector != nullptr) {
+    const fault::Injector::Decision d = b.injector->decide(relay, sub.node, b.now);
+    if (d.drop) {
+      lost = true;
+      record_injected_drop(d.partitioned, relay, sub.node);
+    } else {
+      arrival += d.extra_delay_s;
+      if (d.duplicate) {
+        ++counters_of(relay).fault_duplicated;
+        auto shared = std::make_shared<sim::EventAction>(std::move(action));
+        b.deliver(sub.node, kind, arrival, [shared] { (*shared)(); });
+        b.deliver(sub.node, kind, arrival + d.duplicate_extra_delay_s,
+                  [shared] { (*shared)(); });
+        scheduled = true;
+      }
+    }
+  }
+  if (!lost && !scheduled) {
+    b.deliver(sub.node, kind, arrival, std::move(action));
+  }
+  const bool ok = !lost;
+  const std::uint64_t gen = pubsub_generation_;
+  sim_of(relay).at(arrival, kTagPubsubSettle,
+                   [this, relay, ch, sid, v, ok, catch_up, gen] {
+                     pubsub_settle(relay, ch, sid, v, ok, catch_up, gen);
+                   });
+}
+
+void UpdateEngine::pubsub_settle(NodeId relay, PubsubChannel ch,
+                                 pubsub::SubscriberId sid, Version v, bool ok,
+                                 bool catch_up, std::uint64_t generation) {
+  if (generation != pubsub_generation_) return;  // topology was rebuilt
+  pubsub::Topic& topic = topic_of(relay, ch);
+  pubsub::Fanout fanout(topic, &flow_, counters_of(relay).pubsub);
+  if (fanout.settle(sid, static_cast<pubsub::SequenceNumber>(v), ok,
+                    catch_up)) {
+    pubsub_send_tail(relay, ch, sid);
+    return;
+  }
+  if (ok || sim_of(relay).now() >= end_time_) return;
+  // The transmission was lost and the subscriber still trails the log.
+  // Reliable transports spaced this loss out by their whole retry budget,
+  // so they may re-tail immediately; unreliable ones re-arm on a timer —
+  // an immediate re-tail would retry as fast as the link round-trips.
+  if (config_.reliable.enabled) {
+    if (fanout.begin_catch_up(sid)) pubsub_send_tail(relay, ch, sid);
+    return;
+  }
+  const std::uint64_t gen = pubsub_generation_;
+  sim_of(relay).at(sim_of(relay).now() + config_.pubsub.catchup_retry_s,
+                   kTagPubsubSettle, [this, relay, ch, sid, gen] {
+                     pubsub_retry_catch_up(relay, ch, sid, gen);
+                   });
+}
+
+void UpdateEngine::pubsub_retry_catch_up(NodeId relay, PubsubChannel ch,
+                                         pubsub::SubscriberId sid,
+                                         std::uint64_t generation) {
+  if (generation != pubsub_generation_) return;
+  if (sim_of(relay).now() >= end_time_) return;
+  if (relay != kProviderNode &&
+      servers_[static_cast<std::size_t>(relay)]->departed) {
+    return;
+  }
+  pubsub::Topic& topic = topic_of(relay, ch);
+  pubsub::Fanout fanout(topic, &flow_, counters_of(relay).pubsub);
+  if (fanout.begin_catch_up(sid)) pubsub_send_tail(relay, ch, sid);
+}
+
+void UpdateEngine::pubsub_send_tail(NodeId relay, PubsubChannel ch,
+                                    pubsub::SubscriberId sid) {
+  const pubsub::Topic& topic = topic_of(relay, ch);
+  const auto head = static_cast<Version>(topic.log().last_seq());
+  pubsub_transmit(relay, ch, sid, head, /*catch_up=*/true, nullptr);
+}
+
+void UpdateEngine::on_ack(const std::shared_ptr<ReliableState>& st) {
+  st->acked = true;
+  if (st->pubsub.has_value() && !st->pubsub->settled) {
+    st->pubsub->settled = true;
+    pubsub_settle(st->from, st->pubsub->channel, st->pubsub->subscriber,
+                  st->pubsub->version, /*ok=*/true, st->pubsub->catch_up,
+                  st->pubsub->generation);
+  }
+}
+
+void UpdateEngine::rebuild_topics() {
+  pubsub_active_ =
+      config_.infrastructure.kind != InfrastructureKind::kUnicast;
+  if (!pubsub_active_) return;
+  // In-flight confirmations refer to the ids of the topics being replaced;
+  // bumping the generation drops them instead of misattributing credits.
+  ++pubsub_generation_;
+  topics_.assign(servers_.size() + 1, NodeTopics(config_.pubsub.log_capacity));
+  for (NodeId node = kProviderNode;
+       node < static_cast<NodeId>(servers_.size()); ++node) {
+    const ChildLists& lists = child_lists_[static_cast<std::size_t>(node + 1)];
+    NodeTopics& t = topics_[static_cast<std::size_t>(node + 1)];
+    for (NodeId c : lists.push) t.content.add(c, /*gated=*/false);
+    for (const ChildLists::Notice& n : lists.notice) {
+      t.notice.add(n.child, n.gated);
+    }
+  }
+}
+
+void UpdateEngine::meter_subscriptions() {
+  if (!pubsub_active_ || !flow_.enabled()) return;
+  // Registration is control traffic from subscriber to relay, metered like
+  // tree maintenance (no uplink or latency modeled — subscriptions are
+  // established before the run starts). Runs once from prepare_events, on
+  // the driver thread, so the cross-lane meter writes are safe.
+  for (NodeId node = kProviderNode;
+       node < static_cast<NodeId>(servers_.size()); ++node) {
+    const NodeTopics& t = topics_[static_cast<std::size_t>(node + 1)];
+    const auto register_subs = [&](const pubsub::Topic& topic) {
+      for (const pubsub::Subscriber& s : topic.subscribers()) {
+        meter_of(s.node).record(net::MessageKind::kSubscribe, s.node,
+                                nodes_->distance_km(s.node, node),
+                                config_.light_packet_kb);
+      }
+    };
+    register_subs(t.content);
+    register_subs(t.notice);
+  }
 }
 
 void UpdateEngine::on_provider_update(Version v) {
@@ -1818,7 +2175,14 @@ void UpdateEngine::start_users() {
     visit_plan_ = std::make_unique<trace::VisitSchedule>(trace::build_visit_schedule(
         servers_.size(), config_.users_per_server, config_.user_poll_period_s,
         config_.user_start_window_s, end_time_, rng_));
-    for (auto& s : servers_) schedule_visit_event(*s);
+    for (auto& s : servers_) {
+      const auto& times =
+          visit_plan_->servers[static_cast<std::size_t>(s->id)].times;
+      s->next_visit_time =
+          times.empty() ? std::numeric_limits<sim::SimTime>::infinity()
+                        : times.front();
+      schedule_visit_event(*s);
+    }
   }
 }
 
@@ -1895,6 +2259,12 @@ bool UpdateEngine::visit_pump_needed(const ServerState& s) const {
 }
 
 void UpdateEngine::catch_up_visits(ServerState& s) {
+  // Hot-path early-out: callers flush before *every* state mutation and
+  // most flushes find an empty window (ROADMAP hot spot #1).
+  // next_visit_time mirrors plan.times[visit_cursor] (+inf when exhausted
+  // or unbatched), so the empty case is one comparison instead of a plan
+  // chase into the walk.
+  if (!s.has_pending_visits_before(sim_of(s.id).now())) return;
   catch_up_visits_until(s, sim_of(s.id).now());
 }
 
@@ -1975,6 +2345,8 @@ void UpdateEngine::catch_up_visits_until(ServerState& s, sim::SimTime upto) {
     s.visits_in_window += in_window;
   }
   s.visit_cursor = i;
+  s.next_visit_time =
+      i < n ? plan.times[i] : std::numeric_limits<sim::SimTime>::infinity();
 }
 
 // Called immediately AFTER any state mutation that may change blockedness:
@@ -2034,6 +2406,9 @@ void UpdateEngine::pump_visit(ServerState& s) {
   // legacy-path concern) is left untouched.
   UserState& u = *users_[plan.users[s.visit_cursor]];
   ++s.visit_cursor;
+  s.next_visit_time = s.visit_cursor < plan.times.size()
+                          ? plan.times[s.visit_cursor]
+                          : std::numeric_limits<sim::SimTime>::infinity();
   ++counters_of(s.id).visits;
   if (s.departed || s.absent_at(now)) {
     ++counters_of(s.id).visits_unanswered;
@@ -2105,6 +2480,7 @@ void UpdateEngine::prepare() {
 }
 
 void UpdateEngine::prepare_events() {
+  meter_subscriptions();
   for (auto& s : servers_) start_server(*s);
   start_users();
 

@@ -60,6 +60,7 @@
 #include "net/latency_model.hpp"
 #include "net/traffic_meter.hpp"
 #include "net/uplink.hpp"
+#include "pubsub/pubsub.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
 #include "trace/absence.hpp"
@@ -204,6 +205,33 @@ struct EngineConfig {
     int max_retries = 4;               // retransmissions after the first send
   };
   ReliableConfig reliable;
+
+  /// Pub/sub fan-out (DESIGN.md "Pub/sub fan-out and flow control"). Under
+  /// the multicast and hybrid infrastructures every interior node relays
+  /// updates through a pubsub::Topic pair (content pushes / invalidation
+  /// notices); with `flow_window == 0` — the default — the topic walker
+  /// replays exactly the legacy child-list send sequence, byte-identical to
+  /// pre-pub/sub engines. `flow_window > 0` enables per-subscriber credit
+  /// windows: a subscriber with `flow_window` unconfirmed deliveries stops
+  /// receiving live fan-out (it is *lagging*) and instead tails the missed
+  /// versions from the relay's bounded update log once a confirmation
+  /// frees a credit. Confirmations come from reliable-delivery acks when
+  /// `reliable.enabled`, otherwise from the sender-side arrival estimate of
+  /// the (possibly lost) transmission. Unicast infrastructures never build
+  /// topics, so this knob is inert there.
+  struct PubSubConfig {
+    /// Per-subscriber credit window (max unconfirmed deliveries);
+    /// 0 disables flow control.
+    std::uint32_t flow_window = 0;
+    /// Retained entries per topic update log; catch-up past a trimmed
+    /// entry skips ahead instead of reading.
+    std::size_t log_capacity = pubsub::Topic::kDefaultLogCapacity;
+    /// Unreliable transports only: delay before a subscriber whose
+    /// catch-up transmission was lost re-tails the log (reliable mode
+    /// spaces re-tails by its own retry budget instead).
+    sim::SimTime catchup_retry_s = 2.0;
+  };
+  PubSubConfig pubsub;
 
   std::uint64_t seed = 1;
 
@@ -366,6 +394,9 @@ class UpdateEngine {
     std::uint64_t fault_brownouts = 0;
     std::uint64_t reliable_retries = 0;
     std::uint64_t reliable_give_ups = 0;
+    /// Pub/sub walker counters (single-writer: a relay's topics are only
+    /// touched by events on the relay's own lane).
+    pubsub::FanoutStats pubsub;
   };
 
   /// One execution context. Classic engines have exactly one lane whose
@@ -450,6 +481,53 @@ class UpdateEngine {
   /// infrastructure. Called at construction and after every repair — the
   /// only times the topology or a node's method can change.
   void rebuild_child_lists();
+
+  // pub/sub fan-out (multicast/hybrid delivery path; see
+  // EngineConfig::PubSubConfig). Every node owns a content topic (kPush
+  // children) and a notice topic (notice children); both mirror
+  // child_lists_ order, so the flow-off walk replays the legacy send
+  // sequence byte for byte.
+  enum class PubsubChannel : std::uint8_t { kContent, kNotice };
+  struct NodeTopics {
+    pubsub::Topic content;
+    pubsub::Topic notice;
+    explicit NodeTopics(std::size_t log_capacity)
+        : content(log_capacity), notice(log_capacity) {}
+  };
+  pubsub::Topic& topic_of(topology::NodeId node, PubsubChannel ch) {
+    NodeTopics& t = topics_[static_cast<std::size_t>(node + 1)];
+    return ch == PubsubChannel::kContent ? t.content : t.notice;
+  }
+  /// Rebuilds topics_ from child_lists_ (construction + after repair).
+  /// Bumps pubsub_generation_ so in-flight confirmations of the old
+  /// subscriber ids are dropped instead of misattributed.
+  void rebuild_topics();
+  /// Topic fan-out of `v` from `node` on channel `ch` — the pub/sub
+  /// replacement for the direct child-list loops.
+  void pubsub_publish(topology::NodeId node, PubsubChannel ch,
+                      trace::Version v);
+  /// Flow-controlled transport of one (possibly catch-up) delivery.
+  void pubsub_transmit(topology::NodeId relay, PubsubChannel ch,
+                       pubsub::SubscriberId sid, trace::Version v,
+                       bool catch_up, FanoutBatch* batch);
+  /// Confirmation (ok) / loss verdict (!ok) of a flow-controlled
+  /// transmission; may trigger an immediate catch-up tail or arm a
+  /// deferred one. Runs on the relay's lane.
+  void pubsub_settle(topology::NodeId relay, PubsubChannel ch,
+                     pubsub::SubscriberId sid, trace::Version v, bool ok,
+                     bool catch_up, std::uint64_t generation);
+  /// Deferred re-tail after a lost catch-up (see PubSubConfig).
+  void pubsub_retry_catch_up(topology::NodeId relay, PubsubChannel ch,
+                             pubsub::SubscriberId sid,
+                             std::uint64_t generation);
+  /// Sends the tail of the relay's log to a subscriber that just took a
+  /// credit for it (settle()/begin_catch_up() returned true).
+  void pubsub_send_tail(topology::NodeId relay, PubsubChannel ch,
+                        pubsub::SubscriberId sid);
+  /// Meters one kSubscribe registration per (topic, subscriber) when flow
+  /// control is on — the subscription traffic of the pub/sub layer.
+  void meter_subscriptions();
+  void on_ack(const std::shared_ptr<ReliableState>& st);
 
   // provider side
   void on_provider_update(trace::Version v);
@@ -569,6 +647,13 @@ class UpdateEngine {
     std::vector<Notice> notice;
   };
   std::vector<ChildLists> child_lists_;
+  /// Per-node topic pair (index = node id + 1); empty for unicast
+  /// infrastructures (pubsub_active_ false — the legacy loops run).
+  std::vector<NodeTopics> topics_;
+  bool pubsub_active_ = false;
+  pubsub::FlowController flow_{0};
+  /// Bumped by rebuild_topics(); stale confirmations are dropped.
+  std::uint64_t pubsub_generation_ = 0;
   std::vector<std::unique_ptr<UserState>> users_;
   std::unique_ptr<cdn::UserPopulationLog> user_logs_;
   std::vector<trace::AbsenceSchedule> absences_;
@@ -624,6 +709,12 @@ class UpdateEngine {
     obs::SeriesId fault_brownouts = 0;
     obs::SeriesId reliable_retries = 0;
     obs::SeriesId reliable_give_ups = 0;
+    obs::SeriesId pubsub_live = 0;
+    obs::SeriesId pubsub_suppressed = 0;
+    obs::SeriesId pubsub_catch_up_messages = 0;
+    obs::SeriesId pubsub_catch_up_reads = 0;
+    obs::SeriesId pubsub_skipped_ahead = 0;
+    obs::SeriesId pubsub_lagging = 0;
     std::array<obs::SeriesId, net::kMessageKindCount> messages{};
     obs::SeriesId uplink_backlog = 0;
     obs::SeriesId uplink_brownout = 0;

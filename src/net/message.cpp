@@ -8,6 +8,7 @@ bool carries_content(MessageKind kind) {
     case MessageKind::kPushUpdate:
     case MessageKind::kFetchResponse:
     case MessageKind::kUserResponse:
+    case MessageKind::kCatchUpUpdate:
       return true;
     default:
       return false;
@@ -42,6 +43,9 @@ std::string_view to_string(MessageKind kind) {
     case MessageKind::kUserRequest: return "user-request";
     case MessageKind::kUserResponse: return "user-response";
     case MessageKind::kAck: return "ack";
+    case MessageKind::kSubscribe: return "subscribe";
+    case MessageKind::kCatchUpUpdate: return "catch-up-update";
+    case MessageKind::kCatchUpNotice: return "catch-up-notice";
   }
   return "unknown";
 }

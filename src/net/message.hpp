@@ -27,11 +27,14 @@ enum class MessageKind : std::uint8_t {
   kUserRequest,        // light: end-user content request
   kUserResponse,       // update: content served to an end-user
   kAck,                // light: reliable-delivery acknowledgement
+  kSubscribe,          // light: pub/sub topic subscription registration
+  kCatchUpUpdate,      // update: log-tailed content for a lagging subscriber
+  kCatchUpNotice,      // light: log-tailed notice for a lagging subscriber
 };
 
 /// Number of MessageKind enumerators — sized for per-kind counter arrays.
 inline constexpr std::size_t kMessageKindCount =
-    static_cast<std::size_t>(MessageKind::kAck) + 1;
+    static_cast<std::size_t>(MessageKind::kCatchUpNotice) + 1;
 
 /// True for messages that carry a content payload.
 bool carries_content(MessageKind kind);

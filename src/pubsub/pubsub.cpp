@@ -1,0 +1,129 @@
+#include "pubsub/pubsub.hpp"
+
+#include "util/error.hpp"
+
+namespace cdnsim::pubsub {
+
+UpdateLog::UpdateLog(std::size_t capacity) : capacity_(capacity) {
+  CDNSIM_EXPECTS(capacity > 0, "UpdateLog capacity must be positive");
+}
+
+void UpdateLog::publish(SequenceNumber seq, double time) {
+  CDNSIM_EXPECTS(seq > last_seq_,
+                 "published sequence numbers must be strictly increasing");
+  if (ring_.empty()) ring_.resize(capacity_);
+  if (size_ == capacity_) {
+    // Full: overwrite the oldest entry in place.
+    ring_[head_] = Entry{seq, time};
+    head_ = (head_ + 1) % capacity_;
+  } else {
+    ring_[(head_ + size_) % capacity_] = Entry{seq, time};
+    ++size_;
+  }
+  last_seq_ = seq;
+}
+
+SequenceNumber UpdateLog::first_seq() const {
+  return size_ == 0 ? 0 : ring_[head_].seq;
+}
+
+bool UpdateLog::contains(SequenceNumber seq) const {
+  if (size_ == 0 || seq < first_seq() || seq > last_seq_) return false;
+  // Binary search over the ring (entries are strictly increasing).
+  std::size_t lo = 0;
+  std::size_t hi = size_;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (at(mid).seq < seq) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo < size_ && at(lo).seq == seq;
+}
+
+double UpdateLog::publish_time(SequenceNumber seq) const {
+  for (std::size_t i = size_; i-- > 0;) {
+    if (at(i).seq == seq) return at(i).time;
+    if (at(i).seq < seq) break;
+  }
+  CDNSIM_EXPECTS(false, "publish_time: sequence not retained in the log");
+  return 0;
+}
+
+UpdateLog::Tail UpdateLog::tail(SequenceNumber cursor,
+                                SequenceNumber upto) const {
+  Tail t;
+  if (upto <= cursor) return t;
+  const std::uint64_t total = upto - cursor;
+  // Count retained entries with cursor < seq <= upto. Entries are strictly
+  // increasing; walk back from the newest (ranges are short: the ring is
+  // bounded and catch-ups target the head).
+  for (std::size_t i = size_; i-- > 0;) {
+    const SequenceNumber seq = at(i).seq;
+    if (seq <= cursor) break;
+    if (seq <= upto) ++t.reads;
+  }
+  t.skipped = total - t.reads;
+  return t;
+}
+
+void FlowController::release(Subscriber& s) const {
+  CDNSIM_EXPECTS(s.inflight > 0, "flow credit released without acquisition");
+  --s.inflight;
+}
+
+bool Fanout::settle(SubscriberId id, SequenceNumber seq, bool ok,
+                    bool catch_up) {
+  if (flow_ == nullptr || !flow_->enabled()) return false;
+  Subscriber& s = topic_.at(id);
+  flow_->release(s);
+  if (ok && seq > s.cursor) {
+    const std::uint64_t advanced = seq - s.cursor;
+    if (catch_up) {
+      // Tail accounting for the whole confirmed gap. Exactly-once: the
+      // cursor is monotone, so a range is accounted the one time it is
+      // confirmed, no matter how many tail attempts were lost before.
+      const UpdateLog::Tail t = topic_.log().tail(s.cursor, seq);
+      stats_.catch_up_reads += t.reads;
+      stats_.skipped_ahead += t.skipped;
+    } else if (advanced > 1) {
+      stats_.skipped_ahead += advanced - 1;
+    }
+    s.cursor = seq;
+  }
+  // A lost transmission can no longer confirm anything beyond the cursor.
+  if (!ok && s.sent > s.cursor) s.sent = s.cursor;
+  if (s.cursor >= topic_.log().last_seq()) {
+    if (s.lagging) {
+      s.lagging = false;
+      ++stats_.lagging_exit;
+    }
+    return false;
+  }
+  mark_lagging(s);
+  // After a loss the caller re-arms with begin_catch_up on its own
+  // schedule; an immediate re-tail here would retry as fast as the
+  // transport round-trips.
+  if (!ok) return false;
+  return tail_head(s);
+}
+
+bool Fanout::begin_catch_up(SubscriberId id) {
+  if (flow_ == nullptr || !flow_->enabled()) return false;
+  Subscriber& s = topic_.at(id);
+  if (s.cursor >= topic_.log().last_seq()) return false;
+  return tail_head(s);
+}
+
+bool Fanout::tail_head(Subscriber& s) {
+  const SequenceNumber head = topic_.log().last_seq();
+  if (s.sent >= head) return false;  // a covering transmission is in flight
+  if (!flow_->try_acquire(s)) return false;
+  s.sent = head;
+  ++stats_.catch_up_messages;
+  return true;
+}
+
+}  // namespace cdnsim::pubsub

@@ -110,5 +110,66 @@ TEST(EngineKindCountsTest, MulticastPushRepairEmitsTreeMaintenance) {
   EXPECT_GT(kind_count(meter, MessageKind::kFetchResponse), 0u);
 }
 
+// Guard against adding a MessageKind without a meter label: every slot in
+// the kind array must stringify to a real name, so a new enumerator that
+// misses the to_string switch (and therefore any CSV/metric label) fails
+// here instead of silently reporting "unknown" traffic.
+TEST(EngineKindCountsTest, EveryKindHasAMeterLabel) {
+  for (std::size_t k = 0; k < net::kMessageKindCount; ++k) {
+    const auto kind = static_cast<net::MessageKind>(k);
+    EXPECT_NE(net::to_string(kind), "unknown") << "kind index " << k;
+    // Each kind has a definite cost class; both predicates must be callable
+    // on every enumerator (they default instead of throwing, so the real
+    // assertion is the partition test below).
+    (void)net::is_maintenance(kind);
+    (void)net::counts_as_update(kind);
+  }
+}
+
+TEST(EngineKindCountsTest, PubsubFlowKindsPartitionTotals) {
+  constexpr std::size_t kServers = 40;
+  const auto scenario = small_scenario(kServers);
+  // Updates outpace a window-1 subscriber: live pushes are suppressed and
+  // replaced by catch-up traffic, exercising the new pub/sub kinds.
+  const auto updates = regular_trace(0.5, 30);
+  auto cfg = base_config(UpdateMethod::kPush,
+                         InfrastructureKind::kMulticastTree);
+  cfg.infrastructure.tree_fanout = 64;
+  cfg.pubsub.flow_window = 1;
+  // 1 MB pushes congest the relay uplinks so settles lag the cadence.
+  cfg.update_packet_kb = 1000.0;
+  cfg.tail_s = 200.0;
+  const auto r = run(*scenario.nodes, updates, cfg);
+
+  const auto& meter = r->engine->meter();
+  expect_kind_counts_consistent(meter, kServers);
+  using net::MessageKind;
+  EXPECT_GT(kind_count(meter, MessageKind::kSubscribe), 0u);
+  EXPECT_GT(kind_count(meter, MessageKind::kCatchUpUpdate), 0u);
+  EXPECT_EQ(kind_count(meter, MessageKind::kCatchUpNotice), 0u);
+}
+
+TEST(EngineKindCountsTest, PubsubInvalidationCatchUpUsesNoticeKind) {
+  constexpr std::size_t kServers = 40;
+  const auto scenario = small_scenario(kServers);
+  const auto updates = regular_trace(0.5, 20);
+  auto cfg = base_config(UpdateMethod::kInvalidation,
+                         InfrastructureKind::kMulticastTree);
+  cfg.infrastructure.tree_fanout = 64;
+  cfg.pubsub.flow_window = 1;
+  // Invalidation fan-out carries notices; size them up so the notice wave
+  // congests the relay uplinks the same way big pushes do.
+  cfg.light_packet_kb = 1000.0;
+  cfg.tail_s = 200.0;
+  const auto r = run(*scenario.nodes, updates, cfg);
+
+  const auto& meter = r->engine->meter();
+  expect_kind_counts_consistent(meter, kServers);
+  using net::MessageKind;
+  // Invalidation fan-out tails notices, never full content.
+  EXPECT_GT(kind_count(meter, MessageKind::kCatchUpNotice), 0u);
+  EXPECT_EQ(kind_count(meter, MessageKind::kCatchUpUpdate), 0u);
+}
+
 }  // namespace
 }  // namespace cdnsim::consistency

@@ -1,0 +1,296 @@
+// Unit coverage for the pub/sub primitives: log ring semantics, credit
+// window accounting, and the Fanout publish/settle state machine that the
+// engine drives (suppression, catch-up tailing, exactly-once accounting).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pubsub/pubsub.hpp"
+#include "util/error.hpp"
+
+namespace cdnsim::pubsub {
+namespace {
+
+// ---------------------------------------------------------------------------
+// UpdateLog
+// ---------------------------------------------------------------------------
+
+TEST(PubsubLogTest, PublishAndQuery) {
+  UpdateLog log(4);
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.last_seq(), 0u);
+  EXPECT_EQ(log.first_seq(), 0u);
+
+  log.publish(1, 10.0);
+  log.publish(3, 30.0);  // gaps are fine (relay skipped version 2)
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.first_seq(), 1u);
+  EXPECT_EQ(log.last_seq(), 3u);
+  EXPECT_TRUE(log.contains(1));
+  EXPECT_FALSE(log.contains(2));
+  EXPECT_TRUE(log.contains(3));
+  EXPECT_DOUBLE_EQ(log.publish_time(3), 30.0);
+  EXPECT_DOUBLE_EQ(log.publish_time(1), 10.0);
+}
+
+TEST(PubsubLogTest, RingTrimsOldestAtCapacity) {
+  UpdateLog log(3);
+  for (SequenceNumber s = 1; s <= 5; ++s) log.publish(s, 1.0 * s);
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.first_seq(), 3u);
+  EXPECT_EQ(log.last_seq(), 5u);
+  EXPECT_FALSE(log.contains(1));
+  EXPECT_FALSE(log.contains(2));
+  for (SequenceNumber s = 3; s <= 5; ++s) EXPECT_TRUE(log.contains(s));
+}
+
+TEST(PubsubLogTest, PublishRejectsNonIncreasingSequence) {
+  UpdateLog log(4);
+  log.publish(2, 1.0);
+  EXPECT_THROW(log.publish(2, 2.0), PreconditionError);
+  EXPECT_THROW(log.publish(1, 2.0), PreconditionError);
+  EXPECT_THROW(UpdateLog(0), PreconditionError);
+}
+
+TEST(PubsubLogTest, TailCountsRetainedReadsAndSkips) {
+  UpdateLog log(3);
+  for (SequenceNumber s = 1; s <= 5; ++s) log.publish(s, 1.0 * s);
+  // Retained: {3,4,5}. Cursor 0 -> 5 spans 5 versions, 3 readable.
+  const auto t = log.tail(0, 5);
+  EXPECT_EQ(t.reads, 3u);
+  EXPECT_EQ(t.skipped, 2u);
+  // Fully retained range.
+  const auto u = log.tail(3, 5);
+  EXPECT_EQ(u.reads, 2u);
+  EXPECT_EQ(u.skipped, 0u);
+  // Empty range.
+  const auto v = log.tail(5, 5);
+  EXPECT_EQ(v.reads, 0u);
+  EXPECT_EQ(v.skipped, 0u);
+}
+
+TEST(PubsubLogTest, TailHandlesSparseLogs) {
+  UpdateLog log(8);
+  log.publish(2, 1.0);
+  log.publish(5, 2.0);
+  log.publish(9, 3.0);
+  // Cursor 0 -> 9: nine versions, three published to this topic.
+  const auto t = log.tail(0, 9);
+  EXPECT_EQ(t.reads, 3u);
+  EXPECT_EQ(t.skipped, 6u);
+  const auto u = log.tail(2, 5);
+  EXPECT_EQ(u.reads, 1u);
+  EXPECT_EQ(u.skipped, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Topic / FlowController
+// ---------------------------------------------------------------------------
+
+TEST(PubsubTopicTest, IdsAreDenseInRegistrationOrder) {
+  Topic topic;
+  EXPECT_TRUE(topic.empty());
+  EXPECT_EQ(topic.add(7, false), 0u);
+  EXPECT_EQ(topic.add(9, true), 1u);
+  EXPECT_EQ(topic.add(4, false), 2u);
+  EXPECT_EQ(topic.size(), 3u);
+  EXPECT_EQ(topic.at(1).node, 9);
+  EXPECT_TRUE(topic.at(1).gated);
+  EXPECT_FALSE(topic.at(2).gated);
+}
+
+TEST(PubsubFlowTest, WindowBoundsInflight) {
+  FlowController flow(2);
+  EXPECT_TRUE(flow.enabled());
+  Subscriber s;
+  EXPECT_TRUE(flow.try_acquire(s));
+  EXPECT_TRUE(flow.try_acquire(s));
+  EXPECT_FALSE(flow.try_acquire(s));  // window exhausted
+  flow.release(s);
+  EXPECT_TRUE(flow.try_acquire(s));
+  EXPECT_EQ(s.inflight, 2u);
+}
+
+TEST(PubsubFlowTest, ZeroWindowDisablesFlowControl) {
+  FlowController flow(0);
+  EXPECT_FALSE(flow.enabled());
+}
+
+TEST(PubsubFlowTest, ReleaseWithoutAcquireIsAnError) {
+  FlowController flow(1);
+  Subscriber s;
+  EXPECT_THROW(flow.release(s), PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// Fanout
+// ---------------------------------------------------------------------------
+
+struct Delivery {
+  SubscriberId id;
+  SequenceNumber seq;
+};
+
+struct Harness {
+  Topic topic;
+  FlowController flow;
+  FanoutStats stats;
+  Fanout fanout;
+  std::vector<Delivery> sent;
+
+  explicit Harness(std::uint32_t window, std::size_t subs = 3,
+                   std::size_t log_capacity = Topic::kDefaultLogCapacity)
+      : topic(log_capacity), flow(window), fanout(topic, &flow, stats) {
+    for (std::size_t i = 0; i < subs; ++i)
+      topic.add(static_cast<std::int32_t>(i), false);
+  }
+
+  void publish(SequenceNumber seq) {
+    fanout.publish(
+        seq, 1.0 * static_cast<double>(seq),
+        [](const Subscriber&) { return true; },
+        [&](SubscriberId id, Subscriber& s) { sent.push_back({id, s.sent}); });
+  }
+};
+
+TEST(FanoutTest, FlowOffWalksEverySubscriberInIdOrder) {
+  Harness h(0);
+  h.publish(1);
+  h.publish(2);
+  ASSERT_EQ(h.sent.size(), 6u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(h.sent[i].id, i);
+  EXPECT_EQ(h.stats.live_deliveries, 6u);
+  EXPECT_EQ(h.stats.suppressed_deliveries, 0u);
+  // No credit bookkeeping at all with flow off.
+  for (const auto& s : h.topic.subscribers()) EXPECT_EQ(s.inflight, 0u);
+}
+
+TEST(FanoutTest, AllowedGateSkipsWithoutBookkeeping) {
+  Harness h(1);
+  h.topic.at(1).gated = true;
+  h.fanout.publish(
+      1, 1.0, [](const Subscriber& s) { return !s.gated; },
+      [&](SubscriberId id, Subscriber& s) { h.sent.push_back({id, s.sent}); });
+  ASSERT_EQ(h.sent.size(), 2u);
+  EXPECT_EQ(h.sent[0].id, 0u);
+  EXPECT_EQ(h.sent[1].id, 2u);
+  EXPECT_EQ(h.topic.at(1).inflight, 0u);
+  EXPECT_FALSE(h.topic.at(1).lagging);
+  EXPECT_EQ(h.stats.suppressed_deliveries, 0u);
+}
+
+TEST(FanoutTest, ExhaustedCreditSuppressesAndMarksLagging) {
+  Harness h(1, 1);
+  h.publish(1);  // takes the only credit
+  ASSERT_EQ(h.sent.size(), 1u);
+  h.publish(2);  // suppressed
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.stats.suppressed_deliveries, 1u);
+  EXPECT_EQ(h.stats.lagging_enter, 1u);
+  EXPECT_TRUE(h.topic.at(0).lagging);
+  // A third publish suppresses again but does not re-enter lagging.
+  h.publish(3);
+  EXPECT_EQ(h.stats.suppressed_deliveries, 2u);
+  EXPECT_EQ(h.stats.lagging_enter, 1u);
+}
+
+TEST(FanoutTest, SettleConfirmationTailsLaggingSubscriberToHead) {
+  Harness h(1, 1);
+  h.publish(1);
+  h.publish(2);
+  h.publish(3);
+  // Confirming seq 1 must trigger a catch-up transmission of the head (3).
+  EXPECT_TRUE(h.fanout.settle(0, 1, /*ok=*/true, /*catch_up=*/false));
+  const auto& s = h.topic.at(0);
+  EXPECT_EQ(s.cursor, 1u);
+  EXPECT_EQ(s.sent, 3u);
+  EXPECT_EQ(s.inflight, 1u);  // tail took the freed credit
+  EXPECT_EQ(h.stats.catch_up_messages, 1u);
+  // Confirming the tail at 3 accounts reads for the gap (2,3] and clears
+  // the lagging flag.
+  EXPECT_FALSE(h.fanout.settle(0, 3, true, /*catch_up=*/true));
+  EXPECT_EQ(s.cursor, 3u);
+  EXPECT_EQ(s.inflight, 0u);
+  EXPECT_FALSE(s.lagging);
+  EXPECT_EQ(h.stats.catch_up_reads, 2u);
+  EXPECT_EQ(h.stats.skipped_ahead, 0u);
+  EXPECT_EQ(h.stats.lagging_exit, 1u);
+}
+
+TEST(FanoutTest, TrimmedVersionsCountAsSkippedAhead) {
+  Harness h(1, 1, /*log_capacity=*/2);
+  for (SequenceNumber seq = 1; seq <= 6; ++seq) h.publish(seq);
+  // Only seq 1 was delivered; {5,6} are retained. Confirm 1, tail to 6.
+  EXPECT_TRUE(h.fanout.settle(0, 1, true, false));
+  EXPECT_FALSE(h.fanout.settle(0, 6, true, /*catch_up=*/true));
+  EXPECT_EQ(h.stats.catch_up_reads, 2u);   // 5 and 6 readable
+  EXPECT_EQ(h.stats.skipped_ahead, 3u);    // 2,3,4 trimmed
+  EXPECT_EQ(h.topic.at(0).cursor, 6u);
+}
+
+TEST(FanoutTest, LossRollsBackSentWithoutImmediateRetail) {
+  Harness h(1, 1);
+  h.publish(1);
+  // The transmission of 1 is lost: no immediate re-tail (the caller re-arms
+  // on its own schedule), sent rolls back so a later tail is not suppressed
+  // by a phantom in-flight transmission.
+  EXPECT_FALSE(h.fanout.settle(0, 1, /*ok=*/false, false));
+  const auto& s = h.topic.at(0);
+  EXPECT_EQ(s.cursor, 0u);
+  EXPECT_EQ(s.sent, 0u);
+  EXPECT_EQ(s.inflight, 0u);
+  EXPECT_TRUE(s.lagging);
+  // begin_catch_up picks the retry up and takes a fresh credit.
+  EXPECT_TRUE(h.fanout.begin_catch_up(0));
+  EXPECT_EQ(s.sent, 1u);
+  EXPECT_EQ(s.inflight, 1u);
+  EXPECT_EQ(h.stats.catch_up_messages, 1u);
+}
+
+TEST(FanoutTest, CatchUpAccountingIsExactlyOnceUnderRepeatedLoss) {
+  Harness h(1, 1);
+  h.publish(1);
+  h.publish(2);
+  h.publish(3);
+  // Live delivery of 1 lost; tail to 3 lost twice; third tail confirms.
+  EXPECT_FALSE(h.fanout.settle(0, 1, false, false));
+  EXPECT_TRUE(h.fanout.begin_catch_up(0));
+  EXPECT_FALSE(h.fanout.settle(0, 3, false, true));
+  EXPECT_TRUE(h.fanout.begin_catch_up(0));
+  EXPECT_FALSE(h.fanout.settle(0, 3, false, true));
+  EXPECT_TRUE(h.fanout.begin_catch_up(0));
+  EXPECT_FALSE(h.fanout.settle(0, 3, true, true));
+  // The gap (0,3] is accounted exactly once despite three tail attempts.
+  EXPECT_EQ(h.stats.catch_up_reads, 3u);
+  EXPECT_EQ(h.stats.skipped_ahead, 0u);
+  EXPECT_EQ(h.stats.catch_up_messages, 3u);
+  EXPECT_EQ(h.stats.lagging_enter, 1u);
+  EXPECT_EQ(h.stats.lagging_exit, 1u);
+  EXPECT_FALSE(h.topic.at(0).lagging);
+}
+
+TEST(FanoutTest, InflightTailSuppressesDuplicateCatchUp) {
+  Harness h(2, 1);
+  h.publish(1);
+  h.publish(2);
+  // Both credits in flight; confirming 1 re-tails only if the head is not
+  // already covered. sent == 2 == head, so no extra transmission.
+  EXPECT_FALSE(h.fanout.settle(0, 1, true, false));
+  EXPECT_EQ(h.stats.catch_up_messages, 0u);
+  // begin_catch_up is likewise a no-op while a covering send is in flight.
+  EXPECT_FALSE(h.fanout.begin_catch_up(0));
+}
+
+TEST(FanoutTest, SettleWithFlowDisabledIsANoOp) {
+  Topic topic;
+  FanoutStats stats;
+  Fanout fanout(topic, nullptr, stats);
+  topic.add(0, false);
+  topic.log().publish(1, 1.0);
+  EXPECT_FALSE(fanout.settle(0, 1, true, false));
+  EXPECT_FALSE(fanout.begin_catch_up(0));
+  EXPECT_EQ(topic.at(0).cursor, 0u);
+}
+
+}  // namespace
+}  // namespace cdnsim::pubsub
